@@ -1,0 +1,124 @@
+// Shared plumbing for the per-table / per-figure bench binaries.
+//
+// Every bench prints the same rows/series the paper reports, on the
+// synthetic substrates (see DESIGN.md §3). Set WARPER_BENCH_FAST=1 to run a
+// reduced-scale pass (smaller tables, fewer repeats) while iterating.
+#ifndef WARPER_BENCH_BENCH_COMMON_H_
+#define WARPER_BENCH_BENCH_COMMON_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "eval/experiment.h"
+#include "storage/datasets.h"
+#include "util/logging.h"
+#include "util/report.h"
+
+namespace warper::bench {
+
+struct BenchScale {
+  size_t table_rows = 30000;
+  size_t train_size = 1000;
+  size_t test_size = 150;
+  size_t steps = 5;
+  size_t queries_per_step = 72;  // 6 min per step at 1 query / 5 s
+  int repeats = 2;
+};
+
+inline bool FastMode() {
+  const char* fast = std::getenv("WARPER_BENCH_FAST");
+  return fast != nullptr && std::string(fast) != "0";
+}
+
+inline BenchScale GetScale() {
+  BenchScale scale;
+  if (FastMode()) {
+    scale.table_rows = 8000;
+    scale.train_size = 400;
+    scale.test_size = 80;
+    scale.steps = 3;
+    scale.queries_per_step = 40;
+    scale.repeats = 1;
+  }
+  return scale;
+}
+
+inline eval::ExperimentConfig DefaultConfig(const BenchScale& scale,
+                                            uint64_t seed) {
+  eval::ExperimentConfig config;
+  config.train_size = scale.train_size;
+  config.test_size = scale.test_size;
+  config.steps = scale.steps;
+  config.queries_per_step = scale.queries_per_step;
+  config.repeats = scale.repeats;
+  config.seed = seed;
+  return config;
+}
+
+// Named dataset factories at bench scale.
+inline std::function<storage::Table(uint64_t)> DatasetFactory(
+    const std::string& name, size_t rows) {
+  if (name == "PRSA") {
+    return [rows](uint64_t seed) { return storage::MakePrsa(rows, seed); };
+  }
+  if (name == "Poker") {
+    return [rows](uint64_t seed) { return storage::MakePoker(rows, seed); };
+  }
+  if (name == "Higgs") {
+    return [rows](uint64_t seed) { return storage::MakeHiggs(rows, seed); };
+  }
+  std::cerr << "unknown dataset " << name << "\n";
+  std::abort();
+}
+
+// Per-dataset workload-generator options. Poker is all-categorical with
+// tiny domains, so predicates must constrain more columns for workload
+// drifts to move the selectivity distribution appreciably.
+inline workload::GeneratorOptions GenOptsFor(const std::string& name) {
+  workload::GeneratorOptions opts;
+  if (name == "Poker") {
+    opts.min_constrained_cols = 2;
+    opts.max_constrained_cols = 6;
+  }
+  return opts;
+}
+
+// One paper-style result row: dataset, workload, δ_m, δ_js, Δ.5/.8/1.
+inline std::vector<std::string> DeltaRow(
+    const std::string& dataset, const std::string& workload,
+    const std::string& model, const eval::DriftExperimentResult& result,
+    const eval::MethodResult& method) {
+  return {dataset,
+          workload,
+          model,
+          util::FormatDouble(result.delta_m, 1),
+          util::FormatDouble(result.delta_js, 2),
+          util::FormatDouble(method.deltas.d50, 1),
+          util::FormatDouble(method.deltas.d80, 1),
+          util::FormatDouble(method.deltas.d100, 1)};
+}
+
+// Prints one experiment's adaptation curves (a paper-figure panel).
+inline void PrintCurves(std::ostream& os, const std::string& title,
+                        const eval::DriftExperimentResult& result) {
+  os << "-- " << title << " (alpha=" << util::FormatDouble(result.alpha, 2)
+     << ", beta=" << util::FormatDouble(result.beta, 2) << ") --\n";
+  os << "   GMQ vs #queries from the new workload; [q1,q3] across repeats\n";
+  for (const eval::MethodResult& m : result.methods) {
+    os << "   " << m.name << ":";
+    for (size_t i = 0; i < m.median.queries.size(); ++i) {
+      os << " " << util::FormatDouble(m.median.queries[i], 0) << "="
+         << util::FormatDouble(m.median.gmq[i], 2) << "["
+         << util::FormatDouble(m.q1.gmq[i], 2) << ","
+         << util::FormatDouble(m.q3.gmq[i], 2) << "]";
+    }
+    os << "\n";
+  }
+}
+
+inline void BenchInit() { util::SetLogLevel(util::LogLevel::kWarn); }
+
+}  // namespace warper::bench
+
+#endif  // WARPER_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,95 @@
+// Figure 5: PCA visualization of the w1..w5 predicate workloads on PRSA
+// (§2's visualization method: SVD over all predicates, project onto the two
+// highest-weighted eigenvectors). Prints per-workload 2-d centroids, spreads
+// and a coarse occupancy grid — the textual equivalent of the scatter plots.
+#include "bench_common.h"
+
+#include "ml/pca.h"
+#include "util/stats.h"
+#include <algorithm>
+#include "util/rng.h"
+#include "workload/generator.h"
+
+int main() {
+  using namespace warper;
+  bench::BenchInit();
+  bench::BenchScale scale = bench::GetScale();
+
+  util::PrintBanner(std::cout, "Figure 5: PCA views of workloads on PRSA");
+
+  storage::Table table = storage::MakePrsa(scale.table_rows, /*seed=*/5);
+  util::Rng rng(5);
+  size_t per_workload = bench::FastMode() ? 200 : 500;
+
+  // Generate every workload and fit one shared PCA (as the paper does:
+  // "running SVD over all predicates").
+  std::vector<std::vector<storage::RangePredicate>> workloads(5);
+  size_t feature_dim = 2 * table.NumColumns();
+  nn::Matrix all(5 * per_workload, feature_dim);
+  for (int w = 0; w < 5; ++w) {
+    workloads[w] = workload::GenerateWorkload(
+        table, {static_cast<workload::GenMethod>(w)}, per_workload, &rng);
+    for (size_t i = 0; i < per_workload; ++i) {
+      all.SetRow(w * per_workload + i, workloads[w][i].Featurize(table));
+    }
+  }
+  ml::Pca pca;
+  pca.Fit(all, 2);
+  nn::Matrix projected = pca.Transform(all);
+  std::cout << "PCA explained variance (2 components): "
+            << util::FormatDouble(100.0 * pca.ExplainedVarianceRatio(), 1)
+            << "%\n\n";
+
+  // Global bounds for the occupancy grid.
+  double x_min = projected.At(0, 0), x_max = x_min;
+  double y_min = projected.At(0, 1), y_max = y_min;
+  for (size_t r = 0; r < projected.rows(); ++r) {
+    x_min = std::min(x_min, projected.At(r, 0));
+    x_max = std::max(x_max, projected.At(r, 0));
+    y_min = std::min(y_min, projected.At(r, 1));
+    y_max = std::max(y_max, projected.At(r, 1));
+  }
+
+  util::TablePrinter table_out(
+      {"Workload", "centroid_x", "centroid_y", "spread_x", "spread_y"});
+  for (int w = 0; w < 5; ++w) {
+    std::vector<double> xs, ys;
+    for (size_t i = 0; i < per_workload; ++i) {
+      xs.push_back(projected.At(w * per_workload + i, 0));
+      ys.push_back(projected.At(w * per_workload + i, 1));
+    }
+    table_out.AddRow({workload::GenMethodName(static_cast<workload::GenMethod>(w)),
+                      util::FormatDouble(util::Mean(xs), 2),
+                      util::FormatDouble(util::Mean(ys), 2),
+                      util::FormatDouble(util::StdDev(xs), 2),
+                      util::FormatDouble(util::StdDev(ys), 2)});
+  }
+  table_out.Print(std::cout);
+
+  // ASCII density panels, one per workload (the scatter plots of Figure 5).
+  constexpr int kGrid = 18;
+  for (int w = 0; w < 5; ++w) {
+    std::cout << "\n"
+              << workload::GenMethodName(static_cast<workload::GenMethod>(w))
+              << ":\n";
+    std::vector<std::vector<int>> grid(kGrid, std::vector<int>(kGrid, 0));
+    for (size_t i = 0; i < per_workload; ++i) {
+      double x = projected.At(w * per_workload + i, 0);
+      double y = projected.At(w * per_workload + i, 1);
+      int gx = std::min(kGrid - 1, static_cast<int>((x - x_min) /
+                                                    (x_max - x_min) * kGrid));
+      int gy = std::min(kGrid - 1, static_cast<int>((y - y_min) /
+                                                    (y_max - y_min) * kGrid));
+      ++grid[gy][gx];
+    }
+    for (int gy = kGrid - 1; gy >= 0; --gy) {
+      std::cout << "  ";
+      for (int gx = 0; gx < kGrid; ++gx) {
+        int c = grid[gy][gx];
+        std::cout << (c == 0 ? '.' : (c < 3 ? '+' : (c < 8 ? 'o' : '#')));
+      }
+      std::cout << "\n";
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Figure 6 + Table 7a: workload drift c2 (w12/345) with LM-mlp on PRSA,
+// Poker and Higgs. Prints per-method adaptation curves (the figure's panels,
+// with quartile bands) and the relative-speedup table Δ.5 / Δ.8 / Δ1.
+//
+// Paper shape: Warper adapts fastest; AUG/HEM beat MIX/FT; speedups of
+// several × at Δ.5 that shrink toward Δ1.
+#include "bench_common.h"
+
+int main() {
+  using namespace warper;
+  bench::BenchInit();
+  bench::BenchScale scale = bench::GetScale();
+
+  util::PrintBanner(std::cout,
+                    "Figure 6 / Table 7a: workload drift c2, LM-mlp, w12/345");
+
+  util::TablePrinter table({"Dataset", "Wkld", "Model", "dm", "djs", "D.5",
+                            "D.8", "D1"});
+  std::vector<std::string> datasets = {"PRSA", "Poker", "Higgs"};
+  for (const std::string& dataset : datasets) {
+    eval::SingleTableDriftSpec spec;
+    spec.table_factory = bench::DatasetFactory(dataset, scale.table_rows);
+    spec.workload = workload::WorkloadSpec::Parse("w12/345").ValueOrDie();
+    spec.model_factory = eval::LmMlpFactory();
+    spec.methods = {eval::Method::kFt, eval::Method::kMix, eval::Method::kAug,
+                    eval::Method::kHem, eval::Method::kWarper};
+    spec.config = bench::DefaultConfig(scale, /*seed=*/61);
+    spec.config.gen_opts = bench::GenOptsFor(dataset);
+
+    eval::DriftExperimentResult result = eval::RunSingleTableDrift(spec);
+    bench::PrintCurves(std::cout, dataset + " c2 w12/345 LM-mlp", result);
+    for (const eval::MethodResult& m : result.methods) {
+      if (m.name == "Warper") {
+        table.AddRow(bench::DeltaRow(dataset, "w12/345", "LM-mlp", result, m));
+      }
+    }
+  }
+
+  std::cout << "\nTable 7a (Warper speedups vs FT; paper: PRSA 7.4/4.8/3.1, "
+               "Poker 7.1/7.3/7.7, Higgs 3.8/3.7/3.5):\n";
+  table.Print(std::cout);
+  return 0;
+}

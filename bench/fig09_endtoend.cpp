@@ -1,0 +1,283 @@
+// Figure 9 + Table 9: end-to-end query-performance gains on TPC-H L ⨝ O
+// under continuous drifts.
+//
+// Three plan-flip scenarios (Table 9):
+//   S1 buffer spill (single thread, predicate on L)       — paper gap 2.1×
+//   S2 nested loop vs hash join (preds on L and O)        — paper gap 306×
+//   S3 bitmap build side (multi-threaded, preds on both)  — paper gap 5.3×
+// and three continuous drifts: A (workload w1→w2), B (half of each period
+// drifts to w4), C (workload back to w1 + a data drift).
+//
+// For each (scenario, drift) cell we adapt the two per-table CE models with
+// FT and with Warper and report, per adaptation step, the GMQ of the
+// estimates and the average simulated latency of the plans an optimizer
+// picks from them, against the true-cardinality plan baseline.
+#include "bench_common.h"
+
+#include <unordered_map>
+
+#include "baselines/ft.h"
+#include "baselines/warper_adapter.h"
+#include "ce/lm.h"
+#include "ce/metrics.h"
+#include "ce/query_domain.h"
+#include "qo/executor.h"
+#include "storage/annotator.h"
+#include "storage/data_drift.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace warper;
+
+enum class Drift { kA, kB, kC };
+
+const char* DriftName(Drift d) {
+  switch (d) {
+    case Drift::kA:
+      return "A(w1->w2)";
+    case Drift::kB:
+      return "B(half w4)";
+    case Drift::kC:
+      return "C(w1+data)";
+  }
+  return "?";
+}
+
+// The per-step arrival mixture for a drift.
+std::vector<workload::GenMethod> ArrivalMix(Drift d) {
+  switch (d) {
+    case Drift::kA:
+      return {workload::GenMethod::kW2};
+    case Drift::kB:
+      return {workload::GenMethod::kW4, workload::GenMethod::kW1};
+    case Drift::kC:
+      return {workload::GenMethod::kW1};
+  }
+  return {};
+}
+
+struct TestQuery {
+  qo::SpjQuery query;
+  std::vector<double> l_features;
+  std::vector<double> o_features;
+  qo::ActualCardinalities actual;
+};
+
+}  // namespace
+
+int main() {
+  bench::BenchInit();
+  bool fast = bench::FastMode();
+
+  util::PrintBanner(std::cout,
+                    "Figure 9 / Table 9: end-to-end gains on TPC-H L join O");
+
+  size_t num_orders = fast ? 4000 : 15000;
+  size_t train_n = fast ? 300 : 800;
+  size_t test_n = fast ? 30 : 80;
+  size_t steps = fast ? 3 : 5;
+  size_t per_step = fast ? 40 : 72;
+
+  std::vector<qo::Scenario> scenarios = {qo::Scenario::kBufferSpill,
+                                         qo::Scenario::kJoinType,
+                                         qo::Scenario::kBitmapSide};
+  std::vector<Drift> drifts = {Drift::kA, Drift::kB, Drift::kC};
+
+  util::TablePrinter gap_table(
+      {"Scenario", "Executed as", "Pred on", "Latency gap (measured)"});
+  double scenario_gap[3] = {1.0, 1.0, 1.0};
+
+  for (qo::Scenario scenario : scenarios) {
+    bool preds_on_orders = scenario != qo::Scenario::kBufferSpill;
+    for (Drift drift : drifts) {
+      // Fresh tables per cell (drift C mutates them).
+      storage::TpchTables tables = storage::MakeTpch(num_orders, /*seed=*/91);
+      storage::Annotator l_annotator(&tables.lineitem);
+      storage::Annotator o_annotator(&tables.orders);
+      ce::SingleTableDomain l_domain(&l_annotator);
+      ce::SingleTableDomain o_domain(&o_annotator);
+      util::Rng rng(91 + static_cast<uint64_t>(drift) * 13 +
+                    static_cast<uint64_t>(scenario) * 101);
+
+      auto make_examples = [&](const storage::Table& table,
+                               const storage::Annotator& annotator,
+                               const ce::SingleTableDomain& domain,
+                               const std::vector<workload::GenMethod>& mix,
+                               size_t n) {
+        std::vector<storage::RangePredicate> preds =
+            workload::GenerateWorkload(table, mix, n, &rng);
+        std::vector<int64_t> counts = annotator.BatchCount(preds);
+        std::vector<ce::LabeledExample> out(n);
+        for (size_t i = 0; i < n; ++i) {
+          out[i] = {domain.FeaturizePredicate(preds[i]), counts[i]};
+        }
+        return out;
+      };
+
+      // Seed models trained on w1 (§4.2).
+      std::vector<workload::GenMethod> w1 = {workload::GenMethod::kW1};
+      std::vector<ce::LabeledExample> l_train =
+          make_examples(tables.lineitem, l_annotator, l_domain, w1, train_n);
+      std::vector<ce::LabeledExample> o_train =
+          make_examples(tables.orders, o_annotator, o_domain, w1, train_n);
+
+      // Drift C: mutate the data before the episode begins.
+      double changed_fraction = 0.0, canary_shift = 0.0;
+      if (drift == Drift::kC) {
+        std::vector<storage::RangePredicate> canaries =
+            storage::MakeCanaryPredicates(tables.lineitem, 12, &rng);
+        std::vector<int64_t> baseline = l_annotator.BatchCount(canaries);
+        uint64_t snapshot = tables.lineitem.ChangeCounter();
+        storage::UpdateRandomRows(&tables.lineitem, 0.5, &rng);
+        changed_fraction = tables.lineitem.ChangedFractionSince(snapshot);
+        canary_shift = storage::CanaryShift(l_annotator, canaries, baseline);
+      }
+
+      // Test queries from the drifted workload; actuals computed once
+      // against the (post-drift) data.
+      std::vector<workload::GenMethod> mix = ArrivalMix(drift);
+      std::vector<TestQuery> tests(test_n);
+      {
+        std::vector<storage::RangePredicate> l_preds =
+            workload::GenerateWorkload(tables.lineitem, mix, test_n, &rng);
+        std::vector<storage::RangePredicate> o_preds =
+            workload::GenerateWorkload(tables.orders, mix, test_n, &rng);
+        for (size_t i = 0; i < test_n; ++i) {
+          tests[i].query.lineitem_pred = l_preds[i];
+          tests[i].query.orders_pred =
+              preds_on_orders
+                  ? o_preds[i]
+                  : storage::RangePredicate::FullRange(tables.orders);
+          tests[i].l_features = l_domain.FeaturizePredicate(l_preds[i]);
+          tests[i].o_features =
+              o_domain.FeaturizePredicate(tests[i].query.orders_pred);
+          tests[i].actual = qo::ComputeActuals(tables, tests[i].query);
+        }
+      }
+
+      qo::Optimizer optimizer;
+      qo::Executor executor(&tables);
+
+      // Perfect-CE baseline latency (and the Table-9 adversarial gap).
+      double baseline_latency = 0.0;
+      double max_gap = 1.0;
+      for (const TestQuery& t : tests) {
+        double good =
+            executor.RunWithTrueCardinalities(t.actual, optimizer, scenario)
+                .latency_ms;
+        baseline_latency += good;
+        // Adversarial misestimates that flip *only* each scenario's plan
+        // decision (S1: grant; S2: join algorithm; S3: bitmap side).
+        double act_l = static_cast<double>(t.actual.lineitem_rows);
+        double act_o = static_cast<double>(t.actual.orders_rows);
+        qo::PhysicalPlan bad_plan;
+        if (scenario == qo::Scenario::kBitmapSide) {
+          bad_plan = optimizer.Plan(act_l, act_o, scenario);
+          bad_plan.bitmap_on_lineitem = !bad_plan.bitmap_on_lineitem;
+        } else {
+          bad_plan = optimizer.Plan(std::max(1.0, act_l / 100.0),
+                                    std::max(1.0, act_o / 100.0), scenario);
+        }
+        double bad = executor.Execute(t.actual, bad_plan).latency_ms;
+        max_gap = std::max(max_gap, bad / std::max(good, 1e-9));
+      }
+      baseline_latency /= static_cast<double>(tests.size());
+      size_t scenario_idx = static_cast<size_t>(scenario);
+      scenario_gap[scenario_idx] = std::max(scenario_gap[scenario_idx],
+                                            max_gap);
+
+      // Per-method adaptation loop over both table models.
+      std::cout << "\n-- " << qo::ScenarioName(scenario) << " / drift "
+                << DriftName(drift) << " (true-card plan latency "
+                << util::FormatDouble(baseline_latency, 1) << " ms) --\n";
+      for (bool use_warper : {false, true}) {
+        ce::LmMlp l_model(l_domain.FeatureDim(), ce::LmMlpConfig{}, 91);
+        ce::LmMlp o_model(o_domain.FeatureDim(), ce::LmMlpConfig{}, 92);
+        {
+          nn::Matrix x;
+          std::vector<double> y;
+          ce::ExamplesToMatrix(l_train, &x, &y);
+          l_model.Train(x, y);
+          ce::ExamplesToMatrix(o_train, &x, &y);
+          o_model.Train(x, y);
+        }
+
+        baselines::AdapterContext l_ctx{&l_domain, &l_model, &l_train, 910};
+        baselines::AdapterContext o_ctx{&o_domain, &o_model, &o_train, 920};
+        core::WarperConfig wconfig;
+        if (fast) {
+          wconfig.n_i = 40;
+          wconfig.n_p = 300;
+        }
+        std::unique_ptr<baselines::Adapter> l_adapter, o_adapter;
+        if (use_warper) {
+          l_adapter =
+              std::make_unique<baselines::WarperAdapter>(l_ctx, wconfig);
+          o_adapter =
+              std::make_unique<baselines::WarperAdapter>(o_ctx, wconfig);
+        } else {
+          l_adapter = std::make_unique<baselines::FtAdapter>(l_ctx);
+          o_adapter = std::make_unique<baselines::FtAdapter>(o_ctx);
+        }
+
+        auto evaluate = [&]() {
+          std::vector<double> est_card, act_card, latencies;
+          for (const TestQuery& t : tests) {
+            double est_l = l_model.EstimateCardinality(t.l_features);
+            double est_o = preds_on_orders
+                               ? o_model.EstimateCardinality(t.o_features)
+                               : static_cast<double>(tables.orders.NumRows());
+            qo::PhysicalPlan plan = optimizer.Plan(est_l, est_o, scenario);
+            latencies.push_back(executor.Execute(t.actual, plan).latency_ms);
+            est_card.push_back(est_l);
+            act_card.push_back(static_cast<double>(t.actual.lineitem_rows));
+          }
+          return std::make_pair(ce::Gmq(est_card, act_card),
+                                util::Mean(latencies));
+        };
+
+        auto [gmq0, lat0] = evaluate();
+        std::cout << "   " << (use_warper ? "Warper" : "FT    ") << ": step0"
+                  << " GMQ=" << util::FormatDouble(gmq0, 2)
+                  << " lat=" << util::FormatDouble(lat0, 1);
+        for (size_t step = 1; step <= steps; ++step) {
+          baselines::StepInfo info;
+          if (step == 1) {
+            info.data_changed_fraction = changed_fraction;
+            info.canary_shift = canary_shift;
+          }
+          l_adapter->Step(make_examples(tables.lineitem, l_annotator, l_domain,
+                                        mix, per_step),
+                          info);
+          if (preds_on_orders) {
+            o_adapter->Step(make_examples(tables.orders, o_annotator, o_domain,
+                                          mix, per_step),
+                            info);
+          }
+          auto [gmq, lat] = evaluate();
+          std::cout << " | step" << step
+                    << " GMQ=" << util::FormatDouble(gmq, 2)
+                    << " lat=" << util::FormatDouble(lat, 1);
+        }
+        std::cout << "\n";
+      }
+    }
+  }
+
+  for (qo::Scenario scenario : scenarios) {
+    gap_table.AddRow(
+        {qo::ScenarioName(scenario),
+         scenario == qo::Scenario::kBitmapSide ? "Multi-thread"
+                                               : "Single thread",
+         scenario == qo::Scenario::kBufferSpill ? "L" : "L, O",
+         util::FormatDouble(scenario_gap[static_cast<size_t>(scenario)], 1) +
+             "x"});
+  }
+  std::cout << "\nTable 9 (max latency gap between accurate- and "
+               "inaccurate-CE plans; paper: S1 2.1x, S2 306x, S3 5.3x):\n";
+  gap_table.Print(std::cout);
+  return 0;
+}

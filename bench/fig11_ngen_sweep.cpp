@@ -1,0 +1,81 @@
+// Figure 11 + Table 11: trading compute for adaptation speedup — vary the
+// number of generated queries n_g as a multiple of the arrivals n_t
+// (0.1×, 0.3×, 1×, 3×) and report speedups plus the annotation / CPU cost.
+//
+// Paper shape: more generated queries do NOT necessarily adapt faster, but
+// they do cost proportionally more annotation CPU.
+#include "bench_common.h"
+
+#include "eval/cost_model.h"
+#include "storage/annotator.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+
+int main() {
+  using namespace warper;
+  bench::BenchInit();
+  bench::BenchScale scale = bench::GetScale();
+
+  util::PrintBanner(std::cout,
+                    "Figure 11 / Table 11: n_g sweep (compute vs speedup)");
+
+  std::vector<double> multiples = {0.1, 0.3, 1.0, 3.0};
+
+  for (const std::string dataset : {"PRSA", "Poker"}) {
+    util::TablePrinter table({"n_g", "D.5", "D.8", "D1", "Annotated/step",
+                              "Anno s (period)", "CPU %"});
+
+    // Measured annotation cost for this dataset.
+    storage::Table t = bench::DatasetFactory(dataset, scale.table_rows)(111);
+    storage::Annotator annotator(&t);
+    ce::SingleTableDomain domain(&annotator);
+    util::Rng rng(111);
+    std::vector<std::vector<double>> probe;
+    for (const auto& p : workload::GenerateWorkload(
+             t, {workload::GenMethod::kW1}, 64, &rng)) {
+      probe.push_back(domain.FeaturizePredicate(p));
+    }
+    double anno_s = eval::MeasureAnnotationSecondsPerQuery(domain, probe);
+
+    for (double multiple : multiples) {
+      eval::SingleTableDriftSpec spec;
+      spec.table_factory = bench::DatasetFactory(dataset, scale.table_rows);
+      spec.workload = workload::WorkloadSpec::Parse("w12/345").ValueOrDie();
+      spec.model_factory = eval::LmMlpFactory();
+      spec.methods = {eval::Method::kFt, eval::Method::kWarper};
+      spec.config = bench::DefaultConfig(scale, /*seed=*/105);
+      spec.config.gen_opts = bench::GenOptsFor(dataset);
+      spec.config.warper.gen_fraction = multiple;
+
+      eval::DriftExperimentResult result = eval::RunSingleTableDrift(spec);
+      const eval::MethodResult& w = result.methods[1];
+      double annotated_per_step =
+          w.annotations / static_cast<double>(scale.steps);
+
+      // 30-min period at 1 query / 5 s, as in the paper's Table 11.
+      eval::CostInputs inputs;
+      inputs.rate_qps = 0.2;
+      inputs.period_seconds = 1800.0;
+      inputs.annotation_seconds_per_query = anno_s;
+      inputs.annotations_per_arrival =
+          w.annotations /
+          static_cast<double>(scale.steps * scale.queries_per_step);
+      inputs.constant_seconds = w.adapt_seconds;
+      double cpu = eval::AverageCpuUtilization(inputs);
+
+      table.AddRow({util::FormatDouble(multiple, 1) + "x",
+                    util::FormatDouble(w.deltas.d50, 1),
+                    util::FormatDouble(w.deltas.d80, 1),
+                    util::FormatDouble(w.deltas.d100, 1),
+                    util::FormatDouble(annotated_per_step, 0),
+                    util::FormatDouble(w.annotations * anno_s, 2),
+                    util::FormatDouble(100.0 * cpu, 2) + "%"});
+    }
+    std::cout << "\n" << dataset << " (anno cost "
+              << util::FormatDouble(anno_s, 4) << " s/query):\n";
+    table.Print(std::cout);
+  }
+  std::cout << "\nPaper shape: speedups plateau (or dip) as n_g grows while "
+               "annotation CPU rises roughly linearly with n_g.\n";
+  return 0;
+}

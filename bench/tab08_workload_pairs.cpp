@@ -1,0 +1,50 @@
+// Table 8: Warper speedups for ten different train→new workload pairs on
+// PRSA (c2, LM-mlp).
+//
+// Paper shape: median Δ.5/Δ.8/Δ1 around 4.7/4.6/3.7; speedups are smaller
+// when the accuracy gap δ_m is already small (w34/125, w35/124); δ_m and
+// δ_js are not perfectly correlated.
+#include "bench_common.h"
+
+#include "util/stats.h"
+
+int main() {
+  using namespace warper;
+  bench::BenchInit();
+  bench::BenchScale scale = bench::GetScale();
+
+  util::PrintBanner(std::cout,
+                    "Table 8: different workload pairs on PRSA (c2, LM-mlp)");
+
+  std::vector<std::string> pairs = {"w1/2",  "w1/3",  "w1/4",    "w2/3",
+                                    "w2/4",  "w5/3",  "w5/4",    "w34/125",
+                                    "w35/124", "w125/34"};
+  util::TablePrinter table({"Wkld", "dm", "djs", "D.5", "D.8", "D1"});
+  std::vector<double> d50s, d80s, d100s;
+
+  for (const std::string& pair : pairs) {
+    eval::SingleTableDriftSpec spec;
+    spec.table_factory = bench::DatasetFactory("PRSA", scale.table_rows);
+    spec.workload = workload::WorkloadSpec::Parse(pair).ValueOrDie();
+    spec.model_factory = eval::LmMlpFactory();
+    spec.methods = {eval::Method::kFt, eval::Method::kWarper};
+    spec.config = bench::DefaultConfig(scale, /*seed=*/81);
+
+    eval::DriftExperimentResult result = eval::RunSingleTableDrift(spec);
+    const eval::MethodResult& warper_result = result.methods[1];
+    table.AddRow({pair, util::FormatDouble(result.delta_m, 1),
+                  util::FormatDouble(result.delta_js, 2),
+                  util::FormatDouble(warper_result.deltas.d50, 1),
+                  util::FormatDouble(warper_result.deltas.d80, 1),
+                  util::FormatDouble(warper_result.deltas.d100, 1)});
+    d50s.push_back(warper_result.deltas.d50);
+    d80s.push_back(warper_result.deltas.d80);
+    d100s.push_back(warper_result.deltas.d100);
+  }
+  table.Print(std::cout);
+  std::cout << "\nMedian speedups: D.5=" << util::FormatDouble(util::Median(d50s), 1)
+            << " D.8=" << util::FormatDouble(util::Median(d80s), 1)
+            << " D1=" << util::FormatDouble(util::Median(d100s), 1)
+            << " (paper medians: 4.7 / 4.6 / 3.7)\n";
+  return 0;
+}

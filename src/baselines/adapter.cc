@@ -1,0 +1,57 @@
+#include "baselines/adapter.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace warper::baselines {
+
+Adapter::Adapter(const AdapterContext& context) : context_(context) {
+  WARPER_CHECK(context.domain != nullptr);
+  WARPER_CHECK(context.model != nullptr);
+  WARPER_CHECK(context.train_corpus != nullptr);
+}
+
+size_t Adapter::Annotate(std::vector<ce::LabeledExample>* examples,
+                         size_t budget) {
+  std::vector<size_t> missing;
+  for (size_t i = 0; i < examples->size(); ++i) {
+    if ((*examples)[i].cardinality < 0) missing.push_back(i);
+  }
+  size_t n = std::min(missing.size(), budget);
+  if (n == 0) return 0;
+  std::vector<std::vector<double>> features;
+  features.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    features.push_back((*examples)[missing[i]].features);
+  }
+  std::vector<int64_t> counts = context_.domain->AnnotateBatch(features);
+  for (size_t i = 0; i < n; ++i) {
+    (*examples)[missing[i]].cardinality = counts[i];
+  }
+  return n;
+}
+
+void Adapter::UpdateModel(const std::vector<ce::LabeledExample>& incremental,
+                          const std::vector<ce::LabeledExample>& base) {
+  std::vector<ce::LabeledExample> corpus;
+  if (context_.model->update_mode() == ce::UpdateMode::kFineTune) {
+    corpus = incremental;
+  } else {
+    corpus = base;
+    corpus.insert(corpus.end(), incremental.begin(), incremental.end());
+  }
+  // Drop anything still unlabeled.
+  corpus.erase(std::remove_if(corpus.begin(), corpus.end(),
+                              [](const ce::LabeledExample& e) {
+                                return e.cardinality < 0;
+                              }),
+               corpus.end());
+  if (corpus.empty()) return;
+  nn::Matrix x;
+  std::vector<double> y;
+  ce::ExamplesToMatrix(corpus, &x, &y);
+  context_.model->Update(x, y);
+}
+
+}  // namespace warper::baselines

@@ -1,0 +1,78 @@
+// The adaptation-method interface shared by Warper and every baseline of
+// §4.1: FT (fine-tuning / re-training), MIX (train+new mixture), AUG
+// (Gaussian-noise augmentation), HEM (hard example mining). The experiment
+// harness drives all methods through Step() so their adaptation curves are
+// directly comparable.
+#ifndef WARPER_BASELINES_ADAPTER_H_
+#define WARPER_BASELINES_ADAPTER_H_
+
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ce/estimator.h"
+#include "ce/query_domain.h"
+
+namespace warper::baselines {
+
+// Everything an adapter needs about its environment. The referenced objects
+// must outlive the adapter.
+struct AdapterContext {
+  const ce::QueryDomain* domain = nullptr;
+  ce::CardinalityEstimator* model = nullptr;
+  // I_train with its (possibly stale, under data drift) original labels.
+  const std::vector<ce::LabeledExample>* train_corpus = nullptr;
+  uint64_t seed = 0;
+};
+
+// Per-step inputs beyond the arrived queries.
+struct StepInfo {
+  // Annotator calls the method may spend this step (the slow-labeling
+  // constraint of c1/c3 scenarios).
+  size_t annotation_budget = std::numeric_limits<size_t>::max();
+  // Data-drift telemetry (only Warper reacts to it; baselines re-annotate
+  // whatever they were going to use anyway).
+  double data_changed_fraction = 0.0;
+  double canary_shift = 0.0;
+};
+
+struct StepStats {
+  size_t annotated = 0;
+  size_t synthesized = 0;
+  bool model_updated = false;
+};
+
+// Update-sample volume for augmentation methods, matching the paper's
+// n_p = 1K picker volume (§4.1: "AUG and HEM randomly sample the same number
+// of queries from different distributions to match Warper").
+inline constexpr size_t kUpdateSampleSize = 1000;
+
+class Adapter {
+ public:
+  explicit Adapter(const AdapterContext& context);
+  virtual ~Adapter() = default;
+
+  virtual std::string Name() const = 0;
+
+  // One adaptation step: `arrived` are the queries that appeared since the
+  // last step (cardinality = -1 when the scenario withholds labels).
+  virtual StepStats Step(const std::vector<ce::LabeledExample>& arrived,
+                         const StepInfo& info) = 0;
+
+ protected:
+  // Annotates (at most `budget`) examples in place; returns how many.
+  size_t Annotate(std::vector<ce::LabeledExample>* examples, size_t budget);
+
+  // Runs the model's own update rule: fine-tuning models update on
+  // `incremental`; re-training models re-fit on base ∪ incremental where
+  // `base` is the corpus a re-train should start from.
+  void UpdateModel(const std::vector<ce::LabeledExample>& incremental,
+                   const std::vector<ce::LabeledExample>& base);
+
+  AdapterContext context_;
+};
+
+}  // namespace warper::baselines
+
+#endif  // WARPER_BASELINES_ADAPTER_H_

@@ -1,0 +1,72 @@
+#include "baselines/aug.h"
+
+#include "util/status.h"
+
+namespace warper::baselines {
+
+std::vector<ce::LabeledExample> SynthesizeNoisy(
+    const ce::QueryDomain& domain, const std::vector<ce::LabeledExample>& seeds,
+    size_t count, double noise_stddev, util::Rng* rng) {
+  WARPER_CHECK(!seeds.empty());
+  std::vector<ce::LabeledExample> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const ce::LabeledExample& seed = seeds[static_cast<size_t>(
+        rng->UniformInt(0, static_cast<int64_t>(seeds.size()) - 1))];
+    std::vector<double> features = seed.features;
+    for (double& f : features) f += rng->Normal(0.0, noise_stddev);
+    out.push_back({domain.CanonicalizeFeatures(features), -1});
+  }
+  return out;
+}
+
+AugAdapter::AugAdapter(const AdapterContext& context, double gen_fraction)
+    : Adapter(context), gen_fraction_(gen_fraction), rng_(context.seed) {}
+
+StepStats AugAdapter::Step(const std::vector<ce::LabeledExample>& arrived,
+                           const StepInfo& info) {
+  StepStats stats;
+  size_t budget = info.annotation_budget;
+
+  std::vector<ce::LabeledExample> batch = arrived;
+  rng_.Shuffle(&batch);
+  size_t used = Annotate(&batch, budget);
+  stats.annotated += used;
+  budget -= used;
+
+  std::vector<ce::LabeledExample> labeled_batch;
+  for (const auto& q : batch) {
+    if (q.cardinality >= 0) labeled_batch.push_back(q);
+  }
+
+  // Synthesize noisy copies of this step's arrivals and annotate them.
+  size_t n_g = static_cast<size_t>(gen_fraction_ *
+                                   static_cast<double>(arrived.size()));
+  if (n_g >= 1 && !arrived.empty()) {
+    std::vector<ce::LabeledExample> synthetic =
+        SynthesizeNoisy(*context_.domain, arrived, n_g, /*noise_stddev=*/0.1,
+                        &rng_);
+    stats.synthesized = synthetic.size();
+    used = Annotate(&synthetic, budget);
+    stats.annotated += used;
+    for (const auto& q : synthetic) {
+      if (q.cardinality >= 0) labeled_batch.push_back(q);
+    }
+  }
+
+  new_labeled_.insert(new_labeled_.end(), labeled_batch.begin(),
+                      labeled_batch.end());
+  if (new_labeled_.empty()) return stats;
+  // Match Warper's update volume (§4.1): an n_p-sized uniform sample with
+  // replacement over the accumulated new + synthetic labeled queries.
+  std::vector<ce::LabeledExample> sample(kUpdateSampleSize);
+  for (size_t i = 0; i < kUpdateSampleSize; ++i) {
+    sample[i] = new_labeled_[static_cast<size_t>(rng_.UniformInt(
+        0, static_cast<int64_t>(new_labeled_.size()) - 1))];
+  }
+  UpdateModel(sample, *context_.train_corpus);
+  stats.model_updated = true;
+  return stats;
+}
+
+}  // namespace warper::baselines

@@ -1,0 +1,38 @@
+// AUG: heuristic data augmentation (§4.1) — "adds a Gaussian noise (with a
+// standard deviation of 10% of each column's value range) to the value in
+// each clause", then computes ground truth for the synthetic queries.
+#ifndef WARPER_BASELINES_AUG_H_
+#define WARPER_BASELINES_AUG_H_
+
+#include "baselines/adapter.h"
+#include "util/rng.h"
+
+namespace warper::baselines {
+
+// Synthesizes `count` noisy copies of (uniformly sampled) `seeds` by adding
+// N(0, noise_stddev²) in the normalized feature space (0.1 ≙ 10% of each
+// column's value range) and re-canonicalizing through the domain. Shared by
+// AUG, HEM, and the G→AUG ablation.
+std::vector<ce::LabeledExample> SynthesizeNoisy(
+    const ce::QueryDomain& domain, const std::vector<ce::LabeledExample>& seeds,
+    size_t count, double noise_stddev, util::Rng* rng);
+
+class AugAdapter : public Adapter {
+ public:
+  // n_g = gen_fraction · n_t synthetic queries per step, matching Warper's
+  // generation volume (§4.1 "Warper, AUG and HEM synthesize n_g = 10% n_t").
+  AugAdapter(const AdapterContext& context, double gen_fraction = 0.1);
+
+  std::string Name() const override { return "AUG"; }
+  StepStats Step(const std::vector<ce::LabeledExample>& arrived,
+                 const StepInfo& info) override;
+
+ private:
+  double gen_fraction_;
+  util::Rng rng_;
+  std::vector<ce::LabeledExample> new_labeled_;
+};
+
+}  // namespace warper::baselines
+
+#endif  // WARPER_BASELINES_AUG_H_

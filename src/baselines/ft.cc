@@ -1,0 +1,30 @@
+#include "baselines/ft.h"
+
+namespace warper::baselines {
+
+FtAdapter::FtAdapter(const AdapterContext& context)
+    : Adapter(context), rng_(context.seed) {}
+
+std::string FtAdapter::Name() const {
+  return context_.model->update_mode() == ce::UpdateMode::kFineTune ? "FT"
+                                                                    : "RT";
+}
+
+StepStats FtAdapter::Step(const std::vector<ce::LabeledExample>& arrived,
+                          const StepInfo& info) {
+  StepStats stats;
+  std::vector<ce::LabeledExample> batch = arrived;
+  // Uniform-random annotation within budget (the paper's FT counterpart for
+  // picker-based methods in c1/c3).
+  rng_.Shuffle(&batch);
+  stats.annotated = Annotate(&batch, info.annotation_budget);
+  for (const auto& q : batch) {
+    if (q.cardinality >= 0) new_labeled_.push_back(q);
+  }
+  if (new_labeled_.empty()) return stats;
+  UpdateModel(new_labeled_, *context_.train_corpus);
+  stats.model_updated = true;
+  return stats;
+}
+
+}  // namespace warper::baselines

@@ -1,0 +1,29 @@
+// FT: fine-tuning (or re-training, when the model cannot fine-tune) on the
+// newly arrived queries — the reference baseline every speedup is measured
+// against (§4.1). When labels are withheld (c1/c3 scenarios), FT annotates a
+// uniformly random subset within the step's budget.
+#ifndef WARPER_BASELINES_FT_H_
+#define WARPER_BASELINES_FT_H_
+
+#include "baselines/adapter.h"
+#include "util/rng.h"
+
+namespace warper::baselines {
+
+class FtAdapter : public Adapter {
+ public:
+  explicit FtAdapter(const AdapterContext& context);
+
+  std::string Name() const override;
+  StepStats Step(const std::vector<ce::LabeledExample>& arrived,
+                 const StepInfo& info) override;
+
+ private:
+  util::Rng rng_;
+  // Cumulative labeled queries from the new workload this episode.
+  std::vector<ce::LabeledExample> new_labeled_;
+};
+
+}  // namespace warper::baselines
+
+#endif  // WARPER_BASELINES_FT_H_

@@ -1,0 +1,75 @@
+#include "baselines/hem.h"
+
+#include <cmath>
+
+#include "baselines/aug.h"
+#include "ce/metrics.h"
+#include "util/status.h"
+
+namespace warper::baselines {
+
+HemAdapter::HemAdapter(const AdapterContext& context, double gen_fraction)
+    : Adapter(context), gen_fraction_(gen_fraction), rng_(context.seed) {}
+
+StepStats HemAdapter::Step(const std::vector<ce::LabeledExample>& arrived,
+                           const StepInfo& info) {
+  StepStats stats;
+  size_t budget = info.annotation_budget;
+
+  std::vector<ce::LabeledExample> batch = arrived;
+  rng_.Shuffle(&batch);
+  size_t used = Annotate(&batch, budget);
+  stats.annotated += used;
+  budget -= used;
+
+  std::vector<ce::LabeledExample> labeled_batch;
+  for (const auto& q : batch) {
+    if (q.cardinality >= 0) labeled_batch.push_back(q);
+  }
+
+  if (!labeled_batch.empty()) {
+    // Weight by the model's q-error and resample the hard examples.
+    std::vector<double> weights(labeled_batch.size());
+    for (size_t i = 0; i < labeled_batch.size(); ++i) {
+      double est =
+          context_.model->EstimateCardinality(labeled_batch[i].features);
+      weights[i] = std::log(
+          ce::QError(est, static_cast<double>(labeled_batch[i].cardinality)));
+    }
+    std::vector<ce::LabeledExample> mined;
+    for (size_t i = 0; i < labeled_batch.size(); ++i) {
+      mined.push_back(labeled_batch[rng_.Categorical(weights)]);
+    }
+    labeled_batch = std::move(mined);
+
+    // AUG-style noisy synthetic copies of the mined hard examples.
+    size_t n_g = static_cast<size_t>(gen_fraction_ *
+                                     static_cast<double>(arrived.size()));
+    if (n_g >= 1) {
+      std::vector<ce::LabeledExample> synthetic = SynthesizeNoisy(
+          *context_.domain, labeled_batch, n_g, /*noise_stddev=*/0.1, &rng_);
+      stats.synthesized = synthetic.size();
+      used = Annotate(&synthetic, budget);
+      stats.annotated += used;
+      for (const auto& q : synthetic) {
+        if (q.cardinality >= 0) labeled_batch.push_back(q);
+      }
+    }
+  }
+
+  new_labeled_.insert(new_labeled_.end(), labeled_batch.begin(),
+                      labeled_batch.end());
+  if (new_labeled_.empty()) return stats;
+  // n_p-sized uniform resample over the mined + synthetic labeled queries
+  // (the error-weighting already happened at mining time).
+  std::vector<ce::LabeledExample> sample(kUpdateSampleSize);
+  for (size_t i = 0; i < kUpdateSampleSize; ++i) {
+    sample[i] = new_labeled_[static_cast<size_t>(rng_.UniformInt(
+        0, static_cast<int64_t>(new_labeled_.size()) - 1))];
+  }
+  UpdateModel(sample, *context_.train_corpus);
+  stats.model_updated = true;
+  return stats;
+}
+
+}  // namespace warper::baselines

@@ -1,0 +1,28 @@
+// HEM: hard example mining (§4.1) — evaluates the model on the newly
+// arrived queries and updates it "using the queries weighted by evaluation
+// error", with the AUG random noise applied "to robustly build HEM".
+#ifndef WARPER_BASELINES_HEM_H_
+#define WARPER_BASELINES_HEM_H_
+
+#include "baselines/adapter.h"
+#include "util/rng.h"
+
+namespace warper::baselines {
+
+class HemAdapter : public Adapter {
+ public:
+  HemAdapter(const AdapterContext& context, double gen_fraction = 0.1);
+
+  std::string Name() const override { return "HEM"; }
+  StepStats Step(const std::vector<ce::LabeledExample>& arrived,
+                 const StepInfo& info) override;
+
+ private:
+  double gen_fraction_;
+  util::Rng rng_;
+  std::vector<ce::LabeledExample> new_labeled_;
+};
+
+}  // namespace warper::baselines
+
+#endif  // WARPER_BASELINES_HEM_H_

@@ -1,0 +1,34 @@
+#include "baselines/mix.h"
+
+#include <algorithm>
+
+namespace warper::baselines {
+
+MixAdapter::MixAdapter(const AdapterContext& context)
+    : Adapter(context), rng_(context.seed) {}
+
+StepStats MixAdapter::Step(const std::vector<ce::LabeledExample>& arrived,
+                           const StepInfo& info) {
+  StepStats stats;
+  std::vector<ce::LabeledExample> batch = arrived;
+  rng_.Shuffle(&batch);
+  stats.annotated = Annotate(&batch, info.annotation_budget);
+  for (const auto& q : batch) {
+    if (q.cardinality >= 0) new_labeled_.push_back(q);
+  }
+  if (new_labeled_.empty()) return stats;
+
+  // Fine-tune on new ∪ (a matched-size sample of) train so the update sees
+  // both distributions; re-training models get the full union via base.
+  std::vector<ce::LabeledExample> mixture = new_labeled_;
+  size_t take = std::min(context_.train_corpus->size(), new_labeled_.size());
+  std::vector<size_t> idx =
+      rng_.SampleWithoutReplacement(context_.train_corpus->size(), take);
+  for (size_t i : idx) mixture.push_back((*context_.train_corpus)[i]);
+
+  UpdateModel(mixture, *context_.train_corpus);
+  stats.model_updated = true;
+  return stats;
+}
+
+}  // namespace warper::baselines

@@ -1,0 +1,28 @@
+// MIX: updates the model on a mixture of the original training workload and
+// the newly arrived queries (§4.1). No synthetic queries, no extra labels —
+// it "can be helpful based on the similarity between the training and the
+// testing distributions".
+#ifndef WARPER_BASELINES_MIX_H_
+#define WARPER_BASELINES_MIX_H_
+
+#include "baselines/adapter.h"
+#include "util/rng.h"
+
+namespace warper::baselines {
+
+class MixAdapter : public Adapter {
+ public:
+  explicit MixAdapter(const AdapterContext& context);
+
+  std::string Name() const override { return "MIX"; }
+  StepStats Step(const std::vector<ce::LabeledExample>& arrived,
+                 const StepInfo& info) override;
+
+ private:
+  util::Rng rng_;
+  std::vector<ce::LabeledExample> new_labeled_;
+};
+
+}  // namespace warper::baselines
+
+#endif  // WARPER_BASELINES_MIX_H_

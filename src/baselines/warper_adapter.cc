@@ -1,0 +1,45 @@
+#include "baselines/warper_adapter.h"
+
+namespace warper::baselines {
+
+WarperAdapter::WarperAdapter(const AdapterContext& context,
+                             const core::WarperConfig& config)
+    : Adapter(context) {
+  core::WarperConfig seeded = config;
+  seeded.seed = context.seed;
+  warper_ = std::make_unique<core::Warper>(context.domain, context.model,
+                                           seeded);
+  warper_->Initialize(*context.train_corpus);
+}
+
+std::string WarperAdapter::Name() const {
+  const core::WarperConfig& c = warper_->config();
+  if (c.picker_variant == core::PickerVariant::kRandom) {
+    return "Warper(P->rnd)";
+  }
+  if (c.picker_variant == core::PickerVariant::kEntropy) {
+    return "Warper(P->entropy)";
+  }
+  if (c.generator_variant == core::GeneratorVariant::kNoiseAug) {
+    return "Warper(G->AUG)";
+  }
+  return "Warper";
+}
+
+StepStats WarperAdapter::Step(const std::vector<ce::LabeledExample>& arrived,
+                              const StepInfo& info) {
+  core::Warper::Invocation invocation;
+  invocation.new_queries = arrived;
+  invocation.data_changed_fraction = info.data_changed_fraction;
+  invocation.canary_shift = info.canary_shift;
+  invocation.annotation_budget = info.annotation_budget;
+  last_result_ = warper_->Invoke(invocation);
+
+  StepStats stats;
+  stats.annotated = last_result_.annotated;
+  stats.synthesized = last_result_.generated;
+  stats.model_updated = last_result_.model_updated;
+  return stats;
+}
+
+}  // namespace warper::baselines

@@ -1,0 +1,36 @@
+// Wraps the core::Warper controller in the Adapter interface so the
+// experiment harness drives Warper and the baselines identically.
+#ifndef WARPER_BASELINES_WARPER_ADAPTER_H_
+#define WARPER_BASELINES_WARPER_ADAPTER_H_
+
+#include <memory>
+
+#include "baselines/adapter.h"
+#include "core/warper.h"
+
+namespace warper::baselines {
+
+class WarperAdapter : public Adapter {
+ public:
+  // Builds and initializes a Warper instance around the context's model and
+  // domain (the model must already be trained).
+  WarperAdapter(const AdapterContext& context,
+                const core::WarperConfig& config);
+
+  std::string Name() const override;
+  StepStats Step(const std::vector<ce::LabeledExample>& arrived,
+                 const StepInfo& info) override;
+
+  core::Warper& warper() { return *warper_; }
+  const core::Warper::InvocationResult& last_result() const {
+    return last_result_;
+  }
+
+ private:
+  std::unique_ptr<core::Warper> warper_;
+  core::Warper::InvocationResult last_result_;
+};
+
+}  // namespace warper::baselines
+
+#endif  // WARPER_BASELINES_WARPER_ADAPTER_H_

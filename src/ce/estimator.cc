@@ -1,0 +1,40 @@
+#include "ce/estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/status.h"
+
+namespace warper::ce {
+
+double CardToTarget(int64_t cardinality) {
+  WARPER_CHECK(cardinality >= 0);
+  return std::log1p(static_cast<double>(cardinality));
+}
+
+double TargetToCard(double target) {
+  return std::max(0.0, std::expm1(target));
+}
+
+void ExamplesToMatrix(const std::vector<LabeledExample>& examples,
+                      nn::Matrix* x, std::vector<double>* y) {
+  WARPER_CHECK(!examples.empty());
+  size_t d = examples[0].features.size();
+  *x = nn::Matrix(examples.size(), d);
+  y->resize(examples.size());
+  for (size_t i = 0; i < examples.size(); ++i) {
+    WARPER_CHECK(examples[i].features.size() == d);
+    x->SetRow(i, examples[i].features);
+    (*y)[i] = CardToTarget(examples[i].cardinality);
+  }
+}
+
+double CardinalityEstimator::EstimateCardinality(
+    const std::vector<double>& features) const {
+  nn::Matrix x(1, features.size());
+  x.SetRow(0, features);
+  std::vector<double> targets = EstimateTargets(x);
+  return TargetToCard(targets[0]);
+}
+
+}  // namespace warper::ce

@@ -1,0 +1,64 @@
+// The black-box CE model interface M (§3.2): "any function that emits a
+// cardinality for a given query predicate, which can update() itself using
+// additional labeled predicates". Warper never sees the model internals —
+// only Train / Update / Estimate over the domain's canonical features.
+#ifndef WARPER_CE_ESTIMATOR_H_
+#define WARPER_CE_ESTIMATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace warper::ce {
+
+// How a model incorporates new labeled queries (§2): iteratively trained
+// models (NNs) fine-tune for a few more epochs; tree/kernel models re-train
+// from scratch.
+enum class UpdateMode { kFineTune, kRetrain };
+
+// log1p-transformed cardinality — the regression target used by all models.
+double CardToTarget(int64_t cardinality);
+// Inverse transform; clamps to [0, ∞).
+double TargetToCard(double target);
+
+// A labeled training example in a domain's canonical featurization.
+struct LabeledExample {
+  std::vector<double> features;
+  int64_t cardinality = 0;
+};
+
+// Row-stacks examples into (x, y) for the model APIs.
+void ExamplesToMatrix(const std::vector<LabeledExample>& examples,
+                      nn::Matrix* x, std::vector<double>* y);
+
+class CardinalityEstimator {
+ public:
+  virtual ~CardinalityEstimator() = default;
+
+  virtual std::string Name() const = 0;
+  virtual UpdateMode update_mode() const = 0;
+
+  // Trains from scratch on (features, log-card target) pairs.
+  virtual void Train(const nn::Matrix& x, const std::vector<double>& y) = 0;
+
+  // Model-specific update with additional labeled queries: fine-tuning
+  // models run a few more epochs over `x`; re-training models re-fit from
+  // scratch on `x` (callers pass the full corpus for those — see
+  // UpdateMode).
+  virtual void Update(const nn::Matrix& x, const std::vector<double>& y) = 0;
+
+  // Predicted log-card targets for a batch of feature rows.
+  virtual std::vector<double> EstimateTargets(const nn::Matrix& x) const = 0;
+
+  virtual bool trained() const = 0;
+
+  // Convenience: predicted cardinality for one query.
+  double EstimateCardinality(const std::vector<double>& features) const;
+};
+
+}  // namespace warper::ce
+
+#endif  // WARPER_CE_ESTIMATOR_H_

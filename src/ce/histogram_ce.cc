@@ -1,0 +1,84 @@
+#include "ce/histogram_ce.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/status.h"
+
+namespace warper::ce {
+
+HistogramEstimator::HistogramEstimator(const storage::Table& table,
+                                       size_t buckets_per_column)
+    : table_(&table), buckets_(buckets_per_column) {
+  WARPER_CHECK(buckets_per_column > 0);
+  WARPER_CHECK(table.NumRows() > 0);
+  size_t n = table.NumRows();
+
+  histograms_.resize(table.NumColumns());
+  for (size_t c = 0; c < table.NumColumns(); ++c) {
+    std::vector<double> values = table.column(c).values();
+    std::sort(values.begin(), values.end());
+
+    ColumnHistogram& h = histograms_[c];
+    h.min = values.front();
+    h.max = values.back();
+    size_t buckets = std::min(buckets_, n);
+    h.edges.reserve(buckets + 1);
+    h.counts.assign(buckets, 0.0);
+    // Equi-depth edges at the value quantiles.
+    h.edges.push_back(h.min);
+    for (size_t b = 1; b < buckets; ++b) {
+      size_t idx = b * n / buckets;
+      h.edges.push_back(values[idx]);
+    }
+    h.edges.push_back(h.max);
+    // Count rows per bucket (duplicated edges make buckets uneven; counts
+    // reflect the actual data rather than assuming perfect equi-depth).
+    for (double v : values) {
+      size_t b = static_cast<size_t>(
+          std::upper_bound(h.edges.begin() + 1, h.edges.end() - 1, v) -
+          (h.edges.begin() + 1));
+      h.counts[b] += 1.0;
+    }
+  }
+}
+
+double HistogramEstimator::ColumnSelectivity(size_t col, double low,
+                                             double high) const {
+  WARPER_CHECK(col < histograms_.size());
+  const ColumnHistogram& h = histograms_[col];
+  if (high < low || high < h.min || low > h.max) return 0.0;
+  low = std::max(low, h.min);
+  high = std::min(high, h.max);
+
+  double rows = 0.0;
+  double total = static_cast<double>(table_->NumRows());
+  for (size_t b = 0; b < h.counts.size(); ++b) {
+    double b_lo = h.edges[b];
+    double b_hi = h.edges[b + 1];
+    if (b_hi < low || b_lo > high) continue;
+    double width = b_hi - b_lo;
+    if (width <= 0.0) {
+      // Degenerate bucket (repeated value): in or out as a whole.
+      if (b_lo >= low && b_lo <= high) rows += h.counts[b];
+      continue;
+    }
+    // Uniform-within-bucket interpolation.
+    double overlap = std::min(high, b_hi) - std::max(low, b_lo);
+    rows += h.counts[b] * std::clamp(overlap / width, 0.0, 1.0);
+  }
+  return std::clamp(rows / total, 0.0, 1.0);
+}
+
+double HistogramEstimator::Estimate(const storage::RangePredicate& pred) const {
+  WARPER_CHECK(pred.NumColumns() == table_->NumColumns());
+  double selectivity = 1.0;
+  for (size_t c = 0; c < pred.NumColumns(); ++c) {
+    if (!pred.Constrains(*table_, c)) continue;
+    selectivity *= ColumnSelectivity(c, pred.low[c], pred.high[c]);
+    if (selectivity == 0.0) break;
+  }
+  return selectivity * static_cast<double>(table_->NumRows());
+}
+
+}  // namespace warper::ce

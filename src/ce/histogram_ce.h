@@ -1,0 +1,51 @@
+// A classical, non-learned cardinality estimator: per-column equi-depth
+// histograms combined under the attribute-value-independence (AVI)
+// assumption — what query optimizers use before any learning. Included as
+// the reference point the learned-CE literature (and this paper's §1)
+// measures against: it needs no training workload and never drifts with the
+// workload, but it cannot capture cross-column correlation, which is exactly
+// where the learned models win.
+#ifndef WARPER_CE_HISTOGRAM_CE_H_
+#define WARPER_CE_HISTOGRAM_CE_H_
+
+#include <vector>
+
+#include "storage/predicate.h"
+#include "storage/table.h"
+
+namespace warper::ce {
+
+class HistogramEstimator {
+ public:
+  // Builds `buckets_per_column` equi-depth buckets per column from the
+  // table's current contents. Rebuild after data drifts.
+  HistogramEstimator(const storage::Table& table, size_t buckets_per_column = 64);
+
+  // Estimated cardinality of a conjunctive range predicate under AVI:
+  //   |T| · ∏_i sel_i(low_i, high_i).
+  double Estimate(const storage::RangePredicate& pred) const;
+
+  // Estimated selectivity of one column's range, in [0, 1].
+  double ColumnSelectivity(size_t col, double low, double high) const;
+
+  size_t buckets_per_column() const { return buckets_; }
+
+ private:
+  struct ColumnHistogram {
+    // Ascending bucket boundaries; bucket b covers
+    // [edges[b], edges[b+1]) (last bucket closed on the right).
+    std::vector<double> edges;
+    // Rows per bucket.
+    std::vector<double> counts;
+    double min = 0.0;
+    double max = 0.0;
+  };
+
+  const storage::Table* table_;
+  size_t buckets_;
+  std::vector<ColumnHistogram> histograms_;
+};
+
+}  // namespace warper::ce
+
+#endif  // WARPER_CE_HISTOGRAM_CE_H_

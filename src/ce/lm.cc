@@ -1,0 +1,115 @@
+#include "ce/lm.h"
+
+#include "util/status.h"
+
+namespace warper::ce {
+
+// --- LmMlp ---
+
+LmMlp::LmMlp(size_t feature_dim, const LmMlpConfig& config, uint64_t seed)
+    : feature_dim_(feature_dim), config_(config), rng_(seed) {
+  nn::MlpConfig mlp_config;
+  mlp_config.layer_sizes.push_back(feature_dim);
+  for (size_t h : config.hidden) mlp_config.layer_sizes.push_back(h);
+  mlp_config.layer_sizes.push_back(1);
+  mlp_config.hidden_activation = nn::Activation::kRelu;
+  mlp_ = nn::Mlp(mlp_config, &rng_);
+}
+
+void LmMlp::Fit(const nn::Matrix& x, const std::vector<double>& y, int epochs) {
+  WARPER_CHECK(x.cols() == feature_dim_);
+  nn::Matrix targets(y.size(), 1);
+  for (size_t i = 0; i < y.size(); ++i) targets.At(i, 0) = y[i];
+  nn::TrainConfig tc;
+  tc.epochs = epochs;
+  tc.batch_size = config_.batch_size;
+  tc.optimizer.learning_rate = config_.learning_rate;
+  nn::TrainRegressor(&mlp_, x, targets, tc, &rng_);
+  trained_ = true;
+}
+
+void LmMlp::Train(const nn::Matrix& x, const std::vector<double>& y) {
+  Fit(x, y, config_.train_epochs);
+}
+
+void LmMlp::Update(const nn::Matrix& x, const std::vector<double>& y) {
+  // Fine-tune: a few more epochs on the updated workload (§2).
+  Fit(x, y, config_.finetune_epochs);
+}
+
+std::vector<double> LmMlp::EstimateTargets(const nn::Matrix& x) const {
+  WARPER_CHECK(trained_);
+  nn::Matrix out = mlp_.Predict(x);
+  std::vector<double> targets(out.rows());
+  for (size_t i = 0; i < out.rows(); ++i) targets[i] = out.At(i, 0);
+  return targets;
+}
+
+// --- LmGbt ---
+
+LmGbt::LmGbt(size_t feature_dim, const LmGbtConfig& config, uint64_t seed)
+    : feature_dim_(feature_dim), config_(config), rng_(seed) {}
+
+void LmGbt::Train(const nn::Matrix& x, const std::vector<double>& y) {
+  WARPER_CHECK(x.cols() == feature_dim_);
+  model_.Fit(x, y, config_.gbt, &rng_);
+}
+
+void LmGbt::Update(const nn::Matrix& x, const std::vector<double>& y) {
+  // Trees cannot be fine-tuned; re-train from scratch on the given corpus.
+  Train(x, y);
+}
+
+std::vector<double> LmGbt::EstimateTargets(const nn::Matrix& x) const {
+  WARPER_CHECK(model_.fitted());
+  std::vector<double> targets(x.rows());
+  for (size_t i = 0; i < x.rows(); ++i) targets[i] = model_.Predict(x.Row(i));
+  return targets;
+}
+
+// --- LmKernel ---
+
+LmKernel::LmKernel(size_t feature_dim, const ml::KernelRidgeConfig& config,
+                   uint64_t seed)
+    : feature_dim_(feature_dim), config_(config), rng_(seed) {}
+
+std::string LmKernel::Name() const {
+  return config_.kernel == ml::KernelKind::kPolynomial ? "LM-ply" : "LM-rbf";
+}
+
+void LmKernel::Train(const nn::Matrix& x, const std::vector<double>& y) {
+  WARPER_CHECK(x.cols() == feature_dim_);
+  model_.Fit(x, y, config_, &rng_);
+}
+
+void LmKernel::Update(const nn::Matrix& x, const std::vector<double>& y) {
+  Train(x, y);
+}
+
+std::vector<double> LmKernel::EstimateTargets(const nn::Matrix& x) const {
+  WARPER_CHECK(model_.fitted());
+  std::vector<double> targets(x.rows());
+  for (size_t i = 0; i < x.rows(); ++i) targets[i] = model_.Predict(x.Row(i));
+  return targets;
+}
+
+std::unique_ptr<CardinalityEstimator> MakeLmPly(size_t feature_dim,
+                                                uint64_t seed) {
+  ml::KernelRidgeConfig config;
+  config.kernel = ml::KernelKind::kPolynomial;
+  config.degree = 5;
+  config.gamma = 0.5;
+  config.ridge = 1e-2;
+  return std::make_unique<LmKernel>(feature_dim, config, seed);
+}
+
+std::unique_ptr<CardinalityEstimator> MakeLmRbf(size_t feature_dim,
+                                                uint64_t seed) {
+  ml::KernelRidgeConfig config;
+  config.kernel = ml::KernelKind::kRbf;
+  config.gamma = 2.0;
+  config.ridge = 1e-3;
+  return std::make_unique<LmKernel>(feature_dim, config, seed);
+}
+
+}  // namespace warper::ce

@@ -1,0 +1,102 @@
+// The LM family of estimators (Dutt et al., "Selectivity Estimation for
+// Range Predicates Using Lightweight Models", VLDB'19) as used in the paper:
+// a lightweight regressor over the {low_1..low_d, high_1..high_d}
+// featurization, in four variants (§4.1 / §4.1.2):
+//   LM-mlp  multi-layer perceptron          — fine-tunes
+//   LM-gbt  gradient boosted trees          — re-trains
+//   LM-ply  5-degree polynomial kernel SVM  — re-trains (see kernel_ridge.h
+//   LM-rbf  RBF kernel SVM                  —   for the substitution note)
+#ifndef WARPER_CE_LM_H_
+#define WARPER_CE_LM_H_
+
+#include <memory>
+
+#include "ce/estimator.h"
+#include "ml/gbt.h"
+#include "ml/kernel_ridge.h"
+#include "nn/mlp.h"
+#include "nn/trainer.h"
+#include "util/rng.h"
+
+namespace warper::ce {
+
+struct LmMlpConfig {
+  std::vector<size_t> hidden = {128, 64};
+  int train_epochs = 60;
+  int finetune_epochs = 8;
+  size_t batch_size = 32;      // paper §4.1
+  double learning_rate = 1e-3; // paper §4.1
+};
+
+class LmMlp : public CardinalityEstimator {
+ public:
+  LmMlp(size_t feature_dim, const LmMlpConfig& config, uint64_t seed);
+
+  std::string Name() const override { return "LM-mlp"; }
+  UpdateMode update_mode() const override { return UpdateMode::kFineTune; }
+  void Train(const nn::Matrix& x, const std::vector<double>& y) override;
+  void Update(const nn::Matrix& x, const std::vector<double>& y) override;
+  std::vector<double> EstimateTargets(const nn::Matrix& x) const override;
+  bool trained() const override { return trained_; }
+
+ private:
+  void Fit(const nn::Matrix& x, const std::vector<double>& y, int epochs);
+
+  size_t feature_dim_;
+  LmMlpConfig config_;
+  util::Rng rng_;
+  nn::Mlp mlp_;
+  bool trained_ = false;
+};
+
+struct LmGbtConfig {
+  ml::GbtConfig gbt;
+};
+
+class LmGbt : public CardinalityEstimator {
+ public:
+  LmGbt(size_t feature_dim, const LmGbtConfig& config, uint64_t seed);
+
+  std::string Name() const override { return "LM-gbt"; }
+  UpdateMode update_mode() const override { return UpdateMode::kRetrain; }
+  void Train(const nn::Matrix& x, const std::vector<double>& y) override;
+  void Update(const nn::Matrix& x, const std::vector<double>& y) override;
+  std::vector<double> EstimateTargets(const nn::Matrix& x) const override;
+  bool trained() const override { return model_.fitted(); }
+
+ private:
+  size_t feature_dim_;
+  LmGbtConfig config_;
+  util::Rng rng_;
+  ml::GradientBoostedTrees model_;
+};
+
+// LM-ply (polynomial kernel) and LM-rbf (RBF kernel).
+class LmKernel : public CardinalityEstimator {
+ public:
+  LmKernel(size_t feature_dim, const ml::KernelRidgeConfig& config,
+           uint64_t seed);
+
+  std::string Name() const override;
+  UpdateMode update_mode() const override { return UpdateMode::kRetrain; }
+  void Train(const nn::Matrix& x, const std::vector<double>& y) override;
+  void Update(const nn::Matrix& x, const std::vector<double>& y) override;
+  std::vector<double> EstimateTargets(const nn::Matrix& x) const override;
+  bool trained() const override { return model_.fitted(); }
+
+ private:
+  size_t feature_dim_;
+  ml::KernelRidgeConfig config_;
+  util::Rng rng_;
+  ml::KernelRidgeRegressor model_;
+};
+
+// Factory helpers matching the paper's model names.
+std::unique_ptr<CardinalityEstimator> MakeLmPly(size_t feature_dim,
+                                                uint64_t seed);
+std::unique_ptr<CardinalityEstimator> MakeLmRbf(size_t feature_dim,
+                                                uint64_t seed);
+
+}  // namespace warper::ce
+
+#endif  // WARPER_CE_LM_H_

@@ -1,0 +1,46 @@
+#include "ce/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stats.h"
+#include "util/status.h"
+
+namespace warper::ce {
+
+double QError(double estimated, double actual, double theta) {
+  WARPER_CHECK(theta > 0.0);
+  double g = std::max(estimated, theta);
+  double a = std::max(actual, theta);
+  return std::max(g / a, a / g);
+}
+
+double Gmq(const std::vector<double>& estimated,
+           const std::vector<double>& actual, double theta) {
+  WARPER_CHECK(estimated.size() == actual.size());
+  WARPER_CHECK(!estimated.empty());
+  std::vector<double> qerrors(estimated.size());
+  for (size_t i = 0; i < estimated.size(); ++i) {
+    qerrors[i] = QError(estimated[i], actual[i], theta);
+  }
+  return util::GeometricMean(qerrors);
+}
+
+double ModelGmq(const CardinalityEstimator& model,
+                const std::vector<LabeledExample>& examples, double theta) {
+  WARPER_CHECK(!examples.empty());
+  nn::Matrix x(examples.size(), examples[0].features.size());
+  std::vector<double> actual(examples.size());
+  for (size_t i = 0; i < examples.size(); ++i) {
+    x.SetRow(i, examples[i].features);
+    actual[i] = static_cast<double>(examples[i].cardinality);
+  }
+  std::vector<double> targets = model.EstimateTargets(x);
+  std::vector<double> estimated(targets.size());
+  for (size_t i = 0; i < targets.size(); ++i) {
+    estimated[i] = TargetToCard(targets[i]);
+  }
+  return Gmq(estimated, actual, theta);
+}
+
+}  // namespace warper::ce

@@ -1,0 +1,31 @@
+// CE accuracy metrics (§4.1): the q-error
+//   q_θ(g, ĝ) = max( max(g,θ)/max(ĝ,θ), max(ĝ,θ)/max(g,θ) )
+// with θ = 10 following the paper, and GMQ — the geometric mean of q-errors
+// over a test workload.
+#ifndef WARPER_CE_METRICS_H_
+#define WARPER_CE_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ce/estimator.h"
+
+namespace warper::ce {
+
+inline constexpr double kQErrorTheta = 10.0;
+
+// q-error between an estimated and an actual cardinality.
+double QError(double estimated, double actual, double theta = kQErrorTheta);
+
+// Geometric mean of q-errors; requires non-empty aligned vectors.
+double Gmq(const std::vector<double>& estimated,
+           const std::vector<double>& actual, double theta = kQErrorTheta);
+
+// GMQ of a model over labeled examples (batched inference).
+double ModelGmq(const CardinalityEstimator& model,
+                const std::vector<LabeledExample>& examples,
+                double theta = kQErrorTheta);
+
+}  // namespace warper::ce
+
+#endif  // WARPER_CE_METRICS_H_

@@ -1,0 +1,80 @@
+#include "ce/model_io.h"
+
+#include <cstdint>
+#include <fstream>
+
+namespace warper::ce {
+namespace {
+
+constexpr uint64_t kMagic = 0x57524D4C50563031ULL;  // "WRMLPV01"
+
+}  // namespace
+
+Status SaveMlp(const nn::Mlp& mlp, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::Internal("cannot open '" + path + "' for writing");
+
+  out.write(reinterpret_cast<const char*>(&kMagic), sizeof(kMagic));
+  uint64_t num_layers = mlp.config().layer_sizes.size();
+  out.write(reinterpret_cast<const char*>(&num_layers), sizeof(num_layers));
+  for (size_t s : mlp.config().layer_sizes) {
+    uint64_t size = s;
+    out.write(reinterpret_cast<const char*>(&size), sizeof(size));
+  }
+  std::vector<double> params = mlp.GetParameters();
+  uint64_t count = params.size();
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  out.write(reinterpret_cast<const char*>(params.data()),
+            static_cast<std::streamsize>(count * sizeof(double)));
+  if (!out) return Status::Internal("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+Status LoadMlp(nn::Mlp* mlp, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+
+  uint64_t magic = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  if (!in || magic != kMagic) {
+    return Status::InvalidArgument("'" + path + "' is not a Warper MLP file");
+  }
+  uint64_t num_layers = 0;
+  in.read(reinterpret_cast<char*>(&num_layers), sizeof(num_layers));
+  if (!in || num_layers != mlp->config().layer_sizes.size()) {
+    return Status::FailedPrecondition("layer count mismatch loading '" + path +
+                                      "'");
+  }
+  for (size_t expected : mlp->config().layer_sizes) {
+    uint64_t size = 0;
+    in.read(reinterpret_cast<char*>(&size), sizeof(size));
+    if (!in || size != expected) {
+      return Status::FailedPrecondition("layer size mismatch loading '" +
+                                        path + "'");
+    }
+  }
+  uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in || count != mlp->ParameterCount()) {
+    return Status::FailedPrecondition("parameter count mismatch loading '" +
+                                      path + "'");
+  }
+  std::vector<double> params(count);
+  in.read(reinterpret_cast<char*>(params.data()),
+          static_cast<std::streamsize>(count * sizeof(double)));
+  if (!in) return Status::Internal("truncated file '" + path + "'");
+  mlp->SetParameters(params);
+  return Status::OK();
+}
+
+MlpSnapshot::MlpSnapshot(const nn::Mlp& mlp)
+    : layer_sizes_(mlp.config().layer_sizes),
+      parameters_(mlp.GetParameters()) {}
+
+void MlpSnapshot::RestoreTo(nn::Mlp* mlp) const {
+  WARPER_CHECK_MSG(mlp->config().layer_sizes == layer_sizes_,
+                   "snapshot shape mismatch");
+  mlp->SetParameters(parameters_);
+}
+
+}  // namespace warper::ce

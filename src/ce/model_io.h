@@ -1,0 +1,41 @@
+// Persistence for the MLP-backed estimators (LM-mlp, MSCN parameters are
+// reachable through their Mlp members; tree / kernel models re-train cheaply
+// and are not serialized). A deployment adapting models periodically wants
+// to snapshot M before an update and roll back if the update regresses —
+// one of the §3.4 robustness fallbacks.
+#ifndef WARPER_CE_MODEL_IO_H_
+#define WARPER_CE_MODEL_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/mlp.h"
+#include "util/status.h"
+
+namespace warper::ce {
+
+// Writes the MLP's parameter vector (with a header of layer sizes) to a
+// little-endian binary file.
+Status SaveMlp(const nn::Mlp& mlp, const std::string& path);
+
+// Restores parameters into `mlp`; fails when the stored layer sizes do not
+// match the target's configuration.
+Status LoadMlp(nn::Mlp* mlp, const std::string& path);
+
+// In-memory snapshot/rollback helper: capture parameters before a risky
+// update, restore them if the update regressed.
+class MlpSnapshot {
+ public:
+  explicit MlpSnapshot(const nn::Mlp& mlp);
+
+  // Restores the captured parameters. Dies if `mlp` changed shape.
+  void RestoreTo(nn::Mlp* mlp) const;
+
+ private:
+  std::vector<size_t> layer_sizes_;
+  std::vector<double> parameters_;
+};
+
+}  // namespace warper::ce
+
+#endif  // WARPER_CE_MODEL_IO_H_

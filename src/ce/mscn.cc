@@ -1,0 +1,255 @@
+#include "ce/mscn.h"
+
+#include <algorithm>
+
+#include "nn/losses.h"
+#include "nn/trainer.h"
+#include "util/status.h"
+
+namespace warper::ce {
+
+MscnConfig MscnConfig::SingleTable(size_t num_cols) {
+  MscnConfig config;
+  config.segments.push_back({0, num_cols});
+  config.feature_dim = 2 * num_cols;
+  return config;
+}
+
+MscnConfig MscnConfig::StarJoin(size_t center_cols,
+                                const std::vector<size_t>& fact_cols) {
+  MscnConfig config;
+  config.join_offset = 0;
+  config.num_join_bits = fact_cols.size();
+  size_t offset = fact_cols.size();
+  config.segments.push_back({offset, center_cols});
+  offset += 2 * center_cols;
+  for (size_t cols : fact_cols) {
+    config.segments.push_back({offset, cols});
+    offset += 2 * cols;
+  }
+  config.feature_dim = offset;
+  return config;
+}
+
+Mscn::Mscn(const MscnConfig& config, uint64_t seed)
+    : config_(config), rng_(seed) {
+  WARPER_CHECK(!config.segments.empty());
+  WARPER_CHECK(config.feature_dim > 0);
+  for (const auto& seg : config_.segments) {
+    max_segment_cols_ = std::max(max_segment_cols_, seg.num_cols);
+  }
+
+  nn::MlpConfig pred_config;
+  pred_config.layer_sizes = {ElementDim(), config.hidden_units,
+                             config.hidden_units};
+  pred_config.hidden_activation = nn::Activation::kRelu;
+  pred_config.output_activation = nn::Activation::kRelu;
+  predicate_module_ = nn::Mlp(pred_config, &rng_);
+
+  size_t concat = config.hidden_units;
+  if (has_join_module()) {
+    nn::MlpConfig join_config;
+    join_config.layer_sizes = {config.num_join_bits + 1, config.hidden_units / 2,
+                               config.hidden_units / 2};
+    join_config.hidden_activation = nn::Activation::kRelu;
+    join_config.output_activation = nn::Activation::kRelu;
+    join_module_ = nn::Mlp(join_config, &rng_);
+    concat += config.hidden_units / 2;
+  }
+
+  nn::MlpConfig out_config;
+  out_config.layer_sizes = {concat, config.hidden_units, 1};
+  out_config.hidden_activation = nn::Activation::kRelu;
+  output_module_ = nn::Mlp(out_config, &rng_);
+}
+
+size_t Mscn::PredicateSetSize() const {
+  size_t n = 0;
+  for (const auto& seg : config_.segments) n += seg.num_cols;
+  return n;
+}
+
+size_t Mscn::ElementDim() const {
+  // [segment one-hot | column one-hot | low | high]
+  return config_.segments.size() + max_segment_cols_ + 2;
+}
+
+nn::Matrix Mscn::BuildPredicateElements(const nn::Matrix& x) const {
+  size_t set_size = PredicateSetSize();
+  nn::Matrix elems(x.rows() * set_size, ElementDim());
+  for (size_t b = 0; b < x.rows(); ++b) {
+    size_t e = 0;
+    for (size_t s = 0; s < config_.segments.size(); ++s) {
+      const MscnSegment& seg = config_.segments[s];
+      for (size_t c = 0; c < seg.num_cols; ++c, ++e) {
+        size_t row = b * set_size + e;
+        elems.At(row, s) = 1.0;
+        elems.At(row, config_.segments.size() + c) = 1.0;
+        elems.At(row, ElementDim() - 2) = x.At(b, seg.offset + c);
+        elems.At(row, ElementDim() - 1) = x.At(b, seg.offset + seg.num_cols + c);
+      }
+    }
+  }
+  return elems;
+}
+
+nn::Matrix Mscn::BuildJoinElements(const nn::Matrix& x) const {
+  // One element per join condition: [join one-hot | participation bit].
+  size_t f = config_.num_join_bits;
+  nn::Matrix elems(x.rows() * f, f + 1);
+  for (size_t b = 0; b < x.rows(); ++b) {
+    for (size_t j = 0; j < f; ++j) {
+      size_t row = b * f + j;
+      elems.At(row, j) = 1.0;
+      elems.At(row, f) = x.At(b, config_.join_offset + j);
+    }
+  }
+  return elems;
+}
+
+namespace {
+
+// Average-pools `set_size` consecutive rows of `elements` into one row per
+// query.
+nn::Matrix MeanPool(const nn::Matrix& elements, size_t set_size) {
+  WARPER_CHECK(set_size > 0 && elements.rows() % set_size == 0);
+  size_t batch = elements.rows() / set_size;
+  nn::Matrix pooled(batch, elements.cols());
+  double inv = 1.0 / static_cast<double>(set_size);
+  for (size_t b = 0; b < batch; ++b) {
+    for (size_t e = 0; e < set_size; ++e) {
+      for (size_t c = 0; c < elements.cols(); ++c) {
+        pooled.At(b, c) += elements.At(b * set_size + e, c) * inv;
+      }
+    }
+  }
+  return pooled;
+}
+
+// Inverse of MeanPool for gradients: each element row receives grad/set_size.
+nn::Matrix UnpoolGrad(const nn::Matrix& pooled_grad, size_t set_size) {
+  nn::Matrix grad(pooled_grad.rows() * set_size, pooled_grad.cols());
+  double inv = 1.0 / static_cast<double>(set_size);
+  for (size_t b = 0; b < pooled_grad.rows(); ++b) {
+    for (size_t e = 0; e < set_size; ++e) {
+      for (size_t c = 0; c < pooled_grad.cols(); ++c) {
+        grad.At(b * set_size + e, c) = pooled_grad.At(b, c) * inv;
+      }
+    }
+  }
+  return grad;
+}
+
+nn::Matrix ConcatCols(const nn::Matrix& a, const nn::Matrix& b) {
+  WARPER_CHECK(a.rows() == b.rows());
+  nn::Matrix out(a.rows(), a.cols() + b.cols());
+  for (size_t r = 0; r < a.rows(); ++r) {
+    for (size_t c = 0; c < a.cols(); ++c) out.At(r, c) = a.At(r, c);
+    for (size_t c = 0; c < b.cols(); ++c) out.At(r, a.cols() + c) = b.At(r, c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<double> Mscn::ForwardBatch(const nn::Matrix& x, bool cache) const {
+  WARPER_CHECK(x.cols() == config_.feature_dim);
+  size_t set_size = PredicateSetSize();
+  nn::Matrix pred_elems = BuildPredicateElements(x);
+  nn::Matrix pred_out = cache ? predicate_module_.Forward(pred_elems)
+                              : predicate_module_.Predict(pred_elems);
+  nn::Matrix pooled = MeanPool(pred_out, set_size);
+
+  nn::Matrix concat;
+  if (has_join_module()) {
+    nn::Matrix join_elems = BuildJoinElements(x);
+    nn::Matrix join_out = cache ? join_module_.Forward(join_elems)
+                                : join_module_.Predict(join_elems);
+    nn::Matrix join_pooled = MeanPool(join_out, config_.num_join_bits);
+    concat = ConcatCols(pooled, join_pooled);
+  } else {
+    concat = std::move(pooled);
+  }
+
+  nn::Matrix out = cache ? output_module_.Forward(concat)
+                         : output_module_.Predict(concat);
+  std::vector<double> targets(out.rows());
+  for (size_t i = 0; i < out.rows(); ++i) targets[i] = out.At(i, 0);
+  return targets;
+}
+
+void Mscn::Fit(const nn::Matrix& x, const std::vector<double>& y, int epochs) {
+  WARPER_CHECK(x.rows() == y.size() && x.rows() > 0);
+  nn::OptimizerConfig opt;
+  opt.learning_rate = config_.learning_rate;
+
+  std::vector<size_t> order(x.rows());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  size_t set_size = PredicateSetSize();
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    rng_.Shuffle(&order);
+    double lr = nn::ScheduledLearningRate(opt, epoch);
+    for (size_t start = 0; start < order.size(); start += config_.batch_size) {
+      size_t end = std::min(start + config_.batch_size, order.size());
+      nn::Matrix xb(end - start, x.cols());
+      nn::Matrix yb(end - start, 1);
+      for (size_t i = start; i < end; ++i) {
+        xb.SetRow(i - start, x.Row(order[i]));
+        yb.At(i - start, 0) = y[order[i]];
+      }
+
+      predicate_module_.ZeroGrad();
+      if (has_join_module()) join_module_.ZeroGrad();
+      output_module_.ZeroGrad();
+
+      // Forward with caching on every module.
+      std::vector<double> pred = ForwardBatch(xb, /*cache=*/true);
+      nn::Matrix pred_mat(pred.size(), 1);
+      for (size_t i = 0; i < pred.size(); ++i) pred_mat.At(i, 0) = pred[i];
+      nn::Matrix grad;
+      nn::MseLoss(pred_mat, yb, &grad);
+
+      // Backward through the output module, then split the concat gradient.
+      nn::Matrix concat_grad = output_module_.Backward(grad);
+      size_t pred_width = config_.hidden_units;
+      nn::Matrix pool_grad(concat_grad.rows(), pred_width);
+      for (size_t r = 0; r < concat_grad.rows(); ++r) {
+        for (size_t c = 0; c < pred_width; ++c) {
+          pool_grad.At(r, c) = concat_grad.At(r, c);
+        }
+      }
+      predicate_module_.Backward(UnpoolGrad(pool_grad, set_size));
+      if (has_join_module()) {
+        size_t join_width = config_.hidden_units / 2;
+        nn::Matrix join_pool_grad(concat_grad.rows(), join_width);
+        for (size_t r = 0; r < concat_grad.rows(); ++r) {
+          for (size_t c = 0; c < join_width; ++c) {
+            join_pool_grad.At(r, c) = concat_grad.At(r, pred_width + c);
+          }
+        }
+        join_module_.Backward(UnpoolGrad(join_pool_grad, config_.num_join_bits));
+      }
+
+      predicate_module_.Step(opt, lr);
+      if (has_join_module()) join_module_.Step(opt, lr);
+      output_module_.Step(opt, lr);
+    }
+  }
+  trained_ = true;
+}
+
+void Mscn::Train(const nn::Matrix& x, const std::vector<double>& y) {
+  Fit(x, y, config_.train_epochs);
+}
+
+void Mscn::Update(const nn::Matrix& x, const std::vector<double>& y) {
+  Fit(x, y, config_.finetune_epochs);
+}
+
+std::vector<double> Mscn::EstimateTargets(const nn::Matrix& x) const {
+  WARPER_CHECK(trained_);
+  return ForwardBatch(x, /*cache=*/false);
+}
+
+}  // namespace warper::ce

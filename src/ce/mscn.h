@@ -1,0 +1,88 @@
+// A simplified MSCN estimator (Kipf et al., CIDR'19) as used by the paper:
+// per-predicate set elements run through a shared MLP and are average-pooled;
+// a join-condition set module is added for join CE; a final MLP produces the
+// cardinality estimate. "For single-table CE, we use a simplified version by
+// removing the join condition and bitmap inputs" (§4.1) — configure with
+// zero join bits for that case. MSCN updates by fine-tuning.
+#ifndef WARPER_CE_MSCN_H_
+#define WARPER_CE_MSCN_H_
+
+#include <string>
+#include <vector>
+
+#include "ce/estimator.h"
+#include "nn/mlp.h"
+#include "util/rng.h"
+
+namespace warper::ce {
+
+// Layout of a domain's flat feature vector, so MSCN can slice it back into
+// per-table predicate sets. Segment s covers features
+// [offset, offset + 2·num_cols): lows then highs.
+struct MscnSegment {
+  size_t offset = 0;
+  size_t num_cols = 0;
+};
+
+struct MscnConfig {
+  std::vector<MscnSegment> segments;
+  // Join-indicator bits live at features [join_offset, join_offset +
+  // num_join_bits); zero bits = single-table variant.
+  size_t join_offset = 0;
+  size_t num_join_bits = 0;
+  // Total width of the flat feature vector.
+  size_t feature_dim = 0;
+
+  size_t hidden_units = 64;
+  int train_epochs = 60;
+  int finetune_epochs = 8;
+  size_t batch_size = 32;      // paper §4.1
+  double learning_rate = 1e-3; // paper §4.1
+
+  // Single-table layout: one segment covering the whole vector.
+  static MscnConfig SingleTable(size_t num_cols);
+  // Star-join layout matching StarJoinDomain's featurization.
+  static MscnConfig StarJoin(size_t center_cols,
+                             const std::vector<size_t>& fact_cols);
+};
+
+class Mscn : public CardinalityEstimator {
+ public:
+  Mscn(const MscnConfig& config, uint64_t seed);
+
+  std::string Name() const override { return "MSCN"; }
+  UpdateMode update_mode() const override { return UpdateMode::kFineTune; }
+  void Train(const nn::Matrix& x, const std::vector<double>& y) override;
+  void Update(const nn::Matrix& x, const std::vector<double>& y) override;
+  std::vector<double> EstimateTargets(const nn::Matrix& x) const override;
+  bool trained() const override { return trained_; }
+
+  // Elements per query in the predicate set (fixed: one per table column).
+  size_t PredicateSetSize() const;
+
+ private:
+  bool has_join_module() const { return config_.num_join_bits > 0; }
+  size_t ElementDim() const;
+
+  // Builds the stacked (batch·set_size × element_dim) predicate-element
+  // matrix for a batch of flat feature rows.
+  nn::Matrix BuildPredicateElements(const nn::Matrix& x) const;
+  nn::Matrix BuildJoinElements(const nn::Matrix& x) const;
+
+  // Shared inference path.
+  std::vector<double> ForwardBatch(const nn::Matrix& x, bool cache) const;
+
+  void Fit(const nn::Matrix& x, const std::vector<double>& y, int epochs);
+
+  MscnConfig config_;
+  util::Rng rng_;
+  size_t max_segment_cols_ = 0;
+  mutable nn::Mlp predicate_module_;
+  mutable nn::Mlp join_module_;
+  mutable nn::Mlp output_module_;
+  bool trained_ = false;
+};
+
+}  // namespace warper::ce
+
+#endif  // WARPER_CE_MSCN_H_

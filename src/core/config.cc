@@ -1,0 +1,3 @@
+#include "core/config.h"
+
+// Configuration is a plain aggregate; this TU anchors the target.

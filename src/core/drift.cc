@@ -1,0 +1,161 @@
+#include "core/drift.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ml/pca.h"
+#include "nn/matrix.h"
+#include "util/stats.h"
+#include "util/status.h"
+
+namespace warper::core {
+
+std::string ModeFlags::ToString() const {
+  std::string s;
+  auto append = [&](const char* name) {
+    if (!s.empty()) s += "|";
+    s += name;
+  };
+  if (c1) append("c1");
+  if (c2) append("c2");
+  if (c3) append("c3");
+  if (c4) append("c4");
+  return s.empty() ? "none" : s;
+}
+
+DriftDetector::DriftDetector(const WarperConfig& config)
+    : config_(config), pi_(config.pi_initial), gamma_(config.gamma) {}
+
+void DriftDetector::SetTrainingError(double gmq_train) {
+  WARPER_CHECK(gmq_train >= 1.0);
+  gmq_train_ = gmq_train;
+}
+
+double DriftDetector::DeltaM(double gmq_new) const {
+  return gmq_new - gmq_train_;
+}
+
+ModeFlags DriftDetector::Detect(const DriftSignals& signals) {
+  ModeFlags mode;
+
+  bool data_drift = signals.data_changed_fraction >
+                        config_.data_changed_threshold ||
+                    signals.canary_shift > config_.canary_shift_threshold;
+
+  bool accuracy_degraded =
+      signals.gmq_new_valid && DeltaM(signals.gmq_new) > pi_;
+  // With no labeled feedback at all, the workload-distance signal has to
+  // stand in for the blind accuracy gap. A very large δ_js also triggers on
+  // its own: when the training-time error was already high, the new
+  // workload's error can match it (δ_m ≈ 0) while the model is still far
+  // from what it could achieve on the new distribution.
+  bool workload_shift = signals.delta_js > config_.js_threshold;
+  // The strong-δ_js path is latched off once the early stop has raised π:
+  // δ_js measures workload distance, which stays high even after the model
+  // has fully adapted, so without the latch it would re-trigger forever.
+  bool strong_js = signals.delta_js > config_.js_strong_threshold &&
+                   pi_ <= config_.pi_initial;
+  bool workload_drift =
+      workload_shift &&
+      (accuracy_degraded || !signals.gmq_new_valid || strong_js);
+
+  if (data_drift) mode.c1 = true;
+
+  if (workload_drift) {
+    if (signals.n_new < gamma_) mode.c2 = true;
+    // Labels inadequate: fewer labels than γ AND labeling is lagging the
+    // arrivals (c3 "cannot be confused with c2 or c4" — it is explicitly
+    // about the label-computation rate, §3.4).
+    if (signals.n_new_labeled < gamma_ &&
+        signals.n_new_labeled < signals.n_new) {
+      mode.c3 = true;
+    }
+    if (!mode.c2 && !mode.c3) mode.c4 = true;
+  } else if (accuracy_degraded && !data_drift) {
+    // Accuracy dropped without a measurable workload-distribution shift
+    // (outliers from the old distribution, §3.1): fall back to a plain
+    // update when labels are adequate.
+    mode.c4 = true;
+  }
+
+  // A fresh accuracy-gap detection (one that cleared the current, possibly
+  // raised, bar) resets π so the new drift is tracked responsively. Drifts
+  // detected only via δ_js or telemetry leave π alone — otherwise the
+  // strong-δ_js path would unlatch itself every period.
+  if (mode.Any() && accuracy_degraded) pi_ = config_.pi_initial;
+  return mode;
+}
+
+void DriftDetector::ReportAdaptationGain(double gain, const ModeFlags& mode) {
+  if (gain < config_.early_stop_gain) {
+    // Early stop: require a larger drift before adapting again.
+    pi_ = std::min(pi_ * config_.pi_growth, config_.pi_max);
+    // Slow improvement under c4 indicates an underestimated γ (§3.4).
+    if (mode.c4 && !mode.c2) {
+      gamma_ = static_cast<size_t>(static_cast<double>(gamma_) *
+                                   config_.gamma_growth);
+    }
+  }
+}
+
+double WorkloadJsDivergence(const std::vector<std::vector<double>>& a,
+                            const std::vector<std::vector<double>>& b,
+                            size_t pca_dims, size_t bins) {
+  WARPER_CHECK(!a.empty() && !b.empty());
+  WARPER_CHECK(bins >= 2);
+  size_t d = a[0].size();
+
+  // Fit PCA on the union so both workloads share a projection.
+  nn::Matrix all(a.size() + b.size(), d);
+  for (size_t i = 0; i < a.size(); ++i) all.SetRow(i, a[i]);
+  for (size_t i = 0; i < b.size(); ++i) {
+    WARPER_CHECK(b[i].size() == d);
+    all.SetRow(a.size() + i, b[i]);
+  }
+
+  // Cap dimensions so bins^k stays tractable.
+  size_t k = std::min({pca_dims, d, static_cast<size_t>(
+                                       std::log(1e6) / std::log(double(bins)))});
+  k = std::max<size_t>(k, 1);
+  ml::Pca pca;
+  pca.Fit(all, k);
+  nn::Matrix proj = pca.Transform(all);
+  k = pca.num_components();
+
+  // Per-dimension equal-width bin edges over the union.
+  std::vector<double> lo(k), hi(k);
+  for (size_t c = 0; c < k; ++c) {
+    lo[c] = hi[c] = proj.At(0, c);
+    for (size_t r = 1; r < proj.rows(); ++r) {
+      lo[c] = std::min(lo[c], proj.At(r, c));
+      hi[c] = std::max(hi[c], proj.At(r, c));
+    }
+  }
+
+  size_t cells = 1;
+  for (size_t c = 0; c < k; ++c) cells *= bins;
+  util::NormalizedHistogram ha(cells), hb(cells);
+
+  auto cell_of = [&](size_t row) {
+    size_t cell = 0;
+    for (size_t c = 0; c < k; ++c) {
+      double span = hi[c] - lo[c];
+      size_t bin = 0;
+      if (span > 0.0) {
+        bin = std::min(bins - 1,
+                       static_cast<size_t>((proj.At(row, c) - lo[c]) / span *
+                                           static_cast<double>(bins)));
+      }
+      cell = cell * bins + bin;
+    }
+    return cell;
+  };
+
+  for (size_t i = 0; i < a.size(); ++i) ha.Add(cell_of(i));
+  for (size_t i = 0; i < b.size(); ++i) hb.Add(cell_of(a.size() + i));
+  ha.Normalize();
+  hb.Normalize();
+  return util::JensenShannonDivergence(ha, hb);
+}
+
+}  // namespace warper::core

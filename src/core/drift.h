@@ -1,0 +1,87 @@
+// Drift detection and drift-type identification (§3.1, §3.4).
+//
+// det_drft triggers when the CE model's error on newly arriving queries
+// exceeds the training-time error by more than the adaptive threshold π
+// (δ_m > π), or when database telemetry signals a data drift. Identified
+// modes follow Table 2: c1 (data drift), c2 (workload drift, inadequate
+// queries), c3 (workload drift, inadequate labels), c4 (adequate both).
+#ifndef WARPER_CORE_DRIFT_H_
+#define WARPER_CORE_DRIFT_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+
+namespace warper::core {
+
+struct ModeFlags {
+  bool c1 = false;
+  bool c2 = false;
+  bool c3 = false;
+  bool c4 = false;
+
+  bool Any() const { return c1 || c2 || c3 || c4; }
+  bool WorkloadDrift() const { return c2 || c3 || c4; }
+  // "c1|c2"-style rendering for reports.
+  std::string ToString() const;
+};
+
+// Inputs to one det_drft call, gathered by the controller.
+struct DriftSignals {
+  // Model GMQ on the newly arrived queries that carry labels; NaN when no
+  // labels are available this period.
+  double gmq_new = 0.0;
+  bool gmq_new_valid = false;
+  // Cumulative newly arrived queries in the current adaptation episode, and
+  // how many of them have labels.
+  size_t n_new = 0;
+  size_t n_new_labeled = 0;
+  // Workload distance between new and training predicates (δ_js), in [0,1].
+  double delta_js = 0.0;
+  // Data telemetry.
+  double data_changed_fraction = 0.0;
+  double canary_shift = 0.0;
+};
+
+class DriftDetector {
+ public:
+  explicit DriftDetector(const WarperConfig& config);
+
+  // Records the training-time error that δ_m is measured against.
+  void SetTrainingError(double gmq_train);
+
+  // δ_m for a given new-workload GMQ.
+  double DeltaM(double gmq_new) const;
+
+  // One det_drft call. Empty flags (mode = ∅) means "no drift: keep M".
+  ModeFlags Detect(const DriftSignals& signals);
+
+  // Early-stop feedback (§3.4): called after each adaptation with the GMQ
+  // improvement it achieved; small gains raise π, and slow c4 progress
+  // raises γ.
+  void ReportAdaptationGain(double gain, const ModeFlags& mode);
+
+  double pi() const { return pi_; }
+  size_t gamma() const { return gamma_; }
+  double training_error() const { return gmq_train_; }
+
+ private:
+  WarperConfig config_;
+  double gmq_train_ = 1.0;
+  double pi_;
+  size_t gamma_;
+};
+
+// δ_js: the symmetric discrete Jensen–Shannon workload distance (§3.1).
+// Reduces predicates (rows of feature vectors) to `pca_dims` dimensions with
+// PCA fit on the union, quantizes each dimension into `bins` equal-width
+// bins, histograms the cells, and returns the JS divergence in [0, 1].
+double WorkloadJsDivergence(const std::vector<std::vector<double>>& a,
+                            const std::vector<std::vector<double>>& b,
+                            size_t pca_dims, size_t bins);
+
+}  // namespace warper::core
+
+#endif  // WARPER_CORE_DRIFT_H_

@@ -1,0 +1,258 @@
+#include "core/gan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "nn/losses.h"
+#include "nn/trainer.h"
+#include "util/status.h"
+
+namespace warper::core {
+namespace {
+
+// Samples `k` indices (with replacement) from `candidates`.
+std::vector<size_t> SampleIndices(const std::vector<size_t>& candidates,
+                                  size_t k, util::Rng* rng) {
+  WARPER_CHECK(!candidates.empty());
+  std::vector<size_t> out(k);
+  for (size_t i = 0; i < k; ++i) {
+    out[i] = candidates[static_cast<size_t>(
+        rng->UniformInt(0, static_cast<int64_t>(candidates.size()) - 1))];
+  }
+  return out;
+}
+
+std::vector<size_t> AllIndices(const QueryPool& pool) {
+  std::vector<size_t> all(pool.Size());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+  return all;
+}
+
+// Tracks loss convergence for the early stop inside the n_i loop.
+class ConvergenceTracker {
+ public:
+  ConvergenceTracker(double rel_tol, int patience)
+      : rel_tol_(rel_tol), patience_(patience) {}
+
+  // Returns true when training should stop.
+  bool Update(double loss) {
+    if (std::isfinite(prev_)) {
+      double gain = (prev_ - loss) / std::max(std::abs(prev_), 1e-12);
+      stagnant_ = gain < rel_tol_ ? stagnant_ + 1 : 0;
+    }
+    prev_ = loss;
+    return stagnant_ >= patience_;
+  }
+
+ private:
+  double rel_tol_;
+  int patience_;
+  double prev_ = std::numeric_limits<double>::infinity();
+  int stagnant_ = 0;
+};
+
+}  // namespace
+
+WarperModels::WarperModels(size_t feature_dim, const WarperConfig& config,
+                           double max_card, uint64_t seed)
+    : config_(config), rng_(seed) {
+  encoder_ = std::make_unique<Encoder>(feature_dim, config, max_card, &rng_);
+  generator_ = std::make_unique<Generator>(feature_dim, config, &rng_);
+  discriminator_ = std::make_unique<Discriminator>(config, &rng_);
+}
+
+GanTrainStats WarperModels::UpdateAutoEncoder(const QueryPool& pool,
+                                              int iterations) {
+  WARPER_CHECK(pool.Size() > 0);
+  std::vector<size_t> candidates = AllIndices(pool);
+  nn::OptimizerConfig opt;
+  opt.learning_rate = config_.learning_rate;
+
+  GanTrainStats stats;
+  ConvergenceTracker tracker(config_.loss_rel_tol, config_.loss_patience);
+  for (int iter = 0; iter < iterations; ++iter) {
+    std::vector<size_t> batch =
+        SampleIndices(candidates, config_.batch_size, &rng_);
+    nn::Matrix inputs = encoder_->BuildInputs(pool, batch);
+    nn::Matrix targets(batch.size(), generator_->feature_dim());
+    for (size_t i = 0; i < batch.size(); ++i) {
+      targets.SetRow(i, pool.record(batch[i]).features);
+    }
+
+    encoder_->mlp().ZeroGrad();
+    generator_->mlp().ZeroGrad();
+    nn::Matrix z = encoder_->mlp().Forward(inputs);
+    nn::Matrix recon = generator_->mlp().Forward(z);
+    nn::Matrix grad;
+    double loss = nn::L1Loss(recon, targets, &grad);  // Eq. 1
+    nn::Matrix grad_z = generator_->mlp().Backward(grad);
+    encoder_->mlp().Backward(grad_z);
+
+    // "half-decay after every 10 epochs" (§3.5) — one pool pass ≈ one epoch.
+    int epoch = iter / std::max<int>(
+        1, static_cast<int>(candidates.size() / config_.batch_size) + 1);
+    double lr = nn::ScheduledLearningRate(opt, epoch);
+    generator_->mlp().Step(opt, lr);
+    encoder_->mlp().Step(opt, lr);
+
+    stats.iterations = iter + 1;
+    stats.final_loss = loss;
+    if (tracker.Update(loss)) break;
+  }
+  return stats;
+}
+
+nn::Matrix WarperModels::SeedEmbeddings(const QueryPool& pool) const {
+  std::vector<size_t> seeds = pool.IndicesBySource(Source::kNew);
+  if (seeds.empty()) seeds = AllIndices(pool);
+  WARPER_CHECK(!seeds.empty());
+  // Cap the seed set: embeddings are recomputed with the live encoder every
+  // GAN round, so an uncapped pool would dominate the update cost.
+  constexpr size_t kMaxSeeds = 128;
+  if (seeds.size() > kMaxSeeds) {
+    size_t step = seeds.size() / kMaxSeeds;
+    std::vector<size_t> sampled;
+    for (size_t i = 0; i < seeds.size() && sampled.size() < kMaxSeeds;
+         i += step) {
+      sampled.push_back(seeds[i]);
+    }
+    seeds = std::move(sampled);
+  }
+  nn::Matrix inputs = encoder_->BuildInputs(pool, seeds, /*use_label=*/false);
+  return encoder_->mlp().Predict(inputs);
+}
+
+nn::Matrix WarperModels::GeneratedToEncoderInput(
+    const nn::Matrix& features) const {
+  nn::Matrix inputs(features.rows(), features.cols() + 2);
+  for (size_t r = 0; r < features.rows(); ++r) {
+    for (size_t c = 0; c < features.cols(); ++c) {
+      inputs.At(r, c) = features.At(r, c);
+    }
+    // No ground truth for synthetic queries (gt = -1 until annotated).
+    inputs.At(r, features.cols()) = 0.0;
+    inputs.At(r, features.cols() + 1) = 0.0;
+  }
+  return inputs;
+}
+
+GanTrainStats WarperModels::UpdateMultiTask(const QueryPool& pool,
+                                            int iterations) {
+  WARPER_CHECK(pool.Size() > 0);
+  std::vector<size_t> candidates = AllIndices(pool);
+  nn::OptimizerConfig opt;
+  opt.learning_rate = config_.learning_rate;
+
+  GanTrainStats stats;
+  ConvergenceTracker tracker(config_.loss_rel_tol, config_.loss_patience);
+  size_t half_batch = std::max<size_t>(8, config_.batch_size / 2);
+
+  for (int iter = 0; iter < iterations; ++iter) {
+    int epoch = iter / 10;
+    double lr = nn::ScheduledLearningRate(opt, epoch);
+
+    // One seed-embedding computation per round, shared by the D and G steps.
+    nn::Matrix seed_z = SeedEmbeddings(pool);
+
+    // --- Discriminator (+ encoder) step: classify real records and fresh
+    // synthetic queries by their true source. ---
+    std::vector<size_t> real_batch =
+        SampleIndices(candidates, half_batch, &rng_);
+    // Label-free inputs: the discriminator must judge predicate content, not
+    // label presence (generated queries are never labeled).
+    nn::Matrix real_inputs =
+        encoder_->BuildInputs(pool, real_batch, /*use_label=*/false);
+
+    std::vector<size_t> seed_rows(half_batch);
+    for (size_t i = 0; i < half_batch; ++i) {
+      seed_rows[i] = static_cast<size_t>(
+          rng_.UniformInt(0, static_cast<int64_t>(seed_z.rows()) - 1));
+    }
+    nn::Matrix base(half_batch, seed_z.cols());
+    for (size_t i = 0; i < half_batch; ++i) base.SetRow(i, seed_z.Row(seed_rows[i]));
+    nn::Matrix gen_features =
+        generator_->Generate(Generator::PerturbEmbeddings(base, &rng_));
+    nn::Matrix gen_inputs = GeneratedToEncoderInput(gen_features);
+
+    // Stack real + generated encoder inputs.
+    nn::Matrix d_inputs(real_inputs.rows() + gen_inputs.rows(),
+                        real_inputs.cols());
+    std::vector<size_t> d_labels(d_inputs.rows());
+    for (size_t i = 0; i < real_inputs.rows(); ++i) {
+      d_inputs.SetRow(i, real_inputs.Row(i));
+      d_labels[i] = static_cast<size_t>(pool.record(real_batch[i]).label);
+    }
+    for (size_t i = 0; i < gen_inputs.rows(); ++i) {
+      d_inputs.SetRow(real_inputs.rows() + i, gen_inputs.Row(i));
+      d_labels[real_inputs.rows() + i] = static_cast<size_t>(Source::kGen);
+    }
+
+    encoder_->mlp().ZeroGrad();
+    discriminator_->mlp().ZeroGrad();
+    nn::Matrix z = encoder_->mlp().Forward(d_inputs);
+    nn::Matrix logits = discriminator_->mlp().Forward(z);
+    nn::Matrix d_grad;
+    double discr_loss = nn::SoftmaxCrossEntropyLoss(logits, d_labels, &d_grad);
+    nn::Matrix z_grad = discriminator_->mlp().Backward(d_grad);
+    encoder_->mlp().Backward(z_grad);
+    discriminator_->mlp().Step(opt, lr);
+    encoder_->mlp().Step(opt, lr);
+
+    // --- Generator step: make D classify generated queries as `new`. ---
+    nn::Matrix base2(config_.batch_size, seed_z.cols());
+    for (size_t i = 0; i < config_.batch_size; ++i) {
+      base2.SetRow(i, seed_z.Row(static_cast<size_t>(rng_.UniformInt(
+                       0, static_cast<int64_t>(seed_z.rows()) - 1))));
+    }
+    nn::Matrix g_input = Generator::PerturbEmbeddings(base2, &rng_);
+
+    generator_->mlp().ZeroGrad();
+    encoder_->mlp().ZeroGrad();
+    discriminator_->mlp().ZeroGrad();
+    nn::Matrix g_features = generator_->mlp().Forward(g_input);
+    nn::Matrix e_inputs = GeneratedToEncoderInput(g_features);
+    nn::Matrix z2 = encoder_->mlp().Forward(e_inputs);
+    nn::Matrix logits2 = discriminator_->mlp().Forward(z2);
+    std::vector<size_t> want_new(logits2.rows(),
+                                 static_cast<size_t>(Source::kNew));
+    nn::Matrix g_grad;
+    double gen_loss = nn::SoftmaxCrossEntropyLoss(logits2, want_new, &g_grad);
+    nn::Matrix z2_grad = discriminator_->mlp().Backward(g_grad);
+    nn::Matrix e_in_grad = encoder_->mlp().Backward(z2_grad);
+    // Only the feature slice of the encoder input flows back into G.
+    nn::Matrix feat_grad(e_in_grad.rows(), g_features.cols());
+    for (size_t r = 0; r < e_in_grad.rows(); ++r) {
+      for (size_t c = 0; c < g_features.cols(); ++c) {
+        feat_grad.At(r, c) = e_in_grad.At(r, c);
+      }
+    }
+    generator_->mlp().Backward(feat_grad);
+    generator_->mlp().Step(opt, lr);  // only G steps (Eq. 2's L_gen term)
+    encoder_->mlp().ZeroGrad();
+    discriminator_->mlp().ZeroGrad();
+
+    stats.iterations = iter + 1;
+    stats.final_loss = discr_loss + gen_loss;  // L_GAN (Eq. 2)
+    if (tracker.Update(stats.final_loss)) break;
+  }
+  return stats;
+}
+
+std::vector<std::vector<double>> WarperModels::GenerateQueries(
+    const QueryPool& pool, size_t n) {
+  WARPER_CHECK(pool.Size() > 0);
+  nn::Matrix seed_z = SeedEmbeddings(pool);
+  nn::Matrix base(n, seed_z.cols());
+  for (size_t i = 0; i < n; ++i) {
+    base.SetRow(i, seed_z.Row(static_cast<size_t>(rng_.UniformInt(
+                     0, static_cast<int64_t>(seed_z.rows()) - 1))));
+  }
+  nn::Matrix features =
+      generator_->Generate(Generator::PerturbEmbeddings(base, &rng_));
+  std::vector<std::vector<double>> out(n);
+  for (size_t i = 0; i < n; ++i) out[i] = features.Row(i);
+  return out;
+}
+
+}  // namespace warper::core

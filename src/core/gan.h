@@ -1,0 +1,70 @@
+// Training of the learned Warper modules (§3.3):
+//
+//   update_AutoEncoder —  q,gt → E → z → G → q̂, minimizing L1(q, q̂) over
+//     all pool records (drifts c1/c3, and offline pre-training per §3.5).
+//
+//   update_MultiTask — the 3-class GAN: the discriminator learns to label
+//     pool records and fresh synthetic queries with their true source
+//     l ∈ {gen,new,train}; the generator learns to make the discriminator
+//     say "new" for its outputs:  z+ε → G → q_gen → E → z' → D → l'.
+#ifndef WARPER_CORE_GAN_H_
+#define WARPER_CORE_GAN_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/config.h"
+#include "core/modules.h"
+#include "core/query_pool.h"
+#include "util/rng.h"
+
+namespace warper::core {
+
+struct GanTrainStats {
+  int iterations = 0;
+  double final_loss = 0.0;
+};
+
+// Owns the three learned modules and their training procedures.
+class WarperModels {
+ public:
+  WarperModels(size_t feature_dim, const WarperConfig& config, double max_card,
+               uint64_t seed);
+
+  Encoder& encoder() { return *encoder_; }
+  const Encoder& encoder() const { return *encoder_; }
+  Generator& generator() { return *generator_; }
+  Discriminator& discriminator() { return *discriminator_; }
+  const Discriminator& discriminator() const { return *discriminator_; }
+
+  // E∘G reconstruction training for up to `iterations` minibatch steps with
+  // loss-convergence early stop.
+  GanTrainStats UpdateAutoEncoder(const QueryPool& pool, int iterations);
+
+  // One GAN session: alternating discriminator (+encoder) and generator
+  // steps for up to `iterations` rounds.
+  GanTrainStats UpdateMultiTask(const QueryPool& pool, int iterations);
+
+  // Synthesizes `n` feature vectors: base embeddings are drawn from the
+  // new-workload records (falling back to the whole pool), perturbed with
+  // ε ~ N(0, σ²), and decoded by G. Callers must canonicalize through the
+  // domain before annotation.
+  std::vector<std::vector<double>> GenerateQueries(const QueryPool& pool,
+                                                   size_t n);
+
+ private:
+  // Embeddings of the records that seed generation (l = new, else all).
+  nn::Matrix SeedEmbeddings(const QueryPool& pool) const;
+  // Encoder-input matrix for generated features (no labels).
+  nn::Matrix GeneratedToEncoderInput(const nn::Matrix& features) const;
+
+  WarperConfig config_;
+  util::Rng rng_;
+  std::unique_ptr<Encoder> encoder_;
+  std::unique_ptr<Generator> generator_;
+  std::unique_ptr<Discriminator> discriminator_;
+};
+
+}  // namespace warper::core
+
+#endif  // WARPER_CORE_GAN_H_

@@ -1,0 +1,144 @@
+#include "core/modules.h"
+
+#include <cmath>
+
+#include "ce/estimator.h"
+#include "nn/losses.h"
+#include "util/stats.h"
+#include "util/status.h"
+
+namespace warper::core {
+namespace {
+
+// Trunk per Table 3: `layers` FC-`width` + LeakyReLU, then a linear head.
+nn::MlpConfig TrunkConfig(size_t input, size_t output, const WarperConfig& c,
+                          nn::Activation output_activation) {
+  nn::MlpConfig config;
+  config.layer_sizes.push_back(input);
+  for (size_t i = 0; i < c.hidden_layers; ++i) {
+    config.layer_sizes.push_back(c.hidden_units);
+  }
+  config.layer_sizes.push_back(output);
+  config.hidden_activation = nn::Activation::kLeakyRelu;
+  config.output_activation = output_activation;
+  return config;
+}
+
+}  // namespace
+
+// --- Encoder ---
+
+Encoder::Encoder(size_t feature_dim, const WarperConfig& config,
+                 double max_card, util::Rng* rng)
+    : feature_dim_(feature_dim),
+      log_card_scale_(std::max(1.0, std::log1p(max_card))),
+      mlp_(TrunkConfig(feature_dim + 2, config.embedding_dim, config,
+                       nn::Activation::kIdentity),
+           rng) {}
+
+std::vector<double> Encoder::BuildInput(const PoolRecord& record,
+                                        bool use_label) const {
+  WARPER_CHECK(record.features.size() == feature_dim_);
+  std::vector<double> input = record.features;
+  if (use_label && record.HasLabel()) {
+    input.push_back(std::log1p(record.gt) / log_card_scale_);
+    input.push_back(1.0);
+  } else {
+    input.push_back(0.0);
+    input.push_back(0.0);
+  }
+  return input;
+}
+
+nn::Matrix Encoder::BuildInputs(const QueryPool& pool,
+                                const std::vector<size_t>& indices,
+                                bool use_label) const {
+  WARPER_CHECK(!indices.empty());
+  nn::Matrix inputs(indices.size(), input_dim());
+  for (size_t i = 0; i < indices.size(); ++i) {
+    inputs.SetRow(i, BuildInput(pool.record(indices[i]), use_label));
+  }
+  return inputs;
+}
+
+void Encoder::EmbedRecords(QueryPool* pool,
+                           const std::vector<size_t>& indices) const {
+  if (indices.empty()) return;
+  nn::Matrix inputs = BuildInputs(*pool, indices, /*use_label=*/false);
+  nn::Matrix z = mlp_.Predict(inputs);
+  for (size_t i = 0; i < indices.size(); ++i) {
+    pool->record(indices[i]).z = z.Row(i);
+  }
+}
+
+// --- Generator ---
+
+Generator::Generator(size_t feature_dim, const WarperConfig& config,
+                     util::Rng* rng)
+    : mlp_(TrunkConfig(config.embedding_dim, feature_dim, config,
+                       nn::Activation::kSigmoid),
+           rng) {}
+
+nn::Matrix Generator::PerturbEmbeddings(const nn::Matrix& base,
+                                        util::Rng* rng) {
+  WARPER_CHECK(base.rows() > 0);
+  // σ per dimension from the base embeddings.
+  std::vector<double> sigma(base.cols(), 0.0);
+  for (size_t c = 0; c < base.cols(); ++c) {
+    std::vector<double> col(base.rows());
+    for (size_t r = 0; r < base.rows(); ++r) col[r] = base.At(r, c);
+    sigma[c] = util::StdDev(col);
+  }
+  nn::Matrix out = base;
+  for (size_t r = 0; r < out.rows(); ++r) {
+    for (size_t c = 0; c < out.cols(); ++c) {
+      out.At(r, c) += rng->Normal(0.0, sigma[c]);
+    }
+  }
+  return out;
+}
+
+nn::Matrix Generator::Generate(const nn::Matrix& z) const {
+  return mlp_.Predict(z);
+}
+
+// --- Discriminator ---
+
+Discriminator::Discriminator(const WarperConfig& config, util::Rng* rng)
+    : mlp_(nn::MlpConfig{{config.embedding_dim, kNumSources},
+                         nn::Activation::kLeakyRelu,
+                         nn::Activation::kIdentity},
+           rng) {}
+
+void Discriminator::ClassifyRecords(QueryPool* pool,
+                                    const std::vector<size_t>& indices) const {
+  if (indices.empty()) return;
+  nn::Matrix z(indices.size(), mlp_.input_size());
+  for (size_t i = 0; i < indices.size(); ++i) {
+    const PoolRecord& r = pool->record(indices[i]);
+    WARPER_CHECK_MSG(!r.z.empty(), "record has no embedding; run E first");
+    z.SetRow(i, r.z);
+  }
+  nn::Matrix probs = nn::Softmax(mlp_.Predict(z));
+  for (size_t i = 0; i < indices.size(); ++i) {
+    size_t best = 0;
+    for (size_t c = 1; c < probs.cols(); ++c) {
+      if (probs.At(i, c) > probs.At(i, best)) best = c;
+    }
+    PoolRecord& r = pool->record(indices[i]);
+    r.predicted_label = static_cast<int>(best);
+    r.confidence = probs.At(i, best);
+  }
+}
+
+std::vector<double> Discriminator::ClassProbability(const nn::Matrix& z,
+                                                    Source source) const {
+  nn::Matrix probs = nn::Softmax(mlp_.Predict(z));
+  std::vector<double> out(z.rows());
+  for (size_t i = 0; i < z.rows(); ++i) {
+    out[i] = probs.At(i, static_cast<size_t>(source));
+  }
+  return out;
+}
+
+}  // namespace warper::core

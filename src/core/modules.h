@@ -1,0 +1,98 @@
+// The learned Warper modules (Table 3):
+//   Encoder  E: q (+ gt when available) → z      — trunk of FC-128+LeakyReLU
+//   Generator G: z + ε → q_gen                   — same trunk, FC-m head
+//   Discriminator D: z → l' ∈ {gen,new,train}, s' — a single FC-3 layer
+// Each wraps an nn::Mlp and adds the input/output conventions Warper uses.
+#ifndef WARPER_CORE_MODULES_H_
+#define WARPER_CORE_MODULES_H_
+
+#include <vector>
+
+#include "core/config.h"
+#include "core/query_pool.h"
+#include "nn/mlp.h"
+#include "util/rng.h"
+
+namespace warper::core {
+
+class Encoder {
+ public:
+  // `max_card` bounds the gt channel normalization (the domain's maximum
+  // cardinality).
+  Encoder(size_t feature_dim, const WarperConfig& config, double max_card,
+          util::Rng* rng);
+
+  // Input row for one record: features ++ {normalized log-card, has-label}.
+  // The paper's embed() "uses the ground truth labels as an additional input
+  // whenever they are available and up-to-date" (§3.2). `use_label = false`
+  // zeroes the label channels: the GAN / discrimination paths must embed
+  // label-free, otherwise the discriminator can separate generated queries
+  // (never labeled) from new ones by the has-label flag alone instead of by
+  // predicate content.
+  std::vector<double> BuildInput(const PoolRecord& record,
+                                 bool use_label = true) const;
+  nn::Matrix BuildInputs(const QueryPool& pool,
+                         const std::vector<size_t>& indices,
+                         bool use_label = true) const;
+
+  size_t input_dim() const { return feature_dim_ + 2; }
+  size_t embedding_dim() const { return mlp_.output_size(); }
+
+  nn::Mlp& mlp() { return mlp_; }
+  const nn::Mlp& mlp() const { return mlp_; }
+
+  // Computes and stores z for the given pool records. Embeddings are
+  // label-free so that labeled and unlabeled records live in one space (the
+  // picker compares them via kNN).
+  void EmbedRecords(QueryPool* pool, const std::vector<size_t>& indices) const;
+
+ private:
+  size_t feature_dim_;
+  double log_card_scale_;
+  nn::Mlp mlp_;
+};
+
+class Generator {
+ public:
+  Generator(size_t feature_dim, const WarperConfig& config, util::Rng* rng);
+
+  size_t feature_dim() const { return mlp_.output_size(); }
+
+  nn::Mlp& mlp() { return mlp_; }
+  const nn::Mlp& mlp() const { return mlp_; }
+
+  // z + ε for each base row, with ε ~ N(0, σ²) per dimension where σ is the
+  // per-dimension std-dev of `base` (§3.2). Returns the perturbed inputs.
+  static nn::Matrix PerturbEmbeddings(const nn::Matrix& base, util::Rng* rng);
+
+  // Decoded (sigmoid-bounded) synthetic feature vectors for a batch of
+  // perturbed embeddings.
+  nn::Matrix Generate(const nn::Matrix& z) const;
+
+ private:
+  nn::Mlp mlp_;
+};
+
+class Discriminator {
+ public:
+  Discriminator(const WarperConfig& config, util::Rng* rng);
+
+  nn::Mlp& mlp() { return mlp_; }
+  const nn::Mlp& mlp() const { return mlp_; }
+
+  // Runs D over stored embeddings and writes (l', s') back into the pool.
+  // s' is the softmax probability of the predicted class.
+  void ClassifyRecords(QueryPool* pool,
+                       const std::vector<size_t>& indices) const;
+
+  // Per-row probability of class `source` for a batch of embeddings.
+  std::vector<double> ClassProbability(const nn::Matrix& z,
+                                       Source source) const;
+
+ private:
+  nn::Mlp mlp_;
+};
+
+}  // namespace warper::core
+
+#endif  // WARPER_CORE_MODULES_H_

@@ -1,0 +1,159 @@
+#include "core/picker.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "ce/metrics.h"
+#include "ml/kmeans.h"
+#include "ml/knn.h"
+#include "util/status.h"
+
+namespace warper::core {
+
+Picker::Picker(const WarperConfig& config, uint64_t seed)
+    : config_(config), rng_(seed) {}
+
+std::vector<size_t> Picker::PickGenerated(const QueryPool& pool,
+                                          const Discriminator& discriminator,
+                                          size_t n_p) {
+  std::vector<size_t> candidates;
+  for (size_t i : pool.IndicesBySource(Source::kGen)) {
+    if (!pool.record(i).HasLabel()) candidates.push_back(i);
+  }
+  if (candidates.empty()) return {};
+
+  nn::Matrix z(candidates.size(), pool.record(candidates[0]).z.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const PoolRecord& r = pool.record(candidates[i]);
+    WARPER_CHECK_MSG(!r.z.empty(), "generated record lacks an embedding");
+    z.SetRow(i, r.z);
+  }
+  // Weight: confidence that the synthetic query resembles the new workload.
+  std::vector<double> weights =
+      discriminator.ClassProbability(z, Source::kNew);
+
+  // Sampling with replacement: the result is a *multiset* — duplicates are
+  // intentional, they weight the model update toward queries that resemble
+  // the new workload. Annotation later pays only for the unique records.
+  std::vector<size_t> picked(n_p);
+  for (size_t i = 0; i < n_p; ++i) {
+    picked[i] = candidates[rng_.Categorical(weights)];
+  }
+  return picked;
+}
+
+std::vector<size_t> Picker::PickRandom(const std::vector<size_t>& candidates,
+                                       size_t n_p) {
+  if (candidates.empty()) return {};
+  std::vector<size_t> picked(n_p);
+  for (size_t i = 0; i < n_p; ++i) {
+    picked[i] = candidates[static_cast<size_t>(
+        rng_.UniformInt(0, static_cast<int64_t>(candidates.size()) - 1))];
+  }
+  return picked;
+}
+
+std::vector<size_t> Picker::PickEntropy(const QueryPool& pool,
+                                        const std::vector<size_t>& candidates,
+                                        const Discriminator& discriminator,
+                                        size_t n_p) {
+  if (candidates.empty()) return {};
+  nn::Matrix z(candidates.size(), pool.record(candidates[0]).z.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    WARPER_CHECK(!pool.record(candidates[i]).z.empty());
+    z.SetRow(i, pool.record(candidates[i]).z);
+  }
+  // Entropy over all class probabilities.
+  std::vector<double> weights(candidates.size(), 0.0);
+  for (size_t s = 0; s < kNumSources; ++s) {
+    std::vector<double> p =
+        discriminator.ClassProbability(z, static_cast<Source>(s));
+    for (size_t i = 0; i < p.size(); ++i) {
+      weights[i] += -p[i] * std::log(std::max(p[i], 1e-12));
+    }
+  }
+  std::vector<size_t> picked(n_p);
+  for (size_t i = 0; i < n_p; ++i) {
+    picked[i] = candidates[rng_.Categorical(weights)];
+  }
+  return picked;
+}
+
+std::vector<size_t> Picker::PickStratified(
+    const QueryPool& pool, const std::vector<size_t>& candidates,
+    const ce::CardinalityEstimator& model, size_t n_p) {
+  if (candidates.empty()) return {};
+  std::vector<size_t> labeled = pool.LabeledIndices();
+  if (labeled.empty()) {
+    // No error signal at all: uniform sample.
+    std::vector<size_t> shuffled = candidates;
+    rng_.Shuffle(&shuffled);
+    shuffled.resize(std::min(n_p, shuffled.size()));
+    return shuffled;
+  }
+
+  // 1. q-error of M on every labeled record (log-scale for clustering).
+  nn::Matrix x(labeled.size(), pool.record(labeled[0]).features.size());
+  for (size_t i = 0; i < labeled.size(); ++i) {
+    x.SetRow(i, pool.record(labeled[i]).features);
+  }
+  std::vector<double> targets = model.EstimateTargets(x);
+  nn::Matrix errors(labeled.size(), 1);
+  for (size_t i = 0; i < labeled.size(); ++i) {
+    double est = ce::TargetToCard(targets[i]);
+    errors.At(i, 0) = std::log(ce::QError(est, pool.record(labeled[i]).gt));
+  }
+
+  // 2. k-means strata over the error values.
+  size_t k = std::min(config_.picker_strata, labeled.size());
+  ml::KMeansResult clusters = ml::KMeans(errors, k, &rng_);
+
+  // Embedding corpus of labeled records for the kNN assignment.
+  bool have_embeddings = !pool.record(labeled[0]).z.empty();
+  nn::Matrix corpus;
+  if (have_embeddings) {
+    corpus = nn::Matrix(labeled.size(), pool.record(labeled[0]).z.size());
+    for (size_t i = 0; i < labeled.size(); ++i) {
+      corpus.SetRow(i, pool.record(labeled[i]).z);
+    }
+  }
+
+  // 3. Assign each candidate to a stratum.
+  std::vector<std::vector<size_t>> strata(clusters.centroids.rows());
+  std::unordered_set<size_t> labeled_set(labeled.begin(), labeled.end());
+  for (size_t cand : candidates) {
+    size_t bucket;
+    auto it = std::find(labeled.begin(), labeled.end(), cand);
+    if (it != labeled.end()) {
+      bucket = clusters.assignment[static_cast<size_t>(it - labeled.begin())];
+    } else if (have_embeddings && !pool.record(cand).z.empty()) {
+      bucket = ml::KnnClassify(corpus, clusters.assignment,
+                               pool.record(cand).z, config_.picker_knn);
+    } else {
+      bucket = static_cast<size_t>(rng_.UniformInt(
+          0, static_cast<int64_t>(strata.size()) - 1));
+    }
+    strata[bucket].push_back(cand);
+  }
+
+  // 4. Sample across strata with replacement, dedupe.
+  std::vector<size_t> non_empty;
+  for (size_t b = 0; b < strata.size(); ++b) {
+    if (!strata[b].empty()) non_empty.push_back(b);
+  }
+  WARPER_CHECK(!non_empty.empty());
+  // Stratified sampling with replacement across the error buckets — a
+  // multiset that spreads the update across the CE-error spectrum.
+  std::vector<size_t> picked(n_p);
+  for (size_t i = 0; i < n_p; ++i) {
+    size_t b = non_empty[static_cast<size_t>(
+        rng_.UniformInt(0, static_cast<int64_t>(non_empty.size()) - 1))];
+    const std::vector<size_t>& bucket = strata[b];
+    picked[i] = bucket[static_cast<size_t>(
+        rng_.UniformInt(0, static_cast<int64_t>(bucket.size()) - 1))];
+  }
+  return picked;
+}
+
+}  // namespace warper::core

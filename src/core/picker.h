@@ -1,0 +1,60 @@
+// The picker P (§3.2): sub-selects queries from the pool to annotate so the
+// CE model updates well at a bounded annotation cost.
+//
+//   c2  — weighted sampling (with replacement) over generated queries by the
+//         discriminator's confidence that they resemble the new workload.
+//   c1/c3 — sampling stratified by CE error: labeled records are k-means
+//         clustered by their q-error under M; unlabeled candidates are
+//         assigned to strata by kNN over embeddings; picks spread across
+//         strata.
+#ifndef WARPER_CORE_PICKER_H_
+#define WARPER_CORE_PICKER_H_
+
+#include <vector>
+
+#include "ce/estimator.h"
+#include "core/config.h"
+#include "core/modules.h"
+#include "core/query_pool.h"
+#include "util/rng.h"
+
+namespace warper::core {
+
+class Picker {
+ public:
+  Picker(const WarperConfig& config, uint64_t seed);
+
+  // c2 mode: picks up to `n_p` distinct unlabeled generated records, sampled
+  // with replacement proportionally to P(l' = new | z). Records must have
+  // embeddings.
+  std::vector<size_t> PickGenerated(const QueryPool& pool,
+                                    const Discriminator& discriminator,
+                                    size_t n_p);
+
+  // c1/c3 mode: picks up to `n_p` distinct records out of `candidates`
+  // (records whose labels are missing or stale), stratified by the CE error
+  // of the labeled pool records under `model`.
+  std::vector<size_t> PickStratified(const QueryPool& pool,
+                                     const std::vector<size_t>& candidates,
+                                     const ce::CardinalityEstimator& model,
+                                     size_t n_p);
+
+  // Ablation (Table 10): uniform-random picking.
+  std::vector<size_t> PickRandom(const std::vector<size_t>& candidates,
+                                 size_t n_p);
+
+  // Ablation (Table 10): entropy-based uncertainty sampling — candidates are
+  // weighted by the entropy of the discriminator's class distribution.
+  std::vector<size_t> PickEntropy(const QueryPool& pool,
+                                  const std::vector<size_t>& candidates,
+                                  const Discriminator& discriminator,
+                                  size_t n_p);
+
+ private:
+  WarperConfig config_;
+  util::Rng rng_;
+};
+
+}  // namespace warper::core
+
+#endif  // WARPER_CORE_PICKER_H_

@@ -1,0 +1,106 @@
+#include "core/query_pool.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace warper::core {
+
+size_t QueryPool::Append(PoolRecord record) {
+  WARPER_CHECK(!record.features.empty());
+  records_.push_back(std::move(record));
+  return records_.size() - 1;
+}
+
+size_t QueryPool::AppendLabeled(std::vector<double> features, double gt,
+                                Source label) {
+  PoolRecord r;
+  r.features = std::move(features);
+  r.gt = gt;
+  r.label = label;
+  return Append(std::move(r));
+}
+
+size_t QueryPool::AppendUnlabeled(std::vector<double> features, Source label) {
+  PoolRecord r;
+  r.features = std::move(features);
+  r.gt = -1.0;
+  r.label = label;
+  return Append(std::move(r));
+}
+
+std::vector<size_t> QueryPool::IndicesBySource(Source source) const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < records_.size(); ++i) {
+    if (records_[i].label == source) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<size_t> QueryPool::LabeledIndices() const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < records_.size(); ++i) {
+    if (records_[i].HasLabel()) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<size_t> QueryPool::UnlabeledIndices() const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < records_.size(); ++i) {
+    if (!records_[i].HasLabel()) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<size_t> QueryPool::FreshLabeledIndices() const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < records_.size(); ++i) {
+    if (records_[i].HasFreshLabel()) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<size_t> QueryPool::StaleOrUnlabeledIndices() const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < records_.size(); ++i) {
+    if (!records_[i].HasFreshLabel()) out.push_back(i);
+  }
+  return out;
+}
+
+void QueryPool::MarkSourceStale(Source source) {
+  for (auto& r : records_) {
+    if (r.label == source && r.HasLabel()) r.stale = true;
+  }
+}
+
+void QueryPool::SetLabel(size_t index, double gt) {
+  WARPER_CHECK(index < records_.size());
+  WARPER_CHECK(gt >= 0.0);
+  records_[index].gt = gt;
+  records_[index].stale = false;
+}
+
+std::vector<ce::LabeledExample> QueryPool::LabeledExamples(
+    const std::vector<size_t>& indices) const {
+  std::vector<ce::LabeledExample> examples;
+  examples.reserve(indices.size());
+  for (size_t i : indices) {
+    const PoolRecord& r = records_[i];
+    WARPER_CHECK_MSG(r.HasLabel(), "record " << i << " has no label");
+    examples.push_back({r.features, static_cast<int64_t>(r.gt)});
+  }
+  return examples;
+}
+
+void QueryPool::PruneUnlabeledGenerated() {
+  records_.erase(std::remove_if(records_.begin(), records_.end(),
+                                [](const PoolRecord& r) {
+                                  return r.label == Source::kGen &&
+                                         !r.HasLabel();
+                                }),
+                 records_.end());
+}
+
+}  // namespace warper::core

@@ -1,0 +1,79 @@
+// The query pool (§3.2): an in-memory structure of tuples (q, gt, z, l, l',
+// s'). q is stored in the domain's canonical featurization; gt = -1 marks a
+// missing label; l records the source (train / new / gen); l' and s' are the
+// discriminator's predicted source and confidence.
+#ifndef WARPER_CORE_QUERY_POOL_H_
+#define WARPER_CORE_QUERY_POOL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ce/estimator.h"
+
+namespace warper::core {
+
+enum class Source { kTrain = 0, kNew = 1, kGen = 2 };
+inline constexpr size_t kNumSources = 3;
+
+struct PoolRecord {
+  std::vector<double> features;  // q, canonical featurization
+  double gt = -1.0;              // ground-truth cardinality; -1 = unlabeled
+  std::vector<double> z;         // embedding (empty until encoded)
+  Source label = Source::kTrain; // l
+  int predicted_label = -1;      // l' (-1 until the discriminator runs)
+  double confidence = 0.0;       // s'
+  // Set when a data drift invalidates this record's gt (the value is kept —
+  // its error against M is exactly the picker's stratification signal — but
+  // it is excluded from model updates until re-annotated).
+  bool stale = false;
+
+  bool HasLabel() const { return gt >= 0.0; }
+  bool HasFreshLabel() const { return HasLabel() && !stale; }
+};
+
+class QueryPool {
+ public:
+  QueryPool() = default;
+
+  size_t Size() const { return records_.size(); }
+  const PoolRecord& record(size_t i) const { return records_[i]; }
+  PoolRecord& record(size_t i) { return records_[i]; }
+
+  // Appends a record; returns its index.
+  size_t Append(PoolRecord record);
+
+  // Convenience appends.
+  size_t AppendLabeled(std::vector<double> features, double gt, Source label);
+  size_t AppendUnlabeled(std::vector<double> features, Source label);
+
+  // Index views.
+  std::vector<size_t> IndicesBySource(Source source) const;
+  // Records with any gt value, stale or fresh (the picker's strata signal).
+  std::vector<size_t> LabeledIndices() const;
+  std::vector<size_t> UnlabeledIndices() const;
+  // Records safe to train M on: labeled and not stale.
+  std::vector<size_t> FreshLabeledIndices() const;
+  // Records whose labels need (re-)annotation: unlabeled or stale.
+  std::vector<size_t> StaleOrUnlabeledIndices() const;
+
+  // Marks every record of `source` as stale (data drift invalidates labels).
+  void MarkSourceStale(Source source);
+  // Installs a fresh label.
+  void SetLabel(size_t index, double gt);
+
+  // Labeled records as training examples for the CE model.
+  std::vector<ce::LabeledExample> LabeledExamples(
+      const std::vector<size_t>& indices) const;
+
+  // Drops every generated (l = gen) record that never received a label;
+  // keeps the pool from accumulating unlabeled synthetic queries across
+  // invocations.
+  void PruneUnlabeledGenerated();
+
+ private:
+  std::vector<PoolRecord> records_;
+};
+
+}  // namespace warper::core
+
+#endif  // WARPER_CORE_QUERY_POOL_H_

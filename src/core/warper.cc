@@ -1,0 +1,431 @@
+#include "core/warper.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ce/metrics.h"
+#include "util/logging.h"
+#include "util/status.h"
+
+namespace warper::core {
+namespace {
+
+// Window sizes for the evaluation and δ_js computations; bounded so each
+// invocation's detection cost stays constant.
+constexpr size_t kEvalWindow = 200;
+constexpr size_t kJsSample = 500;
+
+}  // namespace
+
+Warper::Warper(const ce::QueryDomain* domain, ce::CardinalityEstimator* model,
+               const WarperConfig& config)
+    : domain_(domain),
+      model_(model),
+      config_(config),
+      picker_(config, config.seed ^ 0x9E37ULL),
+      detector_(config),
+      rng_(config.seed) {
+  WARPER_CHECK(domain != nullptr && model != nullptr);
+  models_ = std::make_unique<WarperModels>(
+      domain->FeatureDim(), config,
+      static_cast<double>(domain->MaxCardinality()), config.seed ^ 0xC0FFEEULL);
+}
+
+void Warper::Initialize(const std::vector<ce::LabeledExample>& train_corpus) {
+  WARPER_CHECK_MSG(model_->trained(),
+                   "Warper adapts an existing model; train M first");
+  WARPER_CHECK(!train_corpus.empty());
+  util::ScopedCpuTimer timer(&cpu_);
+
+  for (const auto& example : train_corpus) {
+    pool_.AppendLabeled(example.features,
+                        static_cast<double>(example.cardinality),
+                        Source::kTrain);
+  }
+  // δ_m baseline: the error observed during training (§3.1).
+  detector_.SetTrainingError(ce::ModelGmq(*model_, train_corpus));
+
+  // Offline pre-training of E and G on I_train (§3.5) — "a one-time cost
+  // similar to training the LM model offline".
+  models_->UpdateAutoEncoder(pool_, config_.n_i * 3);
+  initialized_ = true;
+}
+
+bool Warper::RecentNewGmq(double* gmq) const {
+  std::vector<size_t> window;
+  for (size_t i = new_record_order_.size(); i-- > 0;) {
+    const PoolRecord& r = pool_.record(new_record_order_[i]);
+    if (r.HasFreshLabel()) window.push_back(new_record_order_[i]);
+    if (window.size() >= kEvalWindow) break;
+  }
+  if (window.empty()) return false;
+  *gmq = ce::ModelGmq(*model_, pool_.LabeledExamples(window));
+  return true;
+}
+
+double Warper::ComputeDeltaJs() const {
+  std::vector<std::vector<double>> new_features;
+  for (size_t i = new_record_order_.size(); i-- > 0;) {
+    new_features.push_back(pool_.record(new_record_order_[i]).features);
+    if (new_features.size() >= kJsSample) break;
+  }
+  if (new_features.empty()) return 0.0;
+
+  std::vector<size_t> train = pool_.IndicesBySource(Source::kTrain);
+  if (train.empty()) return 0.0;
+  std::vector<std::vector<double>> train_features;
+  size_t step = std::max<size_t>(1, train.size() / kJsSample);
+  for (size_t i = 0; i < train.size(); i += step) {
+    train_features.push_back(pool_.record(train[i]).features);
+  }
+  return WorkloadJsDivergence(new_features, train_features, config_.js_pca_dims,
+                              config_.js_bins);
+}
+
+size_t Warper::AnnotateRecords(const std::vector<size_t>& indices,
+                               size_t budget) {
+  size_t n = std::min(indices.size(), budget);
+  if (n == 0) return 0;
+  std::vector<std::vector<double>> features;
+  features.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    features.push_back(pool_.record(indices[i]).features);
+  }
+  std::vector<int64_t> counts = domain_->AnnotateBatch(features);
+  for (size_t i = 0; i < n; ++i) {
+    pool_.SetLabel(indices[i], static_cast<double>(counts[i]));
+  }
+  return n;
+}
+
+void Warper::UpdateModel(const ModeFlags& mode, double delta_m,
+                         const std::vector<size_t>& picked_multiset) {
+  // Fresh labels from the episode (new workload + annotated synthetics).
+  std::vector<size_t> episode;
+  for (size_t i = 0; i < pool_.Size(); ++i) {
+    const PoolRecord& r = pool_.record(i);
+    if (r.label != Source::kTrain && r.HasFreshLabel()) episode.push_back(i);
+  }
+
+  std::vector<size_t> fresh;
+  if (model_->update_mode() == ce::UpdateMode::kFineTune) {
+    if (mode.c2 && !mode.c1 && !episode.empty()) {
+      // Pure workload drift: P(new)-weighted resampling (below). Under a
+      // combined data+workload drift the stratified path is used instead —
+      // re-annotated records carry the fresh data distribution and must not
+      // be drowned out by resampling noise.
+      // The update set is an n_p-sized sample with replacement over the
+      // pool's fresh-labeled records — "update the CE model using predicates
+      // and labels from the pool" (§3.1) — weighted by the discriminator's
+      // confidence that each resembles the new workload (§4.1: n_p = 1K
+      // picked queries feed the update). Training-workload records receive
+      // naturally small P(new) weights, anchoring the fine-tune without
+      // drowning out the drifted distribution.
+      std::vector<size_t> candidates = pool_.FreshLabeledIndices();
+      nn::Matrix z(candidates.size(), config_.embedding_dim);
+      bool have_z = true;
+      for (size_t i = 0; i < candidates.size(); ++i) {
+        if (pool_.record(candidates[i]).z.size() != config_.embedding_dim) {
+          have_z = false;
+          break;
+        }
+        z.SetRow(i, pool_.record(candidates[i]).z);
+      }
+      std::vector<double> weights(candidates.size(), 1.0);
+      if (have_z) {
+        weights = models_->discriminator().ClassProbability(z, Source::kNew);
+      }
+      // Cap the training-workload anchor: I_train is much larger than the
+      // episode, so even small per-record P(new) weights would let the old
+      // distribution dominate the sample and slow adaptation. The cap decays
+      // as episode evidence accumulates (a prior that matters while new data
+      // is scarce) and with drift severity (under a severe drift the old
+      // labels carry little signal about the new workload).
+      double max_anchor_ratio =
+          std::min(1.0 / 3.0, 24.0 / static_cast<double>(episode.size())) /
+          (1.0 + std::max(0.0, delta_m));
+      double w_train = 0.0, w_rest = 0.0;
+      for (size_t i = 0; i < candidates.size(); ++i) {
+        (pool_.record(candidates[i]).label == Source::kTrain ? w_train
+                                                             : w_rest) +=
+            weights[i];
+      }
+      if (w_rest > 0.0 && w_train > max_anchor_ratio * w_rest) {
+        double scale = max_anchor_ratio * w_rest / w_train;
+        for (size_t i = 0; i < candidates.size(); ++i) {
+          if (pool_.record(candidates[i]).label == Source::kTrain) {
+            weights[i] *= scale;
+          }
+        }
+      }
+      fresh.reserve(config_.n_p);
+      for (size_t i = 0; i < config_.n_p; ++i) {
+        fresh.push_back(candidates[rng_.Categorical(weights)]);
+      }
+    } else if (!mode.Any()) {
+      // Passive per-period refresh (no drift detected): plain FT semantics —
+      // fine-tune on the episode's new-workload labels only; pulling the
+      // full training corpus back in would revert an adapted model.
+      fresh = episode;
+    } else {
+      // c1/c3: every fresh label once — including train records whose
+      // labels were just re-computed against the drifted data — plus the
+      // picked stratified multiset with its multiplicities.
+      fresh = pool_.FreshLabeledIndices();
+      for (size_t i : picked_multiset) {
+        if (pool_.record(i).HasFreshLabel()) fresh.push_back(i);
+      }
+    }
+  } else {
+    // Re-training models rebuild from every fresh label in the pool, with
+    // the picked multiset contributing its multiplicities.
+    fresh = pool_.FreshLabeledIndices();
+    for (size_t i : picked_multiset) {
+      if (pool_.record(i).HasFreshLabel()) fresh.push_back(i);
+    }
+  }
+  // Nothing labeled to learn from — keep the model.
+  if (fresh.empty()) return;
+  std::vector<ce::LabeledExample> examples = pool_.LabeledExamples(fresh);
+  nn::Matrix x;
+  std::vector<double> y;
+  ce::ExamplesToMatrix(examples, &x, &y);
+  model_->Update(x, y);
+}
+
+Warper::InvocationResult Warper::Invoke(const Invocation& invocation) {
+  WARPER_CHECK_MSG(initialized_, "call Initialize() before Invoke()");
+  InvocationResult result;
+
+  // --- Alg. 1 line 1: inject new arrivals into the pool. ---
+  {
+    util::ScopedCpuTimer timer(&cpu_);
+    for (const auto& q : invocation.new_queries) {
+      size_t idx =
+          q.cardinality >= 0
+              ? pool_.AppendLabeled(q.features,
+                                    static_cast<double>(q.cardinality),
+                                    Source::kNew)
+              : pool_.AppendUnlabeled(q.features, Source::kNew);
+      new_record_order_.push_back(idx);
+    }
+  }
+
+  // --- det_drft: gather signals and identify the drift mode. ---
+  DriftSignals signals;
+  {
+    util::ScopedCpuTimer timer(&cpu_);
+    signals.gmq_new_valid = RecentNewGmq(&signals.gmq_new);
+    signals.n_new = new_record_order_.size();
+    size_t labeled = 0;
+    for (size_t i : new_record_order_) {
+      if (pool_.record(i).HasFreshLabel()) ++labeled;
+    }
+    signals.n_new_labeled = labeled;
+    signals.delta_js = ComputeDeltaJs();
+    signals.data_changed_fraction = invocation.data_changed_fraction;
+    signals.canary_shift = invocation.canary_shift;
+  }
+  result.delta_js = signals.delta_js;
+  if (signals.gmq_new_valid) {
+    result.delta_m = detector_.DeltaM(signals.gmq_new);
+    result.delta_m_valid = true;
+    result.gmq_before = signals.gmq_new;
+  }
+
+  result.mode = detector_.Detect(signals);
+  if (result.mode.Any()) {
+    // A (possibly new) drift: start / refresh the adaptation episode.
+    episode_active_ = true;
+    active_mode_ = result.mode;
+  } else if (episode_active_) {
+    // δ_m fell back under π but the last step still gained accuracy: keep
+    // refining with the episode's mode until the early stop fires (§3.4).
+    result.mode = active_mode_;
+  }
+  if (!result.mode.Any()) {
+    // mode = ∅: no Warper machinery runs, but the CE model still receives
+    // its periodic refresh from the arrived labeled queries — c_Model is "a
+    // constant overhead no matter if Warper kicks in" (§4.3), and it keeps
+    // Warper no worse than plain fine-tuning when detection stays quiet.
+    bool have_fresh_arrivals = false;
+    for (const auto& q : invocation.new_queries) {
+      if (q.cardinality >= 0) {
+        have_fresh_arrivals = true;
+        break;
+      }
+    }
+    if (have_fresh_arrivals) {
+      util::ScopedCpuTimer timer(&cpu_);
+      ModeFlags passive;  // no c-flags: plain refresh path
+      UpdateModel(passive, 0.0, {});
+      result.model_updated = true;
+      RecentNewGmq(&result.gmq_after);
+    }
+    return result;
+  }
+
+  size_t budget = invocation.annotation_budget;
+
+  // --- c1: data drift invalidates every stored label. ---
+  if (result.mode.c1) {
+    util::ScopedCpuTimer timer(&cpu_);
+    pool_.MarkSourceStale(Source::kTrain);
+    pool_.MarkSourceStale(Source::kNew);
+    pool_.MarkSourceStale(Source::kGen);
+  }
+
+  // --- Alg. 1 lines 3–8: update the learned modules; generate if c2. ---
+  {
+    util::ScopedCpuTimer timer(&cpu_);
+    if (result.mode.c2) {
+      result.gan_stats = models_->UpdateMultiTask(pool_, config_.n_i);
+
+      // n_g = gen_fraction · n_t; the generator is disabled when n_g < 1.
+      size_t n_t = invocation.new_queries.size();
+      size_t n_g = static_cast<size_t>(config_.gen_fraction *
+                                       static_cast<double>(n_t));
+      if (n_g >= 1) {
+        std::vector<std::vector<double>> generated;
+        if (config_.generator_variant == GeneratorVariant::kGan) {
+          generated = models_->GenerateQueries(pool_, n_g);
+        } else {
+          // Ablation G→AUG: Gaussian-noise copies of arrived queries.
+          for (size_t i = 0; i < n_g; ++i) {
+            const auto& seed = invocation.new_queries[static_cast<size_t>(
+                rng_.UniformInt(0,
+                                static_cast<int64_t>(
+                                    invocation.new_queries.size()) -
+                                    1))];
+            std::vector<double> features = seed.features;
+            for (double& f : features) {
+              f += rng_.Normal(0.0, config_.ablation_noise_stddev);
+            }
+            generated.push_back(std::move(features));
+          }
+        }
+        for (auto& features : generated) {
+          pool_.AppendUnlabeled(domain_->CanonicalizeFeatures(features),
+                                Source::kGen);
+        }
+        result.generated = generated.size();
+      }
+    } else {
+      result.gan_stats = models_->UpdateAutoEncoder(pool_, config_.n_i);
+    }
+
+    // Refresh embeddings and discriminator outputs for the records the
+    // picker will look at.
+    std::vector<size_t> to_embed;
+    for (size_t i = 0; i < pool_.Size(); ++i) to_embed.push_back(i);
+    models_->encoder().EmbedRecords(&pool_, to_embed);
+    models_->discriminator().ClassifyRecords(&pool_, to_embed);
+  }
+
+  // --- Alg. 1 line 9: pick and annotate. ---
+  std::vector<size_t> picked;
+  {
+    util::ScopedCpuTimer timer(&cpu_);
+    if (result.mode.c2) {
+      std::vector<size_t> gen_candidates;
+      for (size_t i : pool_.IndicesBySource(Source::kGen)) {
+        if (!pool_.record(i).HasLabel()) gen_candidates.push_back(i);
+      }
+      switch (config_.picker_variant) {
+        case PickerVariant::kWarper:
+          picked = picker_.PickGenerated(pool_, models_->discriminator(),
+                                         config_.n_p);
+          break;
+        case PickerVariant::kRandom:
+          picked = picker_.PickRandom(gen_candidates, config_.n_p);
+          break;
+        case PickerVariant::kEntropy:
+          picked = picker_.PickEntropy(pool_, gen_candidates,
+                                       models_->discriminator(), config_.n_p);
+          break;
+      }
+    }
+    if (result.mode.c1 || result.mode.c3) {
+      std::vector<size_t> candidates = pool_.StaleOrUnlabeledIndices();
+      // Generated-but-unlabeled records are handled by the c2 path only.
+      candidates.erase(
+          std::remove_if(candidates.begin(), candidates.end(),
+                         [&](size_t i) {
+                           return pool_.record(i).label == Source::kGen &&
+                                  !pool_.record(i).HasLabel();
+                         }),
+          candidates.end());
+      std::vector<size_t> stratified;
+      switch (config_.picker_variant) {
+        case PickerVariant::kWarper:
+          stratified =
+              picker_.PickStratified(pool_, candidates, *model_, config_.n_p);
+          break;
+        case PickerVariant::kRandom:
+          stratified = picker_.PickRandom(candidates, config_.n_p);
+          break;
+        case PickerVariant::kEntropy:
+          stratified = picker_.PickEntropy(pool_, candidates,
+                                           models_->discriminator(),
+                                           config_.n_p);
+          break;
+      }
+      picked.insert(picked.end(), stratified.begin(), stratified.end());
+    }
+  }
+  result.picked = picked.size();
+
+  // Annotation pays only for the *unique* picked records that lack a fresh
+  // label; the multiset (duplicates included) weights the model update.
+  {
+    std::vector<size_t> unique = picked;
+    std::sort(unique.begin(), unique.end());
+    unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
+    unique.erase(std::remove_if(unique.begin(), unique.end(),
+                                [&](size_t i) {
+                                  return pool_.record(i).HasFreshLabel();
+                                }),
+                 unique.end());
+    result.annotated = AnnotateRecords(unique, budget);
+  }
+
+  // --- Alg. 1 line 10: update M. ---
+  {
+    util::ScopedCpuTimer timer(&cpu_);
+    UpdateModel(result.mode, result.delta_m_valid ? result.delta_m : 0.0,
+                picked);
+    result.model_updated = true;
+  }
+
+  // Drop synthetic queries that were generated but never annotated.
+  pool_.PruneUnlabeledGenerated();
+  // Pool indices may have shifted after pruning; rebuild the episode order.
+  new_record_order_.clear();
+  for (size_t i = 0; i < pool_.Size(); ++i) {
+    if (pool_.record(i).label == Source::kNew) new_record_order_.push_back(i);
+  }
+
+  // --- Early-stop feedback (§3.4). ---
+  double gmq_after = 0.0;
+  if (RecentNewGmq(&gmq_after)) {
+    result.gmq_after = gmq_after;
+    if (result.delta_m_valid) {
+      // Early stop with patience: a single flat step can be noise from the
+      // small arrived-query window, so the episode only ends (and π only
+      // grows) after two consecutive small gains.
+      double gain = result.gmq_before - gmq_after;
+      if (gain < config_.early_stop_gain) {
+        if (++small_gain_streak_ >= 2) {
+          detector_.ReportAdaptationGain(gain, result.mode);
+          episode_active_ = false;
+          small_gain_streak_ = 0;
+        }
+      } else {
+        small_gain_streak_ = 0;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace warper::core

@@ -1,0 +1,112 @@
+// The Warper controller — Algorithm 1 and the periodic det_drft → adapt
+// loop of Figure 3. Warper owns the query pool, the learned modules
+// (E, G, D), the picker and the drift detector; the CE model M and the
+// annotation substrate (behind ce::QueryDomain) stay external black boxes.
+#ifndef WARPER_CORE_WARPER_H_
+#define WARPER_CORE_WARPER_H_
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "ce/estimator.h"
+#include "ce/query_domain.h"
+#include "core/config.h"
+#include "core/drift.h"
+#include "core/gan.h"
+#include "core/picker.h"
+#include "core/query_pool.h"
+#include "util/timer.h"
+
+namespace warper::core {
+
+class Warper {
+ public:
+  // `domain` and `model` must outlive this object; `model` must already be
+  // trained (Warper adapts an existing model, it does not build one).
+  Warper(const ce::QueryDomain* domain, ce::CardinalityEstimator* model,
+         const WarperConfig& config);
+
+  // Seeds the pool with the original training workload I_train and
+  // pre-trains E and G offline via the autoencoder task (§3.5). Also
+  // records the training-time error for det_drft.
+  void Initialize(const std::vector<ce::LabeledExample>& train_corpus);
+
+  // One periodic invocation.
+  struct Invocation {
+    // Newly arrived queries since the last invocation; cardinality = -1
+    // marks a query whose label is not available (c3 scenarios).
+    std::vector<ce::LabeledExample> new_queries;
+    // Database telemetry for data-drift identification.
+    double data_changed_fraction = 0.0;
+    double canary_shift = 0.0;
+    // Maximum annotator calls this invocation may spend (models the "slow
+    // labeling" constraint of c1/c3).
+    size_t annotation_budget = std::numeric_limits<size_t>::max();
+  };
+
+  struct InvocationResult {
+    ModeFlags mode;
+    double delta_m = 0.0;
+    bool delta_m_valid = false;
+    double delta_js = 0.0;
+    size_t generated = 0;
+    size_t picked = 0;
+    size_t annotated = 0;
+    bool model_updated = false;
+    // Model GMQ on the recent labeled new-workload window, before / after.
+    double gmq_before = 0.0;
+    double gmq_after = 0.0;
+    GanTrainStats gan_stats;
+  };
+
+  InvocationResult Invoke(const Invocation& invocation);
+
+  const QueryPool& pool() const { return pool_; }
+  QueryPool& pool() { return pool_; }
+  WarperModels& models() { return *models_; }
+  DriftDetector& detector() { return detector_; }
+  const WarperConfig& config() const { return config_; }
+
+  // CPU-time accumulator covering Warper's own work (module updates,
+  // generation, picking); annotation cost is accounted by the domain's
+  // annotator.
+  const util::CpuAccumulator& cpu() const { return cpu_; }
+
+ private:
+  // Model GMQ on the most recent labeled new-workload records.
+  bool RecentNewGmq(double* gmq) const;
+  // δ_js between recent new features and (a sample of) training features.
+  double ComputeDeltaJs() const;
+  // Annotates up to `budget` of the given records through the domain.
+  size_t AnnotateRecords(const std::vector<size_t>& indices, size_t budget);
+  // Runs update(M, pool) with mode-appropriate example selection; the picked
+  // multiset contributes with its multiplicities.
+  void UpdateModel(const ModeFlags& mode, double delta_m,
+                   const std::vector<size_t>& picked_multiset);
+
+  const ce::QueryDomain* domain_;
+  ce::CardinalityEstimator* model_;
+  WarperConfig config_;
+  QueryPool pool_;
+  std::unique_ptr<WarperModels> models_;
+  Picker picker_;
+  DriftDetector detector_;
+  util::Rng rng_;
+  util::CpuAccumulator cpu_;
+  bool initialized_ = false;
+  // An adaptation episode stays active across invocations until the
+  // per-step accuracy gain falls below the early-stop threshold (§3.4), so
+  // refinement continues even once δ_m has dropped back under π.
+  bool episode_active_ = false;
+  ModeFlags active_mode_;
+  int small_gain_streak_ = 0;
+  // Indices of new-source records appended in the current episode, in
+  // arrival order (the evaluation window).
+  std::vector<size_t> new_record_order_;
+};
+
+}  // namespace warper::core
+
+#endif  // WARPER_CORE_WARPER_H_

@@ -1,0 +1,27 @@
+#include "eval/cost_model.h"
+
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace warper::eval {
+
+double AverageCpuUtilization(const CostInputs& inputs) {
+  WARPER_CHECK(inputs.period_seconds > 0.0);
+  double annotations = inputs.rate_qps * inputs.period_seconds *
+                       inputs.annotations_per_arrival;
+  double total_seconds =
+      annotations * inputs.annotation_seconds_per_query +
+      inputs.constant_seconds;
+  return total_seconds / inputs.period_seconds;
+}
+
+double MeasureAnnotationSecondsPerQuery(
+    const ce::QueryDomain& domain,
+    const std::vector<std::vector<double>>& features) {
+  WARPER_CHECK(!features.empty());
+  util::WallTimer timer;
+  domain.AnnotateBatch(features);
+  return timer.Seconds() / static_cast<double>(features.size());
+}
+
+}  // namespace warper::eval

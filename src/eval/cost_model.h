@@ -1,0 +1,38 @@
+// Cost accounting for Table 6 / Table 11 (§4.1, §4.3): the paper models a
+// Warper adaptation step's cost as c_gt + C — a per-annotation term plus a
+// constant model-update term — and reports the average single-core CPU
+// utilization over the test period at different query arrival rates.
+#ifndef WARPER_EVAL_COST_MODEL_H_
+#define WARPER_EVAL_COST_MODEL_H_
+
+#include <cstddef>
+
+#include "ce/query_domain.h"
+
+namespace warper::eval {
+
+struct CostInputs {
+  // New-query arrival rate and test period.
+  double rate_qps = 0.2;
+  double period_seconds = 1800.0;
+  // Measured single-thread cost to annotate one query (c_gt).
+  double annotation_seconds_per_query = 0.0;
+  // Queries the method annotates per arriving query (e.g. 0.1 when
+  // n_g = 10% n_t synthetic queries are labeled per step).
+  double annotations_per_arrival = 0.0;
+  // Constant per-period cost C: module updates, model update, etc.
+  double constant_seconds = 0.0;
+};
+
+// Average utilization of one core over the period, in [0, ∞) (1.0 = a full
+// core; values > 1 mean the method cannot keep up, §4.1).
+double AverageCpuUtilization(const CostInputs& inputs);
+
+// Measures c_gt for a domain by timing a batch of annotations.
+double MeasureAnnotationSecondsPerQuery(
+    const ce::QueryDomain& domain,
+    const std::vector<std::vector<double>>& features);
+
+}  // namespace warper::eval
+
+#endif  // WARPER_EVAL_COST_MODEL_H_

@@ -1,0 +1,126 @@
+// The drift-experiment harness behind every table and figure of §4.1/§4.3:
+// build a dataset, train a CE model on the pre-drift workload, apply a
+// drift (workload c2/c3 or data c1), stream newly arriving queries to each
+// adaptation method, and record GMQ-vs-queries adaptation curves on a
+// held-out post-drift test set.
+#ifndef WARPER_EVAL_EXPERIMENT_H_
+#define WARPER_EVAL_EXPERIMENT_H_
+
+#include <functional>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/adapter.h"
+#include "ce/estimator.h"
+#include "ce/query_domain.h"
+#include "core/config.h"
+#include "eval/speedup.h"
+#include "storage/datasets.h"
+#include "storage/table.h"
+#include "workload/spec.h"
+
+namespace warper::eval {
+
+// Adaptation methods, including the Table-10 ablation variants.
+enum class Method {
+  kFt,
+  kMix,
+  kAug,
+  kHem,
+  kWarper,
+  kWarperPickRandom,
+  kWarperPickEntropy,
+  kWarperGenAug,
+};
+const char* MethodName(Method method);
+
+// Builds a fresh, trained-from-scratch estimator for `feature_dim` inputs.
+using ModelFactory = std::function<std::unique_ptr<ce::CardinalityEstimator>(
+    size_t feature_dim, uint64_t seed)>;
+
+// Factories for the paper's estimators with their §4.1 settings.
+ModelFactory LmMlpFactory();
+ModelFactory LmGbtFactory();
+ModelFactory LmPlyFactory();
+ModelFactory LmRbfFactory();
+ModelFactory MscnSingleTableFactory();
+
+enum class DriftKind {
+  kWorkloadC2,  // drifted workload, arrivals carry labels, too few of them
+  kWorkloadC3,  // drifted workload, arrivals unlabeled, annotation budgeted
+  kDataC1,      // data drift (sort + truncate half), workload unchanged
+};
+
+struct ExperimentConfig {
+  size_t train_size = 1200;
+  size_t test_size = 200;
+  // Adaptation steps after the 0% point; x-axis advances queries_per_step
+  // per step (the paper's "0, 20%, ..., 100% of the test period").
+  size_t steps = 5;
+  size_t queries_per_step = 72;
+  DriftKind drift = DriftKind::kWorkloadC2;
+  size_t annotation_budget_per_step = std::numeric_limits<size_t>::max();
+  int repeats = 3;
+  uint64_t seed = 1;
+  core::WarperConfig warper;
+  workload::GeneratorOptions gen_opts;
+};
+
+struct MethodResult {
+  std::string name;
+  // Median and quartile adaptation curves over the repeats.
+  AdaptationCurve median;
+  AdaptationCurve q1;
+  AdaptationCurve q3;
+  // Mean per-run totals.
+  double annotations = 0.0;
+  double synthesized = 0.0;
+  double adapt_seconds = 0.0;  // wall time spent inside Step() calls
+  // Relative speedups vs FT.
+  Deltas deltas;
+};
+
+struct DriftExperimentResult {
+  double alpha = 0.0;     // GMQ right after the drift, no adaptation
+  double beta = 0.0;      // converged GMQ (model trained on new workload)
+  double delta_m = 0.0;   // α − β, the blind drift-severity metric
+  double delta_js = 0.0;  // workload JS divergence
+  std::vector<MethodResult> methods;
+};
+
+// --- Single-table experiments (LM / single-table MSCN) ---
+
+struct SingleTableDriftSpec {
+  // Fresh table per repeat (the c1 drift mutates it).
+  std::function<storage::Table(uint64_t seed)> table_factory;
+  workload::WorkloadSpec workload;
+  ModelFactory model_factory;
+  std::vector<Method> methods;
+  ExperimentConfig config;
+};
+
+DriftExperimentResult RunSingleTableDrift(const SingleTableDriftSpec& spec);
+
+// --- Star-join experiments (join MSCN, Table 7d) ---
+
+struct StarJoinDriftSpec {
+  std::function<storage::ImdbTables(uint64_t seed)> tables_factory;
+  workload::GenMethod train_method = workload::GenMethod::kW4;
+  workload::GenMethod drifted_method = workload::GenMethod::kW1;
+  std::vector<Method> methods;
+  ExperimentConfig config;
+};
+
+DriftExperimentResult RunStarJoinDrift(const StarJoinDriftSpec& spec);
+
+// Builds an adapter for `method` (Warper variants get `warper_config` with
+// the matching ablation switches).
+std::unique_ptr<baselines::Adapter> MakeAdapter(
+    Method method, const baselines::AdapterContext& context,
+    const core::WarperConfig& warper_config);
+
+}  // namespace warper::eval
+
+#endif  // WARPER_EVAL_EXPERIMENT_H_

@@ -1,0 +1,62 @@
+#include "eval/speedup.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/status.h"
+
+namespace warper::eval {
+
+bool AdaptationCurve::Valid() const {
+  if (queries.size() != gmq.size() || queries.empty()) return false;
+  for (size_t i = 1; i < queries.size(); ++i) {
+    if (queries[i] < queries[i - 1]) return false;
+  }
+  return true;
+}
+
+double QueriesToReach(const AdaptationCurve& curve, double target) {
+  WARPER_CHECK(curve.Valid());
+  for (size_t i = 0; i < curve.gmq.size(); ++i) {
+    if (curve.gmq[i] <= target) {
+      if (i == 0) return curve.queries[0];
+      // Linear interpolation between the bracketing points.
+      double g0 = curve.gmq[i - 1];
+      double g1 = curve.gmq[i];
+      double q0 = curve.queries[i - 1];
+      double q1 = curve.queries[i];
+      if (g0 <= g1) return q1;  // non-improving segment: credit the endpoint
+      double frac = (g0 - target) / (g0 - g1);
+      return q0 + frac * (q1 - q0);
+    }
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+namespace {
+
+double OneSpeedup(const AdaptationCurve& ft, const AdaptationCurve& method,
+                  double target, double cap_queries) {
+  double ft_q = std::min(QueriesToReach(ft, target), cap_queries);
+  double m_q = std::min(QueriesToReach(method, target), cap_queries);
+  // Floor at one query: reaching the target before consuming any new query
+  // would otherwise divide by zero.
+  ft_q = std::max(ft_q, 1.0);
+  m_q = std::max(m_q, 1.0);
+  return ft_q / m_q;
+}
+
+}  // namespace
+
+Deltas RelativeSpeedups(const AdaptationCurve& ft,
+                        const AdaptationCurve& method, double alpha,
+                        double beta, double cap_queries) {
+  WARPER_CHECK(cap_queries > 0.0);
+  Deltas deltas;
+  deltas.d50 = OneSpeedup(ft, method, beta + 0.5 * (alpha - beta), cap_queries);
+  deltas.d80 = OneSpeedup(ft, method, beta + 0.2 * (alpha - beta), cap_queries);
+  deltas.d100 = OneSpeedup(ft, method, beta, cap_queries);
+  return deltas;
+}
+
+}  // namespace warper::eval

@@ -1,0 +1,40 @@
+// Adaptation curves and the relative speedup metric Δ (§4.1):
+//   Δ(A, λ) = #queries method A needs to reach GMQ ≤ β + λ(α − β),
+// reported as the ratio Δ(FT, λ) / Δ(A, λ) for λ ∈ {0.5, 0.8, 1.0},
+// where α is the GMQ right after the drift and β the converged GMQ.
+#ifndef WARPER_EVAL_SPEEDUP_H_
+#define WARPER_EVAL_SPEEDUP_H_
+
+#include <vector>
+
+namespace warper::eval {
+
+// GMQ as a function of the number of new-workload queries consumed.
+struct AdaptationCurve {
+  std::vector<double> queries;  // monotonically increasing x-axis
+  std::vector<double> gmq;
+
+  bool Valid() const;
+};
+
+// Number of queries at which the curve first reaches `target` GMQ, linearly
+// interpolated between points; +infinity when it never does.
+double QueriesToReach(const AdaptationCurve& curve, double target);
+
+struct Deltas {
+  double d50 = 1.0;
+  double d80 = 1.0;
+  double d100 = 1.0;
+};
+
+// Relative speedups of `method` over `ft` with drift endpoints α, β. When a
+// curve never reaches a target, its query count is capped at `cap_queries`
+// (the total queries available in the test period), matching how a bounded
+// experiment can report the metric.
+Deltas RelativeSpeedups(const AdaptationCurve& ft,
+                        const AdaptationCurve& method, double alpha,
+                        double beta, double cap_queries);
+
+}  // namespace warper::eval
+
+#endif  // WARPER_EVAL_SPEEDUP_H_

@@ -1,0 +1,116 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/status.h"
+
+namespace warper::ml {
+namespace {
+
+double MeanOf(const std::vector<double>& y, const std::vector<size_t>& rows) {
+  double sum = 0.0;
+  for (size_t r : rows) sum += y[r];
+  return rows.empty() ? 0.0 : sum / static_cast<double>(rows.size());
+}
+
+}  // namespace
+
+void RegressionTree::Fit(const nn::Matrix& x, const std::vector<double>& y,
+                         const std::vector<size_t>& rows,
+                         const TreeConfig& config) {
+  WARPER_CHECK(x.rows() == y.size());
+  WARPER_CHECK(!rows.empty());
+  nodes_.clear();
+  std::vector<size_t> mutable_rows = rows;
+  Build(x, y, mutable_rows, 0, config);
+}
+
+int RegressionTree::Build(const nn::Matrix& x, const std::vector<double>& y,
+                          std::vector<size_t>& rows, int depth,
+                          const TreeConfig& config) {
+  int node_id = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[node_id].value = MeanOf(y, rows);
+
+  if (depth >= config.max_depth || rows.size() < 2 * config.min_samples_leaf) {
+    return node_id;
+  }
+
+  // Find the best exact split: for each feature, sort rows by value and scan
+  // prefix sums to maximize variance reduction.
+  double best_gain = 0.0;
+  size_t best_feature = 0;
+  double best_threshold = 0.0;
+
+  double total_sum = 0.0, total_sq = 0.0;
+  for (size_t r : rows) {
+    total_sum += y[r];
+    total_sq += y[r] * y[r];
+  }
+  double n = static_cast<double>(rows.size());
+  double parent_sse = total_sq - total_sum * total_sum / n;
+
+  std::vector<size_t> sorted = rows;
+  for (size_t f = 0; f < x.cols(); ++f) {
+    std::sort(sorted.begin(), sorted.end(), [&](size_t a, size_t b) {
+      return x.At(a, f) < x.At(b, f);
+    });
+    double left_sum = 0.0, left_sq = 0.0;
+    for (size_t i = 0; i + 1 < sorted.size(); ++i) {
+      double yi = y[sorted[i]];
+      left_sum += yi;
+      left_sq += yi * yi;
+      // Can't split between equal feature values.
+      if (x.At(sorted[i], f) == x.At(sorted[i + 1], f)) continue;
+      size_t nl = i + 1;
+      size_t nr = sorted.size() - nl;
+      if (nl < config.min_samples_leaf || nr < config.min_samples_leaf) {
+        continue;
+      }
+      double right_sum = total_sum - left_sum;
+      double right_sq = total_sq - left_sq;
+      double sse_left = left_sq - left_sum * left_sum / static_cast<double>(nl);
+      double sse_right =
+          right_sq - right_sum * right_sum / static_cast<double>(nr);
+      double gain = parent_sse - sse_left - sse_right;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = f;
+        best_threshold = 0.5 * (x.At(sorted[i], f) + x.At(sorted[i + 1], f));
+      }
+    }
+  }
+
+  if (best_gain <= 1e-12) return node_id;
+
+  std::vector<size_t> left_rows, right_rows;
+  for (size_t r : rows) {
+    (x.At(r, best_feature) <= best_threshold ? left_rows : right_rows)
+        .push_back(r);
+  }
+  WARPER_CHECK(!left_rows.empty() && !right_rows.empty());
+
+  nodes_[node_id].is_leaf = false;
+  nodes_[node_id].feature = best_feature;
+  nodes_[node_id].threshold = best_threshold;
+  int left = Build(x, y, left_rows, depth + 1, config);
+  nodes_[node_id].left = left;
+  int right = Build(x, y, right_rows, depth + 1, config);
+  nodes_[node_id].right = right;
+  return node_id;
+}
+
+double RegressionTree::Predict(const std::vector<double>& features) const {
+  WARPER_CHECK(fitted());
+  int node = 0;
+  while (!nodes_[static_cast<size_t>(node)].is_leaf) {
+    const Node& n = nodes_[static_cast<size_t>(node)];
+    WARPER_CHECK(n.feature < features.size());
+    node = features[n.feature] <= n.threshold ? n.left : n.right;
+  }
+  return nodes_[static_cast<size_t>(node)].value;
+}
+
+}  // namespace warper::ml

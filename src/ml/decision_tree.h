@@ -1,0 +1,48 @@
+// A CART-style regression tree with exact variance-reduction splits.
+// Building block for the gradient-boosted-trees estimator (LM-gbt).
+#ifndef WARPER_ML_DECISION_TREE_H_
+#define WARPER_ML_DECISION_TREE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace warper::ml {
+
+struct TreeConfig {
+  int max_depth = 4;
+  size_t min_samples_leaf = 4;
+};
+
+class RegressionTree {
+ public:
+  RegressionTree() = default;
+
+  // Fits on the rows of `x` selected by `rows` against `y`.
+  void Fit(const nn::Matrix& x, const std::vector<double>& y,
+           const std::vector<size_t>& rows, const TreeConfig& config);
+
+  double Predict(const std::vector<double>& features) const;
+
+  size_t NodeCount() const { return nodes_.size(); }
+  bool fitted() const { return !nodes_.empty(); }
+
+ private:
+  struct Node {
+    bool is_leaf = true;
+    double value = 0.0;     // leaf prediction
+    size_t feature = 0;     // split feature
+    double threshold = 0.0; // go left iff x[feature] <= threshold
+    int left = -1, right = -1;
+  };
+
+  int Build(const nn::Matrix& x, const std::vector<double>& y,
+            std::vector<size_t>& rows, int depth, const TreeConfig& config);
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace warper::ml
+
+#endif  // WARPER_ML_DECISION_TREE_H_

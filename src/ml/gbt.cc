@@ -1,0 +1,58 @@
+#include "ml/gbt.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace warper::ml {
+
+void GradientBoostedTrees::Fit(const nn::Matrix& x,
+                               const std::vector<double>& y,
+                               const GbtConfig& config, util::Rng* rng) {
+  WARPER_CHECK(x.rows() == y.size());
+  WARPER_CHECK(x.rows() > 0);
+  trees_.clear();
+  learning_rate_ = config.learning_rate;
+
+  double sum = 0.0;
+  for (double v : y) sum += v;
+  base_prediction_ = sum / static_cast<double>(y.size());
+  base_set_ = true;
+
+  std::vector<double> residual(y.size());
+  std::vector<double> current(y.size(), base_prediction_);
+
+  size_t sample_size = std::max<size_t>(
+      1, static_cast<size_t>(config.subsample * static_cast<double>(y.size())));
+
+  for (int t = 0; t < config.num_trees; ++t) {
+    for (size_t i = 0; i < y.size(); ++i) residual[i] = y[i] - current[i];
+
+    std::vector<size_t> rows =
+        sample_size >= y.size()
+            ? [&] {
+                std::vector<size_t> all(y.size());
+                for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+                return all;
+              }()
+            : rng->SampleWithoutReplacement(y.size(), sample_size);
+
+    RegressionTree tree;
+    tree.Fit(x, residual, rows, config.tree);
+    for (size_t i = 0; i < y.size(); ++i) {
+      current[i] += learning_rate_ * tree.Predict(x.Row(i));
+    }
+    trees_.push_back(std::move(tree));
+  }
+}
+
+double GradientBoostedTrees::Predict(const std::vector<double>& features) const {
+  WARPER_CHECK(base_set_);
+  double pred = base_prediction_;
+  for (const auto& tree : trees_) {
+    pred += learning_rate_ * tree.Predict(features);
+  }
+  return pred;
+}
+
+}  // namespace warper::ml

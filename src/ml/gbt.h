@@ -1,0 +1,44 @@
+// Gradient-boosted regression trees (squared loss, shrinkage, subsampling) —
+// the regressor behind the LM-gbt estimator variant (§4.1.2). GBTs cannot be
+// fine-tuned, so the CE wrapper re-trains them from scratch on update, which
+// is exactly the adaptation pattern the paper studies for this model class.
+#ifndef WARPER_ML_GBT_H_
+#define WARPER_ML_GBT_H_
+
+#include <vector>
+
+#include "ml/decision_tree.h"
+#include "nn/matrix.h"
+#include "util/rng.h"
+
+namespace warper::ml {
+
+struct GbtConfig {
+  int num_trees = 60;
+  double learning_rate = 1e-2;  // paper §4.1 "GBT uses a learning rate of 1e-2"
+  double subsample = 0.8;
+  TreeConfig tree;
+};
+
+class GradientBoostedTrees {
+ public:
+  GradientBoostedTrees() = default;
+
+  void Fit(const nn::Matrix& x, const std::vector<double>& y,
+           const GbtConfig& config, util::Rng* rng);
+
+  double Predict(const std::vector<double>& features) const;
+
+  bool fitted() const { return !trees_.empty() || base_set_; }
+  size_t num_trees() const { return trees_.size(); }
+
+ private:
+  double base_prediction_ = 0.0;
+  bool base_set_ = false;
+  double learning_rate_ = 0.0;
+  std::vector<RegressionTree> trees_;
+};
+
+}  // namespace warper::ml
+
+#endif  // WARPER_ML_GBT_H_

@@ -1,0 +1,75 @@
+#include "ml/kernel_ridge.h"
+
+#include <cmath>
+
+#include "ml/linalg.h"
+#include "util/status.h"
+
+namespace warper::ml {
+
+double KernelRidgeRegressor::Kernel(const std::vector<double>& a,
+                                    const double* b) const {
+  if (config_.kernel == KernelKind::kPolynomial) {
+    double dot = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) dot += a[i] * b[i];
+    return std::pow(config_.gamma * dot + config_.coef0, config_.degree);
+  }
+  double dist = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double d = a[i] - b[i];
+    dist += d * d;
+  }
+  return std::exp(-config_.gamma * dist);
+}
+
+void KernelRidgeRegressor::Fit(const nn::Matrix& x,
+                               const std::vector<double>& y,
+                               const KernelRidgeConfig& config,
+                               util::Rng* rng) {
+  WARPER_CHECK(x.rows() == y.size());
+  WARPER_CHECK(x.rows() > 0);
+  config_ = config;
+
+  // Subsample anchors if needed.
+  std::vector<size_t> rows;
+  if (x.rows() > config.max_anchors) {
+    rows = rng->SampleWithoutReplacement(x.rows(), config.max_anchors);
+  } else {
+    rows.resize(x.rows());
+    for (size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  }
+
+  size_t m = rows.size();
+  anchors_ = nn::Matrix(m, x.cols());
+  nn::Matrix targets(m, 1);
+  for (size_t i = 0; i < m; ++i) {
+    anchors_.SetRow(i, x.Row(rows[i]));
+    targets.At(i, 0) = y[rows[i]];
+  }
+
+  // K_ij = k(x_i, x_j); solve (K + λI) α = y.
+  nn::Matrix k(m, m);
+  for (size_t i = 0; i < m; ++i) {
+    std::vector<double> xi = anchors_.Row(i);
+    for (size_t j = i; j < m; ++j) {
+      double v = Kernel(xi, &anchors_.data()[j * anchors_.cols()]);
+      k.At(i, j) = v;
+      k.At(j, i) = v;
+    }
+  }
+  nn::Matrix alpha = CholeskySolve(k, targets, config.ridge);
+  alpha_.resize(m);
+  for (size_t i = 0; i < m; ++i) alpha_[i] = alpha.At(i, 0);
+}
+
+double KernelRidgeRegressor::Predict(const std::vector<double>& features) const {
+  WARPER_CHECK(fitted());
+  WARPER_CHECK(features.size() == anchors_.cols());
+  double pred = 0.0;
+  for (size_t i = 0; i < anchors_.rows(); ++i) {
+    pred += alpha_[i] * Kernel(features, &anchors_.data()[i * anchors_.cols()]);
+  }
+  return pred;
+}
+
+}  // namespace warper::ml

@@ -1,0 +1,56 @@
+// Kernel ridge regression with polynomial and RBF kernels.
+//
+// Substitution note (see DESIGN.md §3): the paper's LM-ply / LM-rbf variants
+// use sklearn SVR. We use kernel ridge regression with the same kernels —
+// the same kernelized nonlinear hypothesis class and the same adaptation
+// pattern (closed-form re-training from scratch, no fine-tuning). For large
+// training sets, a Nyström-style anchor subsample bounds the kernel matrix.
+#ifndef WARPER_ML_KERNEL_RIDGE_H_
+#define WARPER_ML_KERNEL_RIDGE_H_
+
+#include <vector>
+
+#include "nn/matrix.h"
+#include "util/rng.h"
+
+namespace warper::ml {
+
+enum class KernelKind {
+  kPolynomial,  // (γ·x·x' + c)^degree
+  kRbf,         // exp(-γ ||x - x'||²)
+};
+
+struct KernelRidgeConfig {
+  KernelKind kernel = KernelKind::kRbf;
+  int degree = 5;       // paper: "5-degree polynomial-kernel SVM"
+  double gamma = 1.0;   // kernel width / scale
+  double coef0 = 1.0;   // polynomial offset c
+  double ridge = 1e-3;  // regularization λ
+  // Maximum anchor points kept; training sets larger than this are
+  // subsampled so that the kernel solve stays O(max_anchors³).
+  size_t max_anchors = 512;
+};
+
+class KernelRidgeRegressor {
+ public:
+  KernelRidgeRegressor() = default;
+
+  void Fit(const nn::Matrix& x, const std::vector<double>& y,
+           const KernelRidgeConfig& config, util::Rng* rng);
+
+  double Predict(const std::vector<double>& features) const;
+
+  bool fitted() const { return !alpha_.empty(); }
+  size_t num_anchors() const { return anchors_.rows(); }
+
+ private:
+  double Kernel(const std::vector<double>& a, const double* b) const;
+
+  KernelRidgeConfig config_;
+  nn::Matrix anchors_;          // m × d support points
+  std::vector<double> alpha_;   // m dual coefficients
+};
+
+}  // namespace warper::ml
+
+#endif  // WARPER_ML_KERNEL_RIDGE_H_

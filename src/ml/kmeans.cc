@@ -1,0 +1,108 @@
+#include "ml/kmeans.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/status.h"
+
+namespace warper::ml {
+namespace {
+
+double SquaredDistance(const nn::Matrix& m, size_t row,
+                       const nn::Matrix& centroids, size_t centroid) {
+  double acc = 0.0;
+  for (size_t c = 0; c < m.cols(); ++c) {
+    double d = m.At(row, c) - centroids.At(centroid, c);
+    acc += d * d;
+  }
+  return acc;
+}
+
+}  // namespace
+
+KMeansResult KMeans(const nn::Matrix& points, size_t k, util::Rng* rng,
+                    int max_iters) {
+  size_t n = points.rows();
+  size_t d = points.cols();
+  WARPER_CHECK(n > 0 && d > 0 && k > 0);
+  k = std::min(k, n);
+
+  // k-means++ seeding.
+  nn::Matrix centroids(k, d);
+  std::vector<double> min_dist(n, std::numeric_limits<double>::infinity());
+  size_t first = static_cast<size_t>(rng->UniformInt(0, static_cast<int64_t>(n) - 1));
+  centroids.SetRow(0, points.Row(first));
+  for (size_t c = 1; c < k; ++c) {
+    for (size_t i = 0; i < n; ++i) {
+      min_dist[i] = std::min(min_dist[i], SquaredDistance(points, i, centroids, c - 1));
+    }
+    size_t chosen = rng->Categorical(min_dist);
+    centroids.SetRow(c, points.Row(chosen));
+  }
+
+  KMeansResult result;
+  result.assignment.assign(n, 0);
+  for (int iter = 0; iter < max_iters; ++iter) {
+    bool changed = false;
+    for (size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      size_t best_c = 0;
+      for (size_t c = 0; c < k; ++c) {
+        double dist = SquaredDistance(points, i, centroids, c);
+        if (dist < best) {
+          best = dist;
+          best_c = c;
+        }
+      }
+      if (result.assignment[i] != best_c) {
+        result.assignment[i] = best_c;
+        changed = true;
+      }
+    }
+    result.iterations = iter + 1;
+    if (!changed && iter > 0) break;
+
+    // Recompute centroids; empty clusters keep their previous position.
+    nn::Matrix sums(k, d);
+    std::vector<size_t> counts(k, 0);
+    for (size_t i = 0; i < n; ++i) {
+      size_t c = result.assignment[i];
+      ++counts[c];
+      for (size_t j = 0; j < d; ++j) sums.At(c, j) += points.At(i, j);
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;
+      for (size_t j = 0; j < d; ++j) {
+        centroids.At(c, j) = sums.At(c, j) / static_cast<double>(counts[c]);
+      }
+    }
+  }
+
+  result.inertia = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    result.inertia += SquaredDistance(points, i, centroids, result.assignment[i]);
+  }
+  result.centroids = std::move(centroids);
+  return result;
+}
+
+size_t NearestCentroid(const nn::Matrix& centroids,
+                       const std::vector<double>& point) {
+  WARPER_CHECK(centroids.rows() > 0 && centroids.cols() == point.size());
+  double best = std::numeric_limits<double>::infinity();
+  size_t best_c = 0;
+  for (size_t c = 0; c < centroids.rows(); ++c) {
+    double acc = 0.0;
+    for (size_t j = 0; j < point.size(); ++j) {
+      double d = point[j] - centroids.At(c, j);
+      acc += d * d;
+    }
+    if (acc < best) {
+      best = acc;
+      best_c = c;
+    }
+  }
+  return best_c;
+}
+
+}  // namespace warper::ml

@@ -1,0 +1,29 @@
+// k-means clustering (Lloyd's algorithm with k-means++ seeding).
+// Used by the Warper picker to stratify pool records by CE error (§3.2).
+#ifndef WARPER_ML_KMEANS_H_
+#define WARPER_ML_KMEANS_H_
+
+#include <vector>
+
+#include "nn/matrix.h"
+#include "util/rng.h"
+
+namespace warper::ml {
+
+struct KMeansResult {
+  nn::Matrix centroids;            // k × d
+  std::vector<size_t> assignment;  // per input row, in [0, k)
+  double inertia = 0.0;            // sum of squared distances to centroids
+  int iterations = 0;
+};
+
+KMeansResult KMeans(const nn::Matrix& points, size_t k, util::Rng* rng,
+                    int max_iters = 50);
+
+// Index of the nearest centroid for a point.
+size_t NearestCentroid(const nn::Matrix& centroids,
+                       const std::vector<double>& point);
+
+}  // namespace warper::ml
+
+#endif  // WARPER_ML_KMEANS_H_

@@ -1,0 +1,50 @@
+#include "ml/knn.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/status.h"
+
+namespace warper::ml {
+
+std::vector<size_t> KNearest(const nn::Matrix& corpus,
+                             const std::vector<double>& query, size_t k) {
+  WARPER_CHECK(corpus.cols() == query.size());
+  size_t n = corpus.rows();
+  std::vector<std::pair<double, size_t>> dist;
+  dist.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (size_t j = 0; j < query.size(); ++j) {
+      double d = corpus.At(i, j) - query[j];
+      acc += d * d;
+    }
+    dist.emplace_back(acc, i);
+  }
+  k = std::min(k, n);
+  std::partial_sort(dist.begin(), dist.begin() + static_cast<long>(k),
+                    dist.end());
+  std::vector<size_t> out(k);
+  for (size_t i = 0; i < k; ++i) out[i] = dist[i].second;
+  return out;
+}
+
+size_t KnnClassify(const nn::Matrix& corpus, const std::vector<size_t>& labels,
+                   const std::vector<double>& query, size_t k) {
+  WARPER_CHECK(corpus.rows() == labels.size());
+  WARPER_CHECK(corpus.rows() > 0);
+  std::vector<size_t> nearest = KNearest(corpus, query, k);
+  std::map<size_t, size_t> votes;
+  for (size_t idx : nearest) ++votes[labels[idx]];
+  size_t best_label = labels[nearest[0]];
+  size_t best_votes = votes[best_label];
+  for (const auto& [label, count] : votes) {
+    if (count > best_votes) {
+      best_votes = count;
+      best_label = label;
+    }
+  }
+  return best_label;
+}
+
+}  // namespace warper::ml

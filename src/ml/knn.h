@@ -1,0 +1,26 @@
+// Brute-force k-nearest-neighbour search over embedding vectors.
+// Used by the Warper picker to assign unlabeled queries to error-strata
+// buckets via their embeddings (§3.2).
+#ifndef WARPER_ML_KNN_H_
+#define WARPER_ML_KNN_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace warper::ml {
+
+// Indices of the k nearest rows of `corpus` to `query` (Euclidean), closest
+// first. Returns fewer than k if the corpus is smaller.
+std::vector<size_t> KNearest(const nn::Matrix& corpus,
+                             const std::vector<double>& query, size_t k);
+
+// Majority label among the k nearest neighbours; ties broken toward the
+// closest neighbour's label.
+size_t KnnClassify(const nn::Matrix& corpus, const std::vector<size_t>& labels,
+                   const std::vector<double>& query, size_t k);
+
+}  // namespace warper::ml
+
+#endif  // WARPER_ML_KNN_H_

@@ -1,0 +1,111 @@
+#include "ml/linalg.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/status.h"
+
+namespace warper::ml {
+
+EigenDecomposition SymmetricEigen(const nn::Matrix& symmetric, int max_sweeps) {
+  size_t n = symmetric.rows();
+  WARPER_CHECK(symmetric.cols() == n && n > 0);
+  nn::Matrix a = symmetric;
+  // v accumulates the rotations; starts as identity.
+  nn::Matrix v(n, n);
+  for (size_t i = 0; i < n; ++i) v.At(i, i) = 1.0;
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) off += a.At(p, q) * a.At(p, q);
+    }
+    if (off < 1e-22) break;
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        double apq = a.At(p, q);
+        if (std::abs(apq) < 1e-300) continue;
+        double app = a.At(p, p);
+        double aqq = a.At(q, q);
+        double theta = (aqq - app) / (2.0 * apq);
+        double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                   (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        double c = 1.0 / std::sqrt(t * t + 1.0);
+        double s = t * c;
+        for (size_t k = 0; k < n; ++k) {
+          double akp = a.At(k, p);
+          double akq = a.At(k, q);
+          a.At(k, p) = c * akp - s * akq;
+          a.At(k, q) = s * akp + c * akq;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          double apk = a.At(p, k);
+          double aqk = a.At(q, k);
+          a.At(p, k) = c * apk - s * aqk;
+          a.At(q, k) = s * apk + c * aqk;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          double vkp = v.At(k, p);
+          double vkq = v.At(k, q);
+          v.At(k, p) = c * vkp - s * vkq;
+          v.At(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort by eigenvalue descending.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t i, size_t j) { return a.At(i, i) > a.At(j, j); });
+
+  EigenDecomposition result;
+  result.values.resize(n);
+  result.vectors = nn::Matrix(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    result.values[i] = a.At(order[i], order[i]);
+    for (size_t k = 0; k < n; ++k) result.vectors.At(i, k) = v.At(k, order[i]);
+  }
+  return result;
+}
+
+nn::Matrix CholeskySolve(const nn::Matrix& a, const nn::Matrix& b,
+                         double ridge) {
+  size_t n = a.rows();
+  WARPER_CHECK(a.cols() == n && b.rows() == n);
+  // Factor A + ridge·I = L·Lᵀ.
+  nn::Matrix l(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      double sum = a.At(i, j) + (i == j ? ridge : 0.0);
+      for (size_t k = 0; k < j; ++k) sum -= l.At(i, k) * l.At(j, k);
+      if (i == j) {
+        WARPER_CHECK_MSG(sum > 0.0, "CholeskySolve: matrix not SPD at row "
+                                        << i << " (pivot " << sum << ")");
+        l.At(i, j) = std::sqrt(sum);
+      } else {
+        l.At(i, j) = sum / l.At(j, j);
+      }
+    }
+  }
+  // Solve L·Y = B then Lᵀ·X = Y, column by column.
+  nn::Matrix x(n, b.cols());
+  for (size_t c = 0; c < b.cols(); ++c) {
+    std::vector<double> y(n);
+    for (size_t i = 0; i < n; ++i) {
+      double sum = b.At(i, c);
+      for (size_t k = 0; k < i; ++k) sum -= l.At(i, k) * y[k];
+      y[i] = sum / l.At(i, i);
+    }
+    for (size_t i = n; i-- > 0;) {
+      double sum = y[i];
+      for (size_t k = i + 1; k < n; ++k) sum -= l.At(k, i) * x.At(k, c);
+      x.At(i, c) = sum / l.At(i, i);
+    }
+  }
+  return x;
+}
+
+}  // namespace warper::ml

@@ -1,0 +1,31 @@
+// Dense linear-algebra routines needed by PCA and kernel ridge regression.
+#ifndef WARPER_ML_LINALG_H_
+#define WARPER_ML_LINALG_H_
+
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace warper::ml {
+
+struct EigenDecomposition {
+  // Eigenvalues in descending order.
+  std::vector<double> values;
+  // eigenvectors.Row(i) is the unit eigenvector for values[i].
+  nn::Matrix vectors;
+};
+
+// Eigendecomposition of a symmetric matrix via cyclic Jacobi rotations.
+// Robust and exact enough for the small covariance / kernel matrices used
+// here (d ≤ a few hundred).
+EigenDecomposition SymmetricEigen(const nn::Matrix& symmetric,
+                                  int max_sweeps = 64);
+
+// Solves (A + ridge·I) x = b for symmetric positive definite A via Cholesky.
+// `b` may have multiple columns. Dies on a non-SPD input.
+nn::Matrix CholeskySolve(const nn::Matrix& a, const nn::Matrix& b,
+                         double ridge = 0.0);
+
+}  // namespace warper::ml
+
+#endif  // WARPER_ML_LINALG_H_

@@ -1,0 +1,85 @@
+#include "ml/pca.h"
+
+#include <algorithm>
+
+#include "ml/linalg.h"
+#include "util/status.h"
+
+namespace warper::ml {
+
+void Pca::Fit(const nn::Matrix& samples, size_t num_components) {
+  size_t n = samples.rows();
+  size_t d = samples.cols();
+  WARPER_CHECK(n > 1 && d > 0);
+  num_components = std::min(num_components, d);
+
+  mean_.assign(d, 0.0);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < d; ++c) mean_[c] += samples.At(r, c);
+  }
+  for (double& m : mean_) m /= static_cast<double>(n);
+
+  // Covariance matrix (d × d).
+  nn::Matrix cov(d, d);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t i = 0; i < d; ++i) {
+      double di = samples.At(r, i) - mean_[i];
+      if (di == 0.0) continue;
+      for (size_t j = i; j < d; ++j) {
+        cov.At(i, j) += di * (samples.At(r, j) - mean_[j]);
+      }
+    }
+  }
+  double inv = 1.0 / static_cast<double>(n - 1);
+  for (size_t i = 0; i < d; ++i) {
+    for (size_t j = i; j < d; ++j) {
+      cov.At(i, j) *= inv;
+      cov.At(j, i) = cov.At(i, j);
+    }
+  }
+
+  EigenDecomposition eig = SymmetricEigen(cov);
+  components_ = nn::Matrix(num_components, d);
+  double total = 0.0, kept = 0.0;
+  for (size_t i = 0; i < d; ++i) total += std::max(eig.values[i], 0.0);
+  for (size_t i = 0; i < num_components; ++i) {
+    kept += std::max(eig.values[i], 0.0);
+    components_.SetRow(i, eig.vectors.Row(i));
+  }
+  explained_ = total > 0.0 ? kept / total : 1.0;
+}
+
+nn::Matrix Pca::Transform(const nn::Matrix& samples) const {
+  WARPER_CHECK(fitted());
+  WARPER_CHECK(samples.cols() == mean_.size());
+  nn::Matrix out(samples.rows(), components_.rows());
+  for (size_t r = 0; r < samples.rows(); ++r) {
+    for (size_t k = 0; k < components_.rows(); ++k) {
+      double acc = 0.0;
+      for (size_t c = 0; c < mean_.size(); ++c) {
+        acc += (samples.At(r, c) - mean_[c]) * components_.At(k, c);
+      }
+      out.At(r, k) = acc;
+    }
+  }
+  return out;
+}
+
+std::vector<double> Pca::TransformRow(const std::vector<double>& row) const {
+  WARPER_CHECK(fitted());
+  WARPER_CHECK(row.size() == mean_.size());
+  std::vector<double> out(components_.rows(), 0.0);
+  for (size_t k = 0; k < components_.rows(); ++k) {
+    for (size_t c = 0; c < mean_.size(); ++c) {
+      out[k] += (row[c] - mean_[c]) * components_.At(k, c);
+    }
+  }
+  return out;
+}
+
+double Pca::ExplainedVarianceRatio() const {
+  WARPER_CHECK(fitted());
+  return explained_;
+}
+
+}  // namespace warper::ml

@@ -1,0 +1,42 @@
+// Principal Component Analysis.
+//
+// The paper uses PCA in two places: (1) 2-d visualization of predicate
+// workloads (§2, Figures 1/5/7) and (2) the k-dim projection inside the
+// Jensen–Shannon workload-drift metric (§3.1).
+#ifndef WARPER_ML_PCA_H_
+#define WARPER_ML_PCA_H_
+
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace warper::ml {
+
+class Pca {
+ public:
+  Pca() = default;
+
+  // Fits on (rows = samples) × (cols = features); keeps the top
+  // `num_components` eigenvectors of the covariance matrix.
+  void Fit(const nn::Matrix& samples, size_t num_components);
+
+  bool fitted() const { return components_.rows() > 0; }
+  size_t num_components() const { return components_.rows(); }
+  size_t input_dim() const { return mean_.size(); }
+
+  // Projects samples onto the principal components → (n × num_components).
+  nn::Matrix Transform(const nn::Matrix& samples) const;
+  std::vector<double> TransformRow(const std::vector<double>& row) const;
+
+  // Fraction of total variance captured by the kept components.
+  double ExplainedVarianceRatio() const;
+
+ private:
+  std::vector<double> mean_;
+  nn::Matrix components_;  // num_components × input_dim
+  double explained_ = 0.0;
+};
+
+}  // namespace warper::ml
+
+#endif  // WARPER_ML_PCA_H_

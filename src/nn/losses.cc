@@ -1,0 +1,74 @@
+#include "nn/losses.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/status.h"
+
+namespace warper::nn {
+
+double MseLoss(const Matrix& pred, const Matrix& target, Matrix* grad) {
+  WARPER_CHECK(pred.rows() == target.rows() && pred.cols() == target.cols());
+  WARPER_CHECK(pred.rows() > 0);
+  *grad = Matrix(pred.rows(), pred.cols());
+  double loss = 0.0;
+  double inv_n = 1.0 / static_cast<double>(pred.rows());
+  for (size_t i = 0; i < pred.data().size(); ++i) {
+    double d = pred.data()[i] - target.data()[i];
+    loss += d * d;
+    grad->data()[i] = 2.0 * d * inv_n;
+  }
+  return loss * inv_n;
+}
+
+double L1Loss(const Matrix& pred, const Matrix& target, Matrix* grad) {
+  WARPER_CHECK(pred.rows() == target.rows() && pred.cols() == target.cols());
+  WARPER_CHECK(pred.rows() > 0);
+  *grad = Matrix(pred.rows(), pred.cols());
+  double loss = 0.0;
+  double inv_n = 1.0 / static_cast<double>(pred.rows());
+  for (size_t i = 0; i < pred.data().size(); ++i) {
+    double d = pred.data()[i] - target.data()[i];
+    loss += std::abs(d);
+    grad->data()[i] = (d > 0.0 ? 1.0 : (d < 0.0 ? -1.0 : 0.0)) * inv_n;
+  }
+  return loss * inv_n;
+}
+
+Matrix Softmax(const Matrix& logits) {
+  Matrix probs(logits.rows(), logits.cols());
+  for (size_t r = 0; r < logits.rows(); ++r) {
+    double max_logit = logits.At(r, 0);
+    for (size_t c = 1; c < logits.cols(); ++c) {
+      max_logit = std::max(max_logit, logits.At(r, c));
+    }
+    double z = 0.0;
+    for (size_t c = 0; c < logits.cols(); ++c) {
+      double e = std::exp(logits.At(r, c) - max_logit);
+      probs.At(r, c) = e;
+      z += e;
+    }
+    for (size_t c = 0; c < logits.cols(); ++c) probs.At(r, c) /= z;
+  }
+  return probs;
+}
+
+double SoftmaxCrossEntropyLoss(const Matrix& logits,
+                               const std::vector<size_t>& labels,
+                               Matrix* grad) {
+  WARPER_CHECK(logits.rows() == labels.size());
+  WARPER_CHECK(logits.rows() > 0);
+  Matrix probs = Softmax(logits);
+  *grad = probs;
+  double loss = 0.0;
+  double inv_n = 1.0 / static_cast<double>(logits.rows());
+  for (size_t r = 0; r < logits.rows(); ++r) {
+    WARPER_CHECK(labels[r] < logits.cols());
+    loss += -std::log(std::max(probs.At(r, labels[r]), 1e-12));
+    grad->At(r, labels[r]) -= 1.0;
+  }
+  grad->Scale(inv_n);
+  return loss * inv_n;
+}
+
+}  // namespace warper::nn

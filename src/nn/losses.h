@@ -1,0 +1,31 @@
+// Loss functions. Each returns the mean loss over the batch and writes the
+// gradient with respect to the predictions (already divided by batch size,
+// so callers pass it straight into Mlp::Backward()).
+#ifndef WARPER_NN_LOSSES_H_
+#define WARPER_NN_LOSSES_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace warper::nn {
+
+// Mean squared error. `pred` and `target` are (batch × dims).
+double MseLoss(const Matrix& pred, const Matrix& target, Matrix* grad);
+
+// Mean absolute error (the paper's autoencoder reconstruction loss, Eq. 1).
+double L1Loss(const Matrix& pred, const Matrix& target, Matrix* grad);
+
+// Softmax cross-entropy for integer class labels. `logits` is
+// (batch × classes), `labels[i]` in [0, classes). The gradient is w.r.t. the
+// logits (softmax folded in).
+double SoftmaxCrossEntropyLoss(const Matrix& logits,
+                               const std::vector<size_t>& labels, Matrix* grad);
+
+// Row-wise softmax probabilities.
+Matrix Softmax(const Matrix& logits);
+
+}  // namespace warper::nn
+
+#endif  // WARPER_NN_LOSSES_H_

@@ -1,0 +1,146 @@
+#include "nn/matrix.h"
+
+#include <cmath>
+
+#include "util/status.h"
+
+namespace warper::nn {
+
+Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
+  WARPER_CHECK(!rows.empty());
+  Matrix m(rows.size(), rows[0].size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    WARPER_CHECK(rows[r].size() == m.cols_);
+    for (size_t c = 0; c < m.cols_; ++c) m.data_[r * m.cols_ + c] = rows[r][c];
+  }
+  return m;
+}
+
+Matrix Matrix::Xavier(size_t rows, size_t cols, util::Rng* rng) {
+  Matrix m(rows, cols);
+  double limit = std::sqrt(6.0 / static_cast<double>(rows + cols));
+  for (double& v : m.data_) v = rng->Uniform(-limit, limit);
+  return m;
+}
+
+double& Matrix::At(size_t r, size_t c) {
+  WARPER_CHECK(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+double Matrix::At(size_t r, size_t c) const {
+  WARPER_CHECK(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+std::vector<double> Matrix::Row(size_t r) const {
+  WARPER_CHECK(r < rows_);
+  return std::vector<double>(data_.begin() + static_cast<long>(r * cols_),
+                             data_.begin() + static_cast<long>((r + 1) * cols_));
+}
+
+void Matrix::SetRow(size_t r, const std::vector<double>& values) {
+  WARPER_CHECK(r < rows_ && values.size() == cols_);
+  for (size_t c = 0; c < cols_; ++c) data_[r * cols_ + c] = values[c];
+}
+
+Matrix Matrix::MatMul(const Matrix& other) const {
+  WARPER_CHECK_MSG(cols_ == other.rows_, "MatMul shape mismatch: (" << rows_
+                       << "x" << cols_ << ") x (" << other.rows_ << "x"
+                       << other.cols_ << ")");
+  Matrix out(rows_, other.cols_);
+  // i-k-j loop order for cache-friendly access of row-major operands.
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t k = 0; k < cols_; ++k) {
+      double a = data_[i * cols_ + k];
+      if (a == 0.0) continue;
+      const double* brow = &other.data_[k * other.cols_];
+      double* orow = &out.data_[i * other.cols_];
+      for (size_t j = 0; j < other.cols_; ++j) orow[j] += a * brow[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::TransposeMatMul(const Matrix& other) const {
+  WARPER_CHECK(rows_ == other.rows_);
+  Matrix out(cols_, other.cols_);
+  for (size_t k = 0; k < rows_; ++k) {
+    const double* arow = &data_[k * cols_];
+    const double* brow = &other.data_[k * other.cols_];
+    for (size_t i = 0; i < cols_; ++i) {
+      double a = arow[i];
+      if (a == 0.0) continue;
+      double* orow = &out.data_[i * other.cols_];
+      for (size_t j = 0; j < other.cols_; ++j) orow[j] += a * brow[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::MatMulTranspose(const Matrix& other) const {
+  WARPER_CHECK(cols_ == other.cols_);
+  Matrix out(rows_, other.rows_);
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* arow = &data_[i * cols_];
+    for (size_t j = 0; j < other.rows_; ++j) {
+      const double* brow = &other.data_[j * other.cols_];
+      double acc = 0.0;
+      for (size_t k = 0; k < cols_; ++k) acc += arow[k] * brow[k];
+      out.data_[i * other.rows_ + j] = acc;
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) {
+      out.data_[c * rows_ + r] = data_[r * cols_ + c];
+    }
+  }
+  return out;
+}
+
+void Matrix::Add(const Matrix& other) {
+  WARPER_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Matrix::Sub(const Matrix& other) {
+  WARPER_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+}
+
+void Matrix::MulElem(const Matrix& other) {
+  WARPER_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
+}
+
+void Matrix::Scale(double s) {
+  for (double& v : data_) v *= s;
+}
+
+void Matrix::AddRowBroadcast(const std::vector<double>& bias) {
+  WARPER_CHECK(bias.size() == cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) data_[r * cols_ + c] += bias[c];
+  }
+}
+
+std::vector<double> Matrix::ColumnSums() const {
+  std::vector<double> sums(cols_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) sums[c] += data_[r * cols_ + c];
+  }
+  return sums;
+}
+
+double Matrix::SquaredNorm() const {
+  double acc = 0.0;
+  for (double v : data_) acc += v * v;
+  return acc;
+}
+
+}  // namespace warper::nn

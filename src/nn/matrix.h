@@ -1,0 +1,69 @@
+// Dense row-major matrix of doubles — the numeric workhorse of the NN and
+// classic-ML substrates. Deliberately minimal: just the operations the
+// training loops need, with bounds checks in debug builds.
+#ifndef WARPER_NN_MATRIX_H_
+#define WARPER_NN_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace warper::nn {
+
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix FromRows(const std::vector<std::vector<double>>& rows);
+  // Xavier/Glorot-uniform initialization for a (fan_in × fan_out) weight.
+  static Matrix Xavier(size_t rows, size_t cols, util::Rng* rng);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& At(size_t r, size_t c);
+  double At(size_t r, size_t c) const;
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+  // Returns row r as a vector (copy).
+  std::vector<double> Row(size_t r) const;
+  void SetRow(size_t r, const std::vector<double>& values);
+
+  // C = this × other. Requires cols() == other.rows().
+  Matrix MatMul(const Matrix& other) const;
+  // C = thisᵀ × other.
+  Matrix TransposeMatMul(const Matrix& other) const;
+  // C = this × otherᵀ.
+  Matrix MatMulTranspose(const Matrix& other) const;
+
+  Matrix Transposed() const;
+
+  // Elementwise in-place operations (shapes must match).
+  void Add(const Matrix& other);
+  void Sub(const Matrix& other);
+  void MulElem(const Matrix& other);
+  void Scale(double s);
+
+  // Adds a row vector to every row (broadcast), e.g. a bias.
+  void AddRowBroadcast(const std::vector<double>& bias);
+
+  // Sum over rows → vector of length cols().
+  std::vector<double> ColumnSums() const;
+
+  // Frobenius-norm squared.
+  double SquaredNorm() const;
+
+ private:
+  size_t rows_, cols_;
+  std::vector<double> data_;
+};
+
+}  // namespace warper::nn
+
+#endif  // WARPER_NN_MATRIX_H_

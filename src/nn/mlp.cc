@@ -1,0 +1,200 @@
+#include "nn/mlp.h"
+
+#include <cmath>
+
+#include "util/status.h"
+
+namespace warper::nn {
+
+namespace {
+constexpr double kLeakySlope = 0.01;
+}  // namespace
+
+Mlp::Mlp(const MlpConfig& config, util::Rng* rng) : config_(config) {
+  WARPER_CHECK_MSG(config.layer_sizes.size() >= 2,
+                   "MLP needs at least input and output sizes");
+  for (size_t i = 0; i + 1 < config.layer_sizes.size(); ++i) {
+    size_t in = config.layer_sizes[i];
+    size_t out = config.layer_sizes[i + 1];
+    Layer layer;
+    layer.w = Matrix::Xavier(in, out, rng);
+    layer.b.assign(out, 0.0);
+    layer.gw = Matrix(in, out);
+    layer.gb.assign(out, 0.0);
+    layer.mw = Matrix(in, out);
+    layer.vw = Matrix(in, out);
+    layer.mb.assign(out, 0.0);
+    layer.vb.assign(out, 0.0);
+    layers_.push_back(std::move(layer));
+  }
+}
+
+void Mlp::ApplyActivation(Activation act, Matrix* m) {
+  switch (act) {
+    case Activation::kIdentity:
+      return;
+    case Activation::kRelu:
+      for (double& v : m->data()) v = v > 0.0 ? v : 0.0;
+      return;
+    case Activation::kLeakyRelu:
+      for (double& v : m->data()) v = v > 0.0 ? v : kLeakySlope * v;
+      return;
+    case Activation::kSigmoid:
+      for (double& v : m->data()) v = 1.0 / (1.0 + std::exp(-v));
+      return;
+    case Activation::kTanh:
+      for (double& v : m->data()) v = std::tanh(v);
+      return;
+  }
+}
+
+void Mlp::ActivationBackward(Activation act, const Matrix& post, Matrix* grad) {
+  WARPER_CHECK(post.rows() == grad->rows() && post.cols() == grad->cols());
+  auto& g = grad->data();
+  const auto& p = post.data();
+  switch (act) {
+    case Activation::kIdentity:
+      return;
+    case Activation::kRelu:
+      for (size_t i = 0; i < g.size(); ++i) g[i] *= p[i] > 0.0 ? 1.0 : 0.0;
+      return;
+    case Activation::kLeakyRelu:
+      for (size_t i = 0; i < g.size(); ++i) {
+        g[i] *= p[i] > 0.0 ? 1.0 : kLeakySlope;
+      }
+      return;
+    case Activation::kSigmoid:
+      for (size_t i = 0; i < g.size(); ++i) g[i] *= p[i] * (1.0 - p[i]);
+      return;
+    case Activation::kTanh:
+      for (size_t i = 0; i < g.size(); ++i) g[i] *= 1.0 - p[i] * p[i];
+      return;
+  }
+}
+
+Matrix Mlp::Forward(const Matrix& input) {
+  WARPER_CHECK_MSG(input.cols() == input_size(),
+                   "MLP forward: got " << input.cols() << " features, expect "
+                                       << input_size());
+  cached_inputs_.clear();
+  cached_outputs_.clear();
+  Matrix x = input;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    cached_inputs_.push_back(x);
+    Matrix y = x.MatMul(layers_[i].w);
+    y.AddRowBroadcast(layers_[i].b);
+    Activation act = (i + 1 == layers_.size()) ? config_.output_activation
+                                               : config_.hidden_activation;
+    ApplyActivation(act, &y);
+    cached_outputs_.push_back(y);
+    x = std::move(y);
+  }
+  return x;
+}
+
+Matrix Mlp::Predict(const Matrix& input) const {
+  WARPER_CHECK(input.cols() == input_size());
+  Matrix x = input;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    Matrix y = x.MatMul(layers_[i].w);
+    y.AddRowBroadcast(layers_[i].b);
+    Activation act = (i + 1 == layers_.size()) ? config_.output_activation
+                                               : config_.hidden_activation;
+    ApplyActivation(act, &y);
+    x = std::move(y);
+  }
+  return x;
+}
+
+Matrix Mlp::Backward(const Matrix& grad_output) {
+  WARPER_CHECK_MSG(cached_outputs_.size() == layers_.size(),
+                   "Backward called without a preceding Forward");
+  Matrix grad = grad_output;
+  for (size_t i = layers_.size(); i-- > 0;) {
+    Activation act = (i + 1 == layers_.size()) ? config_.output_activation
+                                               : config_.hidden_activation;
+    ActivationBackward(act, cached_outputs_[i], &grad);
+    // dW += Xᵀ · dY; db += colsum(dY); dX = dY · Wᵀ.
+    Matrix gw = cached_inputs_[i].TransposeMatMul(grad);
+    layers_[i].gw.Add(gw);
+    std::vector<double> gb = grad.ColumnSums();
+    for (size_t c = 0; c < gb.size(); ++c) layers_[i].gb[c] += gb[c];
+    grad = grad.MatMulTranspose(layers_[i].w);
+  }
+  return grad;
+}
+
+void Mlp::ZeroGrad() {
+  for (auto& layer : layers_) {
+    layer.gw.Scale(0.0);
+    for (double& g : layer.gb) g = 0.0;
+  }
+}
+
+void Mlp::Step(const OptimizerConfig& opt, double learning_rate) {
+  if (opt.kind == OptimizerKind::kSgd) {
+    for (auto& layer : layers_) {
+      for (size_t i = 0; i < layer.w.data().size(); ++i) {
+        layer.w.data()[i] -= learning_rate * layer.gw.data()[i];
+      }
+      for (size_t i = 0; i < layer.b.size(); ++i) {
+        layer.b[i] -= learning_rate * layer.gb[i];
+      }
+    }
+  } else {
+    ++adam_step_;
+    double bc1 = 1.0 - std::pow(opt.beta1, static_cast<double>(adam_step_));
+    double bc2 = 1.0 - std::pow(opt.beta2, static_cast<double>(adam_step_));
+    for (auto& layer : layers_) {
+      for (size_t i = 0; i < layer.w.data().size(); ++i) {
+        double g = layer.gw.data()[i];
+        double& m = layer.mw.data()[i];
+        double& v = layer.vw.data()[i];
+        m = opt.beta1 * m + (1.0 - opt.beta1) * g;
+        v = opt.beta2 * v + (1.0 - opt.beta2) * g * g;
+        layer.w.data()[i] -=
+            learning_rate * (m / bc1) / (std::sqrt(v / bc2) + opt.epsilon);
+      }
+      for (size_t i = 0; i < layer.b.size(); ++i) {
+        double g = layer.gb[i];
+        double& m = layer.mb[i];
+        double& v = layer.vb[i];
+        m = opt.beta1 * m + (1.0 - opt.beta1) * g;
+        v = opt.beta2 * v + (1.0 - opt.beta2) * g * g;
+        layer.b[i] -=
+            learning_rate * (m / bc1) / (std::sqrt(v / bc2) + opt.epsilon);
+      }
+    }
+  }
+  cached_inputs_.clear();
+  cached_outputs_.clear();
+}
+
+size_t Mlp::ParameterCount() const {
+  size_t n = 0;
+  for (const auto& layer : layers_) {
+    n += layer.w.rows() * layer.w.cols() + layer.b.size();
+  }
+  return n;
+}
+
+std::vector<double> Mlp::GetParameters() const {
+  std::vector<double> params;
+  params.reserve(ParameterCount());
+  for (const auto& layer : layers_) {
+    params.insert(params.end(), layer.w.data().begin(), layer.w.data().end());
+    params.insert(params.end(), layer.b.begin(), layer.b.end());
+  }
+  return params;
+}
+
+void Mlp::SetParameters(const std::vector<double>& params) {
+  WARPER_CHECK(params.size() == ParameterCount());
+  size_t offset = 0;
+  for (auto& layer : layers_) {
+    for (double& v : layer.w.data()) v = params[offset++];
+    for (double& v : layer.b) v = params[offset++];
+  }
+}
+
+}  // namespace warper::nn

@@ -1,0 +1,106 @@
+// A multi-layer perceptron with manual backpropagation and an Adam / SGD
+// optimizer. This backs every learned component in the reproduction: the
+// Warper Encoder / Generator / Discriminator (Table 3 of the paper), the
+// LM-mlp estimator, and the MSCN sub-networks.
+#ifndef WARPER_NN_MLP_H_
+#define WARPER_NN_MLP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/matrix.h"
+#include "util/rng.h"
+
+namespace warper::nn {
+
+enum class Activation {
+  kIdentity,
+  kRelu,
+  kLeakyRelu,  // slope 0.01, as in the paper's Table 3
+  kSigmoid,
+  kTanh,
+};
+
+struct MlpConfig {
+  // Sizes including input and output, e.g. {in, 128, 128, 128, out}.
+  std::vector<size_t> layer_sizes;
+  // Activation between hidden layers.
+  Activation hidden_activation = Activation::kLeakyRelu;
+  // Activation after the final layer (usually identity for regression /
+  // logits, sigmoid for outputs constrained to [0, 1]).
+  Activation output_activation = Activation::kIdentity;
+};
+
+enum class OptimizerKind { kSgd, kAdam };
+
+struct OptimizerConfig {
+  OptimizerKind kind = OptimizerKind::kAdam;
+  double learning_rate = 1e-3;  // paper §3.5
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double epsilon = 1e-8;
+  // Multiplicative learning-rate decay applied every `decay_every_epochs`
+  // epochs; the paper halves the LR every 10 epochs.
+  double decay_factor = 0.5;
+  int decay_every_epochs = 10;
+};
+
+class Mlp {
+ public:
+  Mlp() = default;
+  Mlp(const MlpConfig& config, util::Rng* rng);
+
+  // Forward pass; caches intermediate activations for Backward().
+  Matrix Forward(const Matrix& input);
+  // Forward pass without caching (inference only; const).
+  Matrix Predict(const Matrix& input) const;
+
+  // Backpropagates the loss gradient w.r.t. the output of the last Forward()
+  // call; accumulates parameter gradients and returns the gradient w.r.t. the
+  // input (needed to chain networks, e.g. G → E → D in the GAN update).
+  Matrix Backward(const Matrix& grad_output);
+
+  void ZeroGrad();
+  // Applies one optimizer step with the given learning rate and clears the
+  // cached activations.
+  void Step(const OptimizerConfig& opt, double learning_rate);
+
+  size_t input_size() const { return config_.layer_sizes.front(); }
+  size_t output_size() const { return config_.layer_sizes.back(); }
+  // Total number of trainable parameters.
+  size_t ParameterCount() const;
+
+  // Flat copies of all parameters; used by tests and model snapshots.
+  std::vector<double> GetParameters() const;
+  void SetParameters(const std::vector<double>& params);
+
+  const MlpConfig& config() const { return config_; }
+
+ private:
+  struct Layer {
+    Matrix w;                 // in × out
+    std::vector<double> b;    // out
+    Matrix gw;                // gradient accumulators
+    std::vector<double> gb;
+    // Adam moment estimates.
+    Matrix mw, vw;
+    std::vector<double> mb, vb;
+  };
+
+  static void ApplyActivation(Activation act, Matrix* m);
+  // grad := grad ⊙ act'(pre_activation_output) given the *post*-activation
+  // values (all supported activations admit this form).
+  static void ActivationBackward(Activation act, const Matrix& post,
+                                 Matrix* grad);
+
+  MlpConfig config_;
+  std::vector<Layer> layers_;
+  // Cached per-layer inputs and post-activation outputs from Forward().
+  std::vector<Matrix> cached_inputs_;
+  std::vector<Matrix> cached_outputs_;
+  int64_t adam_step_ = 0;
+};
+
+}  // namespace warper::nn
+
+#endif  // WARPER_NN_MLP_H_

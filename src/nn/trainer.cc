@@ -1,0 +1,106 @@
+#include "nn/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "nn/losses.h"
+#include "util/status.h"
+
+namespace warper::nn {
+
+double ScheduledLearningRate(const OptimizerConfig& opt, int epoch) {
+  if (opt.decay_every_epochs <= 0) return opt.learning_rate;
+  int decays = epoch / opt.decay_every_epochs;
+  return opt.learning_rate * std::pow(opt.decay_factor, decays);
+}
+
+namespace {
+
+// Shared epoch loop: `run_batch` computes the loss for the given row indices
+// and performs backward; the loop handles shuffling, stepping, the LR
+// schedule and early stopping.
+TrainStats RunEpochs(
+    Mlp* mlp, size_t num_rows, const TrainConfig& config, util::Rng* rng,
+    const std::function<double(const std::vector<size_t>&)>& run_batch) {
+  WARPER_CHECK(num_rows > 0);
+  TrainStats stats;
+  std::vector<size_t> order(num_rows);
+  for (size_t i = 0; i < num_rows; ++i) order[i] = i;
+
+  double prev_loss = std::numeric_limits<double>::infinity();
+  int stagnant = 0;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    rng->Shuffle(&order);
+    double lr = ScheduledLearningRate(config.optimizer, epoch);
+    double epoch_loss = 0.0;
+    size_t batches = 0;
+    for (size_t start = 0; start < num_rows; start += config.batch_size) {
+      size_t end = std::min(start + config.batch_size, num_rows);
+      std::vector<size_t> batch(order.begin() + static_cast<long>(start),
+                                order.begin() + static_cast<long>(end));
+      mlp->ZeroGrad();
+      epoch_loss += run_batch(batch);
+      mlp->Step(config.optimizer, lr);
+      ++batches;
+    }
+    epoch_loss /= static_cast<double>(batches);
+    stats.epochs_run = epoch + 1;
+    stats.final_loss = epoch_loss;
+    if (config.early_stop_rel_tol > 0.0 && std::isfinite(prev_loss)) {
+      double rel_gain = (prev_loss - epoch_loss) / std::max(prev_loss, 1e-12);
+      stagnant = rel_gain < config.early_stop_rel_tol ? stagnant + 1 : 0;
+      if (stagnant >= config.early_stop_patience) break;
+    }
+    prev_loss = epoch_loss;
+  }
+  return stats;
+}
+
+Matrix GatherRows(const Matrix& m, const std::vector<size_t>& rows) {
+  Matrix out(rows.size(), m.cols());
+  for (size_t i = 0; i < rows.size(); ++i) out.SetRow(i, m.Row(rows[i]));
+  return out;
+}
+
+}  // namespace
+
+TrainStats TrainRegressor(Mlp* mlp, const Matrix& inputs, const Matrix& targets,
+                          const TrainConfig& config, util::Rng* rng,
+                          RegressionLoss loss) {
+  WARPER_CHECK(inputs.rows() == targets.rows());
+  return RunEpochs(mlp, inputs.rows(), config, rng,
+                   [&](const std::vector<size_t>& batch) {
+                     Matrix x = GatherRows(inputs, batch);
+                     Matrix y = GatherRows(targets, batch);
+                     Matrix pred = mlp->Forward(x);
+                     Matrix grad;
+                     double batch_loss = loss == RegressionLoss::kMse
+                                             ? MseLoss(pred, y, &grad)
+                                             : L1Loss(pred, y, &grad);
+                     mlp->Backward(grad);
+                     return batch_loss;
+                   });
+}
+
+TrainStats TrainClassifier(Mlp* mlp, const Matrix& inputs,
+                           const std::vector<size_t>& labels,
+                           const TrainConfig& config, util::Rng* rng) {
+  WARPER_CHECK(inputs.rows() == labels.size());
+  return RunEpochs(mlp, inputs.rows(), config, rng,
+                   [&](const std::vector<size_t>& batch) {
+                     Matrix x = GatherRows(inputs, batch);
+                     std::vector<size_t> y(batch.size());
+                     for (size_t i = 0; i < batch.size(); ++i) {
+                       y[i] = labels[batch[i]];
+                     }
+                     Matrix logits = mlp->Forward(x);
+                     Matrix grad;
+                     double batch_loss =
+                         SoftmaxCrossEntropyLoss(logits, y, &grad);
+                     mlp->Backward(grad);
+                     return batch_loss;
+                   });
+}
+
+}  // namespace warper::nn

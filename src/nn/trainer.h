@@ -1,0 +1,46 @@
+// A generic mini-batch training loop with the paper's learning-rate schedule
+// (lr 1e-3, halved every 10 epochs) and loss-convergence early stopping.
+#ifndef WARPER_NN_TRAINER_H_
+#define WARPER_NN_TRAINER_H_
+
+#include <functional>
+
+#include "nn/mlp.h"
+#include "util/rng.h"
+
+namespace warper::nn {
+
+struct TrainConfig {
+  int epochs = 50;
+  size_t batch_size = 32;
+  OptimizerConfig optimizer;
+  // Stop when the relative improvement of the epoch loss falls below this
+  // for `patience` consecutive epochs; <= 0 disables early stopping.
+  double early_stop_rel_tol = 1e-3;
+  int early_stop_patience = 3;
+};
+
+enum class RegressionLoss { kMse, kL1 };
+
+struct TrainStats {
+  int epochs_run = 0;
+  double final_loss = 0.0;
+};
+
+// Trains `mlp` to regress `targets` from `inputs` (row-aligned matrices).
+TrainStats TrainRegressor(Mlp* mlp, const Matrix& inputs, const Matrix& targets,
+                          const TrainConfig& config, util::Rng* rng,
+                          RegressionLoss loss = RegressionLoss::kMse);
+
+// Trains `mlp` as a classifier over integer labels with softmax
+// cross-entropy.
+TrainStats TrainClassifier(Mlp* mlp, const Matrix& inputs,
+                           const std::vector<size_t>& labels,
+                           const TrainConfig& config, util::Rng* rng);
+
+// Learning rate for a given epoch under the schedule in `opt`.
+double ScheduledLearningRate(const OptimizerConfig& opt, int epoch);
+
+}  // namespace warper::nn
+
+#endif  // WARPER_NN_TRAINER_H_

@@ -1,0 +1,105 @@
+#include "qo/executor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/status.h"
+
+namespace warper::qo {
+
+Executor::Executor(const storage::TpchTables* tables,
+                   const CostModelConfig& config)
+    : tables_(tables), config_(config) {
+  WARPER_CHECK(tables != nullptr);
+}
+
+ExecutionResult Executor::Execute(const ActualCardinalities& actual,
+                                  const PhysicalPlan& plan) const {
+  ExecutionResult result;
+  double latency = 0.0;
+
+  double table_rows = static_cast<double>(tables_->lineitem.NumRows() +
+                                          tables_->orders.NumRows());
+  double dop = plan.parallel
+                   ? static_cast<double>(config_.degree_of_parallelism)
+                   : 1.0;
+  // Both inputs are always scanned (no indexes, §4.2).
+  latency += table_rows * config_.scan_per_row / dop;
+
+  double build_rows = static_cast<double>(
+      plan.build_on_lineitem ? actual.lineitem_rows : actual.orders_rows);
+  double probe_rows = static_cast<double>(
+      plan.build_on_lineitem ? actual.orders_rows : actual.lineitem_rows);
+
+  if (plan.join == JoinAlgorithm::kNestedLoop) {
+    // Inner side is the build side; every (outer, inner) pair is touched.
+    latency += probe_rows * build_rows * config_.nlj_per_pair / dop;
+  } else {
+    double join_cost = build_rows * config_.hash_build_per_row +
+                       probe_rows * config_.hash_probe_per_row;
+
+    if (plan.parallel) {
+      // Bitmap built on one side, applied to the other before the exchange.
+      double bitmap_rows = static_cast<double>(plan.bitmap_on_lineitem
+                                                   ? actual.lineitem_rows
+                                                   : actual.orders_rows);
+      double other_full = static_cast<double>(plan.bitmap_on_lineitem
+                                                  ? actual.orders_rows
+                                                  : actual.lineitem_rows);
+      double other_filtered = static_cast<double>(
+          plan.bitmap_on_lineitem ? actual.orders_semijoin_rows
+                                  : actual.lineitem_semijoin_rows);
+      other_filtered = std::min(other_filtered, other_full);
+      latency += bitmap_rows * config_.bitmap_build_per_row;
+      // The bitmap side flows fully through the exchange; the other side
+      // flows pre-filtered.
+      latency += (bitmap_rows + other_filtered) * config_.exchange_per_row;
+      join_cost = build_rows * config_.hash_build_per_row +
+                  std::min(probe_rows, bitmap_rows + other_filtered) *
+                      config_.hash_probe_per_row;
+    }
+
+    // Buffer spill: extra passes when the build side exceeds its grant.
+    if (build_rows > static_cast<double>(plan.memory_grant_rows)) {
+      int passes = static_cast<int>(std::ceil(
+                       build_rows /
+                       std::max(1.0,
+                                static_cast<double>(plan.memory_grant_rows)))) -
+                   1;
+      passes = std::min(passes, config_.max_spill_passes);
+      result.spilled = true;
+      result.spill_passes = passes;
+      latency += static_cast<double>(passes) *
+                 (build_rows * (config_.spill_write_per_row +
+                                config_.spill_read_per_row) +
+                  probe_rows * config_.spill_probe_per_row);
+    }
+    latency += join_cost / dop;
+  }
+
+  latency += static_cast<double>(actual.join_rows) * config_.output_per_row /
+             dop;
+  result.latency_ms = latency;
+  return result;
+}
+
+ExecutionResult Executor::Run(const SpjQuery& query, const Optimizer& optimizer,
+                              double estimated_lineitem_rows,
+                              double estimated_orders_rows,
+                              Scenario scenario) const {
+  ActualCardinalities actual = ComputeActuals(*tables_, query);
+  PhysicalPlan plan = optimizer.Plan(estimated_lineitem_rows,
+                                     estimated_orders_rows, scenario);
+  return Execute(actual, plan);
+}
+
+ExecutionResult Executor::RunWithTrueCardinalities(
+    const ActualCardinalities& actual, const Optimizer& optimizer,
+    Scenario scenario) const {
+  PhysicalPlan plan =
+      optimizer.Plan(static_cast<double>(actual.lineitem_rows),
+                     static_cast<double>(actual.orders_rows), scenario);
+  return Execute(actual, plan);
+}
+
+}  // namespace warper::qo

@@ -1,0 +1,38 @@
+#include "qo/optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace warper::qo {
+
+PhysicalPlan Optimizer::Plan(double estimated_lineitem_rows,
+                             double estimated_orders_rows,
+                             Scenario scenario) const {
+  PhysicalPlan plan;
+  plan.parallel = scenario == Scenario::kBitmapSide;
+
+  double est_l = std::max(0.0, estimated_lineitem_rows);
+  double est_o = std::max(0.0, estimated_orders_rows);
+
+  // S2: nested loop only when both inputs look small.
+  if (scenario == Scenario::kJoinType &&
+      est_l <= static_cast<double>(config_.nlj_row_threshold) &&
+      est_o <= static_cast<double>(config_.nlj_row_threshold)) {
+    plan.join = JoinAlgorithm::kNestedLoop;
+  }
+
+  // Hash build (and nested-loop inner) on the smaller estimated input.
+  plan.build_on_lineitem = est_l <= est_o;
+
+  // Memory grant sized from the build-side estimate.
+  double build_estimate = plan.build_on_lineitem ? est_l : est_o;
+  plan.memory_grant_rows = std::max(
+      config_.min_grant_rows,
+      static_cast<int64_t>(std::ceil(build_estimate * config_.grant_slack)));
+
+  // S3: bitmap on the smaller estimated input; applied to the other one.
+  plan.bitmap_on_lineitem = est_l <= est_o;
+  return plan;
+}
+
+}  // namespace warper::qo

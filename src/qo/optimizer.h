@@ -1,0 +1,41 @@
+// A simulated cost-based optimizer. Given *estimated* input cardinalities it
+// makes the three plan decisions of §4.2 the same way a production QO would:
+// join algorithm from the input sizes, hash-build side and memory grant from
+// the smaller estimated input, bitmap side from the smaller estimated input
+// in parallel plans. Injecting different cardinality estimates therefore
+// flips plans exactly as the paper's memo-cost injection does.
+#ifndef WARPER_QO_OPTIMIZER_H_
+#define WARPER_QO_OPTIMIZER_H_
+
+#include "qo/plan.h"
+#include "qo/spj_query.h"
+
+namespace warper::qo {
+
+struct OptimizerConfig {
+  // Both inputs at or below this estimated row count → nested-loop join
+  // (mirrors "when both join inputs are estimated to have a small
+  // cardinality, the QO picks nested loop joins", §4.2 S2).
+  int64_t nlj_row_threshold = 400;
+  // Memory grant = estimate × slack (under-estimates spill, §4.2 S1).
+  double grant_slack = 1.2;
+  int64_t min_grant_rows = 64;
+};
+
+class Optimizer {
+ public:
+  explicit Optimizer(const OptimizerConfig& config = {}) : config_(config) {}
+
+  // Plans the SPJ query from estimated |σ(L)| and |σ(O)|.
+  PhysicalPlan Plan(double estimated_lineitem_rows,
+                    double estimated_orders_rows, Scenario scenario) const;
+
+  const OptimizerConfig& config() const { return config_; }
+
+ private:
+  OptimizerConfig config_;
+};
+
+}  // namespace warper::qo
+
+#endif  // WARPER_QO_OPTIMIZER_H_

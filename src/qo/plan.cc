@@ -1,0 +1,19 @@
+#include "qo/plan.h"
+
+#include <sstream>
+
+namespace warper::qo {
+
+std::string PhysicalPlan::ToString() const {
+  std::ostringstream oss;
+  oss << (join == JoinAlgorithm::kHashJoin ? "HashJoin" : "NestedLoop");
+  oss << "(build=" << (build_on_lineitem ? "L" : "O")
+      << ", grant=" << memory_grant_rows;
+  if (parallel) {
+    oss << ", bitmap=" << (bitmap_on_lineitem ? "L" : "O");
+  }
+  oss << ")";
+  return oss.str();
+}
+
+}  // namespace warper::qo

@@ -1,0 +1,32 @@
+// Physical plan choices for the select-project-join template of Figure 1 /
+// §4.2. The three plan decisions the paper studies are exactly the ones a
+// cardinality estimate can flip:
+//   S1  memory grant for the hash-join build (wrong → buffer spill),
+//   S2  nested-loop vs hash join,
+//   S3  which join input to build the bitmap on (parallel plans).
+#ifndef WARPER_QO_PLAN_H_
+#define WARPER_QO_PLAN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace warper::qo {
+
+enum class JoinAlgorithm { kHashJoin, kNestedLoop };
+
+struct PhysicalPlan {
+  JoinAlgorithm join = JoinAlgorithm::kHashJoin;
+  // True when lineitem is the hash build (or nested-loop inner) side.
+  bool build_on_lineitem = true;
+  // Row budget granted to the build side; actual build rows above this spill.
+  int64_t memory_grant_rows = 0;
+  // Parallel plans only: the side the semi-join bitmap is built on.
+  bool bitmap_on_lineitem = true;
+  bool parallel = false;
+
+  std::string ToString() const;
+};
+
+}  // namespace warper::qo
+
+#endif  // WARPER_QO_PLAN_H_

@@ -1,0 +1,57 @@
+#include "qo/spj_query.h"
+
+#include <unordered_map>
+
+#include "util/status.h"
+
+namespace warper::qo {
+
+const char* ScenarioName(Scenario scenario) {
+  switch (scenario) {
+    case Scenario::kBufferSpill:
+      return "S1-BufferSpill";
+    case Scenario::kJoinType:
+      return "S2-JoinType";
+    case Scenario::kBitmapSide:
+      return "S3-BitmapSide";
+  }
+  return "?";
+}
+
+ActualCardinalities ComputeActuals(const storage::TpchTables& tables,
+                                   const SpjQuery& query) {
+  ActualCardinalities actual;
+
+  // Filtered orders per key (orderkey is the PK, so 0/1 per key).
+  std::unordered_map<int64_t, int64_t> orders_keys;
+  const storage::Table& orders = tables.orders;
+  for (size_t r = 0; r < orders.NumRows(); ++r) {
+    if (!query.orders_pred.Matches(orders, r)) continue;
+    ++actual.orders_rows;
+    int64_t key =
+        static_cast<int64_t>(orders.column(tables.orders_pk_col).Value(r));
+    ++orders_keys[key];
+  }
+
+  // Filtered lineitems; aggregate per key for the semi-join counts.
+  std::unordered_map<int64_t, int64_t> lineitem_keys;
+  const storage::Table& lineitem = tables.lineitem;
+  for (size_t r = 0; r < lineitem.NumRows(); ++r) {
+    if (!query.lineitem_pred.Matches(lineitem, r)) continue;
+    ++actual.lineitem_rows;
+    int64_t key =
+        static_cast<int64_t>(lineitem.column(tables.lineitem_fk_col).Value(r));
+    ++lineitem_keys[key];
+  }
+
+  for (const auto& [key, lcount] : lineitem_keys) {
+    auto it = orders_keys.find(key);
+    if (it == orders_keys.end()) continue;
+    actual.join_rows += lcount * it->second;
+    actual.lineitem_semijoin_rows += lcount;
+    actual.orders_semijoin_rows += it->second;
+  }
+  return actual;
+}
+
+}  // namespace warper::qo

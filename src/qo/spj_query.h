@@ -1,0 +1,47 @@
+// The Figure-1 query template:
+//   SELECT ... FROM Lineitem L JOIN Orders O ON l_orderkey = o_orderkey
+//   WHERE pred(L) [AND pred(O)]
+// with its three §4.2 execution scenarios.
+#ifndef WARPER_QO_SPJ_QUERY_H_
+#define WARPER_QO_SPJ_QUERY_H_
+
+#include <cstdint>
+
+#include "storage/datasets.h"
+#include "storage/predicate.h"
+
+namespace warper::qo {
+
+// Which plan-flip mechanism the experiment exercises (Table 9).
+enum class Scenario {
+  kBufferSpill,   // S1: single thread, predicate on L
+  kJoinType,      // S2: single thread, predicates on L and O
+  kBitmapSide,    // S3: multi-threaded, predicates on L and O
+};
+
+const char* ScenarioName(Scenario scenario);
+
+struct SpjQuery {
+  storage::RangePredicate lineitem_pred;
+  storage::RangePredicate orders_pred;
+};
+
+// Actual (ground-truth) cardinalities of a query against the tables.
+struct ActualCardinalities {
+  int64_t lineitem_rows = 0;   // |σ(L)|
+  int64_t orders_rows = 0;     // |σ(O)|
+  int64_t join_rows = 0;       // |σ(L) ⋈ σ(O)|
+  // Rows of each filtered side that survive the semi-join with the other
+  // side (what a perfect bitmap would let through).
+  int64_t lineitem_semijoin_rows = 0;
+  int64_t orders_semijoin_rows = 0;
+};
+
+// Evaluates the query's true cardinalities by scanning both tables and
+// hash-joining on orderkey.
+ActualCardinalities ComputeActuals(const storage::TpchTables& tables,
+                                   const SpjQuery& query);
+
+}  // namespace warper::qo
+
+#endif  // WARPER_QO_SPJ_QUERY_H_

@@ -1,0 +1,90 @@
+#include "storage/annotator.h"
+
+#include <memory>
+#include <optional>
+
+#include "util/status.h"
+
+namespace warper::storage {
+namespace {
+
+// Per-predicate list of (column, low, high) for only the constrained
+// columns; skipping full-range columns makes the scan proportional to the
+// predicate's active width.
+struct CompiledPredicate {
+  std::vector<size_t> cols;
+  std::vector<double> low;
+  std::vector<double> high;
+};
+
+CompiledPredicate Compile(const Table& table, const RangePredicate& pred) {
+  WARPER_CHECK(pred.NumColumns() == table.NumColumns());
+  CompiledPredicate cp;
+  for (size_t c = 0; c < pred.NumColumns(); ++c) {
+    if (pred.Constrains(table, c)) {
+      cp.cols.push_back(c);
+      cp.low.push_back(pred.low[c]);
+      cp.high.push_back(pred.high[c]);
+    }
+  }
+  return cp;
+}
+
+}  // namespace
+
+int64_t Annotator::Count(const RangePredicate& pred) const {
+  std::optional<util::ScopedCpuTimer> timer;
+  if (cpu_ != nullptr) timer.emplace(cpu_);
+  ++annotations_;
+
+  CompiledPredicate cp = Compile(*table_, pred);
+  size_t n = table_->NumRows();
+  if (cp.cols.empty()) return static_cast<int64_t>(n);
+
+  int64_t count = 0;
+  for (size_t r = 0; r < n; ++r) {
+    bool match = true;
+    for (size_t i = 0; i < cp.cols.size(); ++i) {
+      double v = table_->column(cp.cols[i]).Value(r);
+      if (v < cp.low[i] || v > cp.high[i]) {
+        match = false;
+        break;
+      }
+    }
+    count += match ? 1 : 0;
+  }
+  return count;
+}
+
+std::vector<int64_t> Annotator::BatchCount(
+    const std::vector<RangePredicate>& preds) const {
+  std::optional<util::ScopedCpuTimer> timer;
+  if (cpu_ != nullptr) timer.emplace(cpu_);
+  annotations_ += static_cast<int64_t>(preds.size());
+
+  std::vector<CompiledPredicate> compiled;
+  compiled.reserve(preds.size());
+  for (const auto& p : preds) compiled.push_back(Compile(*table_, p));
+
+  std::vector<int64_t> counts(preds.size(), 0);
+  size_t n = table_->NumRows();
+  // One pass over the rows, evaluating every predicate — the "single
+  // evaluation tree" batching from §2.
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t p = 0; p < compiled.size(); ++p) {
+      const CompiledPredicate& cp = compiled[p];
+      bool match = true;
+      for (size_t i = 0; i < cp.cols.size(); ++i) {
+        double v = table_->column(cp.cols[i]).Value(r);
+        if (v < cp.low[i] || v > cp.high[i]) {
+          match = false;
+          break;
+        }
+      }
+      counts[p] += match ? 1 : 0;
+    }
+  }
+  return counts;
+}
+
+}  // namespace warper::storage

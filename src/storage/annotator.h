@@ -1,0 +1,43 @@
+// The annotator A: computes ground-truth cardinalities by scanning the
+// table. The paper notes that annotation "typically requires querying the
+// DBMS ... batching predicates into a single evaluation tree and executing
+// many predicates in one query still scans the underlying table at least
+// once" (§2); BatchCount implements exactly that single-scan batching, and
+// the optional CpuAccumulator feeds the cost tables (Table 6 / Table 11).
+#ifndef WARPER_STORAGE_ANNOTATOR_H_
+#define WARPER_STORAGE_ANNOTATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/predicate.h"
+#include "storage/table.h"
+#include "util/timer.h"
+
+namespace warper::storage {
+
+class Annotator {
+ public:
+  explicit Annotator(const Table* table, util::CpuAccumulator* cpu = nullptr)
+      : table_(table), cpu_(cpu) {}
+
+  // Ground-truth cardinality of one predicate.
+  int64_t Count(const RangePredicate& pred) const;
+
+  // Ground-truth cardinalities for a batch in one pass over the table.
+  std::vector<int64_t> BatchCount(const std::vector<RangePredicate>& preds) const;
+
+  // Total predicates annotated so far (for cost accounting).
+  int64_t annotations() const { return annotations_; }
+
+  const Table& table() const { return *table_; }
+
+ private:
+  const Table* table_;
+  util::CpuAccumulator* cpu_;
+  mutable int64_t annotations_ = 0;
+};
+
+}  // namespace warper::storage
+
+#endif  // WARPER_STORAGE_ANNOTATOR_H_

@@ -1,0 +1,60 @@
+#include "storage/column.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/status.h"
+
+namespace warper::storage {
+
+void Column::SetValue(size_t row, double v) {
+  WARPER_CHECK(row < values_.size());
+  values_[row] = v;
+  stats_valid_ = false;
+}
+
+void Column::Append(double v) {
+  values_.push_back(v);
+  stats_valid_ = false;
+}
+
+void Column::Truncate(size_t new_size) {
+  WARPER_CHECK(new_size <= values_.size());
+  values_.resize(new_size);
+  stats_valid_ = false;
+}
+
+void Column::RefreshStats() const {
+  if (stats_valid_) return;
+  stats_valid_ = true;
+  if (values_.empty()) {
+    min_ = max_ = 0.0;
+    distinct_ = 0;
+    return;
+  }
+  min_ = max_ = values_[0];
+  for (double v : values_) {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  std::unordered_set<double> seen(values_.begin(), values_.end());
+  distinct_ = seen.size();
+}
+
+double Column::Min() const {
+  RefreshStats();
+  return min_;
+}
+
+double Column::Max() const {
+  RefreshStats();
+  return max_;
+}
+
+size_t Column::DistinctCount() const {
+  RefreshStats();
+  return distinct_;
+}
+
+}  // namespace warper::storage

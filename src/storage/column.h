@@ -1,0 +1,52 @@
+// A typed in-memory column. Values are stored as doubles; categorical
+// columns hold dictionary codes (0..distinct-1), matching the paper's LM
+// setup where "for columns with categorical values, predicates are integer
+// dictionary identities" (§4.1).
+#ifndef WARPER_STORAGE_COLUMN_H_
+#define WARPER_STORAGE_COLUMN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace warper::storage {
+
+enum class ColumnType { kNumeric, kCategorical };
+
+class Column {
+ public:
+  Column(std::string name, ColumnType type)
+      : name_(std::move(name)), type_(type) {}
+
+  const std::string& name() const { return name_; }
+  ColumnType type() const { return type_; }
+
+  size_t size() const { return values_.size(); }
+  double Value(size_t row) const { return values_[row]; }
+  void SetValue(size_t row, double v);
+  void Append(double v);
+  void Truncate(size_t new_size);
+
+  const std::vector<double>& values() const { return values_; }
+
+  // Domain statistics, recomputed lazily after mutations.
+  double Min() const;
+  double Max() const;
+  size_t DistinctCount() const;
+
+ private:
+  void RefreshStats() const;
+
+  std::string name_;
+  ColumnType type_;
+  std::vector<double> values_;
+
+  mutable bool stats_valid_ = false;
+  mutable double min_ = 0.0;
+  mutable double max_ = 0.0;
+  mutable size_t distinct_ = 0;
+};
+
+}  // namespace warper::storage
+
+#endif  // WARPER_STORAGE_COLUMN_H_

@@ -1,0 +1,226 @@
+#include "storage/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace warper::storage {
+namespace {
+
+using util::Rng;
+
+// Rounds to `digits` decimal places; controls distinct counts.
+double RoundTo(double v, int digits) {
+  double scale = std::pow(10.0, digits);
+  return std::round(v * scale) / scale;
+}
+
+}  // namespace
+
+Table MakeHiggs(size_t rows, uint64_t seed) {
+  Rng rng(seed);
+  Table t("higgs");
+  t.AddColumn("lepton_pt", ColumnType::kNumeric);
+  t.AddColumn("lepton_eta", ColumnType::kNumeric);
+  t.AddColumn("missing_energy", ColumnType::kNumeric);
+  t.AddColumn("jet1_pt", ColumnType::kNumeric);
+  t.AddColumn("jet1_btag", ColumnType::kNumeric);  // 3 discrete levels
+  t.AddColumn("m_jj", ColumnType::kNumeric);
+  t.AddColumn("m_wbb", ColumnType::kNumeric);
+  t.AddColumn("m_wwbb", ColumnType::kNumeric);
+
+  for (size_t i = 0; i < rows; ++i) {
+    // Latent signal/background class shifts the invariant-mass peaks, the
+    // way the real HIGGS features separate the two processes.
+    bool signal = rng.Bernoulli(0.5);
+    double lepton_pt = RoundTo(std::exp(rng.Normal(0.0, 0.45)), 3);
+    double lepton_eta = RoundTo(rng.Normal(0.0, 1.1), 3);
+    double missing_energy = RoundTo(rng.Exponential(1.0), 3);
+    double jet1_pt = RoundTo(std::exp(rng.Normal(signal ? 0.2 : 0.0, 0.5)), 3);
+    double btag = static_cast<double>(rng.UniformInt(0, 2));
+    double m_jj =
+        RoundTo(signal ? rng.Normal(1.25, 0.35) : rng.Normal(0.95, 0.55), 3);
+    double m_wbb = RoundTo(0.6 * m_jj + rng.Normal(0.5, 0.25), 3);
+    double m_wwbb = RoundTo(0.4 * m_wbb + 0.3 * jet1_pt + rng.Normal(0.4, 0.2), 3);
+    t.AppendRow({lepton_pt, lepton_eta, missing_energy, jet1_pt, btag, m_jj,
+                 m_wbb, m_wwbb});
+  }
+  return t;
+}
+
+Table MakePrsa(size_t rows, uint64_t seed) {
+  Rng rng(seed);
+  Table t("prsa");
+  t.AddColumn("year", ColumnType::kNumeric);   // 5 distinct years
+  t.AddColumn("month", ColumnType::kNumeric);  // 1..12
+  t.AddColumn("hour", ColumnType::kNumeric);   // 0..23
+  t.AddColumn("pm25", ColumnType::kNumeric);   // heavy-tailed pollution
+  t.AddColumn("temp", ColumnType::kNumeric);   // seasonal
+  t.AddColumn("pres", ColumnType::kNumeric);
+  t.AddColumn("wind_dir", ColumnType::kCategorical);  // 16 compass points
+  t.AddColumn("station", ColumnType::kCategorical);   // 12 stations
+
+  for (size_t i = 0; i < rows; ++i) {
+    double year = static_cast<double>(2013 + rng.UniformInt(0, 4));
+    double month = static_cast<double>(rng.UniformInt(1, 12));
+    double hour = static_cast<double>(rng.UniformInt(0, 23));
+    // Winter months are more polluted (heating season), matching PRSA.
+    double season = std::cos((month - 1.0) / 12.0 * 2.0 * std::numbers::pi);
+    double pm25 = RoundTo(std::exp(rng.Normal(3.6 + 0.6 * season, 0.8)), 1);
+    double temp = RoundTo(-12.0 * season + rng.Normal(12.0, 5.0) +
+                              3.0 * std::sin(hour / 24.0 * 2.0 * std::numbers::pi),
+                          1);
+    double pres = RoundTo(1016.0 + 8.0 * season + rng.Normal(0.0, 6.0), 1);
+    double wind_dir = static_cast<double>(rng.Zipf(16, 0.8));
+    double station = static_cast<double>(rng.UniformInt(0, 11));
+    t.AppendRow({year, month, hour, pm25, temp, pres, wind_dir, station});
+  }
+  return t;
+}
+
+Table MakePoker(size_t rows, uint64_t seed) {
+  Rng rng(seed);
+  Table t("poker");
+  for (int h = 1; h <= 5; ++h) {
+    t.AddColumn("s" + std::to_string(h), ColumnType::kCategorical);
+    t.AddColumn("c" + std::to_string(h), ColumnType::kCategorical);
+  }
+  t.AddColumn("hand", ColumnType::kCategorical);
+
+  for (size_t i = 0; i < rows; ++i) {
+    std::vector<double> row;
+    std::vector<int> ranks, suits;
+    // Deal five distinct cards from a 52-card deck (as in the real dataset):
+    // the without-replacement draw induces the negative correlations between
+    // the card columns that make the count function non-trivial.
+    std::vector<size_t> deal = rng.SampleWithoutReplacement(52, 5);
+    for (int h = 0; h < 5; ++h) {
+      int suit = static_cast<int>(deal[h] / 13) + 1;
+      int rank = static_cast<int>(deal[h] % 13) + 1;
+      suits.push_back(suit);
+      ranks.push_back(rank);
+      row.push_back(suit);
+      row.push_back(rank);
+    }
+    // Simplified hand classification (pairs/trips/flush), enough to give the
+    // class column the real dataset's skew (most hands are "nothing").
+    std::vector<int> counts(14, 0);
+    for (int r : ranks) ++counts[r];
+    int max_count = *std::max_element(counts.begin(), counts.end());
+    int pairs = 0;
+    for (int c : counts) pairs += c == 2 ? 1 : 0;
+    bool flush = std::all_of(suits.begin(), suits.end(),
+                             [&](int s) { return s == suits[0]; });
+    double hand = 0;
+    if (flush) hand = 5;
+    else if (max_count == 4) hand = 7;
+    else if (max_count == 3 && pairs == 1) hand = 6;
+    else if (max_count == 3) hand = 3;
+    else if (pairs == 2) hand = 2;
+    else if (pairs == 1) hand = 1;
+    row.push_back(hand);
+    t.AppendRow(row);
+  }
+  return t;
+}
+
+TpchTables MakeTpch(size_t num_orders, uint64_t seed) {
+  Rng rng(seed);
+  TpchTables out{Table("orders"), Table("lineitem")};
+
+  out.orders.AddColumn("o_orderkey", ColumnType::kNumeric);
+  out.orders.AddColumn("o_custkey", ColumnType::kNumeric);
+  out.orders.AddColumn("o_totalprice", ColumnType::kNumeric);
+  out.orders.AddColumn("o_orderdate", ColumnType::kNumeric);  // days since epoch
+  out.orders.AddColumn("o_orderpriority", ColumnType::kCategorical);
+  out.orders_pk_col = 0;
+
+  out.lineitem.AddColumn("l_orderkey", ColumnType::kNumeric);
+  out.lineitem.AddColumn("l_quantity", ColumnType::kNumeric);
+  out.lineitem.AddColumn("l_extendedprice", ColumnType::kNumeric);
+  out.lineitem.AddColumn("l_discount", ColumnType::kNumeric);
+  out.lineitem.AddColumn("l_shipdate", ColumnType::kNumeric);
+  out.lineitem.AddColumn("l_returnflag", ColumnType::kCategorical);
+  out.lineitem_fk_col = 0;
+
+  size_t num_customers = std::max<size_t>(1, num_orders / 10);
+  for (size_t o = 0; o < num_orders; ++o) {
+    double orderdate = static_cast<double>(rng.UniformInt(0, 2555));  // 7 years
+    int64_t lines = rng.UniformInt(1, 7);
+    double total = 0.0;
+    for (int64_t l = 0; l < lines; ++l) {
+      double qty = static_cast<double>(rng.UniformInt(1, 50));
+      double price = RoundTo(qty * rng.Uniform(900.0, 1100.0), 2);
+      double discount = RoundTo(rng.Uniform(0.0, 0.10), 2);
+      double shipdate = orderdate + static_cast<double>(rng.UniformInt(1, 121));
+      double returnflag = static_cast<double>(rng.UniformInt(0, 2));
+      out.lineitem.AppendRow({static_cast<double>(o), qty, price, discount,
+                              shipdate, returnflag});
+      total += price * (1.0 - discount);
+    }
+    double custkey =
+        static_cast<double>(rng.UniformInt(0, static_cast<int64_t>(num_customers) - 1));
+    double priority = static_cast<double>(rng.UniformInt(0, 4));
+    out.orders.AppendRow(
+        {static_cast<double>(o), custkey, RoundTo(total, 2), orderdate, priority});
+  }
+  return out;
+}
+
+ImdbTables MakeImdb(size_t num_titles, uint64_t seed) {
+  Rng rng(seed);
+  ImdbTables out{Table("title"), Table("cast_info"), Table("movie_companies")};
+
+  out.title.AddColumn("id", ColumnType::kNumeric);
+  out.title.AddColumn("production_year", ColumnType::kNumeric);
+  out.title.AddColumn("kind_id", ColumnType::kCategorical);
+  out.title.AddColumn("votes", ColumnType::kNumeric);
+
+  out.cast_info.AddColumn("movie_id", ColumnType::kNumeric);
+  out.cast_info.AddColumn("person_id", ColumnType::kNumeric);
+  out.cast_info.AddColumn("role_id", ColumnType::kCategorical);
+
+  out.movie_companies.AddColumn("movie_id", ColumnType::kNumeric);
+  out.movie_companies.AddColumn("company_type", ColumnType::kCategorical);
+  out.movie_companies.AddColumn("country", ColumnType::kCategorical);
+
+  size_t num_people = std::max<size_t>(1, num_titles * 3);
+  for (size_t m = 0; m < num_titles; ++m) {
+    // Recent years dominate, as in IMDB.
+    double year = 2020.0 - std::floor(rng.Exponential(0.04));
+    year = std::max(year, 1900.0);
+    double kind = static_cast<double>(rng.Zipf(7, 1.0));
+    double votes = std::floor(std::exp(rng.Normal(4.0, 2.0)));
+    out.title.AppendRow({static_cast<double>(m), year, kind, votes});
+
+    // Popular (high-vote) movies have larger casts and more companies.
+    int64_t cast_size = 1 + static_cast<int64_t>(std::log1p(votes));
+    for (int64_t c = 0; c < cast_size; ++c) {
+      double person = static_cast<double>(
+          rng.Zipf(static_cast<int64_t>(num_people), 1.1));
+      double role = static_cast<double>(rng.Zipf(11, 1.2));
+      out.cast_info.AppendRow({static_cast<double>(m), person, role});
+    }
+    int64_t companies = rng.UniformInt(1, 3);
+    for (int64_t c = 0; c < companies; ++c) {
+      double type = static_cast<double>(rng.UniformInt(0, 1));
+      double country = static_cast<double>(rng.Zipf(60, 1.1));
+      out.movie_companies.AppendRow({static_cast<double>(m), type, country});
+    }
+  }
+  return out;
+}
+
+StarSchema ImdbTables::Schema() const {
+  StarSchema schema;
+  schema.center = &title;
+  schema.center_pk_col = 0;
+  schema.facts.push_back({&cast_info, 0});
+  schema.facts.push_back({&movie_companies, 0});
+  return schema;
+}
+
+}  // namespace warper::storage

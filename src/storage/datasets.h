@@ -1,0 +1,60 @@
+// Synthetic dataset generators.
+//
+// Substitution note (DESIGN.md §3): the paper evaluates on UCI Higgs, PRSA
+// and Poker, TPC-H SF-10, and IMDB. Those inputs are not available here, so
+// each generator reproduces the schema shape of Table 4 (column counts and
+// types, distinct-count spread, correlation structure and heavy tails) at a
+// configurable row count. CE accuracy and drift behaviour depend on the
+// value distributions and selectivity spread, which these preserve; absolute
+// row count only scales annotation cost.
+#ifndef WARPER_STORAGE_DATASETS_H_
+#define WARPER_STORAGE_DATASETS_H_
+
+#include <cstdint>
+
+#include "storage/join_annotator.h"
+#include "storage/table.h"
+
+namespace warper::storage {
+
+// HIGGS-like: 8 numeric physics features driven by a latent signal /
+// background class; heavy-tailed momenta, a 3-valued b-tag column, and
+// correlated invariant masses (distinct counts from 3 to ~100K).
+Table MakeHiggs(size_t rows, uint64_t seed);
+
+// PRSA-like (Beijing air quality): 6 numeric columns (year, month, hour,
+// pm2.5, temperature, pressure) with seasonal structure and a heavy-tailed
+// pollution column, plus 2 categorical columns (wind direction, station).
+Table MakePrsa(size_t rows, uint64_t seed);
+
+// Poker-hand-like: 11 categorical columns — 5 suits (4 values), 5 ranks
+// (13 values), and a derived hand-class column (10 values).
+Table MakePoker(size_t rows, uint64_t seed);
+
+// TPC-H-shaped Lineitem and Orders, joined on orderkey with 1–7 lineitems
+// per order. `num_orders` controls scale (SF-10 ≈ 15M orders in the paper;
+// the default benches use a few tens of thousands).
+struct TpchTables {
+  Table orders;
+  Table lineitem;
+  size_t orders_pk_col = 0;    // o_orderkey
+  size_t lineitem_fk_col = 0;  // l_orderkey
+};
+TpchTables MakeTpch(size_t num_orders, uint64_t seed);
+
+// IMDB-like star schema: title (dimension) joined by cast_info and
+// movie_companies fact tables with zipfian movie popularity.
+struct ImdbTables {
+  Table title;
+  Table cast_info;
+  Table movie_companies;
+
+  // Builds a StarSchema view over the member tables. The returned schema
+  // holds pointers into this struct; keep it alive.
+  StarSchema Schema() const;
+};
+ImdbTables MakeImdb(size_t num_titles, uint64_t seed);
+
+}  // namespace warper::storage
+
+#endif  // WARPER_STORAGE_DATASETS_H_

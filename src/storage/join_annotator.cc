@@ -1,0 +1,67 @@
+#include "storage/join_annotator.h"
+
+#include <optional>
+#include <unordered_map>
+
+#include "util/status.h"
+
+namespace warper::storage {
+
+size_t JoinQuery::NumJoins() const {
+  size_t n = 0;
+  for (uint32_t m = join_mask; m != 0; m >>= 1) n += m & 1;
+  return n;
+}
+
+int64_t JoinAnnotator::Count(const JoinQuery& query) const {
+  std::optional<util::ScopedCpuTimer> timer;
+  if (cpu_ != nullptr) timer.emplace(cpu_);
+
+  const StarSchema& s = *schema_;
+  WARPER_CHECK(s.center != nullptr);
+  WARPER_CHECK(query.fact_preds.size() == s.facts.size());
+
+  // Per participating fact table: key → number of matching rows.
+  std::vector<std::unordered_map<int64_t, int64_t>> fact_counts;
+  std::vector<size_t> active;
+  for (size_t f = 0; f < s.facts.size(); ++f) {
+    if ((query.join_mask >> f) & 1) active.push_back(f);
+  }
+  fact_counts.resize(active.size());
+  for (size_t i = 0; i < active.size(); ++i) {
+    const StarSchema::Fact& fact = s.facts[active[i]];
+    const RangePredicate& pred = query.fact_preds[active[i]];
+    for (size_t r = 0; r < fact.table->NumRows(); ++r) {
+      if (!pred.Matches(*fact.table, r)) continue;
+      int64_t key = static_cast<int64_t>(fact.table->column(fact.fk_col).Value(r));
+      ++fact_counts[i][key];
+    }
+  }
+
+  int64_t total = 0;
+  for (size_t r = 0; r < s.center->NumRows(); ++r) {
+    if (!query.center_pred.Matches(*s.center, r)) continue;
+    int64_t key = static_cast<int64_t>(s.center->column(s.center_pk_col).Value(r));
+    int64_t product = 1;
+    for (const auto& counts : fact_counts) {
+      auto it = counts.find(key);
+      if (it == counts.end()) {
+        product = 0;
+        break;
+      }
+      product *= it->second;
+    }
+    total += product;
+  }
+  return total;
+}
+
+std::vector<int64_t> JoinAnnotator::BatchCount(
+    const std::vector<JoinQuery>& queries) const {
+  std::vector<int64_t> counts;
+  counts.reserve(queries.size());
+  for (const auto& q : queries) counts.push_back(Count(q));
+  return counts;
+}
+
+}  // namespace warper::storage

@@ -1,0 +1,95 @@
+#include "storage/parallel_annotator.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "util/status.h"
+
+namespace warper::storage {
+namespace {
+
+struct CompiledPredicate {
+  std::vector<size_t> cols;
+  std::vector<double> low;
+  std::vector<double> high;
+};
+
+CompiledPredicate Compile(const Table& table, const RangePredicate& pred) {
+  WARPER_CHECK(pred.NumColumns() == table.NumColumns());
+  CompiledPredicate cp;
+  for (size_t c = 0; c < pred.NumColumns(); ++c) {
+    if (pred.Constrains(table, c)) {
+      cp.cols.push_back(c);
+      cp.low.push_back(pred.low[c]);
+      cp.high.push_back(pred.high[c]);
+    }
+  }
+  return cp;
+}
+
+void CountRange(const Table& table,
+                const std::vector<CompiledPredicate>& compiled,
+                size_t row_begin, size_t row_end,
+                std::vector<int64_t>* counts) {
+  for (size_t r = row_begin; r < row_end; ++r) {
+    for (size_t p = 0; p < compiled.size(); ++p) {
+      const CompiledPredicate& cp = compiled[p];
+      bool match = true;
+      for (size_t i = 0; i < cp.cols.size(); ++i) {
+        double v = table.column(cp.cols[i]).Value(r);
+        if (v < cp.low[i] || v > cp.high[i]) {
+          match = false;
+          break;
+        }
+      }
+      (*counts)[p] += match ? 1 : 0;
+    }
+  }
+}
+
+}  // namespace
+
+ParallelAnnotator::ParallelAnnotator(const Table* table, int num_threads)
+    : table_(table), num_threads_(num_threads) {
+  WARPER_CHECK(table != nullptr);
+  if (num_threads_ <= 0) {
+    num_threads_ = std::max(1u, std::thread::hardware_concurrency());
+  }
+}
+
+std::vector<int64_t> ParallelAnnotator::BatchCount(
+    const std::vector<RangePredicate>& preds) const {
+  std::vector<CompiledPredicate> compiled;
+  compiled.reserve(preds.size());
+  for (const auto& p : preds) compiled.push_back(Compile(*table_, p));
+
+  size_t n = table_->NumRows();
+  size_t workers = std::min<size_t>(static_cast<size_t>(num_threads_),
+                                    std::max<size_t>(1, n / 1024));
+  if (workers <= 1 || n == 0) {
+    std::vector<int64_t> counts(preds.size(), 0);
+    CountRange(*table_, compiled, 0, n, &counts);
+    return counts;
+  }
+
+  std::vector<std::vector<int64_t>> partials(
+      workers, std::vector<int64_t>(preds.size(), 0));
+  std::vector<std::thread> threads;
+  size_t chunk = (n + workers - 1) / workers;
+  for (size_t w = 0; w < workers; ++w) {
+    size_t begin = w * chunk;
+    size_t end = std::min(n, begin + chunk);
+    threads.emplace_back([&, w, begin, end] {
+      CountRange(*table_, compiled, begin, end, &partials[w]);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  std::vector<int64_t> counts(preds.size(), 0);
+  for (const auto& partial : partials) {
+    for (size_t p = 0; p < counts.size(); ++p) counts[p] += partial[p];
+  }
+  return counts;
+}
+
+}  // namespace warper::storage

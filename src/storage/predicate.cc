@@ -1,0 +1,96 @@
+#include "storage/predicate.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/status.h"
+
+namespace warper::storage {
+
+RangePredicate RangePredicate::FullRange(const Table& table) {
+  RangePredicate p;
+  p.low.resize(table.NumColumns());
+  p.high.resize(table.NumColumns());
+  for (size_t c = 0; c < table.NumColumns(); ++c) {
+    p.low[c] = table.column(c).Min();
+    p.high[c] = table.column(c).Max();
+  }
+  return p;
+}
+
+bool RangePredicate::Matches(const Table& table, size_t row) const {
+  WARPER_CHECK(low.size() == table.NumColumns());
+  for (size_t c = 0; c < low.size(); ++c) {
+    double v = table.column(c).Value(row);
+    if (v < low[c] || v > high[c]) return false;
+  }
+  return true;
+}
+
+bool RangePredicate::Constrains(const Table& table, size_t col) const {
+  WARPER_CHECK(col < low.size());
+  return low[col] > table.column(col).Min() ||
+         high[col] < table.column(col).Max();
+}
+
+void RangePredicate::Canonicalize(const Table& table) {
+  WARPER_CHECK(low.size() == table.NumColumns());
+  for (size_t c = 0; c < low.size(); ++c) {
+    if (low[c] > high[c]) std::swap(low[c], high[c]);
+    double cmin = table.column(c).Min();
+    double cmax = table.column(c).Max();
+    low[c] = std::clamp(low[c], cmin, cmax);
+    high[c] = std::clamp(high[c], cmin, cmax);
+  }
+}
+
+std::vector<double> RangePredicate::Featurize(const Table& table) const {
+  WARPER_CHECK(low.size() == table.NumColumns());
+  size_t d = low.size();
+  std::vector<double> features(2 * d);
+  for (size_t c = 0; c < d; ++c) {
+    double cmin = table.column(c).Min();
+    double cmax = table.column(c).Max();
+    double span = cmax - cmin;
+    if (span <= 0.0) {
+      features[c] = 0.0;
+      features[d + c] = 1.0;
+      continue;
+    }
+    features[c] = (low[c] - cmin) / span;
+    features[d + c] = (high[c] - cmin) / span;
+  }
+  return features;
+}
+
+RangePredicate RangePredicate::FromFeatures(const Table& table,
+                                            const std::vector<double>& features) {
+  size_t d = table.NumColumns();
+  WARPER_CHECK_MSG(features.size() == 2 * d,
+                   "feature width " << features.size() << " != 2*" << d);
+  RangePredicate p;
+  p.low.resize(d);
+  p.high.resize(d);
+  for (size_t c = 0; c < d; ++c) {
+    double cmin = table.column(c).Min();
+    double cmax = table.column(c).Max();
+    double span = cmax - cmin;
+    p.low[c] = cmin + std::clamp(features[c], 0.0, 1.0) * span;
+    p.high[c] = cmin + std::clamp(features[d + c], 0.0, 1.0) * span;
+    if (p.low[c] > p.high[c]) std::swap(p.low[c], p.high[c]);
+    // Categorical columns hold integer dictionary codes: snap bounds inward
+    // so decoded (e.g. GAN-generated) predicates are featurization-
+    // consistent with real ones.
+    if (table.column(c).type() == ColumnType::kCategorical) {
+      double lo = std::ceil(p.low[c]);
+      double hi = std::floor(p.high[c]);
+      if (lo > hi) lo = hi = std::round(0.5 * (p.low[c] + p.high[c]));
+      p.low[c] = lo;
+      p.high[c] = hi;
+    }
+  }
+  p.Canonicalize(table);
+  return p;
+}
+
+}  // namespace warper::storage

@@ -1,0 +1,53 @@
+// Conjunctive range predicates — the predicate class supported by the CE
+// models in the paper (§2):
+//   SELECT count(*) FROM T WHERE ⋀_i  l_i <= Col_i <= u_i
+// Equality predicates set l_i = u_i; one-sided ranges pin one end to the
+// column domain; unconstrained columns span the full domain.
+#ifndef WARPER_STORAGE_PREDICATE_H_
+#define WARPER_STORAGE_PREDICATE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/table.h"
+
+namespace warper::storage {
+
+struct RangePredicate {
+  // Per-column bounds, aligned with the table's columns.
+  std::vector<double> low;
+  std::vector<double> high;
+
+  size_t NumColumns() const { return low.size(); }
+
+  // A predicate that spans the full domain of every column of `table`.
+  static RangePredicate FullRange(const Table& table);
+
+  // True iff row `row` of `table` satisfies every bound.
+  bool Matches(const Table& table, size_t row) const;
+
+  // True iff the bound on column `col` is tighter than the full column
+  // domain (i.e. the column actually participates in the predicate).
+  bool Constrains(const Table& table, size_t col) const;
+
+  // Swaps any inverted bounds (low > high) and clamps to the column domain;
+  // used to repair GAN-generated predicates before annotation.
+  void Canonicalize(const Table& table);
+
+  // Canonical featurization {low_1..low_d, high_1..high_d}, each normalized
+  // to [0, 1] by the column domain (the LM featurization of §3.2).
+  std::vector<double> Featurize(const Table& table) const;
+
+  // Inverse of Featurize: rebuilds a predicate from a (possibly noisy)
+  // normalized feature vector, clamping into the domain and fixing inverted
+  // bounds. Used to decode generator outputs.
+  static RangePredicate FromFeatures(const Table& table,
+                                     const std::vector<double>& features);
+
+  bool operator==(const RangePredicate& other) const = default;
+};
+
+}  // namespace warper::storage
+
+#endif  // WARPER_STORAGE_PREDICATE_H_

@@ -1,0 +1,75 @@
+#include "storage/table.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace warper::storage {
+
+Column* Table::AddColumn(std::string column_name, ColumnType type) {
+  WARPER_CHECK_MSG(NumRows() == 0,
+                   "columns must be added before any rows are appended");
+  columns_.emplace_back(std::move(column_name), type);
+  return &columns_.back();
+}
+
+Result<size_t> Table::ColumnIndex(const std::string& column_name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name() == column_name) return i;
+  }
+  return Status::NotFound("no column named '" + column_name + "' in table '" +
+                          name_ + "'");
+}
+
+void Table::AppendRow(const std::vector<double>& values) {
+  WARPER_CHECK_MSG(values.size() == columns_.size(),
+                   "row width " << values.size() << " != column count "
+                                << columns_.size());
+  for (size_t i = 0; i < columns_.size(); ++i) columns_[i].Append(values[i]);
+  ++change_counter_;
+}
+
+void Table::UpdateCell(size_t row, size_t col, double value) {
+  WARPER_CHECK(col < columns_.size() && row < NumRows());
+  columns_[col].SetValue(row, value);
+  ++change_counter_;
+}
+
+void Table::Truncate(size_t new_size) {
+  size_t old_size = NumRows();
+  WARPER_CHECK(new_size <= old_size);
+  for (auto& c : columns_) c.Truncate(new_size);
+  change_counter_ += old_size - new_size;
+}
+
+void Table::SortByColumn(size_t col) {
+  WARPER_CHECK(col < columns_.size());
+  size_t n = NumRows();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  const auto& key = columns_[col].values();
+  std::stable_sort(order.begin(), order.end(),
+                   [&](size_t a, size_t b) { return key[a] < key[b]; });
+  for (auto& c : columns_) {
+    std::vector<double> reordered(n);
+    for (size_t i = 0; i < n; ++i) reordered[i] = c.Value(order[i]);
+    for (size_t i = 0; i < n; ++i) c.SetValue(i, reordered[i]);
+  }
+}
+
+void Table::CheckRowAlignment() const {
+  for (const auto& c : columns_) {
+    WARPER_CHECK_MSG(c.size() == NumRows(),
+                     "column '" << c.name() << "' misaligned");
+  }
+}
+
+double Table::ChangedFractionSince(uint64_t snapshot) const {
+  WARPER_CHECK(snapshot <= change_counter_);
+  size_t n = NumRows();
+  if (n == 0) return change_counter_ > snapshot ? 1.0 : 0.0;
+  double frac = static_cast<double>(change_counter_ - snapshot) /
+                static_cast<double>(n);
+  return std::min(1.0, frac);
+}
+
+}  // namespace warper::storage

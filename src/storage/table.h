@@ -1,0 +1,61 @@
+// An in-memory columnar table with mutation telemetry.
+//
+// The telemetry (a monotonic count of changed rows) backs Warper's data-drift
+// detection: "counting the fraction of rows that are new or have changed
+// since the model was last trained" (§3.1).
+#ifndef WARPER_STORAGE_TABLE_H_
+#define WARPER_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/column.h"
+#include "util/status.h"
+
+namespace warper::storage {
+
+class Table {
+ public:
+  explicit Table(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  size_t NumRows() const { return columns_.empty() ? 0 : columns_[0].size(); }
+  size_t NumColumns() const { return columns_.size(); }
+
+  // Adds an empty column; all columns must stay row-aligned.
+  Column* AddColumn(std::string column_name, ColumnType type);
+
+  const Column& column(size_t i) const { return columns_[i]; }
+  Column& column(size_t i) { return columns_[i]; }
+  // Index of a column by name, or an error.
+  Result<size_t> ColumnIndex(const std::string& column_name) const;
+
+  // Appends one row (values aligned with columns). Counts as `1` changed row.
+  void AppendRow(const std::vector<double>& values);
+  // Overwrites one cell; counts as a changed row.
+  void UpdateCell(size_t row, size_t col, double value);
+  // Keeps only the first `new_size` rows; removed rows count as changed.
+  void Truncate(size_t new_size);
+  // Reorders rows so that column `col` is ascending. Does NOT count as a
+  // change by itself (used to set up the paper's sort+truncate data drift).
+  void SortByColumn(size_t col);
+
+  // Verifies all columns have equal length; dies otherwise.
+  void CheckRowAlignment() const;
+
+  // Monotonic count of row-change events since construction. Drift
+  // telemetry compares two snapshots of this counter.
+  uint64_t ChangeCounter() const { return change_counter_; }
+  // Fraction of the current table changed since `snapshot` (clamped to 1).
+  double ChangedFractionSince(uint64_t snapshot) const;
+
+ private:
+  std::string name_;
+  std::vector<Column> columns_;
+  uint64_t change_counter_ = 0;
+};
+
+}  // namespace warper::storage
+
+#endif  // WARPER_STORAGE_TABLE_H_

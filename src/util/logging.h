@@ -1,0 +1,49 @@
+// Minimal leveled logger.
+//
+// Usage: WARPER_LOG(Info) << "adapted in " << n << " steps";
+// The level is a global filter; benches set it to WARN to keep output clean.
+#ifndef WARPER_UTIL_LOGGING_H_
+#define WARPER_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace warper::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+// Sets / reads the global minimum level that is actually emitted.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed expression when the message is filtered out.
+struct LogVoidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+}  // namespace warper::util
+
+#define WARPER_LOG(severity)                                                 \
+  (::warper::util::LogLevel::k##severity < ::warper::util::GetLogLevel())    \
+      ? (void)0                                                              \
+      : ::warper::util::internal::LogVoidify() &                             \
+            ::warper::util::internal::LogMessage(                            \
+                ::warper::util::LogLevel::k##severity, __FILE__, __LINE__)   \
+                .stream()
+
+#endif  // WARPER_UTIL_LOGGING_H_

@@ -1,0 +1,39 @@
+// Plain-text table and series printers used by the bench binaries to emit
+// the paper's tables and figure series in a uniform format.
+#ifndef WARPER_UTIL_REPORT_H_
+#define WARPER_UTIL_REPORT_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace warper::util {
+
+// Accumulates rows and prints an aligned ASCII table.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a double with the given precision.
+std::string FormatDouble(double value, int precision = 2);
+
+// Prints a named series as "name: x1=y1 x2=y2 ..." rows — the textual
+// equivalent of one line in a paper figure.
+void PrintSeries(std::ostream& os, const std::string& name,
+                 const std::vector<double>& xs, const std::vector<double>& ys,
+                 int precision = 2);
+
+// Prints a banner like "=== Figure 6: ... ===".
+void PrintBanner(std::ostream& os, const std::string& title);
+
+}  // namespace warper::util
+
+#endif  // WARPER_UTIL_REPORT_H_

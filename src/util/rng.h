@@ -1,0 +1,72 @@
+// Deterministic random number generation.
+//
+// All randomness in the library flows through Rng so that every experiment is
+// reproducible given its seed. The core generator is xoshiro256**, seeded via
+// splitmix64 — fast, high quality, and identical across platforms (unlike
+// std::mt19937 distributions, whose outputs are implementation-defined).
+#ifndef WARPER_UTIL_RNG_H_
+#define WARPER_UTIL_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace warper::util {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  // Raw 64 random bits.
+  uint64_t Next();
+
+  // Uniform double in [0, 1).
+  double Uniform();
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+  // Standard normal via Box–Muller.
+  double Normal();
+  // Normal with the given mean and standard deviation.
+  double Normal(double mean, double stddev);
+  // Exponential with the given rate.
+  double Exponential(double rate);
+  // Zipf-distributed integer in [0, n) with exponent s (via rejection-free
+  // inverse-CDF over precomputed weights for small n, or approximation).
+  int64_t Zipf(int64_t n, double s);
+  // True with probability p.
+  bool Bernoulli(double p);
+
+  // Samples an index in [0, weights.size()) proportionally to weights.
+  // Non-positive weights are treated as zero; if all are zero, samples
+  // uniformly.
+  size_t Categorical(const std::vector<double>& weights);
+
+  // Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i)));
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  // Samples k distinct indices from [0, n) (k <= n), in random order.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  // Derives an independent child generator; used to give parallel experiment
+  // arms decorrelated streams.
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace warper::util
+
+#endif  // WARPER_UTIL_RNG_H_

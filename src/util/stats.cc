@@ -1,0 +1,92 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/status.h"
+
+namespace warper::util {
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double StdDev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  double m = Mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs.size()));
+}
+
+double GeometricMean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double x : xs) {
+    WARPER_CHECK_MSG(x > 0.0, "GeometricMean requires positive inputs");
+    log_sum += std::log(x);
+  }
+  return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+double Percentile(std::vector<double> xs, double p) {
+  WARPER_CHECK(!xs.empty());
+  WARPER_CHECK(p >= 0.0 && p <= 100.0);
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) return xs[0];
+  double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, xs.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double Median(std::vector<double> xs) { return Percentile(std::move(xs), 50.0); }
+
+NormalizedHistogram::NormalizedHistogram(size_t num_buckets)
+    : freq_(num_buckets, 0.0) {
+  WARPER_CHECK(num_buckets > 0);
+}
+
+void NormalizedHistogram::Add(size_t bucket, double weight) {
+  WARPER_CHECK(bucket < freq_.size());
+  WARPER_CHECK(!normalized_);
+  freq_[bucket] += weight;
+  total_ += weight;
+}
+
+void NormalizedHistogram::Normalize() {
+  if (normalized_) return;
+  normalized_ = true;
+  if (total_ <= 0.0) return;
+  for (double& f : freq_) f /= total_;
+}
+
+double JensenShannonDivergence(const NormalizedHistogram& a,
+                               const NormalizedHistogram& b) {
+  WARPER_CHECK(a.num_buckets() == b.num_buckets());
+  constexpr double kEps = 1e-9;
+  size_t n = a.num_buckets();
+  // Re-normalize with epsilon smoothing.
+  double za = 0.0, zb = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    za += a.frequency(i) + kEps;
+    zb += b.frequency(i) + kEps;
+  }
+  double kl_am = 0.0, kl_bm = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double pa = (a.frequency(i) + kEps) / za;
+    double pb = (b.frequency(i) + kEps) / zb;
+    double pm = 0.5 * (pa + pb);
+    kl_am += pa * (std::log(pa) - std::log(pm));
+    kl_bm += pb * (std::log(pb) - std::log(pm));
+  }
+  double js = 0.5 * (kl_am + kl_bm);
+  // Rescale from nats (max ln 2) into [0, 1].
+  return std::min(1.0, std::max(0.0, js / std::log(2.0)));
+}
+
+}  // namespace warper::util

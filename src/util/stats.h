@@ -1,0 +1,53 @@
+// Small statistics helpers shared across modules.
+#ifndef WARPER_UTIL_STATS_H_
+#define WARPER_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace warper::util {
+
+// Arithmetic mean; 0 for empty input.
+double Mean(const std::vector<double>& xs);
+
+// Population standard deviation; 0 for fewer than 2 elements.
+double StdDev(const std::vector<double>& xs);
+
+// Geometric mean; requires all inputs > 0. 0 for empty input.
+double GeometricMean(const std::vector<double>& xs);
+
+// Linear-interpolated percentile, p in [0, 100]. Requires non-empty input.
+double Percentile(std::vector<double> xs, double p);
+
+// Median (50th percentile).
+double Median(std::vector<double> xs);
+
+// A histogram with normalized bucket frequencies; used by the
+// Jensen–Shannon divergence in drift detection.
+class NormalizedHistogram {
+ public:
+  explicit NormalizedHistogram(size_t num_buckets);
+
+  void Add(size_t bucket, double weight = 1.0);
+  // Normalizes counts to frequencies summing to 1 (no-op if empty).
+  void Normalize();
+
+  size_t num_buckets() const { return freq_.size(); }
+  double frequency(size_t bucket) const { return freq_[bucket]; }
+
+ private:
+  std::vector<double> freq_;
+  double total_ = 0.0;
+  bool normalized_ = false;
+};
+
+// Symmetric discrete Jensen–Shannon divergence between two normalized
+// histograms over the same bucket space, in [0, 1] (natural-log base,
+// rescaled). A small epsilon is added to each bucket to avoid log(0),
+// following the paper (§3.1 fn. 8).
+double JensenShannonDivergence(const NormalizedHistogram& a,
+                               const NormalizedHistogram& b);
+
+}  // namespace warper::util
+
+#endif  // WARPER_UTIL_STATS_H_

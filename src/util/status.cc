@@ -1,0 +1,42 @@
+#include "util/status.h"
+
+namespace warper {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string s = StatusCodeName(code_);
+  s += ": ";
+  s += message_;
+  return s;
+}
+
+namespace internal {
+
+void CheckFailed(const char* file, int line, const char* expr,
+                 const std::string& extra) {
+  std::cerr << "WARPER_CHECK failed at " << file << ":" << line << ": " << expr;
+  if (!extra.empty()) std::cerr << " — " << extra;
+  std::cerr << std::endl;
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace warper

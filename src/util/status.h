@@ -1,0 +1,145 @@
+// Arrow-style Status / Result<T> error handling.
+//
+// Fallible public APIs return Status (or Result<T> when they produce a value)
+// instead of throwing. Internal invariants use WARPER_CHECK, which aborts with
+// a diagnostic: an invariant violation is a bug, not an error to handle.
+#ifndef WARPER_UTIL_STATUS_H_
+#define WARPER_UTIL_STATUS_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace warper {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+};
+
+// Human-readable name for a status code, e.g. "InvalidArgument".
+const char* StatusCodeName(StatusCode code);
+
+// A success-or-error outcome. Cheap to copy on the OK path.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// A value or an error. Mirrors arrow::Result<T>.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status)                          // NOLINT(google-explicit-constructor)
+      : value_(std::move(status)) {
+    if (std::get<Status>(value_).ok()) {
+      std::cerr << "Result constructed from OK status\n";
+      std::abort();
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(value_);
+  }
+
+  const T& ValueOrDie() const {
+    if (!ok()) {
+      std::cerr << "Result::ValueOrDie on error: " << status().ToString()
+                << "\n";
+      std::abort();
+    }
+    return std::get<T>(value_);
+  }
+  T& ValueOrDie() {
+    if (!ok()) {
+      std::cerr << "Result::ValueOrDie on error: " << status().ToString()
+                << "\n";
+      std::abort();
+    }
+    return std::get<T>(value_);
+  }
+  T MoveValueOrDie() {
+    if (!ok()) {
+      std::cerr << "Result::MoveValueOrDie on error: " << status().ToString()
+                << "\n";
+      std::abort();
+    }
+    return std::move(std::get<T>(value_));
+  }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+namespace internal {
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& extra);
+}  // namespace internal
+
+}  // namespace warper
+
+// Aborts with file/line when `cond` is false. For programmer errors only.
+#define WARPER_CHECK(cond)                                              \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::warper::internal::CheckFailed(__FILE__, __LINE__, #cond, "");   \
+    }                                                                   \
+  } while (0)
+
+#define WARPER_CHECK_MSG(cond, msg)                                     \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::ostringstream warper_check_oss;                              \
+      warper_check_oss << msg;                                          \
+      ::warper::internal::CheckFailed(__FILE__, __LINE__, #cond,        \
+                                      warper_check_oss.str());          \
+    }                                                                   \
+  } while (0)
+
+// Propagates a non-OK Status from an expression.
+#define WARPER_RETURN_NOT_OK(expr)                  \
+  do {                                              \
+    ::warper::Status warper_status_ = (expr);       \
+    if (!warper_status_.ok()) return warper_status_; \
+  } while (0)
+
+#endif  // WARPER_UTIL_STATUS_H_

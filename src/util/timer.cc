@@ -1,0 +1,3 @@
+#include "util/timer.h"
+
+// Header-only at the moment; this TU anchors the library target.

@@ -1,0 +1,59 @@
+// Wall-clock and CPU timers used by the cost accounting in the benches.
+#ifndef WARPER_UTIL_TIMER_H_
+#define WARPER_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace warper::util {
+
+// Measures elapsed wall-clock seconds.
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+  void Restart() { start_ = std::chrono::steady_clock::now(); }
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+// Accumulates CPU seconds across scoped measurement regions. Used to report
+// the paper's Table 6 / Table 11 "CPU usage over the test period" numbers:
+// accumulated single-thread CPU time divided by simulated wall time.
+class CpuAccumulator {
+ public:
+  void Add(double seconds) { total_ += seconds; }
+  double TotalSeconds() const { return total_; }
+  void Reset() { total_ = 0.0; }
+
+  // Average utilization (0..1) of one core over `period_seconds`.
+  double UtilizationOver(double period_seconds) const {
+    return period_seconds > 0.0 ? total_ / period_seconds : 0.0;
+  }
+
+ private:
+  double total_ = 0.0;
+};
+
+// RAII helper: adds elapsed wall seconds of the scope to an accumulator.
+// (Single-threaded workloads: wall time == CPU time for compute-bound code.)
+class ScopedCpuTimer {
+ public:
+  explicit ScopedCpuTimer(CpuAccumulator* acc) : acc_(acc) {}
+  ~ScopedCpuTimer() { acc_->Add(timer_.Seconds()); }
+
+  ScopedCpuTimer(const ScopedCpuTimer&) = delete;
+  ScopedCpuTimer& operator=(const ScopedCpuTimer&) = delete;
+
+ private:
+  CpuAccumulator* acc_;
+  WallTimer timer_;
+};
+
+}  // namespace warper::util
+
+#endif  // WARPER_UTIL_TIMER_H_

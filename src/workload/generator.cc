@@ -1,0 +1,157 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/status.h"
+
+namespace warper::workload {
+namespace {
+
+using storage::RangePredicate;
+using storage::Table;
+using util::Rng;
+
+// Low/high pair for one column under a given method.
+void GenerateBounds(const Table& table, size_t col, GenMethod method, Rng* rng,
+                    const GeneratorOptions& opts, double* low, double* high) {
+  double cmin = table.column(col).Min();
+  double cmax = table.column(col).Max();
+  double span = cmax - cmin;
+  if (span <= 0.0) {
+    *low = cmin;
+    *high = cmax;
+    return;
+  }
+  switch (method) {
+    case GenMethod::kW1: {
+      double a = rng->Uniform(cmin, cmax);
+      double b = rng->Uniform(cmin, cmax);
+      *low = std::min(a, b);
+      *high = std::max(a, b);
+      return;
+    }
+    case GenMethod::kW2: {
+      // Log transform of the (shifted) range: endpoints are exp-uniform, so
+      // they concentrate near the low end of the domain.
+      double lo_log = std::log1p(0.0);
+      double hi_log = std::log1p(span);
+      double a = cmin + std::expm1(rng->Uniform(lo_log, hi_log));
+      double b = cmin + std::expm1(rng->Uniform(lo_log, hi_log));
+      *low = std::min(a, b);
+      *high = std::max(a, b);
+      return;
+    }
+    case GenMethod::kW3: {
+      // Data-centred: a sampled row value plus a random width.
+      size_t row = static_cast<size_t>(
+          rng->UniformInt(0, static_cast<int64_t>(table.NumRows()) - 1));
+      double center = table.column(col).Value(row);
+      double width = rng->Uniform(0.0, span);
+      *low = std::clamp(center - 0.5 * width, cmin, cmax);
+      *high = std::clamp(center + 0.5 * width, cmin, cmax);
+      return;
+    }
+    case GenMethod::kW4: {
+      // min/max of a small row sample: wide, data-supported ranges.
+      double lo = cmax, hi = cmin;
+      for (size_t i = 0; i < opts.w4_sample_rows; ++i) {
+        size_t row = static_cast<size_t>(
+            rng->UniformInt(0, static_cast<int64_t>(table.NumRows()) - 1));
+        double v = table.column(col).Value(row);
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+      *low = lo;
+      *high = hi;
+      return;
+    }
+    case GenMethod::kW5: {
+      // Frequency-stratified: bucket the column, pick a bucket uniformly
+      // (so rare strata are as likely as dense ones), then a row from it.
+      constexpr size_t kStrata = 8;
+      std::map<size_t, std::vector<size_t>> strata;
+      // Subsample rows for the strata index to keep generation cheap.
+      size_t step = std::max<size_t>(1, table.NumRows() / 2048);
+      for (size_t r = 0; r < table.NumRows(); r += step) {
+        double v = table.column(col).Value(r);
+        size_t bucket = std::min(
+            kStrata - 1,
+            static_cast<size_t>((v - cmin) / span * static_cast<double>(kStrata)));
+        strata[bucket].push_back(r);
+      }
+      size_t pick = static_cast<size_t>(
+          rng->UniformInt(0, static_cast<int64_t>(strata.size()) - 1));
+      auto it = strata.begin();
+      std::advance(it, static_cast<long>(pick));
+      const std::vector<size_t>& rows = it->second;
+      size_t row = rows[static_cast<size_t>(
+          rng->UniformInt(0, static_cast<int64_t>(rows.size()) - 1))];
+      double center = table.column(col).Value(row);
+      double width = rng->Uniform(0.0, span);
+      *low = std::clamp(center - 0.5 * width, cmin, cmax);
+      *high = std::clamp(center + 0.5 * width, cmin, cmax);
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+const char* GenMethodName(GenMethod m) {
+  switch (m) {
+    case GenMethod::kW1:
+      return "w1";
+    case GenMethod::kW2:
+      return "w2";
+    case GenMethod::kW3:
+      return "w3";
+    case GenMethod::kW4:
+      return "w4";
+    case GenMethod::kW5:
+      return "w5";
+  }
+  return "?";
+}
+
+RangePredicate GeneratePredicate(const Table& table, GenMethod method,
+                                 Rng* rng, const GeneratorOptions& opts) {
+  WARPER_CHECK(table.NumRows() > 0);
+  RangePredicate pred = RangePredicate::FullRange(table);
+  size_t d = table.NumColumns();
+  size_t max_cols = std::min(opts.max_constrained_cols, d);
+  size_t min_cols = std::min(opts.min_constrained_cols, max_cols);
+  size_t num_cols = static_cast<size_t>(rng->UniformInt(
+      static_cast<int64_t>(min_cols), static_cast<int64_t>(max_cols)));
+  std::vector<size_t> cols = rng->SampleWithoutReplacement(d, num_cols);
+  for (size_t c : cols) {
+    GenerateBounds(table, c, method, rng, opts, &pred.low[c], &pred.high[c]);
+    // Categorical columns use integer dictionary codes; snap bounds so that
+    // equality predicates stay expressible.
+    if (table.column(c).type() == storage::ColumnType::kCategorical) {
+      pred.low[c] = std::ceil(pred.low[c]);
+      pred.high[c] = std::floor(pred.high[c]);
+      if (pred.low[c] > pred.high[c]) pred.low[c] = pred.high[c];
+    }
+  }
+  pred.Canonicalize(table);
+  return pred;
+}
+
+std::vector<RangePredicate> GenerateWorkload(const Table& table,
+                                             const std::vector<GenMethod>& mix,
+                                             size_t n, Rng* rng,
+                                             const GeneratorOptions& opts) {
+  WARPER_CHECK(!mix.empty());
+  std::vector<RangePredicate> preds;
+  preds.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    GenMethod m = mix[static_cast<size_t>(
+        rng->UniformInt(0, static_cast<int64_t>(mix.size()) - 1))];
+    preds.push_back(GeneratePredicate(table, m, rng, opts));
+  }
+  return preds;
+}
+
+}  // namespace warper::workload

@@ -1,0 +1,46 @@
+// Predicate workload generators — the five methods of the paper's Table 5:
+//   w1  draw {low, high} from r(C) uniformly at random
+//   w2  draw from a logarithmic transform of r(C)
+//   w3  equal to a sampled row plus a random width in r(C)
+//   w4  equal to min(Ĉ), max(Ĉ) from a sample of k rows
+//   w5  equal to a stratified sample row by frequency plus a random width
+// Each generated predicate constrains a random subset of columns; the rest
+// span their full domain.
+#ifndef WARPER_WORKLOAD_GENERATOR_H_
+#define WARPER_WORKLOAD_GENERATOR_H_
+
+#include <vector>
+
+#include "storage/predicate.h"
+#include "storage/table.h"
+#include "util/rng.h"
+
+namespace warper::workload {
+
+enum class GenMethod { kW1, kW2, kW3, kW4, kW5 };
+
+// "w3" etc. for reports.
+const char* GenMethodName(GenMethod m);
+
+struct GeneratorOptions {
+  // Number of columns each predicate constrains, drawn uniformly in
+  // [min_constrained_cols, max_constrained_cols] (capped by table width).
+  size_t min_constrained_cols = 1;
+  size_t max_constrained_cols = 3;
+  // Sample size k for w4.
+  size_t w4_sample_rows = 8;
+};
+
+// One predicate by the given method.
+storage::RangePredicate GeneratePredicate(const storage::Table& table,
+                                          GenMethod method, util::Rng* rng,
+                                          const GeneratorOptions& opts = {});
+
+// `n` predicates drawn from a uniform mixture over `mix`.
+std::vector<storage::RangePredicate> GenerateWorkload(
+    const storage::Table& table, const std::vector<GenMethod>& mix, size_t n,
+    util::Rng* rng, const GeneratorOptions& opts = {});
+
+}  // namespace warper::workload
+
+#endif  // WARPER_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,26 @@
+#include "workload/join_workload.h"
+
+#include "util/status.h"
+
+namespace warper::workload {
+
+std::vector<storage::JoinQuery> GenerateJoinWorkload(
+    const storage::StarSchema& schema, GenMethod method, size_t n,
+    util::Rng* rng, const GeneratorOptions& opts) {
+  WARPER_CHECK(schema.center != nullptr && !schema.facts.empty());
+  std::vector<storage::JoinQuery> queries;
+  queries.reserve(n);
+  uint32_t full_mask = (1u << schema.facts.size()) - 1;
+  for (size_t i = 0; i < n; ++i) {
+    storage::JoinQuery q;
+    q.join_mask = static_cast<uint32_t>(rng->UniformInt(1, full_mask));
+    q.center_pred = GeneratePredicate(*schema.center, method, rng, opts);
+    for (const auto& fact : schema.facts) {
+      q.fact_preds.push_back(GeneratePredicate(*fact.table, method, rng, opts));
+    }
+    queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+}  // namespace warper::workload

@@ -1,0 +1,24 @@
+// Join-query workload generation for the join-CE experiment (Table 7d):
+// "we construct newly arrived queries by randomly sampling the join
+// conditions and use the same procedure above to generate predicates on
+// base tables" (§4.1).
+#ifndef WARPER_WORKLOAD_JOIN_WORKLOAD_H_
+#define WARPER_WORKLOAD_JOIN_WORKLOAD_H_
+
+#include <vector>
+
+#include "storage/join_annotator.h"
+#include "workload/generator.h"
+
+namespace warper::workload {
+
+// Generates `n` join queries over the star schema: a random non-empty subset
+// of fact tables, with `method`-generated predicates on the center table and
+// every participating fact table.
+std::vector<storage::JoinQuery> GenerateJoinWorkload(
+    const storage::StarSchema& schema, GenMethod method, size_t n,
+    util::Rng* rng, const GeneratorOptions& opts = {});
+
+}  // namespace warper::workload
+
+#endif  // WARPER_WORKLOAD_JOIN_WORKLOAD_H_

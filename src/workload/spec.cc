@@ -1,0 +1,74 @@
+#include "workload/spec.h"
+
+namespace warper::workload {
+namespace {
+
+Result<std::vector<GenMethod>> ParseDigits(const std::string& digits) {
+  if (digits.empty()) {
+    return Status::InvalidArgument("empty workload mixture");
+  }
+  std::vector<GenMethod> methods;
+  for (char ch : digits) {
+    if (ch < '1' || ch > '5') {
+      return Status::InvalidArgument(std::string("bad workload digit '") + ch +
+                                     "' (expect 1-5)");
+    }
+    methods.push_back(static_cast<GenMethod>(ch - '1'));
+  }
+  return methods;
+}
+
+}  // namespace
+
+Result<WorkloadSpec> WorkloadSpec::Parse(const std::string& spec) {
+  if (spec.size() < 2 || spec[0] != 'w') {
+    return Status::InvalidArgument("workload spec must start with 'w': " + spec);
+  }
+  std::string body = spec.substr(1);
+
+  if (body == "1-5") {
+    WorkloadSpec out;
+    for (int i = 0; i < 5; ++i) {
+      out.train.push_back(static_cast<GenMethod>(i));
+    }
+    out.drifted = out.train;
+    return out;
+  }
+
+  size_t slash = body.find('/');
+  if (slash == std::string::npos) {
+    // Single mixture, no drift: same on both sides.
+    Result<std::vector<GenMethod>> methods = ParseDigits(body);
+    if (!methods.ok()) return methods.status();
+    WorkloadSpec out;
+    out.train = methods.ValueOrDie();
+    out.drifted = out.train;
+    return out;
+  }
+
+  // Paper shorthand: "w12/345" — the right side omits the 'w'. An optional
+  // 'w' after the slash ("w12/w345") is also accepted.
+  std::string left = body.substr(0, slash);
+  std::string right = body.substr(slash + 1);
+  if (!right.empty() && right[0] == 'w') right = right.substr(1);
+
+  Result<std::vector<GenMethod>> train = ParseDigits(left);
+  if (!train.ok()) return train.status();
+  Result<std::vector<GenMethod>> drifted = ParseDigits(right);
+  if (!drifted.ok()) return drifted.status();
+
+  WorkloadSpec out;
+  out.train = train.MoveValueOrDie();
+  out.drifted = drifted.MoveValueOrDie();
+  return out;
+}
+
+std::string WorkloadSpec::ToString() const {
+  std::string s = "w";
+  for (GenMethod m : train) s += static_cast<char>('1' + static_cast<int>(m));
+  s += "/";
+  for (GenMethod m : drifted) s += static_cast<char>('1' + static_cast<int>(m));
+  return s;
+}
+
+}  // namespace warper::workload

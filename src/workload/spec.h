@@ -1,0 +1,30 @@
+// Workload-drift specifications in the paper's notation: "w12/345" trains on
+// a uniform mixture of {w1, w2} and drifts to {w3, w4, w5}; "w1/2" is a
+// single-method pair; "w1-5" is the all-methods mixture used when only the
+// data drifts (c1).
+#ifndef WARPER_WORKLOAD_SPEC_H_
+#define WARPER_WORKLOAD_SPEC_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+#include "workload/generator.h"
+
+namespace warper::workload {
+
+struct WorkloadSpec {
+  std::vector<GenMethod> train;
+  std::vector<GenMethod> drifted;
+
+  // Parses "w12/345", "w1/2", "w125/34", or "w1-5" (same mixture on both
+  // sides). Returns InvalidArgument on malformed input.
+  static Result<WorkloadSpec> Parse(const std::string& spec);
+
+  // Formats back to the paper's notation.
+  std::string ToString() const;
+};
+
+}  // namespace warper::workload
+
+#endif  // WARPER_WORKLOAD_SPEC_H_

@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include "baselines/aug.h"
+#include "baselines/ft.h"
+#include "baselines/hem.h"
+#include "baselines/mix.h"
+#include "baselines/warper_adapter.h"
+#include "ce/lm.h"
+#include "ce/metrics.h"
+#include "storage/annotator.h"
+#include "storage/datasets.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+
+namespace warper::baselines {
+namespace {
+
+struct Env {
+  storage::Table table;
+  storage::Annotator annotator;
+  ce::SingleTableDomain domain;
+  util::Rng rng;
+  std::vector<ce::LabeledExample> train;
+  std::unique_ptr<ce::LmMlp> model;
+
+  explicit Env(uint64_t seed)
+      : table(storage::MakePrsa(15000, seed)),
+        annotator(&table),
+        domain(&annotator),
+        rng(seed) {
+    train = Examples(workload::GenMethod::kW1, 500, true);
+    model = std::make_unique<ce::LmMlp>(domain.FeatureDim(),
+                                        ce::LmMlpConfig{}, seed);
+    nn::Matrix x;
+    std::vector<double> y;
+    ce::ExamplesToMatrix(train, &x, &y);
+    model->Train(x, y);
+  }
+
+  std::vector<ce::LabeledExample> Examples(workload::GenMethod method,
+                                           size_t n, bool with_labels) {
+    std::vector<storage::RangePredicate> preds =
+        workload::GenerateWorkload(table, {method}, n, &rng);
+    std::vector<int64_t> counts(n, -1);
+    if (with_labels) counts = annotator.BatchCount(preds);
+    std::vector<ce::LabeledExample> out(n);
+    for (size_t i = 0; i < n; ++i) {
+      out[i] = {domain.FeaturizePredicate(preds[i]), counts[i]};
+    }
+    return out;
+  }
+
+  AdapterContext Context() {
+    return {&domain, model.get(), &train, /*seed=*/99};
+  }
+};
+
+TEST(FtAdapterTest, NameReflectsUpdateMode) {
+  Env env(1);
+  FtAdapter ft(env.Context());
+  EXPECT_EQ(ft.Name(), "FT");
+
+  auto gbt = std::make_unique<ce::LmGbt>(env.domain.FeatureDim(),
+                                         ce::LmGbtConfig{}, 1);
+  nn::Matrix x;
+  std::vector<double> y;
+  ce::ExamplesToMatrix(env.train, &x, &y);
+  gbt->Train(x, y);
+  AdapterContext ctx = env.Context();
+  ctx.model = gbt.get();
+  FtAdapter rt(ctx);
+  EXPECT_EQ(rt.Name(), "RT");
+}
+
+TEST(FtAdapterTest, ImprovesOnDriftedWorkload) {
+  Env env(2);
+  std::vector<ce::LabeledExample> test =
+      env.Examples(workload::GenMethod::kW3, 100, true);
+  double before = ce::ModelGmq(*env.model, test);
+
+  FtAdapter ft(env.Context());
+  StepInfo info;
+  for (int step = 0; step < 3; ++step) {
+    StepStats stats =
+        ft.Step(env.Examples(workload::GenMethod::kW3, 80, true), info);
+    EXPECT_TRUE(stats.model_updated);
+    EXPECT_EQ(stats.annotated, 0u);  // labels already attached
+  }
+  EXPECT_LT(ce::ModelGmq(*env.model, test), before);
+}
+
+TEST(FtAdapterTest, AnnotatesWithinBudget) {
+  Env env(3);
+  FtAdapter ft(env.Context());
+  StepInfo info;
+  info.annotation_budget = 15;
+  StepStats stats =
+      ft.Step(env.Examples(workload::GenMethod::kW3, 60, false), info);
+  EXPECT_EQ(stats.annotated, 15u);
+  EXPECT_TRUE(stats.model_updated);
+}
+
+TEST(FtAdapterTest, NoLabelsNoUpdate) {
+  Env env(4);
+  FtAdapter ft(env.Context());
+  StepInfo info;
+  info.annotation_budget = 0;
+  StepStats stats =
+      ft.Step(env.Examples(workload::GenMethod::kW3, 30, false), info);
+  EXPECT_FALSE(stats.model_updated);
+}
+
+TEST(MixAdapterTest, UpdatesWithTrainMixture) {
+  Env env(5);
+  MixAdapter mix(env.Context());
+  StepInfo info;
+  StepStats stats =
+      mix.Step(env.Examples(workload::GenMethod::kW3, 50, true), info);
+  EXPECT_TRUE(stats.model_updated);
+  EXPECT_EQ(stats.synthesized, 0u);
+}
+
+TEST(AugAdapterTest, SynthesizesAndAnnotates) {
+  Env env(6);
+  AugAdapter aug(env.Context(), /*gen_fraction=*/0.2);
+  StepInfo info;
+  StepStats stats =
+      aug.Step(env.Examples(workload::GenMethod::kW3, 50, true), info);
+  EXPECT_EQ(stats.synthesized, 10u);  // 20% of 50
+  EXPECT_EQ(stats.annotated, 10u);    // synthetic queries need labels
+  EXPECT_TRUE(stats.model_updated);
+}
+
+TEST(AugAdapterTest, GeneratorDisabledBelowOneQuery) {
+  Env env(7);
+  AugAdapter aug(env.Context(), /*gen_fraction=*/0.1);
+  StepInfo info;
+  StepStats stats =
+      aug.Step(env.Examples(workload::GenMethod::kW3, 5, true), info);
+  EXPECT_EQ(stats.synthesized, 0u);  // 0.1 · 5 < 1
+}
+
+TEST(SynthesizeNoisyTest, ProducesCanonicalFeatures) {
+  Env env(8);
+  util::Rng rng(8);
+  std::vector<ce::LabeledExample> seeds =
+      env.Examples(workload::GenMethod::kW3, 10, true);
+  std::vector<ce::LabeledExample> synth =
+      SynthesizeNoisy(env.domain, seeds, 20, 0.1, &rng);
+  ASSERT_EQ(synth.size(), 20u);
+  size_t d = env.domain.FeatureDim() / 2;
+  for (const auto& e : synth) {
+    EXPECT_EQ(e.cardinality, -1);
+    for (size_t c = 0; c < d; ++c) {
+      EXPECT_LE(e.features[c], e.features[d + c] + 1e-12);
+    }
+  }
+}
+
+TEST(HemAdapterTest, MinesAndUpdates) {
+  Env env(9);
+  HemAdapter hem(env.Context());
+  StepInfo info;
+  StepStats stats =
+      hem.Step(env.Examples(workload::GenMethod::kW3, 60, true), info);
+  EXPECT_TRUE(stats.model_updated);
+  EXPECT_GT(stats.synthesized, 0u);
+}
+
+TEST(WarperAdapterTest, NameCoversAblations) {
+  Env env(10);
+  core::WarperConfig config;
+  config.hidden_units = 32;
+  config.hidden_layers = 2;
+  config.n_i = 20;
+  WarperAdapter plain(env.Context(), config);
+  EXPECT_EQ(plain.Name(), "Warper");
+
+  core::WarperConfig rnd = config;
+  rnd.picker_variant = core::PickerVariant::kRandom;
+  WarperAdapter p_rnd(env.Context(), rnd);
+  EXPECT_EQ(p_rnd.Name(), "Warper(P->rnd)");
+
+  core::WarperConfig gen = config;
+  gen.generator_variant = core::GeneratorVariant::kNoiseAug;
+  WarperAdapter g_aug(env.Context(), gen);
+  EXPECT_EQ(g_aug.Name(), "Warper(G->AUG)");
+}
+
+TEST(WarperAdapterTest, StepExposesInvocationStats) {
+  Env env(11);
+  core::WarperConfig config;
+  config.hidden_units = 32;
+  config.hidden_layers = 2;
+  config.n_i = 30;
+  config.n_p = 100;
+  WarperAdapter adapter(env.Context(), config);
+  StepInfo info;
+  StepStats stats =
+      adapter.Step(env.Examples(workload::GenMethod::kW3, 60, true), info);
+  EXPECT_TRUE(stats.model_updated);
+  EXPECT_EQ(adapter.last_result().mode.c2, true);
+}
+
+}  // namespace
+}  // namespace warper::baselines

@@ -1,0 +1,53 @@
+#include "ce/estimator.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace warper::ce {
+namespace {
+
+TEST(TargetTransformTest, RoundTrip) {
+  for (int64_t card : {0LL, 1LL, 10LL, 123456LL}) {
+    EXPECT_NEAR(TargetToCard(CardToTarget(card)), static_cast<double>(card),
+                1e-6 * std::max<double>(1.0, static_cast<double>(card)));
+  }
+}
+
+TEST(TargetTransformTest, ZeroMapsToZero) {
+  EXPECT_DOUBLE_EQ(CardToTarget(0), 0.0);
+  EXPECT_DOUBLE_EQ(TargetToCard(0.0), 0.0);
+}
+
+TEST(TargetTransformTest, NegativeTargetClampsToZero) {
+  EXPECT_DOUBLE_EQ(TargetToCard(-3.0), 0.0);
+}
+
+TEST(TargetTransformDeathTest, NegativeCardinality) {
+  EXPECT_DEATH(CardToTarget(-1), "WARPER_CHECK");
+}
+
+TEST(ExamplesToMatrixTest, StacksAndTransforms) {
+  std::vector<LabeledExample> examples = {
+      {{0.1, 0.2}, 99},
+      {{0.3, 0.4}, 0},
+  };
+  nn::Matrix x;
+  std::vector<double> y;
+  ExamplesToMatrix(examples, &x, &y);
+  EXPECT_EQ(x.rows(), 2u);
+  EXPECT_EQ(x.cols(), 2u);
+  EXPECT_DOUBLE_EQ(x.At(1, 0), 0.3);
+  EXPECT_DOUBLE_EQ(y[0], std::log1p(99.0));
+  EXPECT_DOUBLE_EQ(y[1], 0.0);
+}
+
+TEST(ExamplesToMatrixDeathTest, InconsistentWidths) {
+  std::vector<LabeledExample> examples = {{{0.1}, 1}, {{0.1, 0.2}, 2}};
+  nn::Matrix x;
+  std::vector<double> y;
+  EXPECT_DEATH(ExamplesToMatrix(examples, &x, &y), "WARPER_CHECK");
+}
+
+}  // namespace
+}  // namespace warper::ce

@@ -1,0 +1,163 @@
+#include "ce/lm.h"
+
+#include <gtest/gtest.h>
+
+#include "ce/metrics.h"
+#include "ce/query_domain.h"
+#include "storage/annotator.h"
+#include "storage/datasets.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+
+namespace warper::ce {
+namespace {
+
+// Shared fixture data: an annotated workload on a PRSA-like table.
+struct LmTestData {
+  storage::Table table = storage::MakePrsa(8000, 42);
+  storage::Annotator annotator{&table};
+  SingleTableDomain domain{&annotator};
+  std::vector<LabeledExample> train, test;
+
+  LmTestData() {
+    util::Rng rng(42);
+    auto make = [&](size_t n) {
+      std::vector<storage::RangePredicate> preds = workload::GenerateWorkload(
+          table, {workload::GenMethod::kW1, workload::GenMethod::kW3}, n, &rng);
+      std::vector<int64_t> counts = annotator.BatchCount(preds);
+      std::vector<LabeledExample> out(n);
+      for (size_t i = 0; i < n; ++i) {
+        out[i] = {domain.FeaturizePredicate(preds[i]), counts[i]};
+      }
+      return out;
+    };
+    train = make(900);
+    test = make(150);
+  }
+};
+
+LmTestData& Data() {
+  static LmTestData* data = new LmTestData();
+  return *data;
+}
+
+template <typename ModelT>
+double TrainAndScore(ModelT& model) {
+  nn::Matrix x;
+  std::vector<double> y;
+  ExamplesToMatrix(Data().train, &x, &y);
+  model.Train(x, y);
+  return ModelGmq(model, Data().test);
+}
+
+TEST(LmMlpTest, LearnsUsefulEstimates) {
+  LmMlp model(Data().domain.FeatureDim(), LmMlpConfig{}, 1);
+  EXPECT_FALSE(model.trained());
+  double gmq = TrainAndScore(model);
+  EXPECT_TRUE(model.trained());
+  // A constant-guess model lands far above this on the mixed workload.
+  EXPECT_LT(gmq, 5.0);
+  EXPECT_GE(gmq, 1.0);
+}
+
+TEST(LmMlpTest, FineTuneImprovesOnNewDistribution) {
+  LmMlp model(Data().domain.FeatureDim(), LmMlpConfig{}, 2);
+  TrainAndScore(model);
+
+  // Build a drifted workload (w2) and fine-tune on half of it.
+  util::Rng rng(7);
+  std::vector<storage::RangePredicate> preds = workload::GenerateWorkload(
+      Data().table, {workload::GenMethod::kW2}, 300, &rng);
+  std::vector<int64_t> counts = Data().annotator.BatchCount(preds);
+  std::vector<LabeledExample> drifted(300);
+  for (size_t i = 0; i < 300; ++i) {
+    drifted[i] = {Data().domain.FeaturizePredicate(preds[i]), counts[i]};
+  }
+  std::vector<LabeledExample> finetune_set(drifted.begin(),
+                                           drifted.begin() + 150);
+  std::vector<LabeledExample> eval_set(drifted.begin() + 150, drifted.end());
+
+  double before = ModelGmq(model, eval_set);
+  nn::Matrix x;
+  std::vector<double> y;
+  ExamplesToMatrix(finetune_set, &x, &y);
+  model.Update(x, y);
+  double after = ModelGmq(model, eval_set);
+  EXPECT_LT(after, before * 1.05);  // should not get meaningfully worse
+}
+
+TEST(LmMlpTest, UpdateModeIsFineTune) {
+  LmMlp model(4, LmMlpConfig{}, 3);
+  EXPECT_EQ(model.update_mode(), UpdateMode::kFineTune);
+  EXPECT_EQ(model.Name(), "LM-mlp");
+}
+
+TEST(LmGbtTest, LearnsUsefulEstimates) {
+  LmGbt model(Data().domain.FeatureDim(), LmGbtConfig{}, 4);
+  double gmq = TrainAndScore(model);
+  EXPECT_LT(gmq, 6.0);
+  EXPECT_EQ(model.update_mode(), UpdateMode::kRetrain);
+  EXPECT_EQ(model.Name(), "LM-gbt");
+}
+
+TEST(LmGbtTest, UpdateRetrainsFromGivenCorpus) {
+  LmGbt model(Data().domain.FeatureDim(), LmGbtConfig{}, 5);
+  TrainAndScore(model);
+  // Re-train on a tiny corpus; predictions must now reflect only it.
+  nn::Matrix x(4, Data().domain.FeatureDim(), 0.5);
+  std::vector<double> y(4, CardToTarget(1000));
+  model.Update(x, y);
+  std::vector<double> t = model.EstimateTargets(x);
+  for (double v : t) EXPECT_NEAR(v, CardToTarget(1000), 0.5);
+}
+
+TEST(LmKernelTest, PolyAndRbfVariants) {
+  auto ply = MakeLmPly(Data().domain.FeatureDim(), 6);
+  auto rbf = MakeLmRbf(Data().domain.FeatureDim(), 6);
+  EXPECT_EQ(ply->Name(), "LM-ply");
+  EXPECT_EQ(rbf->Name(), "LM-rbf");
+  EXPECT_EQ(ply->update_mode(), UpdateMode::kRetrain);
+
+  nn::Matrix x;
+  std::vector<double> y;
+  ExamplesToMatrix(Data().train, &x, &y);
+  ply->Train(x, y);
+  rbf->Train(x, y);
+  EXPECT_LT(ModelGmq(*ply, Data().test), 8.0);
+  EXPECT_LT(ModelGmq(*rbf, Data().test), 8.0);
+}
+
+TEST(LmTest, EstimateCardinalityNonNegative) {
+  LmMlp model(Data().domain.FeatureDim(), LmMlpConfig{}, 7);
+  TrainAndScore(model);
+  util::Rng rng(9);
+  for (int i = 0; i < 20; ++i) {
+    std::vector<double> features(Data().domain.FeatureDim());
+    for (double& f : features) f = rng.Uniform(0, 1);
+    EXPECT_GE(model.EstimateCardinality(
+                  Data().domain.CanonicalizeFeatures(features)),
+              0.0);
+  }
+}
+
+TEST(LmTest, DeterministicGivenSeed) {
+  LmMlp a(Data().domain.FeatureDim(), LmMlpConfig{}, 11);
+  LmMlp b(Data().domain.FeatureDim(), LmMlpConfig{}, 11);
+  TrainAndScore(a);
+  TrainAndScore(b);
+  nn::Matrix x;
+  std::vector<double> y;
+  ExamplesToMatrix(Data().test, &x, &y);
+  std::vector<double> ta = a.EstimateTargets(x);
+  std::vector<double> tb = b.EstimateTargets(x);
+  for (size_t i = 0; i < ta.size(); ++i) EXPECT_DOUBLE_EQ(ta[i], tb[i]);
+}
+
+TEST(LmDeathTest, EstimateBeforeTraining) {
+  LmMlp model(4, LmMlpConfig{}, 12);
+  nn::Matrix x(1, 4);
+  EXPECT_DEATH(model.EstimateTargets(x), "WARPER_CHECK");
+}
+
+}  // namespace
+}  // namespace warper::ce

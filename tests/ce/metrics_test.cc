@@ -1,0 +1,51 @@
+#include "ce/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace warper::ce {
+namespace {
+
+TEST(QErrorTest, PerfectEstimateIsOne) {
+  EXPECT_DOUBLE_EQ(QError(100.0, 100.0), 1.0);
+}
+
+TEST(QErrorTest, SymmetricInDirection) {
+  EXPECT_DOUBLE_EQ(QError(50.0, 200.0), QError(200.0, 50.0));
+  EXPECT_DOUBLE_EQ(QError(50.0, 200.0), 4.0);
+}
+
+TEST(QErrorTest, ThetaFloorsSmallCardinalities) {
+  // With θ=10, estimates below 10 are treated as 10 (paper §4.1).
+  EXPECT_DOUBLE_EQ(QError(0.0, 5.0), 1.0);
+  EXPECT_DOUBLE_EQ(QError(1.0, 100.0), 10.0);
+  EXPECT_DOUBLE_EQ(QError(0.0, 0.0), 1.0);
+}
+
+TEST(QErrorTest, AlwaysAtLeastOne) {
+  for (double est : {0.0, 3.0, 17.0, 1000.0}) {
+    for (double act : {0.0, 9.0, 55.0, 1e6}) {
+      EXPECT_GE(QError(est, act), 1.0);
+    }
+  }
+}
+
+TEST(GmqTest, GeometricMeanOfQErrors) {
+  // q-errors: 2 and 8 → GMQ 4.
+  double gmq = Gmq({20.0, 80.0}, {40.0, 10.0});
+  EXPECT_NEAR(gmq, 4.0, 1e-9);
+}
+
+TEST(GmqTest, AllPerfectIsOne) {
+  EXPECT_DOUBLE_EQ(Gmq({15.0, 100.0}, {15.0, 100.0}), 1.0);
+}
+
+TEST(GmqDeathTest, EmptyInput) {
+  EXPECT_DEATH(Gmq({}, {}), "WARPER_CHECK");
+}
+
+TEST(GmqDeathTest, MismatchedSizes) {
+  EXPECT_DEATH(Gmq({1.0}, {1.0, 2.0}), "WARPER_CHECK");
+}
+
+}  // namespace
+}  // namespace warper::ce

@@ -1,0 +1,104 @@
+#include "ce/model_io.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace warper::ce {
+namespace {
+
+nn::Mlp MakeMlp(uint64_t seed, std::vector<size_t> sizes = {4, 8, 2}) {
+  util::Rng rng(seed);
+  nn::MlpConfig config;
+  config.layer_sizes = std::move(sizes);
+  return nn::Mlp(config, &rng);
+}
+
+std::string TempPath(const char* name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(ModelIoTest, SaveLoadRoundTrip) {
+  nn::Mlp original = MakeMlp(1);
+  std::string path = TempPath("roundtrip.mlp");
+  ASSERT_TRUE(SaveMlp(original, path).ok());
+
+  nn::Mlp restored = MakeMlp(2);  // different random init
+  ASSERT_NE(restored.GetParameters(), original.GetParameters());
+  ASSERT_TRUE(LoadMlp(&restored, path).ok());
+  EXPECT_EQ(restored.GetParameters(), original.GetParameters());
+
+  // Predictions agree bit-for-bit.
+  nn::Matrix x = nn::Matrix::FromRows({{0.1, 0.2, 0.3, 0.4}});
+  EXPECT_EQ(original.Predict(x).data(), restored.Predict(x).data());
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoTest, LoadRejectsShapeMismatch) {
+  nn::Mlp original = MakeMlp(3);
+  std::string path = TempPath("shape.mlp");
+  ASSERT_TRUE(SaveMlp(original, path).ok());
+
+  nn::Mlp wider = MakeMlp(3, {4, 16, 2});
+  Status status = LoadMlp(&wider, path);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+
+  nn::Mlp deeper = MakeMlp(3, {4, 8, 8, 2});
+  EXPECT_FALSE(LoadMlp(&deeper, path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoTest, LoadRejectsMissingFile) {
+  nn::Mlp mlp = MakeMlp(5);
+  Status status = LoadMlp(&mlp, TempPath("does-not-exist.mlp"));
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+}
+
+TEST(ModelIoTest, LoadRejectsGarbageFile) {
+  std::string path = TempPath("garbage.mlp");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not an mlp";
+  }
+  nn::Mlp mlp = MakeMlp(7);
+  Status status = LoadMlp(&mlp, path);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(MlpSnapshotTest, RestoreUndoesTraining) {
+  nn::Mlp mlp = MakeMlp(9);
+  MlpSnapshot snapshot(mlp);
+  std::vector<double> before = mlp.GetParameters();
+
+  // Perturb with an optimizer step.
+  nn::Matrix x = nn::Matrix::FromRows({{1.0, 1.0, 1.0, 1.0}});
+  mlp.ZeroGrad();
+  nn::Matrix out = mlp.Forward(x);
+  out.Scale(0.0);
+  nn::Matrix grad(1, 2, 1.0);
+  mlp.Backward(grad);
+  nn::OptimizerConfig sgd;
+  sgd.kind = nn::OptimizerKind::kSgd;
+  mlp.Step(sgd, 0.1);
+  ASSERT_NE(mlp.GetParameters(), before);
+
+  snapshot.RestoreTo(&mlp);
+  EXPECT_EQ(mlp.GetParameters(), before);
+}
+
+TEST(MlpSnapshotDeathTest, ShapeMismatch) {
+  nn::Mlp a = MakeMlp(11);
+  nn::Mlp b = MakeMlp(11, {4, 16, 2});
+  MlpSnapshot snapshot(a);
+  EXPECT_DEATH(snapshot.RestoreTo(&b), "shape mismatch");
+}
+
+}  // namespace
+}  // namespace warper::ce

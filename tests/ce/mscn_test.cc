@@ -1,0 +1,154 @@
+#include "ce/mscn.h"
+
+#include <gtest/gtest.h>
+
+#include "ce/metrics.h"
+#include "ce/query_domain.h"
+#include "storage/annotator.h"
+#include "storage/datasets.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+#include "workload/join_workload.h"
+
+namespace warper::ce {
+namespace {
+
+TEST(MscnConfigTest, SingleTableLayout) {
+  MscnConfig config = MscnConfig::SingleTable(8);
+  EXPECT_EQ(config.segments.size(), 1u);
+  EXPECT_EQ(config.segments[0].num_cols, 8u);
+  EXPECT_EQ(config.feature_dim, 16u);
+  EXPECT_EQ(config.num_join_bits, 0u);
+}
+
+TEST(MscnConfigTest, StarJoinLayout) {
+  MscnConfig config = MscnConfig::StarJoin(4, {3, 3});
+  EXPECT_EQ(config.num_join_bits, 2u);
+  ASSERT_EQ(config.segments.size(), 3u);
+  EXPECT_EQ(config.segments[0].offset, 2u);       // after join bits
+  EXPECT_EQ(config.segments[1].offset, 10u);      // 2 + 2·4
+  EXPECT_EQ(config.segments[2].offset, 16u);      // 10 + 2·3
+  EXPECT_EQ(config.feature_dim, 22u);
+}
+
+TEST(MscnTest, SetSizeIsTotalColumns) {
+  Mscn single(MscnConfig::SingleTable(8), 1);
+  EXPECT_EQ(single.PredicateSetSize(), 8u);
+  Mscn join(MscnConfig::StarJoin(4, {3, 3}), 1);
+  EXPECT_EQ(join.PredicateSetSize(), 10u);
+}
+
+TEST(MscnTest, SingleTableLearnsEstimates) {
+  storage::Table table = storage::MakePrsa(6000, 3);
+  storage::Annotator annotator(&table);
+  SingleTableDomain domain(&annotator);
+  util::Rng rng(3);
+
+  auto make = [&](size_t n) {
+    std::vector<storage::RangePredicate> preds = workload::GenerateWorkload(
+        table, {workload::GenMethod::kW1, workload::GenMethod::kW3}, n, &rng);
+    std::vector<int64_t> counts = annotator.BatchCount(preds);
+    std::vector<LabeledExample> out(n);
+    for (size_t i = 0; i < n; ++i) {
+      out[i] = {domain.FeaturizePredicate(preds[i]), counts[i]};
+    }
+    return out;
+  };
+  std::vector<LabeledExample> train = make(700);
+  std::vector<LabeledExample> test = make(120);
+
+  MscnConfig config = MscnConfig::SingleTable(table.NumColumns());
+  config.train_epochs = 40;
+  Mscn model(config, 5);
+  nn::Matrix x;
+  std::vector<double> y;
+  ExamplesToMatrix(train, &x, &y);
+  model.Train(x, y);
+  EXPECT_TRUE(model.trained());
+  EXPECT_LT(ModelGmq(model, test), 6.0);
+  EXPECT_EQ(model.update_mode(), UpdateMode::kFineTune);
+}
+
+TEST(MscnTest, JoinVariantLearnsEstimates) {
+  storage::ImdbTables tables = storage::MakeImdb(600, 5);
+  storage::StarSchema schema = tables.Schema();
+  storage::JoinAnnotator annotator(&schema);
+  StarJoinDomain domain(&annotator);
+  util::Rng rng(7);
+
+  auto make = [&](size_t n) {
+    std::vector<storage::JoinQuery> queries = workload::GenerateJoinWorkload(
+        schema, workload::GenMethod::kW1, n, &rng);
+    std::vector<int64_t> counts = annotator.BatchCount(queries);
+    std::vector<LabeledExample> out(n);
+    for (size_t i = 0; i < n; ++i) {
+      out[i] = {domain.FeaturizeQuery(queries[i]), counts[i]};
+    }
+    return out;
+  };
+  std::vector<LabeledExample> train = make(500);
+  std::vector<LabeledExample> test = make(100);
+
+  MscnConfig config = MscnConfig::StarJoin(
+      schema.center->NumColumns(),
+      {schema.facts[0].table->NumColumns(),
+       schema.facts[1].table->NumColumns()});
+  config.train_epochs = 40;
+  Mscn model(config, 9);
+  nn::Matrix x;
+  std::vector<double> y;
+  ExamplesToMatrix(train, &x, &y);
+  model.Train(x, y);
+
+  // Join cardinalities span many orders of magnitude; require the model to
+  // clearly beat a mean-predictor baseline.
+  double mean_target = 0.0;
+  for (double t : y) mean_target += t;
+  mean_target /= static_cast<double>(y.size());
+  std::vector<double> est, act;
+  for (const auto& e : test) {
+    est.push_back(TargetToCard(mean_target));
+    act.push_back(static_cast<double>(e.cardinality));
+  }
+  double baseline_gmq = Gmq(est, act);
+  EXPECT_LT(ModelGmq(model, test), baseline_gmq);
+}
+
+TEST(MscnTest, FineTuneDoesNotDegradeInDistribution) {
+  storage::Table table = storage::MakePoker(4000, 7);
+  storage::Annotator annotator(&table);
+  SingleTableDomain domain(&annotator);
+  util::Rng rng(11);
+
+  std::vector<storage::RangePredicate> preds = workload::GenerateWorkload(
+      table, {workload::GenMethod::kW1}, 400, &rng);
+  std::vector<int64_t> counts = annotator.BatchCount(preds);
+  std::vector<LabeledExample> examples(400);
+  for (size_t i = 0; i < 400; ++i) {
+    examples[i] = {domain.FeaturizePredicate(preds[i]), counts[i]};
+  }
+  std::vector<LabeledExample> train(examples.begin(), examples.begin() + 300);
+  std::vector<LabeledExample> test(examples.begin() + 300, examples.end());
+
+  MscnConfig config = MscnConfig::SingleTable(table.NumColumns());
+  config.train_epochs = 30;
+  Mscn model(config, 13);
+  nn::Matrix x;
+  std::vector<double> y;
+  ExamplesToMatrix(train, &x, &y);
+  model.Train(x, y);
+  double before = ModelGmq(model, test);
+  model.Update(x, y);  // fine-tune on the same data
+  double after = ModelGmq(model, test);
+  EXPECT_LT(after, before * 1.2);
+}
+
+TEST(MscnDeathTest, WrongFeatureWidth) {
+  Mscn model(MscnConfig::SingleTable(4), 1);
+  nn::Matrix x(1, 3);
+  std::vector<double> y = {1.0};
+  EXPECT_DEATH(model.Train(x, y), "WARPER_CHECK");
+}
+
+}  // namespace
+}  // namespace warper::ce

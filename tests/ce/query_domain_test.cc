@@ -1,0 +1,129 @@
+#include "ce/query_domain.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/datasets.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+#include "workload/join_workload.h"
+
+namespace warper::ce {
+namespace {
+
+TEST(SingleTableDomainTest, FeatureDimAndName) {
+  storage::Table t = storage::MakePrsa(1000, 1);
+  storage::Annotator annotator(&t);
+  SingleTableDomain domain(&annotator);
+  EXPECT_EQ(domain.FeatureDim(), 16u);  // 2 × 8 columns
+  EXPECT_EQ(domain.Name(), "single_table:prsa");
+  EXPECT_EQ(domain.MaxCardinality(), 1000);
+}
+
+TEST(SingleTableDomainTest, AnnotateMatchesAnnotator) {
+  storage::Table t = storage::MakePrsa(2000, 2);
+  storage::Annotator annotator(&t);
+  SingleTableDomain domain(&annotator);
+  util::Rng rng(3);
+  std::vector<storage::RangePredicate> preds = workload::GenerateWorkload(
+      t, {workload::GenMethod::kW3}, 10, &rng);
+  for (const auto& p : preds) {
+    EXPECT_EQ(domain.Annotate(domain.FeaturizePredicate(p)),
+              annotator.Count(p));
+  }
+}
+
+TEST(SingleTableDomainTest, CanonicalizeIsIdempotent) {
+  storage::Table t = storage::MakeHiggs(1000, 3);
+  storage::Annotator annotator(&t);
+  SingleTableDomain domain(&annotator);
+  util::Rng rng(5);
+  for (int i = 0; i < 30; ++i) {
+    std::vector<double> noisy(domain.FeatureDim());
+    for (double& v : noisy) v = rng.Uniform(-0.5, 1.5);
+    std::vector<double> once = domain.CanonicalizeFeatures(noisy);
+    std::vector<double> twice = domain.CanonicalizeFeatures(once);
+    for (size_t j = 0; j < once.size(); ++j) {
+      EXPECT_NEAR(once[j], twice[j], 1e-12);
+    }
+    // Canonical features are valid: low ≤ high in [0, 1].
+    size_t d = domain.FeatureDim() / 2;
+    for (size_t c = 0; c < d; ++c) {
+      EXPECT_GE(once[c], 0.0);
+      EXPECT_LE(once[d + c], 1.0);
+      EXPECT_LE(once[c], once[d + c] + 1e-12);
+    }
+  }
+}
+
+TEST(SingleTableDomainTest, BatchAnnotateMatchesSingle) {
+  storage::Table t = storage::MakePoker(2000, 4);
+  storage::Annotator annotator(&t);
+  SingleTableDomain domain(&annotator);
+  util::Rng rng(7);
+  std::vector<std::vector<double>> features;
+  for (const auto& p : workload::GenerateWorkload(
+           t, {workload::GenMethod::kW1}, 12, &rng)) {
+    features.push_back(domain.FeaturizePredicate(p));
+  }
+  std::vector<int64_t> batch = domain.AnnotateBatch(features);
+  for (size_t i = 0; i < features.size(); ++i) {
+    EXPECT_EQ(batch[i], domain.Annotate(features[i]));
+  }
+}
+
+TEST(StarJoinDomainTest, FeatureLayout) {
+  storage::ImdbTables tables = storage::MakeImdb(200, 5);
+  storage::StarSchema schema = tables.Schema();
+  storage::JoinAnnotator annotator(&schema);
+  StarJoinDomain domain(&annotator);
+  // 2 join bits + 2·4 title + 2·3 cast_info + 2·3 movie_companies = 22.
+  EXPECT_EQ(domain.FeatureDim(), 22u);
+  EXPECT_EQ(domain.num_facts(), 2u);
+}
+
+TEST(StarJoinDomainTest, FeaturizeDecodeRoundTrip) {
+  storage::ImdbTables tables = storage::MakeImdb(200, 6);
+  storage::StarSchema schema = tables.Schema();
+  storage::JoinAnnotator annotator(&schema);
+  StarJoinDomain domain(&annotator);
+  util::Rng rng(9);
+  std::vector<storage::JoinQuery> queries =
+      workload::GenerateJoinWorkload(schema, workload::GenMethod::kW1, 20,
+                                     &rng);
+  for (const auto& q : queries) {
+    storage::JoinQuery decoded = domain.DecodeQuery(domain.FeaturizeQuery(q));
+    EXPECT_EQ(decoded.join_mask, q.join_mask);
+    for (size_t c = 0; c < q.center_pred.NumColumns(); ++c) {
+      EXPECT_NEAR(decoded.center_pred.low[c], q.center_pred.low[c], 1e-9);
+      EXPECT_NEAR(decoded.center_pred.high[c], q.center_pred.high[c], 1e-9);
+    }
+  }
+}
+
+TEST(StarJoinDomainTest, DecodeForcesAtLeastOneJoin) {
+  storage::ImdbTables tables = storage::MakeImdb(100, 7);
+  storage::StarSchema schema = tables.Schema();
+  storage::JoinAnnotator annotator(&schema);
+  StarJoinDomain domain(&annotator);
+  std::vector<double> features(domain.FeatureDim(), 0.4);
+  features[0] = 0.1;  // both join bits below the 0.5 threshold
+  features[1] = 0.3;
+  storage::JoinQuery q = domain.DecodeQuery(domain.CanonicalizeFeatures(features));
+  EXPECT_EQ(q.join_mask, 2u);  // highest bit value wins
+}
+
+TEST(StarJoinDomainTest, AnnotateMatchesJoinAnnotator) {
+  storage::ImdbTables tables = storage::MakeImdb(150, 8);
+  storage::StarSchema schema = tables.Schema();
+  storage::JoinAnnotator annotator(&schema);
+  StarJoinDomain domain(&annotator);
+  util::Rng rng(11);
+  std::vector<storage::JoinQuery> queries =
+      workload::GenerateJoinWorkload(schema, workload::GenMethod::kW3, 6, &rng);
+  for (const auto& q : queries) {
+    EXPECT_EQ(domain.Annotate(domain.FeaturizeQuery(q)), annotator.Count(q));
+  }
+}
+
+}  // namespace
+}  // namespace warper::ce

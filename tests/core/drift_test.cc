@@ -1,0 +1,274 @@
+#include "core/drift.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace warper::core {
+namespace {
+
+WarperConfig Config() {
+  WarperConfig config;
+  config.pi_initial = 0.3;
+  config.gamma = 100;
+  config.js_threshold = 0.05;
+  return config;
+}
+
+DriftSignals BaseSignals() {
+  DriftSignals signals;
+  signals.gmq_new = 1.5;
+  signals.gmq_new_valid = true;
+  signals.n_new = 50;
+  signals.n_new_labeled = 50;
+  return signals;
+}
+
+TEST(ModeFlagsTest, ToStringRendersCombinations) {
+  ModeFlags mode;
+  EXPECT_EQ(mode.ToString(), "none");
+  mode.c1 = true;
+  mode.c2 = true;
+  EXPECT_EQ(mode.ToString(), "c1|c2");
+  EXPECT_TRUE(mode.Any());
+}
+
+TEST(DriftDetectorTest, NoDriftWhenAccuracyFine) {
+  DriftDetector detector(Config());
+  detector.SetTrainingError(1.4);
+  DriftSignals signals = BaseSignals();
+  signals.delta_js = 0.4;  // workload moved, but accuracy did not degrade
+  EXPECT_FALSE(detector.Detect(signals).Any());
+}
+
+TEST(DriftDetectorTest, C2WhenQueriesInadequate) {
+  DriftDetector detector(Config());
+  detector.SetTrainingError(1.4);
+  DriftSignals signals = BaseSignals();
+  signals.gmq_new = 4.0;
+  signals.delta_js = 0.3;
+  signals.n_new = 50;          // < γ = 100
+  signals.n_new_labeled = 50;  // labels keep up
+  ModeFlags mode = detector.Detect(signals);
+  EXPECT_TRUE(mode.c2);
+  EXPECT_FALSE(mode.c3);
+  EXPECT_FALSE(mode.c4);
+  EXPECT_FALSE(mode.c1);
+}
+
+TEST(DriftDetectorTest, C3WhenLabelsLag) {
+  DriftDetector detector(Config());
+  detector.SetTrainingError(1.4);
+  DriftSignals signals = BaseSignals();
+  signals.gmq_new = 4.0;
+  signals.delta_js = 0.3;
+  signals.n_new = 80;
+  signals.n_new_labeled = 10;  // labeling can't keep up
+  ModeFlags mode = detector.Detect(signals);
+  EXPECT_TRUE(mode.c2);  // also inadequate queries
+  EXPECT_TRUE(mode.c3);
+}
+
+TEST(DriftDetectorTest, C4WhenAdequate) {
+  DriftDetector detector(Config());
+  detector.SetTrainingError(1.4);
+  DriftSignals signals = BaseSignals();
+  signals.gmq_new = 4.0;
+  signals.delta_js = 0.3;
+  signals.n_new = 500;
+  signals.n_new_labeled = 500;
+  ModeFlags mode = detector.Detect(signals);
+  EXPECT_TRUE(mode.c4);
+  EXPECT_FALSE(mode.c2);
+  EXPECT_FALSE(mode.c3);
+}
+
+TEST(DriftDetectorTest, C1FromDataTelemetry) {
+  DriftDetector detector(Config());
+  detector.SetTrainingError(1.4);
+  DriftSignals signals = BaseSignals();
+  signals.data_changed_fraction = 0.5;
+  ModeFlags mode = detector.Detect(signals);
+  EXPECT_TRUE(mode.c1);
+  EXPECT_FALSE(mode.c2);
+}
+
+TEST(DriftDetectorTest, C1FromCanaries) {
+  DriftDetector detector(Config());
+  detector.SetTrainingError(1.4);
+  DriftSignals signals = BaseSignals();
+  signals.canary_shift = 0.4;
+  EXPECT_TRUE(detector.Detect(signals).c1);
+}
+
+TEST(DriftDetectorTest, OutlierFallbackToC4) {
+  // Accuracy degraded but no measurable workload shift (δ_js small): the
+  // detector falls back to a plain update.
+  DriftDetector detector(Config());
+  detector.SetTrainingError(1.4);
+  DriftSignals signals = BaseSignals();
+  signals.gmq_new = 4.0;
+  signals.delta_js = 0.01;
+  ModeFlags mode = detector.Detect(signals);
+  EXPECT_TRUE(mode.c4);
+}
+
+TEST(DriftDetectorTest, MissingLabelsUseJsSignal) {
+  DriftDetector detector(Config());
+  detector.SetTrainingError(1.4);
+  DriftSignals signals;
+  signals.gmq_new_valid = false;  // no labels at all
+  signals.n_new = 30;
+  signals.n_new_labeled = 0;
+  signals.delta_js = 0.3;
+  ModeFlags mode = detector.Detect(signals);
+  EXPECT_TRUE(mode.c2);
+  EXPECT_TRUE(mode.c3);
+}
+
+TEST(DriftDetectorTest, StrongJsTriggersWithoutAccuracyGap) {
+  // Training-time error was high; the new workload's error matches it
+  // (δ_m ≈ 0) but the distribution clearly moved — with the strong-δ_js
+  // trigger enabled, adaptation should run.
+  WarperConfig config = Config();
+  config.js_strong_threshold = 0.35;
+  DriftDetector detector(config);
+  detector.SetTrainingError(2.2);
+  DriftSignals signals = BaseSignals();
+  signals.gmq_new = 2.2;
+  signals.delta_js = 0.6;
+  signals.n_new = 50;
+  ModeFlags mode = detector.Detect(signals);
+  EXPECT_TRUE(mode.c2);
+}
+
+TEST(DriftDetectorTest, StrongJsLatchedOffAfterEarlyStop) {
+  WarperConfig config = Config();
+  config.js_strong_threshold = 0.35;
+  DriftDetector detector(config);
+  detector.SetTrainingError(2.2);
+  ModeFlags mode;
+  mode.c2 = true;
+  detector.ReportAdaptationGain(0.0, mode);  // early stop raises π
+  DriftSignals signals = BaseSignals();
+  signals.gmq_new = 2.2;   // no accuracy gap
+  signals.delta_js = 0.6;  // workload still far away — but already adapted
+  EXPECT_FALSE(detector.Detect(signals).Any());
+}
+
+TEST(DriftDetectorTest, EarlyStopRaisesPi) {
+  WarperConfig config = Config();
+  DriftDetector detector(config);
+  detector.SetTrainingError(1.4);
+  double pi0 = detector.pi();
+  ModeFlags mode;
+  mode.c2 = true;
+  detector.ReportAdaptationGain(0.0, mode);  // no gain
+  EXPECT_GT(detector.pi(), pi0);
+  // δ_m just above the original π no longer triggers.
+  DriftSignals signals = BaseSignals();
+  signals.gmq_new = 1.4 + pi0 + 0.1;
+  signals.delta_js = 0.3;
+  EXPECT_FALSE(detector.Detect(signals).Any());
+}
+
+TEST(DriftDetectorTest, DetectionResetsPi) {
+  WarperConfig config = Config();
+  DriftDetector detector(config);
+  detector.SetTrainingError(1.4);
+  ModeFlags mode;
+  mode.c2 = true;
+  detector.ReportAdaptationGain(0.0, mode);
+  detector.ReportAdaptationGain(0.0, mode);
+  double raised = detector.pi();
+  EXPECT_GT(raised, config.pi_initial);
+
+  // A drift big enough to clear the raised threshold resets π.
+  DriftSignals signals = BaseSignals();
+  signals.gmq_new = 1.4 + raised + 1.0;
+  signals.delta_js = 0.3;
+  signals.n_new = 10;
+  EXPECT_TRUE(detector.Detect(signals).Any());
+  EXPECT_DOUBLE_EQ(detector.pi(), config.pi_initial);
+}
+
+TEST(DriftDetectorTest, SlowC4GrowsGamma) {
+  DriftDetector detector(Config());
+  size_t gamma0 = detector.gamma();
+  ModeFlags mode;
+  mode.c4 = true;
+  detector.ReportAdaptationGain(0.0, mode);
+  EXPECT_GT(detector.gamma(), gamma0);
+}
+
+TEST(DriftDetectorTest, GoodGainKeepsPiAndGamma) {
+  DriftDetector detector(Config());
+  ModeFlags mode;
+  mode.c2 = true;
+  detector.ReportAdaptationGain(1.0, mode);
+  EXPECT_DOUBLE_EQ(detector.pi(), Config().pi_initial);
+  EXPECT_EQ(detector.gamma(), Config().gamma);
+}
+
+// --- δ_js ---
+
+std::vector<std::vector<double>> Cloud(double lo, double hi, size_t n,
+                                       size_t d, uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::vector<double>> out(n, std::vector<double>(d));
+  for (auto& row : out) {
+    for (double& v : row) v = rng.Uniform(lo, hi);
+  }
+  return out;
+}
+
+TEST(JsDivergenceTest, IdenticalWorkloadsNearZero) {
+  auto a = Cloud(0.0, 1.0, 400, 6, 1);
+  EXPECT_LT(WorkloadJsDivergence(a, a, 10, 3), 0.02);
+}
+
+TEST(JsDivergenceTest, DisjointWorkloadsLarge) {
+  auto a = Cloud(0.0, 0.3, 400, 6, 2);
+  auto b = Cloud(0.7, 1.0, 400, 6, 3);
+  EXPECT_GT(WorkloadJsDivergence(a, b, 10, 3), 0.5);
+}
+
+TEST(JsDivergenceTest, SymmetricAndBounded) {
+  auto a = Cloud(0.0, 0.6, 300, 4, 4);
+  auto b = Cloud(0.4, 1.0, 300, 4, 5);
+  double ab = WorkloadJsDivergence(a, b, 10, 3);
+  double ba = WorkloadJsDivergence(b, a, 10, 3);
+  EXPECT_NEAR(ab, ba, 1e-9);
+  EXPECT_GE(ab, 0.0);
+  EXPECT_LE(ab, 1.0);
+}
+
+TEST(JsDivergenceTest, SameDistributionDifferentSamplesSmall) {
+  auto a = Cloud(0.0, 1.0, 500, 6, 6);
+  auto b = Cloud(0.0, 1.0, 500, 6, 7);
+  EXPECT_LT(WorkloadJsDivergence(a, b, 10, 3), 0.35);
+}
+
+// Parameterized: the metric stays bounded for many (dims, bins) settings.
+class JsParamSweep
+    : public ::testing::TestWithParam<std::pair<size_t, size_t>> {};
+
+TEST_P(JsParamSweep, InUnitInterval) {
+  auto [dims, bins] = GetParam();
+  auto a = Cloud(0.0, 0.5, 200, 5, 8);
+  auto b = Cloud(0.3, 1.0, 200, 5, 9);
+  double js = WorkloadJsDivergence(a, b, dims, bins);
+  EXPECT_GE(js, 0.0);
+  EXPECT_LE(js, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Params, JsParamSweep,
+    ::testing::Values(std::make_pair<size_t, size_t>(2, 2),
+                      std::make_pair<size_t, size_t>(5, 3),
+                      std::make_pair<size_t, size_t>(10, 3),
+                      std::make_pair<size_t, size_t>(10, 8),
+                      std::make_pair<size_t, size_t>(20, 4)));
+
+}  // namespace
+}  // namespace warper::core

@@ -1,0 +1,128 @@
+#include "core/gan.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace warper::core {
+namespace {
+
+WarperConfig SmallConfig() {
+  WarperConfig config;
+  config.hidden_units = 32;
+  config.hidden_layers = 2;
+  config.embedding_dim = 8;
+  config.batch_size = 16;
+  config.loss_patience = 50;  // effectively disable early stop in tests
+  return config;
+}
+
+QueryPool MakePool(size_t feature_dim, size_t train_n, size_t new_n,
+                   uint64_t seed) {
+  util::Rng rng(seed);
+  QueryPool pool;
+  // Train records concentrated low, new records concentrated high — a
+  // clearly detectable drift.
+  for (size_t i = 0; i < train_n; ++i) {
+    std::vector<double> f(feature_dim);
+    for (double& v : f) v = rng.Uniform(0.0, 0.4);
+    pool.AppendLabeled(std::move(f), rng.Uniform(10, 100), Source::kTrain);
+  }
+  for (size_t i = 0; i < new_n; ++i) {
+    std::vector<double> f(feature_dim);
+    for (double& v : f) v = rng.Uniform(0.6, 1.0);
+    pool.AppendLabeled(std::move(f), rng.Uniform(10, 100), Source::kNew);
+  }
+  return pool;
+}
+
+TEST(AutoEncoderTest, LossDecreases) {
+  WarperModels models(6, SmallConfig(), 1000.0, 3);
+  QueryPool pool = MakePool(6, 64, 64, 3);
+
+  GanTrainStats first = models.UpdateAutoEncoder(pool, 5);
+  GanTrainStats later = models.UpdateAutoEncoder(pool, 200);
+  EXPECT_LT(later.final_loss, first.final_loss);
+  EXPECT_GT(later.iterations, 0);
+}
+
+TEST(AutoEncoderTest, ReconstructionBecomesAccurate) {
+  WarperModels models(4, SmallConfig(), 1000.0, 5);
+  QueryPool pool = MakePool(4, 128, 0, 5);
+  models.UpdateAutoEncoder(pool, 600);
+
+  // Reconstruct a pool record through E∘G.
+  nn::Matrix input = models.encoder().BuildInputs(pool, {0});
+  nn::Matrix z = models.encoder().mlp().Predict(input);
+  nn::Matrix recon = models.generator().Generate(z);
+  double err = 0.0;
+  for (size_t c = 0; c < 4; ++c) {
+    err += std::abs(recon.At(0, c) - pool.record(0).features[c]);
+  }
+  EXPECT_LT(err / 4.0, 0.15);
+}
+
+TEST(MultiTaskTest, RunsAndReportsLoss) {
+  WarperModels models(6, SmallConfig(), 1000.0, 7);
+  QueryPool pool = MakePool(6, 64, 64, 7);
+  models.UpdateAutoEncoder(pool, 100);  // pre-train, as §3.5 prescribes
+  GanTrainStats stats = models.UpdateMultiTask(pool, 60);
+  EXPECT_GT(stats.iterations, 0);
+  EXPECT_TRUE(std::isfinite(stats.final_loss));
+  EXPECT_GT(stats.final_loss, 0.0);
+}
+
+TEST(MultiTaskTest, GeneratedQueriesResembleNewWorkload) {
+  size_t feature_dim = 6;
+  WarperModels models(feature_dim, SmallConfig(), 1000.0, 9);
+  QueryPool pool = MakePool(feature_dim, 96, 96, 9);
+  models.UpdateAutoEncoder(pool, 300);
+  models.UpdateMultiTask(pool, 150);
+
+  std::vector<std::vector<double>> generated = models.GenerateQueries(pool, 64);
+  ASSERT_EQ(generated.size(), 64u);
+  // New records live in [0.6, 1.0]^d; generated queries should land closer
+  // to that region than to the training region [0, 0.4]^d.
+  double mean = 0.0;
+  for (const auto& q : generated) {
+    for (double v : q) mean += v;
+  }
+  mean /= static_cast<double>(64 * feature_dim);
+  EXPECT_GT(mean, 0.5);
+}
+
+TEST(GenerateQueriesTest, OutputsBoundedAndSized) {
+  WarperModels models(5, SmallConfig(), 1000.0, 11);
+  QueryPool pool = MakePool(5, 32, 16, 11);
+  std::vector<std::vector<double>> generated = models.GenerateQueries(pool, 10);
+  ASSERT_EQ(generated.size(), 10u);
+  for (const auto& q : generated) {
+    ASSERT_EQ(q.size(), 5u);
+    for (double v : q) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+  }
+}
+
+TEST(GenerateQueriesTest, WorksWithoutNewRecords) {
+  WarperModels models(5, SmallConfig(), 1000.0, 13);
+  QueryPool pool = MakePool(5, 32, 0, 13);
+  // Seeds fall back to the whole pool.
+  EXPECT_EQ(models.GenerateQueries(pool, 8).size(), 8u);
+}
+
+TEST(MultiTaskTest, EarlyStopBoundsIterations) {
+  WarperConfig config = SmallConfig();
+  config.loss_rel_tol = 1e9;  // any progress counts as stagnation
+  config.loss_patience = 3;
+  WarperModels models(4, config, 1000.0, 17);
+  QueryPool pool = MakePool(4, 32, 32, 17);
+  GanTrainStats stats = models.UpdateMultiTask(pool, 500);
+  EXPECT_LE(stats.iterations, 10);
+}
+
+}  // namespace
+}  // namespace warper::core

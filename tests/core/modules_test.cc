@@ -1,0 +1,127 @@
+#include "core/modules.h"
+
+#include <gtest/gtest.h>
+
+namespace warper::core {
+namespace {
+
+WarperConfig SmallConfig() {
+  WarperConfig config;
+  config.hidden_units = 32;
+  config.hidden_layers = 2;
+  config.embedding_dim = 8;
+  return config;
+}
+
+TEST(EncoderTest, InputLayoutWithAndWithoutLabel) {
+  util::Rng rng(3);
+  Encoder encoder(4, SmallConfig(), /*max_card=*/1000.0, &rng);
+  EXPECT_EQ(encoder.input_dim(), 6u);
+  EXPECT_EQ(encoder.embedding_dim(), 8u);
+
+  PoolRecord labeled;
+  labeled.features = {0.1, 0.2, 0.3, 0.4};
+  labeled.gt = 99.0;
+  std::vector<double> in = encoder.BuildInput(labeled);
+  ASSERT_EQ(in.size(), 6u);
+  EXPECT_GT(in[4], 0.0);          // normalized log-card channel
+  EXPECT_DOUBLE_EQ(in[5], 1.0);   // has-label flag
+
+  PoolRecord unlabeled = labeled;
+  unlabeled.gt = -1.0;
+  in = encoder.BuildInput(unlabeled);
+  EXPECT_DOUBLE_EQ(in[4], 0.0);
+  EXPECT_DOUBLE_EQ(in[5], 0.0);
+}
+
+TEST(EncoderTest, EmbedRecordsWritesZ) {
+  util::Rng rng(5);
+  Encoder encoder(2, SmallConfig(), 100.0, &rng);
+  QueryPool pool;
+  pool.AppendLabeled({0.1, 0.9}, 10.0, Source::kTrain);
+  pool.AppendUnlabeled({0.5, 0.5}, Source::kNew);
+  encoder.EmbedRecords(&pool, {0, 1});
+  EXPECT_EQ(pool.record(0).z.size(), 8u);
+  EXPECT_EQ(pool.record(1).z.size(), 8u);
+  EXPECT_NE(pool.record(0).z, pool.record(1).z);
+}
+
+TEST(GeneratorTest, OutputsBoundedFeatures) {
+  util::Rng rng(7);
+  Generator generator(6, SmallConfig(), &rng);
+  EXPECT_EQ(generator.feature_dim(), 6u);
+  nn::Matrix z(4, 8);
+  for (double& v : z.data()) v = rng.Normal(0, 3);
+  nn::Matrix q = generator.Generate(z);
+  EXPECT_EQ(q.rows(), 4u);
+  EXPECT_EQ(q.cols(), 6u);
+  for (double v : q.data()) {
+    EXPECT_GT(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(GeneratorTest, PerturbUsesEmbeddingSpread) {
+  util::Rng rng(9);
+  // Constant base embeddings → zero σ → no perturbation.
+  nn::Matrix base(10, 4, 2.5);
+  nn::Matrix perturbed = Generator::PerturbEmbeddings(base, &rng);
+  for (double v : perturbed.data()) EXPECT_DOUBLE_EQ(v, 2.5);
+
+  // Spread-out base → perturbation actually moves points.
+  nn::Matrix spread(50, 4);
+  for (double& v : spread.data()) v = rng.Normal(0, 1);
+  nn::Matrix moved = Generator::PerturbEmbeddings(spread, &rng);
+  double diff = 0.0;
+  for (size_t i = 0; i < moved.data().size(); ++i) {
+    diff += std::abs(moved.data()[i] - spread.data()[i]);
+  }
+  EXPECT_GT(diff, 1.0);
+}
+
+TEST(DiscriminatorTest, ClassifyWritesPredictionAndConfidence) {
+  util::Rng rng(11);
+  WarperConfig config = SmallConfig();
+  Encoder encoder(2, config, 100.0, &rng);
+  Discriminator discriminator(config, &rng);
+
+  QueryPool pool;
+  pool.AppendLabeled({0.2, 0.8}, 5.0, Source::kTrain);
+  pool.AppendUnlabeled({0.6, 0.1}, Source::kNew);
+  encoder.EmbedRecords(&pool, {0, 1});
+  discriminator.ClassifyRecords(&pool, {0, 1});
+
+  for (size_t i = 0; i < 2; ++i) {
+    EXPECT_GE(pool.record(i).predicted_label, 0);
+    EXPECT_LT(pool.record(i).predicted_label, 3);
+    EXPECT_GT(pool.record(i).confidence, 1.0 / 3.0 - 1e-9);
+    EXPECT_LE(pool.record(i).confidence, 1.0);
+  }
+}
+
+TEST(DiscriminatorTest, ClassProbabilitiesSumToOne) {
+  util::Rng rng(13);
+  WarperConfig config = SmallConfig();
+  Discriminator discriminator(config, &rng);
+  nn::Matrix z(5, config.embedding_dim);
+  for (double& v : z.data()) v = rng.Normal();
+  std::vector<double> p_train =
+      discriminator.ClassProbability(z, Source::kTrain);
+  std::vector<double> p_new = discriminator.ClassProbability(z, Source::kNew);
+  std::vector<double> p_gen = discriminator.ClassProbability(z, Source::kGen);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(p_train[i] + p_new[i] + p_gen[i], 1.0, 1e-9);
+  }
+}
+
+TEST(DiscriminatorDeathTest, RequiresEmbeddings) {
+  util::Rng rng(17);
+  Discriminator discriminator(SmallConfig(), &rng);
+  QueryPool pool;
+  pool.AppendUnlabeled({0.1}, Source::kNew);
+  EXPECT_DEATH(discriminator.ClassifyRecords(&pool, {0}),
+               "no embedding");
+}
+
+}  // namespace
+}  // namespace warper::core

@@ -1,0 +1,148 @@
+#include "core/picker.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "ce/lm.h"
+#include "core/gan.h"
+
+namespace warper::core {
+namespace {
+
+WarperConfig SmallConfig() {
+  WarperConfig config;
+  config.hidden_units = 32;
+  config.hidden_layers = 2;
+  config.embedding_dim = 8;
+  config.picker_strata = 3;
+  return config;
+}
+
+// A trained LM-mlp stub: estimates only depend on the first feature, so we
+// can manufacture records with predictable errors.
+class StubModel : public ce::CardinalityEstimator {
+ public:
+  std::string Name() const override { return "stub"; }
+  ce::UpdateMode update_mode() const override {
+    return ce::UpdateMode::kFineTune;
+  }
+  void Train(const nn::Matrix&, const std::vector<double>&) override {}
+  void Update(const nn::Matrix&, const std::vector<double>&) override {}
+  bool trained() const override { return true; }
+  std::vector<double> EstimateTargets(const nn::Matrix& x) const override {
+    // Always predicts log-card 5 (card ≈ 147).
+    return std::vector<double>(x.rows(), 5.0);
+  }
+};
+
+TEST(PickerTest, PickGeneratedPrefersNewLookingQueries) {
+  WarperConfig config = SmallConfig();
+  util::Rng rng(3);
+  WarperModels models(4, config, 1000.0, 3);
+
+  QueryPool pool;
+  // Two generated candidates with very different embeddings; train the
+  // discriminator so one of them reads as "new".
+  for (int i = 0; i < 40; ++i) {
+    pool.AppendLabeled({0.9, 0.9, 0.9, 0.9}, 50.0, Source::kNew);
+    pool.AppendLabeled({0.1, 0.1, 0.1, 0.1}, 50.0, Source::kTrain);
+  }
+  size_t new_like = pool.AppendUnlabeled({0.88, 0.92, 0.9, 0.9}, Source::kGen);
+  size_t train_like = pool.AppendUnlabeled({0.12, 0.1, 0.1, 0.08}, Source::kGen);
+
+  models.UpdateAutoEncoder(pool, 200);
+  models.UpdateMultiTask(pool, 150);
+  std::vector<size_t> all(pool.Size());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+  models.encoder().EmbedRecords(&pool, all);
+
+  Picker picker(config, 7);
+  std::vector<size_t> picked =
+      picker.PickGenerated(pool, models.discriminator(), 200);
+  ASSERT_FALSE(picked.empty());
+  size_t new_like_count = std::count(picked.begin(), picked.end(), new_like);
+  size_t train_like_count =
+      std::count(picked.begin(), picked.end(), train_like);
+  EXPECT_GT(new_like_count, train_like_count);
+}
+
+TEST(PickerTest, PickGeneratedEmptyWhenNoCandidates) {
+  WarperConfig config = SmallConfig();
+  util::Rng rng(5);
+  WarperModels models(4, config, 1000.0, 5);
+  QueryPool pool;
+  pool.AppendLabeled({0.5, 0.5, 0.5, 0.5}, 10.0, Source::kNew);
+  Picker picker(config, 9);
+  EXPECT_TRUE(picker.PickGenerated(pool, models.discriminator(), 10).empty());
+}
+
+TEST(PickerTest, PickStratifiedReturnsCandidatesOnly) {
+  WarperConfig config = SmallConfig();
+  QueryPool pool;
+  // Labeled records with a spread of errors vs the stub model (card 147).
+  pool.AppendLabeled({0.1, 0.1}, 150.0, Source::kTrain);   // tiny error
+  pool.AppendLabeled({0.5, 0.5}, 1500.0, Source::kTrain);  // 10× error
+  pool.AppendLabeled({0.9, 0.9}, 15.0, Source::kTrain);    // 10× error
+  std::vector<size_t> candidates;
+  for (int i = 0; i < 10; ++i) {
+    candidates.push_back(
+        pool.AppendUnlabeled({0.1 * i, 0.5}, Source::kNew));
+  }
+  StubModel model;
+  Picker picker(config, 11);
+  std::vector<size_t> picked =
+      picker.PickStratified(pool, candidates, model, 50);
+  ASSERT_FALSE(picked.empty());
+  for (size_t p : picked) {
+    EXPECT_TRUE(std::find(candidates.begin(), candidates.end(), p) !=
+                candidates.end());
+  }
+}
+
+TEST(PickerTest, PickStratifiedUniformWithoutLabels) {
+  WarperConfig config = SmallConfig();
+  QueryPool pool;
+  std::vector<size_t> candidates;
+  for (int i = 0; i < 20; ++i) {
+    candidates.push_back(pool.AppendUnlabeled({0.05 * i}, Source::kNew));
+  }
+  StubModel model;
+  Picker picker(config, 13);
+  std::vector<size_t> picked =
+      picker.PickStratified(pool, candidates, model, 10);
+  EXPECT_EQ(picked.size(), 10u);
+  std::set<size_t> unique(picked.begin(), picked.end());
+  EXPECT_EQ(unique.size(), 10u);  // without labels: uniform, no replacement
+}
+
+TEST(PickerTest, PickRandomMultisetSize) {
+  Picker picker(SmallConfig(), 17);
+  std::vector<size_t> picked = picker.PickRandom({1, 2, 3}, 50);
+  EXPECT_EQ(picked.size(), 50u);
+  for (size_t p : picked) EXPECT_TRUE(p >= 1 && p <= 3);
+  EXPECT_TRUE(picker.PickRandom({}, 5).empty());
+}
+
+TEST(PickerTest, PickEntropyWeightsUncertainCandidates) {
+  WarperConfig config = SmallConfig();
+  util::Rng rng(19);
+  WarperModels models(4, config, 1000.0, 19);
+  QueryPool pool;
+  std::vector<size_t> candidates;
+  for (int i = 0; i < 8; ++i) {
+    candidates.push_back(pool.AppendUnlabeled(
+        {0.1 * i, 0.5, 0.5, 0.5}, Source::kGen));
+  }
+  std::vector<size_t> all(pool.Size());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+  models.encoder().EmbedRecords(&pool, all);
+  Picker picker(config, 23);
+  std::vector<size_t> picked =
+      picker.PickEntropy(pool, candidates, models.discriminator(), 30);
+  EXPECT_EQ(picked.size(), 30u);
+}
+
+}  // namespace
+}  // namespace warper::core

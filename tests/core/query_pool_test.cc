@@ -1,0 +1,96 @@
+#include "core/query_pool.h"
+
+#include <gtest/gtest.h>
+
+namespace warper::core {
+namespace {
+
+TEST(QueryPoolTest, AppendVariants) {
+  QueryPool pool;
+  size_t a = pool.AppendLabeled({0.1, 0.2}, 100.0, Source::kTrain);
+  size_t b = pool.AppendUnlabeled({0.3, 0.4}, Source::kNew);
+  EXPECT_EQ(pool.Size(), 2u);
+  EXPECT_TRUE(pool.record(a).HasLabel());
+  EXPECT_FALSE(pool.record(b).HasLabel());
+  EXPECT_EQ(pool.record(b).label, Source::kNew);
+}
+
+TEST(QueryPoolTest, IndexViews) {
+  QueryPool pool;
+  pool.AppendLabeled({0.1}, 1.0, Source::kTrain);
+  pool.AppendLabeled({0.2}, 2.0, Source::kNew);
+  pool.AppendUnlabeled({0.3}, Source::kNew);
+  pool.AppendUnlabeled({0.4}, Source::kGen);
+
+  EXPECT_EQ(pool.IndicesBySource(Source::kNew),
+            (std::vector<size_t>{1, 2}));
+  EXPECT_EQ(pool.LabeledIndices(), (std::vector<size_t>{0, 1}));
+  EXPECT_EQ(pool.UnlabeledIndices(), (std::vector<size_t>{2, 3}));
+}
+
+TEST(QueryPoolTest, StaleSeparatesFreshFromLabeled) {
+  QueryPool pool;
+  pool.AppendLabeled({0.1}, 1.0, Source::kTrain);
+  pool.AppendLabeled({0.2}, 2.0, Source::kNew);
+  pool.MarkSourceStale(Source::kTrain);
+
+  // Stale record still counts as labeled (picker strata signal)…
+  EXPECT_EQ(pool.LabeledIndices().size(), 2u);
+  // …but not as fresh (model update input).
+  EXPECT_EQ(pool.FreshLabeledIndices(), (std::vector<size_t>{1}));
+  EXPECT_EQ(pool.StaleOrUnlabeledIndices(), (std::vector<size_t>{0}));
+}
+
+TEST(QueryPoolTest, SetLabelClearsStale) {
+  QueryPool pool;
+  pool.AppendLabeled({0.1}, 1.0, Source::kTrain);
+  pool.MarkSourceStale(Source::kTrain);
+  EXPECT_FALSE(pool.record(0).HasFreshLabel());
+  pool.SetLabel(0, 55.0);
+  EXPECT_TRUE(pool.record(0).HasFreshLabel());
+  EXPECT_DOUBLE_EQ(pool.record(0).gt, 55.0);
+}
+
+TEST(QueryPoolTest, MarkStaleSkipsUnlabeled) {
+  QueryPool pool;
+  pool.AppendUnlabeled({0.1}, Source::kNew);
+  pool.MarkSourceStale(Source::kNew);
+  EXPECT_FALSE(pool.record(0).stale);
+}
+
+TEST(QueryPoolTest, LabeledExamplesConvert) {
+  QueryPool pool;
+  pool.AppendLabeled({0.5, 0.6}, 42.0, Source::kNew);
+  std::vector<ce::LabeledExample> examples =
+      pool.LabeledExamples({0});
+  ASSERT_EQ(examples.size(), 1u);
+  EXPECT_EQ(examples[0].cardinality, 42);
+  EXPECT_EQ(examples[0].features, (std::vector<double>{0.5, 0.6}));
+}
+
+TEST(QueryPoolTest, PruneUnlabeledGenerated) {
+  QueryPool pool;
+  pool.AppendUnlabeled({0.1}, Source::kGen);
+  pool.AppendLabeled({0.2}, 5.0, Source::kGen);
+  pool.AppendUnlabeled({0.3}, Source::kNew);
+  pool.PruneUnlabeledGenerated();
+  EXPECT_EQ(pool.Size(), 2u);
+  EXPECT_EQ(pool.record(0).label, Source::kGen);
+  EXPECT_TRUE(pool.record(0).HasLabel());
+  EXPECT_EQ(pool.record(1).label, Source::kNew);
+}
+
+TEST(QueryPoolDeathTest, SetLabelValidation) {
+  QueryPool pool;
+  pool.AppendUnlabeled({0.1}, Source::kNew);
+  EXPECT_DEATH(pool.SetLabel(5, 1.0), "WARPER_CHECK");
+  EXPECT_DEATH(pool.SetLabel(0, -2.0), "WARPER_CHECK");
+}
+
+TEST(QueryPoolDeathTest, EmptyFeaturesRejected) {
+  QueryPool pool;
+  EXPECT_DEATH(pool.AppendUnlabeled({}, Source::kNew), "WARPER_CHECK");
+}
+
+}  // namespace
+}  // namespace warper::core

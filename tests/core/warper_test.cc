@@ -1,0 +1,243 @@
+// Integration tests for the Warper controller (Alg. 1).
+#include "core/warper.h"
+
+#include <gtest/gtest.h>
+
+#include "ce/lm.h"
+#include "ce/metrics.h"
+#include "storage/annotator.h"
+#include "storage/data_drift.h"
+#include "storage/datasets.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+
+namespace warper::core {
+namespace {
+
+struct Env {
+  storage::Table table;
+  storage::Annotator annotator;
+  ce::SingleTableDomain domain;
+  util::Rng rng;
+
+  explicit Env(uint64_t seed, size_t rows = 20000)
+      : table(storage::MakePrsa(rows, seed)),
+        annotator(&table),
+        domain(&annotator),
+        rng(seed) {}
+
+  std::vector<ce::LabeledExample> Examples(workload::GenMethod method,
+                                           size_t n, bool with_labels = true) {
+    std::vector<storage::RangePredicate> preds =
+        workload::GenerateWorkload(table, {method}, n, &rng);
+    std::vector<int64_t> counts(n, -1);
+    if (with_labels) counts = annotator.BatchCount(preds);
+    std::vector<ce::LabeledExample> out(n);
+    for (size_t i = 0; i < n; ++i) {
+      out[i] = {domain.FeaturizePredicate(preds[i]), counts[i]};
+    }
+    return out;
+  }
+};
+
+WarperConfig FastConfig() {
+  WarperConfig config;
+  config.hidden_units = 64;
+  config.hidden_layers = 2;
+  config.n_i = 60;
+  config.n_p = 200;
+  return config;
+}
+
+std::unique_ptr<ce::LmMlp> TrainModel(Env& env,
+                                      const std::vector<ce::LabeledExample>& train,
+                                      uint64_t seed) {
+  auto model =
+      std::make_unique<ce::LmMlp>(env.domain.FeatureDim(), ce::LmMlpConfig{},
+                                  seed);
+  nn::Matrix x;
+  std::vector<double> y;
+  ce::ExamplesToMatrix(train, &x, &y);
+  model->Train(x, y);
+  return model;
+}
+
+TEST(WarperTest, NoDriftMeansNoAdaptationMachinery) {
+  Env env(1);
+  std::vector<ce::LabeledExample> train =
+      env.Examples(workload::GenMethod::kW1, 600);
+  auto model = TrainModel(env, train, 1);
+  Warper warper(&env.domain, model.get(), FastConfig());
+  warper.Initialize(train);
+
+  Warper::Invocation invocation;
+  invocation.new_queries = env.Examples(workload::GenMethod::kW1, 48);
+  Warper::InvocationResult result = warper.Invoke(invocation);
+  EXPECT_FALSE(result.mode.Any());
+  // No generation / picking / annotation — but the model still receives its
+  // passive per-period refresh from the arrived labeled queries (§4.3's
+  // constant c_Model term).
+  EXPECT_EQ(result.generated, 0u);
+  EXPECT_EQ(result.annotated, 0u);
+  EXPECT_TRUE(result.model_updated);
+}
+
+TEST(WarperTest, NoDriftNoLabelsNoUpdate) {
+  Env env(12);
+  std::vector<ce::LabeledExample> train =
+      env.Examples(workload::GenMethod::kW1, 400);
+  auto model = TrainModel(env, train, 12);
+  Warper warper(&env.domain, model.get(), FastConfig());
+  warper.Initialize(train);
+
+  // Unlabeled same-distribution arrivals: nothing to refresh from. (With no
+  // labels the detector may flag c2/c3 from δ_js alone; only assert that a
+  // quiet detector performs no passive update.)
+  Warper::Invocation invocation;
+  invocation.new_queries =
+      env.Examples(workload::GenMethod::kW1, 10, /*with_labels=*/false);
+  invocation.annotation_budget = 0;
+  Warper::InvocationResult result = warper.Invoke(invocation);
+  if (!result.mode.Any()) {
+    EXPECT_FALSE(result.model_updated);
+  }
+}
+
+TEST(WarperTest, AdaptsToWorkloadDriftC2) {
+  Env env(2);
+  std::vector<ce::LabeledExample> train =
+      env.Examples(workload::GenMethod::kW1, 600);
+  auto model = TrainModel(env, train, 2);
+  Warper warper(&env.domain, model.get(), FastConfig());
+  warper.Initialize(train);
+
+  std::vector<ce::LabeledExample> test =
+      env.Examples(workload::GenMethod::kW3, 100);
+  double before = ce::ModelGmq(*model, test);
+
+  Warper::Invocation invocation;
+  invocation.new_queries = env.Examples(workload::GenMethod::kW3, 60);
+  Warper::InvocationResult result = warper.Invoke(invocation);
+
+  EXPECT_TRUE(result.mode.c2);
+  EXPECT_GT(result.generated, 0u);
+  EXPECT_GT(result.annotated, 0u);
+  EXPECT_TRUE(result.model_updated);
+  double after = ce::ModelGmq(*model, test);
+  EXPECT_LT(after, before);
+}
+
+TEST(WarperTest, HandlesUnlabeledArrivalsC3) {
+  Env env(3);
+  std::vector<ce::LabeledExample> train =
+      env.Examples(workload::GenMethod::kW1, 600);
+  auto model = TrainModel(env, train, 3);
+  Warper warper(&env.domain, model.get(), FastConfig());
+  warper.Initialize(train);
+
+  Warper::Invocation invocation;
+  invocation.new_queries =
+      env.Examples(workload::GenMethod::kW3, 60, /*with_labels=*/false);
+  invocation.annotation_budget = 20;
+  Warper::InvocationResult result = warper.Invoke(invocation);
+  EXPECT_TRUE(result.mode.c3);
+  EXPECT_LE(result.annotated, 20u);
+  EXPECT_GT(result.annotated, 0u);
+}
+
+TEST(WarperTest, DataDriftC1MarksLabelsStaleAndReannotates) {
+  Env env(4);
+  std::vector<ce::LabeledExample> train =
+      env.Examples(workload::GenMethod::kW1, 500);
+  auto model = TrainModel(env, train, 4);
+  WarperConfig config = FastConfig();
+  Warper warper(&env.domain, model.get(), config);
+  warper.Initialize(train);
+
+  // Drift the data.
+  storage::SortTruncateHalf(&env.table,
+                            env.table.ColumnIndex("pm25").ValueOrDie());
+
+  Warper::Invocation invocation;
+  invocation.new_queries =
+      env.Examples(workload::GenMethod::kW1, 40, /*with_labels=*/false);
+  invocation.data_changed_fraction = 1.0;
+  invocation.canary_shift = 0.5;
+  Warper::InvocationResult result = warper.Invoke(invocation);
+  EXPECT_TRUE(result.mode.c1);
+  EXPECT_GT(result.annotated, 0u);
+
+  // Some train-source records must have been re-annotated against the
+  // post-drift table (fresh labels again).
+  size_t fresh_train = 0;
+  for (size_t i : warper.pool().IndicesBySource(Source::kTrain)) {
+    fresh_train += warper.pool().record(i).HasFreshLabel() ? 1 : 0;
+  }
+  EXPECT_GT(fresh_train, 0u);
+  EXPECT_LT(fresh_train, 500u);  // budget did not relabel everything
+}
+
+TEST(WarperTest, AnnotationBudgetZeroStillUpdatesFromArrivals) {
+  Env env(5);
+  std::vector<ce::LabeledExample> train =
+      env.Examples(workload::GenMethod::kW1, 500);
+  auto model = TrainModel(env, train, 5);
+  Warper warper(&env.domain, model.get(), FastConfig());
+  warper.Initialize(train);
+
+  Warper::Invocation invocation;
+  invocation.new_queries = env.Examples(workload::GenMethod::kW3, 60);
+  invocation.annotation_budget = 0;
+  Warper::InvocationResult result = warper.Invoke(invocation);
+  EXPECT_EQ(result.annotated, 0u);
+  EXPECT_TRUE(result.model_updated);
+}
+
+TEST(WarperTest, UnlabeledGeneratedArePrunedBetweenInvocations) {
+  Env env(6);
+  std::vector<ce::LabeledExample> train =
+      env.Examples(workload::GenMethod::kW1, 500);
+  auto model = TrainModel(env, train, 6);
+  WarperConfig config = FastConfig();
+  config.gen_fraction = 0.5;  // generate plenty
+  config.n_p = 5;             // annotate almost none
+  Warper warper(&env.domain, model.get(), config);
+  warper.Initialize(train);
+
+  Warper::Invocation invocation;
+  invocation.new_queries = env.Examples(workload::GenMethod::kW3, 60);
+  warper.Invoke(invocation);
+  for (size_t i : warper.pool().IndicesBySource(Source::kGen)) {
+    EXPECT_TRUE(warper.pool().record(i).HasLabel());
+  }
+}
+
+TEST(WarperTest, CpuAccountingNonZeroAfterAdaptation) {
+  Env env(7);
+  std::vector<ce::LabeledExample> train =
+      env.Examples(workload::GenMethod::kW1, 400);
+  auto model = TrainModel(env, train, 7);
+  Warper warper(&env.domain, model.get(), FastConfig());
+  warper.Initialize(train);
+  EXPECT_GT(warper.cpu().TotalSeconds(), 0.0);
+}
+
+TEST(WarperDeathTest, RequiresTrainedModel) {
+  Env env(8);
+  ce::LmMlp model(env.domain.FeatureDim(), ce::LmMlpConfig{}, 8);
+  Warper warper(&env.domain, &model, FastConfig());
+  EXPECT_DEATH(warper.Initialize({{std::vector<double>(16, 0.5), 10}}),
+               "train M first");
+}
+
+TEST(WarperDeathTest, InvokeBeforeInitialize) {
+  Env env(9);
+  std::vector<ce::LabeledExample> train =
+      env.Examples(workload::GenMethod::kW1, 200);
+  auto model = TrainModel(env, train, 9);
+  Warper warper(&env.domain, model.get(), FastConfig());
+  EXPECT_DEATH(warper.Invoke({}), "Initialize");
+}
+
+}  // namespace
+}  // namespace warper::core

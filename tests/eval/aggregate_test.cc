@@ -1,0 +1,83 @@
+// Invariants of the experiment harness's cross-repeat aggregation: curve
+// axes align, quartiles bracket the median, all methods share the same
+// unadapted starting point, and FT's self-speedup is exactly 1.
+#include <gtest/gtest.h>
+
+#include "eval/experiment.h"
+#include "storage/datasets.h"
+
+namespace warper::eval {
+namespace {
+
+DriftExperimentResult RunSmall(int repeats) {
+  SingleTableDriftSpec spec;
+  spec.table_factory = [](uint64_t seed) {
+    return storage::MakePrsa(5000, seed);
+  };
+  spec.workload = workload::WorkloadSpec::Parse("w1/3").ValueOrDie();
+  spec.model_factory = LmMlpFactory();
+  spec.methods = {Method::kFt, Method::kMix};
+  spec.config.train_size = 250;
+  spec.config.test_size = 50;
+  spec.config.steps = 2;
+  spec.config.queries_per_step = 30;
+  spec.config.repeats = repeats;
+  spec.config.seed = 21;
+  return RunSingleTableDrift(spec);
+}
+
+TEST(AggregateTest, QuartilesBracketMedian) {
+  DriftExperimentResult result = RunSmall(/*repeats=*/3);
+  for (const MethodResult& m : result.methods) {
+    ASSERT_TRUE(m.median.Valid());
+    ASSERT_EQ(m.q1.gmq.size(), m.median.gmq.size());
+    ASSERT_EQ(m.q3.gmq.size(), m.median.gmq.size());
+    for (size_t i = 0; i < m.median.gmq.size(); ++i) {
+      EXPECT_LE(m.q1.gmq[i], m.median.gmq[i] + 1e-9);
+      EXPECT_GE(m.q3.gmq[i], m.median.gmq[i] - 1e-9);
+    }
+  }
+}
+
+TEST(AggregateTest, CurveAxesConsistent) {
+  DriftExperimentResult result = RunSmall(/*repeats=*/2);
+  for (const MethodResult& m : result.methods) {
+    // x-axis: 0, 30, 60.
+    ASSERT_EQ(m.median.queries.size(), 3u);
+    EXPECT_DOUBLE_EQ(m.median.queries[0], 0.0);
+    EXPECT_DOUBLE_EQ(m.median.queries[1], 30.0);
+    EXPECT_DOUBLE_EQ(m.median.queries[2], 60.0);
+  }
+  // All methods start from the identically-seeded unadapted model.
+  EXPECT_NEAR(result.methods[0].median.gmq[0], result.methods[1].median.gmq[0],
+              1e-9);
+}
+
+TEST(AggregateTest, FtSelfSpeedupIsOne) {
+  DriftExperimentResult result = RunSmall(/*repeats=*/2);
+  EXPECT_DOUBLE_EQ(result.methods[0].deltas.d50, 1.0);
+  EXPECT_DOUBLE_EQ(result.methods[0].deltas.d80, 1.0);
+  EXPECT_DOUBLE_EQ(result.methods[0].deltas.d100, 1.0);
+}
+
+TEST(AggregateTest, DriftMetricsWellFormed) {
+  DriftExperimentResult result = RunSmall(/*repeats=*/2);
+  EXPECT_GE(result.alpha, 1.0);
+  EXPECT_GE(result.beta, 1.0);
+  EXPECT_NEAR(result.delta_m, result.alpha - result.beta, 1e-9);
+  EXPECT_GE(result.delta_js, 0.0);
+  EXPECT_LE(result.delta_js, 1.0);
+}
+
+TEST(AggregateTest, SingleRepeatQuartilesCollapse) {
+  DriftExperimentResult result = RunSmall(/*repeats=*/1);
+  for (const MethodResult& m : result.methods) {
+    for (size_t i = 0; i < m.median.gmq.size(); ++i) {
+      EXPECT_DOUBLE_EQ(m.q1.gmq[i], m.median.gmq[i]);
+      EXPECT_DOUBLE_EQ(m.q3.gmq[i], m.median.gmq[i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace warper::eval

@@ -1,0 +1,66 @@
+#include "eval/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "ce/query_domain.h"
+#include "storage/annotator.h"
+#include "storage/datasets.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+
+namespace warper::eval {
+namespace {
+
+TEST(CostModelTest, UtilizationFormula) {
+  CostInputs inputs;
+  inputs.rate_qps = 0.2;
+  inputs.period_seconds = 1800.0;
+  inputs.annotation_seconds_per_query = 0.01;
+  inputs.annotations_per_arrival = 0.1;
+  inputs.constant_seconds = 52.1;
+  // 0.2·1800·0.1 = 36 annotations · 0.01s = 0.36s; (0.36 + 52.1)/1800.
+  EXPECT_NEAR(AverageCpuUtilization(inputs), 52.46 / 1800.0, 1e-9);
+}
+
+TEST(CostModelTest, HigherRateHigherUtilization) {
+  CostInputs low, high;
+  low.rate_qps = 0.2;
+  high.rate_qps = 10.0;
+  low.period_seconds = high.period_seconds = 600.0;
+  low.annotation_seconds_per_query = high.annotation_seconds_per_query = 0.01;
+  low.annotations_per_arrival = high.annotations_per_arrival = 0.5;
+  EXPECT_LT(AverageCpuUtilization(low), AverageCpuUtilization(high));
+}
+
+TEST(CostModelTest, CanExceedOneCore) {
+  CostInputs inputs;
+  inputs.rate_qps = 1000.0;
+  inputs.period_seconds = 600.0;
+  inputs.annotation_seconds_per_query = 0.01;
+  inputs.annotations_per_arrival = 1.0;
+  // 1000 q/s × 0.01 s/query = 10 cores — "Warper cannot keep up" (§4.1).
+  EXPECT_GT(AverageCpuUtilization(inputs), 1.0);
+}
+
+TEST(CostModelTest, MeasuredAnnotationCostPositiveAndScalesWithRows) {
+  util::Rng rng(3);
+  storage::Table small = storage::MakePrsa(2000, 1);
+  storage::Table large = storage::MakePrsa(40000, 1);
+  storage::Annotator small_annotator(&small);
+  storage::Annotator large_annotator(&large);
+  ce::SingleTableDomain small_domain(&small_annotator);
+  ce::SingleTableDomain large_domain(&large_annotator);
+
+  std::vector<std::vector<double>> features;
+  for (const auto& p : workload::GenerateWorkload(
+           small, {workload::GenMethod::kW1}, 50, &rng)) {
+    features.push_back(p.Featurize(small));
+  }
+  double small_cost = MeasureAnnotationSecondsPerQuery(small_domain, features);
+  double large_cost = MeasureAnnotationSecondsPerQuery(large_domain, features);
+  EXPECT_GT(small_cost, 0.0);
+  EXPECT_GT(large_cost, small_cost);
+}
+
+}  // namespace
+}  // namespace warper::eval

@@ -1,0 +1,118 @@
+// Integration test of the drift-experiment harness on a small scale.
+#include "eval/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/datasets.h"
+
+namespace warper::eval {
+namespace {
+
+ExperimentConfig TinyConfig() {
+  ExperimentConfig config;
+  config.train_size = 300;
+  config.test_size = 60;
+  config.steps = 2;
+  config.queries_per_step = 40;
+  config.repeats = 1;
+  config.seed = 5;
+  config.warper.hidden_units = 32;
+  config.warper.hidden_layers = 2;
+  config.warper.n_i = 30;
+  config.warper.n_p = 100;
+  return config;
+}
+
+TEST(ExperimentTest, WorkloadDriftC2ProducesComparableCurves) {
+  SingleTableDriftSpec spec;
+  spec.table_factory = [](uint64_t seed) {
+    return storage::MakePrsa(8000, seed);
+  };
+  spec.workload = workload::WorkloadSpec::Parse("w1/3").ValueOrDie();
+  spec.model_factory = LmMlpFactory();
+  spec.methods = {Method::kFt, Method::kWarper};
+  spec.config = TinyConfig();
+
+  DriftExperimentResult result = RunSingleTableDrift(spec);
+  ASSERT_EQ(result.methods.size(), 2u);
+  EXPECT_EQ(result.methods[0].name, "FT");
+  EXPECT_EQ(result.methods[1].name, "Warper");
+  // Both curves start at the same unadapted point.
+  EXPECT_NEAR(result.methods[0].median.gmq[0], result.methods[1].median.gmq[0],
+              1e-9);
+  EXPECT_EQ(result.methods[0].median.queries.size(), 3u);  // 0 + 2 steps
+  EXPECT_GT(result.alpha, 1.0);
+  EXPECT_GT(result.beta, 0.99);
+  EXPECT_GE(result.delta_js, 0.0);
+  // FT vs itself is exactly 1.
+  EXPECT_DOUBLE_EQ(result.methods[0].deltas.d50, 1.0);
+  // Warper's adaptation must not be slower than FT by more than noise (the
+  // tiny single-repeat config here is noisy; the benches use full settings).
+  EXPECT_GE(result.methods[1].deltas.d100, 0.3);
+}
+
+TEST(ExperimentTest, DataDriftC1RunsWithBudget) {
+  SingleTableDriftSpec spec;
+  spec.table_factory = [](uint64_t seed) {
+    return storage::MakeHiggs(6000, seed);
+  };
+  spec.workload = workload::WorkloadSpec::Parse("w1-5").ValueOrDie();
+  spec.model_factory = LmMlpFactory();
+  spec.methods = {Method::kFt, Method::kWarper};
+  spec.config = TinyConfig();
+  spec.config.drift = DriftKind::kDataC1;
+  spec.config.annotation_budget_per_step = 30;
+
+  DriftExperimentResult result = RunSingleTableDrift(spec);
+  // Budget respected: ≤ 30 per step × 2 steps.
+  for (const MethodResult& m : result.methods) {
+    EXPECT_LE(m.annotations, 60.0);
+  }
+}
+
+TEST(ExperimentTest, LabelStarvedC3RunsWithBudget) {
+  SingleTableDriftSpec spec;
+  spec.table_factory = [](uint64_t seed) {
+    return storage::MakePrsa(6000, seed);
+  };
+  spec.workload = workload::WorkloadSpec::Parse("w1/4").ValueOrDie();
+  spec.model_factory = LmMlpFactory();
+  spec.methods = {Method::kFt, Method::kWarper};
+  spec.config = TinyConfig();
+  spec.config.drift = DriftKind::kWorkloadC3;
+  spec.config.annotation_budget_per_step = 20;
+
+  DriftExperimentResult result = RunSingleTableDrift(spec);
+  for (const MethodResult& m : result.methods) {
+    EXPECT_LE(m.annotations, 40.0);
+    EXPECT_GT(m.annotations, 0.0);
+  }
+}
+
+TEST(ExperimentTest, StarJoinDriftRuns) {
+  StarJoinDriftSpec spec;
+  spec.tables_factory = [](uint64_t seed) {
+    return storage::MakeImdb(400, seed);
+  };
+  spec.train_method = workload::GenMethod::kW4;
+  spec.drifted_method = workload::GenMethod::kW1;
+  spec.methods = {Method::kFt, Method::kWarper};
+  spec.config = TinyConfig();
+  spec.config.train_size = 200;
+  spec.config.test_size = 40;
+
+  DriftExperimentResult result = RunStarJoinDrift(spec);
+  ASSERT_EQ(result.methods.size(), 2u);
+  EXPECT_GT(result.alpha, 0.99);
+}
+
+TEST(ExperimentTest, MethodNamesComplete) {
+  EXPECT_STREQ(MethodName(Method::kMix), "MIX");
+  EXPECT_STREQ(MethodName(Method::kAug), "AUG");
+  EXPECT_STREQ(MethodName(Method::kHem), "HEM");
+  EXPECT_STREQ(MethodName(Method::kWarperPickEntropy), "Warper(P->entropy)");
+  EXPECT_STREQ(MethodName(Method::kWarperGenAug), "Warper(G->AUG)");
+}
+
+}  // namespace
+}  // namespace warper::eval

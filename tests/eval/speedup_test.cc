@@ -1,0 +1,89 @@
+#include "eval/speedup.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace warper::eval {
+namespace {
+
+AdaptationCurve MakeCurve(std::vector<double> queries, std::vector<double> gmq) {
+  AdaptationCurve curve;
+  curve.queries = std::move(queries);
+  curve.gmq = std::move(gmq);
+  return curve;
+}
+
+TEST(CurveTest, Validity) {
+  EXPECT_TRUE(MakeCurve({0, 10, 20}, {3, 2, 1}).Valid());
+  EXPECT_FALSE(MakeCurve({}, {}).Valid());
+  EXPECT_FALSE(MakeCurve({0, 10}, {3}).Valid());
+  EXPECT_FALSE(MakeCurve({10, 0}, {3, 2}).Valid());
+}
+
+TEST(QueriesToReachTest, ExactPoint) {
+  AdaptationCurve curve = MakeCurve({0, 100, 200}, {4.0, 3.0, 2.0});
+  EXPECT_DOUBLE_EQ(QueriesToReach(curve, 3.0), 100.0);
+  EXPECT_DOUBLE_EQ(QueriesToReach(curve, 4.0), 0.0);
+}
+
+TEST(QueriesToReachTest, Interpolates) {
+  AdaptationCurve curve = MakeCurve({0, 100}, {4.0, 2.0});
+  EXPECT_DOUBLE_EQ(QueriesToReach(curve, 3.0), 50.0);
+  EXPECT_DOUBLE_EQ(QueriesToReach(curve, 2.5), 75.0);
+}
+
+TEST(QueriesToReachTest, NeverReachedIsInfinity) {
+  AdaptationCurve curve = MakeCurve({0, 100}, {4.0, 3.0});
+  EXPECT_TRUE(std::isinf(QueriesToReach(curve, 1.0)));
+}
+
+TEST(QueriesToReachTest, NonMonotoneCurveHandled) {
+  // GMQ can bounce; reaching the target counts at the first crossing.
+  AdaptationCurve curve = MakeCurve({0, 100, 200, 300}, {4.0, 2.0, 3.5, 1.5});
+  EXPECT_DOUBLE_EQ(QueriesToReach(curve, 2.0), 100.0);
+  EXPECT_NEAR(QueriesToReach(curve, 1.8), 285.0, 1.0);
+}
+
+TEST(RelativeSpeedupsTest, TwiceAsFastIsTwo) {
+  // α=4, β=2. FT reaches 3.0 at 100 queries; method at 50.
+  AdaptationCurve ft = MakeCurve({0, 100, 200}, {4.0, 3.0, 2.0});
+  AdaptationCurve fast = MakeCurve({0, 50, 100}, {4.0, 3.0, 2.0});
+  Deltas d = RelativeSpeedups(ft, fast, 4.0, 2.0, 1000.0);
+  EXPECT_DOUBLE_EQ(d.d50, 2.0);
+  EXPECT_DOUBLE_EQ(d.d100, 2.0);
+}
+
+TEST(RelativeSpeedupsTest, SameCurveIsOne) {
+  AdaptationCurve ft = MakeCurve({0, 100, 200}, {4.0, 3.0, 2.0});
+  Deltas d = RelativeSpeedups(ft, ft, 4.0, 2.0, 1000.0);
+  EXPECT_DOUBLE_EQ(d.d50, 1.0);
+  EXPECT_DOUBLE_EQ(d.d80, 1.0);
+  EXPECT_DOUBLE_EQ(d.d100, 1.0);
+}
+
+TEST(RelativeSpeedupsTest, UnreachedTargetsCapped) {
+  AdaptationCurve ft = MakeCurve({0, 100}, {4.0, 3.9});      // barely moves
+  AdaptationCurve good = MakeCurve({0, 100}, {4.0, 2.0});    // converges
+  Deltas d = RelativeSpeedups(ft, good, 4.0, 2.0, 500.0);
+  // FT capped at 500; method reaches β=2 at 100 → 5×.
+  EXPECT_DOUBLE_EQ(d.d100, 5.0);
+}
+
+TEST(RelativeSpeedupsTest, D80TargetsTwentyPercentResidual) {
+  // α=10, β=0: the 80% target is GMQ 2.0.
+  AdaptationCurve ft = MakeCurve({0, 100}, {10.0, 0.0});
+  AdaptationCurve method = MakeCurve({0, 40, 100}, {10.0, 2.0, 0.0});
+  Deltas d = RelativeSpeedups(ft, method, 10.0, 0.0, 1000.0);
+  EXPECT_DOUBLE_EQ(d.d80, 2.0);  // FT: 80 queries; method: 40
+}
+
+TEST(RelativeSpeedupsTest, SlowerMethodBelowOne) {
+  AdaptationCurve ft = MakeCurve({0, 50, 100}, {4.0, 3.0, 2.0});
+  AdaptationCurve slow = MakeCurve({0, 100, 200}, {4.0, 3.0, 2.0});
+  Deltas d = RelativeSpeedups(ft, slow, 4.0, 2.0, 1000.0);
+  EXPECT_LT(d.d100, 1.0);
+}
+
+}  // namespace
+}  // namespace warper::eval

@@ -1,0 +1,122 @@
+#include "ml/decision_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace warper::ml {
+namespace {
+
+std::vector<size_t> AllRows(size_t n) {
+  std::vector<size_t> rows(n);
+  for (size_t i = 0; i < n; ++i) rows[i] = i;
+  return rows;
+}
+
+TEST(RegressionTreeTest, ConstantTargetSingleLeaf) {
+  nn::Matrix x(10, 1);
+  for (size_t i = 0; i < 10; ++i) x.At(i, 0) = static_cast<double>(i);
+  std::vector<double> y(10, 3.0);
+  RegressionTree tree;
+  tree.Fit(x, y, AllRows(10), TreeConfig{});
+  EXPECT_EQ(tree.NodeCount(), 1u);
+  EXPECT_DOUBLE_EQ(tree.Predict({5.0}), 3.0);
+}
+
+TEST(RegressionTreeTest, LearnsStepFunction) {
+  nn::Matrix x(40, 1);
+  std::vector<double> y(40);
+  for (size_t i = 0; i < 40; ++i) {
+    x.At(i, 0) = static_cast<double>(i);
+    y[i] = i < 20 ? -1.0 : 1.0;
+  }
+  TreeConfig config;
+  config.max_depth = 2;
+  config.min_samples_leaf = 2;
+  RegressionTree tree;
+  tree.Fit(x, y, AllRows(40), config);
+  EXPECT_DOUBLE_EQ(tree.Predict({5.0}), -1.0);
+  EXPECT_DOUBLE_EQ(tree.Predict({35.0}), 1.0);
+}
+
+TEST(RegressionTreeTest, PicksInformativeFeature) {
+  util::Rng rng(3);
+  nn::Matrix x(100, 2);
+  std::vector<double> y(100);
+  for (size_t i = 0; i < 100; ++i) {
+    double informative = rng.Uniform(0, 1);
+    x.At(i, 0) = rng.Uniform(0, 1);  // noise feature
+    x.At(i, 1) = informative;
+    y[i] = informative > 0.5 ? 10.0 : 0.0;
+  }
+  TreeConfig config;
+  config.max_depth = 1;
+  RegressionTree tree;
+  tree.Fit(x, y, AllRows(100), config);
+  // A depth-1 tree must split on the informative feature to explain y.
+  EXPECT_GT(tree.Predict({0.5, 0.9}), 8.0);
+  EXPECT_LT(tree.Predict({0.5, 0.1}), 2.0);
+}
+
+TEST(RegressionTreeTest, RespectsMaxDepth) {
+  util::Rng rng(5);
+  nn::Matrix x(200, 1);
+  std::vector<double> y(200);
+  for (size_t i = 0; i < 200; ++i) {
+    x.At(i, 0) = rng.Uniform(0, 1);
+    y[i] = x.At(i, 0);
+  }
+  TreeConfig config;
+  config.max_depth = 2;
+  config.min_samples_leaf = 1;
+  RegressionTree tree;
+  tree.Fit(x, y, AllRows(200), config);
+  // Depth 2 → at most 7 nodes (1 + 2 + 4).
+  EXPECT_LE(tree.NodeCount(), 7u);
+}
+
+TEST(RegressionTreeTest, MinSamplesLeafRespected) {
+  nn::Matrix x(6, 1);
+  std::vector<double> y(6);
+  for (size_t i = 0; i < 6; ++i) {
+    x.At(i, 0) = static_cast<double>(i);
+    y[i] = static_cast<double>(i);
+  }
+  TreeConfig config;
+  config.max_depth = 10;
+  config.min_samples_leaf = 3;
+  RegressionTree tree;
+  tree.Fit(x, y, AllRows(6), config);
+  // Only one split possible (3|3).
+  EXPECT_LE(tree.NodeCount(), 3u);
+}
+
+TEST(RegressionTreeTest, DuplicateFeatureValuesDontSplit) {
+  nn::Matrix x(8, 1, 1.0);  // all identical
+  std::vector<double> y = {0, 1, 0, 1, 0, 1, 0, 1};
+  RegressionTree tree;
+  tree.Fit(x, y, AllRows(8), TreeConfig{});
+  EXPECT_EQ(tree.NodeCount(), 1u);
+  EXPECT_DOUBLE_EQ(tree.Predict({1.0}), 0.5);
+}
+
+TEST(RegressionTreeTest, FitOnRowSubset) {
+  nn::Matrix x(10, 1);
+  std::vector<double> y(10);
+  for (size_t i = 0; i < 10; ++i) {
+    x.At(i, 0) = static_cast<double>(i);
+    y[i] = i < 5 ? 100.0 : 0.0;  // only the subset below matters
+  }
+  // Train only on rows 5..9 (all zeros).
+  RegressionTree tree;
+  tree.Fit(x, y, {5, 6, 7, 8, 9}, TreeConfig{});
+  EXPECT_DOUBLE_EQ(tree.Predict({2.0}), 0.0);
+}
+
+TEST(RegressionTreeDeathTest, PredictBeforeFit) {
+  RegressionTree tree;
+  EXPECT_DEATH(tree.Predict({1.0}), "WARPER_CHECK");
+}
+
+}  // namespace
+}  // namespace warper::ml

@@ -1,0 +1,98 @@
+#include "ml/gbt.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace warper::ml {
+namespace {
+
+TEST(GbtTest, LearnsNonlinearFunction) {
+  util::Rng rng(3);
+  nn::Matrix x(400, 2);
+  std::vector<double> y(400);
+  for (size_t i = 0; i < 400; ++i) {
+    double a = rng.Uniform(0, 1), b = rng.Uniform(0, 1);
+    x.SetRow(i, {a, b});
+    y[i] = a * b + (a > 0.5 ? 1.0 : 0.0);  // interaction + step
+  }
+  GbtConfig config;
+  config.num_trees = 80;
+  config.learning_rate = 0.1;
+  GradientBoostedTrees gbt;
+  gbt.Fit(x, y, config, &rng);
+
+  double sse = 0.0;
+  for (size_t i = 0; i < 400; ++i) {
+    double d = gbt.Predict(x.Row(i)) - y[i];
+    sse += d * d;
+  }
+  EXPECT_LT(sse / 400.0, 0.02);
+}
+
+TEST(GbtTest, BasePredictionIsMeanWithZeroTrees) {
+  util::Rng rng(5);
+  nn::Matrix x(4, 1);
+  std::vector<double> y = {1.0, 2.0, 3.0, 4.0};
+  GbtConfig config;
+  config.num_trees = 0;
+  GradientBoostedTrees gbt;
+  gbt.Fit(x, y, config, &rng);
+  EXPECT_DOUBLE_EQ(gbt.Predict({0.0}), 2.5);
+  EXPECT_EQ(gbt.num_trees(), 0u);
+}
+
+TEST(GbtTest, MoreTreesReduceTrainingError) {
+  util::Rng rng(7);
+  nn::Matrix x(200, 1);
+  std::vector<double> y(200);
+  for (size_t i = 0; i < 200; ++i) {
+    x.At(i, 0) = rng.Uniform(0, 1);
+    y[i] = std::sin(6.0 * x.At(i, 0));
+  }
+  auto train_error = [&](int trees) {
+    GbtConfig config;
+    config.num_trees = trees;
+    config.learning_rate = 0.1;
+    config.subsample = 1.0;
+    GradientBoostedTrees gbt;
+    util::Rng local(7);
+    gbt.Fit(x, y, config, &local);
+    double sse = 0.0;
+    for (size_t i = 0; i < 200; ++i) {
+      double d = gbt.Predict(x.Row(i)) - y[i];
+      sse += d * d;
+    }
+    return sse;
+  };
+  EXPECT_LT(train_error(60), train_error(5));
+}
+
+TEST(GbtTest, DeterministicGivenSeed) {
+  nn::Matrix x(50, 1);
+  std::vector<double> y(50);
+  util::Rng data_rng(9);
+  for (size_t i = 0; i < 50; ++i) {
+    x.At(i, 0) = data_rng.Uniform(0, 1);
+    y[i] = x.At(i, 0) * 2.0;
+  }
+  GbtConfig config;
+  config.num_trees = 10;
+  GradientBoostedTrees a, b;
+  util::Rng ra(42), rb(42);
+  a.Fit(x, y, config, &ra);
+  b.Fit(x, y, config, &rb);
+  for (size_t i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(a.Predict(x.Row(i)), b.Predict(x.Row(i)));
+  }
+}
+
+TEST(GbtDeathTest, PredictBeforeFit) {
+  GradientBoostedTrees gbt;
+  EXPECT_DEATH(gbt.Predict({1.0}), "WARPER_CHECK");
+}
+
+}  // namespace
+}  // namespace warper::ml

@@ -1,0 +1,93 @@
+#include "ml/kernel_ridge.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace warper::ml {
+namespace {
+
+class KernelRidgeKinds : public ::testing::TestWithParam<KernelKind> {};
+
+TEST_P(KernelRidgeKinds, FitsSmoothFunction) {
+  util::Rng rng(3);
+  nn::Matrix x(150, 1);
+  std::vector<double> y(150);
+  for (size_t i = 0; i < 150; ++i) {
+    double a = rng.Uniform(0, 1);
+    x.At(i, 0) = a;
+    y[i] = std::sin(3.0 * a) + 0.5 * a;
+  }
+  KernelRidgeConfig config;
+  config.kernel = GetParam();
+  config.gamma = config.kernel == KernelKind::kRbf ? 10.0 : 1.0;
+  config.degree = 5;
+  config.ridge = 1e-4;
+  KernelRidgeRegressor model;
+  model.Fit(x, y, config, &rng);
+
+  double sse = 0.0;
+  for (size_t i = 0; i < 150; ++i) {
+    double d = model.Predict(x.Row(i)) - y[i];
+    sse += d * d;
+  }
+  EXPECT_LT(sse / 150.0, 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kernels, KernelRidgeKinds,
+                         ::testing::Values(KernelKind::kPolynomial,
+                                           KernelKind::kRbf));
+
+TEST(KernelRidgeTest, AnchorSubsamplingBoundsModelSize) {
+  util::Rng rng(5);
+  nn::Matrix x(800, 1);
+  std::vector<double> y(800);
+  for (size_t i = 0; i < 800; ++i) {
+    x.At(i, 0) = rng.Uniform(0, 1);
+    y[i] = x.At(i, 0);
+  }
+  KernelRidgeConfig config;
+  config.max_anchors = 100;
+  KernelRidgeRegressor model;
+  model.Fit(x, y, config, &rng);
+  EXPECT_EQ(model.num_anchors(), 100u);
+  // Still fits the (linear) function well.
+  EXPECT_NEAR(model.Predict({0.5}), 0.5, 0.1);
+}
+
+TEST(KernelRidgeTest, InterpolatesTrainingPointsWithTinyRidge) {
+  util::Rng rng(7);
+  nn::Matrix x = nn::Matrix::FromRows({{0.0}, {0.5}, {1.0}});
+  std::vector<double> y = {1.0, -1.0, 2.0};
+  KernelRidgeConfig config;
+  config.kernel = KernelKind::kRbf;
+  config.gamma = 5.0;
+  config.ridge = 1e-8;
+  KernelRidgeRegressor model;
+  model.Fit(x, y, config, &rng);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(model.Predict(x.Row(i)), y[i], 1e-3);
+  }
+}
+
+TEST(KernelRidgeTest, RbfFarFromDataDecaysTowardZero) {
+  util::Rng rng(9);
+  nn::Matrix x = nn::Matrix::FromRows({{0.0}});
+  std::vector<double> y = {5.0};
+  KernelRidgeConfig config;
+  config.kernel = KernelKind::kRbf;
+  config.gamma = 1.0;
+  KernelRidgeRegressor model;
+  model.Fit(x, y, config, &rng);
+  EXPECT_NEAR(model.Predict({100.0}), 0.0, 1e-6);
+}
+
+TEST(KernelRidgeDeathTest, PredictBeforeFit) {
+  KernelRidgeRegressor model;
+  EXPECT_DEATH(model.Predict({0.0}), "WARPER_CHECK");
+}
+
+}  // namespace
+}  // namespace warper::ml

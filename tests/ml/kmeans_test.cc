@@ -1,0 +1,84 @@
+#include "ml/kmeans.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace warper::ml {
+namespace {
+
+TEST(KMeansTest, SeparatesObviousClusters) {
+  util::Rng rng(3);
+  nn::Matrix points(90, 2);
+  double centers[3][2] = {{0, 0}, {10, 0}, {0, 10}};
+  for (size_t i = 0; i < 90; ++i) {
+    size_t c = i / 30;
+    points.SetRow(i, {centers[c][0] + rng.Normal(0, 0.2),
+                      centers[c][1] + rng.Normal(0, 0.2)});
+  }
+  KMeansResult result = KMeans(points, 3, &rng);
+  EXPECT_EQ(result.centroids.rows(), 3u);
+  // All points of a true cluster share one assignment.
+  for (size_t c = 0; c < 3; ++c) {
+    std::set<size_t> labels;
+    for (size_t i = c * 30; i < (c + 1) * 30; ++i) {
+      labels.insert(result.assignment[i]);
+    }
+    EXPECT_EQ(labels.size(), 1u) << "cluster " << c << " split";
+  }
+  EXPECT_LT(result.inertia, 30.0);
+}
+
+TEST(KMeansTest, KClampedToPointCount) {
+  util::Rng rng(5);
+  nn::Matrix points = nn::Matrix::FromRows({{0.0}, {1.0}});
+  KMeansResult result = KMeans(points, 10, &rng);
+  EXPECT_EQ(result.centroids.rows(), 2u);
+}
+
+TEST(KMeansTest, SinglePoint) {
+  util::Rng rng(7);
+  nn::Matrix points = nn::Matrix::FromRows({{3.0, 4.0}});
+  KMeansResult result = KMeans(points, 1, &rng);
+  EXPECT_DOUBLE_EQ(result.centroids.At(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(result.centroids.At(0, 1), 4.0);
+  EXPECT_DOUBLE_EQ(result.inertia, 0.0);
+}
+
+TEST(KMeansTest, IdenticalPointsZeroInertia) {
+  util::Rng rng(9);
+  nn::Matrix points(20, 2, 1.5);
+  KMeansResult result = KMeans(points, 3, &rng);
+  EXPECT_DOUBLE_EQ(result.inertia, 0.0);
+}
+
+TEST(KMeansTest, AssignmentIndicesValid) {
+  util::Rng rng(11);
+  nn::Matrix points(40, 3);
+  for (double& v : points.data()) v = rng.Normal();
+  KMeansResult result = KMeans(points, 4, &rng);
+  for (size_t a : result.assignment) EXPECT_LT(a, result.centroids.rows());
+  EXPECT_EQ(result.assignment.size(), 40u);
+}
+
+TEST(NearestCentroidTest, PicksClosest) {
+  nn::Matrix centroids = nn::Matrix::FromRows({{0, 0}, {10, 10}});
+  EXPECT_EQ(NearestCentroid(centroids, {1.0, 1.0}), 0u);
+  EXPECT_EQ(NearestCentroid(centroids, {9.0, 9.0}), 1u);
+}
+
+// 1-d error stratification — the picker's actual use case.
+TEST(KMeansTest, OneDimensionalStrata) {
+  util::Rng rng(13);
+  nn::Matrix errors(60, 1);
+  for (size_t i = 0; i < 60; ++i) {
+    errors.At(i, 0) = i < 30 ? rng.Uniform(0.0, 0.5) : rng.Uniform(5.0, 5.5);
+  }
+  KMeansResult result = KMeans(errors, 2, &rng);
+  EXPECT_NE(result.assignment[0], result.assignment[59]);
+}
+
+}  // namespace
+}  // namespace warper::ml

@@ -1,0 +1,52 @@
+#include "ml/knn.h"
+
+#include <gtest/gtest.h>
+
+namespace warper::ml {
+namespace {
+
+TEST(KNearestTest, OrdersByDistance) {
+  nn::Matrix corpus = nn::Matrix::FromRows({{0.0}, {1.0}, {5.0}, {0.4}});
+  std::vector<size_t> nearest = KNearest(corpus, {0.0}, 3);
+  ASSERT_EQ(nearest.size(), 3u);
+  EXPECT_EQ(nearest[0], 0u);
+  EXPECT_EQ(nearest[1], 3u);
+  EXPECT_EQ(nearest[2], 1u);
+}
+
+TEST(KNearestTest, KLargerThanCorpus) {
+  nn::Matrix corpus = nn::Matrix::FromRows({{1.0}, {2.0}});
+  std::vector<size_t> nearest = KNearest(corpus, {0.0}, 10);
+  EXPECT_EQ(nearest.size(), 2u);
+}
+
+TEST(KNearestTest, MultiDimensional) {
+  nn::Matrix corpus = nn::Matrix::FromRows({{0, 0}, {3, 4}, {1, 0}});
+  std::vector<size_t> nearest = KNearest(corpus, {0.9, 0.0}, 1);
+  EXPECT_EQ(nearest[0], 2u);
+}
+
+TEST(KnnClassifyTest, MajorityVote) {
+  nn::Matrix corpus =
+      nn::Matrix::FromRows({{0.0}, {0.1}, {0.2}, {5.0}, {5.1}});
+  std::vector<size_t> labels = {7, 7, 7, 9, 9};
+  EXPECT_EQ(KnnClassify(corpus, labels, {0.05}, 3), 7u);
+  EXPECT_EQ(KnnClassify(corpus, labels, {5.05}, 2), 9u);
+}
+
+TEST(KnnClassifyTest, TieBreaksTowardClosest) {
+  nn::Matrix corpus = nn::Matrix::FromRows({{0.0}, {1.0}});
+  std::vector<size_t> labels = {1, 2};
+  // k=2 gives one vote each; the closest neighbour's label wins.
+  EXPECT_EQ(KnnClassify(corpus, labels, {0.1}, 2), 1u);
+  EXPECT_EQ(KnnClassify(corpus, labels, {0.9}, 2), 2u);
+}
+
+TEST(KnnClassifyTest, SingleNeighbour) {
+  nn::Matrix corpus = nn::Matrix::FromRows({{2.0, 2.0}});
+  std::vector<size_t> labels = {4};
+  EXPECT_EQ(KnnClassify(corpus, labels, {0.0, 0.0}, 5), 4u);
+}
+
+}  // namespace
+}  // namespace warper::ml

@@ -1,0 +1,138 @@
+#include "ml/linalg.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace warper::ml {
+namespace {
+
+TEST(SymmetricEigenTest, DiagonalMatrix) {
+  nn::Matrix m(3, 3);
+  m.At(0, 0) = 1.0;
+  m.At(1, 1) = 5.0;
+  m.At(2, 2) = 3.0;
+  EigenDecomposition eig = SymmetricEigen(m);
+  EXPECT_NEAR(eig.values[0], 5.0, 1e-10);
+  EXPECT_NEAR(eig.values[1], 3.0, 1e-10);
+  EXPECT_NEAR(eig.values[2], 1.0, 1e-10);
+}
+
+TEST(SymmetricEigenTest, Known2x2) {
+  // [[2, 1], [1, 2]] has eigenvalues 3 and 1.
+  nn::Matrix m = nn::Matrix::FromRows({{2, 1}, {1, 2}});
+  EigenDecomposition eig = SymmetricEigen(m);
+  EXPECT_NEAR(eig.values[0], 3.0, 1e-10);
+  EXPECT_NEAR(eig.values[1], 1.0, 1e-10);
+  // Eigenvector for 3 is (1,1)/√2 up to sign.
+  double v0 = eig.vectors.At(0, 0);
+  double v1 = eig.vectors.At(0, 1);
+  EXPECT_NEAR(std::abs(v0), std::sqrt(0.5), 1e-8);
+  EXPECT_NEAR(v0, v1, 1e-8);
+}
+
+TEST(SymmetricEigenTest, ReconstructsMatrix) {
+  util::Rng rng(3);
+  // Random symmetric 5x5.
+  nn::Matrix m(5, 5);
+  for (size_t i = 0; i < 5; ++i) {
+    for (size_t j = i; j < 5; ++j) {
+      double v = rng.Normal();
+      m.At(i, j) = v;
+      m.At(j, i) = v;
+    }
+  }
+  EigenDecomposition eig = SymmetricEigen(m);
+  // A = Σ λ_k v_k v_kᵀ.
+  nn::Matrix recon(5, 5);
+  for (size_t k = 0; k < 5; ++k) {
+    std::vector<double> v = eig.vectors.Row(k);
+    for (size_t i = 0; i < 5; ++i) {
+      for (size_t j = 0; j < 5; ++j) {
+        recon.At(i, j) += eig.values[k] * v[i] * v[j];
+      }
+    }
+  }
+  for (size_t i = 0; i < 25; ++i) {
+    EXPECT_NEAR(recon.data()[i], m.data()[i], 1e-8);
+  }
+}
+
+TEST(SymmetricEigenTest, EigenvectorsOrthonormal) {
+  util::Rng rng(5);
+  nn::Matrix m(4, 4);
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = i; j < 4; ++j) {
+      double v = rng.Uniform(-1, 1);
+      m.At(i, j) = v;
+      m.At(j, i) = v;
+    }
+  }
+  EigenDecomposition eig = SymmetricEigen(m);
+  for (size_t a = 0; a < 4; ++a) {
+    for (size_t b = 0; b < 4; ++b) {
+      double dot = 0.0;
+      for (size_t k = 0; k < 4; ++k) {
+        dot += eig.vectors.At(a, k) * eig.vectors.At(b, k);
+      }
+      EXPECT_NEAR(dot, a == b ? 1.0 : 0.0, 1e-8);
+    }
+  }
+}
+
+TEST(CholeskySolveTest, SolvesIdentity) {
+  nn::Matrix eye(3, 3);
+  for (size_t i = 0; i < 3; ++i) eye.At(i, i) = 1.0;
+  nn::Matrix b = nn::Matrix::FromRows({{1}, {2}, {3}});
+  nn::Matrix x = CholeskySolve(eye, b);
+  EXPECT_NEAR(x.At(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(x.At(1, 0), 2.0, 1e-12);
+  EXPECT_NEAR(x.At(2, 0), 3.0, 1e-12);
+}
+
+TEST(CholeskySolveTest, SolvesRandomSpdSystem) {
+  util::Rng rng(7);
+  // A = BᵀB + I is SPD.
+  nn::Matrix b(6, 6);
+  for (double& v : b.data()) v = rng.Normal();
+  nn::Matrix a = b.TransposeMatMul(b);
+  for (size_t i = 0; i < 6; ++i) a.At(i, i) += 1.0;
+
+  nn::Matrix x_true(6, 1);
+  for (size_t i = 0; i < 6; ++i) x_true.At(i, 0) = rng.Normal();
+  nn::Matrix rhs = a.MatMul(x_true);
+  nn::Matrix x = CholeskySolve(a, rhs);
+  for (size_t i = 0; i < 6; ++i) {
+    EXPECT_NEAR(x.At(i, 0), x_true.At(i, 0), 1e-8);
+  }
+}
+
+TEST(CholeskySolveTest, RidgeRegularizes) {
+  // Singular matrix becomes solvable with ridge.
+  nn::Matrix a = nn::Matrix::FromRows({{1, 1}, {1, 1}});
+  nn::Matrix b = nn::Matrix::FromRows({{2}, {2}});
+  nn::Matrix x = CholeskySolve(a, b, 1e-3);
+  EXPECT_NEAR(x.At(0, 0), x.At(1, 0), 1e-9);
+  EXPECT_NEAR(x.At(0, 0) + x.At(1, 0), 2.0, 0.01);
+}
+
+TEST(CholeskySolveTest, MultipleRightHandSides) {
+  nn::Matrix a = nn::Matrix::FromRows({{4, 0}, {0, 9}});
+  nn::Matrix b = nn::Matrix::FromRows({{4, 8}, {9, 18}});
+  nn::Matrix x = CholeskySolve(a, b);
+  EXPECT_NEAR(x.At(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(x.At(0, 1), 2.0, 1e-12);
+  EXPECT_NEAR(x.At(1, 0), 1.0, 1e-12);
+  EXPECT_NEAR(x.At(1, 1), 2.0, 1e-12);
+}
+
+TEST(CholeskySolveDeathTest, NonSpdDies) {
+  nn::Matrix a = nn::Matrix::FromRows({{-1, 0}, {0, -1}});
+  nn::Matrix b(2, 1);
+  EXPECT_DEATH(CholeskySolve(a, b), "not SPD");
+}
+
+}  // namespace
+}  // namespace warper::ml

@@ -1,0 +1,91 @@
+#include "ml/pca.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace warper::ml {
+namespace {
+
+TEST(PcaTest, RecoversDominantDirection) {
+  util::Rng rng(3);
+  // Points stretched along (1, 1)/√2 with small orthogonal noise.
+  nn::Matrix points(500, 2);
+  for (size_t i = 0; i < 500; ++i) {
+    double t = rng.Normal(0, 3.0);
+    double n = rng.Normal(0, 0.1);
+    points.SetRow(i, {t + n, t - n});
+  }
+  Pca pca;
+  pca.Fit(points, 1);
+  ASSERT_TRUE(pca.fitted());
+  EXPECT_EQ(pca.num_components(), 1u);
+
+  // The component should align with (1,1)/√2 up to sign.
+  std::vector<double> proj1 = pca.TransformRow({1.0, 1.0});
+  std::vector<double> proj2 = pca.TransformRow({1.0, -1.0});
+  EXPECT_GT(std::abs(proj1[0]), std::abs(proj2[0]) * 5);
+  EXPECT_GT(pca.ExplainedVarianceRatio(), 0.98);
+}
+
+TEST(PcaTest, TransformMatchesTransformRow) {
+  util::Rng rng(5);
+  nn::Matrix points(50, 4);
+  for (double& v : points.data()) v = rng.Normal();
+  Pca pca;
+  pca.Fit(points, 2);
+  nn::Matrix all = pca.Transform(points);
+  for (size_t r = 0; r < 10; ++r) {
+    std::vector<double> row = pca.TransformRow(points.Row(r));
+    for (size_t c = 0; c < 2; ++c) {
+      EXPECT_NEAR(all.At(r, c), row[c], 1e-12);
+    }
+  }
+}
+
+TEST(PcaTest, ProjectionIsMeanCentered) {
+  util::Rng rng(7);
+  nn::Matrix points(200, 3);
+  for (size_t i = 0; i < 200; ++i) {
+    points.SetRow(i, {rng.Normal(10, 1), rng.Normal(-5, 2), rng.Normal(0, 1)});
+  }
+  Pca pca;
+  pca.Fit(points, 3);
+  nn::Matrix proj = pca.Transform(points);
+  for (size_t c = 0; c < 3; ++c) {
+    double mean = 0.0;
+    for (size_t r = 0; r < 200; ++r) mean += proj.At(r, c);
+    EXPECT_NEAR(mean / 200.0, 0.0, 1e-9);
+  }
+}
+
+TEST(PcaTest, ComponentCountClampedToInputDim) {
+  util::Rng rng(9);
+  nn::Matrix points(20, 2);
+  for (double& v : points.data()) v = rng.Normal();
+  Pca pca;
+  pca.Fit(points, 10);
+  EXPECT_EQ(pca.num_components(), 2u);
+  EXPECT_NEAR(pca.ExplainedVarianceRatio(), 1.0, 1e-9);
+}
+
+TEST(PcaTest, ConstantFeatureContributesNothing) {
+  util::Rng rng(11);
+  nn::Matrix points(100, 2);
+  for (size_t i = 0; i < 100; ++i) points.SetRow(i, {rng.Normal(), 7.0});
+  Pca pca;
+  pca.Fit(points, 1);
+  // The kept component captures everything (second feature is constant).
+  EXPECT_NEAR(pca.ExplainedVarianceRatio(), 1.0, 1e-9);
+}
+
+TEST(PcaDeathTest, TransformBeforeFit) {
+  Pca pca;
+  nn::Matrix points(3, 2);
+  EXPECT_DEATH(pca.Transform(points), "WARPER_CHECK");
+}
+
+}  // namespace
+}  // namespace warper::ml

@@ -1,0 +1,112 @@
+#include "nn/losses.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace warper::nn {
+namespace {
+
+TEST(MseLossTest, ZeroAtPerfectPrediction) {
+  Matrix pred = Matrix::FromRows({{1, 2}, {3, 4}});
+  Matrix grad;
+  EXPECT_DOUBLE_EQ(MseLoss(pred, pred, &grad), 0.0);
+  EXPECT_DOUBLE_EQ(grad.SquaredNorm(), 0.0);
+}
+
+TEST(MseLossTest, KnownValueAndGradient) {
+  Matrix pred = Matrix::FromRows({{2.0}});
+  Matrix target = Matrix::FromRows({{0.0}});
+  Matrix grad;
+  EXPECT_DOUBLE_EQ(MseLoss(pred, target, &grad), 4.0);
+  EXPECT_DOUBLE_EQ(grad.At(0, 0), 4.0);  // 2·d / n with n=1
+}
+
+TEST(MseLossTest, GradientMatchesFiniteDifference) {
+  Matrix pred = Matrix::FromRows({{0.5, -1.0}, {2.0, 0.1}});
+  Matrix target = Matrix::FromRows({{1.0, 0.0}, {0.0, 0.0}});
+  Matrix grad;
+  MseLoss(pred, target, &grad);
+  constexpr double kEps = 1e-6;
+  for (size_t i = 0; i < pred.data().size(); ++i) {
+    Matrix plus = pred, minus = pred;
+    plus.data()[i] += kEps;
+    minus.data()[i] -= kEps;
+    Matrix unused;
+    double numeric = (MseLoss(plus, target, &unused) -
+                      MseLoss(minus, target, &unused)) /
+                     (2 * kEps);
+    EXPECT_NEAR(grad.data()[i], numeric, 1e-5);
+  }
+}
+
+TEST(L1LossTest, KnownValue) {
+  Matrix pred = Matrix::FromRows({{1.0, -2.0}});
+  Matrix target = Matrix::FromRows({{0.0, 0.0}});
+  Matrix grad;
+  EXPECT_DOUBLE_EQ(L1Loss(pred, target, &grad), 3.0);
+  EXPECT_DOUBLE_EQ(grad.At(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(grad.At(0, 1), -1.0);
+}
+
+TEST(L1LossTest, ZeroDifferenceHasZeroGradient) {
+  Matrix pred = Matrix::FromRows({{5.0}});
+  Matrix grad;
+  L1Loss(pred, pred, &grad);
+  EXPECT_DOUBLE_EQ(grad.At(0, 0), 0.0);
+}
+
+TEST(SoftmaxTest, RowsSumToOne) {
+  Matrix logits = Matrix::FromRows({{1.0, 2.0, 3.0}, {-5.0, 0.0, 5.0}});
+  Matrix probs = Softmax(logits);
+  for (size_t r = 0; r < probs.rows(); ++r) {
+    double sum = 0.0;
+    for (size_t c = 0; c < probs.cols(); ++c) {
+      EXPECT_GT(probs.At(r, c), 0.0);
+      sum += probs.At(r, c);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(SoftmaxTest, StableForLargeLogits) {
+  Matrix logits = Matrix::FromRows({{1000.0, 1001.0}});
+  Matrix probs = Softmax(logits);
+  EXPECT_TRUE(std::isfinite(probs.At(0, 0)));
+  EXPECT_GT(probs.At(0, 1), probs.At(0, 0));
+}
+
+TEST(CrossEntropyTest, PerfectPredictionLowLoss) {
+  Matrix logits = Matrix::FromRows({{20.0, 0.0, 0.0}});
+  Matrix grad;
+  double loss = SoftmaxCrossEntropyLoss(logits, {0}, &grad);
+  EXPECT_LT(loss, 1e-6);
+}
+
+TEST(CrossEntropyTest, UniformLogitsGiveLogC) {
+  Matrix logits = Matrix::FromRows({{0.0, 0.0, 0.0}});
+  Matrix grad;
+  double loss = SoftmaxCrossEntropyLoss(logits, {1}, &grad);
+  EXPECT_NEAR(loss, std::log(3.0), 1e-9);
+}
+
+TEST(CrossEntropyTest, GradientMatchesFiniteDifference) {
+  Matrix logits = Matrix::FromRows({{0.3, -0.5, 1.2}, {2.0, 0.0, -1.0}});
+  std::vector<size_t> labels = {2, 0};
+  Matrix grad;
+  SoftmaxCrossEntropyLoss(logits, labels, &grad);
+  constexpr double kEps = 1e-6;
+  for (size_t i = 0; i < logits.data().size(); ++i) {
+    Matrix plus = logits, minus = logits;
+    plus.data()[i] += kEps;
+    minus.data()[i] -= kEps;
+    Matrix unused;
+    double numeric = (SoftmaxCrossEntropyLoss(plus, labels, &unused) -
+                      SoftmaxCrossEntropyLoss(minus, labels, &unused)) /
+                     (2 * kEps);
+    EXPECT_NEAR(grad.data()[i], numeric, 1e-5);
+  }
+}
+
+}  // namespace
+}  // namespace warper::nn

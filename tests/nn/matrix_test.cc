@@ -1,0 +1,137 @@
+#include "nn/matrix.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace warper::nn {
+namespace {
+
+TEST(MatrixTest, ConstructionAndFill) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(m.At(r, c), 1.5);
+  }
+}
+
+TEST(MatrixTest, FromRows) {
+  Matrix m = Matrix::FromRows({{1, 2}, {3, 4}});
+  EXPECT_DOUBLE_EQ(m.At(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m.At(1, 0), 3.0);
+}
+
+TEST(MatrixTest, RowRoundTrip) {
+  Matrix m = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  EXPECT_EQ(m.Row(1), (std::vector<double>{4, 5, 6}));
+  m.SetRow(0, {7, 8, 9});
+  EXPECT_EQ(m.Row(0), (std::vector<double>{7, 8, 9}));
+}
+
+TEST(MatrixTest, MatMulKnownResult) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  Matrix b = Matrix::FromRows({{5, 6}, {7, 8}});
+  Matrix c = a.MatMul(b);
+  EXPECT_DOUBLE_EQ(c.At(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c.At(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c.At(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c.At(1, 1), 50.0);
+}
+
+TEST(MatrixTest, MatMulNonSquare) {
+  Matrix a = Matrix::FromRows({{1, 2, 3}});       // 1x3
+  Matrix b = Matrix::FromRows({{1}, {2}, {3}});   // 3x1
+  Matrix c = a.MatMul(b);
+  EXPECT_EQ(c.rows(), 1u);
+  EXPECT_EQ(c.cols(), 1u);
+  EXPECT_DOUBLE_EQ(c.At(0, 0), 14.0);
+}
+
+TEST(MatrixTest, TransposeMatMulMatchesExplicit) {
+  util::Rng rng(3);
+  Matrix a(4, 3);
+  Matrix b(4, 2);
+  for (double& v : a.data()) v = rng.Normal();
+  for (double& v : b.data()) v = rng.Normal();
+  Matrix expected = a.Transposed().MatMul(b);
+  Matrix got = a.TransposeMatMul(b);
+  ASSERT_EQ(got.rows(), expected.rows());
+  ASSERT_EQ(got.cols(), expected.cols());
+  for (size_t i = 0; i < got.data().size(); ++i) {
+    EXPECT_NEAR(got.data()[i], expected.data()[i], 1e-12);
+  }
+}
+
+TEST(MatrixTest, MatMulTransposeMatchesExplicit) {
+  util::Rng rng(5);
+  Matrix a(3, 4);
+  Matrix b(2, 4);
+  for (double& v : a.data()) v = rng.Normal();
+  for (double& v : b.data()) v = rng.Normal();
+  Matrix expected = a.MatMul(b.Transposed());
+  Matrix got = a.MatMulTranspose(b);
+  for (size_t i = 0; i < got.data().size(); ++i) {
+    EXPECT_NEAR(got.data()[i], expected.data()[i], 1e-12);
+  }
+}
+
+TEST(MatrixTest, TransposedTwiceIsIdentity) {
+  Matrix a = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  Matrix t = a.Transposed().Transposed();
+  EXPECT_EQ(t.data(), a.data());
+}
+
+TEST(MatrixTest, ElementwiseOps) {
+  Matrix a = Matrix::FromRows({{1, 2}});
+  Matrix b = Matrix::FromRows({{3, 4}});
+  a.Add(b);
+  EXPECT_EQ(a.Row(0), (std::vector<double>{4, 6}));
+  a.Sub(b);
+  EXPECT_EQ(a.Row(0), (std::vector<double>{1, 2}));
+  a.MulElem(b);
+  EXPECT_EQ(a.Row(0), (std::vector<double>{3, 8}));
+  a.Scale(0.5);
+  EXPECT_EQ(a.Row(0), (std::vector<double>{1.5, 4}));
+}
+
+TEST(MatrixTest, AddRowBroadcast) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  a.AddRowBroadcast({10, 20});
+  EXPECT_EQ(a.Row(0), (std::vector<double>{11, 22}));
+  EXPECT_EQ(a.Row(1), (std::vector<double>{13, 24}));
+}
+
+TEST(MatrixTest, ColumnSums) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  EXPECT_EQ(a.ColumnSums(), (std::vector<double>{4, 6}));
+}
+
+TEST(MatrixTest, SquaredNorm) {
+  Matrix a = Matrix::FromRows({{3, 4}});
+  EXPECT_DOUBLE_EQ(a.SquaredNorm(), 25.0);
+}
+
+TEST(MatrixTest, XavierBounded) {
+  util::Rng rng(7);
+  Matrix m = Matrix::Xavier(64, 64, &rng);
+  double limit = std::sqrt(6.0 / 128.0);
+  for (double v : m.data()) {
+    EXPECT_GE(v, -limit);
+    EXPECT_LE(v, limit);
+  }
+  // Should not be all zeros.
+  EXPECT_GT(m.SquaredNorm(), 0.0);
+}
+
+TEST(MatrixDeathTest, ShapeMismatchChecks) {
+  Matrix a(2, 3);
+  Matrix b(2, 3);
+  EXPECT_DEATH(a.MatMul(b), "MatMul shape mismatch");
+  Matrix c(3, 2);
+  EXPECT_DEATH(a.Add(c), "WARPER_CHECK");
+}
+
+}  // namespace
+}  // namespace warper::nn

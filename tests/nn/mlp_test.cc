@@ -1,0 +1,184 @@
+#include "nn/mlp.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/losses.h"
+#include "util/rng.h"
+
+namespace warper::nn {
+namespace {
+
+MlpConfig SmallConfig(Activation hidden, Activation output) {
+  MlpConfig config;
+  config.layer_sizes = {3, 5, 2};
+  config.hidden_activation = hidden;
+  config.output_activation = output;
+  return config;
+}
+
+TEST(MlpTest, ShapesAndParameterCount) {
+  util::Rng rng(1);
+  Mlp mlp(SmallConfig(Activation::kLeakyRelu, Activation::kIdentity), &rng);
+  EXPECT_EQ(mlp.input_size(), 3u);
+  EXPECT_EQ(mlp.output_size(), 2u);
+  // (3·5 + 5) + (5·2 + 2) = 32.
+  EXPECT_EQ(mlp.ParameterCount(), 32u);
+}
+
+TEST(MlpTest, ForwardAndPredictAgree) {
+  util::Rng rng(2);
+  Mlp mlp(SmallConfig(Activation::kLeakyRelu, Activation::kIdentity), &rng);
+  Matrix x = Matrix::FromRows({{0.1, -0.2, 0.3}, {1.0, 0.5, -1.0}});
+  Matrix a = mlp.Forward(x);
+  Matrix b = mlp.Predict(x);
+  ASSERT_EQ(a.rows(), b.rows());
+  for (size_t i = 0; i < a.data().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.data()[i], b.data()[i]);
+  }
+}
+
+TEST(MlpTest, GetSetParametersRoundTrip) {
+  util::Rng rng(3);
+  Mlp mlp(SmallConfig(Activation::kRelu, Activation::kIdentity), &rng);
+  std::vector<double> params = mlp.GetParameters();
+  std::vector<double> doubled = params;
+  for (double& p : doubled) p *= 2.0;
+  mlp.SetParameters(doubled);
+  EXPECT_EQ(mlp.GetParameters(), doubled);
+  mlp.SetParameters(params);
+  EXPECT_EQ(mlp.GetParameters(), params);
+}
+
+TEST(MlpTest, SigmoidOutputBounded) {
+  util::Rng rng(4);
+  Mlp mlp(SmallConfig(Activation::kLeakyRelu, Activation::kSigmoid), &rng);
+  Matrix x = Matrix::FromRows({{100.0, -100.0, 50.0}});
+  Matrix y = mlp.Predict(x);
+  for (double v : y.data()) {
+    EXPECT_GT(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+// The critical correctness test: analytic parameter gradients must match
+// finite differences, for every activation combination used in the library.
+class MlpGradientCheck
+    : public ::testing::TestWithParam<std::pair<Activation, Activation>> {};
+
+TEST_P(MlpGradientCheck, ParameterGradientsMatchFiniteDifference) {
+  auto [hidden, output] = GetParam();
+  util::Rng rng(11);
+  Mlp mlp(SmallConfig(hidden, output), &rng);
+  Matrix x = Matrix::FromRows({{0.3, -0.7, 0.2}, {0.9, 0.1, -0.4}});
+  Matrix target = Matrix::FromRows({{0.5, -0.5}, {0.1, 0.7}});
+
+  auto loss_at = [&](const std::vector<double>& params) {
+    Mlp probe(SmallConfig(hidden, output), &rng);
+    probe.SetParameters(params);
+    Matrix grad;
+    return MseLoss(probe.Predict(x), target, &grad);
+  };
+
+  mlp.ZeroGrad();
+  Matrix pred = mlp.Forward(x);
+  Matrix loss_grad;
+  MseLoss(pred, target, &loss_grad);
+  mlp.Backward(loss_grad);
+
+  // Extract analytic gradients by stepping each parameter with SGD lr = 1
+  // and diffing: θ' = θ - g  ⇒  g = θ - θ'.
+  std::vector<double> before = mlp.GetParameters();
+  OptimizerConfig sgd;
+  sgd.kind = OptimizerKind::kSgd;
+  mlp.Step(sgd, 1.0);
+  std::vector<double> after = mlp.GetParameters();
+
+  constexpr double kEps = 1e-6;
+  int checked = 0;
+  for (size_t i = 0; i < before.size(); i += 3) {  // spot-check every 3rd
+    double analytic = before[i] - after[i];
+    std::vector<double> plus = before, minus = before;
+    plus[i] += kEps;
+    minus[i] -= kEps;
+    double numeric = (loss_at(plus) - loss_at(minus)) / (2 * kEps);
+    EXPECT_NEAR(analytic, numeric, 1e-4) << "param " << i;
+    ++checked;
+  }
+  EXPECT_GT(checked, 5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Activations, MlpGradientCheck,
+    ::testing::Values(
+        std::make_pair(Activation::kLeakyRelu, Activation::kIdentity),
+        std::make_pair(Activation::kRelu, Activation::kIdentity),
+        std::make_pair(Activation::kTanh, Activation::kIdentity),
+        std::make_pair(Activation::kLeakyRelu, Activation::kSigmoid),
+        std::make_pair(Activation::kSigmoid, Activation::kTanh)));
+
+TEST(MlpTest, BackwardReturnsInputGradient) {
+  util::Rng rng(13);
+  Mlp mlp(SmallConfig(Activation::kTanh, Activation::kIdentity), &rng);
+  Matrix x = Matrix::FromRows({{0.1, 0.2, 0.3}});
+  Matrix target = Matrix::FromRows({{1.0, -1.0}});
+
+  Matrix pred = mlp.Forward(x);
+  Matrix loss_grad;
+  MseLoss(pred, target, &loss_grad);
+  Matrix input_grad = mlp.Backward(loss_grad);
+  ASSERT_EQ(input_grad.rows(), 1u);
+  ASSERT_EQ(input_grad.cols(), 3u);
+
+  // Finite-difference the input.
+  constexpr double kEps = 1e-6;
+  for (size_t c = 0; c < 3; ++c) {
+    Matrix plus = x, minus = x;
+    plus.At(0, c) += kEps;
+    minus.At(0, c) -= kEps;
+    Matrix unused;
+    double numeric = (MseLoss(mlp.Predict(plus), target, &unused) -
+                      MseLoss(mlp.Predict(minus), target, &unused)) /
+                     (2 * kEps);
+    EXPECT_NEAR(input_grad.At(0, c), numeric, 1e-5);
+  }
+}
+
+TEST(MlpTest, AdamStepReducesLoss) {
+  util::Rng rng(17);
+  Mlp mlp(SmallConfig(Activation::kLeakyRelu, Activation::kIdentity), &rng);
+  Matrix x = Matrix::FromRows({{0.5, 0.5, 0.5}});
+  Matrix target = Matrix::FromRows({{2.0, -2.0}});
+  OptimizerConfig adam;
+
+  Matrix grad;
+  double initial = MseLoss(mlp.Predict(x), target, &grad);
+  for (int i = 0; i < 200; ++i) {
+    mlp.ZeroGrad();
+    Matrix pred = mlp.Forward(x);
+    Matrix g;
+    MseLoss(pred, target, &g);
+    mlp.Backward(g);
+    mlp.Step(adam, 1e-2);
+  }
+  double final = MseLoss(mlp.Predict(x), target, &grad);
+  EXPECT_LT(final, initial * 0.01);
+}
+
+TEST(MlpDeathTest, BackwardWithoutForward) {
+  util::Rng rng(19);
+  Mlp mlp(SmallConfig(Activation::kRelu, Activation::kIdentity), &rng);
+  Matrix grad(1, 2);
+  EXPECT_DEATH(mlp.Backward(grad), "without a preceding Forward");
+}
+
+TEST(MlpDeathTest, WrongInputWidth) {
+  util::Rng rng(23);
+  Mlp mlp(SmallConfig(Activation::kRelu, Activation::kIdentity), &rng);
+  Matrix x(1, 5);
+  EXPECT_DEATH(mlp.Forward(x), "MLP forward");
+}
+
+}  // namespace
+}  // namespace warper::nn

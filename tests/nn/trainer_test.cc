@@ -1,0 +1,121 @@
+#include "nn/trainer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/losses.h"
+
+namespace warper::nn {
+namespace {
+
+TEST(ScheduleTest, HalvesEveryDecayPeriod) {
+  OptimizerConfig opt;
+  opt.learning_rate = 1e-3;
+  opt.decay_factor = 0.5;
+  opt.decay_every_epochs = 10;
+  EXPECT_DOUBLE_EQ(ScheduledLearningRate(opt, 0), 1e-3);
+  EXPECT_DOUBLE_EQ(ScheduledLearningRate(opt, 9), 1e-3);
+  EXPECT_DOUBLE_EQ(ScheduledLearningRate(opt, 10), 5e-4);
+  EXPECT_DOUBLE_EQ(ScheduledLearningRate(opt, 25), 2.5e-4);
+}
+
+TEST(ScheduleTest, DisabledDecay) {
+  OptimizerConfig opt;
+  opt.decay_every_epochs = 0;
+  EXPECT_DOUBLE_EQ(ScheduledLearningRate(opt, 100), opt.learning_rate);
+}
+
+TEST(TrainRegressorTest, LearnsLinearFunction) {
+  util::Rng rng(5);
+  MlpConfig config;
+  config.layer_sizes = {2, 16, 1};
+  Mlp mlp(config, &rng);
+
+  // y = 2·x0 − x1.
+  Matrix x(200, 2), y(200, 1);
+  for (size_t i = 0; i < 200; ++i) {
+    double a = rng.Uniform(-1, 1), b = rng.Uniform(-1, 1);
+    x.SetRow(i, {a, b});
+    y.At(i, 0) = 2 * a - b;
+  }
+  TrainConfig tc;
+  tc.epochs = 150;
+  tc.optimizer.learning_rate = 5e-3;
+  tc.early_stop_rel_tol = 0;  // run all epochs
+  TrainStats stats = TrainRegressor(&mlp, x, y, tc, &rng);
+  EXPECT_GT(stats.epochs_run, 0);
+  EXPECT_LT(stats.final_loss, 0.02);
+}
+
+TEST(TrainRegressorTest, L1LossAlsoConverges) {
+  util::Rng rng(6);
+  MlpConfig config;
+  config.layer_sizes = {1, 8, 1};
+  Mlp mlp(config, &rng);
+  Matrix x(64, 1), y(64, 1);
+  for (size_t i = 0; i < 64; ++i) {
+    double a = rng.Uniform(0, 1);
+    x.At(i, 0) = a;
+    y.At(i, 0) = 3 * a;
+  }
+  TrainConfig tc;
+  tc.epochs = 250;
+  tc.optimizer.learning_rate = 2e-2;
+  tc.optimizer.decay_every_epochs = 50;
+  tc.early_stop_rel_tol = 0;  // run all epochs
+  TrainStats stats = TrainRegressor(&mlp, x, y, tc, &rng, RegressionLoss::kL1);
+  EXPECT_LT(stats.final_loss, 0.15);
+}
+
+TEST(TrainRegressorTest, EarlyStopTerminatesBeforeEpochLimit) {
+  util::Rng rng(7);
+  MlpConfig config;
+  config.layer_sizes = {1, 4, 1};
+  Mlp mlp(config, &rng);
+  // Constant target: converges almost immediately.
+  Matrix x(32, 1, 0.5), y(32, 1, 0.0);
+  TrainConfig tc;
+  tc.epochs = 500;
+  tc.early_stop_rel_tol = 1e-3;
+  tc.early_stop_patience = 3;
+  TrainStats stats = TrainRegressor(&mlp, x, y, tc, &rng);
+  EXPECT_LT(stats.epochs_run, 500);
+}
+
+TEST(TrainClassifierTest, LearnsSeparableClasses) {
+  util::Rng rng(9);
+  MlpConfig config;
+  config.layer_sizes = {2, 16, 3};
+  Mlp mlp(config, &rng);
+
+  // Three well-separated Gaussian blobs.
+  Matrix x(240, 2);
+  std::vector<size_t> labels(240);
+  double centers[3][2] = {{0, 0}, {4, 0}, {0, 4}};
+  for (size_t i = 0; i < 240; ++i) {
+    size_t c = i % 3;
+    x.SetRow(i, {centers[c][0] + rng.Normal(0, 0.3),
+                 centers[c][1] + rng.Normal(0, 0.3)});
+    labels[i] = c;
+  }
+  TrainConfig tc;
+  tc.epochs = 60;
+  tc.optimizer.learning_rate = 5e-3;
+  TrainClassifier(&mlp, x, labels, tc, &rng);
+
+  // Check accuracy on the training blobs.
+  Matrix logits = mlp.Predict(x);
+  int correct = 0;
+  for (size_t i = 0; i < 240; ++i) {
+    size_t best = 0;
+    for (size_t c = 1; c < 3; ++c) {
+      if (logits.At(i, c) > logits.At(i, best)) best = c;
+    }
+    correct += best == labels[i] ? 1 : 0;
+  }
+  EXPECT_GT(correct, 230);
+}
+
+}  // namespace
+}  // namespace warper::nn

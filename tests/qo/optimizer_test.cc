@@ -1,0 +1,77 @@
+#include "qo/optimizer.h"
+
+#include <gtest/gtest.h>
+
+namespace warper::qo {
+namespace {
+
+TEST(OptimizerTest, HashJoinByDefault) {
+  Optimizer optimizer;
+  PhysicalPlan plan = optimizer.Plan(50000, 10000, Scenario::kBufferSpill);
+  EXPECT_EQ(plan.join, JoinAlgorithm::kHashJoin);
+  EXPECT_FALSE(plan.parallel);
+}
+
+TEST(OptimizerTest, NestedLoopOnlyWhenBothSmallInJoinTypeScenario) {
+  Optimizer optimizer;
+  // Both small → NLJ.
+  PhysicalPlan plan = optimizer.Plan(100, 200, Scenario::kJoinType);
+  EXPECT_EQ(plan.join, JoinAlgorithm::kNestedLoop);
+  // One side large → hash join.
+  plan = optimizer.Plan(100, 100000, Scenario::kJoinType);
+  EXPECT_EQ(plan.join, JoinAlgorithm::kHashJoin);
+  // NLJ never picked outside the S2 scenario.
+  plan = optimizer.Plan(100, 200, Scenario::kBufferSpill);
+  EXPECT_EQ(plan.join, JoinAlgorithm::kHashJoin);
+}
+
+TEST(OptimizerTest, BuildSideIsSmallerEstimate) {
+  Optimizer optimizer;
+  PhysicalPlan plan = optimizer.Plan(1000, 50000, Scenario::kBufferSpill);
+  EXPECT_TRUE(plan.build_on_lineitem);
+  plan = optimizer.Plan(50000, 1000, Scenario::kBufferSpill);
+  EXPECT_FALSE(plan.build_on_lineitem);
+}
+
+TEST(OptimizerTest, GrantTracksBuildEstimateWithSlack) {
+  OptimizerConfig config;
+  config.grant_slack = 1.2;
+  Optimizer optimizer(config);
+  PhysicalPlan plan = optimizer.Plan(1000, 50000, Scenario::kBufferSpill);
+  EXPECT_EQ(plan.memory_grant_rows, 1200);
+}
+
+TEST(OptimizerTest, MinimumGrantEnforced) {
+  OptimizerConfig config;
+  config.min_grant_rows = 64;
+  Optimizer optimizer(config);
+  PhysicalPlan plan = optimizer.Plan(1, 50000, Scenario::kBufferSpill);
+  EXPECT_EQ(plan.memory_grant_rows, 64);
+}
+
+TEST(OptimizerTest, BitmapSideOnlyInParallelScenario) {
+  Optimizer optimizer;
+  PhysicalPlan plan = optimizer.Plan(500, 9000, Scenario::kBitmapSide);
+  EXPECT_TRUE(plan.parallel);
+  EXPECT_TRUE(plan.bitmap_on_lineitem);
+  plan = optimizer.Plan(9000, 500, Scenario::kBitmapSide);
+  EXPECT_FALSE(plan.bitmap_on_lineitem);
+}
+
+TEST(OptimizerTest, NegativeEstimatesClampedToZero) {
+  Optimizer optimizer;
+  PhysicalPlan plan = optimizer.Plan(-10, 100, Scenario::kJoinType);
+  EXPECT_EQ(plan.join, JoinAlgorithm::kNestedLoop);
+  EXPECT_TRUE(plan.build_on_lineitem);
+}
+
+TEST(PlanTest, ToStringDescribes) {
+  Optimizer optimizer;
+  PhysicalPlan plan = optimizer.Plan(100, 200, Scenario::kBitmapSide);
+  std::string s = plan.ToString();
+  EXPECT_NE(s.find("HashJoin"), std::string::npos);
+  EXPECT_NE(s.find("bitmap=L"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace warper::qo

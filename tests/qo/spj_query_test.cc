@@ -1,0 +1,82 @@
+#include "qo/spj_query.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/annotator.h"
+
+namespace warper::qo {
+namespace {
+
+TEST(ScenarioTest, Names) {
+  EXPECT_STREQ(ScenarioName(Scenario::kBufferSpill), "S1-BufferSpill");
+  EXPECT_STREQ(ScenarioName(Scenario::kJoinType), "S2-JoinType");
+  EXPECT_STREQ(ScenarioName(Scenario::kBitmapSide), "S3-BitmapSide");
+}
+
+TEST(ComputeActualsTest, FullRangeMatchesTableSizes) {
+  storage::TpchTables tables = storage::MakeTpch(300, 1);
+  SpjQuery query;
+  query.lineitem_pred = storage::RangePredicate::FullRange(tables.lineitem);
+  query.orders_pred = storage::RangePredicate::FullRange(tables.orders);
+  ActualCardinalities actual = ComputeActuals(tables, query);
+  EXPECT_EQ(actual.orders_rows, 300);
+  EXPECT_EQ(actual.lineitem_rows,
+            static_cast<int64_t>(tables.lineitem.NumRows()));
+  // Every lineitem joins to exactly one order (FK integrity).
+  EXPECT_EQ(actual.join_rows, actual.lineitem_rows);
+  EXPECT_EQ(actual.lineitem_semijoin_rows, actual.lineitem_rows);
+  EXPECT_EQ(actual.orders_semijoin_rows, actual.orders_rows);
+}
+
+TEST(ComputeActualsTest, OrdersFilterCutsJoin) {
+  storage::TpchTables tables = storage::MakeTpch(400, 2);
+  SpjQuery query;
+  query.lineitem_pred = storage::RangePredicate::FullRange(tables.lineitem);
+  query.orders_pred = storage::RangePredicate::FullRange(tables.orders);
+  // Keep only early orders.
+  size_t odate = tables.orders.ColumnIndex("o_orderdate").ValueOrDie();
+  query.orders_pred.high[odate] = 1000.0;
+
+  ActualCardinalities actual = ComputeActuals(tables, query);
+  EXPECT_LT(actual.orders_rows, 400);
+  EXPECT_GT(actual.orders_rows, 0);
+  EXPECT_LT(actual.join_rows, static_cast<int64_t>(tables.lineitem.NumRows()));
+  // Semijoin rows never exceed filtered rows.
+  EXPECT_LE(actual.lineitem_semijoin_rows, actual.lineitem_rows);
+  EXPECT_LE(actual.orders_semijoin_rows, actual.orders_rows);
+}
+
+TEST(ComputeActualsTest, JoinCountMatchesAnnotatorSides) {
+  storage::TpchTables tables = storage::MakeTpch(200, 3);
+  storage::Annotator l_annotator(&tables.lineitem);
+  storage::Annotator o_annotator(&tables.orders);
+
+  SpjQuery query;
+  query.lineitem_pred = storage::RangePredicate::FullRange(tables.lineitem);
+  query.orders_pred = storage::RangePredicate::FullRange(tables.orders);
+  size_t qty = tables.lineitem.ColumnIndex("l_quantity").ValueOrDie();
+  query.lineitem_pred.high[qty] = 25.0;
+
+  ActualCardinalities actual = ComputeActuals(tables, query);
+  EXPECT_EQ(actual.lineitem_rows, l_annotator.Count(query.lineitem_pred));
+  EXPECT_EQ(actual.orders_rows, o_annotator.Count(query.orders_pred));
+  // With full orders, every filtered lineitem row survives the semijoin.
+  EXPECT_EQ(actual.join_rows, actual.lineitem_rows);
+}
+
+TEST(ComputeActualsTest, EmptyPredicateGivesZeroJoin) {
+  storage::TpchTables tables = storage::MakeTpch(100, 4);
+  SpjQuery query;
+  query.lineitem_pred = storage::RangePredicate::FullRange(tables.lineitem);
+  query.orders_pred = storage::RangePredicate::FullRange(tables.orders);
+  size_t qty = tables.lineitem.ColumnIndex("l_quantity").ValueOrDie();
+  query.lineitem_pred.low[qty] = 20.2;
+  query.lineitem_pred.high[qty] = 20.8;  // between integer quantities
+  ActualCardinalities actual = ComputeActuals(tables, query);
+  EXPECT_EQ(actual.lineitem_rows, 0);
+  EXPECT_EQ(actual.join_rows, 0);
+  EXPECT_EQ(actual.orders_semijoin_rows, 0);
+}
+
+}  // namespace
+}  // namespace warper::qo

@@ -1,0 +1,108 @@
+#include "storage/annotator.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/datasets.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+
+namespace warper::storage {
+namespace {
+
+Table MakeGrid() {
+  // 100 rows: a = i % 10, b = i / 10.
+  Table t("grid");
+  t.AddColumn("a", ColumnType::kNumeric);
+  t.AddColumn("b", ColumnType::kNumeric);
+  for (int i = 0; i < 100; ++i) {
+    t.AppendRow({static_cast<double>(i % 10), static_cast<double>(i / 10)});
+  }
+  return t;
+}
+
+TEST(AnnotatorTest, FullRangeCountsAllRows) {
+  Table t = MakeGrid();
+  Annotator annotator(&t);
+  EXPECT_EQ(annotator.Count(RangePredicate::FullRange(t)), 100);
+}
+
+TEST(AnnotatorTest, KnownSelectivity) {
+  Table t = MakeGrid();
+  Annotator annotator(&t);
+  RangePredicate p = RangePredicate::FullRange(t);
+  p.low[0] = 0.0;
+  p.high[0] = 4.0;  // half of a-values
+  EXPECT_EQ(annotator.Count(p), 50);
+  p.low[1] = 0.0;
+  p.high[1] = 1.0;  // 2 of 10 b-values
+  EXPECT_EQ(annotator.Count(p), 10);
+}
+
+TEST(AnnotatorTest, EmptyRange) {
+  Table t = MakeGrid();
+  Annotator annotator(&t);
+  RangePredicate p = RangePredicate::FullRange(t);
+  p.low[0] = 3.5;
+  p.high[0] = 3.9;  // between integer values
+  EXPECT_EQ(annotator.Count(p), 0);
+}
+
+TEST(AnnotatorTest, BatchMatchesIndividualCounts) {
+  Table t = MakePrsa(5000, /*seed=*/11);
+  Annotator annotator(&t);
+  util::Rng rng(13);
+  std::vector<RangePredicate> preds = workload::GenerateWorkload(
+      t, {workload::GenMethod::kW1, workload::GenMethod::kW3}, 40, &rng);
+  std::vector<int64_t> batch = annotator.BatchCount(preds);
+  ASSERT_EQ(batch.size(), preds.size());
+  for (size_t i = 0; i < preds.size(); ++i) {
+    EXPECT_EQ(batch[i], annotator.Count(preds[i])) << "predicate " << i;
+  }
+}
+
+TEST(AnnotatorTest, CountsAnnotations) {
+  Table t = MakeGrid();
+  Annotator annotator(&t);
+  annotator.Count(RangePredicate::FullRange(t));
+  annotator.BatchCount({RangePredicate::FullRange(t),
+                        RangePredicate::FullRange(t)});
+  EXPECT_EQ(annotator.annotations(), 3);
+}
+
+TEST(AnnotatorTest, CpuAccountingAccumulates) {
+  Table t = MakePrsa(20000, /*seed=*/17);
+  util::CpuAccumulator cpu;
+  Annotator annotator(&t, &cpu);
+  annotator.Count(RangePredicate::FullRange(t));
+  EXPECT_GT(cpu.TotalSeconds(), 0.0);
+}
+
+// Property: the batch scan agrees with a naive per-row evaluation on every
+// generator method.
+class AnnotatorMethodSweep
+    : public ::testing::TestWithParam<workload::GenMethod> {};
+
+TEST_P(AnnotatorMethodSweep, MatchesBruteForce) {
+  Table t = MakeHiggs(3000, /*seed=*/23);
+  Annotator annotator(&t);
+  util::Rng rng(29);
+  std::vector<RangePredicate> preds =
+      workload::GenerateWorkload(t, {GetParam()}, 10, &rng);
+  std::vector<int64_t> counts = annotator.BatchCount(preds);
+  for (size_t p = 0; p < preds.size(); ++p) {
+    int64_t brute = 0;
+    for (size_t r = 0; r < t.NumRows(); ++r) {
+      brute += preds[p].Matches(t, r) ? 1 : 0;
+    }
+    EXPECT_EQ(counts[p], brute);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Methods, AnnotatorMethodSweep,
+    ::testing::Values(workload::GenMethod::kW1, workload::GenMethod::kW2,
+                      workload::GenMethod::kW3, workload::GenMethod::kW4,
+                      workload::GenMethod::kW5));
+
+}  // namespace
+}  // namespace warper::storage

@@ -1,0 +1,56 @@
+#include "storage/column.h"
+
+#include <gtest/gtest.h>
+
+namespace warper::storage {
+namespace {
+
+TEST(ColumnTest, AppendAndRead) {
+  Column c("x", ColumnType::kNumeric);
+  c.Append(1.0);
+  c.Append(2.0);
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_DOUBLE_EQ(c.Value(0), 1.0);
+  EXPECT_DOUBLE_EQ(c.Value(1), 2.0);
+  EXPECT_EQ(c.name(), "x");
+  EXPECT_EQ(c.type(), ColumnType::kNumeric);
+}
+
+TEST(ColumnTest, StatsComputed) {
+  Column c("x", ColumnType::kNumeric);
+  for (double v : {3.0, 1.0, 4.0, 1.0, 5.0}) c.Append(v);
+  EXPECT_DOUBLE_EQ(c.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(c.Max(), 5.0);
+  EXPECT_EQ(c.DistinctCount(), 4u);
+}
+
+TEST(ColumnTest, StatsRefreshAfterMutation) {
+  Column c("x", ColumnType::kNumeric);
+  c.Append(1.0);
+  c.Append(2.0);
+  EXPECT_DOUBLE_EQ(c.Max(), 2.0);
+  c.SetValue(1, 10.0);
+  EXPECT_DOUBLE_EQ(c.Max(), 10.0);
+  c.Append(-5.0);
+  EXPECT_DOUBLE_EQ(c.Min(), -5.0);
+  c.Truncate(1);
+  EXPECT_DOUBLE_EQ(c.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(c.Max(), 1.0);
+}
+
+TEST(ColumnTest, EmptyColumnStats) {
+  Column c("x", ColumnType::kCategorical);
+  EXPECT_DOUBLE_EQ(c.Min(), 0.0);
+  EXPECT_DOUBLE_EQ(c.Max(), 0.0);
+  EXPECT_EQ(c.DistinctCount(), 0u);
+}
+
+TEST(ColumnDeathTest, OutOfBoundsAccess) {
+  Column c("x", ColumnType::kNumeric);
+  c.Append(1.0);
+  EXPECT_DEATH(c.SetValue(5, 0.0), "WARPER_CHECK");
+  EXPECT_DEATH(c.Truncate(2), "WARPER_CHECK");
+}
+
+}  // namespace
+}  // namespace warper::storage

@@ -1,0 +1,91 @@
+#include "storage/data_drift.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/datasets.h"
+
+namespace warper::storage {
+namespace {
+
+TEST(AppendShiftedRowsTest, GrowsTableAndCountsChanges) {
+  Table t = MakePrsa(2000, 1);
+  util::Rng rng(3);
+  uint64_t snapshot = t.ChangeCounter();
+  AppendShiftedRows(&t, 0.2, 0.1, &rng);
+  EXPECT_EQ(t.NumRows(), 2400u);
+  EXPECT_NEAR(t.ChangedFractionSince(snapshot), 400.0 / 2400.0, 1e-9);
+  t.CheckRowAlignment();
+}
+
+TEST(AppendShiftedRowsTest, ShiftMovesNumericDomain) {
+  Table t = MakePrsa(2000, 2);
+  util::Rng rng(5);
+  size_t pm25 = t.ColumnIndex("pm25").ValueOrDie();
+  double old_max = t.column(pm25).Max();
+  AppendShiftedRows(&t, 0.5, 0.5, &rng);
+  EXPECT_GT(t.column(pm25).Max(), old_max);
+}
+
+TEST(AppendShiftedRowsTest, CategoricalColumnsUntouched) {
+  Table t = MakePrsa(1000, 3);
+  util::Rng rng(7);
+  size_t station = t.ColumnIndex("station").ValueOrDie();
+  size_t old_distinct = t.column(station).DistinctCount();
+  AppendShiftedRows(&t, 1.0, 0.9, &rng);
+  EXPECT_EQ(t.column(station).DistinctCount(), old_distinct);
+}
+
+TEST(UpdateRandomRowsTest, ChangesRequestedFraction) {
+  Table t = MakeHiggs(2000, 1);
+  util::Rng rng(9);
+  uint64_t snapshot = t.ChangeCounter();
+  UpdateRandomRows(&t, 0.3, &rng);
+  EXPECT_EQ(t.NumRows(), 2000u);
+  // Each updated row bumps the counter once per numeric column (8 columns).
+  EXPECT_GT(t.ChangeCounter(), snapshot);
+}
+
+TEST(SortTruncateHalfTest, HalvesAndKeepsLowValues) {
+  Table t = MakeHiggs(2000, 2);
+  SortTruncateHalf(&t, 0);
+  EXPECT_EQ(t.NumRows(), 1000u);
+  // Remaining values are sorted ascending on column 0.
+  for (size_t r = 1; r < t.NumRows(); ++r) {
+    EXPECT_LE(t.column(0).Value(r - 1), t.column(0).Value(r));
+  }
+}
+
+TEST(CanaryTest, NoDriftNoShift) {
+  Table t = MakePrsa(3000, 3);
+  Annotator annotator(&t);
+  util::Rng rng(11);
+  std::vector<RangePredicate> canaries = MakeCanaryPredicates(t, 8, &rng);
+  std::vector<int64_t> baseline = annotator.BatchCount(canaries);
+  EXPECT_DOUBLE_EQ(CanaryShift(annotator, canaries, baseline), 0.0);
+}
+
+TEST(CanaryTest, DataDriftProducesShift) {
+  Table t = MakePrsa(3000, 4);
+  Annotator annotator(&t);
+  util::Rng rng(13);
+  std::vector<RangePredicate> canaries = MakeCanaryPredicates(t, 8, &rng);
+  std::vector<int64_t> baseline = annotator.BatchCount(canaries);
+  SortTruncateHalf(&t, t.ColumnIndex("pm25").ValueOrDie());
+  EXPECT_GT(CanaryShift(annotator, canaries, baseline), 0.2);
+}
+
+TEST(CanaryTest, PredicatesAreValid) {
+  Table t = MakeHiggs(1000, 5);
+  util::Rng rng(17);
+  for (const RangePredicate& p : MakeCanaryPredicates(t, 20, &rng)) {
+    ASSERT_EQ(p.NumColumns(), t.NumColumns());
+    for (size_t c = 0; c < p.NumColumns(); ++c) {
+      EXPECT_LE(p.low[c], p.high[c]);
+      EXPECT_GE(p.low[c], t.column(c).Min());
+      EXPECT_LE(p.high[c], t.column(c).Max());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace warper::storage

@@ -1,0 +1,165 @@
+#include "storage/datasets.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+namespace warper::storage {
+namespace {
+
+TEST(HiggsTest, SchemaMatchesTable4Shape) {
+  Table t = MakeHiggs(5000, 1);
+  EXPECT_EQ(t.NumRows(), 5000u);
+  EXPECT_EQ(t.NumColumns(), 8u);  // 8 numeric, 0 categorical
+  for (size_t c = 0; c < t.NumColumns(); ++c) {
+    EXPECT_EQ(t.column(c).type(), ColumnType::kNumeric);
+  }
+  t.CheckRowAlignment();
+}
+
+TEST(HiggsTest, DistinctCountSpread) {
+  Table t = MakeHiggs(10000, 2);
+  // The b-tag column has exactly 3 levels (Table 4's min distinct = 3).
+  EXPECT_EQ(t.column(t.ColumnIndex("jet1_btag").ValueOrDie()).DistinctCount(),
+            3u);
+  // Continuous columns have thousands of distinct values.
+  EXPECT_GT(t.column(t.ColumnIndex("m_jj").ValueOrDie()).DistinctCount(),
+            1000u);
+}
+
+TEST(HiggsTest, CorrelatedMassColumns) {
+  Table t = MakeHiggs(20000, 3);
+  size_t mjj = t.ColumnIndex("m_jj").ValueOrDie();
+  size_t mwbb = t.ColumnIndex("m_wbb").ValueOrDie();
+  // Pearson correlation between m_jj and m_wbb should be clearly positive.
+  double sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
+  double n = static_cast<double>(t.NumRows());
+  for (size_t r = 0; r < t.NumRows(); ++r) {
+    double x = t.column(mjj).Value(r);
+    double y = t.column(mwbb).Value(r);
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    syy += y * y;
+    sxy += x * y;
+  }
+  double corr = (n * sxy - sx * sy) /
+                std::sqrt((n * sxx - sx * sx) * (n * syy - sy * sy));
+  EXPECT_GT(corr, 0.3);
+}
+
+TEST(PrsaTest, SchemaMatchesTable4Shape) {
+  Table t = MakePrsa(4000, 1);
+  EXPECT_EQ(t.NumColumns(), 8u);
+  int categorical = 0;
+  for (size_t c = 0; c < t.NumColumns(); ++c) {
+    categorical += t.column(c).type() == ColumnType::kCategorical ? 1 : 0;
+  }
+  EXPECT_EQ(categorical, 2);
+  EXPECT_EQ(t.column(t.ColumnIndex("year").ValueOrDie()).DistinctCount(), 5u);
+  EXPECT_EQ(t.column(t.ColumnIndex("month").ValueOrDie()).DistinctCount(), 12u);
+}
+
+TEST(PrsaTest, PollutionSeasonality) {
+  Table t = MakePrsa(30000, 2);
+  size_t month = t.ColumnIndex("month").ValueOrDie();
+  size_t pm25 = t.ColumnIndex("pm25").ValueOrDie();
+  double winter_sum = 0, summer_sum = 0;
+  int winter_n = 0, summer_n = 0;
+  for (size_t r = 0; r < t.NumRows(); ++r) {
+    double m = t.column(month).Value(r);
+    if (m == 1 || m == 12) {
+      winter_sum += t.column(pm25).Value(r);
+      ++winter_n;
+    } else if (m == 6 || m == 7) {
+      summer_sum += t.column(pm25).Value(r);
+      ++summer_n;
+    }
+  }
+  EXPECT_GT(winter_sum / winter_n, summer_sum / summer_n);
+}
+
+TEST(PokerTest, SchemaMatchesTable4Shape) {
+  Table t = MakePoker(5000, 1);
+  EXPECT_EQ(t.NumColumns(), 11u);
+  for (size_t c = 0; c < t.NumColumns(); ++c) {
+    EXPECT_EQ(t.column(c).type(), ColumnType::kCategorical);
+  }
+  // Suits: 4 distinct; ranks: 13 distinct.
+  EXPECT_EQ(t.column(0).DistinctCount(), 4u);
+  EXPECT_EQ(t.column(1).DistinctCount(), 13u);
+}
+
+TEST(PokerTest, HandClassSkewedTowardNothing) {
+  Table t = MakePoker(20000, 2);
+  size_t hand = t.ColumnIndex("hand").ValueOrDie();
+  int nothing = 0;
+  for (size_t r = 0; r < t.NumRows(); ++r) {
+    nothing += t.column(hand).Value(r) == 0.0 ? 1 : 0;
+  }
+  // "Nothing" + "one pair" dominate the real dataset; here nothing alone
+  // should be the plurality class.
+  EXPECT_GT(nothing, 6000);
+}
+
+TEST(TpchTest, JoinKeysAreConsistent) {
+  TpchTables t = MakeTpch(500, 1);
+  EXPECT_EQ(t.orders.NumRows(), 500u);
+  EXPECT_GE(t.lineitem.NumRows(), 500u);   // ≥1 line per order
+  EXPECT_LE(t.lineitem.NumRows(), 3500u);  // ≤7 lines per order
+  // Every lineitem FK references an existing order.
+  for (size_t r = 0; r < t.lineitem.NumRows(); ++r) {
+    double fk = t.lineitem.column(t.lineitem_fk_col).Value(r);
+    EXPECT_GE(fk, 0.0);
+    EXPECT_LT(fk, 500.0);
+  }
+}
+
+TEST(TpchTest, ShipdateAfterOrderdate) {
+  TpchTables t = MakeTpch(200, 2);
+  size_t shipdate = t.lineitem.ColumnIndex("l_shipdate").ValueOrDie();
+  size_t orderdate = t.orders.ColumnIndex("o_orderdate").ValueOrDie();
+  for (size_t r = 0; r < t.lineitem.NumRows(); ++r) {
+    size_t order = static_cast<size_t>(
+        t.lineitem.column(t.lineitem_fk_col).Value(r));
+    EXPECT_GT(t.lineitem.column(shipdate).Value(r),
+              t.orders.column(orderdate).Value(order));
+  }
+}
+
+TEST(ImdbTest, StarSchemaWiring) {
+  ImdbTables tables = MakeImdb(400, 1);
+  StarSchema schema = tables.Schema();
+  EXPECT_EQ(schema.center, &tables.title);
+  ASSERT_EQ(schema.facts.size(), 2u);
+  EXPECT_EQ(schema.facts[0].table, &tables.cast_info);
+  EXPECT_EQ(schema.facts[1].table, &tables.movie_companies);
+  // All FKs reference existing titles.
+  for (size_t r = 0; r < tables.cast_info.NumRows(); ++r) {
+    double fk = tables.cast_info.column(0).Value(r);
+    EXPECT_GE(fk, 0.0);
+    EXPECT_LT(fk, 400.0);
+  }
+}
+
+TEST(ImdbTest, RecentYearsDominate) {
+  ImdbTables tables = MakeImdb(3000, 2);
+  size_t year_col = tables.title.ColumnIndex("production_year").ValueOrDie();
+  int recent = 0;
+  for (size_t r = 0; r < tables.title.NumRows(); ++r) {
+    recent += tables.title.column(year_col).Value(r) >= 1990.0 ? 1 : 0;
+  }
+  EXPECT_GT(recent, 1500);
+}
+
+TEST(DatasetsTest, DeterministicForSeed) {
+  Table a = MakePrsa(1000, 77);
+  Table b = MakePrsa(1000, 77);
+  for (size_t c = 0; c < a.NumColumns(); ++c) {
+    EXPECT_EQ(a.column(c).values(), b.column(c).values());
+  }
+  Table c = MakePrsa(1000, 78);
+  EXPECT_NE(a.column(3).values(), c.column(3).values());
+}
+
+}  // namespace
+}  // namespace warper::storage

@@ -1,0 +1,130 @@
+#include "storage/join_annotator.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/datasets.h"
+#include "util/rng.h"
+#include "workload/join_workload.h"
+
+namespace warper::storage {
+namespace {
+
+// Tiny hand-built star schema: center with 3 rows, one fact table.
+struct TinyStar {
+  Table center{"center"};
+  Table fact{"fact"};
+  StarSchema schema;
+
+  TinyStar() {
+    center.AddColumn("id", ColumnType::kNumeric);
+    center.AddColumn("attr", ColumnType::kNumeric);
+    center.AppendRow({0.0, 10.0});
+    center.AppendRow({1.0, 20.0});
+    center.AppendRow({2.0, 30.0});
+
+    fact.AddColumn("fk", ColumnType::kNumeric);
+    fact.AddColumn("v", ColumnType::kNumeric);
+    // Key 0: 2 rows; key 1: 1 row; key 2: none.
+    fact.AppendRow({0.0, 1.0});
+    fact.AppendRow({0.0, 2.0});
+    fact.AppendRow({1.0, 3.0});
+
+    schema.center = &center;
+    schema.center_pk_col = 0;
+    schema.facts.push_back({&fact, 0});
+  }
+};
+
+TEST(JoinAnnotatorTest, FullJoinCount) {
+  TinyStar star;
+  JoinAnnotator annotator(&star.schema);
+  JoinQuery q;
+  q.join_mask = 1;
+  q.center_pred = RangePredicate::FullRange(star.center);
+  q.fact_preds.push_back(RangePredicate::FullRange(star.fact));
+  // key0: 1·2, key1: 1·1, key2: 1·0 → 3.
+  EXPECT_EQ(annotator.Count(q), 3);
+}
+
+TEST(JoinAnnotatorTest, CenterPredicateFilters) {
+  TinyStar star;
+  JoinAnnotator annotator(&star.schema);
+  JoinQuery q;
+  q.join_mask = 1;
+  q.center_pred = RangePredicate::FullRange(star.center);
+  q.center_pred.low[1] = 15.0;  // keeps ids 1, 2
+  q.fact_preds.push_back(RangePredicate::FullRange(star.fact));
+  EXPECT_EQ(annotator.Count(q), 1);
+}
+
+TEST(JoinAnnotatorTest, FactPredicateFilters) {
+  TinyStar star;
+  JoinAnnotator annotator(&star.schema);
+  JoinQuery q;
+  q.join_mask = 1;
+  q.center_pred = RangePredicate::FullRange(star.center);
+  q.fact_preds.push_back(RangePredicate::FullRange(star.fact));
+  q.fact_preds[0].low[1] = 2.0;  // keeps fact rows with v ≥ 2
+  // key0: 1 row, key1: 1 row → 2.
+  EXPECT_EQ(annotator.Count(q), 2);
+}
+
+TEST(JoinAnnotatorTest, NumJoinsCountsBits) {
+  JoinQuery q;
+  q.join_mask = 0b101;
+  EXPECT_EQ(q.NumJoins(), 2u);
+  q.join_mask = 0;
+  EXPECT_EQ(q.NumJoins(), 0u);
+}
+
+// Cross-check against a brute-force nested-loop join on the IMDB-like data.
+TEST(JoinAnnotatorTest, MatchesNestedLoopJoin) {
+  ImdbTables tables = MakeImdb(300, /*seed=*/5);
+  StarSchema schema = tables.Schema();
+  JoinAnnotator annotator(&schema);
+  util::Rng rng(7);
+  std::vector<JoinQuery> queries =
+      workload::GenerateJoinWorkload(schema, workload::GenMethod::kW1, 6, &rng);
+
+  for (const JoinQuery& q : queries) {
+    // Brute force: per center row, count matching rows per active fact.
+    int64_t expected = 0;
+    for (size_t cr = 0; cr < schema.center->NumRows(); ++cr) {
+      if (!q.center_pred.Matches(*schema.center, cr)) continue;
+      int64_t key = static_cast<int64_t>(
+          schema.center->column(schema.center_pk_col).Value(cr));
+      int64_t product = 1;
+      for (size_t f = 0; f < schema.facts.size() && product > 0; ++f) {
+        if (((q.join_mask >> f) & 1) == 0) continue;
+        int64_t matches = 0;
+        const Table& fact = *schema.facts[f].table;
+        for (size_t fr = 0; fr < fact.NumRows(); ++fr) {
+          if (static_cast<int64_t>(
+                  fact.column(schema.facts[f].fk_col).Value(fr)) != key) {
+            continue;
+          }
+          matches += q.fact_preds[f].Matches(fact, fr) ? 1 : 0;
+        }
+        product *= matches;
+      }
+      expected += product;
+    }
+    EXPECT_EQ(annotator.Count(q), expected);
+  }
+}
+
+TEST(JoinAnnotatorTest, BatchMatchesIndividual) {
+  ImdbTables tables = MakeImdb(200, /*seed=*/9);
+  StarSchema schema = tables.Schema();
+  JoinAnnotator annotator(&schema);
+  util::Rng rng(11);
+  std::vector<JoinQuery> queries =
+      workload::GenerateJoinWorkload(schema, workload::GenMethod::kW3, 8, &rng);
+  std::vector<int64_t> batch = annotator.BatchCount(queries);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(batch[i], annotator.Count(queries[i]));
+  }
+}
+
+}  // namespace
+}  // namespace warper::storage

@@ -1,0 +1,74 @@
+#include "storage/parallel_annotator.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/annotator.h"
+#include "storage/datasets.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+
+namespace warper::storage {
+namespace {
+
+TEST(ParallelAnnotatorTest, MatchesSerialAnnotatorExactly) {
+  Table t = MakePrsa(20000, 3);
+  Annotator serial(&t);
+  ParallelAnnotator parallel(&t, 4);
+  util::Rng rng(3);
+  std::vector<RangePredicate> preds = workload::GenerateWorkload(
+      t, {workload::GenMethod::kW1, workload::GenMethod::kW3,
+          workload::GenMethod::kW5},
+      50, &rng);
+  EXPECT_EQ(parallel.BatchCount(preds), serial.BatchCount(preds));
+}
+
+TEST(ParallelAnnotatorTest, SingleThreadFallback) {
+  Table t = MakeHiggs(3000, 5);
+  Annotator serial(&t);
+  ParallelAnnotator parallel(&t, 1);
+  util::Rng rng(5);
+  std::vector<RangePredicate> preds =
+      workload::GenerateWorkload(t, {workload::GenMethod::kW2}, 20, &rng);
+  EXPECT_EQ(parallel.BatchCount(preds), serial.BatchCount(preds));
+}
+
+TEST(ParallelAnnotatorTest, TinyTableUsesOneWorker) {
+  // Fewer than 1024 rows → single worker regardless of thread budget.
+  Table t = MakePoker(500, 7);
+  Annotator serial(&t);
+  ParallelAnnotator parallel(&t, 8);
+  util::Rng rng(7);
+  std::vector<RangePredicate> preds =
+      workload::GenerateWorkload(t, {workload::GenMethod::kW1}, 10, &rng);
+  EXPECT_EQ(parallel.BatchCount(preds), serial.BatchCount(preds));
+}
+
+TEST(ParallelAnnotatorTest, DefaultThreadsPositive) {
+  Table t = MakePoker(100, 9);
+  ParallelAnnotator parallel(&t);
+  EXPECT_GE(parallel.num_threads(), 1);
+}
+
+TEST(ParallelAnnotatorTest, EmptyBatch) {
+  Table t = MakePoker(100, 11);
+  ParallelAnnotator parallel(&t, 2);
+  EXPECT_TRUE(parallel.BatchCount({}).empty());
+}
+
+// Parameterized over thread counts: counts are invariant.
+class ThreadSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThreadSweep, CountsInvariantUnderThreadCount) {
+  Table t = MakeHiggs(8000, 13);
+  Annotator serial(&t);
+  ParallelAnnotator parallel(&t, GetParam());
+  util::Rng rng(13);
+  std::vector<RangePredicate> preds = workload::GenerateWorkload(
+      t, {workload::GenMethod::kW4}, 15, &rng);
+  EXPECT_EQ(parallel.BatchCount(preds), serial.BatchCount(preds));
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ThreadSweep, ::testing::Values(1, 2, 3, 7));
+
+}  // namespace
+}  // namespace warper::storage

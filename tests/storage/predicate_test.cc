@@ -1,0 +1,127 @@
+#include "storage/predicate.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace warper::storage {
+namespace {
+
+Table MakeTable() {
+  Table t("t");
+  t.AddColumn("a", ColumnType::kNumeric);   // domain [0, 10]
+  t.AddColumn("b", ColumnType::kNumeric);   // domain [100, 200]
+  for (int i = 0; i <= 10; ++i) {
+    t.AppendRow({static_cast<double>(i), 100.0 + 10.0 * i});
+  }
+  return t;
+}
+
+TEST(PredicateTest, FullRangeMatchesEverything) {
+  Table t = MakeTable();
+  RangePredicate p = RangePredicate::FullRange(t);
+  for (size_t r = 0; r < t.NumRows(); ++r) EXPECT_TRUE(p.Matches(t, r));
+  EXPECT_FALSE(p.Constrains(t, 0));
+  EXPECT_FALSE(p.Constrains(t, 1));
+}
+
+TEST(PredicateTest, RangeCheckInclusive) {
+  Table t = MakeTable();
+  RangePredicate p = RangePredicate::FullRange(t);
+  p.low[0] = 3.0;
+  p.high[0] = 5.0;
+  EXPECT_FALSE(p.Matches(t, 2));  // a=2
+  EXPECT_TRUE(p.Matches(t, 3));   // a=3 (inclusive low)
+  EXPECT_TRUE(p.Matches(t, 5));   // a=5 (inclusive high)
+  EXPECT_FALSE(p.Matches(t, 6));
+  EXPECT_TRUE(p.Constrains(t, 0));
+}
+
+TEST(PredicateTest, EqualityAsDegenerateRange) {
+  Table t = MakeTable();
+  RangePredicate p = RangePredicate::FullRange(t);
+  p.low[0] = p.high[0] = 7.0;
+  int matches = 0;
+  for (size_t r = 0; r < t.NumRows(); ++r) matches += p.Matches(t, r) ? 1 : 0;
+  EXPECT_EQ(matches, 1);
+}
+
+TEST(PredicateTest, CanonicalizeFixesInvertedBounds) {
+  Table t = MakeTable();
+  RangePredicate p = RangePredicate::FullRange(t);
+  p.low[0] = 8.0;
+  p.high[0] = 2.0;
+  p.Canonicalize(t);
+  EXPECT_DOUBLE_EQ(p.low[0], 2.0);
+  EXPECT_DOUBLE_EQ(p.high[0], 8.0);
+}
+
+TEST(PredicateTest, CanonicalizeClampsToDomain) {
+  Table t = MakeTable();
+  RangePredicate p = RangePredicate::FullRange(t);
+  p.low[1] = -50.0;
+  p.high[1] = 500.0;
+  p.Canonicalize(t);
+  EXPECT_DOUBLE_EQ(p.low[1], 100.0);
+  EXPECT_DOUBLE_EQ(p.high[1], 200.0);
+}
+
+TEST(PredicateTest, FeaturizeNormalizesToUnit) {
+  Table t = MakeTable();
+  RangePredicate p = RangePredicate::FullRange(t);
+  p.low[0] = 2.5;
+  p.high[0] = 7.5;
+  std::vector<double> f = p.Featurize(t);
+  ASSERT_EQ(f.size(), 4u);
+  EXPECT_DOUBLE_EQ(f[0], 0.25);  // low_a
+  EXPECT_DOUBLE_EQ(f[1], 0.0);   // low_b (full range)
+  EXPECT_DOUBLE_EQ(f[2], 0.75);  // high_a
+  EXPECT_DOUBLE_EQ(f[3], 1.0);   // high_b
+}
+
+TEST(PredicateTest, FeaturizeRoundTrip) {
+  Table t = MakeTable();
+  util::Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    RangePredicate p = RangePredicate::FullRange(t);
+    for (size_t c = 0; c < 2; ++c) {
+      double a = rng.Uniform(t.column(c).Min(), t.column(c).Max());
+      double b = rng.Uniform(t.column(c).Min(), t.column(c).Max());
+      p.low[c] = std::min(a, b);
+      p.high[c] = std::max(a, b);
+    }
+    RangePredicate q = RangePredicate::FromFeatures(t, p.Featurize(t));
+    for (size_t c = 0; c < 2; ++c) {
+      EXPECT_NEAR(q.low[c], p.low[c], 1e-9);
+      EXPECT_NEAR(q.high[c], p.high[c], 1e-9);
+    }
+  }
+}
+
+TEST(PredicateTest, FromFeaturesRepairsNoisyVector) {
+  Table t = MakeTable();
+  // Out-of-range and inverted feature values.
+  RangePredicate p = RangePredicate::FromFeatures(t, {1.4, 0.8, -0.3, 0.2});
+  EXPECT_LE(p.low[0], p.high[0]);
+  EXPECT_LE(p.low[1], p.high[1]);
+  EXPECT_GE(p.low[0], t.column(0).Min());
+  EXPECT_LE(p.high[0], t.column(0).Max());
+}
+
+TEST(PredicateTest, ConstantColumnFeaturization) {
+  Table t("t");
+  t.AddColumn("c", ColumnType::kNumeric);
+  t.AppendRow({5.0});
+  t.AppendRow({5.0});
+  RangePredicate p = RangePredicate::FullRange(t);
+  std::vector<double> f = p.Featurize(t);
+  EXPECT_DOUBLE_EQ(f[0], 0.0);
+  EXPECT_DOUBLE_EQ(f[1], 1.0);
+  // Decoding must not produce NaNs.
+  RangePredicate q = RangePredicate::FromFeatures(t, f);
+  EXPECT_DOUBLE_EQ(q.low[0], 5.0);
+  EXPECT_DOUBLE_EQ(q.high[0], 5.0);
+}
+
+}  // namespace
+}  // namespace warper::storage

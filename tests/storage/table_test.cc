@@ -1,0 +1,100 @@
+#include "storage/table.h"
+
+#include <gtest/gtest.h>
+
+namespace warper::storage {
+namespace {
+
+Table MakeTwoColumnTable() {
+  Table t("t");
+  t.AddColumn("a", ColumnType::kNumeric);
+  t.AddColumn("b", ColumnType::kNumeric);
+  t.AppendRow({1.0, 10.0});
+  t.AppendRow({2.0, 20.0});
+  t.AppendRow({3.0, 30.0});
+  return t;
+}
+
+TEST(TableTest, AppendAndShape) {
+  Table t = MakeTwoColumnTable();
+  EXPECT_EQ(t.NumRows(), 3u);
+  EXPECT_EQ(t.NumColumns(), 2u);
+  EXPECT_DOUBLE_EQ(t.column(1).Value(2), 30.0);
+  t.CheckRowAlignment();
+}
+
+TEST(TableTest, ColumnIndexLookup) {
+  Table t = MakeTwoColumnTable();
+  EXPECT_EQ(t.ColumnIndex("b").ValueOrDie(), 1u);
+  Result<size_t> missing = t.ColumnIndex("zzz");
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+TEST(TableTest, UpdateCell) {
+  Table t = MakeTwoColumnTable();
+  t.UpdateCell(1, 0, 99.0);
+  EXPECT_DOUBLE_EQ(t.column(0).Value(1), 99.0);
+}
+
+TEST(TableTest, SortByColumnReordersAllColumns) {
+  Table t("t");
+  t.AddColumn("key", ColumnType::kNumeric);
+  t.AddColumn("payload", ColumnType::kNumeric);
+  t.AppendRow({3.0, 300.0});
+  t.AppendRow({1.0, 100.0});
+  t.AppendRow({2.0, 200.0});
+  t.SortByColumn(0);
+  EXPECT_DOUBLE_EQ(t.column(0).Value(0), 1.0);
+  EXPECT_DOUBLE_EQ(t.column(1).Value(0), 100.0);
+  EXPECT_DOUBLE_EQ(t.column(0).Value(2), 3.0);
+  EXPECT_DOUBLE_EQ(t.column(1).Value(2), 300.0);
+}
+
+TEST(TableTest, TruncateShrinks) {
+  Table t = MakeTwoColumnTable();
+  t.Truncate(1);
+  EXPECT_EQ(t.NumRows(), 1u);
+  t.CheckRowAlignment();
+}
+
+TEST(TableTest, ChangeCounterTracksMutations) {
+  Table t = MakeTwoColumnTable();
+  uint64_t snapshot = t.ChangeCounter();
+  EXPECT_DOUBLE_EQ(t.ChangedFractionSince(snapshot), 0.0);
+
+  t.AppendRow({4.0, 40.0});
+  EXPECT_NEAR(t.ChangedFractionSince(snapshot), 0.25, 1e-12);
+
+  t.UpdateCell(0, 0, 9.0);
+  EXPECT_NEAR(t.ChangedFractionSince(snapshot), 0.5, 1e-12);
+}
+
+TEST(TableTest, TruncateCountsRemovedRows) {
+  Table t = MakeTwoColumnTable();
+  uint64_t snapshot = t.ChangeCounter();
+  t.Truncate(1);
+  // 2 rows removed out of 1 remaining → clamped to 1.
+  EXPECT_DOUBLE_EQ(t.ChangedFractionSince(snapshot), 1.0);
+}
+
+TEST(TableTest, SortDoesNotCountAsChange) {
+  Table t = MakeTwoColumnTable();
+  uint64_t snapshot = t.ChangeCounter();
+  t.SortByColumn(0);
+  EXPECT_DOUBLE_EQ(t.ChangedFractionSince(snapshot), 0.0);
+}
+
+TEST(TableDeathTest, AddColumnAfterRows) {
+  Table t = MakeTwoColumnTable();
+  EXPECT_DEATH(t.AddColumn("c", ColumnType::kNumeric),
+               "before any rows");
+}
+
+TEST(TableDeathTest, RowWidthMismatch) {
+  Table t = MakeTwoColumnTable();
+  EXPECT_DEATH(t.AppendRow({1.0}), "row width");
+}
+
+}  // namespace
+}  // namespace warper::storage

@@ -1,0 +1,67 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace warper::util {
+namespace {
+
+// RAII guard restoring the global level after each test.
+struct LevelGuard {
+  LogLevel saved = GetLogLevel();
+  ~LevelGuard() { SetLogLevel(saved); }
+};
+
+TEST(LoggingTest, LevelRoundTrip) {
+  LevelGuard guard;
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+}
+
+TEST(LoggingTest, EmitsAtOrAboveLevel) {
+  LevelGuard guard;
+  SetLogLevel(LogLevel::kWarn);
+  testing::internal::CaptureStderr();
+  WARPER_LOG(Warn) << "warn-visible";
+  WARPER_LOG(Error) << "error-visible";
+  std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("warn-visible"), std::string::npos);
+  EXPECT_NE(out.find("error-visible"), std::string::npos);
+  EXPECT_NE(out.find("[WARN"), std::string::npos);
+}
+
+TEST(LoggingTest, FiltersBelowLevel) {
+  LevelGuard guard;
+  SetLogLevel(LogLevel::kError);
+  testing::internal::CaptureStderr();
+  WARPER_LOG(Debug) << "hidden-debug";
+  WARPER_LOG(Info) << "hidden-info";
+  WARPER_LOG(Warn) << "hidden-warn";
+  std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(out, "");
+}
+
+TEST(LoggingTest, FilteredExpressionNotEvaluated) {
+  LevelGuard guard;
+  SetLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&]() {
+    ++evaluations;
+    return 42;
+  };
+  WARPER_LOG(Debug) << expensive();
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(LoggingTest, IncludesFileBasename) {
+  LevelGuard guard;
+  SetLogLevel(LogLevel::kInfo);
+  testing::internal::CaptureStderr();
+  WARPER_LOG(Info) << "locate-me";
+  std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("logging_test.cc"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace warper::util

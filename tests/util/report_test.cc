@@ -1,0 +1,45 @@
+#include "util/report.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace warper::util {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"a", "1"});
+  table.AddRow({"long-name", "22"});
+  std::ostringstream oss;
+  table.Print(oss);
+  std::string out = oss.str();
+  EXPECT_NE(out.find("| name      | value |"), std::string::npos);
+  EXPECT_NE(out.find("| long-name | 22    |"), std::string::npos);
+}
+
+TEST(TablePrinterDeathTest, RowWidthMismatch) {
+  TablePrinter table({"a", "b"});
+  EXPECT_DEATH(table.AddRow({"only-one"}), "row width");
+}
+
+TEST(FormatDoubleTest, Precision) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(3.14159, 0), "3");
+  EXPECT_EQ(FormatDouble(-1.5, 1), "-1.5");
+}
+
+TEST(PrintSeriesTest, FormatsPairs) {
+  std::ostringstream oss;
+  PrintSeries(oss, "gmq", {0.0, 72.0}, {3.5, 2.1});
+  EXPECT_EQ(oss.str(), "gmq: 0=3.50 72=2.10\n");
+}
+
+TEST(PrintBannerTest, Frames) {
+  std::ostringstream oss;
+  PrintBanner(oss, "Figure 6");
+  EXPECT_EQ(oss.str(), "\n=== Figure 6 ===\n");
+}
+
+}  // namespace
+}  // namespace warper::util

@@ -1,0 +1,176 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace warper::util {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += a.Next() == b.Next() ? 1 : 0;
+  EXPECT_LT(equal, 4);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.Uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng rng(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.UniformInt(2, 6));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), 2);
+  EXPECT_EQ(*seen.rbegin(), 6);
+}
+
+TEST(RngTest, UniformIntDegenerateRange) {
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.UniformInt(5, 5), 5);
+}
+
+TEST(RngTest, NormalMomentsApproximatelyStandard) {
+  Rng rng(11);
+  double sum = 0.0, sq = 0.0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    double x = rng.Normal();
+    sum += x;
+    sq += x * x;
+  }
+  double mean = sum / kN;
+  double var = sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(RngTest, NormalScaledMoments) {
+  Rng rng(13);
+  double sum = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) sum += rng.Normal(5.0, 2.0);
+  EXPECT_NEAR(sum / kN, 5.0, 0.1);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(17);
+  double sum = 0.0;
+  constexpr int kN = 30000;
+  for (int i = 0; i < kN; ++i) sum += rng.Exponential(2.0);
+  EXPECT_NEAR(sum / kN, 0.5, 0.03);
+}
+
+TEST(RngTest, ZipfFavorsSmallRanks) {
+  Rng rng(19);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[rng.Zipf(10, 1.2)];
+  EXPECT_GT(counts[0], counts[4]);
+  EXPECT_GT(counts[0], counts[9]);
+  for (int c : counts) EXPECT_GT(c, 0);
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(23);
+  int hits = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.02);
+}
+
+TEST(RngTest, CategoricalFollowsWeights) {
+  Rng rng(29);
+  std::vector<double> weights = {1.0, 3.0, 0.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[rng.Categorical(weights)];
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / counts[0], 3.0, 0.3);
+}
+
+TEST(RngTest, CategoricalAllZeroFallsBackToUniform) {
+  Rng rng(31);
+  std::vector<double> weights = {0.0, 0.0, 0.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 3000; ++i) ++counts[rng.Categorical(weights)];
+  for (int c : counts) EXPECT_GT(c, 700);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(37);
+  std::vector<size_t> sample = rng.SampleWithoutReplacement(100, 30);
+  EXPECT_EQ(sample.size(), 30u);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (size_t s : sample) EXPECT_LT(s, 100u);
+}
+
+TEST(RngTest, SampleWithoutReplacementFullSet) {
+  Rng rng(41);
+  std::vector<size_t> sample = rng.SampleWithoutReplacement(10, 10);
+  std::sort(sample.begin(), sample.end());
+  for (size_t i = 0; i < 10; ++i) EXPECT_EQ(sample[i], i);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(43);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> original = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(47);
+  Rng child = parent.Fork();
+  // The child stream should not replicate the parent's outputs.
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += parent.Next() == child.Next() ? 1 : 0;
+  EXPECT_LT(equal, 4);
+}
+
+// Property sweep: every distribution keeps producing finite values across
+// seeds.
+class RngSeedSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RngSeedSweep, AllDistributionsFinite) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(std::isfinite(rng.Uniform()));
+    EXPECT_TRUE(std::isfinite(rng.Normal()));
+    EXPECT_TRUE(std::isfinite(rng.Exponential(1.0)));
+    int64_t z = rng.Zipf(100, 1.0);
+    EXPECT_GE(z, 0);
+    EXPECT_LT(z, 100);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(0ULL, 1ULL, 42ULL, 31337ULL,
+                                           0xFFFFFFFFFFFFFFFFULL));
+
+}  // namespace
+}  // namespace warper::util

@@ -1,0 +1,115 @@
+#include "util/stats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace warper::util {
+namespace {
+
+TEST(StatsTest, MeanBasics) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({5.0}), 5.0);
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(StatsTest, StdDevBasics) {
+  EXPECT_DOUBLE_EQ(StdDev({}), 0.0);
+  EXPECT_DOUBLE_EQ(StdDev({3.0}), 0.0);
+  EXPECT_DOUBLE_EQ(StdDev({2.0, 2.0, 2.0}), 0.0);
+  // Population stddev of {1, 3} is 1.
+  EXPECT_DOUBLE_EQ(StdDev({1.0, 3.0}), 1.0);
+}
+
+TEST(StatsTest, GeometricMean) {
+  EXPECT_DOUBLE_EQ(GeometricMean({}), 0.0);
+  EXPECT_NEAR(GeometricMean({2.0, 8.0}), 4.0, 1e-12);
+  EXPECT_NEAR(GeometricMean({1.0, 1.0, 1.0}), 1.0, 1e-12);
+}
+
+TEST(StatsDeathTest, GeometricMeanRejectsNonPositive) {
+  EXPECT_DEATH(GeometricMean({1.0, 0.0}), "positive");
+}
+
+TEST(StatsTest, PercentileInterpolates) {
+  std::vector<double> xs = {10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 50.0), 25.0);
+}
+
+TEST(StatsTest, PercentileUnsortedInput) {
+  EXPECT_DOUBLE_EQ(Percentile({3.0, 1.0, 2.0}, 50.0), 2.0);
+}
+
+TEST(StatsTest, MedianSingleElement) {
+  EXPECT_DOUBLE_EQ(Median({7.0}), 7.0);
+}
+
+TEST(HistogramTest, NormalizeSumsToOne) {
+  NormalizedHistogram h(4);
+  h.Add(0);
+  h.Add(0);
+  h.Add(3);
+  h.Normalize();
+  EXPECT_DOUBLE_EQ(h.frequency(0), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(h.frequency(3), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(h.frequency(1), 0.0);
+}
+
+TEST(HistogramTest, EmptyNormalizeIsNoop) {
+  NormalizedHistogram h(2);
+  h.Normalize();
+  EXPECT_DOUBLE_EQ(h.frequency(0), 0.0);
+}
+
+TEST(JsdTest, IdenticalDistributionsAreZero) {
+  NormalizedHistogram a(8), b(8);
+  for (size_t i = 0; i < 8; ++i) {
+    a.Add(i, static_cast<double>(i + 1));
+    b.Add(i, static_cast<double>(i + 1));
+  }
+  a.Normalize();
+  b.Normalize();
+  EXPECT_NEAR(JensenShannonDivergence(a, b), 0.0, 1e-6);
+}
+
+TEST(JsdTest, DisjointDistributionsNearOne) {
+  NormalizedHistogram a(4), b(4);
+  a.Add(0);
+  a.Add(1);
+  b.Add(2);
+  b.Add(3);
+  a.Normalize();
+  b.Normalize();
+  EXPECT_GT(JensenShannonDivergence(a, b), 0.95);
+  EXPECT_LE(JensenShannonDivergence(a, b), 1.0);
+}
+
+TEST(JsdTest, Symmetric) {
+  NormalizedHistogram a(4), b(4);
+  a.Add(0, 3.0);
+  a.Add(1, 1.0);
+  b.Add(1, 2.0);
+  b.Add(2, 2.0);
+  a.Normalize();
+  b.Normalize();
+  EXPECT_DOUBLE_EQ(JensenShannonDivergence(a, b),
+                   JensenShannonDivergence(b, a));
+}
+
+TEST(JsdTest, PartialOverlapBetweenZeroAndOne) {
+  NormalizedHistogram a(4), b(4);
+  a.Add(0);
+  a.Add(1);
+  b.Add(1);
+  b.Add(2);
+  a.Normalize();
+  b.Normalize();
+  double js = JensenShannonDivergence(a, b);
+  EXPECT_GT(js, 0.1);
+  EXPECT_LT(js, 0.9);
+}
+
+}  // namespace
+}  // namespace warper::util

@@ -1,0 +1,79 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace warper {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad input");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NotFound");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOutOfRange), "OutOfRange");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kFailedPrecondition),
+               "FailedPrecondition");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "Internal");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveValueOrDie) {
+  Result<std::string> r(std::string("hello"));
+  std::string v = r.MoveValueOrDie();
+  EXPECT_EQ(v, "hello");
+}
+
+TEST(ReturnNotOkMacroTest, PropagatesError) {
+  auto inner = []() { return Status::Internal("boom"); };
+  auto outer = [&]() -> Status {
+    WARPER_RETURN_NOT_OK(inner());
+    return Status::OK();
+  };
+  Status s = outer();
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+}
+
+TEST(ReturnNotOkMacroTest, PassesThroughOk) {
+  auto outer = []() -> Status {
+    WARPER_RETURN_NOT_OK(Status::OK());
+    return Status::FailedPrecondition("reached end");
+  };
+  EXPECT_EQ(outer().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(CheckDeathTest, FailedCheckAborts) {
+  EXPECT_DEATH({ WARPER_CHECK(1 == 2); }, "WARPER_CHECK failed");
+}
+
+TEST(CheckDeathTest, MessageIncluded) {
+  EXPECT_DEATH({ WARPER_CHECK_MSG(false, "context " << 42); }, "context 42");
+}
+
+}  // namespace
+}  // namespace warper

@@ -1,0 +1,44 @@
+#include "util/timer.h"
+
+#include <gtest/gtest.h>
+
+namespace warper::util {
+namespace {
+
+TEST(WallTimerTest, NonNegativeAndMonotonic) {
+  WallTimer timer;
+  double t1 = timer.Seconds();
+  double t2 = timer.Seconds();
+  EXPECT_GE(t1, 0.0);
+  EXPECT_GE(t2, t1);
+}
+
+TEST(CpuAccumulatorTest, AddsAndResets) {
+  CpuAccumulator acc;
+  acc.Add(1.5);
+  acc.Add(0.5);
+  EXPECT_DOUBLE_EQ(acc.TotalSeconds(), 2.0);
+  acc.Reset();
+  EXPECT_DOUBLE_EQ(acc.TotalSeconds(), 0.0);
+}
+
+TEST(CpuAccumulatorTest, Utilization) {
+  CpuAccumulator acc;
+  acc.Add(9.0);
+  EXPECT_DOUBLE_EQ(acc.UtilizationOver(1800.0), 0.005);
+  EXPECT_DOUBLE_EQ(acc.UtilizationOver(0.0), 0.0);
+}
+
+TEST(ScopedCpuTimerTest, AccumulatesScopeTime) {
+  CpuAccumulator acc;
+  {
+    ScopedCpuTimer timer(&acc);
+    volatile double sink = 0.0;
+    for (int i = 0; i < 100000; ++i) sink = sink + i;
+    (void)sink;
+  }
+  EXPECT_GT(acc.TotalSeconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace warper::util

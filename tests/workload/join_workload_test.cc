@@ -1,0 +1,56 @@
+#include "workload/join_workload.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "storage/datasets.h"
+
+namespace warper::workload {
+namespace {
+
+TEST(JoinWorkloadTest, QueriesAreWellFormed) {
+  storage::ImdbTables tables = storage::MakeImdb(300, 1);
+  storage::StarSchema schema = tables.Schema();
+  util::Rng rng(3);
+  std::vector<storage::JoinQuery> queries =
+      GenerateJoinWorkload(schema, GenMethod::kW1, 50, &rng);
+  ASSERT_EQ(queries.size(), 50u);
+  for (const storage::JoinQuery& q : queries) {
+    EXPECT_GT(q.join_mask, 0u);
+    EXPECT_LT(q.join_mask, 1u << schema.facts.size());
+    EXPECT_EQ(q.fact_preds.size(), schema.facts.size());
+    EXPECT_EQ(q.center_pred.NumColumns(), schema.center->NumColumns());
+    for (size_t f = 0; f < schema.facts.size(); ++f) {
+      EXPECT_EQ(q.fact_preds[f].NumColumns(),
+                schema.facts[f].table->NumColumns());
+    }
+  }
+}
+
+TEST(JoinWorkloadTest, SamplesDifferentJoinMasks) {
+  storage::ImdbTables tables = storage::MakeImdb(200, 2);
+  storage::StarSchema schema = tables.Schema();
+  util::Rng rng(5);
+  std::vector<storage::JoinQuery> queries =
+      GenerateJoinWorkload(schema, GenMethod::kW3, 60, &rng);
+  std::set<uint32_t> masks;
+  for (const auto& q : queries) masks.insert(q.join_mask);
+  // With 2 fact tables there are 3 possible non-empty masks.
+  EXPECT_EQ(masks.size(), 3u);
+}
+
+TEST(JoinWorkloadTest, Deterministic) {
+  storage::ImdbTables tables = storage::MakeImdb(150, 3);
+  storage::StarSchema schema = tables.Schema();
+  util::Rng a(7), b(7);
+  auto qa = GenerateJoinWorkload(schema, GenMethod::kW4, 10, &a);
+  auto qb = GenerateJoinWorkload(schema, GenMethod::kW4, 10, &b);
+  for (size_t i = 0; i < qa.size(); ++i) {
+    EXPECT_EQ(qa[i].join_mask, qb[i].join_mask);
+    EXPECT_EQ(qa[i].center_pred, qb[i].center_pred);
+  }
+}
+
+}  // namespace
+}  // namespace warper::workload

@@ -1,0 +1,59 @@
+#include "workload/spec.h"
+
+#include <gtest/gtest.h>
+
+namespace warper::workload {
+namespace {
+
+TEST(SpecTest, ParsesPaperNotation) {
+  WorkloadSpec spec = WorkloadSpec::Parse("w12/345").ValueOrDie();
+  EXPECT_EQ(spec.train,
+            (std::vector<GenMethod>{GenMethod::kW1, GenMethod::kW2}));
+  EXPECT_EQ(spec.drifted, (std::vector<GenMethod>{GenMethod::kW3,
+                                                  GenMethod::kW4,
+                                                  GenMethod::kW5}));
+}
+
+TEST(SpecTest, ParsesSinglePair) {
+  WorkloadSpec spec = WorkloadSpec::Parse("w1/2").ValueOrDie();
+  EXPECT_EQ(spec.train, (std::vector<GenMethod>{GenMethod::kW1}));
+  EXPECT_EQ(spec.drifted, (std::vector<GenMethod>{GenMethod::kW2}));
+}
+
+TEST(SpecTest, ParsesExplicitW) {
+  WorkloadSpec spec = WorkloadSpec::Parse("w4/w1").ValueOrDie();
+  EXPECT_EQ(spec.train, (std::vector<GenMethod>{GenMethod::kW4}));
+  EXPECT_EQ(spec.drifted, (std::vector<GenMethod>{GenMethod::kW1}));
+}
+
+TEST(SpecTest, ParsesAllMethodsShorthand) {
+  WorkloadSpec spec = WorkloadSpec::Parse("w1-5").ValueOrDie();
+  EXPECT_EQ(spec.train.size(), 5u);
+  EXPECT_EQ(spec.train, spec.drifted);
+}
+
+TEST(SpecTest, NoSlashMeansNoDrift) {
+  WorkloadSpec spec = WorkloadSpec::Parse("w125").ValueOrDie();
+  EXPECT_EQ(spec.train.size(), 3u);
+  EXPECT_EQ(spec.train, spec.drifted);
+}
+
+TEST(SpecTest, RoundTripToString) {
+  for (const char* s : {"w12/345", "w1/2", "w125/34"}) {
+    EXPECT_EQ(WorkloadSpec::Parse(s).ValueOrDie().ToString(), s);
+  }
+}
+
+TEST(SpecTest, RejectsMalformedInput) {
+  EXPECT_FALSE(WorkloadSpec::Parse("").ok());
+  EXPECT_FALSE(WorkloadSpec::Parse("12/345").ok());
+  EXPECT_FALSE(WorkloadSpec::Parse("w").ok());
+  EXPECT_FALSE(WorkloadSpec::Parse("w6/1").ok());
+  EXPECT_FALSE(WorkloadSpec::Parse("w0/1").ok());
+  EXPECT_FALSE(WorkloadSpec::Parse("w1/").ok());
+  EXPECT_FALSE(WorkloadSpec::Parse("w/2").ok());
+  EXPECT_FALSE(WorkloadSpec::Parse("wx/2").ok());
+}
+
+}  // namespace
+}  // namespace warper::workload
