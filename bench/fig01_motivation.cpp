@@ -114,14 +114,26 @@ int main() {
     config.n_i = 40;
     config.n_p = 300;
   }
+  if (Status st = config.Validate(); !st.ok()) {
+    std::cerr << "bad config: " << st.ToString() << "\n";
+    return 1;
+  }
   core::Warper warper(&domain, &model, config);
-  warper.Initialize(train);
+  if (Status st = warper.Initialize(train); !st.ok()) {
+    std::cerr << "Initialize failed: " << st.ToString() << "\n";
+    return 1;
+  }
   size_t steps = fast ? 3 : 5;
   for (size_t step = 1; step <= steps; ++step) {
     core::Warper::Invocation invocation;
     invocation.new_queries =
         make_examples(workload::GenMethod::kW3, fast ? 40 : 72, drifted_opts);
-    core::Warper::InvocationResult r = warper.Invoke(invocation);
+    Result<core::Warper::InvocationResult> invoked = warper.Invoke(invocation);
+    if (!invoked.ok()) {
+      std::cerr << "Invoke failed: " << invoked.status().ToString() << "\n";
+      return 1;
+    }
+    const core::Warper::InvocationResult& r = invoked.ValueOrDie();
     std::cout << "  adaptation step " << step << " [mode=" << r.mode.ToString()
               << " dm=" << util::FormatDouble(r.delta_m, 2)
               << " djs=" << util::FormatDouble(r.delta_js, 2)

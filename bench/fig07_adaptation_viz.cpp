@@ -60,8 +60,15 @@ int main() {
 
   core::WarperConfig config;
   config.gen_fraction = 0.25;  // generate a bit more so the panel is visible
+  if (Status st = config.Validate(); !st.ok()) {
+    std::cerr << "bad config: " << st.ToString() << "\n";
+    return 1;
+  }
   core::Warper warper(&domain, &model, config);
-  warper.Initialize(train);
+  if (Status st = warper.Initialize(train); !st.ok()) {
+    std::cerr << "Initialize failed: " << st.ToString() << "\n";
+    return 1;
+  }
 
   // Fit the visualization PCA on the training workload features.
   nn::Matrix train_features(train.size(), domain.FeatureDim());
@@ -104,7 +111,11 @@ int main() {
     core::Warper::Invocation invocation;
     invocation.new_queries =
         make_examples(spec.drifted, scale.queries_per_step);
-    warper.Invoke(invocation);
+    Result<core::Warper::InvocationResult> invoked = warper.Invoke(invocation);
+    if (!invoked.ok()) {
+      std::cerr << "Invoke failed: " << invoked.status().ToString() << "\n";
+      return 1;
+    }
 
     std::vector<std::vector<double>> new_rows, gen_rows, train_rows;
     for (size_t i = 0; i < warper.pool().Size(); ++i) {

@@ -71,9 +71,17 @@ int main() {
       ce::ExamplesToMatrix(train, &x, &y);
       model.Train(x, y);
     }
+    core::WarperConfig config;
+    if (Status st = config.Validate(); !st.ok()) {
+      std::cerr << "bad config: " << st.ToString() << "\n";
+      return 1;
+    }
     util::WallTimer build_timer;
-    core::Warper warper(&domain, &model, core::WarperConfig{});
-    warper.Initialize(train);
+    core::Warper warper(&domain, &model, config);
+    if (Status st = warper.Initialize(train); !st.ok()) {
+      std::cerr << "Initialize failed: " << st.ToString() << "\n";
+      return 1;
+    }
     {
       core::Warper::Invocation invocation;
       std::vector<storage::RangePredicate> preds = workload::GenerateWorkload(
@@ -83,7 +91,12 @@ int main() {
         invocation.new_queries.push_back(
             {domain.FeaturizePredicate(preds[i]), counts[i]});
       }
-      warper.Invoke(invocation);
+      Result<core::Warper::InvocationResult> invoked =
+          warper.Invoke(invocation);
+      if (!invoked.ok()) {
+        std::cerr << "Invoke failed: " << invoked.status().ToString() << "\n";
+        return 1;
+      }
     }
     double build_s = build_timer.Seconds();
 

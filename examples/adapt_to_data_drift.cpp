@@ -61,8 +61,15 @@ int main() {
 
   core::WarperConfig config;
   config.n_p = 150;  // re-annotation budget per invocation is scarce
+  if (Status st = config.Validate(); !st.ok()) {
+    std::cerr << "bad config: " << st.ToString() << "\n";
+    return 1;
+  }
   core::Warper warper(&domain, &model, config);
-  warper.Initialize(train);
+  if (Status st = warper.Initialize(train); !st.ok()) {
+    std::cerr << "Initialize failed: " << st.ToString() << "\n";
+    return 1;
+  }
 
   // Database telemetry before the drift: canaries + change counter.
   std::vector<storage::RangePredicate> canaries =
@@ -96,7 +103,12 @@ int main() {
       invocation.data_changed_fraction = changed;
       invocation.canary_shift = canary_shift;
     }
-    core::Warper::InvocationResult result = warper.Invoke(invocation);
+    Result<core::Warper::InvocationResult> invoked = warper.Invoke(invocation);
+    if (!invoked.ok()) {
+      std::cerr << "Invoke failed: " << invoked.status().ToString() << "\n";
+      return 1;
+    }
+    const core::Warper::InvocationResult& result = invoked.ValueOrDie();
     std::cout << "step " << step << ": mode=" << result.mode.ToString()
               << " annotated=" << result.annotated
               << " GMQ=" << ce::ModelGmq(model, test) << "\n";

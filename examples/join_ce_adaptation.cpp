@@ -70,15 +70,27 @@ int main() {
   // Warper treats the join estimator as the same kind of black box.
   core::WarperConfig wconfig;
   wconfig.n_p = 300;
+  if (Status st = wconfig.Validate(); !st.ok()) {
+    std::cerr << "bad config: " << st.ToString() << "\n";
+    return 1;
+  }
   core::Warper warper(&domain, &model, wconfig);
-  warper.Initialize(train);
+  if (Status st = warper.Initialize(train); !st.ok()) {
+    std::cerr << "Initialize failed: " << st.ToString() << "\n";
+    return 1;
+  }
 
   for (int step = 1; step <= 4; ++step) {
     core::Warper::Invocation invocation;
     // One query per minute in the paper — a trickle.
     invocation.new_queries = MakeExamples(schema, annotator, domain,
                                           workload::GenMethod::kW1, 12, &rng);
-    core::Warper::InvocationResult result = warper.Invoke(invocation);
+    Result<core::Warper::InvocationResult> invoked = warper.Invoke(invocation);
+    if (!invoked.ok()) {
+      std::cerr << "Invoke failed: " << invoked.status().ToString() << "\n";
+      return 1;
+    }
+    const core::Warper::InvocationResult& result = invoked.ValueOrDie();
     std::cout << "step " << step << ": mode=" << result.mode.ToString()
               << " generated=" << result.generated
               << " GMQ=" << ce::ModelGmq(model, test) << "\n";

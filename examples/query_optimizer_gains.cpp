@@ -97,13 +97,25 @@ int main() {
   std::cout << "Unadapted model on the drifted workload:\n";
   evaluate();
 
-  core::Warper warper(&domain, &model, core::WarperConfig{});
-  warper.Initialize(train);
+  core::WarperConfig config;
+  if (Status st = config.Validate(); !st.ok()) {
+    std::cerr << "bad config: " << st.ToString() << "\n";
+    return 1;
+  }
+  core::Warper warper(&domain, &model, config);
+  if (Status st = warper.Initialize(train); !st.ok()) {
+    std::cerr << "Initialize failed: " << st.ToString() << "\n";
+    return 1;
+  }
   for (int step = 1; step <= 4; ++step) {
     core::Warper::Invocation invocation;
     invocation.new_queries =
         make_examples(workload::GenMethod::kW3, 48, drifted_opts);
-    warper.Invoke(invocation);
+    Result<core::Warper::InvocationResult> invoked = warper.Invoke(invocation);
+    if (!invoked.ok()) {
+      std::cerr << "Invoke failed: " << invoked.status().ToString() << "\n";
+      return 1;
+    }
     std::cout << "After adaptation step " << step << ":\n";
     evaluate();
   }

@@ -65,14 +65,26 @@ int main() {
   // 4. Warper adapts M as new w3 queries trickle in.
   core::WarperConfig config;
   config.n_p = 200;
+  if (Status st = config.Validate(); !st.ok()) {
+    std::cerr << "bad config: " << st.ToString() << "\n";
+    return 1;
+  }
   core::Warper warper(&domain, &model, config);
-  warper.Initialize(train);
+  if (Status st = warper.Initialize(train); !st.ok()) {
+    std::cerr << "Initialize failed: " << st.ToString() << "\n";
+    return 1;
+  }
 
   for (int step = 1; step <= 4; ++step) {
     core::Warper::Invocation invocation;
     invocation.new_queries = MakeExamples(table, annotator, domain,
                                           workload::GenMethod::kW3, 48, &rng);
-    core::Warper::InvocationResult result = warper.Invoke(invocation);
+    Result<core::Warper::InvocationResult> invoked = warper.Invoke(invocation);
+    if (!invoked.ok()) {
+      std::cerr << "Invoke failed: " << invoked.status().ToString() << "\n";
+      return 1;
+    }
+    const core::Warper::InvocationResult& result = invoked.ValueOrDie();
     std::cout << "step " << step << ": mode=" << result.mode.ToString()
               << " generated=" << result.generated
               << " annotated=" << result.annotated

@@ -1,5 +1,7 @@
 #include "baselines/warper_adapter.h"
 
+#include "util/status.h"
+
 namespace warper::baselines {
 
 WarperAdapter::WarperAdapter(const AdapterContext& context,
@@ -9,7 +11,10 @@ WarperAdapter::WarperAdapter(const AdapterContext& context,
   seeded.seed = context.seed;
   warper_ = std::make_unique<core::Warper>(context.domain, context.model,
                                            seeded);
-  warper_->Initialize(*context.train_corpus);
+  // The harness wires a trained model and a validated corpus; a failure
+  // here is a bug in the experiment setup, not recoverable input.
+  Status st = warper_->Initialize(*context.train_corpus);
+  WARPER_CHECK_MSG(st.ok(), st.ToString());
 }
 
 std::string WarperAdapter::Name() const {
@@ -33,7 +38,9 @@ StepStats WarperAdapter::Step(const std::vector<ce::LabeledExample>& arrived,
   invocation.data_changed_fraction = info.data_changed_fraction;
   invocation.canary_shift = info.canary_shift;
   invocation.annotation_budget = info.annotation_budget;
-  last_result_ = warper_->Invoke(invocation);
+  Result<core::Warper::InvocationResult> result = warper_->Invoke(invocation);
+  WARPER_CHECK_MSG(result.ok(), result.status().ToString());
+  last_result_ = result.MoveValueOrDie();
 
   StepStats stats;
   stats.annotated = last_result_.annotated;

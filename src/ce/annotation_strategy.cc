@@ -1,0 +1,25 @@
+#include "ce/annotation_strategy.h"
+
+#include "ce/query_domain.h"
+
+namespace warper::ce {
+
+std::vector<int64_t> SerialAnnotation::AnnotateBatch(
+    const QueryDomain& domain,
+    const std::vector<std::vector<double>>& features) const {
+  return domain.AnnotateBatchSerial(features);
+}
+
+std::shared_ptr<const SerialAnnotation> SerialAnnotation::Instance() {
+  static std::shared_ptr<const SerialAnnotation> instance =
+      std::make_shared<const SerialAnnotation>();
+  return instance;
+}
+
+std::vector<int64_t> ParallelAnnotation::AnnotateBatch(
+    const QueryDomain& domain,
+    const std::vector<std::vector<double>>& features) const {
+  return domain.AnnotateBatchParallel(features, config_);
+}
+
+}  // namespace warper::ce

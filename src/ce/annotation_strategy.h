@@ -1,0 +1,67 @@
+// Pluggable batch-annotation execution for query domains.
+//
+// Warper's controller only ever asks a domain to AnnotateBatch; the strategy
+// installed on the domain decides *how* that batch executes. The serial
+// strategy preserves the substrate's single-threaded scan; the parallel
+// strategy routes through the shared util::ThreadPool (a single-table
+// domain's scan goes through storage::ParallelAnnotator, a star-join domain
+// fans out per query). Both produce bit-identical counts — annotation sums
+// integers, so no reduction-order effects exist.
+#ifndef WARPER_CE_ANNOTATION_STRATEGY_H_
+#define WARPER_CE_ANNOTATION_STRATEGY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace warper::ce {
+
+class QueryDomain;
+
+class AnnotationStrategy {
+ public:
+  virtual ~AnnotationStrategy() = default;
+
+  virtual std::string Name() const = 0;
+
+  // Ground-truth cardinalities for the (already canonical) feature vectors.
+  virtual std::vector<int64_t> AnnotateBatch(
+      const QueryDomain& domain,
+      const std::vector<std::vector<double>>& features) const = 0;
+};
+
+// The domain's native single-threaded batch path.
+class SerialAnnotation : public AnnotationStrategy {
+ public:
+  std::string Name() const override { return "serial"; }
+  std::vector<int64_t> AnnotateBatch(
+      const QueryDomain& domain,
+      const std::vector<std::vector<double>>& features) const override;
+
+  // Shared default instance installed on every domain at construction.
+  static std::shared_ptr<const SerialAnnotation> Instance();
+};
+
+// Routes batches through the domain's parallel path on the shared pool.
+class ParallelAnnotation : public AnnotationStrategy {
+ public:
+  explicit ParallelAnnotation(util::ParallelConfig config = {})
+      : config_(config) {}
+
+  std::string Name() const override { return "parallel"; }
+  std::vector<int64_t> AnnotateBatch(
+      const QueryDomain& domain,
+      const std::vector<std::vector<double>>& features) const override;
+
+  const util::ParallelConfig& config() const { return config_; }
+
+ private:
+  util::ParallelConfig config_;
+};
+
+}  // namespace warper::ce
+
+#endif  // WARPER_CE_ANNOTATION_STRATEGY_H_

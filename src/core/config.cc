@@ -1,3 +1,66 @@
 #include "core/config.h"
 
-// Configuration is a plain aggregate; this TU anchors the target.
+#include <cmath>
+#include <string>
+
+#include "nn/matrix.h"
+#include "util/thread_pool.h"
+
+namespace warper::core {
+namespace {
+
+Status BadKnob(const std::string& what) {
+  return Status::InvalidArgument("WarperConfig: " + what);
+}
+
+}  // namespace
+
+Status WarperConfig::Validate() const {
+  if (hidden_units == 0) return BadKnob("hidden_units must be > 0");
+  if (hidden_layers == 0) return BadKnob("hidden_layers must be > 0");
+  if (embedding_dim == 0) return BadKnob("embedding_dim must be > 0");
+  if (!(learning_rate > 0.0) || !std::isfinite(learning_rate)) {
+    return BadKnob("learning_rate must be positive and finite");
+  }
+  if (batch_size == 0) return BadKnob("batch_size must be > 0");
+  if (n_i <= 0) return BadKnob("n_i must be > 0");
+  if (loss_rel_tol < 0.0) return BadKnob("loss_rel_tol must be >= 0");
+  if (loss_patience <= 0) return BadKnob("loss_patience must be > 0");
+  if (gen_fraction < 0.0 || !std::isfinite(gen_fraction)) {
+    return BadKnob("gen_fraction must be >= 0 and finite");
+  }
+  if (n_p == 0) return BadKnob("n_p must be > 0");
+  if (picker_strata == 0) return BadKnob("picker_strata must be > 0");
+  if (picker_knn == 0) return BadKnob("picker_knn must be > 0");
+  if (gamma == 0) return BadKnob("gamma must be > 0");
+  if (!(pi_initial > 0.0)) return BadKnob("pi_initial must be > 0");
+  if (early_stop_gain < 0.0) return BadKnob("early_stop_gain must be >= 0");
+  if (pi_growth < 1.0) return BadKnob("pi_growth must be >= 1");
+  if (pi_max < pi_initial) return BadKnob("pi_max must be >= pi_initial");
+  if (gamma_growth < 1.0) return BadKnob("gamma_growth must be >= 1");
+  if (data_changed_threshold < 0.0) {
+    return BadKnob("data_changed_threshold must be >= 0");
+  }
+  if (canary_shift_threshold < 0.0) {
+    return BadKnob("canary_shift_threshold must be >= 0");
+  }
+  if (js_pca_dims == 0) return BadKnob("js_pca_dims must be > 0");
+  if (js_bins < 2) return BadKnob("js_bins must be >= 2");
+  if (js_threshold < 0.0) return BadKnob("js_threshold must be >= 0");
+  if (ablation_noise_stddev < 0.0) {
+    return BadKnob("ablation_noise_stddev must be >= 0");
+  }
+  Status parallel_status = parallel.Validate();
+  if (!parallel_status.ok()) {
+    return Status::InvalidArgument("WarperConfig: " +
+                                   parallel_status.message());
+  }
+  return Status::OK();
+}
+
+void ApplyParallelConfig(const util::ParallelConfig& config) {
+  util::ThreadPool::Configure(config);
+  nn::SetMatrixParallelism(config);
+}
+
+}  // namespace warper::core

@@ -5,6 +5,9 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "util/status.h"
+#include "util/thread_pool.h"
+
 namespace warper::core {
 
 // Ablation variants (§4.3, Table 10): replace the learned picker with
@@ -82,8 +85,26 @@ struct WarperConfig {
   // Noise σ (normalized feature space) for the G→AUG ablation.
   double ablation_noise_stddev = 0.1;
 
+  // --- Parallel execution (tech report: "many calls can be parallelized") —
+  // one struct governs the shared thread pool, the nn::Matrix kernels and
+  // the batch-annotation fan-out. The default (threads = 0) uses every core;
+  // set threads = 1 for fully serial runs.
+  util::ParallelConfig parallel;
+
   uint64_t seed = 42;
+
+  // Checks every knob for a usable value (positive sizes, n_i > 0,
+  // non-negative thresholds, valid thread counts). Entry points call this
+  // once instead of re-checking ad hoc; Warper::Initialize returns the same
+  // Status instead of aborting.
+  Status Validate() const;
 };
+
+// Applies `config` process-wide: resizes the shared util::ThreadPool and
+// installs the nn::Matrix kernel policy. Warper::Initialize calls this with
+// WarperConfig::parallel; benches and examples may call it directly. Last
+// writer wins — intended for startup, not concurrent reconfiguration.
+void ApplyParallelConfig(const util::ParallelConfig& config);
 
 }  // namespace warper::core
 

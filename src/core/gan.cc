@@ -54,6 +54,21 @@ class ConvergenceTracker {
 
 }  // namespace
 
+Result<std::unique_ptr<WarperModels>> WarperModels::Create(
+    size_t feature_dim, const WarperConfig& config, double max_card,
+    uint64_t seed) {
+  if (feature_dim == 0) {
+    return Status::InvalidArgument("WarperModels: feature_dim must be > 0");
+  }
+  if (!(max_card > 0.0)) {
+    return Status::InvalidArgument(
+        "WarperModels: max cardinality must be > 0");
+  }
+  Status config_status = config.Validate();
+  if (!config_status.ok()) return config_status;
+  return std::make_unique<WarperModels>(feature_dim, config, max_card, seed);
+}
+
 WarperModels::WarperModels(size_t feature_dim, const WarperConfig& config,
                            double max_card, uint64_t seed)
     : config_(config), rng_(seed) {

@@ -28,6 +28,14 @@ struct GanTrainStats {
 // Owns the three learned modules and their training procedures.
 class WarperModels {
  public:
+  // Validated construction: InvalidArgument when the module shapes cannot be
+  // built (zero feature dim, non-positive max cardinality, bad config).
+  static Result<std::unique_ptr<WarperModels>> Create(size_t feature_dim,
+                                                      const WarperConfig& config,
+                                                      double max_card,
+                                                      uint64_t seed);
+
+  // Unchecked construction for call sites that validated already.
   WarperModels(size_t feature_dim, const WarperConfig& config, double max_card,
                uint64_t seed);
 

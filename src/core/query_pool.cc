@@ -1,6 +1,7 @@
 #include "core/query_pool.h"
 
 #include <algorithm>
+#include <string>
 
 #include "util/status.h"
 
@@ -75,11 +76,28 @@ void QueryPool::MarkSourceStale(Source source) {
   }
 }
 
-void QueryPool::SetLabel(size_t index, double gt) {
-  WARPER_CHECK(index < records_.size());
-  WARPER_CHECK(gt >= 0.0);
+Result<PoolRecord> QueryPool::GetRecord(size_t i) const {
+  if (i >= records_.size()) {
+    return Status::OutOfRange("QueryPool: record index " + std::to_string(i) +
+                              " >= size " + std::to_string(records_.size()));
+  }
+  return records_[i];
+}
+
+Status QueryPool::SetLabel(size_t index, double gt) {
+  if (index >= records_.size()) {
+    return Status::OutOfRange("QueryPool: label index " +
+                              std::to_string(index) + " >= size " +
+                              std::to_string(records_.size()));
+  }
+  if (gt < 0.0) {
+    return Status::InvalidArgument(
+        "QueryPool: cardinality label must be >= 0, got " +
+        std::to_string(gt));
+  }
   records_[index].gt = gt;
   records_[index].stale = false;
+  return Status::OK();
 }
 
 std::vector<ce::LabeledExample> QueryPool::LabeledExamples(

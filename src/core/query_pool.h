@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "ce/estimator.h"
+#include "util/status.h"
 
 namespace warper::core {
 
@@ -36,8 +37,15 @@ class QueryPool {
   QueryPool() = default;
 
   size_t Size() const { return records_.size(); }
+
+  // Unchecked access for the controller's hot loops, where `i` comes from an
+  // index view this pool just produced. External callers should prefer
+  // GetRecord.
   const PoolRecord& record(size_t i) const { return records_[i]; }
   PoolRecord& record(size_t i) { return records_[i]; }
+
+  // Bounds-checked record access: OutOfRange for a bad index.
+  Result<PoolRecord> GetRecord(size_t i) const;
 
   // Appends a record; returns its index.
   size_t Append(PoolRecord record);
@@ -58,8 +66,9 @@ class QueryPool {
 
   // Marks every record of `source` as stale (data drift invalidates labels).
   void MarkSourceStale(Source source);
-  // Installs a fresh label.
-  void SetLabel(size_t index, double gt);
+  // Installs a fresh label. OutOfRange for a bad index, InvalidArgument for
+  // a negative cardinality.
+  Status SetLabel(size_t index, double gt);
 
   // Labeled records as training examples for the CE model.
   std::vector<ce::LabeledExample> LabeledExamples(

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "ce/metrics.h"
 #include "util/logging.h"
@@ -25,16 +26,44 @@ Warper::Warper(const ce::QueryDomain* domain, ce::CardinalityEstimator* model,
       picker_(config, config.seed ^ 0x9E37ULL),
       detector_(config),
       rng_(config.seed) {
+  // Null wiring is a programmer error, not recoverable caller input.
   WARPER_CHECK(domain != nullptr && model != nullptr);
-  models_ = std::make_unique<WarperModels>(
-      domain->FeatureDim(), config,
-      static_cast<double>(domain->MaxCardinality()), config.seed ^ 0xC0FFEEULL);
+  // Config problems are caller input: remembered here, returned from
+  // Initialize(). Module construction also waits for Initialize so that a
+  // bad config never aborts inside the constructor.
+  config_status_ = config.Validate();
 }
 
-void Warper::Initialize(const std::vector<ce::LabeledExample>& train_corpus) {
-  WARPER_CHECK_MSG(model_->trained(),
-                   "Warper adapts an existing model; train M first");
-  WARPER_CHECK(!train_corpus.empty());
+Status Warper::Initialize(const std::vector<ce::LabeledExample>& train_corpus) {
+  WARPER_RETURN_NOT_OK(config_status_);
+  if (!model_->trained()) {
+    return Status::FailedPrecondition(
+        "Warper adapts an existing model; train M first");
+  }
+  if (train_corpus.empty()) {
+    return Status::InvalidArgument(
+        "Warper::Initialize: empty training corpus");
+  }
+  size_t dim = domain_->FeatureDim();
+  for (size_t i = 0; i < train_corpus.size(); ++i) {
+    if (train_corpus[i].features.size() != dim) {
+      return Status::InvalidArgument(
+          "Warper::Initialize: corpus example " + std::to_string(i) + " has " +
+          std::to_string(train_corpus[i].features.size()) +
+          " features; domain expects " + std::to_string(dim));
+    }
+  }
+
+  // Size the shared thread pool and the nn::Matrix kernel policy before any
+  // training work runs.
+  ApplyParallelConfig(config_.parallel);
+
+  auto models = WarperModels::Create(
+      dim, config_, static_cast<double>(domain_->MaxCardinality()),
+      config_.seed ^ 0xC0FFEEULL);
+  WARPER_RETURN_NOT_OK(models.status());
+  models_ = models.MoveValueOrDie();
+
   util::ScopedCpuTimer timer(&cpu_);
 
   for (const auto& example : train_corpus) {
@@ -49,6 +78,7 @@ void Warper::Initialize(const std::vector<ce::LabeledExample>& train_corpus) {
   // similar to training the LM model offline".
   models_->UpdateAutoEncoder(pool_, config_.n_i * 3);
   initialized_ = true;
+  return Status::OK();
 }
 
 bool Warper::RecentNewGmq(double* gmq) const {
@@ -93,7 +123,8 @@ size_t Warper::AnnotateRecords(const std::vector<size_t>& indices,
   }
   std::vector<int64_t> counts = domain_->AnnotateBatch(features);
   for (size_t i = 0; i < n; ++i) {
-    pool_.SetLabel(indices[i], static_cast<double>(counts[i]));
+    Status st = pool_.SetLabel(indices[i], static_cast<double>(counts[i]));
+    WARPER_CHECK_MSG(st.ok(), st.ToString());  // internal indices/counts
   }
   return n;
 }
@@ -193,8 +224,21 @@ void Warper::UpdateModel(const ModeFlags& mode, double delta_m,
   model_->Update(x, y);
 }
 
-Warper::InvocationResult Warper::Invoke(const Invocation& invocation) {
-  WARPER_CHECK_MSG(initialized_, "call Initialize() before Invoke()");
+Result<Warper::InvocationResult> Warper::Invoke(
+    const Invocation& invocation) {
+  if (!initialized_) {
+    return Status::FailedPrecondition(
+        "Warper::Invoke: call Initialize() before Invoke()");
+  }
+  size_t dim = domain_->FeatureDim();
+  for (size_t i = 0; i < invocation.new_queries.size(); ++i) {
+    if (invocation.new_queries[i].features.size() != dim) {
+      return Status::InvalidArgument(
+          "Warper::Invoke: new query " + std::to_string(i) + " has " +
+          std::to_string(invocation.new_queries[i].features.size()) +
+          " features; domain expects " + std::to_string(dim));
+    }
+  }
   InvocationResult result;
 
   // --- Alg. 1 line 1: inject new arrivals into the pool. ---

@@ -17,6 +17,7 @@
 #include "core/gan.h"
 #include "core/picker.h"
 #include "core/query_pool.h"
+#include "util/status.h"
 #include "util/timer.h"
 
 namespace warper::core {
@@ -30,8 +31,13 @@ class Warper {
 
   // Seeds the pool with the original training workload I_train and
   // pre-trains E and G offline via the autoencoder task (§3.5). Also
-  // records the training-time error for det_drft.
-  void Initialize(const std::vector<ce::LabeledExample>& train_corpus);
+  // records the training-time error for det_drft, applies the parallel
+  // configuration process-wide, and builds the learned modules.
+  //
+  // InvalidArgument for a bad config or malformed corpus (empty, or
+  // feature dims that do not match the domain); FailedPrecondition when
+  // the CE model has not been trained yet.
+  Status Initialize(const std::vector<ce::LabeledExample>& train_corpus);
 
   // One periodic invocation.
   struct Invocation {
@@ -61,7 +67,9 @@ class Warper {
     GanTrainStats gan_stats;
   };
 
-  InvocationResult Invoke(const Invocation& invocation);
+  // FailedPrecondition before a successful Initialize(); InvalidArgument
+  // when a new query's feature vector does not match the domain's dim.
+  Result<InvocationResult> Invoke(const Invocation& invocation);
 
   const QueryPool& pool() const { return pool_; }
   QueryPool& pool() { return pool_; }
@@ -95,6 +103,9 @@ class Warper {
   DriftDetector detector_;
   util::Rng rng_;
   util::CpuAccumulator cpu_;
+  // Config problems surface from Initialize() as a Status, not from the
+  // constructor (which cannot return one).
+  Status config_status_;
   bool initialized_ = false;
   // An adaptation episode stays active across invocations until the
   // per-step accuracy gain falls below the early-stop threshold (§3.4), so

@@ -14,6 +14,7 @@
 #include "core/drift.h"
 #include "storage/annotator.h"
 #include "storage/data_drift.h"
+#include "storage/parallel_annotator.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/status.h"
@@ -361,8 +362,10 @@ DriftExperimentResult RunSingleTableDrift(const SingleTableDriftSpec& spec) {
       }
       storage::SortTruncateHalf(&table, sort_col);
       prepared.data_changed_fraction = table.ChangedFractionSince(snapshot);
-      prepared.canary_shift =
-          storage::CanaryShift(annotator, canaries, baseline);
+      // Canary re-counting is pure telemetry; run it on the shared pool
+      // (bit-identical to the serial pass).
+      prepared.canary_shift = storage::CanaryShift(
+          storage::ParallelAnnotator(&table), canaries, baseline);
     }
 
     // Post-drift test set and reference corpus (fresh labels).

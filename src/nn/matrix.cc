@@ -1,10 +1,37 @@
 #include "nn/matrix.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace warper::nn {
+namespace {
+
+MatrixParallelPolicy g_policy;
+
+// True when an (m × n × k) product is worth dispatching to the pool.
+bool UseParallel(size_t out_rows, size_t madds) {
+  return g_policy.threads != 1 && madds >= g_policy.min_madds &&
+         out_rows >= 2 * g_policy.grain_rows && !util::OnPoolWorkerThread();
+}
+
+// Row-range dispatch: each task owns a contiguous slice of output rows, so
+// no two tasks write the same element and per-element accumulation order
+// matches the serial kernel exactly (bit-identical results).
+void ForOutputRows(size_t rows, const std::function<void(size_t, size_t)>& fn) {
+  util::ThreadPool::Global().ParallelFor(0, rows, g_policy.grain_rows, fn);
+}
+
+}  // namespace
+
+void SetMatrixParallelism(const util::ParallelConfig& config) {
+  g_policy.threads = config.ResolvedThreads();
+  g_policy.grain_rows = std::max<size_t>(1, config.grain / 32);
+}
+
+const MatrixParallelPolicy& matrix_parallel_policy() { return g_policy; }
 
 Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
   WARPER_CHECK(!rows.empty());
@@ -44,20 +71,81 @@ void Matrix::SetRow(size_t r, const std::vector<double>& values) {
   for (size_t c = 0; c < cols_; ++c) data_[r * cols_ + c] = values[c];
 }
 
+namespace {
+
+// B-row block height for the k-blocked kernels: one block of B rows stays
+// L2-resident while every output row of the slice streams over it.
+constexpr size_t kKBlock = 256;
+
+// out[r0..r1) += A[r0..r1) × B, i-k-j order with k blocked. Per-element
+// accumulation order is k ascending — identical for any row partition.
+void MatMulRange(const std::vector<double>& a, size_t a_cols,
+                 const std::vector<double>& b, size_t b_cols,
+                 std::vector<double>* out, size_t r0, size_t r1) {
+  for (size_t kb = 0; kb < a_cols; kb += kKBlock) {
+    size_t kend = std::min(a_cols, kb + kKBlock);
+    for (size_t i = r0; i < r1; ++i) {
+      double* orow = &(*out)[i * b_cols];
+      for (size_t k = kb; k < kend; ++k) {
+        double av = a[i * a_cols + k];
+        if (av == 0.0) continue;
+        const double* brow = &b[k * b_cols];
+        for (size_t j = 0; j < b_cols; ++j) orow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+// out[i0..i1) += Aᵀ[i0..i1) × B where i indexes columns of A; the reduction
+// over A's rows k stays ascending per element.
+void TransposeMatMulRange(const std::vector<double>& a, size_t a_rows,
+                          size_t a_cols, const std::vector<double>& b,
+                          size_t b_cols, std::vector<double>* out, size_t i0,
+                          size_t i1) {
+  for (size_t kb = 0; kb < a_rows; kb += kKBlock) {
+    size_t kend = std::min(a_rows, kb + kKBlock);
+    for (size_t k = kb; k < kend; ++k) {
+      const double* arow = &a[k * a_cols];
+      const double* brow = &b[k * b_cols];
+      for (size_t i = i0; i < i1; ++i) {
+        double av = arow[i];
+        if (av == 0.0) continue;
+        double* orow = &(*out)[i * b_cols];
+        for (size_t j = 0; j < b_cols; ++j) orow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+// out[r0..r1) = A[r0..r1) × Bᵀ (independent dot products per element).
+void MatMulTransposeRange(const std::vector<double>& a, size_t a_cols,
+                          const std::vector<double>& b, size_t b_rows,
+                          std::vector<double>* out, size_t r0, size_t r1) {
+  for (size_t i = r0; i < r1; ++i) {
+    const double* arow = &a[i * a_cols];
+    for (size_t j = 0; j < b_rows; ++j) {
+      const double* brow = &b[j * a_cols];
+      double acc = 0.0;
+      for (size_t k = 0; k < a_cols; ++k) acc += arow[k] * brow[k];
+      (*out)[i * b_rows + j] = acc;
+    }
+  }
+}
+
+}  // namespace
+
 Matrix Matrix::MatMul(const Matrix& other) const {
   WARPER_CHECK_MSG(cols_ == other.rows_, "MatMul shape mismatch: (" << rows_
                        << "x" << cols_ << ") x (" << other.rows_ << "x"
                        << other.cols_ << ")");
   Matrix out(rows_, other.cols_);
-  // i-k-j loop order for cache-friendly access of row-major operands.
-  for (size_t i = 0; i < rows_; ++i) {
-    for (size_t k = 0; k < cols_; ++k) {
-      double a = data_[i * cols_ + k];
-      if (a == 0.0) continue;
-      const double* brow = &other.data_[k * other.cols_];
-      double* orow = &out.data_[i * other.cols_];
-      for (size_t j = 0; j < other.cols_; ++j) orow[j] += a * brow[j];
-    }
+  auto kernel = [&](size_t r0, size_t r1) {
+    MatMulRange(data_, cols_, other.data_, other.cols_, &out.data_, r0, r1);
+  };
+  if (UseParallel(rows_, rows_ * cols_ * other.cols_)) {
+    ForOutputRows(rows_, kernel);
+  } else {
+    kernel(0, rows_);
   }
   return out;
 }
@@ -65,15 +153,14 @@ Matrix Matrix::MatMul(const Matrix& other) const {
 Matrix Matrix::TransposeMatMul(const Matrix& other) const {
   WARPER_CHECK(rows_ == other.rows_);
   Matrix out(cols_, other.cols_);
-  for (size_t k = 0; k < rows_; ++k) {
-    const double* arow = &data_[k * cols_];
-    const double* brow = &other.data_[k * other.cols_];
-    for (size_t i = 0; i < cols_; ++i) {
-      double a = arow[i];
-      if (a == 0.0) continue;
-      double* orow = &out.data_[i * other.cols_];
-      for (size_t j = 0; j < other.cols_; ++j) orow[j] += a * brow[j];
-    }
+  auto kernel = [&](size_t i0, size_t i1) {
+    TransposeMatMulRange(data_, rows_, cols_, other.data_, other.cols_,
+                         &out.data_, i0, i1);
+  };
+  if (UseParallel(cols_, rows_ * cols_ * other.cols_)) {
+    ForOutputRows(cols_, kernel);
+  } else {
+    kernel(0, cols_);
   }
   return out;
 }
@@ -81,14 +168,14 @@ Matrix Matrix::TransposeMatMul(const Matrix& other) const {
 Matrix Matrix::MatMulTranspose(const Matrix& other) const {
   WARPER_CHECK(cols_ == other.cols_);
   Matrix out(rows_, other.rows_);
-  for (size_t i = 0; i < rows_; ++i) {
-    const double* arow = &data_[i * cols_];
-    for (size_t j = 0; j < other.rows_; ++j) {
-      const double* brow = &other.data_[j * other.cols_];
-      double acc = 0.0;
-      for (size_t k = 0; k < cols_; ++k) acc += arow[k] * brow[k];
-      out.data_[i * other.rows_ + j] = acc;
-    }
+  auto kernel = [&](size_t r0, size_t r1) {
+    MatMulTransposeRange(data_, cols_, other.data_, other.rows_, &out.data_,
+                         r0, r1);
+  };
+  if (UseParallel(rows_, rows_ * cols_ * other.rows_)) {
+    ForOutputRows(rows_, kernel);
+  } else {
+    kernel(0, rows_);
   }
   return out;
 }

@@ -8,8 +8,29 @@
 #include <vector>
 
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace warper::nn {
+
+// Process-wide policy for the parallel matrix kernels. MatMul and friends
+// split their *output rows* across the shared util::ThreadPool when the
+// product is large enough; per-element accumulation order is unchanged, so
+// parallel results are bit-identical to the serial kernels regardless of the
+// deterministic flag.
+struct MatrixParallelPolicy {
+  // Kernel-level switch derived from util::ParallelConfig (1 = serial).
+  int threads = 1;
+  // Serial fallback below this many multiply-adds; dispatch overhead beats
+  // the win on small products (a 64×130·130×128 trunk batch is ~1M madds).
+  size_t min_madds = 1 << 17;
+  // Minimum output rows per task.
+  size_t grain_rows = 8;
+};
+
+// Installs the kernel policy (typically from WarperConfig::parallel via
+// core::ApplyParallelConfig). Not thread-safe against concurrent MatMul.
+void SetMatrixParallelism(const util::ParallelConfig& config);
+const MatrixParallelPolicy& matrix_parallel_policy();
 
 class Matrix {
  public:

@@ -29,6 +29,10 @@ class Annotator {
 
   // Total predicates annotated so far (for cost accounting).
   int64_t annotations() const { return annotations_; }
+  // Credits annotations performed on this annotator's table by an external
+  // executor (e.g. storage::ParallelAnnotator) so cost accounting stays
+  // accurate across execution strategies. Call from one thread only.
+  void RecordAnnotations(int64_t n) const { annotations_ += n; }
 
   const Table& table() const { return *table_; }
 

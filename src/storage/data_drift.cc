@@ -1,5 +1,7 @@
 #include "storage/data_drift.h"
 
+#include "storage/parallel_annotator.h"
+
 #include <algorithm>
 #include <cmath>
 
@@ -82,20 +84,36 @@ std::vector<RangePredicate> MakeCanaryPredicates(const Table& table, size_t n,
   return canaries;
 }
 
-double CanaryShift(const Annotator& annotator,
-                   const std::vector<RangePredicate>& canaries,
-                   const std::vector<int64_t>& baseline) {
-  WARPER_CHECK(canaries.size() == baseline.size());
-  if (canaries.empty()) return 0.0;
-  std::vector<int64_t> current = annotator.BatchCount(canaries);
+namespace {
+
+double ShiftFromCounts(const std::vector<int64_t>& current,
+                       const std::vector<int64_t>& baseline) {
   double total = 0.0;
-  for (size_t i = 0; i < canaries.size(); ++i) {
+  for (size_t i = 0; i < current.size(); ++i) {
     double before = static_cast<double>(baseline[i]);
     double after = static_cast<double>(current[i]);
     double denom = std::max(1.0, std::max(before, after));
     total += std::abs(after - before) / denom;
   }
-  return total / static_cast<double>(canaries.size());
+  return total / static_cast<double>(current.size());
+}
+
+}  // namespace
+
+double CanaryShift(const Annotator& annotator,
+                   const std::vector<RangePredicate>& canaries,
+                   const std::vector<int64_t>& baseline) {
+  WARPER_CHECK(canaries.size() == baseline.size());
+  if (canaries.empty()) return 0.0;
+  return ShiftFromCounts(annotator.BatchCount(canaries), baseline);
+}
+
+double CanaryShift(const ParallelAnnotator& annotator,
+                   const std::vector<RangePredicate>& canaries,
+                   const std::vector<int64_t>& baseline) {
+  WARPER_CHECK(canaries.size() == baseline.size());
+  if (canaries.empty()) return 0.0;
+  return ShiftFromCounts(annotator.BatchCount(canaries), baseline);
 }
 
 }  // namespace warper::storage

@@ -16,7 +16,10 @@ size_t JoinQuery::NumJoins() const {
 int64_t JoinAnnotator::Count(const JoinQuery& query) const {
   std::optional<util::ScopedCpuTimer> timer;
   if (cpu_ != nullptr) timer.emplace(cpu_);
+  return CountImpl(query);
+}
 
+int64_t JoinAnnotator::CountImpl(const JoinQuery& query) const {
   const StarSchema& s = *schema_;
   WARPER_CHECK(s.center != nullptr);
   WARPER_CHECK(query.fact_preds.size() == s.facts.size());
@@ -61,6 +64,26 @@ std::vector<int64_t> JoinAnnotator::BatchCount(
   std::vector<int64_t> counts;
   counts.reserve(queries.size());
   for (const auto& q : queries) counts.push_back(Count(q));
+  return counts;
+}
+
+std::vector<int64_t> JoinAnnotator::BatchCountParallel(
+    const std::vector<JoinQuery>& queries,
+    const util::ParallelConfig& config) const {
+  // One accumulator charge for the whole batch, taken on the calling thread
+  // so pool workers never touch the (non-atomic) accumulator.
+  std::optional<util::ScopedCpuTimer> timer;
+  if (cpu_ != nullptr) timer.emplace(cpu_);
+
+  std::vector<int64_t> counts(queries.size(), 0);
+  // Join counting is expensive per query, so fan out per query rather than
+  // by row range; a grain of 1 still bounds chunks at pool size + 1.
+  size_t grain = std::max<size_t>(
+      1, queries.size() / static_cast<size_t>(config.ResolvedThreads()));
+  util::ThreadPool::Global().ParallelFor(
+      0, queries.size(), grain, [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) counts[i] = CountImpl(queries[i]);
+      });
   return counts;
 }
 

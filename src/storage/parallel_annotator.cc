@@ -1,9 +1,10 @@
 #include "storage/parallel_annotator.h"
 
 #include <algorithm>
-#include <thread>
+#include <mutex>
 
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace warper::storage {
 namespace {
@@ -49,13 +50,16 @@ void CountRange(const Table& table,
 
 }  // namespace
 
-ParallelAnnotator::ParallelAnnotator(const Table* table, int num_threads)
-    : table_(table), num_threads_(num_threads) {
+ParallelAnnotator::ParallelAnnotator(const Table* table,
+                                     util::ParallelConfig config)
+    : table_(table), config_(config) {
   WARPER_CHECK(table != nullptr);
-  if (num_threads_ <= 0) {
-    num_threads_ = std::max(1u, std::thread::hardware_concurrency());
-  }
 }
+
+ParallelAnnotator::ParallelAnnotator(const Table* table, int num_threads)
+    : ParallelAnnotator(table, util::ParallelConfig{
+                                   num_threads <= 0 ? 0 : num_threads,
+                                   /*grain=*/256, /*deterministic=*/true}) {}
 
 std::vector<int64_t> ParallelAnnotator::BatchCount(
     const std::vector<RangePredicate>& preds) const {
@@ -64,31 +68,28 @@ std::vector<int64_t> ParallelAnnotator::BatchCount(
   for (const auto& p : preds) compiled.push_back(Compile(*table_, p));
 
   size_t n = table_->NumRows();
-  size_t workers = std::min<size_t>(static_cast<size_t>(num_threads_),
-                                    std::max<size_t>(1, n / 1024));
-  if (workers <= 1 || n == 0) {
-    std::vector<int64_t> counts(preds.size(), 0);
-    CountRange(*table_, compiled, 0, n, &counts);
-    return counts;
-  }
-
-  std::vector<std::vector<int64_t>> partials(
-      workers, std::vector<int64_t>(preds.size(), 0));
-  std::vector<std::thread> threads;
-  size_t chunk = (n + workers - 1) / workers;
-  for (size_t w = 0; w < workers; ++w) {
-    size_t begin = w * chunk;
-    size_t end = std::min(n, begin + chunk);
-    threads.emplace_back([&, w, begin, end] {
-      CountRange(*table_, compiled, begin, end, &partials[w]);
-    });
-  }
-  for (auto& t : threads) t.join();
-
   std::vector<int64_t> counts(preds.size(), 0);
-  for (const auto& partial : partials) {
-    for (size_t p = 0; p < counts.size(); ++p) counts[p] += partial[p];
-  }
+  if (n == 0 || preds.empty()) return counts;
+
+  // The row grain keeps each chunk worth the dispatch and bounds the chunk
+  // count at the configured thread cap.
+  size_t min_rows = std::max<size_t>(config_.grain, 1024 / std::max<size_t>(
+                                                        1, preds.size()));
+  size_t grain = std::max(min_rows,
+                          (n + static_cast<size_t>(config_.ResolvedThreads()) -
+                           1) /
+                              static_cast<size_t>(config_.ResolvedThreads()));
+
+  // Chunk-local tallies merged under a lock: integer sums are exact in any
+  // order, so the result is bit-identical to the serial scan.
+  std::mutex merge_mutex;
+  util::ThreadPool::Global().ParallelFor(
+      0, n, grain, [&](size_t begin, size_t end) {
+        std::vector<int64_t> local(compiled.size(), 0);
+        CountRange(*table_, compiled, begin, end, &local);
+        std::lock_guard<std::mutex> lock(merge_mutex);
+        for (size_t p = 0; p < counts.size(); ++p) counts[p] += local[p];
+      });
   return counts;
 }
 

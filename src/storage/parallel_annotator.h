@@ -3,9 +3,11 @@
 // The paper notes that "many calls [of Alg. 1] can be parallelized" and its
 // tech report sketches a multi-threaded variant; ground-truth annotation is
 // the dominant cost (Table 6), and it parallelizes trivially by row range:
-// each worker scans a horizontal slice of the table against every predicate
-// and the per-predicate counts are summed. Results are bit-identical to
-// Annotator::BatchCount.
+// each chunk scans a horizontal slice of the table against every predicate
+// and the per-predicate counts are summed. Counts are integers, so the sum
+// is exact in any order and results are bit-identical to
+// Annotator::BatchCount. Work is dispatched onto the shared
+// util::ThreadPool rather than ad-hoc threads.
 #ifndef WARPER_STORAGE_PARALLEL_ANNOTATOR_H_
 #define WARPER_STORAGE_PARALLEL_ANNOTATOR_H_
 
@@ -14,23 +16,27 @@
 
 #include "storage/predicate.h"
 #include "storage/table.h"
+#include "util/thread_pool.h"
 
 namespace warper::storage {
 
 class ParallelAnnotator {
  public:
-  // `table` must outlive the annotator. `num_threads` ≤ 0 uses the hardware
-  // concurrency.
-  explicit ParallelAnnotator(const Table* table, int num_threads = 0);
+  // `table` must outlive the annotator. `config.threads` ≤ 0 uses the full
+  // shared pool; the row grain keeps tiny tables on one thread.
+  explicit ParallelAnnotator(const Table* table,
+                             util::ParallelConfig config = {});
+  // Back-compat shorthand: cap at `num_threads` (≤ 0 = hardware).
+  ParallelAnnotator(const Table* table, int num_threads);
 
   // Ground-truth cardinalities for a batch; one parallel pass over the rows.
   std::vector<int64_t> BatchCount(const std::vector<RangePredicate>& preds) const;
 
-  int num_threads() const { return num_threads_; }
+  int num_threads() const { return config_.ResolvedThreads(); }
 
  private:
   const Table* table_;
-  int num_threads_;
+  util::ParallelConfig config_;
 };
 
 }  // namespace warper::storage

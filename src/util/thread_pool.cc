@@ -1,0 +1,152 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <exception>
+#include <memory>
+
+namespace warper::util {
+namespace {
+
+thread_local bool t_on_pool_worker = false;
+
+int HardwareThreads() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+// Guards the global pool instance against concurrent Configure calls.
+std::mutex g_global_mutex;
+std::unique_ptr<ThreadPool>& GlobalSlot() {
+  static std::unique_ptr<ThreadPool> pool;
+  return pool;
+}
+
+}  // namespace
+
+int ParallelConfig::ResolvedThreads() const {
+  return threads <= 0 ? HardwareThreads() : threads;
+}
+
+Status ParallelConfig::Validate() const {
+  if (threads < 0) {
+    return Status::InvalidArgument("parallel.threads must be >= 0, got " +
+                                   std::to_string(threads));
+  }
+  if (grain == 0) {
+    return Status::InvalidArgument("parallel.grain must be > 0");
+  }
+  return Status::OK();
+}
+
+bool OnPoolWorkerThread() { return t_on_pool_worker; }
+
+ThreadPool::ThreadPool(int num_threads) {
+  int n = num_threads <= 0 ? HardwareThreads() : num_threads;
+  // The submitting thread participates in ParallelFor, so a pool of n-1
+  // workers saturates n cores; a "1-thread" pool spawns no workers at all.
+  workers_.reserve(static_cast<size_t>(std::max(0, n - 1)));
+  for (int i = 0; i < n - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  t_on_pool_worker = true;
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stop_ set and queue drained
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();  // exceptions land in the packaged_task's future
+  }
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> fn) {
+  std::packaged_task<void()> task(std::move(fn));
+  std::future<void> future = task.get_future();
+  if (workers_.empty()) {
+    // No workers: run inline so a 1-thread pool still makes progress.
+    task();
+    return future;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.push(std::move(task));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
+                             const std::function<void(size_t, size_t)>& fn) {
+  if (begin >= end) return;
+  size_t n = end - begin;
+  grain = std::max<size_t>(1, grain);
+  size_t max_chunks = static_cast<size_t>(size()) + 1;
+  size_t chunks = std::min(max_chunks, n / grain);
+  // Serial when the range is too small to split, the pool has no workers, or
+  // we are already on a pool worker (nested ParallelFor must not block on the
+  // queue it is supposed to drain).
+  if (chunks <= 1 || workers_.empty() || OnPoolWorkerThread()) {
+    fn(begin, end);
+    return;
+  }
+
+  // Fixed contiguous partition: chunk boundaries depend only on (n, chunks),
+  // which keeps per-chunk work deterministic for ordered reductions.
+  size_t chunk_size = (n + chunks - 1) / chunks;
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks - 1);
+  for (size_t c = 1; c < chunks; ++c) {
+    size_t lo = begin + c * chunk_size;
+    size_t hi = std::min(end, lo + chunk_size);
+    if (lo >= hi) break;
+    futures.push_back(Submit([&fn, lo, hi] { fn(lo, hi); }));
+  }
+  // The calling thread takes the first chunk.
+  std::exception_ptr first_error;
+  try {
+    fn(begin, std::min(end, begin + chunk_size));
+  } catch (...) {
+    first_error = std::current_exception();
+  }
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+ThreadPool& ThreadPool::Global() {
+  std::lock_guard<std::mutex> lock(g_global_mutex);
+  auto& slot = GlobalSlot();
+  if (!slot) slot = std::make_unique<ThreadPool>();
+  return *slot;
+}
+
+void ThreadPool::Configure(const ParallelConfig& config) {
+  int want = config.ResolvedThreads();
+  std::lock_guard<std::mutex> lock(g_global_mutex);
+  auto& slot = GlobalSlot();
+  if (slot && slot->size() == want - 1) return;
+  slot.reset();  // join old workers before spawning the new set
+  slot = std::make_unique<ThreadPool>(want);
+}
+
+}  // namespace warper::util

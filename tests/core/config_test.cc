@@ -1,0 +1,94 @@
+// WarperConfig::Validate — the single gate every entry point (Warper,
+// WarperModels::Create, benches, examples) calls instead of re-checking
+// knobs ad hoc.
+#include "core/config.h"
+
+#include <gtest/gtest.h>
+
+namespace warper::core {
+namespace {
+
+TEST(WarperConfigTest, DefaultsValidate) {
+  EXPECT_TRUE(WarperConfig{}.Validate().ok());
+}
+
+TEST(WarperConfigTest, RejectsZeroModuleShapes) {
+  WarperConfig config;
+  config.hidden_units = 0;
+  EXPECT_EQ(config.Validate().code(), StatusCode::kInvalidArgument);
+
+  config = WarperConfig{};
+  config.hidden_layers = 0;
+  EXPECT_FALSE(config.Validate().ok());
+
+  config = WarperConfig{};
+  config.embedding_dim = 0;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(WarperConfigTest, RejectsBadTrainingKnobs) {
+  WarperConfig config;
+  config.learning_rate = 0.0;
+  EXPECT_FALSE(config.Validate().ok());
+
+  config = WarperConfig{};
+  config.learning_rate = -1e-3;
+  EXPECT_FALSE(config.Validate().ok());
+
+  config = WarperConfig{};
+  config.batch_size = 0;
+  EXPECT_FALSE(config.Validate().ok());
+
+  config = WarperConfig{};
+  config.n_i = 0;
+  EXPECT_FALSE(config.Validate().ok());
+
+  config = WarperConfig{};
+  config.loss_patience = 0;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(WarperConfigTest, RejectsBadDriftKnobs) {
+  WarperConfig config;
+  config.pi_initial = 0.0;
+  EXPECT_FALSE(config.Validate().ok());
+
+  config = WarperConfig{};
+  config.pi_max = config.pi_initial / 2.0;
+  EXPECT_FALSE(config.Validate().ok());
+
+  config = WarperConfig{};
+  config.pi_growth = 0.5;
+  EXPECT_FALSE(config.Validate().ok());
+
+  config = WarperConfig{};
+  config.js_bins = 1;
+  EXPECT_FALSE(config.Validate().ok());
+
+  config = WarperConfig{};
+  config.gamma = 0;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(WarperConfigTest, RejectsBadParallelKnobs) {
+  WarperConfig config;
+  config.parallel.threads = -2;
+  Status st = config.Validate();
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("parallel.threads"), std::string::npos);
+
+  config = WarperConfig{};
+  config.parallel.grain = 0;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(WarperConfigTest, MessagesNameTheKnob) {
+  WarperConfig config;
+  config.n_p = 0;
+  Status st = config.Validate();
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("n_p"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace warper::core

@@ -46,7 +46,7 @@ TEST(QueryPoolTest, SetLabelClearsStale) {
   pool.AppendLabeled({0.1}, 1.0, Source::kTrain);
   pool.MarkSourceStale(Source::kTrain);
   EXPECT_FALSE(pool.record(0).HasFreshLabel());
-  pool.SetLabel(0, 55.0);
+  ASSERT_TRUE(pool.SetLabel(0, 55.0).ok());
   EXPECT_TRUE(pool.record(0).HasFreshLabel());
   EXPECT_DOUBLE_EQ(pool.record(0).gt, 55.0);
 }
@@ -80,11 +80,24 @@ TEST(QueryPoolTest, PruneUnlabeledGenerated) {
   EXPECT_EQ(pool.record(1).label, Source::kNew);
 }
 
-TEST(QueryPoolDeathTest, SetLabelValidation) {
+TEST(QueryPoolTest, SetLabelValidation) {
   QueryPool pool;
   pool.AppendUnlabeled({0.1}, Source::kNew);
-  EXPECT_DEATH(pool.SetLabel(5, 1.0), "WARPER_CHECK");
-  EXPECT_DEATH(pool.SetLabel(0, -2.0), "WARPER_CHECK");
+  EXPECT_EQ(pool.SetLabel(5, 1.0).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(pool.SetLabel(0, -2.0).code(), StatusCode::kInvalidArgument);
+  // Failed sets must not touch the record.
+  EXPECT_FALSE(pool.record(0).HasLabel());
+}
+
+TEST(QueryPoolTest, GetRecordBoundsChecked) {
+  QueryPool pool;
+  pool.AppendLabeled({0.1, 0.2}, 7.0, Source::kNew);
+  Result<PoolRecord> ok = pool.GetRecord(0);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_DOUBLE_EQ(ok.ValueOrDie().gt, 7.0);
+  Result<PoolRecord> bad = pool.GetRecord(1);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kOutOfRange);
 }
 
 TEST(QueryPoolDeathTest, EmptyFeaturesRejected) {

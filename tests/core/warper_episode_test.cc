@@ -67,7 +67,7 @@ TEST(WarperEpisodeTest, EpisodeContinuesAfterDeltaMDrops) {
       env.Examples(workload::GenMethod::kW1, 500);
   auto model = TrainModel(env, train, 51);
   Warper warper(&env.domain, model.get(), FastConfig());
-  warper.Initialize(train);
+  ASSERT_TRUE(warper.Initialize(train).ok());
 
   // Drive several invocations of a real drift; count how many actually
   // updated the model. With episode persistence the count should exceed the
@@ -77,7 +77,7 @@ TEST(WarperEpisodeTest, EpisodeContinuesAfterDeltaMDrops) {
   for (int step = 0; step < 4; ++step) {
     Warper::Invocation invocation;
     invocation.new_queries = env.Examples(workload::GenMethod::kW3, 48);
-    Warper::InvocationResult r = warper.Invoke(invocation);
+    Warper::InvocationResult r = warper.Invoke(invocation).ValueOrDie();
     updates += r.model_updated ? 1 : 0;
     detections += (r.delta_m_valid &&
                    r.delta_m > warper.detector().pi())
@@ -96,11 +96,11 @@ TEST(WarperEpisodeTest, GeneratorDisabledWhenNgBelowOne) {
   WarperConfig config = FastConfig();
   config.gen_fraction = 0.1;  // 0.1 × 6 arrivals < 1 → generator off (§4.3)
   Warper warper(&env.domain, model.get(), config);
-  warper.Initialize(train);
+  ASSERT_TRUE(warper.Initialize(train).ok());
 
   Warper::Invocation invocation;
   invocation.new_queries = env.Examples(workload::GenMethod::kW3, 6);
-  Warper::InvocationResult r = warper.Invoke(invocation);
+  Warper::InvocationResult r = warper.Invoke(invocation).ValueOrDie();
   if (r.mode.c2) {
     EXPECT_EQ(r.generated, 0u);
   }
@@ -112,7 +112,7 @@ TEST(WarperEpisodeTest, RepeatInvocationsConverge) {
       env.Examples(workload::GenMethod::kW1, 500);
   auto model = TrainModel(env, train, 53);
   Warper warper(&env.domain, model.get(), FastConfig());
-  warper.Initialize(train);
+  ASSERT_TRUE(warper.Initialize(train).ok());
 
   std::vector<ce::LabeledExample> test =
       env.Examples(workload::GenMethod::kW3, 120);
@@ -120,7 +120,7 @@ TEST(WarperEpisodeTest, RepeatInvocationsConverge) {
   for (int step = 0; step < 6; ++step) {
     Warper::Invocation invocation;
     invocation.new_queries = env.Examples(workload::GenMethod::kW3, 48);
-    warper.Invoke(invocation);
+    ASSERT_TRUE(warper.Invoke(invocation).ok());
   }
   double final = ce::ModelGmq(*model, test);
   EXPECT_LT(final, initial);
@@ -135,13 +135,13 @@ TEST(WarperEpisodeTest, SecondDriftRetriggersAfterEarlyStop) {
       env.Examples(workload::GenMethod::kW1, 500);
   auto model = TrainModel(env, train, 54);
   Warper warper(&env.domain, model.get(), FastConfig());
-  warper.Initialize(train);
+  ASSERT_TRUE(warper.Initialize(train).ok());
 
   // First drift to w3: adapt until quiet.
   for (int step = 0; step < 5; ++step) {
     Warper::Invocation invocation;
     invocation.new_queries = env.Examples(workload::GenMethod::kW3, 48);
-    warper.Invoke(invocation);
+    ASSERT_TRUE(warper.Invoke(invocation).ok());
   }
   // Second, different drift (w2): the model must keep adapting — either the
   // detector re-triggers a full episode, or the passive per-period refresh
@@ -153,7 +153,7 @@ TEST(WarperEpisodeTest, SecondDriftRetriggersAfterEarlyStop) {
   for (int step = 0; step < 3; ++step) {
     Warper::Invocation invocation;
     invocation.new_queries = env.Examples(workload::GenMethod::kW2, 48);
-    Warper::InvocationResult r = warper.Invoke(invocation);
+    Warper::InvocationResult r = warper.Invoke(invocation).ValueOrDie();
     updated = updated || r.model_updated;
   }
   EXPECT_TRUE(updated);
@@ -166,11 +166,11 @@ TEST(WarperEpisodeTest, InvocationResultFieldsConsistent) {
       env.Examples(workload::GenMethod::kW1, 400);
   auto model = TrainModel(env, train, 55);
   Warper warper(&env.domain, model.get(), FastConfig());
-  warper.Initialize(train);
+  ASSERT_TRUE(warper.Initialize(train).ok());
 
   Warper::Invocation invocation;
   invocation.new_queries = env.Examples(workload::GenMethod::kW4, 48);
-  Warper::InvocationResult r = warper.Invoke(invocation);
+  Warper::InvocationResult r = warper.Invoke(invocation).ValueOrDie();
   EXPECT_GE(r.delta_js, 0.0);
   EXPECT_LE(r.delta_js, 1.0);
   if (r.mode.Any()) {

@@ -68,11 +68,11 @@ TEST(WarperTest, NoDriftMeansNoAdaptationMachinery) {
       env.Examples(workload::GenMethod::kW1, 600);
   auto model = TrainModel(env, train, 1);
   Warper warper(&env.domain, model.get(), FastConfig());
-  warper.Initialize(train);
+  ASSERT_TRUE(warper.Initialize(train).ok());
 
   Warper::Invocation invocation;
   invocation.new_queries = env.Examples(workload::GenMethod::kW1, 48);
-  Warper::InvocationResult result = warper.Invoke(invocation);
+  Warper::InvocationResult result = warper.Invoke(invocation).ValueOrDie();
   EXPECT_FALSE(result.mode.Any());
   // No generation / picking / annotation — but the model still receives its
   // passive per-period refresh from the arrived labeled queries (§4.3's
@@ -88,7 +88,7 @@ TEST(WarperTest, NoDriftNoLabelsNoUpdate) {
       env.Examples(workload::GenMethod::kW1, 400);
   auto model = TrainModel(env, train, 12);
   Warper warper(&env.domain, model.get(), FastConfig());
-  warper.Initialize(train);
+  ASSERT_TRUE(warper.Initialize(train).ok());
 
   // Unlabeled same-distribution arrivals: nothing to refresh from. (With no
   // labels the detector may flag c2/c3 from δ_js alone; only assert that a
@@ -97,7 +97,7 @@ TEST(WarperTest, NoDriftNoLabelsNoUpdate) {
   invocation.new_queries =
       env.Examples(workload::GenMethod::kW1, 10, /*with_labels=*/false);
   invocation.annotation_budget = 0;
-  Warper::InvocationResult result = warper.Invoke(invocation);
+  Warper::InvocationResult result = warper.Invoke(invocation).ValueOrDie();
   if (!result.mode.Any()) {
     EXPECT_FALSE(result.model_updated);
   }
@@ -109,7 +109,7 @@ TEST(WarperTest, AdaptsToWorkloadDriftC2) {
       env.Examples(workload::GenMethod::kW1, 600);
   auto model = TrainModel(env, train, 2);
   Warper warper(&env.domain, model.get(), FastConfig());
-  warper.Initialize(train);
+  ASSERT_TRUE(warper.Initialize(train).ok());
 
   std::vector<ce::LabeledExample> test =
       env.Examples(workload::GenMethod::kW3, 100);
@@ -117,7 +117,7 @@ TEST(WarperTest, AdaptsToWorkloadDriftC2) {
 
   Warper::Invocation invocation;
   invocation.new_queries = env.Examples(workload::GenMethod::kW3, 60);
-  Warper::InvocationResult result = warper.Invoke(invocation);
+  Warper::InvocationResult result = warper.Invoke(invocation).ValueOrDie();
 
   EXPECT_TRUE(result.mode.c2);
   EXPECT_GT(result.generated, 0u);
@@ -133,13 +133,13 @@ TEST(WarperTest, HandlesUnlabeledArrivalsC3) {
       env.Examples(workload::GenMethod::kW1, 600);
   auto model = TrainModel(env, train, 3);
   Warper warper(&env.domain, model.get(), FastConfig());
-  warper.Initialize(train);
+  ASSERT_TRUE(warper.Initialize(train).ok());
 
   Warper::Invocation invocation;
   invocation.new_queries =
       env.Examples(workload::GenMethod::kW3, 60, /*with_labels=*/false);
   invocation.annotation_budget = 20;
-  Warper::InvocationResult result = warper.Invoke(invocation);
+  Warper::InvocationResult result = warper.Invoke(invocation).ValueOrDie();
   EXPECT_TRUE(result.mode.c3);
   EXPECT_LE(result.annotated, 20u);
   EXPECT_GT(result.annotated, 0u);
@@ -152,7 +152,7 @@ TEST(WarperTest, DataDriftC1MarksLabelsStaleAndReannotates) {
   auto model = TrainModel(env, train, 4);
   WarperConfig config = FastConfig();
   Warper warper(&env.domain, model.get(), config);
-  warper.Initialize(train);
+  ASSERT_TRUE(warper.Initialize(train).ok());
 
   // Drift the data.
   storage::SortTruncateHalf(&env.table,
@@ -163,7 +163,7 @@ TEST(WarperTest, DataDriftC1MarksLabelsStaleAndReannotates) {
       env.Examples(workload::GenMethod::kW1, 40, /*with_labels=*/false);
   invocation.data_changed_fraction = 1.0;
   invocation.canary_shift = 0.5;
-  Warper::InvocationResult result = warper.Invoke(invocation);
+  Warper::InvocationResult result = warper.Invoke(invocation).ValueOrDie();
   EXPECT_TRUE(result.mode.c1);
   EXPECT_GT(result.annotated, 0u);
 
@@ -183,12 +183,12 @@ TEST(WarperTest, AnnotationBudgetZeroStillUpdatesFromArrivals) {
       env.Examples(workload::GenMethod::kW1, 500);
   auto model = TrainModel(env, train, 5);
   Warper warper(&env.domain, model.get(), FastConfig());
-  warper.Initialize(train);
+  ASSERT_TRUE(warper.Initialize(train).ok());
 
   Warper::Invocation invocation;
   invocation.new_queries = env.Examples(workload::GenMethod::kW3, 60);
   invocation.annotation_budget = 0;
-  Warper::InvocationResult result = warper.Invoke(invocation);
+  Warper::InvocationResult result = warper.Invoke(invocation).ValueOrDie();
   EXPECT_EQ(result.annotated, 0u);
   EXPECT_TRUE(result.model_updated);
 }
@@ -202,11 +202,11 @@ TEST(WarperTest, UnlabeledGeneratedArePrunedBetweenInvocations) {
   config.gen_fraction = 0.5;  // generate plenty
   config.n_p = 5;             // annotate almost none
   Warper warper(&env.domain, model.get(), config);
-  warper.Initialize(train);
+  ASSERT_TRUE(warper.Initialize(train).ok());
 
   Warper::Invocation invocation;
   invocation.new_queries = env.Examples(workload::GenMethod::kW3, 60);
-  warper.Invoke(invocation);
+  ASSERT_TRUE(warper.Invoke(invocation).ok());
   for (size_t i : warper.pool().IndicesBySource(Source::kGen)) {
     EXPECT_TRUE(warper.pool().record(i).HasLabel());
   }
@@ -218,25 +218,69 @@ TEST(WarperTest, CpuAccountingNonZeroAfterAdaptation) {
       env.Examples(workload::GenMethod::kW1, 400);
   auto model = TrainModel(env, train, 7);
   Warper warper(&env.domain, model.get(), FastConfig());
-  warper.Initialize(train);
+  ASSERT_TRUE(warper.Initialize(train).ok());
   EXPECT_GT(warper.cpu().TotalSeconds(), 0.0);
 }
 
-TEST(WarperDeathTest, RequiresTrainedModel) {
+TEST(WarperStatusTest, InitializeRequiresTrainedModel) {
   Env env(8);
   ce::LmMlp model(env.domain.FeatureDim(), ce::LmMlpConfig{}, 8);
   Warper warper(&env.domain, &model, FastConfig());
-  EXPECT_DEATH(warper.Initialize({{std::vector<double>(16, 0.5), 10}}),
-               "train M first");
+  Status st = warper.Initialize({{std::vector<double>(16, 0.5), 10}});
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(st.message().find("train M first"), std::string::npos);
 }
 
-TEST(WarperDeathTest, InvokeBeforeInitialize) {
+TEST(WarperStatusTest, InvokeBeforeInitializeFails) {
   Env env(9);
   std::vector<ce::LabeledExample> train =
       env.Examples(workload::GenMethod::kW1, 200);
   auto model = TrainModel(env, train, 9);
   Warper warper(&env.domain, model.get(), FastConfig());
-  EXPECT_DEATH(warper.Invoke({}), "Initialize");
+  Result<Warper::InvocationResult> r = warper.Invoke({});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(r.status().message().find("Initialize"), std::string::npos);
+}
+
+TEST(WarperStatusTest, InitializeRejectsBadConfig) {
+  Env env(10);
+  std::vector<ce::LabeledExample> train =
+      env.Examples(workload::GenMethod::kW1, 200);
+  auto model = TrainModel(env, train, 10);
+  WarperConfig config = FastConfig();
+  config.hidden_units = 0;
+  Warper warper(&env.domain, model.get(), config);
+  Status st = warper.Initialize(train);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("hidden_units"), std::string::npos);
+}
+
+TEST(WarperStatusTest, InitializeRejectsMismatchedFeatureDim) {
+  Env env(11);
+  std::vector<ce::LabeledExample> train =
+      env.Examples(workload::GenMethod::kW1, 200);
+  auto model = TrainModel(env, train, 11);
+  Warper warper(&env.domain, model.get(), FastConfig());
+  std::vector<ce::LabeledExample> bad = train;
+  bad.back().features.push_back(0.0);
+  Status st = warper.Initialize(bad);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WarperStatusTest, InvokeRejectsMismatchedFeatureDim) {
+  Env env(13);
+  std::vector<ce::LabeledExample> train =
+      env.Examples(workload::GenMethod::kW1, 200);
+  auto model = TrainModel(env, train, 13);
+  Warper warper(&env.domain, model.get(), FastConfig());
+  ASSERT_TRUE(warper.Initialize(train).ok());
+
+  Warper::Invocation invocation;
+  invocation.new_queries = {{std::vector<double>(3, 0.5), 10}};
+  Result<Warper::InvocationResult> r = warper.Invoke(invocation);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
 }
 
 }  // namespace

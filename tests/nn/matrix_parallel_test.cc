@@ -1,0 +1,121 @@
+// The parallel matrix kernels must be bit-identical to their serial
+// counterparts: they split *output rows* across the pool while keeping the
+// per-element accumulation order unchanged, so equality is exact, not
+// approximate.
+#include <gtest/gtest.h>
+
+#include "nn/matrix.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace warper::nn {
+namespace {
+
+Matrix RandomMatrix(size_t rows, size_t cols, util::Rng* rng) {
+  Matrix m(rows, cols);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      m.At(r, c) = rng->Uniform() * 2.0 - 1.0;
+    }
+  }
+  return m;
+}
+
+// Installs a serial / parallel kernel policy for the duration of a test and
+// restores the serial default afterwards.
+class MatrixParallelTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    util::ParallelConfig serial;
+    serial.threads = 1;
+    SetMatrixParallelism(serial);
+  }
+
+  static void UseSerial() {
+    util::ParallelConfig config;
+    config.threads = 1;
+    SetMatrixParallelism(config);
+  }
+
+  static void UseParallel(int threads) {
+    util::ParallelConfig config;
+    config.threads = threads;
+    util::ThreadPool::Configure(config);
+    SetMatrixParallelism(config);
+  }
+};
+
+TEST_F(MatrixParallelTest, PolicyReflectsConfig) {
+  UseParallel(4);
+  EXPECT_EQ(matrix_parallel_policy().threads, 4);
+  UseSerial();
+  EXPECT_EQ(matrix_parallel_policy().threads, 1);
+}
+
+// Shapes large enough to clear the min_madds threshold so the parallel path
+// actually runs (128·96·64 ≈ 786k madds > 2^17).
+TEST_F(MatrixParallelTest, MatMulBitIdentical) {
+  util::Rng rng(7);
+  Matrix a = RandomMatrix(128, 96, &rng);
+  Matrix b = RandomMatrix(96, 64, &rng);
+
+  UseSerial();
+  Matrix expected = a.MatMul(b);
+  UseParallel(4);
+  Matrix actual = a.MatMul(b);
+  EXPECT_EQ(actual.data(), expected.data());
+}
+
+TEST_F(MatrixParallelTest, TransposeMatMulBitIdentical) {
+  util::Rng rng(8);
+  Matrix a = RandomMatrix(96, 128, &rng);
+  Matrix b = RandomMatrix(96, 64, &rng);
+
+  UseSerial();
+  Matrix expected = a.TransposeMatMul(b);
+  UseParallel(4);
+  Matrix actual = a.TransposeMatMul(b);
+  EXPECT_EQ(actual.data(), expected.data());
+}
+
+TEST_F(MatrixParallelTest, MatMulTransposeBitIdentical) {
+  util::Rng rng(9);
+  Matrix a = RandomMatrix(128, 96, &rng);
+  Matrix b = RandomMatrix(64, 96, &rng);
+
+  UseSerial();
+  Matrix expected = a.MatMulTranspose(b);
+  UseParallel(4);
+  Matrix actual = a.MatMulTranspose(b);
+  EXPECT_EQ(actual.data(), expected.data());
+}
+
+TEST_F(MatrixParallelTest, RepeatedParallelRunsAreStable) {
+  util::Rng rng(10);
+  Matrix a = RandomMatrix(128, 96, &rng);
+  Matrix b = RandomMatrix(96, 64, &rng);
+
+  UseParallel(4);
+  Matrix first = a.MatMul(b);
+  for (int run = 0; run < 3; ++run) {
+    Matrix again = a.MatMul(b);
+    EXPECT_EQ(again.data(), first.data());
+  }
+}
+
+TEST_F(MatrixParallelTest, SmallProductsStaySerialAndCorrect) {
+  util::Rng rng(11);
+  // 8·8·8 madds sit far below min_madds: the parallel policy must fall back
+  // to the serial kernel and still produce the same result.
+  Matrix a = RandomMatrix(8, 8, &rng);
+  Matrix b = RandomMatrix(8, 8, &rng);
+
+  UseSerial();
+  Matrix expected = a.MatMul(b);
+  UseParallel(4);
+  Matrix actual = a.MatMul(b);
+  EXPECT_EQ(actual.data(), expected.data());
+}
+
+}  // namespace
+}  // namespace warper::nn

@@ -96,12 +96,12 @@ TEST(EndToEndTest, AdaptationReducesLatencyPenalty) {
   config.n_i = 50;
   config.n_p = 300;
   core::Warper warper(&domain, &model, config);
-  warper.Initialize(train);
+  ASSERT_TRUE(warper.Initialize(train).ok());
   for (int step = 0; step < 3; ++step) {
     core::Warper::Invocation invocation;
     invocation.new_queries =
         make_examples(workload::GenMethod::kW3, 48, drifted_opts);
-    warper.Invoke(invocation);
+    ASSERT_TRUE(warper.Invoke(invocation).ok());
   }
 
   double penalty_after = latency_penalty();
