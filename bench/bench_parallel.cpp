@@ -10,7 +10,9 @@
 #include "bench_common.h"
 
 #include <algorithm>
+#include <fstream>
 #include <sstream>
+#include <string>
 #include <vector>
 
 #include "core/config.h"
@@ -120,10 +122,11 @@ KernelRow BenchAnnotation(size_t rows, size_t num_preds, int repeats) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::BenchInit();
   bool fast = bench::FastMode();
   int repeats = fast ? 3 : 7;
+  std::string out_path = argc > 1 ? argv[1] : "BENCH_parallel.json";
 
   std::vector<KernelRow> rows;
   rows.push_back(BenchMatMul(256, 256, 256, repeats));
@@ -146,6 +149,11 @@ int main() {
   }
   json << "  ]\n}\n";
   std::cout << json.str();
+  // Persist alongside stdout so CI can archive the perf trajectory.
+  std::ofstream out(out_path);
+  out << json.str();
+  out.close();
+  std::cerr << "wrote " << out_path << "\n";
 
   // Non-zero exit when determinism is violated, so CI catches it even
   // without parsing the JSON.

@@ -195,7 +195,7 @@ void Mscn::Fit(const nn::Matrix& x, const std::vector<double>& y, int epochs) {
       nn::Matrix xb(end - start, x.cols());
       nn::Matrix yb(end - start, 1);
       for (size_t i = start; i < end; ++i) {
-        xb.SetRow(i - start, x.Row(order[i]));
+        xb.CopyRowFrom(i - start, x, order[i]);
         yb.At(i - start, 0) = y[order[i]];
       }
 

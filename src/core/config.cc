@@ -4,6 +4,8 @@
 #include <string>
 
 #include "nn/matrix.h"
+#include "util/cpu_features.h"
+#include "util/logging.h"
 #include "util/thread_pool.h"
 
 namespace warper::core {
@@ -61,6 +63,11 @@ Status WarperConfig::Validate() const {
 void ApplyParallelConfig(const util::ParallelConfig& config) {
   util::ThreadPool::Configure(config);
   nn::SetMatrixParallelism(config);
+  WARPER_LOG(Info) << "parallel config applied: threads="
+                   << config.ResolvedThreads() << " deterministic="
+                   << (config.deterministic ? "true" : "false")
+                   << " simd=" << util::SimdModeName(config.simd)
+                   << " -> nn kernels: " << nn::ActiveKernelName();
 }
 
 }  // namespace warper::core

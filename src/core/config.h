@@ -88,7 +88,11 @@ struct WarperConfig {
   // --- Parallel execution (tech report: "many calls can be parallelized") —
   // one struct governs the shared thread pool, the nn::Matrix kernels and
   // the batch-annotation fan-out. The default (threads = 0) uses every core;
-  // set threads = 1 for fully serial runs.
+  // set threads = 1 for fully serial runs. `parallel.simd` picks the dense-
+  // kernel instruction set: with the default (kAuto + deterministic=true)
+  // the scalar reference kernels run, bit-exact across machines; set
+  // deterministic=false to let adaptation episodes use the AVX2+FMA kernels
+  // (same math to ~1e-12 relative tolerance — see DESIGN.md).
   util::ParallelConfig parallel;
 
   uint64_t seed = 42;

@@ -185,7 +185,9 @@ GanTrainStats WarperModels::UpdateMultiTask(const QueryPool& pool,
           rng_.UniformInt(0, static_cast<int64_t>(seed_z.rows()) - 1));
     }
     nn::Matrix base(half_batch, seed_z.cols());
-    for (size_t i = 0; i < half_batch; ++i) base.SetRow(i, seed_z.Row(seed_rows[i]));
+    for (size_t i = 0; i < half_batch; ++i) {
+      base.CopyRowFrom(i, seed_z, seed_rows[i]);
+    }
     nn::Matrix gen_features =
         generator_->Generate(Generator::PerturbEmbeddings(base, &rng_));
     nn::Matrix gen_inputs = GeneratedToEncoderInput(gen_features);
@@ -195,11 +197,11 @@ GanTrainStats WarperModels::UpdateMultiTask(const QueryPool& pool,
                         real_inputs.cols());
     std::vector<size_t> d_labels(d_inputs.rows());
     for (size_t i = 0; i < real_inputs.rows(); ++i) {
-      d_inputs.SetRow(i, real_inputs.Row(i));
+      d_inputs.CopyRowFrom(i, real_inputs, i);
       d_labels[i] = static_cast<size_t>(pool.record(real_batch[i]).label);
     }
     for (size_t i = 0; i < gen_inputs.rows(); ++i) {
-      d_inputs.SetRow(real_inputs.rows() + i, gen_inputs.Row(i));
+      d_inputs.CopyRowFrom(real_inputs.rows() + i, gen_inputs, i);
       d_labels[real_inputs.rows() + i] = static_cast<size_t>(Source::kGen);
     }
 
@@ -217,8 +219,9 @@ GanTrainStats WarperModels::UpdateMultiTask(const QueryPool& pool,
     // --- Generator step: make D classify generated queries as `new`. ---
     nn::Matrix base2(config_.batch_size, seed_z.cols());
     for (size_t i = 0; i < config_.batch_size; ++i) {
-      base2.SetRow(i, seed_z.Row(static_cast<size_t>(rng_.UniformInt(
-                       0, static_cast<int64_t>(seed_z.rows()) - 1))));
+      base2.CopyRowFrom(i, seed_z,
+                        static_cast<size_t>(rng_.UniformInt(
+                            0, static_cast<int64_t>(seed_z.rows()) - 1)));
     }
     nn::Matrix g_input = Generator::PerturbEmbeddings(base2, &rng_);
 
@@ -260,8 +263,9 @@ std::vector<std::vector<double>> WarperModels::GenerateQueries(
   nn::Matrix seed_z = SeedEmbeddings(pool);
   nn::Matrix base(n, seed_z.cols());
   for (size_t i = 0; i < n; ++i) {
-    base.SetRow(i, seed_z.Row(static_cast<size_t>(rng_.UniformInt(
-                     0, static_cast<int64_t>(seed_z.rows()) - 1))));
+    base.CopyRowFrom(i, seed_z,
+                     static_cast<size_t>(rng_.UniformInt(
+                         0, static_cast<int64_t>(seed_z.rows()) - 1)));
   }
   nn::Matrix features =
       generator_->Generate(Generator::PerturbEmbeddings(base, &rng_));

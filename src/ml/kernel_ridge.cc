@@ -43,7 +43,7 @@ void KernelRidgeRegressor::Fit(const nn::Matrix& x,
   anchors_ = nn::Matrix(m, x.cols());
   nn::Matrix targets(m, 1);
   for (size_t i = 0; i < m; ++i) {
-    anchors_.SetRow(i, x.Row(rows[i]));
+    anchors_.CopyRowFrom(i, x, rows[i]);
     targets.At(i, 0) = y[rows[i]];
   }
 

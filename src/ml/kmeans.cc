@@ -31,13 +31,13 @@ KMeansResult KMeans(const nn::Matrix& points, size_t k, util::Rng* rng,
   nn::Matrix centroids(k, d);
   std::vector<double> min_dist(n, std::numeric_limits<double>::infinity());
   size_t first = static_cast<size_t>(rng->UniformInt(0, static_cast<int64_t>(n) - 1));
-  centroids.SetRow(0, points.Row(first));
+  centroids.CopyRowFrom(0, points, first);
   for (size_t c = 1; c < k; ++c) {
     for (size_t i = 0; i < n; ++i) {
       min_dist[i] = std::min(min_dist[i], SquaredDistance(points, i, centroids, c - 1));
     }
     size_t chosen = rng->Categorical(min_dist);
-    centroids.SetRow(c, points.Row(chosen));
+    centroids.CopyRowFrom(c, points, chosen);
   }
 
   KMeansResult result;

@@ -44,7 +44,7 @@ void Pca::Fit(const nn::Matrix& samples, size_t num_components) {
   for (size_t i = 0; i < d; ++i) total += std::max(eig.values[i], 0.0);
   for (size_t i = 0; i < num_components; ++i) {
     kept += std::max(eig.values[i], 0.0);
-    components_.SetRow(i, eig.vectors.Row(i));
+    components_.CopyRowFrom(i, eig.vectors, i);
   }
   explained_ = total > 0.0 ? kept / total : 1.0;
 }

@@ -2,7 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 
+#include "nn/kernels.h"
+#include "util/cpu_features.h"
+#include "util/logging.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -10,6 +16,54 @@ namespace warper::nn {
 namespace {
 
 MatrixParallelPolicy g_policy;
+
+// The installed dispatch table. Scalar until SetMatrixParallelism says
+// otherwise, matching the deterministic default ParallelConfig.
+const internal::KernelTable* g_kernels = &internal::ScalarKernels();
+
+// Resolves the config (plus the WARPER_SIMD env refinement of kAuto) to a
+// kernel table. kAvx2 on hardware without AVX2+FMA falls back to scalar with
+// a warning — ParallelConfig::Validate already rejects that combination on
+// the API path, so this only triggers for callers that skip validation.
+const internal::KernelTable* ResolveKernels(const util::ParallelConfig& c) {
+  util::SimdMode mode = c.simd;
+  if (mode == util::SimdMode::kAuto) {
+    if (const char* env = std::getenv("WARPER_SIMD")) {
+      std::string value(env);
+      if (value == "scalar") {
+        mode = util::SimdMode::kScalar;
+      } else if (value == "avx2") {
+        mode = util::SimdMode::kAvx2;
+      } else if (!value.empty() && value != "auto") {
+        WARPER_LOG(Warn) << "ignoring unknown WARPER_SIMD value '" << value
+                         << "' (want scalar|avx2|auto)";
+      }
+    }
+  }
+  switch (mode) {
+    case util::SimdMode::kScalar:
+      return &internal::ScalarKernels();
+    case util::SimdMode::kAvx2:
+      if (util::BestSupportedSimdLevel() != util::SimdLevel::kAvx2 ||
+          !internal::Avx2KernelsCompiled()) {
+        WARPER_LOG(Warn) << "simd=avx2 requested but unavailable ("
+                         << (internal::Avx2KernelsCompiled()
+                                 ? "CPU lacks AVX2+FMA"
+                                 : "binary built without AVX2 kernels")
+                         << "); using scalar kernels";
+        return &internal::ScalarKernels();
+      }
+      return &internal::Avx2Kernels();
+    case util::SimdMode::kAuto:
+      break;
+  }
+  if (c.deterministic) return &internal::ScalarKernels();
+  if (util::BestSupportedSimdLevel() == util::SimdLevel::kAvx2 &&
+      internal::Avx2KernelsCompiled()) {
+    return &internal::Avx2Kernels();
+  }
+  return &internal::ScalarKernels();
+}
 
 // True when an (m × n × k) product is worth dispatching to the pool.
 bool UseParallel(size_t out_rows, size_t madds) {
@@ -29,9 +83,12 @@ void ForOutputRows(size_t rows, const std::function<void(size_t, size_t)>& fn) {
 void SetMatrixParallelism(const util::ParallelConfig& config) {
   g_policy.threads = config.ResolvedThreads();
   g_policy.grain_rows = std::max<size_t>(1, config.grain / 32);
+  g_kernels = ResolveKernels(config);
 }
 
 const MatrixParallelPolicy& matrix_parallel_policy() { return g_policy; }
+
+const char* ActiveKernelName() { return g_kernels->name; }
 
 Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
   WARPER_CHECK(!rows.empty());
@@ -71,78 +128,46 @@ void Matrix::SetRow(size_t r, const std::vector<double>& values) {
   for (size_t c = 0; c < cols_; ++c) data_[r * cols_ + c] = values[c];
 }
 
-namespace {
-
-// B-row block height for the k-blocked kernels: one block of B rows stays
-// L2-resident while every output row of the slice streams over it.
-constexpr size_t kKBlock = 256;
-
-// out[r0..r1) += A[r0..r1) × B, i-k-j order with k blocked. Per-element
-// accumulation order is k ascending — identical for any row partition.
-void MatMulRange(const std::vector<double>& a, size_t a_cols,
-                 const std::vector<double>& b, size_t b_cols,
-                 std::vector<double>* out, size_t r0, size_t r1) {
-  for (size_t kb = 0; kb < a_cols; kb += kKBlock) {
-    size_t kend = std::min(a_cols, kb + kKBlock);
-    for (size_t i = r0; i < r1; ++i) {
-      double* orow = &(*out)[i * b_cols];
-      for (size_t k = kb; k < kend; ++k) {
-        double av = a[i * a_cols + k];
-        if (av == 0.0) continue;
-        const double* brow = &b[k * b_cols];
-        for (size_t j = 0; j < b_cols; ++j) orow[j] += av * brow[j];
-      }
-    }
-  }
+void Matrix::CopyRowFrom(size_t dst_row, const Matrix& src, size_t src_row) {
+  WARPER_CHECK(dst_row < rows_ && src_row < src.rows_ && cols_ == src.cols_);
+  if (cols_ == 0) return;
+  std::memcpy(&data_[dst_row * cols_], &src.data_[src_row * cols_],
+              cols_ * sizeof(double));
 }
-
-// out[i0..i1) += Aᵀ[i0..i1) × B where i indexes columns of A; the reduction
-// over A's rows k stays ascending per element.
-void TransposeMatMulRange(const std::vector<double>& a, size_t a_rows,
-                          size_t a_cols, const std::vector<double>& b,
-                          size_t b_cols, std::vector<double>* out, size_t i0,
-                          size_t i1) {
-  for (size_t kb = 0; kb < a_rows; kb += kKBlock) {
-    size_t kend = std::min(a_rows, kb + kKBlock);
-    for (size_t k = kb; k < kend; ++k) {
-      const double* arow = &a[k * a_cols];
-      const double* brow = &b[k * b_cols];
-      for (size_t i = i0; i < i1; ++i) {
-        double av = arow[i];
-        if (av == 0.0) continue;
-        double* orow = &(*out)[i * b_cols];
-        for (size_t j = 0; j < b_cols; ++j) orow[j] += av * brow[j];
-      }
-    }
-  }
-}
-
-// out[r0..r1) = A[r0..r1) × Bᵀ (independent dot products per element).
-void MatMulTransposeRange(const std::vector<double>& a, size_t a_cols,
-                          const std::vector<double>& b, size_t b_rows,
-                          std::vector<double>* out, size_t r0, size_t r1) {
-  for (size_t i = r0; i < r1; ++i) {
-    const double* arow = &a[i * a_cols];
-    for (size_t j = 0; j < b_rows; ++j) {
-      const double* brow = &b[j * a_cols];
-      double acc = 0.0;
-      for (size_t k = 0; k < a_cols; ++k) acc += arow[k] * brow[k];
-      (*out)[i * b_rows + j] = acc;
-    }
-  }
-}
-
-}  // namespace
 
 Matrix Matrix::MatMul(const Matrix& other) const {
   WARPER_CHECK_MSG(cols_ == other.rows_, "MatMul shape mismatch: (" << rows_
                        << "x" << cols_ << ") x (" << other.rows_ << "x"
                        << other.cols_ << ")");
   Matrix out(rows_, other.cols_);
+  const internal::KernelTable* kernels = g_kernels;
   auto kernel = [&](size_t r0, size_t r1) {
-    MatMulRange(data_, cols_, other.data_, other.cols_, &out.data_, r0, r1);
+    kernels->matmul_range(data_.data(), cols_, other.data_.data(), other.cols_,
+                          out.data_.data(), r0, r1);
   };
   if (UseParallel(rows_, rows_ * cols_ * other.cols_)) {
+    ForOutputRows(rows_, kernel);
+  } else {
+    kernel(0, rows_);
+  }
+  return out;
+}
+
+Matrix Matrix::MatMulBiasAct(const Matrix& w, const std::vector<double>& bias,
+                             Activation act) const {
+  WARPER_CHECK_MSG(cols_ == w.rows_, "MatMulBiasAct shape mismatch: ("
+                       << rows_ << "x" << cols_ << ") x (" << w.rows_ << "x"
+                       << w.cols_ << ")");
+  WARPER_CHECK(bias.size() == w.cols_);
+  Matrix out(rows_, w.cols_);
+  const internal::KernelTable* kernels = g_kernels;
+  auto kernel = [&](size_t r0, size_t r1) {
+    kernels->matmul_range(data_.data(), cols_, w.data_.data(), w.cols_,
+                          out.data_.data(), r0, r1);
+    kernels->bias_act_range(out.data_.data(), w.cols_, bias.data(), act, r0,
+                            r1);
+  };
+  if (UseParallel(rows_, rows_ * cols_ * w.cols_)) {
     ForOutputRows(rows_, kernel);
   } else {
     kernel(0, rows_);
@@ -153,9 +178,11 @@ Matrix Matrix::MatMul(const Matrix& other) const {
 Matrix Matrix::TransposeMatMul(const Matrix& other) const {
   WARPER_CHECK(rows_ == other.rows_);
   Matrix out(cols_, other.cols_);
+  const internal::KernelTable* kernels = g_kernels;
   auto kernel = [&](size_t i0, size_t i1) {
-    TransposeMatMulRange(data_, rows_, cols_, other.data_, other.cols_,
-                         &out.data_, i0, i1);
+    kernels->transpose_matmul_range(data_.data(), rows_, cols_,
+                                    other.data_.data(), other.cols_,
+                                    out.data_.data(), i0, i1);
   };
   if (UseParallel(cols_, rows_ * cols_ * other.cols_)) {
     ForOutputRows(cols_, kernel);
@@ -168,9 +195,10 @@ Matrix Matrix::TransposeMatMul(const Matrix& other) const {
 Matrix Matrix::MatMulTranspose(const Matrix& other) const {
   WARPER_CHECK(cols_ == other.cols_);
   Matrix out(rows_, other.rows_);
+  const internal::KernelTable* kernels = g_kernels;
   auto kernel = [&](size_t r0, size_t r1) {
-    MatMulTransposeRange(data_, cols_, other.data_, other.rows_, &out.data_,
-                         r0, r1);
+    kernels->matmul_transpose_range(data_.data(), cols_, other.data_.data(),
+                                    other.rows_, out.data_.data(), r0, r1);
   };
   if (UseParallel(rows_, rows_ * cols_ * other.rows_)) {
     ForOutputRows(rows_, kernel);
@@ -206,28 +234,28 @@ void Matrix::MulElem(const Matrix& other) {
 }
 
 void Matrix::Scale(double s) {
-  for (double& v : data_) v *= s;
+  g_kernels->scale(data_.data(), data_.size(), s);
 }
 
 void Matrix::AddRowBroadcast(const std::vector<double>& bias) {
   WARPER_CHECK(bias.size() == cols_);
-  for (size_t r = 0; r < rows_; ++r) {
-    for (size_t c = 0; c < cols_; ++c) data_[r * cols_ + c] += bias[c];
-  }
+  g_kernels->add_row_broadcast(data_.data(), rows_, cols_, bias.data());
 }
 
 std::vector<double> Matrix::ColumnSums() const {
   std::vector<double> sums(cols_, 0.0);
-  for (size_t r = 0; r < rows_; ++r) {
-    for (size_t c = 0; c < cols_; ++c) sums[c] += data_[r * cols_ + c];
-  }
+  g_kernels->column_sums(data_.data(), rows_, cols_, sums.data());
   return sums;
 }
 
 double Matrix::SquaredNorm() const {
-  double acc = 0.0;
-  for (double v : data_) acc += v * v;
-  return acc;
+  return g_kernels->squared_norm(data_.data(), data_.size());
+}
+
+void ActivationGradInPlace(Activation act, const Matrix& post, Matrix* grad) {
+  WARPER_CHECK(post.rows() == grad->rows() && post.cols() == grad->cols());
+  g_kernels->act_grad(act, post.data().data(), grad->data().data(),
+                      grad->data().size());
 }
 
 }  // namespace warper::nn

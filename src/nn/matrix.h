@@ -1,22 +1,48 @@
 // Dense row-major matrix of doubles — the numeric workhorse of the NN and
 // classic-ML substrates. Deliberately minimal: just the operations the
 // training loops need, with bounds checks in debug builds.
+//
+// Every numeric inner loop dispatches through a process-wide kernel table
+// (scalar reference or AVX2+FMA; see nn/kernels.h) selected by
+// SetMatrixParallelism from util::ParallelConfig: deterministic configs pin
+// the scalar reference kernels (bit-exact, portable), non-deterministic
+// configs take the best instruction set the CPU supports, and the
+// ParallelConfig::simd override pins a path for tests and benches.
 #ifndef WARPER_NN_MATRIX_H_
 #define WARPER_NN_MATRIX_H_
 
 #include <cstddef>
 #include <vector>
 
+#include "util/aligned.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
 namespace warper::nn {
 
+// Matrix backing store: 64-byte (cache-line) aligned so SIMD kernels and
+// packed panels start on a vector boundary. Interchangeable with
+// std::vector<double> except for the allocator template argument.
+using AlignedVector = std::vector<double, util::AlignedAllocator<double, 64>>;
+
+// Activations the fused GEMM epilogue supports. Defined here (not mlp.h) so
+// the kernel layer can fuse bias + activation into the GEMM output pass;
+// mlp.h re-exports it unchanged for all existing call sites.
+enum class Activation {
+  kIdentity,
+  kRelu,
+  kLeakyRelu,  // slope 0.01, as in the paper's Table 3
+  kSigmoid,
+  kTanh,
+};
+
+inline constexpr double kLeakyReluSlope = 0.01;
+
 // Process-wide policy for the parallel matrix kernels. MatMul and friends
 // split their *output rows* across the shared util::ThreadPool when the
-// product is large enough; per-element accumulation order is unchanged, so
-// parallel results are bit-identical to the serial kernels regardless of the
-// deterministic flag.
+// product is large enough; per-element accumulation order is fixed by the
+// installed kernel table alone (never by the partition), so parallel results
+// are bit-identical to serial results on both the scalar and SIMD paths.
 struct MatrixParallelPolicy {
   // Kernel-level switch derived from util::ParallelConfig (1 = serial).
   int threads = 1;
@@ -27,10 +53,15 @@ struct MatrixParallelPolicy {
   size_t grain_rows = 8;
 };
 
-// Installs the kernel policy (typically from WarperConfig::parallel via
-// core::ApplyParallelConfig). Not thread-safe against concurrent MatMul.
+// Installs the kernel policy *and* the dispatch table (typically from
+// WarperConfig::parallel via core::ApplyParallelConfig). Not thread-safe
+// against concurrent MatMul. Until first called, the scalar reference
+// kernels are active (matching the deterministic default config).
 void SetMatrixParallelism(const util::ParallelConfig& config);
 const MatrixParallelPolicy& matrix_parallel_policy();
+
+// Name of the installed kernel table: "scalar" or "avx2".
+const char* ActiveKernelName();
 
 class Matrix {
  public:
@@ -49,15 +80,23 @@ class Matrix {
   double& At(size_t r, size_t c);
   double At(size_t r, size_t c) const;
 
-  const std::vector<double>& data() const { return data_; }
-  std::vector<double>& data() { return data_; }
+  const AlignedVector& data() const { return data_; }
+  AlignedVector& data() { return data_; }
 
   // Returns row r as a vector (copy).
   std::vector<double> Row(size_t r) const;
   void SetRow(size_t r, const std::vector<double>& values);
+  // Copies src's row src_row into this matrix's row dst_row without the
+  // temporary vector Row()+SetRow() would materialize. Widths must match.
+  void CopyRowFrom(size_t dst_row, const Matrix& src, size_t src_row);
 
   // C = this × other. Requires cols() == other.rows().
   Matrix MatMul(const Matrix& other) const;
+  // C = act(this × w + bias), the bias/activation epilogue fused into the
+  // GEMM output pass (one cache-hot sweep instead of three). Arithmetic per
+  // element is identical to MatMul + AddRowBroadcast + activation.
+  Matrix MatMulBiasAct(const Matrix& w, const std::vector<double>& bias,
+                       Activation act) const;
   // C = thisᵀ × other.
   Matrix TransposeMatMul(const Matrix& other) const;
   // C = this × otherᵀ.
@@ -82,8 +121,12 @@ class Matrix {
 
  private:
   size_t rows_, cols_;
-  std::vector<double> data_;
+  AlignedVector data_;
 };
+
+// grad ⊙= act'(post) given the *post*-activation values (every supported
+// activation admits this form). The backward mate of the fused epilogue.
+void ActivationGradInPlace(Activation act, const Matrix& post, Matrix* grad);
 
 }  // namespace warper::nn
 

@@ -6,10 +6,6 @@
 
 namespace warper::nn {
 
-namespace {
-constexpr double kLeakySlope = 0.01;
-}  // namespace
-
 Mlp::Mlp(const MlpConfig& config, util::Rng* rng) : config_(config) {
   WARPER_CHECK_MSG(config.layer_sizes.size() >= 2,
                    "MLP needs at least input and output sizes");
@@ -29,49 +25,6 @@ Mlp::Mlp(const MlpConfig& config, util::Rng* rng) : config_(config) {
   }
 }
 
-void Mlp::ApplyActivation(Activation act, Matrix* m) {
-  switch (act) {
-    case Activation::kIdentity:
-      return;
-    case Activation::kRelu:
-      for (double& v : m->data()) v = v > 0.0 ? v : 0.0;
-      return;
-    case Activation::kLeakyRelu:
-      for (double& v : m->data()) v = v > 0.0 ? v : kLeakySlope * v;
-      return;
-    case Activation::kSigmoid:
-      for (double& v : m->data()) v = 1.0 / (1.0 + std::exp(-v));
-      return;
-    case Activation::kTanh:
-      for (double& v : m->data()) v = std::tanh(v);
-      return;
-  }
-}
-
-void Mlp::ActivationBackward(Activation act, const Matrix& post, Matrix* grad) {
-  WARPER_CHECK(post.rows() == grad->rows() && post.cols() == grad->cols());
-  auto& g = grad->data();
-  const auto& p = post.data();
-  switch (act) {
-    case Activation::kIdentity:
-      return;
-    case Activation::kRelu:
-      for (size_t i = 0; i < g.size(); ++i) g[i] *= p[i] > 0.0 ? 1.0 : 0.0;
-      return;
-    case Activation::kLeakyRelu:
-      for (size_t i = 0; i < g.size(); ++i) {
-        g[i] *= p[i] > 0.0 ? 1.0 : kLeakySlope;
-      }
-      return;
-    case Activation::kSigmoid:
-      for (size_t i = 0; i < g.size(); ++i) g[i] *= p[i] * (1.0 - p[i]);
-      return;
-    case Activation::kTanh:
-      for (size_t i = 0; i < g.size(); ++i) g[i] *= 1.0 - p[i] * p[i];
-      return;
-  }
-}
-
 Matrix Mlp::Forward(const Matrix& input) {
   WARPER_CHECK_MSG(input.cols() == input_size(),
                    "MLP forward: got " << input.cols() << " features, expect "
@@ -81,11 +34,10 @@ Matrix Mlp::Forward(const Matrix& input) {
   Matrix x = input;
   for (size_t i = 0; i < layers_.size(); ++i) {
     cached_inputs_.push_back(x);
-    Matrix y = x.MatMul(layers_[i].w);
-    y.AddRowBroadcast(layers_[i].b);
     Activation act = (i + 1 == layers_.size()) ? config_.output_activation
                                                : config_.hidden_activation;
-    ApplyActivation(act, &y);
+    // Fused GEMM + bias + activation: one pass over the layer output.
+    Matrix y = x.MatMulBiasAct(layers_[i].w, layers_[i].b, act);
     cached_outputs_.push_back(y);
     x = std::move(y);
   }
@@ -96,12 +48,9 @@ Matrix Mlp::Predict(const Matrix& input) const {
   WARPER_CHECK(input.cols() == input_size());
   Matrix x = input;
   for (size_t i = 0; i < layers_.size(); ++i) {
-    Matrix y = x.MatMul(layers_[i].w);
-    y.AddRowBroadcast(layers_[i].b);
     Activation act = (i + 1 == layers_.size()) ? config_.output_activation
                                                : config_.hidden_activation;
-    ApplyActivation(act, &y);
-    x = std::move(y);
+    x = x.MatMulBiasAct(layers_[i].w, layers_[i].b, act);
   }
   return x;
 }
@@ -113,7 +62,7 @@ Matrix Mlp::Backward(const Matrix& grad_output) {
   for (size_t i = layers_.size(); i-- > 0;) {
     Activation act = (i + 1 == layers_.size()) ? config_.output_activation
                                                : config_.hidden_activation;
-    ActivationBackward(act, cached_outputs_[i], &grad);
+    ActivationGradInPlace(act, cached_outputs_[i], &grad);
     // dW += Xᵀ · dY; db += colsum(dY); dX = dY · Wᵀ.
     Matrix gw = cached_inputs_[i].TransposeMatMul(grad);
     layers_[i].gw.Add(gw);

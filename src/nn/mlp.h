@@ -13,13 +13,8 @@
 
 namespace warper::nn {
 
-enum class Activation {
-  kIdentity,
-  kRelu,
-  kLeakyRelu,  // slope 0.01, as in the paper's Table 3
-  kSigmoid,
-  kTanh,
-};
+// nn::Activation lives in matrix.h (the kernel layer fuses it into the GEMM
+// epilogue) and is re-exported here unchanged for existing call sites.
 
 struct MlpConfig {
   // Sizes including input and output, e.g. {in, 128, 128, 128, out}.
@@ -86,12 +81,6 @@ class Mlp {
     Matrix mw, vw;
     std::vector<double> mb, vb;
   };
-
-  static void ApplyActivation(Activation act, Matrix* m);
-  // grad := grad ⊙ act'(pre_activation_output) given the *post*-activation
-  // values (all supported activations admit this form).
-  static void ActivationBackward(Activation act, const Matrix& post,
-                                 Matrix* grad);
 
   MlpConfig config_;
   std::vector<Layer> layers_;

@@ -57,9 +57,11 @@ TrainStats RunEpochs(
   return stats;
 }
 
+// Runs once per minibatch per epoch: copy rows buffer-to-buffer instead of
+// materializing a temporary std::vector per row.
 Matrix GatherRows(const Matrix& m, const std::vector<size_t>& rows) {
   Matrix out(rows.size(), m.cols());
-  for (size_t i = 0; i < rows.size(); ++i) out.SetRow(i, m.Row(rows[i]));
+  for (size_t i = 0; i < rows.size(); ++i) out.CopyRowFrom(i, m, rows[i]);
   return out;
 }
 

@@ -1,0 +1,58 @@
+// Aligned heap allocation for numeric buffers.
+//
+// The SIMD kernels in nn/ issue 32-byte vector loads; giving every Matrix a
+// 64-byte-aligned backing store keeps row 0 (and any packed panel buffer)
+// cache-line- and vector-aligned so the kernels never straddle a line at the
+// start of a buffer. Alignment is a performance property only — the kernels
+// use unaligned loads for interior rows, whose offset depends on cols().
+#ifndef WARPER_UTIL_ALIGNED_H_
+#define WARPER_UTIL_ALIGNED_H_
+
+#include <cstddef>
+#include <new>
+
+namespace warper::util {
+
+// Minimal C++17 allocator carrying a compile-time alignment. Drop-in for
+// std::vector: `std::vector<double, AlignedAllocator<double, 64>>`.
+template <typename T, std::size_t Alignment>
+class AlignedAllocator {
+  static_assert((Alignment & (Alignment - 1)) == 0,
+                "Alignment must be a power of two");
+  static_assert(Alignment >= alignof(T),
+                "Alignment must be at least the type's natural alignment");
+
+ public:
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Alignment)));
+  }
+
+  void deallocate(T* p, std::size_t n) noexcept {
+    ::operator delete(p, n * sizeof(T), std::align_val_t(Alignment));
+  }
+
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return false;
+  }
+};
+
+}  // namespace warper::util
+
+#endif  // WARPER_UTIL_ALIGNED_H_

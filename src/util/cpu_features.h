@@ -1,0 +1,59 @@
+// Runtime CPU feature detection for the SIMD kernel dispatcher.
+//
+// The nn kernel layer ships several implementations of the same dense
+// kernels (scalar, AVX2+FMA) in one binary; at startup the dispatcher picks
+// the fastest set the *running* CPU supports, so a binary built on an AVX2
+// box still runs (on the scalar path) anywhere. Detection happens once and
+// is cached; the config override (`ParallelConfig::simd`) exists so tests
+// and benches can pin a specific path.
+#ifndef WARPER_UTIL_CPU_FEATURES_H_
+#define WARPER_UTIL_CPU_FEATURES_H_
+
+namespace warper::util {
+
+// Raw feature bits as reported by CPUID (x86) — all false elsewhere.
+// `avx2` / `avx512f` are only set when the OS also saves the corresponding
+// register state (XGETBV), i.e. when the instructions are actually usable.
+struct CpuFeatures {
+  bool avx = false;
+  bool fma = false;
+  bool avx2 = false;
+  bool avx512f = false;
+};
+
+// Queries CPUID once and caches the result. Thread-safe.
+const CpuFeatures& GetCpuFeatures();
+
+// The kernel instruction sets this tree implements, best-last.
+enum class SimdLevel {
+  kScalar,
+  kAvx2,  // AVX2 + FMA
+};
+
+// Best level the running CPU can execute (kAvx2 needs both AVX2 and FMA).
+// Whether the *binary* contains AVX2 kernels is a separate question answered
+// by nn::internal::Avx2KernelsCompiled().
+SimdLevel BestSupportedSimdLevel();
+
+const char* SimdLevelName(SimdLevel level);
+
+// Per-config dispatch override, threaded through ParallelConfig::simd.
+//  kAuto   — deterministic configs stay on scalar (bit-exact, portable);
+//            non-deterministic configs take the best supported level. The
+//            WARPER_SIMD env var (scalar|avx2|auto) refines kAuto for
+//            testing without a recompile.
+//  kScalar — always the scalar reference kernels.
+//  kAvx2   — AVX2+FMA kernels even when deterministic=true (explicit
+//            override wins); ParallelConfig::Validate rejects it on CPUs
+//            without AVX2+FMA.
+enum class SimdMode {
+  kAuto,
+  kScalar,
+  kAvx2,
+};
+
+const char* SimdModeName(SimdMode mode);
+
+}  // namespace warper::util
+
+#endif  // WARPER_UTIL_CPU_FEATURES_H_

@@ -35,6 +35,11 @@ Status ParallelConfig::Validate() const {
   if (grain == 0) {
     return Status::InvalidArgument("parallel.grain must be > 0");
   }
+  if (simd == SimdMode::kAvx2 &&
+      BestSupportedSimdLevel() != SimdLevel::kAvx2) {
+    return Status::InvalidArgument(
+        "parallel.simd = avx2 but this CPU lacks AVX2+FMA support");
+  }
   return Status::OK();
 }
 

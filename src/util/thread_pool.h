@@ -23,6 +23,7 @@
 #include <thread>
 #include <vector>
 
+#include "util/cpu_features.h"
 #include "util/status.h"
 
 namespace warper::util {
@@ -36,9 +37,15 @@ struct ParallelConfig {
   size_t grain = 256;
   // When true every parallel kernel must produce bit-identical results to
   // its serial counterpart (fixed partitioning, ordered reductions). All
-  // kernels in this tree honor it; turning it off only licenses future
-  // kernels to use unordered reductions.
+  // kernels in this tree honor it; turning it off only licenses unordered
+  // reductions — and, in the nn kernel layer, SIMD kernels whose FMA /
+  // blocked accumulation rounds differently from the scalar reference.
   bool deterministic = true;
+  // Which dense-kernel instruction set nn::Matrix dispatches to. kAuto uses
+  // the scalar reference kernels when deterministic (bit-exact, portable)
+  // and the best CPU-supported SIMD set otherwise; kScalar / kAvx2 pin a
+  // path for testing. See util::SimdMode for the full contract.
+  SimdMode simd = SimdMode::kAuto;
 
   // Threads resolved against the hardware (never 0).
   int ResolvedThreads() const;

@@ -1,0 +1,45 @@
+#include <gtest/gtest.h>
+
+#include "util/cpu_features.h"
+#include "util/thread_pool.h"
+
+namespace warper::util {
+namespace {
+
+TEST(CpuFeaturesTest, DetectionIsCachedAndStable) {
+  const CpuFeatures& first = GetCpuFeatures();
+  const CpuFeatures& second = GetCpuFeatures();
+  EXPECT_EQ(&first, &second);
+}
+
+TEST(CpuFeaturesTest, BestLevelConsistentWithFeatureBits) {
+  const CpuFeatures& f = GetCpuFeatures();
+  if (f.avx2 && f.fma) {
+    EXPECT_EQ(BestSupportedSimdLevel(), SimdLevel::kAvx2);
+  } else {
+    EXPECT_EQ(BestSupportedSimdLevel(), SimdLevel::kScalar);
+  }
+}
+
+TEST(CpuFeaturesTest, NamesAreStable) {
+  EXPECT_STREQ(SimdLevelName(SimdLevel::kScalar), "scalar");
+  EXPECT_STREQ(SimdLevelName(SimdLevel::kAvx2), "avx2");
+  EXPECT_STREQ(SimdModeName(SimdMode::kAuto), "auto");
+  EXPECT_STREQ(SimdModeName(SimdMode::kScalar), "scalar");
+  EXPECT_STREQ(SimdModeName(SimdMode::kAvx2), "avx2");
+}
+
+TEST(CpuFeaturesTest, ParallelConfigValidatesSimdAgainstHardware) {
+  ParallelConfig config;
+  config.simd = SimdMode::kScalar;
+  EXPECT_TRUE(config.Validate().ok());
+  config.simd = SimdMode::kAvx2;
+  if (BestSupportedSimdLevel() == SimdLevel::kAvx2) {
+    EXPECT_TRUE(config.Validate().ok());
+  } else {
+    EXPECT_FALSE(config.Validate().ok());
+  }
+}
+
+}  // namespace
+}  // namespace warper::util
