@@ -6,13 +6,19 @@
 #ifndef WARPER_BENCH_BENCH_COMMON_H_
 #define WARPER_BENCH_BENCH_COMMON_H_
 
+#include <cstdint>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "eval/experiment.h"
 #include "storage/datasets.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/report.h"
 
 namespace warper::bench {
@@ -118,6 +124,128 @@ inline void PrintCurves(std::ostream& os, const std::string& title,
 }
 
 inline void BenchInit() { util::SetLogLevel(util::LogLevel::kWarn); }
+
+// Streaming JSON writer for the BENCH_*.json documents. Handles commas,
+// quoting and two-space indentation so each bench binary describes only its
+// own fields; hand-rolled ostringstream emitters drifted in format and had
+// to re-solve trailing-comma logic per file.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject() { return Open('{', /*is_array=*/false); }
+  JsonWriter& EndObject() { return Close('}'); }
+  JsonWriter& BeginArray() { return Open('[', /*is_array=*/true); }
+  JsonWriter& EndArray() { return Close(']'); }
+
+  // Starts an object member; follow with a Value/Begin* call.
+  JsonWriter& Key(const std::string& name) {
+    Separate();
+    os_ << '"' << Escaped(name) << "\": ";
+    pending_key_ = true;
+    return *this;
+  }
+
+  JsonWriter& Value(const std::string& s) {
+    return Scalar("\"" + Escaped(s) + "\"");
+  }
+  JsonWriter& Value(const char* s) { return Value(std::string(s)); }
+  JsonWriter& Value(bool b) { return Scalar(b ? "true" : "false"); }
+  JsonWriter& Value(double v, int precision) {
+    return Scalar(util::FormatDouble(v, precision));
+  }
+  JsonWriter& Value(uint64_t v) { return Scalar(std::to_string(v)); }
+  JsonWriter& Value(int v) { return Scalar(std::to_string(v)); }
+
+  // Embeds pre-rendered JSON verbatim (e.g. MetricsSnapshot::ToJson).
+  JsonWriter& Raw(const std::string& json) { return Scalar(json); }
+
+  size_t Depth() const { return stack_.size(); }
+
+  // Renders with a trailing newline; valid only once nesting is balanced.
+  std::string str() const { return os_.str() + "\n"; }
+
+ private:
+  struct Scope {
+    bool is_array = false;
+    bool empty = true;
+  };
+
+  static std::string Escaped(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') {
+        out += '\\';
+        out += c;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+        out += buf;
+      } else {
+        out += c;
+      }
+    }
+    return out;
+  }
+
+  void Indent(size_t depth) { os_ << std::string(depth * 2, ' '); }
+
+  // Comma/newline before a key (objects) or a value (arrays); no-op at the
+  // top level and directly after a Key.
+  void Separate() {
+    if (stack_.empty()) return;
+    os_ << (stack_.back().empty ? "\n" : ",\n");
+    stack_.back().empty = false;
+    Indent(stack_.size());
+  }
+
+  JsonWriter& Open(char opener, bool is_array) {
+    if (!pending_key_) Separate();
+    pending_key_ = false;
+    os_ << opener;
+    stack_.push_back({is_array, true});
+    return *this;
+  }
+
+  JsonWriter& Close(char closer) {
+    bool was_empty = stack_.back().empty;
+    stack_.pop_back();
+    if (!was_empty) {
+      os_ << "\n";
+      Indent(stack_.size());
+    }
+    os_ << closer;
+    return *this;
+  }
+
+  JsonWriter& Scalar(const std::string& rendered) {
+    if (!pending_key_) Separate();
+    pending_key_ = false;
+    os_ << rendered;
+    return *this;
+  }
+
+  std::ostringstream os_;
+  std::vector<Scope> stack_;
+  bool pending_key_ = false;
+};
+
+// Attaches the process-wide metric snapshot under a "metrics" key, indented
+// to the writer's current depth. Call while still inside the root object.
+inline void AttachMetricsSnapshot(JsonWriter* w) {
+  w->Key("metrics").Raw(
+      util::Metrics().Snapshot().ToJson(static_cast<int>(w->Depth()) * 2));
+}
+
+// Mirrors the document on stdout and persists it for the CI perf
+// trajectory, the shared tail of every bench main().
+inline void EmitJson(const JsonWriter& w, const std::string& out_path) {
+  std::string doc = w.str();
+  std::cout << doc;
+  std::ofstream out(out_path);
+  out << doc;
+  out.close();
+  std::cerr << "wrote " << out_path << "\n";
+}
 
 }  // namespace warper::bench
 

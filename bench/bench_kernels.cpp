@@ -11,7 +11,6 @@
 
 #include <algorithm>
 #include <cstring>
-#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -169,47 +168,45 @@ int main(int argc, char** argv) {
 
   const util::CpuFeatures& cpu = util::GetCpuFeatures();
   util::ParallelConfig hw;
-  std::ostringstream json;
-  json << "{\n";
-  json << "  \"hardware_threads\": " << hw.ResolvedThreads() << ",\n";
-  json << "  \"cpu\": {\"avx\": " << (cpu.avx ? "true" : "false")
-       << ", \"fma\": " << (cpu.fma ? "true" : "false")
-       << ", \"avx2\": " << (cpu.avx2 ? "true" : "false")
-       << ", \"avx512f\": " << (cpu.avx512f ? "true" : "false") << "},\n";
-  json << "  \"simd_kernels\": \"" << util::SimdModeName(simd_mode)
-       << "\",\n";
-  json << "  \"gemm_gflops\": [\n";
-  for (size_t i = 0; i < results.size(); ++i) {
-    const GemmResult& r = results[i];
-    double speedup = r.scalar_gflops > 0.0
-                         ? r.simd_gflops / r.scalar_gflops
-                         : 0.0;
-    json << "    {\"shape\": \"" << r.shape.m << "x" << r.shape.k << "*"
-         << r.shape.k << "x" << r.shape.n << "\", \"role\": \""
-         << r.shape.why << "\", \"scalar\": "
-         << util::FormatDouble(r.scalar_gflops, 2) << ", \"simd\": "
-         << util::FormatDouble(r.simd_gflops, 2) << ", \"simd_threads\": "
-         << util::FormatDouble(r.simd_threads_gflops, 2)
-         << ", \"simd_speedup\": " << util::FormatDouble(speedup, 2) << "}"
-         << (i + 1 < results.size() ? "," : "") << "\n";
+  bench::JsonWriter json;
+  json.BeginObject();
+  json.Key("hardware_threads").Value(hw.ResolvedThreads());
+  json.Key("cpu").BeginObject();
+  json.Key("avx").Value(cpu.avx);
+  json.Key("fma").Value(cpu.fma);
+  json.Key("avx2").Value(cpu.avx2);
+  json.Key("avx512f").Value(cpu.avx512f);
+  json.EndObject();
+  json.Key("simd_kernels").Value(util::SimdModeName(simd_mode));
+  json.Key("gemm_gflops").BeginArray();
+  for (const GemmResult& r : results) {
+    double speedup =
+        r.scalar_gflops > 0.0 ? r.simd_gflops / r.scalar_gflops : 0.0;
+    std::ostringstream shape;
+    shape << r.shape.m << "x" << r.shape.k << "*" << r.shape.k << "x"
+          << r.shape.n;
+    json.BeginObject();
+    json.Key("shape").Value(shape.str());
+    json.Key("role").Value(r.shape.why);
+    json.Key("scalar").Value(r.scalar_gflops, 2);
+    json.Key("simd").Value(r.simd_gflops, 2);
+    json.Key("simd_threads").Value(r.simd_threads_gflops, 2);
+    json.Key("simd_speedup").Value(speedup, 2);
+    json.EndObject();
   }
-  json << "  ],\n";
-  json << "  \"fused_epilogue\": {\"shape\": \"64x130*130x128 leaky_relu\", "
-       << "\"unfused_ms\": " << util::FormatDouble(epilogue.unfused_ms, 4)
-       << ", \"fused_ms\": " << util::FormatDouble(epilogue.fused_ms, 4)
-       << ", \"speedup\": "
-       << util::FormatDouble(
-              epilogue.fused_ms > 0.0 ? epilogue.unfused_ms / epilogue.fused_ms
-                                      : 0.0,
-              2)
-       << "}\n";
-  json << "}\n";
-
-  std::cout << json.str();
-  std::ofstream out(out_path);
-  out << json.str();
-  out.close();
-  std::cerr << "wrote " << out_path << "\n";
+  json.EndArray();
+  json.Key("fused_epilogue").BeginObject();
+  json.Key("shape").Value("64x130*130x128 leaky_relu");
+  json.Key("unfused_ms").Value(epilogue.unfused_ms, 4);
+  json.Key("fused_ms").Value(epilogue.fused_ms, 4);
+  json.Key("speedup")
+      .Value(epilogue.fused_ms > 0.0 ? epilogue.unfused_ms / epilogue.fused_ms
+                                     : 0.0,
+             2);
+  json.EndObject();
+  bench::AttachMetricsSnapshot(&json);
+  json.EndObject();
+  bench::EmitJson(json, out_path);
 
   if (check && avx2) {
     // CI gate: SIMD must beat scalar on the hidden-layer GEMM.

@@ -10,7 +10,6 @@
 #include "bench_common.h"
 
 #include <algorithm>
-#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -134,26 +133,26 @@ int main(int argc, char** argv) {
   rows.push_back(BenchAnnotation(fast ? 20000 : 120000, 64, repeats));
 
   util::ParallelConfig hw;  // report what the pool resolved to
-  std::ostringstream json;
-  json << "{\n  \"hardware_threads\": " << hw.ResolvedThreads()
-       << ",\n  \"results\": [\n";
-  for (size_t i = 0; i < rows.size(); ++i) {
-    const KernelRow& r = rows[i];
-    json << "    {\"kernel\": \"" << r.kernel << "\", \"shape\": \""
-         << r.shape << "\", \"serial_ms\": "
-         << util::FormatDouble(r.serial_ms, 3) << ", \"parallel_ms\": "
-         << util::FormatDouble(r.parallel_ms, 3) << ", \"speedup\": "
-         << util::FormatDouble(r.Speedup(), 2) << ", \"bit_identical\": "
-         << (r.bit_identical ? "true" : "false") << "}"
-         << (i + 1 < rows.size() ? "," : "") << "\n";
+  bench::JsonWriter json;
+  json.BeginObject();
+  json.Key("hardware_threads").Value(hw.ResolvedThreads());
+  json.Key("results").BeginArray();
+  for (const KernelRow& r : rows) {
+    json.BeginObject();
+    json.Key("kernel").Value(r.kernel);
+    json.Key("shape").Value(r.shape);
+    json.Key("serial_ms").Value(r.serial_ms, 3);
+    json.Key("parallel_ms").Value(r.parallel_ms, 3);
+    json.Key("speedup").Value(r.Speedup(), 2);
+    json.Key("bit_identical").Value(r.bit_identical);
+    json.EndObject();
   }
-  json << "  ]\n}\n";
-  std::cout << json.str();
-  // Persist alongside stdout so CI can archive the perf trajectory.
-  std::ofstream out(out_path);
-  out << json.str();
-  out.close();
-  std::cerr << "wrote " << out_path << "\n";
+  json.EndArray();
+  // Pool counters make the speedup legible: queue depth and tasks executed
+  // say how much work actually reached the workers.
+  bench::AttachMetricsSnapshot(&json);
+  json.EndObject();
+  bench::EmitJson(json, out_path);
 
   // Non-zero exit when determinism is violated, so CI catches it even
   // without parsing the JSON.

@@ -1,8 +1,22 @@
-// Quickstart: adapt a learned cardinality estimator to a workload drift.
+// Quickstart: adapt a learned cardinality estimator to workload and data
+// drifts.
 //
-// Builds a PRSA-like table, trains an LM-mlp estimator on workload w1,
-// drifts the workload to w3, and lets Warper adapt the model against a
-// fine-tuning baseline. Prints GMQ after each adaptation step.
+// Builds a PRSA-like table, trains an LM-mlp estimator on workload w1, then
+// walks Warper through the paper's drift taxonomy in three acts:
+//   act 1  the workload drifts to w3 and queries trickle in slowly — Warper
+//          detects c2 (workload drift, inadequate queries) and backfills
+//          with generated queries;
+//   act 2  the workload drifts again (w2) once enough queries have
+//          accumulated (n_new >= gamma) — this drift is c4 and the model
+//          updates from real queries alone;
+//   act 3  the data drifts (sort by a column, truncate half, §4.1.2) — the
+//          canary telemetry flags c1 and pool labels are re-annotated.
+// Prints GMQ after each adaptation step plus the per-phase timing breakdown
+// of the last invocation.
+//
+// Set WARPER_TRACE=/tmp/quickstart_trace.json to capture every phase of
+// every invocation as a Chrome trace-event file (open in chrome://tracing
+// or https://ui.perfetto.dev; see README "Observability").
 #include <iostream>
 
 #include "ce/lm.h"
@@ -10,7 +24,9 @@
 #include "ce/query_domain.h"
 #include "core/warper.h"
 #include "storage/annotator.h"
+#include "storage/data_drift.h"
 #include "storage/datasets.h"
+#include "util/report.h"
 #include "util/rng.h"
 #include "workload/generator.h"
 
@@ -33,6 +49,13 @@ std::vector<ce::LabeledExample> MakeExamples(
   return out;
 }
 
+void PrintStep(const std::string& label,
+               const core::Warper::InvocationResult& result, double gmq) {
+  std::cout << label << ": mode=" << result.mode.ToString()
+            << " generated=" << result.generated
+            << " annotated=" << result.annotated << " GMQ=" << gmq << "\n";
+}
+
 }  // namespace
 
 int main() {
@@ -42,6 +65,12 @@ int main() {
   storage::Table table = storage::MakePrsa(/*rows=*/40000, /*seed=*/7);
   storage::Annotator annotator(&table);
   ce::SingleTableDomain domain(&annotator);
+
+  // Canary predicates watched for data drift (the telemetry a DBMS would
+  // report); their baseline cardinalities are taken before any drift.
+  std::vector<storage::RangePredicate> canaries =
+      storage::MakeCanaryPredicates(table, /*n=*/16, &rng);
+  std::vector<int64_t> canary_baseline = annotator.BatchCount(canaries);
 
   // 2. Train the CE model M on the historical workload (w1).
   std::vector<ce::LabeledExample> train = MakeExamples(
@@ -62,9 +91,12 @@ int main() {
   std::cout << "GMQ after drift to w3, unadapted: "
             << ce::ModelGmq(model, test) << "\n\n";
 
-  // 4. Warper adapts M as new w3 queries trickle in.
+  // 4. Warper adapts M as new w3 queries trickle in. gamma = 150 keeps the
+  // example short: three 48-query steps stay under it (c2); by act 2 the
+  // window has crossed it (c4).
   core::WarperConfig config;
   config.n_p = 200;
+  config.gamma = 150;
   if (Status st = config.Validate(); !st.ok()) {
     std::cerr << "bad config: " << st.ToString() << "\n";
     return 1;
@@ -75,7 +107,8 @@ int main() {
     return 1;
   }
 
-  for (int step = 1; step <= 4; ++step) {
+  // Act 1: workload drift while query-starved (n_new < gamma) — c2.
+  for (int step = 1; step <= 3; ++step) {
     core::Warper::Invocation invocation;
     invocation.new_queries = MakeExamples(table, annotator, domain,
                                           workload::GenMethod::kW3, 48, &rng);
@@ -84,11 +117,63 @@ int main() {
       std::cerr << "Invoke failed: " << invoked.status().ToString() << "\n";
       return 1;
     }
-    const core::Warper::InvocationResult& result = invoked.ValueOrDie();
-    std::cout << "step " << step << ": mode=" << result.mode.ToString()
-              << " generated=" << result.generated
-              << " annotated=" << result.annotated
-              << " GMQ=" << ce::ModelGmq(model, test) << "\n";
+    PrintStep("step " + std::to_string(step), invoked.ValueOrDie(),
+              ce::ModelGmq(model, test));
+  }
+
+  // Act 2: the workload drifts again, to w2, with the query window now
+  // adequate — c4, adaptation from real queries alone. Identification can
+  // lag a step: the accuracy window (the most recent labeled arrivals) still
+  // holds adapted-era w3 queries until the w2 arrivals displace them.
+  test = MakeExamples(table, annotator, domain, workload::GenMethod::kW2, 150,
+                      &rng);
+  std::cout << "\nworkload drifts again (w2); unadapted GMQ = "
+            << ce::ModelGmq(model, test) << "\n";
+  for (int step = 4; step <= 5; ++step) {
+    core::Warper::Invocation invocation;
+    invocation.new_queries = MakeExamples(table, annotator, domain,
+                                          workload::GenMethod::kW2, 48, &rng);
+    Result<core::Warper::InvocationResult> invoked = warper.Invoke(invocation);
+    if (!invoked.ok()) {
+      std::cerr << "Invoke failed: " << invoked.status().ToString() << "\n";
+      return 1;
+    }
+    PrintStep("step " + std::to_string(step), invoked.ValueOrDie(),
+              ce::ModelGmq(model, test));
+  }
+
+  // Act 3: the data drifts underneath the model — the paper's c1 drift
+  // (sort by a column, truncate to half). Every stored label is stale; the
+  // canary shift tells Warper so.
+  storage::SortTruncateHalf(&table, /*col=*/0);
+  double canary_shift =
+      storage::CanaryShift(annotator, canaries, canary_baseline);
+  std::cout << "\ndata drift: sort+truncate, canary shift = "
+            << util::FormatDouble(canary_shift, 2) << "\n";
+  // The old test set's labels are stale too; measure against a fresh one.
+  test = MakeExamples(table, annotator, domain, workload::GenMethod::kW2, 150,
+                      &rng);
+
+  core::Warper::Invocation drifted;
+  drifted.new_queries = MakeExamples(table, annotator, domain,
+                                     workload::GenMethod::kW2, 48, &rng);
+  drifted.data_changed_fraction = 0.5;  // half the rows are gone
+  drifted.canary_shift = canary_shift;
+  Result<core::Warper::InvocationResult> invoked = warper.Invoke(drifted);
+  if (!invoked.ok()) {
+    std::cerr << "Invoke failed: " << invoked.status().ToString() << "\n";
+    return 1;
+  }
+  const core::Warper::InvocationResult& result = invoked.ValueOrDie();
+  PrintStep("step 6", result, ce::ModelGmq(model, test));
+
+  // Per-phase cost of the last invocation (InvocationResult::timing). Wall
+  // far above CPU means the phase waited on pool workers.
+  std::cout << "\nstep 6 phase breakdown (wall ms / cpu ms):\n";
+  for (const core::Warper::PhaseTiming& p : result.timing.phases) {
+    std::cout << "  " << p.name << ": "
+              << util::FormatDouble(p.wall_seconds * 1000.0, 2) << " / "
+              << util::FormatDouble(p.cpu_seconds * 1000.0, 2) << "\n";
   }
 
   std::cout << "\nDone. Lower GMQ is better (1.0 = perfect estimates).\n";

@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <cmath>
 #include <string>
+#include <string_view>
 
 #include "ce/metrics.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/status.h"
+#include "util/trace.h"
 
 namespace warper::core {
 namespace {
@@ -16,7 +19,76 @@ namespace {
 constexpr size_t kEvalWindow = 200;
 constexpr size_t kJsSample = 500;
 
+// Counters/gauges the adaptation loop publishes each invocation.
+struct WarperMetrics {
+  util::Counter* invocations = util::Metrics().GetCounter("warper.invocations");
+  util::Counter* mode_c1 = util::Metrics().GetCounter("warper.mode.c1");
+  util::Counter* mode_c2 = util::Metrics().GetCounter("warper.mode.c2");
+  util::Counter* mode_c3 = util::Metrics().GetCounter("warper.mode.c3");
+  util::Counter* mode_c4 = util::Metrics().GetCounter("warper.mode.c4");
+  util::Counter* mode_none = util::Metrics().GetCounter("warper.mode.none");
+  util::Counter* generated = util::Metrics().GetCounter("warper.generated");
+  util::Counter* picked = util::Metrics().GetCounter("warper.picked");
+  util::Counter* annotated = util::Metrics().GetCounter("warper.annotated");
+  util::Counter* model_updates =
+      util::Metrics().GetCounter("warper.model_updates");
+  util::Gauge* delta_m = util::Metrics().GetGauge("warper.delta_m");
+  util::Gauge* delta_js = util::Metrics().GetGauge("warper.delta_js");
+  util::Gauge* pool_train = util::Metrics().GetGauge("warper.pool.train");
+  util::Gauge* pool_new = util::Metrics().GetGauge("warper.pool.new");
+  util::Gauge* pool_gen = util::Metrics().GetGauge("warper.pool.gen");
+  // Fraction of the invocation's annotation budget spent; stays 0 when the
+  // budget is unlimited.
+  util::Gauge* budget_used = util::Metrics().GetGauge("warper.budget_used");
+};
+
+WarperMetrics& GetWarperMetrics() {
+  static WarperMetrics* metrics = new WarperMetrics();
+  return *metrics;
+}
+
+// Times one phase of an invocation: opens a trace span, records wall +
+// thread-CPU seconds into the result's breakdown and (when given) into the
+// controller's accumulators. Annotation keeps its accumulators null — that
+// cost is accounted by the domain's annotator, and charging it here too
+// would double-count the paper's Table 6 split.
+class PhaseScope {
+ public:
+  PhaseScope(const char* name, Warper::InvocationTiming* timing,
+             util::CpuAccumulator* cpu = nullptr,
+             util::CpuAccumulator* wall = nullptr)
+      : span_(name), name_(name), timing_(timing), cpu_(cpu), wall_(wall) {}
+
+  ~PhaseScope() {
+    double cpu_seconds = cpu_timer_.Seconds();
+    double wall_seconds = wall_timer_.Seconds();
+    timing_->phases.push_back({name_, wall_seconds, cpu_seconds});
+    if (cpu_ != nullptr) cpu_->Add(cpu_seconds);
+    if (wall_ != nullptr) wall_->Add(wall_seconds);
+  }
+
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+ private:
+  util::ScopedSpan span_;
+  const char* name_;
+  Warper::InvocationTiming* timing_;
+  util::CpuAccumulator* cpu_;
+  util::CpuAccumulator* wall_;
+  util::ThreadCpuTimer cpu_timer_;
+  util::WallTimer wall_timer_;
+};
+
 }  // namespace
+
+const Warper::PhaseTiming* Warper::InvocationTiming::Find(
+    const char* name) const {
+  for (const PhaseTiming& p : phases) {
+    if (std::string_view(p.name) == name) return &p;
+  }
+  return nullptr;
+}
 
 Warper::Warper(const ce::QueryDomain* domain, ce::CardinalityEstimator* model,
                const WarperConfig& config)
@@ -64,7 +136,9 @@ Status Warper::Initialize(const std::vector<ce::LabeledExample>& train_corpus) {
   WARPER_RETURN_NOT_OK(models.status());
   models_ = models.MoveValueOrDie();
 
-  util::ScopedCpuTimer timer(&cpu_);
+  util::ScopedSpan span("warper.initialize");
+  span.Arg("corpus", static_cast<double>(train_corpus.size()));
+  util::ScopedCpuTimer timer(&cpu_, &wall_);
 
   for (const auto& example : train_corpus) {
     pool_.AppendLabeled(example.features,
@@ -76,7 +150,10 @@ Status Warper::Initialize(const std::vector<ce::LabeledExample>& train_corpus) {
 
   // Offline pre-training of E and G on I_train (§3.5) — "a one-time cost
   // similar to training the LM model offline".
-  models_->UpdateAutoEncoder(pool_, config_.n_i * 3);
+  {
+    WARPER_SPAN("warper.update_AutoEncoder");
+    models_->UpdateAutoEncoder(pool_, config_.n_i * 3);
+  }
   initialized_ = true;
   return Status::OK();
 }
@@ -240,10 +317,48 @@ Result<Warper::InvocationResult> Warper::Invoke(
     }
   }
   InvocationResult result;
+  util::ScopedSpan invoke_span("warper.invoke");
+  util::WallTimer invoke_wall;
+  util::ThreadCpuTimer invoke_cpu;
+
+  // Runs once on every successful exit path: closes the invocation totals
+  // and publishes the loop's counters and gauges.
+  auto finalize = [&] {
+    result.timing.wall_seconds = invoke_wall.Seconds();
+    result.timing.cpu_seconds = invoke_cpu.Seconds();
+    WarperMetrics& m = GetWarperMetrics();
+    m.invocations->Increment();
+    if (result.mode.c1) m.mode_c1->Increment();
+    if (result.mode.c2) m.mode_c2->Increment();
+    if (result.mode.c3) m.mode_c3->Increment();
+    if (result.mode.c4) m.mode_c4->Increment();
+    if (!result.mode.Any()) m.mode_none->Increment();
+    m.generated->Increment(result.generated);
+    m.picked->Increment(result.picked);
+    m.annotated->Increment(result.annotated);
+    if (result.model_updated) m.model_updates->Increment();
+    if (result.delta_m_valid) m.delta_m->Set(result.delta_m);
+    m.delta_js->Set(result.delta_js);
+    m.pool_train->Set(
+        static_cast<double>(pool_.IndicesBySource(Source::kTrain).size()));
+    m.pool_new->Set(
+        static_cast<double>(pool_.IndicesBySource(Source::kNew).size()));
+    m.pool_gen->Set(
+        static_cast<double>(pool_.IndicesBySource(Source::kGen).size()));
+    if (invocation.annotation_budget != std::numeric_limits<size_t>::max() &&
+        invocation.annotation_budget > 0) {
+      m.budget_used->Set(static_cast<double>(result.annotated) /
+                         static_cast<double>(invocation.annotation_budget));
+    }
+    invoke_span.Arg("delta_m", result.delta_m_valid ? result.delta_m : -1.0);
+    invoke_span.Arg("delta_js", result.delta_js);
+    invoke_span.Arg("picked", static_cast<double>(result.picked));
+    invoke_span.Arg("annotated", static_cast<double>(result.annotated));
+  };
 
   // --- Alg. 1 line 1: inject new arrivals into the pool. ---
   {
-    util::ScopedCpuTimer timer(&cpu_);
+    PhaseScope phase("warper.ingest", &result.timing, &cpu_, &wall_);
     for (const auto& q : invocation.new_queries) {
       size_t idx =
           q.cardinality >= 0
@@ -258,7 +373,7 @@ Result<Warper::InvocationResult> Warper::Invoke(
   // --- det_drft: gather signals and identify the drift mode. ---
   DriftSignals signals;
   {
-    util::ScopedCpuTimer timer(&cpu_);
+    PhaseScope phase("warper.det_drft", &result.timing, &cpu_, &wall_);
     signals.gmq_new_valid = RecentNewGmq(&signals.gmq_new);
     signals.n_new = new_record_order_.size();
     size_t labeled = 0;
@@ -277,15 +392,18 @@ Result<Warper::InvocationResult> Warper::Invoke(
     result.gmq_before = signals.gmq_new;
   }
 
-  result.mode = detector_.Detect(signals);
-  if (result.mode.Any()) {
-    // A (possibly new) drift: start / refresh the adaptation episode.
-    episode_active_ = true;
-    active_mode_ = result.mode;
-  } else if (episode_active_) {
-    // δ_m fell back under π but the last step still gained accuracy: keep
-    // refining with the episode's mode until the early stop fires (§3.4).
-    result.mode = active_mode_;
+  {
+    PhaseScope phase("warper.decide", &result.timing, &cpu_, &wall_);
+    result.mode = detector_.Detect(signals);
+    if (result.mode.Any()) {
+      // A (possibly new) drift: start / refresh the adaptation episode.
+      episode_active_ = true;
+      active_mode_ = result.mode;
+    } else if (episode_active_) {
+      // δ_m fell back under π but the last step still gained accuracy: keep
+      // refining with the episode's mode until the early stop fires (§3.4).
+      result.mode = active_mode_;
+    }
   }
   if (!result.mode.Any()) {
     // mode = ∅: no Warper machinery runs, but the CE model still receives
@@ -300,12 +418,13 @@ Result<Warper::InvocationResult> Warper::Invoke(
       }
     }
     if (have_fresh_arrivals) {
-      util::ScopedCpuTimer timer(&cpu_);
+      PhaseScope phase("warper.update_model", &result.timing, &cpu_, &wall_);
       ModeFlags passive;  // no c-flags: plain refresh path
       UpdateModel(passive, 0.0, {});
       result.model_updated = true;
       RecentNewGmq(&result.gmq_after);
     }
+    finalize();
     return result;
   }
 
@@ -313,7 +432,7 @@ Result<Warper::InvocationResult> Warper::Invoke(
 
   // --- c1: data drift invalidates every stored label. ---
   if (result.mode.c1) {
-    util::ScopedCpuTimer timer(&cpu_);
+    PhaseScope phase("warper.mark_stale", &result.timing, &cpu_, &wall_);
     pool_.MarkSourceStale(Source::kTrain);
     pool_.MarkSourceStale(Source::kNew);
     pool_.MarkSourceStale(Source::kGen);
@@ -321,15 +440,19 @@ Result<Warper::InvocationResult> Warper::Invoke(
 
   // --- Alg. 1 lines 3–8: update the learned modules; generate if c2. ---
   {
-    util::ScopedCpuTimer timer(&cpu_);
+    PhaseScope phase("warper.update_modules", &result.timing, &cpu_, &wall_);
     if (result.mode.c2) {
-      result.gan_stats = models_->UpdateMultiTask(pool_, config_.n_i);
+      {
+        WARPER_SPAN("warper.update_MultiTask");
+        result.gan_stats = models_->UpdateMultiTask(pool_, config_.n_i);
+      }
 
       // n_g = gen_fraction · n_t; the generator is disabled when n_g < 1.
       size_t n_t = invocation.new_queries.size();
       size_t n_g = static_cast<size_t>(config_.gen_fraction *
                                        static_cast<double>(n_t));
       if (n_g >= 1) {
+        WARPER_SPAN("warper.generate");
         std::vector<std::vector<double>> generated;
         if (config_.generator_variant == GeneratorVariant::kGan) {
           generated = models_->GenerateQueries(pool_, n_g);
@@ -355,11 +478,13 @@ Result<Warper::InvocationResult> Warper::Invoke(
         result.generated = generated.size();
       }
     } else {
+      WARPER_SPAN("warper.update_AutoEncoder");
       result.gan_stats = models_->UpdateAutoEncoder(pool_, config_.n_i);
     }
 
     // Refresh embeddings and discriminator outputs for the records the
     // picker will look at.
+    WARPER_SPAN("warper.embed");
     std::vector<size_t> to_embed;
     for (size_t i = 0; i < pool_.Size(); ++i) to_embed.push_back(i);
     models_->encoder().EmbedRecords(&pool_, to_embed);
@@ -369,7 +494,7 @@ Result<Warper::InvocationResult> Warper::Invoke(
   // --- Alg. 1 line 9: pick and annotate. ---
   std::vector<size_t> picked;
   {
-    util::ScopedCpuTimer timer(&cpu_);
+    PhaseScope phase("warper.pick", &result.timing, &cpu_, &wall_);
     if (result.mode.c2) {
       std::vector<size_t> gen_candidates;
       for (size_t i : pool_.IndicesBySource(Source::kGen)) {
@@ -421,7 +546,10 @@ Result<Warper::InvocationResult> Warper::Invoke(
 
   // Annotation pays only for the *unique* picked records that lack a fresh
   // label; the multiset (duplicates included) weights the model update.
+  // No cpu/wall accumulators here: annotation cost belongs to the domain's
+  // annotator (the Table 6 c_A column), not to the controller.
   {
+    PhaseScope phase("warper.annotate", &result.timing);
     std::vector<size_t> unique = picked;
     std::sort(unique.begin(), unique.end());
     unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
@@ -435,7 +563,7 @@ Result<Warper::InvocationResult> Warper::Invoke(
 
   // --- Alg. 1 line 10: update M. ---
   {
-    util::ScopedCpuTimer timer(&cpu_);
+    PhaseScope phase("warper.update_model", &result.timing, &cpu_, &wall_);
     UpdateModel(result.mode, result.delta_m_valid ? result.delta_m : 0.0,
                 picked);
     result.model_updated = true;
@@ -450,25 +578,29 @@ Result<Warper::InvocationResult> Warper::Invoke(
   }
 
   // --- Early-stop feedback (§3.4). ---
-  double gmq_after = 0.0;
-  if (RecentNewGmq(&gmq_after)) {
-    result.gmq_after = gmq_after;
-    if (result.delta_m_valid) {
-      // Early stop with patience: a single flat step can be noise from the
-      // small arrived-query window, so the episode only ends (and π only
-      // grows) after two consecutive small gains.
-      double gain = result.gmq_before - gmq_after;
-      if (gain < config_.early_stop_gain) {
-        if (++small_gain_streak_ >= 2) {
-          detector_.ReportAdaptationGain(gain, result.mode);
-          episode_active_ = false;
+  {
+    PhaseScope phase("warper.eval", &result.timing);
+    double gmq_after = 0.0;
+    if (RecentNewGmq(&gmq_after)) {
+      result.gmq_after = gmq_after;
+      if (result.delta_m_valid) {
+        // Early stop with patience: a single flat step can be noise from the
+        // small arrived-query window, so the episode only ends (and π only
+        // grows) after two consecutive small gains.
+        double gain = result.gmq_before - gmq_after;
+        if (gain < config_.early_stop_gain) {
+          if (++small_gain_streak_ >= 2) {
+            detector_.ReportAdaptationGain(gain, result.mode);
+            episode_active_ = false;
+            small_gain_streak_ = 0;
+          }
+        } else {
           small_gain_streak_ = 0;
         }
-      } else {
-        small_gain_streak_ = 0;
       }
     }
   }
+  finalize();
   return result;
 }
 

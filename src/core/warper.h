@@ -52,6 +52,26 @@ class Warper {
     size_t annotation_budget = std::numeric_limits<size_t>::max();
   };
 
+  // Wall and thread-CPU seconds one phase of an invocation spent. CPU is
+  // the controller thread's own time — work fanned out to pool workers shows
+  // up in wall but not cpu, which is exactly the gap worth watching.
+  struct PhaseTiming {
+    const char* name = "";
+    double wall_seconds = 0.0;
+    double cpu_seconds = 0.0;
+  };
+
+  // Per-phase breakdown of one invocation, in execution order. Phases that
+  // did not run (e.g. "generate" outside c2) are absent.
+  struct InvocationTiming {
+    std::vector<PhaseTiming> phases;
+    double wall_seconds = 0.0;  // whole Invoke() call
+    double cpu_seconds = 0.0;
+
+    // The named phase, or nullptr when it did not run.
+    const PhaseTiming* Find(const char* name) const;
+  };
+
   struct InvocationResult {
     ModeFlags mode;
     double delta_m = 0.0;
@@ -65,6 +85,7 @@ class Warper {
     double gmq_before = 0.0;
     double gmq_after = 0.0;
     GanTrainStats gan_stats;
+    InvocationTiming timing;
   };
 
   // FailedPrecondition before a successful Initialize(); InvalidArgument
@@ -77,10 +98,14 @@ class Warper {
   DriftDetector& detector() { return detector_; }
   const WarperConfig& config() const { return config_; }
 
-  // CPU-time accumulator covering Warper's own work (module updates,
-  // generation, picking); annotation cost is accounted by the domain's
-  // annotator.
+  // Accumulators covering Warper's own work (module updates, generation,
+  // picking); annotation cost is accounted by the domain's annotator.
+  // cpu() is controller-thread CPU seconds, wall() elapsed wall seconds of
+  // the same scopes — wall >> cpu means the invocation waited on pool
+  // workers (or was preempted), which the paper's "CPU over test period"
+  // accounting must not hide.
   const util::CpuAccumulator& cpu() const { return cpu_; }
+  const util::CpuAccumulator& wall() const { return wall_; }
 
  private:
   // Model GMQ on the most recent labeled new-workload records.
@@ -103,6 +128,7 @@ class Warper {
   DriftDetector detector_;
   util::Rng rng_;
   util::CpuAccumulator cpu_;
+  util::CpuAccumulator wall_;
   // Config problems surface from Initialize() as a Status, not from the
   // constructor (which cannot return one).
   Status config_status_;

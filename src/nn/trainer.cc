@@ -5,7 +5,9 @@
 #include <limits>
 
 #include "nn/losses.h"
+#include "util/metrics.h"
 #include "util/status.h"
+#include "util/trace.h"
 
 namespace warper::nn {
 
@@ -20,10 +22,32 @@ namespace {
 // Shared epoch loop: `run_batch` computes the loss for the given row indices
 // and performs backward; the loop handles shuffling, stepping, the LR
 // schedule and early stopping.
+// Per-epoch visibility into every training loop in the tree (CE updates,
+// autoencoder / multi-task module refreshes): counters accumulate across
+// calls, gauges hold the most recent epoch's values.
+struct TrainerMetrics {
+  util::Counter* calls = util::Metrics().GetCounter("trainer.calls");
+  util::Counter* epochs = util::Metrics().GetCounter("trainer.epochs");
+  util::Counter* early_stops = util::Metrics().GetCounter("trainer.early_stops");
+  util::Gauge* last_loss = util::Metrics().GetGauge("trainer.last_loss");
+  util::Gauge* last_lr = util::Metrics().GetGauge("trainer.last_lr");
+  util::Histogram* epochs_per_call = util::Metrics().GetHistogram(
+      "trainer.epochs_per_call", {1, 2, 5, 10, 20, 50, 100, 200});
+};
+
+TrainerMetrics& GetTrainerMetrics() {
+  static TrainerMetrics* metrics = new TrainerMetrics();
+  return *metrics;
+}
+
 TrainStats RunEpochs(
     Mlp* mlp, size_t num_rows, const TrainConfig& config, util::Rng* rng,
     const std::function<double(const std::vector<size_t>&)>& run_batch) {
   WARPER_CHECK(num_rows > 0);
+  TrainerMetrics& metrics = GetTrainerMetrics();
+  metrics.calls->Increment();
+  util::ScopedSpan span("trainer.run_epochs");
+  span.Arg("rows", static_cast<double>(num_rows));
   TrainStats stats;
   std::vector<size_t> order(num_rows);
   for (size_t i = 0; i < num_rows; ++i) order[i] = i;
@@ -47,13 +71,22 @@ TrainStats RunEpochs(
     epoch_loss /= static_cast<double>(batches);
     stats.epochs_run = epoch + 1;
     stats.final_loss = epoch_loss;
+    metrics.epochs->Increment();
+    metrics.last_loss->Set(epoch_loss);
+    metrics.last_lr->Set(lr);
     if (config.early_stop_rel_tol > 0.0 && std::isfinite(prev_loss)) {
       double rel_gain = (prev_loss - epoch_loss) / std::max(prev_loss, 1e-12);
       stagnant = rel_gain < config.early_stop_rel_tol ? stagnant + 1 : 0;
-      if (stagnant >= config.early_stop_patience) break;
+      if (stagnant >= config.early_stop_patience) {
+        metrics.early_stops->Increment();
+        break;
+      }
     }
     prev_loss = epoch_loss;
   }
+  metrics.epochs_per_call->Observe(static_cast<double>(stats.epochs_run));
+  span.Arg("epochs", static_cast<double>(stats.epochs_run));
+  span.Arg("final_loss", stats.final_loss);
   return stats;
 }
 

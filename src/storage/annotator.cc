@@ -3,10 +3,29 @@
 #include <memory>
 #include <optional>
 
+#include "util/metrics.h"
 #include "util/status.h"
+#include "util/trace.h"
 
 namespace warper::storage {
 namespace {
+
+// Annotation is the dominant adaptation cost (Table 6): count every call,
+// every predicate labeled and every row touched so cost attribution survives
+// into metric snapshots. (row, predicate) pairs actually evaluated can be
+// far below rows × predicates thanks to the early-exit scan, so rows_scanned
+// counts full table passes, not pair evaluations.
+struct AnnotatorMetrics {
+  util::Counter* calls = util::Metrics().GetCounter("annotator.calls");
+  util::Counter* predicates = util::Metrics().GetCounter("annotator.predicates");
+  util::Counter* rows_scanned =
+      util::Metrics().GetCounter("annotator.rows_scanned");
+};
+
+AnnotatorMetrics& GetAnnotatorMetrics() {
+  static AnnotatorMetrics* metrics = new AnnotatorMetrics();
+  return *metrics;
+}
 
 // Per-predicate list of (column, low, high) for only the constrained
 // columns; skipping full-range columns makes the scan proportional to the
@@ -36,6 +55,10 @@ int64_t Annotator::Count(const RangePredicate& pred) const {
   std::optional<util::ScopedCpuTimer> timer;
   if (cpu_ != nullptr) timer.emplace(cpu_);
   ++annotations_;
+  AnnotatorMetrics& metrics = GetAnnotatorMetrics();
+  metrics.calls->Increment();
+  metrics.predicates->Increment();
+  metrics.rows_scanned->Increment(table_->NumRows());
 
   CompiledPredicate cp = Compile(*table_, pred);
   size_t n = table_->NumRows();
@@ -61,6 +84,13 @@ std::vector<int64_t> Annotator::BatchCount(
   std::optional<util::ScopedCpuTimer> timer;
   if (cpu_ != nullptr) timer.emplace(cpu_);
   annotations_ += static_cast<int64_t>(preds.size());
+  util::ScopedSpan span("annotator.batch_count");
+  span.Arg("predicates", static_cast<double>(preds.size()));
+  span.Arg("rows", static_cast<double>(table_->NumRows()));
+  AnnotatorMetrics& metrics = GetAnnotatorMetrics();
+  metrics.calls->Increment();
+  metrics.predicates->Increment(preds.size());
+  metrics.rows_scanned->Increment(table_->NumRows());
 
   std::vector<CompiledPredicate> compiled;
   compiled.reserve(preds.size());

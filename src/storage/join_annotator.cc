@@ -3,9 +3,29 @@
 #include <optional>
 #include <unordered_map>
 
+#include "util/metrics.h"
 #include "util/status.h"
+#include "util/trace.h"
 
 namespace warper::storage {
+namespace {
+
+// rows_touched counts the rows every join pass actually visits (each active
+// fact table once plus the center relation), the join-domain analogue of
+// annotator.rows_scanned.
+struct JoinAnnotatorMetrics {
+  util::Counter* calls = util::Metrics().GetCounter("join_annotator.calls");
+  util::Counter* queries = util::Metrics().GetCounter("join_annotator.queries");
+  util::Counter* rows_touched =
+      util::Metrics().GetCounter("join_annotator.rows_touched");
+};
+
+JoinAnnotatorMetrics& GetJoinAnnotatorMetrics() {
+  static JoinAnnotatorMetrics* metrics = new JoinAnnotatorMetrics();
+  return *metrics;
+}
+
+}  // namespace
 
 size_t JoinQuery::NumJoins() const {
   size_t n = 0;
@@ -16,6 +36,7 @@ size_t JoinQuery::NumJoins() const {
 int64_t JoinAnnotator::Count(const JoinQuery& query) const {
   std::optional<util::ScopedCpuTimer> timer;
   if (cpu_ != nullptr) timer.emplace(cpu_);
+  GetJoinAnnotatorMetrics().calls->Increment();
   return CountImpl(query);
 }
 
@@ -23,6 +44,14 @@ int64_t JoinAnnotator::CountImpl(const JoinQuery& query) const {
   const StarSchema& s = *schema_;
   WARPER_CHECK(s.center != nullptr);
   WARPER_CHECK(query.fact_preds.size() == s.facts.size());
+
+  JoinAnnotatorMetrics& metrics = GetJoinAnnotatorMetrics();
+  metrics.queries->Increment();
+  uint64_t rows = s.center->NumRows();
+  for (size_t f = 0; f < s.facts.size(); ++f) {
+    if ((query.join_mask >> f) & 1) rows += s.facts[f].table->NumRows();
+  }
+  metrics.rows_touched->Increment(rows);
 
   // Per participating fact table: key → number of matching rows.
   std::vector<std::unordered_map<int64_t, int64_t>> fact_counts;
@@ -61,6 +90,8 @@ int64_t JoinAnnotator::CountImpl(const JoinQuery& query) const {
 
 std::vector<int64_t> JoinAnnotator::BatchCount(
     const std::vector<JoinQuery>& queries) const {
+  util::ScopedSpan span("join_annotator.batch_count");
+  span.Arg("queries", static_cast<double>(queries.size()));
   std::vector<int64_t> counts;
   counts.reserve(queries.size());
   for (const auto& q : queries) counts.push_back(Count(q));
@@ -74,6 +105,9 @@ std::vector<int64_t> JoinAnnotator::BatchCountParallel(
   // so pool workers never touch the (non-atomic) accumulator.
   std::optional<util::ScopedCpuTimer> timer;
   if (cpu_ != nullptr) timer.emplace(cpu_);
+  util::ScopedSpan span("join_annotator.batch_count_parallel");
+  span.Arg("queries", static_cast<double>(queries.size()));
+  GetJoinAnnotatorMetrics().calls->Increment();
 
   std::vector<int64_t> counts(queries.size(), 0);
   // Join counting is expensive per query, so fan out per query rather than

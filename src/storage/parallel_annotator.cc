@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <mutex>
 
+#include "util/metrics.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace warper::storage {
 namespace {
@@ -63,6 +65,20 @@ ParallelAnnotator::ParallelAnnotator(const Table* table, int num_threads)
 
 std::vector<int64_t> ParallelAnnotator::BatchCount(
     const std::vector<RangePredicate>& preds) const {
+  util::ScopedSpan span("annotator.batch_count_parallel");
+  span.Arg("predicates", static_cast<double>(preds.size()));
+  span.Arg("rows", static_cast<double>(table_->NumRows()));
+  // Shares the serial annotator's cost counters: the execution strategy
+  // changes, the work accounted does not.
+  static util::Counter* calls = util::Metrics().GetCounter("annotator.calls");
+  static util::Counter* predicates =
+      util::Metrics().GetCounter("annotator.predicates");
+  static util::Counter* rows_scanned =
+      util::Metrics().GetCounter("annotator.rows_scanned");
+  calls->Increment();
+  predicates->Increment(preds.size());
+  rows_scanned->Increment(table_->NumRows());
+
   std::vector<CompiledPredicate> compiled;
   compiled.reserve(preds.size());
   for (const auto& p : preds) compiled.push_back(Compile(*table_, p));

@@ -9,6 +9,19 @@ namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
 
+// Serializes sink installation and every delivery: the whole point of the
+// mutex is that two pool threads destroying LogMessage concurrently cannot
+// interleave partial lines in the default stderr sink.
+std::mutex& SinkMutex() {
+  static std::mutex* mutex = new std::mutex();
+  return *mutex;
+}
+
+LogSink& SinkSlot() {
+  static LogSink* sink = new LogSink();
+  return *sink;
+}
+
 const char* LevelName(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug:
@@ -33,6 +46,39 @@ const char* Basename(const char* path) {
 void SetLogLevel(LogLevel level) { g_level.store(level); }
 LogLevel GetLogLevel() { return g_level.load(); }
 
+LogSink SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  LogSink previous = std::move(SinkSlot());
+  SinkSlot() = std::move(sink);
+  return previous;
+}
+
+CapturingLogSink::CapturingLogSink() {
+  previous_ = SetLogSink([this](LogLevel, const std::string& line) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    lines_.push_back(line);
+  });
+}
+
+CapturingLogSink::~CapturingLogSink() { SetLogSink(std::move(previous_)); }
+
+std::vector<std::string> CapturingLogSink::lines() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lines_;
+}
+
+std::string CapturingLogSink::str() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const std::string& line : lines_) out += line;
+  return out;
+}
+
+void CapturingLogSink::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  lines_.clear();
+}
+
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
@@ -43,8 +89,13 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   stream_ << "\n";
-  std::cerr << stream_.str();
-  (void)level_;
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  const LogSink& sink = SinkSlot();
+  if (sink) {
+    sink(level_, stream_.str());
+  } else {
+    std::cerr << stream_.str();
+  }
 }
 
 }  // namespace internal

@@ -1,12 +1,20 @@
-// Minimal leveled logger.
+// Minimal leveled logger with a pluggable sink.
 //
 // Usage: WARPER_LOG(Info) << "adapted in " << n << " steps";
 // The level is a global filter; benches set it to WARN to keep output clean.
+//
+// Formatted lines are delivered to the installed LogSink. The default sink
+// writes to stderr under a global mutex, so concurrent messages from pool
+// threads cannot interleave partial lines. Tests install a CapturingLogSink
+// to assert on log output without touching stderr.
 #ifndef WARPER_UTIL_LOGGING_H_
 #define WARPER_UTIL_LOGGING_H_
 
+#include <functional>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <vector>
 
 namespace warper::util {
 
@@ -15,6 +23,36 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 // Sets / reads the global minimum level that is actually emitted.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+// Receives each formatted line (terminated with '\n'). Calls are serialized
+// by the logger's global mutex, so sinks need no locking of their own.
+using LogSink = std::function<void(LogLevel level, const std::string& line)>;
+
+// Installs `sink` as the destination for all subsequent messages and returns
+// the previously installed sink (empty when the stderr default was active).
+// Passing an empty function restores the stderr default.
+LogSink SetLogSink(LogSink sink);
+
+// RAII sink that records every line it sees, for tests. Installs itself on
+// construction and restores the previous sink on destruction.
+class CapturingLogSink {
+ public:
+  CapturingLogSink();
+  ~CapturingLogSink();
+
+  CapturingLogSink(const CapturingLogSink&) = delete;
+  CapturingLogSink& operator=(const CapturingLogSink&) = delete;
+
+  std::vector<std::string> lines() const;
+  // All captured lines concatenated.
+  std::string str() const;
+  void Clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::string> lines_;
+  LogSink previous_;
+};
 
 namespace internal {
 

@@ -1,0 +1,214 @@
+#include "util/metrics.h"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+
+#include "util/status.h"
+
+namespace warper::util {
+namespace {
+
+// Distributes threads round-robin over the counter shards. The id is
+// per-thread, not per-(thread, counter): two threads may still share a shard
+// once more than kShards threads exist, which only costs contention, never
+// correctness.
+std::atomic<size_t> g_next_thread_slot{0};
+
+size_t ThreadSlot() {
+  thread_local size_t slot =
+      g_next_thread_slot.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+void AppendDouble(std::ostringstream* os, double v) {
+  // Shortest round-trip-safe form keeps dumps readable and parseable.
+  std::ostringstream tmp;
+  tmp.precision(17);
+  tmp << v;
+  *os << tmp.str();
+}
+
+}  // namespace
+
+size_t Counter::ShardIndex() { return ThreadSlot() % kShards; }
+
+uint64_t Gauge::Encode(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double Gauge::Decode(uint64_t bits) {
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  WARPER_CHECK_MSG(std::is_sorted(bounds_.begin(), bounds_.end()),
+                   "histogram bounds must be sorted ascending");
+  buckets_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::Observe(double sample) {
+  size_t i = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), sample) -
+      bounds_.begin());
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.Add(sample);
+}
+
+uint64_t Histogram::BucketCount(size_t i) const {
+  WARPER_CHECK(i <= bounds_.size());
+  return buckets_[i].load(std::memory_order_relaxed);
+}
+
+uint64_t Histogram::TotalCount() const {
+  return count_.load(std::memory_order_relaxed);
+}
+
+double Histogram::Sum() const { return sum_.Value(); }
+
+void Histogram::Reset() {
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.Reset();
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->Value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->Value();
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hs;
+    hs.bounds = h->bounds();
+    hs.bucket_counts.reserve(hs.bounds.size() + 1);
+    for (size_t i = 0; i <= hs.bounds.size(); ++i) {
+      hs.bucket_counts.push_back(h->BucketCount(i));
+    }
+    hs.count = h->TotalCount();
+    hs.sum = h->Sum();
+    snap.histograms[name] = std::move(hs);
+  }
+  return snap;
+}
+
+std::string MetricsRegistry::TextDump() const {
+  MetricsSnapshot snap = Snapshot();
+  std::ostringstream os;
+  for (const auto& [name, v] : snap.counters) os << name << " " << v << "\n";
+  for (const auto& [name, v] : snap.gauges) {
+    os << name << " ";
+    AppendDouble(&os, v);
+    os << "\n";
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    os << name << " count=" << h.count << " sum=";
+    AppendDouble(&os, h.sum);
+    os << " buckets=[";
+    for (size_t i = 0; i < h.bucket_counts.size(); ++i) {
+      if (i > 0) os << ",";
+      if (i < h.bounds.size()) {
+        os << "le";
+        AppendDouble(&os, h.bounds[i]);
+      } else {
+        os << "inf";
+      }
+      os << ":" << h.bucket_counts[i];
+    }
+    os << "]\n";
+  }
+  return os.str();
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+std::string MetricsSnapshot::ToJson(int indent) const {
+  std::string pad(static_cast<size_t>(indent), ' ');
+  std::string pad2 = pad + "  ";
+  std::string pad3 = pad2 + "  ";
+  std::ostringstream os;
+  os << "{\n";
+
+  os << pad2 << "\"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    os << (first ? "\n" : ",\n") << pad3 << "\"" << name << "\": " << v;
+    first = false;
+  }
+  os << (first ? "" : "\n" + pad2) << "},\n";
+
+  os << pad2 << "\"gauges\": {";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    os << (first ? "\n" : ",\n") << pad3 << "\"" << name << "\": ";
+    AppendDouble(&os, v);
+    first = false;
+  }
+  os << (first ? "" : "\n" + pad2) << "},\n";
+
+  os << pad2 << "\"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    os << (first ? "\n" : ",\n") << pad3 << "\"" << name
+       << "\": {\"count\": " << h.count << ", \"sum\": ";
+    AppendDouble(&os, h.sum);
+    os << ", \"bounds\": [";
+    for (size_t i = 0; i < h.bounds.size(); ++i) {
+      if (i > 0) os << ", ";
+      AppendDouble(&os, h.bounds[i]);
+    }
+    os << "], \"buckets\": [";
+    for (size_t i = 0; i < h.bucket_counts.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << h.bucket_counts[i];
+    }
+    os << "]}";
+    first = false;
+  }
+  os << (first ? "" : "\n" + pad2) << "}\n";
+
+  os << pad << "}";
+  return os.str();
+}
+
+MetricsRegistry& Metrics() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace warper::util

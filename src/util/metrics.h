@@ -1,0 +1,168 @@
+// Process-wide metrics: named counters, gauges and fixed-bucket histograms.
+//
+// The registry exists so every later perf / scaling PR can be judged against
+// measured behaviour instead of end-metrics alone: the adaptation loop, the
+// trainer, the thread pool and the annotators all publish here, and the
+// bench binaries attach a snapshot to their BENCH_*.json output.
+//
+// Hot-path contract: a metric handle is looked up once (by name, under a
+// mutex) and then incremented lock-free forever after. Counters shard their
+// state across cache-line-padded atomic slots indexed by a per-thread id, so
+// pool workers hammering the same counter never contend on one cache line.
+// Callers cache the handle in a function-local static:
+//
+//   static util::Counter* calls = util::Metrics().GetCounter("a.calls");
+//   calls->Increment();
+//
+// Handles are never invalidated: the registry owns every metric for the
+// process lifetime (there is no unregister), so a cached pointer stays valid
+// even across Reset(), which zeroes values but keeps the objects.
+#ifndef WARPER_UTIL_METRICS_H_
+#define WARPER_UTIL_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace warper::util {
+
+// A monotonically increasing integer metric, sharded for write-heavy use.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Increment(uint64_t delta = 1) {
+    shards_[ShardIndex()].value.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  // Sums the shards; concurrent increments may or may not be included.
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Shard& s : shards_) {
+      total += s.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  void Reset() {
+    for (Shard& s : shards_) s.value.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  // Enough slots that the pool's handful of workers rarely collide; each
+  // shard owns its own cache line so false sharing cannot creep back in.
+  static constexpr size_t kShards = 16;
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> value{0};
+  };
+  static size_t ShardIndex();
+
+  Shard shards_[kShards];
+};
+
+// A last-write-wins floating-point metric (pool size, δ_m, queue depth...).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(double value) { bits_.store(Encode(value), std::memory_order_relaxed); }
+  void Add(double delta) {
+    uint64_t expected = bits_.load(std::memory_order_relaxed);
+    while (!bits_.compare_exchange_weak(expected, Encode(Decode(expected) + delta),
+                                        std::memory_order_relaxed)) {
+    }
+  }
+  double Value() const { return Decode(bits_.load(std::memory_order_relaxed)); }
+  void Reset() { Set(0.0); }
+
+ private:
+  static uint64_t Encode(double v);
+  static double Decode(uint64_t bits);
+  std::atomic<uint64_t> bits_{0};
+};
+
+// A histogram over fixed, caller-supplied upper bounds. A sample lands in
+// the first bucket whose bound is >= the sample; samples above every bound
+// land in the implicit +inf overflow bucket. Bounds are fixed at first
+// registration — re-registering the same name returns the existing
+// histogram and ignores the bounds argument.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Observe(double sample);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  // Count in bucket `i` (i == bounds().size() is the overflow bucket).
+  uint64_t BucketCount(size_t i) const;
+  uint64_t TotalCount() const;
+  double Sum() const;
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  Gauge sum_;  // reuses the CAS-add encoding
+};
+
+// A point-in-time copy of every registered metric, safe to serialize while
+// the hot paths keep running.
+struct HistogramSnapshot {
+  std::vector<double> bounds;
+  std::vector<uint64_t> bucket_counts;  // bounds.size() + 1 entries
+  uint64_t count = 0;
+  double sum = 0.0;
+};
+
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  // {"counters": {...}, "gauges": {...}, "histograms": {...}} — the object
+  // the bench binaries embed under their "metrics" key.
+  std::string ToJson(int indent = 0) const;
+};
+
+// The process-wide registry. Registration is mutex-guarded; returned
+// pointers are stable for the process lifetime.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name, std::vector<double> bounds);
+
+  MetricsSnapshot Snapshot() const;
+  // "name value" lines sorted by name — the debugging / logging dump.
+  std::string TextDump() const;
+  // Zeroes every metric's value; registered handles stay valid.
+  void Reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+// The global registry every subsystem publishes to.
+MetricsRegistry& Metrics();
+
+}  // namespace warper::util
+
+#endif  // WARPER_UTIL_METRICS_H_

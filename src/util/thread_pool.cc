@@ -4,10 +4,40 @@
 #include <exception>
 #include <memory>
 
+#include "util/metrics.h"
+#include "util/timer.h"
+
 namespace warper::util {
 namespace {
 
 thread_local bool t_on_pool_worker = false;
+
+// Pool health metrics. `pool.busy_us` over (`pool.workers`+1) × elapsed wall
+// time gives worker utilization; `pool.queue_depth` is a point-in-time gauge
+// sampled at every enqueue/dequeue.
+struct PoolMetrics {
+  Counter* tasks_executed = Metrics().GetCounter("pool.tasks_executed");
+  Counter* busy_us = Metrics().GetCounter("pool.busy_us");
+  Counter* parallel_for_calls = Metrics().GetCounter("pool.parallel_for.calls");
+  Counter* parallel_for_serial =
+      Metrics().GetCounter("pool.parallel_for.serial");
+  Gauge* queue_depth = Metrics().GetGauge("pool.queue_depth");
+  Gauge* workers = Metrics().GetGauge("pool.workers");
+};
+
+PoolMetrics& GetPoolMetrics() {
+  static PoolMetrics* metrics = new PoolMetrics();
+  return *metrics;
+}
+
+// Runs one task with busy-time accounting.
+void RunTask(std::packaged_task<void()>* task) {
+  PoolMetrics& m = GetPoolMetrics();
+  WallTimer timer;
+  (*task)();  // exceptions land in the packaged_task's future
+  m.busy_us->Increment(static_cast<uint64_t>(timer.Seconds() * 1e6));
+  m.tasks_executed->Increment();
+}
 
 int HardwareThreads() {
   unsigned hw = std::thread::hardware_concurrency();
@@ -53,6 +83,7 @@ ThreadPool::ThreadPool(int num_threads) {
   for (int i = 0; i < n - 1; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
+  GetPoolMetrics().workers->Set(static_cast<double>(workers_.size()));
 }
 
 ThreadPool::~ThreadPool() {
@@ -74,8 +105,9 @@ void ThreadPool::WorkerLoop() {
       if (tasks_.empty()) return;  // stop_ set and queue drained
       task = std::move(tasks_.front());
       tasks_.pop();
+      GetPoolMetrics().queue_depth->Set(static_cast<double>(tasks_.size()));
     }
-    task();  // exceptions land in the packaged_task's future
+    RunTask(&task);
   }
 }
 
@@ -84,12 +116,13 @@ std::future<void> ThreadPool::Submit(std::function<void()> fn) {
   std::future<void> future = task.get_future();
   if (workers_.empty()) {
     // No workers: run inline so a 1-thread pool still makes progress.
-    task();
+    RunTask(&task);
     return future;
   }
   {
     std::lock_guard<std::mutex> lock(mutex_);
     tasks_.push(std::move(task));
+    GetPoolMetrics().queue_depth->Set(static_cast<double>(tasks_.size()));
   }
   cv_.notify_one();
   return future;
@@ -102,10 +135,13 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
   grain = std::max<size_t>(1, grain);
   size_t max_chunks = static_cast<size_t>(size()) + 1;
   size_t chunks = std::min(max_chunks, n / grain);
+  PoolMetrics& metrics = GetPoolMetrics();
+  metrics.parallel_for_calls->Increment();
   // Serial when the range is too small to split, the pool has no workers, or
   // we are already on a pool worker (nested ParallelFor must not block on the
   // queue it is supposed to drain).
   if (chunks <= 1 || workers_.empty() || OnPoolWorkerThread()) {
+    metrics.parallel_for_serial->Increment();
     fn(begin, end);
     return;
   }

@@ -21,6 +21,24 @@ class WallTimer {
   std::chrono::steady_clock::time_point start_;
 };
 
+// Measures CPU seconds consumed by the *calling thread* between Restart()
+// and Seconds() (CLOCK_THREAD_CPUTIME_ID). Unlike wall time this does not
+// advance while the thread is blocked or preempted, and it does not include
+// work other threads (e.g. pool workers) performed on the caller's behalf —
+// pair it with a WallTimer when both views matter.
+class ThreadCpuTimer {
+ public:
+  ThreadCpuTimer() { Restart(); }
+  void Restart() { start_ = Now(); }
+  double Seconds() const { return Now() - start_; }
+
+  // Current thread-CPU clock reading in seconds (arbitrary epoch).
+  static double Now();
+
+ private:
+  double start_ = 0.0;
+};
+
 // Accumulates CPU seconds across scoped measurement regions. Used to report
 // the paper's Table 6 / Table 11 "CPU usage over the test period" numbers:
 // accumulated single-thread CPU time divided by simulated wall time.
@@ -39,19 +57,29 @@ class CpuAccumulator {
   double total_ = 0.0;
 };
 
-// RAII helper: adds elapsed wall seconds of the scope to an accumulator.
-// (Single-threaded workloads: wall time == CPU time for compute-bound code.)
+// RAII helper: adds the scope's *thread CPU* seconds to `cpu` and, when
+// given, its wall seconds to `wall`. (Before the thread pool existed this
+// class fed wall time into the CPU accumulator — indistinguishable for
+// single-threaded compute-bound scopes, an overstatement once scopes block
+// on pool workers; the thread-CPU clock keeps the "CPU seconds" accounting
+// honest either way.)
 class ScopedCpuTimer {
  public:
-  explicit ScopedCpuTimer(CpuAccumulator* acc) : acc_(acc) {}
-  ~ScopedCpuTimer() { acc_->Add(timer_.Seconds()); }
+  explicit ScopedCpuTimer(CpuAccumulator* cpu, CpuAccumulator* wall = nullptr)
+      : cpu_(cpu), wall_(wall) {}
+  ~ScopedCpuTimer() {
+    cpu_->Add(cpu_timer_.Seconds());
+    if (wall_ != nullptr) wall_->Add(wall_timer_.Seconds());
+  }
 
   ScopedCpuTimer(const ScopedCpuTimer&) = delete;
   ScopedCpuTimer& operator=(const ScopedCpuTimer&) = delete;
 
  private:
-  CpuAccumulator* acc_;
-  WallTimer timer_;
+  CpuAccumulator* cpu_;
+  CpuAccumulator* wall_;
+  ThreadCpuTimer cpu_timer_;
+  WallTimer wall_timer_;
 };
 
 }  // namespace warper::util

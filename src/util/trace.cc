@@ -1,0 +1,213 @@
+#include "util/trace.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <deque>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace warper::util {
+
+namespace internal {
+std::atomic<bool> g_trace_enabled{false};
+}  // namespace internal
+
+namespace {
+
+struct Event {
+  const char* name;
+  int tid;
+  uint64_t start_us;
+  uint64_t dur_us;
+  const char* arg_keys[ScopedSpan::kMaxArgs];
+  double arg_values[ScopedSpan::kMaxArgs];
+  size_t num_args;
+};
+
+// One thread's event log. Only the owning thread appends; readers
+// (export / count) see a consistent prefix through the `committed` counter,
+// published with release ordering after the event is fully written. A deque
+// never relocates existing elements on push_back, so concurrent reads of
+// committed events are safe without a lock on the record path.
+struct ThreadBuffer {
+  int tid;
+  std::deque<Event> events;
+  std::atomic<size_t> committed{0};
+  // Events before this index were dropped by ClearTrace(); the deque itself
+  // is only mutated by the owner, so clearing just advances the floor.
+  std::atomic<size_t> floor{0};
+};
+
+struct BufferRegistry {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  int next_tid = 0;
+};
+
+BufferRegistry& Registry() {
+  static BufferRegistry* registry = new BufferRegistry();
+  return *registry;
+}
+
+ThreadBuffer& LocalBuffer() {
+  // The shared_ptr in the registry keeps the buffer alive after the thread
+  // exits, so short-lived pool workers still contribute their spans.
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
+    auto b = std::make_shared<ThreadBuffer>();
+    BufferRegistry& r = Registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    b->tid = r.next_tid++;
+    r.buffers.push_back(b);
+    return b;
+  }();
+  return *buffer;
+}
+
+std::chrono::steady_clock::time_point TraceEpoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+uint64_t NowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - TraceEpoch())
+          .count());
+}
+
+// WARPER_TRACE=<path>: collect from process start, export at exit. The
+// global thread pool is created after this initializer runs, so its workers
+// join (static-destruction order) before the atexit export fires.
+const char* g_env_trace_path = nullptr;
+
+struct EnvTraceInit {
+  EnvTraceInit() {
+    const char* path = std::getenv("WARPER_TRACE");
+    if (path == nullptr || path[0] == '\0') return;
+    g_env_trace_path = path;
+    TraceEpoch();  // pin the epoch before any span
+    StartTracing();
+    std::atexit([] {
+      Status st = ExportTrace(g_env_trace_path);
+      if (!st.ok()) {
+        WARPER_LOG(Error) << "WARPER_TRACE export failed: " << st.ToString();
+      } else {
+        WARPER_LOG(Info) << "wrote trace to " << g_env_trace_path;
+      }
+    });
+  }
+};
+EnvTraceInit g_env_trace_init;
+
+void AppendJsonDouble(std::ostringstream* os, double v) {
+  std::ostringstream tmp;
+  tmp.precision(17);
+  tmp << v;
+  *os << tmp.str();
+}
+
+}  // namespace
+
+void StartTracing() {
+  TraceEpoch();
+  internal::g_trace_enabled.store(true, std::memory_order_relaxed);
+}
+
+void StopTracing() {
+  internal::g_trace_enabled.store(false, std::memory_order_relaxed);
+}
+
+void ClearTrace() {
+  BufferRegistry& r = Registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  for (auto& b : r.buffers) {
+    b->floor.store(b->committed.load(std::memory_order_acquire),
+                   std::memory_order_relaxed);
+  }
+}
+
+size_t TraceEventCount() {
+  BufferRegistry& r = Registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  size_t n = 0;
+  for (const auto& b : r.buffers) {
+    n += b->committed.load(std::memory_order_acquire) -
+         b->floor.load(std::memory_order_relaxed);
+  }
+  return n;
+}
+
+std::string TraceToJson() {
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  bool first = true;
+  BufferRegistry& r = Registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  for (const auto& b : r.buffers) {
+    size_t hi = b->committed.load(std::memory_order_acquire);
+    for (size_t i = b->floor.load(std::memory_order_relaxed); i < hi; ++i) {
+      const Event& e = b->events[i];
+      os << (first ? "\n" : ",\n");
+      first = false;
+      os << "{\"name\": \"" << e.name << "\", \"cat\": \"warper\", "
+         << "\"ph\": \"X\", \"pid\": 1, \"tid\": " << e.tid
+         << ", \"ts\": " << e.start_us << ", \"dur\": " << e.dur_us;
+      if (e.num_args > 0) {
+        os << ", \"args\": {";
+        for (size_t a = 0; a < e.num_args; ++a) {
+          if (a > 0) os << ", ";
+          os << "\"" << e.arg_keys[a] << "\": ";
+          AppendJsonDouble(&os, e.arg_values[a]);
+        }
+        os << "}";
+      }
+      os << "}";
+    }
+  }
+  os << (first ? "" : "\n") << "]}\n";
+  return os.str();
+}
+
+Status ExportTrace(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::Internal("cannot open trace output file: " + path);
+  }
+  out << TraceToJson();
+  out.close();
+  if (!out) {
+    return Status::Internal("failed writing trace output file: " + path);
+  }
+  return Status::OK();
+}
+
+void ScopedSpan::Begin(const char* name) {
+  name_ = name;
+  start_us_ = NowMicros();
+  armed_ = true;
+}
+
+void ScopedSpan::End() {
+  uint64_t end_us = NowMicros();
+  ThreadBuffer& buffer = LocalBuffer();
+  Event e;
+  e.name = name_;
+  e.tid = buffer.tid;
+  e.start_us = start_us_;
+  e.dur_us = end_us - start_us_;
+  e.num_args = num_args_;
+  for (size_t i = 0; i < num_args_; ++i) {
+    e.arg_keys[i] = arg_keys_[i];
+    e.arg_values[i] = arg_values_[i];
+  }
+  buffer.events.push_back(e);
+  buffer.committed.store(buffer.events.size(), std::memory_order_release);
+}
+
+}  // namespace warper::util

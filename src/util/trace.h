@@ -1,0 +1,101 @@
+// Scoped trace spans exportable as Chrome trace-event JSON.
+//
+// WARPER_SPAN("phase_name") opens an RAII span; on destruction the complete
+// event (name, thread, start, duration, args) is appended to a per-thread
+// buffer that only its owning thread ever writes — recording takes no locks
+// and does not allocate once the thread's buffer chunk exists. Span names
+// must be string literals (the buffer stores the pointer, not a copy).
+//
+// Tracing is off by default. When the WARPER_TRACE=<path> environment
+// variable is set, collection starts at process start and the trace is
+// written to <path> at exit; programs can also call StartTracing() /
+// ExportTrace() explicitly. With tracing disabled a span is two relaxed
+// atomic loads and no clock reads — cheap enough to leave in every phase of
+// the adaptation loop.
+//
+// Load the exported file in chrome://tracing or https://ui.perfetto.dev.
+#ifndef WARPER_UTIL_TRACE_H_
+#define WARPER_UTIL_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace warper::util {
+
+namespace internal {
+extern std::atomic<bool> g_trace_enabled;
+}  // namespace internal
+
+// True while spans are being recorded. Branch-cheap: one relaxed load.
+inline bool TraceEnabled() {
+  return internal::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+// Starts / stops collection. Stopping keeps already-recorded events so they
+// can still be exported; StartTracing does not clear them either — call
+// ClearTrace() for a fresh run.
+void StartTracing();
+void StopTracing();
+
+// Drops every recorded event (all thread buffers).
+void ClearTrace();
+
+// Number of events recorded so far across all threads.
+size_t TraceEventCount();
+
+// Serializes every recorded event as a Chrome trace-event JSON document.
+std::string TraceToJson();
+
+// Writes TraceToJson() to `path`; a non-OK Status when it cannot be written.
+Status ExportTrace(const std::string& path);
+
+// RAII span. The name must outlive the program (use string literals). Up to
+// kMaxArgs numeric args may be attached; extra ones are dropped.
+class ScopedSpan {
+ public:
+  static constexpr size_t kMaxArgs = 4;
+
+  explicit ScopedSpan(const char* name) {
+    if (TraceEnabled()) Begin(name);
+  }
+  ~ScopedSpan() {
+    if (armed_) End();
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  // Attaches "key": value to the span's args. Key must be a string literal.
+  void Arg(const char* key, double value) {
+    if (armed_ && num_args_ < kMaxArgs) {
+      arg_keys_[num_args_] = key;
+      arg_values_[num_args_] = value;
+      ++num_args_;
+    }
+  }
+
+ private:
+  void Begin(const char* name);
+  void End();
+
+  const char* name_ = nullptr;
+  uint64_t start_us_ = 0;
+  const char* arg_keys_[kMaxArgs] = {};
+  double arg_values_[kMaxArgs] = {};
+  size_t num_args_ = 0;
+  bool armed_ = false;
+};
+
+}  // namespace warper::util
+
+// Span over the rest of the enclosing scope. The variable name embeds the
+// line so two spans can coexist in one scope.
+#define WARPER_SPAN_CONCAT2(a, b) a##b
+#define WARPER_SPAN_CONCAT(a, b) WARPER_SPAN_CONCAT2(a, b)
+#define WARPER_SPAN(name) \
+  ::warper::util::ScopedSpan WARPER_SPAN_CONCAT(warper_span_, __LINE__)(name)
+
+#endif  // WARPER_UTIL_TRACE_H_

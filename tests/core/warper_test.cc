@@ -220,6 +220,79 @@ TEST(WarperTest, CpuAccountingNonZeroAfterAdaptation) {
   Warper warper(&env.domain, model.get(), FastConfig());
   ASSERT_TRUE(warper.Initialize(train).ok());
   EXPECT_GT(warper.cpu().TotalSeconds(), 0.0);
+  // Wall covers the same scopes as cpu, so it can never be smaller by more
+  // than clock resolution.
+  EXPECT_GE(warper.wall().TotalSeconds(), warper.cpu().TotalSeconds() * 0.5);
+}
+
+TEST(WarperTest, InvocationTimingBreaksDownPhases) {
+  Env env(11);
+  std::vector<ce::LabeledExample> train =
+      env.Examples(workload::GenMethod::kW1, 600);
+  auto model = TrainModel(env, train, 11);
+  Warper warper(&env.domain, model.get(), FastConfig());
+  ASSERT_TRUE(warper.Initialize(train).ok());
+
+  Warper::Invocation invocation;
+  invocation.new_queries = env.Examples(workload::GenMethod::kW3, 60);
+  Warper::InvocationResult result = warper.Invoke(invocation).ValueOrDie();
+  ASSERT_TRUE(result.mode.c2);
+
+  const Warper::InvocationTiming& timing = result.timing;
+  EXPECT_GT(timing.wall_seconds, 0.0);
+  EXPECT_GT(timing.cpu_seconds, 0.0);
+
+  // Every phase of an adapting (c2) invocation must be present, in
+  // execution order, with wall >= 0 and cpu >= 0.
+  const char* expected[] = {"warper.ingest",   "warper.det_drft",
+                            "warper.decide",   "warper.update_modules",
+                            "warper.pick",     "warper.annotate",
+                            "warper.update_model", "warper.eval"};
+  const Warper::PhaseTiming* previous = nullptr;
+  for (const char* name : expected) {
+    const Warper::PhaseTiming* phase = timing.Find(name);
+    ASSERT_NE(phase, nullptr) << name;
+    EXPECT_GE(phase->wall_seconds, 0.0) << name;
+    EXPECT_GE(phase->cpu_seconds, 0.0) << name;
+    // Execution order is preserved in the phases vector.
+    if (previous != nullptr) EXPECT_LT(previous, phase) << name;
+    previous = phase;
+  }
+  // mark_stale belongs to c1 and must not appear here.
+  EXPECT_EQ(timing.Find("warper.mark_stale"), nullptr);
+  EXPECT_EQ(timing.Find("warper.no_such_phase"), nullptr);
+
+  // The per-phase walls sum to no more than the whole invocation took.
+  double phase_wall = 0.0;
+  for (const Warper::PhaseTiming& p : timing.phases) {
+    phase_wall += p.wall_seconds;
+  }
+  EXPECT_LE(phase_wall, timing.wall_seconds * 1.01 + 1e-6);
+
+  // Module updates dominate a c2 invocation; its phase must carry real
+  // time, and cpu cannot exceed wall for single-threaded phases by more
+  // than clock skew.
+  const Warper::PhaseTiming* update = timing.Find("warper.update_modules");
+  EXPECT_GT(update->wall_seconds, 0.0);
+  EXPECT_LE(update->cpu_seconds, update->wall_seconds * 1.5 + 1e-3);
+}
+
+TEST(WarperTest, InvocationTimingCoversDataDriftPhases) {
+  Env env(12);
+  std::vector<ce::LabeledExample> train =
+      env.Examples(workload::GenMethod::kW1, 400);
+  auto model = TrainModel(env, train, 12);
+  Warper warper(&env.domain, model.get(), FastConfig());
+  ASSERT_TRUE(warper.Initialize(train).ok());
+
+  storage::UpdateRandomRows(&env.table, 0.4, &env.rng);
+  Warper::Invocation invocation;
+  invocation.new_queries = env.Examples(workload::GenMethod::kW1, 24);
+  invocation.data_changed_fraction = 0.4;
+  Warper::InvocationResult result = warper.Invoke(invocation).ValueOrDie();
+  ASSERT_TRUE(result.mode.c1);
+  EXPECT_NE(result.timing.Find("warper.mark_stale"), nullptr);
+  EXPECT_NE(result.timing.Find("warper.annotate"), nullptr);
 }
 
 TEST(WarperStatusTest, InitializeRequiresTrainedModel) {

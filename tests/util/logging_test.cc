@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 namespace warper::util {
 namespace {
 
@@ -61,6 +64,63 @@ TEST(LoggingTest, IncludesFileBasename) {
   WARPER_LOG(Info) << "locate-me";
   std::string out = testing::internal::GetCapturedStderr();
   EXPECT_NE(out.find("logging_test.cc"), std::string::npos);
+}
+
+TEST(LogSinkTest, CapturingSinkReceivesLinesInsteadOfStderr) {
+  LevelGuard guard;
+  SetLogLevel(LogLevel::kInfo);
+  testing::internal::CaptureStderr();
+  {
+    CapturingLogSink sink;
+    WARPER_LOG(Info) << "captured-one";
+    WARPER_LOG(Warn) << "captured-two";
+    ASSERT_EQ(sink.lines().size(), 2u);
+    EXPECT_NE(sink.lines()[0].find("captured-one"), std::string::npos);
+    EXPECT_NE(sink.str().find("captured-two"), std::string::npos);
+    sink.Clear();
+    EXPECT_TRUE(sink.lines().empty());
+  }
+  // Nothing leaked to stderr while the capturing sink was installed.
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+}
+
+TEST(LogSinkTest, StderrRestoredWhenSinkScopeEnds) {
+  LevelGuard guard;
+  SetLogLevel(LogLevel::kInfo);
+  { CapturingLogSink sink; }
+  testing::internal::CaptureStderr();
+  WARPER_LOG(Info) << "back-to-stderr";
+  EXPECT_NE(testing::internal::GetCapturedStderr().find("back-to-stderr"),
+            std::string::npos);
+}
+
+TEST(LogSinkTest, SetLogSinkReturnsPrevious) {
+  std::vector<std::string> first_lines;
+  LogSink previous = SetLogSink(
+      [&first_lines](LogLevel, const std::string& line) {
+        first_lines.push_back(line);
+      });
+  EXPECT_FALSE(previous);  // the stderr default was active
+
+  LogSink first = SetLogSink({});  // restore the default
+  EXPECT_TRUE(first);
+  LevelGuard guard;
+  SetLogLevel(LogLevel::kInfo);
+  first(LogLevel::kInfo, "direct-line\n");
+  ASSERT_EQ(first_lines.size(), 1u);
+  EXPECT_EQ(first_lines[0], "direct-line\n");
+}
+
+TEST(LogSinkTest, SinkLinesEndWithNewlineAndCarryLevel) {
+  CapturingLogSink sink;
+  LevelGuard guard;
+  SetLogLevel(LogLevel::kInfo);
+  WARPER_LOG(Warn) << "lined";
+  ASSERT_EQ(sink.lines().size(), 1u);
+  std::string line = sink.lines()[0];
+  ASSERT_FALSE(line.empty());
+  EXPECT_EQ(line.back(), '\n');
+  EXPECT_NE(line.find("[WARN"), std::string::npos);
 }
 
 }  // namespace

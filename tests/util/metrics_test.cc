@@ -1,0 +1,180 @@
+#include "util/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace warper::util {
+namespace {
+
+// The registry is process-global and shared with every other test in this
+// binary, so each test uses its own "test.metrics." names.
+
+TEST(CounterTest, IncrementAndReset) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.Value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.Value(), 0u);
+}
+
+TEST(CounterTest, ConcurrentIncrementsAreExact) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (uint64_t i = 0; i < kPerThread; ++i) c.Increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.Value(), kThreads * kPerThread);
+}
+
+TEST(GaugeTest, SetAddValue) {
+  Gauge g;
+  EXPECT_DOUBLE_EQ(g.Value(), 0.0);
+  g.Set(2.5);
+  EXPECT_DOUBLE_EQ(g.Value(), 2.5);
+  g.Add(-0.5);
+  EXPECT_DOUBLE_EQ(g.Value(), 2.0);
+  g.Reset();
+  EXPECT_DOUBLE_EQ(g.Value(), 0.0);
+}
+
+TEST(GaugeTest, ConcurrentAddsAreExact) {
+  Gauge g;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&g] {
+      for (int i = 0; i < kPerThread; ++i) g.Add(1.0);
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Integer-valued doubles this small add exactly; the CAS loop must not
+  // lose updates.
+  EXPECT_DOUBLE_EQ(g.Value(), static_cast<double>(kThreads * kPerThread));
+}
+
+TEST(HistogramTest, BucketsByUpperBound) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.Observe(0.5);    // <= 1
+  h.Observe(1.0);    // <= 1 (bounds are inclusive)
+  h.Observe(7.0);    // <= 10
+  h.Observe(100.0);  // <= 100
+  h.Observe(5000.0); // overflow
+  EXPECT_EQ(h.BucketCount(0), 2u);
+  EXPECT_EQ(h.BucketCount(1), 1u);
+  EXPECT_EQ(h.BucketCount(2), 1u);
+  EXPECT_EQ(h.BucketCount(3), 1u);
+  EXPECT_EQ(h.TotalCount(), 5u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 0.5 + 1.0 + 7.0 + 100.0 + 5000.0);
+  h.Reset();
+  EXPECT_EQ(h.TotalCount(), 0u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 0.0);
+}
+
+TEST(HistogramTest, ConcurrentObservesAreExact) {
+  Histogram h({10.0});
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < kPerThread; ++i) h.Observe(i % 2 == 0 ? 1.0 : 100.0);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.TotalCount(), static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(h.BucketCount(0), static_cast<uint64_t>(kThreads * kPerThread / 2));
+  EXPECT_EQ(h.BucketCount(1), static_cast<uint64_t>(kThreads * kPerThread / 2));
+}
+
+TEST(MetricsRegistryTest, SameNameReturnsSameHandle) {
+  Counter* a = Metrics().GetCounter("test.metrics.same_handle");
+  Counter* b = Metrics().GetCounter("test.metrics.same_handle");
+  EXPECT_EQ(a, b);
+  Gauge* g1 = Metrics().GetGauge("test.metrics.same_gauge");
+  Gauge* g2 = Metrics().GetGauge("test.metrics.same_gauge");
+  EXPECT_EQ(g1, g2);
+}
+
+TEST(MetricsRegistryTest, HistogramBoundsFixedAtFirstRegistration) {
+  Histogram* h1 =
+      Metrics().GetHistogram("test.metrics.fixed_bounds", {1.0, 2.0});
+  Histogram* h2 =
+      Metrics().GetHistogram("test.metrics.fixed_bounds", {99.0});
+  EXPECT_EQ(h1, h2);
+  EXPECT_EQ(h2->bounds(), (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(MetricsRegistryTest, SnapshotCapturesValues) {
+  Metrics().GetCounter("test.metrics.snap_counter")->Increment(7);
+  Metrics().GetGauge("test.metrics.snap_gauge")->Set(1.25);
+  Metrics()
+      .GetHistogram("test.metrics.snap_hist", {10.0})
+      ->Observe(3.0);
+  MetricsSnapshot snap = Metrics().Snapshot();
+  EXPECT_EQ(snap.counters.at("test.metrics.snap_counter"), 7u);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("test.metrics.snap_gauge"), 1.25);
+  const HistogramSnapshot& h = snap.histograms.at("test.metrics.snap_hist");
+  EXPECT_EQ(h.count, 1u);
+  EXPECT_DOUBLE_EQ(h.sum, 3.0);
+  ASSERT_EQ(h.bucket_counts.size(), 2u);
+  EXPECT_EQ(h.bucket_counts[0], 1u);
+}
+
+TEST(MetricsRegistryTest, TextDumpAndJsonMentionMetrics) {
+  Metrics().GetCounter("test.metrics.dump_counter")->Increment(3);
+  std::string dump = Metrics().TextDump();
+  EXPECT_NE(dump.find("test.metrics.dump_counter 3"), std::string::npos);
+  std::string json = Metrics().Snapshot().ToJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.metrics.dump_counter\": 3"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ResetZeroesButKeepsHandles) {
+  Counter* c = Metrics().GetCounter("test.metrics.reset_counter");
+  c->Increment(5);
+  Metrics().Reset();
+  EXPECT_EQ(c->Value(), 0u);
+  // The handle survives and keeps working.
+  c->Increment();
+  EXPECT_EQ(c->Value(), 1u);
+  EXPECT_EQ(Metrics().GetCounter("test.metrics.reset_counter"), c);
+}
+
+// Many threads registering and incrementing through the registry at once —
+// the TSan job's main target.
+TEST(MetricsRegistryTest, ConcurrentRegistrationAndUse) {
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < 200; ++i) {
+        std::string name =
+            "test.metrics.concurrent_" + std::to_string(i % 10);
+        Metrics().GetCounter(name)->Increment();
+        Metrics().GetGauge(name + ".gauge")->Add(1.0);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  uint64_t total = 0;
+  for (int i = 0; i < 10; ++i) {
+    total += Metrics()
+                 .GetCounter("test.metrics.concurrent_" + std::to_string(i))
+                 ->Value();
+  }
+  EXPECT_EQ(total, static_cast<uint64_t>(kThreads * 200));
+}
+
+}  // namespace
+}  // namespace warper::util

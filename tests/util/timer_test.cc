@@ -2,8 +2,18 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <thread>
+
 namespace warper::util {
 namespace {
+
+// Spins long enough to accrue measurable thread-CPU time.
+void BurnCpu() {
+  volatile double sink = 0.0;
+  for (int i = 0; i < 2000000; ++i) sink = sink + static_cast<double>(i);
+  (void)sink;
+}
 
 TEST(WallTimerTest, NonNegativeAndMonotonic) {
   WallTimer timer;
@@ -33,11 +43,58 @@ TEST(ScopedCpuTimerTest, AccumulatesScopeTime) {
   CpuAccumulator acc;
   {
     ScopedCpuTimer timer(&acc);
-    volatile double sink = 0.0;
-    for (int i = 0; i < 100000; ++i) sink = sink + i;
-    (void)sink;
+    BurnCpu();
   }
   EXPECT_GT(acc.TotalSeconds(), 0.0);
+}
+
+TEST(ThreadCpuTimerTest, BusyWorkAccruesCpuTime) {
+  ThreadCpuTimer timer;
+  BurnCpu();
+  double t1 = timer.Seconds();
+  EXPECT_GT(t1, 0.0);
+  BurnCpu();
+  double t2 = timer.Seconds();
+  EXPECT_GE(t2, t1);
+  timer.Restart();
+  EXPECT_LT(timer.Seconds(), t2);
+}
+
+TEST(ThreadCpuTimerTest, SleepAccruesWallButLittleCpu) {
+  // The whole point of the thread-CPU clock: a blocked thread's wall time
+  // keeps running while its CPU time (nearly) stands still.
+  ThreadCpuTimer cpu_timer;
+  WallTimer wall_timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  double cpu = cpu_timer.Seconds();
+  double wall = wall_timer.Seconds();
+  EXPECT_GE(wall, 0.040);
+  EXPECT_LT(cpu, wall / 2.0);
+}
+
+TEST(ThreadCpuTimerTest, MeasuresOnlyOwnThread) {
+  ThreadCpuTimer timer;
+  std::thread other([] { BurnCpu(); });
+  other.join();
+  double own_cpu = timer.Seconds();
+  // The other thread's burn must not be billed to this thread; spawning and
+  // joining cost far less CPU than the burn itself.
+  ThreadCpuTimer burn_cost_timer;
+  BurnCpu();
+  EXPECT_LT(own_cpu, burn_cost_timer.Seconds());
+}
+
+TEST(ScopedCpuTimerTest, TracksWallAlongsideCpu) {
+  CpuAccumulator cpu;
+  CpuAccumulator wall;
+  {
+    ScopedCpuTimer timer(&cpu, &wall);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_GE(wall.TotalSeconds(), 0.015);
+  // Sleeping costs wall time but (nearly) no thread CPU — the accounting
+  // gap the pre-ThreadCpuTimer ScopedCpuTimer used to hide.
+  EXPECT_LT(cpu.TotalSeconds(), wall.TotalSeconds());
 }
 
 }  // namespace

@@ -1,0 +1,152 @@
+#include "util/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+namespace warper::util {
+namespace {
+
+// Tracing state is process-global; every test starts and ends from a clean,
+// disabled state so neighbours in this binary are unaffected.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    StopTracing();
+    ClearTrace();
+  }
+  void TearDown() override {
+    StopTracing();
+    ClearTrace();
+  }
+};
+
+// Minimal structural validation: balanced braces/brackets outside strings
+// and an even number of unescaped quotes. Catches truncated or interleaved
+// output without a JSON library.
+bool LooksLikeValidJson(const std::string& s) {
+  int braces = 0;
+  int brackets = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < s.size(); ++i) {
+    char c = s[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;  // skip the escaped character
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': ++braces; break;
+      case '}': --braces; break;
+      case '[': ++brackets; break;
+      case ']': --brackets; break;
+      default: break;
+    }
+    if (braces < 0 || brackets < 0) return false;
+  }
+  return braces == 0 && brackets == 0 && !in_string;
+}
+
+TEST_F(TraceTest, DisabledRecordsNothing) {
+  ASSERT_FALSE(TraceEnabled());
+  {
+    WARPER_SPAN("trace_test.disabled");
+    ScopedSpan span("trace_test.disabled_explicit");
+    span.Arg("ignored", 1.0);
+  }
+  EXPECT_EQ(TraceEventCount(), 0u);
+}
+
+TEST_F(TraceTest, RecordsNestedSpansWithArgs) {
+  StartTracing();
+  {
+    ScopedSpan outer("trace_test.outer");
+    outer.Arg("answer", 42.0);
+    { WARPER_SPAN("trace_test.inner"); }
+  }
+  StopTracing();
+  EXPECT_EQ(TraceEventCount(), 2u);
+
+  std::string json = TraceToJson();
+  EXPECT_TRUE(LooksLikeValidJson(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("trace_test.outer"), std::string::npos);
+  EXPECT_NE(json.find("trace_test.inner"), std::string::npos);
+  EXPECT_NE(json.find("\"answer\": 42"), std::string::npos);
+  // Complete events: every span is one self-contained "X" record, so begins
+  // and ends are balanced by construction.
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  // The inner span must appear before the outer one finishes — its record
+  // is committed first (RAII destruction order).
+  EXPECT_LT(json.find("trace_test.inner"), json.find("trace_test.outer"));
+}
+
+TEST_F(TraceTest, RecordsFromMultipleThreads) {
+  StartTracing();
+  std::thread a([] { WARPER_SPAN("trace_test.thread_a"); });
+  std::thread b([] { WARPER_SPAN("trace_test.thread_b"); });
+  a.join();
+  b.join();
+  { WARPER_SPAN("trace_test.main_thread"); }
+  StopTracing();
+  EXPECT_EQ(TraceEventCount(), 3u);
+  std::string json = TraceToJson();
+  EXPECT_TRUE(LooksLikeValidJson(json)) << json;
+  EXPECT_NE(json.find("trace_test.thread_a"), std::string::npos);
+  EXPECT_NE(json.find("trace_test.thread_b"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\""), std::string::npos);
+}
+
+TEST_F(TraceTest, ClearTraceDropsEvents) {
+  StartTracing();
+  { WARPER_SPAN("trace_test.cleared"); }
+  EXPECT_EQ(TraceEventCount(), 1u);
+  ClearTrace();
+  EXPECT_EQ(TraceEventCount(), 0u);
+  // Recording continues after a clear.
+  { WARPER_SPAN("trace_test.after_clear"); }
+  EXPECT_EQ(TraceEventCount(), 1u);
+  EXPECT_EQ(TraceToJson().find("trace_test.cleared"), std::string::npos);
+}
+
+TEST_F(TraceTest, ExportTraceRoundTrip) {
+  StartTracing();
+  { WARPER_SPAN("trace_test.exported"); }
+  StopTracing();
+
+  std::string path = ::testing::TempDir() + "warper_trace_test.json";
+  ASSERT_TRUE(ExportTrace(path).ok());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::string contents = buffer.str();
+  EXPECT_EQ(contents, TraceToJson());
+  EXPECT_TRUE(LooksLikeValidJson(contents));
+  std::remove(path.c_str());
+}
+
+TEST_F(TraceTest, ExportTraceToBadPathFails) {
+  EXPECT_FALSE(ExportTrace("/nonexistent-dir/trace.json").ok());
+}
+
+TEST_F(TraceTest, StopTracingKeepsRecordedEvents) {
+  StartTracing();
+  { WARPER_SPAN("trace_test.kept"); }
+  StopTracing();
+  EXPECT_EQ(TraceEventCount(), 1u);
+  // Spans opened while stopped are not recorded.
+  { WARPER_SPAN("trace_test.not_recorded"); }
+  EXPECT_EQ(TraceEventCount(), 1u);
+}
+
+}  // namespace
+}  // namespace warper::util
