@@ -4,7 +4,7 @@
 function(warper_bench name)
   add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cpp)
   target_link_libraries(${name} PRIVATE
-    warper_eval warper_qo warper_baselines warper_core warper_ce
+    warper_eval warper_qo warper_baselines warper_serve warper_core warper_ce
     warper_workload warper_storage warper_ml warper_nn warper_util)
   target_include_directories(${name} PRIVATE ${CMAKE_SOURCE_DIR}/bench)
   set_target_properties(${name} PROPERTIES
@@ -27,3 +27,4 @@ warper_bench(tab08_workload_pairs)
 warper_bench(tab10_ablation)
 warper_bench(bench_parallel)
 warper_bench(bench_kernels)
+warper_bench(bench_serving)

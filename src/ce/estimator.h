@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "nn/matrix.h"
+#include "util/status.h"
 
 namespace warper::ce {
 
@@ -54,6 +55,21 @@ class CardinalityEstimator {
   virtual std::vector<double> EstimateTargets(const nn::Matrix& x) const = 0;
 
   virtual bool trained() const = 0;
+
+  // Deep copy of the model's full state, for immutable serving snapshots
+  // (serve::ModelSnapshot). nullptr when the concrete model does not support
+  // cloning; the serving layer turns that into FailedPrecondition.
+  virtual std::unique_ptr<CardinalityEstimator> Clone() const {
+    return nullptr;
+  }
+
+  // Restores this model's state from `other` (the §3.4 rollback path).
+  // FailedPrecondition when `other` is a different concrete type or shape.
+  virtual Status RestoreFrom(const CardinalityEstimator& other) {
+    (void)other;
+    return Status::FailedPrecondition(Name() +
+                                      " does not support state restore");
+  }
 
   // Convenience: predicted cardinality for one query.
   double EstimateCardinality(const std::vector<double>& features) const;

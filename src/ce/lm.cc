@@ -45,6 +45,21 @@ std::vector<double> LmMlp::EstimateTargets(const nn::Matrix& x) const {
   return targets;
 }
 
+std::unique_ptr<CardinalityEstimator> LmMlp::Clone() const {
+  return std::make_unique<LmMlp>(*this);
+}
+
+Status LmMlp::RestoreFrom(const CardinalityEstimator& other) {
+  const auto* src = dynamic_cast<const LmMlp*>(&other);
+  if (src == nullptr || src->feature_dim_ != feature_dim_ ||
+      src->mlp_.config().layer_sizes != mlp_.config().layer_sizes) {
+    return Status::FailedPrecondition(
+        "LmMlp::RestoreFrom: source is not an LM-mlp of the same shape");
+  }
+  *this = *src;
+  return Status::OK();
+}
+
 // --- LmGbt ---
 
 LmGbt::LmGbt(size_t feature_dim, const LmGbtConfig& config, uint64_t seed)
@@ -91,6 +106,35 @@ std::vector<double> LmKernel::EstimateTargets(const nn::Matrix& x) const {
   std::vector<double> targets(x.rows());
   for (size_t i = 0; i < x.rows(); ++i) targets[i] = model_.Predict(x.Row(i));
   return targets;
+}
+
+std::unique_ptr<CardinalityEstimator> LmGbt::Clone() const {
+  return std::make_unique<LmGbt>(*this);
+}
+
+Status LmGbt::RestoreFrom(const CardinalityEstimator& other) {
+  const auto* src = dynamic_cast<const LmGbt*>(&other);
+  if (src == nullptr || src->feature_dim_ != feature_dim_) {
+    return Status::FailedPrecondition(
+        "LmGbt::RestoreFrom: source is not an LM-gbt of the same shape");
+  }
+  *this = *src;
+  return Status::OK();
+}
+
+std::unique_ptr<CardinalityEstimator> LmKernel::Clone() const {
+  return std::make_unique<LmKernel>(*this);
+}
+
+Status LmKernel::RestoreFrom(const CardinalityEstimator& other) {
+  const auto* src = dynamic_cast<const LmKernel*>(&other);
+  if (src == nullptr || src->feature_dim_ != feature_dim_ ||
+      src->Name() != Name()) {
+    return Status::FailedPrecondition(
+        "LmKernel::RestoreFrom: source is not the same kernel model");
+  }
+  *this = *src;
+  return Status::OK();
 }
 
 std::unique_ptr<CardinalityEstimator> MakeLmPly(size_t feature_dim,

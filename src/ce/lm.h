@@ -38,6 +38,13 @@ class LmMlp : public CardinalityEstimator {
   void Update(const nn::Matrix& x, const std::vector<double>& y) override;
   std::vector<double> EstimateTargets(const nn::Matrix& x) const override;
   bool trained() const override { return trained_; }
+  std::unique_ptr<CardinalityEstimator> Clone() const override;
+  Status RestoreFrom(const CardinalityEstimator& other) override;
+
+  // The underlying network; serving snapshots and the whole-bundle
+  // persistence (ce/model_io.h) reach the parameters through it.
+  nn::Mlp& mlp() { return mlp_; }
+  const nn::Mlp& mlp() const { return mlp_; }
 
  private:
   void Fit(const nn::Matrix& x, const std::vector<double>& y, int epochs);
@@ -63,6 +70,8 @@ class LmGbt : public CardinalityEstimator {
   void Update(const nn::Matrix& x, const std::vector<double>& y) override;
   std::vector<double> EstimateTargets(const nn::Matrix& x) const override;
   bool trained() const override { return model_.fitted(); }
+  std::unique_ptr<CardinalityEstimator> Clone() const override;
+  Status RestoreFrom(const CardinalityEstimator& other) override;
 
  private:
   size_t feature_dim_;
@@ -83,6 +92,8 @@ class LmKernel : public CardinalityEstimator {
   void Update(const nn::Matrix& x, const std::vector<double>& y) override;
   std::vector<double> EstimateTargets(const nn::Matrix& x) const override;
   bool trained() const override { return model_.fitted(); }
+  std::unique_ptr<CardinalityEstimator> Clone() const override;
+  Status RestoreFrom(const CardinalityEstimator& other) override;
 
  private:
   size_t feature_dim_;

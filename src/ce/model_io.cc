@@ -7,6 +7,70 @@ namespace warper::ce {
 namespace {
 
 constexpr uint64_t kMagic = 0x57524D4C50563031ULL;  // "WRMLPV01"
+constexpr uint64_t kBundleMagic = 0x5752424E44563031ULL;  // "WRBNDV01"
+
+template <typename T>
+void WriteScalar(std::ofstream& out, T value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+template <typename T>
+bool ReadScalar(std::ifstream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(*value));
+  return static_cast<bool>(in);
+}
+
+// One named MLP section of a bundle: name, layer sizes, parameters.
+void WriteSection(std::ofstream& out, const std::string& name,
+                  const nn::Mlp& mlp) {
+  WriteScalar<uint64_t>(out, name.size());
+  out.write(name.data(), static_cast<std::streamsize>(name.size()));
+  WriteScalar<uint64_t>(out, mlp.config().layer_sizes.size());
+  for (size_t s : mlp.config().layer_sizes) WriteScalar<uint64_t>(out, s);
+  std::vector<double> params = mlp.GetParameters();
+  WriteScalar<uint64_t>(out, params.size());
+  out.write(reinterpret_cast<const char*>(params.data()),
+            static_cast<std::streamsize>(params.size() * sizeof(double)));
+}
+
+// Reads one section's body (layer sizes + parameters; the name was already
+// consumed by the caller). A null target skips over the parameters.
+Status ReadSectionBody(std::ifstream& in, const std::string& path,
+                       const std::string& name, nn::Mlp* target) {
+  uint64_t num_layers = 0;
+  if (!ReadScalar(in, &num_layers)) {
+    return Status::Internal("truncated bundle '" + path + "'");
+  }
+  std::vector<size_t> layer_sizes(num_layers);
+  for (uint64_t i = 0; i < num_layers; ++i) {
+    uint64_t size = 0;
+    if (!ReadScalar(in, &size)) {
+      return Status::Internal("truncated bundle '" + path + "'");
+    }
+    layer_sizes[i] = size;
+  }
+  uint64_t count = 0;
+  if (!ReadScalar(in, &count)) {
+    return Status::Internal("truncated bundle '" + path + "'");
+  }
+  if (target != nullptr) {
+    if (layer_sizes != target->config().layer_sizes ||
+        count != target->ParameterCount()) {
+      return Status::FailedPrecondition("section '" + name + "' in '" + path +
+                                        "' does not match the target shape");
+    }
+    std::vector<double> params(count);
+    in.read(reinterpret_cast<char*>(params.data()),
+            static_cast<std::streamsize>(count * sizeof(double)));
+    if (!in) return Status::Internal("truncated bundle '" + path + "'");
+    target->SetParameters(params);
+  } else {
+    in.seekg(static_cast<std::streamoff>(count * sizeof(double)),
+             std::ios::cur);
+    if (!in) return Status::Internal("truncated bundle '" + path + "'");
+  }
+  return Status::OK();
+}
 
 }  // namespace
 
@@ -67,14 +131,77 @@ Status LoadMlp(nn::Mlp* mlp, const std::string& path) {
   return Status::OK();
 }
 
+Status SaveWarperModels(const nn::Mlp* m, const nn::Mlp& e, const nn::Mlp& g,
+                        const nn::Mlp& d, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::Internal("cannot open '" + path + "' for writing");
+  WriteScalar(out, kBundleMagic);
+  WriteScalar<uint64_t>(out, m != nullptr ? 4 : 3);
+  if (m != nullptr) WriteSection(out, "M", *m);
+  WriteSection(out, "E", e);
+  WriteSection(out, "G", g);
+  WriteSection(out, "D", d);
+  if (!out) return Status::Internal("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+Status LoadWarperModels(nn::Mlp* m, nn::Mlp* e, nn::Mlp* g, nn::Mlp* d,
+                        const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  uint64_t magic = 0;
+  if (!ReadScalar(in, &magic) || magic != kBundleMagic) {
+    return Status::InvalidArgument("'" + path +
+                                   "' is not a Warper model bundle");
+  }
+  uint64_t sections = 0;
+  if (!ReadScalar(in, &sections) || sections > 16) {
+    return Status::Internal("corrupt bundle '" + path + "'");
+  }
+  bool loaded_m = false, loaded_e = false, loaded_g = false, loaded_d = false;
+  for (uint64_t i = 0; i < sections; ++i) {
+    uint64_t name_size = 0;
+    if (!ReadScalar(in, &name_size) || name_size > 64) {
+      return Status::Internal("corrupt section header in '" + path + "'");
+    }
+    std::string name(name_size, '\0');
+    in.read(name.data(), static_cast<std::streamsize>(name_size));
+    if (!in) return Status::Internal("truncated bundle '" + path + "'");
+    nn::Mlp* target = nullptr;
+    if (name == "M") {
+      target = m;
+      loaded_m = target != nullptr;
+    } else if (name == "E") {
+      target = e;
+      loaded_e = target != nullptr;
+    } else if (name == "G") {
+      target = g;
+      loaded_g = target != nullptr;
+    } else if (name == "D") {
+      target = d;
+      loaded_d = target != nullptr;
+    }
+    WARPER_RETURN_NOT_OK(ReadSectionBody(in, path, name, target));
+  }
+  if ((m != nullptr && !loaded_m) || (e != nullptr && !loaded_e) ||
+      (g != nullptr && !loaded_g) || (d != nullptr && !loaded_d)) {
+    return Status::FailedPrecondition(
+        "bundle '" + path + "' is missing a requested model section");
+  }
+  return Status::OK();
+}
+
 MlpSnapshot::MlpSnapshot(const nn::Mlp& mlp)
     : layer_sizes_(mlp.config().layer_sizes),
       parameters_(mlp.GetParameters()) {}
 
-void MlpSnapshot::RestoreTo(nn::Mlp* mlp) const {
-  WARPER_CHECK_MSG(mlp->config().layer_sizes == layer_sizes_,
-                   "snapshot shape mismatch");
+Status MlpSnapshot::RestoreTo(nn::Mlp* mlp) const {
+  if (mlp->config().layer_sizes != layer_sizes_) {
+    return Status::FailedPrecondition(
+        "MlpSnapshot::RestoreTo: target shape does not match the snapshot");
+  }
   mlp->SetParameters(parameters_);
+  return Status::OK();
 }
 
 }  // namespace warper::ce

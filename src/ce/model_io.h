@@ -22,14 +22,31 @@ Status SaveMlp(const nn::Mlp& mlp, const std::string& path);
 // match the target's configuration.
 Status LoadMlp(nn::Mlp* mlp, const std::string& path);
 
+// Whole-bundle persistence: the CE model M (when MLP-backed — pass nullptr
+// for models that re-train cheaply and need no snapshot) plus the learned
+// Warper modules E, G, D in one versioned file, so a deployment restores a
+// consistent adaptation state atomically instead of juggling four files.
+Status SaveWarperModels(const nn::Mlp* m, const nn::Mlp& e, const nn::Mlp& g,
+                        const nn::Mlp& d, const std::string& path);
+
+// Counterpart loader; every non-null target must match the stored shape.
+// Passing a null `m` skips the M section (and vice versa: loading a file
+// saved without M into a non-null `m` is FailedPrecondition).
+Status LoadWarperModels(nn::Mlp* m, nn::Mlp* e, nn::Mlp* g, nn::Mlp* d,
+                        const std::string& path);
+
 // In-memory snapshot/rollback helper: capture parameters before a risky
 // update, restore them if the update regressed.
 class MlpSnapshot {
  public:
   explicit MlpSnapshot(const nn::Mlp& mlp);
 
-  // Restores the captured parameters. Dies if `mlp` changed shape.
-  void RestoreTo(nn::Mlp* mlp) const;
+  // Restores the captured parameters; FailedPrecondition when `mlp` does
+  // not have the captured shape (it never aborts — a shape mismatch during
+  // a serving rollback must surface as an error, not kill the process).
+  Status RestoreTo(nn::Mlp* mlp) const;
+
+  const std::vector<size_t>& layer_sizes() const { return layer_sizes_; }
 
  private:
   std::vector<size_t> layer_sizes_;

@@ -252,4 +252,21 @@ std::vector<double> Mscn::EstimateTargets(const nn::Matrix& x) const {
   return ForwardBatch(x, /*cache=*/false);
 }
 
+std::unique_ptr<CardinalityEstimator> Mscn::Clone() const {
+  return std::make_unique<Mscn>(*this);
+}
+
+Status Mscn::RestoreFrom(const CardinalityEstimator& other) {
+  const auto* src = dynamic_cast<const Mscn*>(&other);
+  if (src == nullptr || src->config_.feature_dim != config_.feature_dim ||
+      src->config_.segments.size() != config_.segments.size() ||
+      src->config_.num_join_bits != config_.num_join_bits ||
+      src->config_.hidden_units != config_.hidden_units) {
+    return Status::FailedPrecondition(
+        "Mscn::RestoreFrom: source is not an MSCN of the same shape");
+  }
+  *this = *src;
+  return Status::OK();
+}
+
 }  // namespace warper::ce

@@ -56,6 +56,8 @@ class Mscn : public CardinalityEstimator {
   void Update(const nn::Matrix& x, const std::vector<double>& y) override;
   std::vector<double> EstimateTargets(const nn::Matrix& x) const override;
   bool trained() const override { return trained_; }
+  std::unique_ptr<CardinalityEstimator> Clone() const override;
+  Status RestoreFrom(const CardinalityEstimator& other) override;
 
   // Elements per query in the predicate set (fixed: one per table column).
   size_t PredicateSetSize() const;

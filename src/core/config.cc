@@ -17,6 +17,24 @@ Status BadKnob(const std::string& what) {
 
 }  // namespace
 
+Status ServeConfig::Validate() const {
+  if (batch_max == 0) return BadKnob("serve.batch_max must be > 0");
+  if (batch_timeout_us < 0) {
+    return BadKnob("serve.batch_timeout_us must be >= 0");
+  }
+  if (queue_capacity == 0) return BadKnob("serve.queue_capacity must be > 0");
+  if (batch_max > queue_capacity) {
+    return BadKnob("serve.batch_max must be <= serve.queue_capacity");
+  }
+  if (default_deadline_us < 0) {
+    return BadKnob("serve.default_deadline_us must be >= 0");
+  }
+  if (!(regression_tolerance > 0.0) || !std::isfinite(regression_tolerance)) {
+    return BadKnob("serve.regression_tolerance must be positive and finite");
+  }
+  return Status::OK();
+}
+
 Status WarperConfig::Validate() const {
   if (hidden_units == 0) return BadKnob("hidden_units must be > 0");
   if (hidden_layers == 0) return BadKnob("hidden_layers must be > 0");
@@ -57,6 +75,7 @@ Status WarperConfig::Validate() const {
     return Status::InvalidArgument("WarperConfig: " +
                                    parallel_status.message());
   }
+  WARPER_RETURN_NOT_OK(serve.Validate());
   return Status::OK();
 }
 

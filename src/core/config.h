@@ -16,6 +16,37 @@ namespace warper::core {
 enum class PickerVariant { kWarper, kRandom, kEntropy };
 enum class GeneratorVariant { kGan, kNoiseAug };
 
+// Knobs for the serving layer (src/serve): the micro-batcher in front of
+// the estimator, the admission controller on its queue, and the eval gate
+// the background adaptation thread applies before publishing a snapshot.
+struct ServeConfig {
+  // Micro-batcher: requests coalesced into one Mlp::Predict matrix pass.
+  // batch_max = 1 disables coalescing — Estimate() computes inline on the
+  // caller's thread against the current snapshot (the lock-free fast path).
+  size_t batch_max = 32;
+  // After the first request of a batch arrives, how long the dispatcher
+  // waits for more before running a partial batch.
+  int64_t batch_timeout_us = 200;
+
+  // Admission control: bounded request queue, and what an arrival does when
+  // the queue is full — wait for space (kBlock) or fail fast with
+  // Unavailable (kShed).
+  enum class Overflow { kBlock, kShed };
+  size_t queue_capacity = 1024;
+  Overflow overflow = Overflow::kBlock;
+  // Deadline applied to requests that do not carry their own (µs; 0 = no
+  // deadline). A request still queued when its deadline passes is answered
+  // with DeadlineExceeded instead of occupying a batch slot.
+  int64_t default_deadline_us = 0;
+
+  // Eval gate (§3.4): an adapted model is published only when its eval GMQ
+  // is at most `regression_tolerance` × the last published version's;
+  // otherwise M and the modules roll back to the last-good snapshot.
+  double regression_tolerance = 1.10;
+
+  Status Validate() const;
+};
+
 struct WarperConfig {
   // --- Learned module shapes (Table 3) ---
   // Encoder/generator trunk: `hidden_layers` fully-connected layers of
@@ -94,6 +125,9 @@ struct WarperConfig {
   // deterministic=false to let adaptation episodes use the AVX2+FMA kernels
   // (same math to ~1e-12 relative tolerance — see DESIGN.md).
   util::ParallelConfig parallel;
+
+  // --- Serving (src/serve) — see ServeConfig above.
+  ServeConfig serve;
 
   uint64_t seed = 42;
 

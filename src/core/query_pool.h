@@ -32,6 +32,18 @@ struct PoolRecord {
   bool HasFreshLabel() const { return HasLabel() && !stale; }
 };
 
+// Threading contract (single-writer): QueryPool is not internally
+// synchronized. Exactly one thread may mutate it at a time — in a serving
+// deployment that is the background adaptation thread driving
+// Warper::Invoke (serve::EstimationServer enforces this by funneling every
+// invocation through its one adaptation thread). Concurrent const access is
+// safe only while no writer is active; the serving fast path never reads
+// the pool at all — Estimate() traffic runs against immutable
+// serve::ModelSnapshot clones — so estimates during Invoke() do not race.
+// Off-thread observers (benches, tests polling Warper::pool()) must either
+// quiesce the adaptation thread first or accept torn index views; they must
+// not hold a record reference across an Append (vector reallocation) or
+// PruneUnlabeledGenerated (index invalidation).
 class QueryPool {
  public:
   QueryPool() = default;

@@ -158,6 +158,28 @@ Status Warper::Initialize(const std::vector<ce::LabeledExample>& train_corpus) {
   return Status::OK();
 }
 
+Result<Warper::ModuleState> Warper::CaptureModuleState() const {
+  if (!initialized_) {
+    return Status::FailedPrecondition(
+        "Warper::CaptureModuleState: call Initialize() first");
+  }
+  return ModuleState{ce::MlpSnapshot(models_->encoder().mlp()),
+                     ce::MlpSnapshot(models_->generator().mlp()),
+                     ce::MlpSnapshot(models_->discriminator().mlp())};
+}
+
+Status Warper::RestoreModuleState(const ModuleState& state) {
+  if (!initialized_) {
+    return Status::FailedPrecondition(
+        "Warper::RestoreModuleState: call Initialize() first");
+  }
+  WARPER_RETURN_NOT_OK(state.encoder.RestoreTo(&models_->encoder().mlp()));
+  WARPER_RETURN_NOT_OK(state.generator.RestoreTo(&models_->generator().mlp()));
+  WARPER_RETURN_NOT_OK(
+      state.discriminator.RestoreTo(&models_->discriminator().mlp()));
+  return Status::OK();
+}
+
 bool Warper::RecentNewGmq(double* gmq) const {
   std::vector<size_t> window;
   for (size_t i = new_record_order_.size(); i-- > 0;) {

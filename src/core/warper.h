@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "ce/estimator.h"
+#include "ce/model_io.h"
 #include "ce/query_domain.h"
 #include "core/config.h"
 #include "core/drift.h"
@@ -91,6 +92,28 @@ class Warper {
   // FailedPrecondition before a successful Initialize(); InvalidArgument
   // when a new query's feature vector does not match the domain's dim.
   Result<InvocationResult> Invoke(const Invocation& invocation);
+
+  // Captured parameters of the learned modules E, G, D — one half of a
+  // serving snapshot (the other half is a clone of M). Restoring it is the
+  // §3.4 rollback path: when an adaptation regresses, the serving layer
+  // puts both M and the modules back to the last published version, so the
+  // next episode does not fine-tune on top of the regressed weights.
+  struct ModuleState {
+    ce::MlpSnapshot encoder;
+    ce::MlpSnapshot generator;
+    ce::MlpSnapshot discriminator;
+  };
+
+  // FailedPrecondition before a successful Initialize().
+  Result<ModuleState> CaptureModuleState() const;
+  Status RestoreModuleState(const ModuleState& state);
+
+  // The adapted CE model — the serving layer clones it when publishing a
+  // snapshot and restores it on rollback.
+  ce::CardinalityEstimator* model() const { return model_; }
+
+  // The query domain M estimates over (featurization width, annotation).
+  const ce::QueryDomain* domain() const { return domain_; }
 
   const QueryPool& pool() const { return pool_; }
   QueryPool& pool() { return pool_; }

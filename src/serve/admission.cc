@@ -1,0 +1,54 @@
+#include "serve/admission.h"
+
+#include "util/metrics.h"
+
+namespace warper::serve {
+namespace {
+
+struct AdmissionMetrics {
+  util::Counter* shed = util::Metrics().GetCounter("serve.shed");
+  util::Counter* expired = util::Metrics().GetCounter("serve.expired");
+  util::Gauge* queue_depth = util::Metrics().GetGauge("serve.queue_depth");
+};
+
+AdmissionMetrics& GetAdmissionMetrics() {
+  static AdmissionMetrics* metrics = new AdmissionMetrics();
+  return *metrics;
+}
+
+}  // namespace
+
+AdmissionController::AdmissionController(const core::ServeConfig& config)
+    : config_(config) {}
+
+AdmissionController::Decision AdmissionController::Admit(size_t depth) const {
+  if (depth < config_.queue_capacity) return Decision::kAdmit;
+  return config_.overflow == core::ServeConfig::Overflow::kShed
+             ? Decision::kShed
+             : Decision::kWait;
+}
+
+AdmissionController::Clock::time_point AdmissionController::DeadlineFor(
+    int64_t deadline_us) const {
+  if (deadline_us <= 0) deadline_us = config_.default_deadline_us;
+  if (deadline_us <= 0) return Clock::time_point::max();
+  return Clock::now() + std::chrono::microseconds(deadline_us);
+}
+
+Status AdmissionController::Shed() {
+  GetAdmissionMetrics().shed->Increment();
+  return Status::Unavailable("serving queue full (" +
+                             std::to_string(config_.queue_capacity) +
+                             " requests); request shed");
+}
+
+Status AdmissionController::Expire() {
+  GetAdmissionMetrics().expired->Increment();
+  return Status::DeadlineExceeded("request deadline elapsed before serving");
+}
+
+void AdmissionController::RecordDepth(size_t depth) {
+  GetAdmissionMetrics().queue_depth->Set(static_cast<double>(depth));
+}
+
+}  // namespace warper::serve

@@ -1,0 +1,53 @@
+// Admission control for the serving queue: bounded capacity with a
+// configurable overflow policy (block until space, or shed with
+// Unavailable) and per-request deadlines. Pulled out of the batcher so the
+// policy is testable on its own and later layers (sharded servers,
+// priority lanes) can reuse it unchanged.
+#ifndef WARPER_SERVE_ADMISSION_H_
+#define WARPER_SERVE_ADMISSION_H_
+
+#include <chrono>
+#include <cstdint>
+
+#include "core/config.h"
+#include "util/status.h"
+
+namespace warper::serve {
+
+class AdmissionController {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  explicit AdmissionController(const core::ServeConfig& config);
+
+  // What to do with an arrival while the queue holds `depth` entries:
+  // enqueue it (kAdmit), make the caller wait for space (kWait, kBlock
+  // policy), or refuse it (kShed, kShed policy).
+  enum class Decision { kAdmit, kWait, kShed };
+  Decision Admit(size_t depth) const;
+
+  // Absolute deadline for a request carrying `deadline_us`. Zero falls back
+  // to the config default; a zero default means no deadline
+  // (Clock::time_point::max()). Negative values are treated as zero.
+  Clock::time_point DeadlineFor(int64_t deadline_us) const;
+
+  static bool Expired(Clock::time_point deadline, Clock::time_point now) {
+    return now > deadline;
+  }
+
+  // Terminal statuses, with the matching serve.* counter bumped.
+  Status Shed();
+  Status Expire();
+
+  // Publishes the instantaneous queue depth to serve.queue_depth.
+  void RecordDepth(size_t depth);
+
+  const core::ServeConfig& config() const { return config_; }
+
+ private:
+  core::ServeConfig config_;
+};
+
+}  // namespace warper::serve
+
+#endif  // WARPER_SERVE_ADMISSION_H_

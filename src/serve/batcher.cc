@@ -1,0 +1,248 @@
+#include "serve/batcher.h"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <utility>
+
+#include "nn/matrix.h"
+#include "util/metrics.h"
+#include "util/trace.h"
+
+namespace warper::serve {
+namespace {
+
+struct BatcherMetrics {
+  util::Counter* requests = util::Metrics().GetCounter("serve.requests");
+  util::Counter* batches = util::Metrics().GetCounter("serve.batches");
+  util::Gauge* qps = util::Metrics().GetGauge("serve.qps");
+  util::Histogram* batch_size = util::Metrics().GetHistogram(
+      "serve.batch_size", {1, 2, 4, 8, 16, 32, 64, 128, 256});
+  util::Histogram* latency_us = util::Metrics().GetHistogram(
+      "serve.latency_us",
+      {10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000, 50000, 200000});
+};
+
+BatcherMetrics& GetBatcherMetrics() {
+  static BatcherMetrics* metrics = new BatcherMetrics();
+  return *metrics;
+}
+
+}  // namespace
+
+MicroBatcher::MicroBatcher(const core::ServeConfig& config,
+                           const SnapshotStore* store, size_t feature_dim)
+    : config_(config),
+      store_(store),
+      feature_dim_(feature_dim),
+      admission_(config) {
+  WARPER_CHECK(store != nullptr && feature_dim > 0);
+}
+
+MicroBatcher::~MicroBatcher() { Stop(); }
+
+Status MicroBatcher::Start() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (started_ || stop_) {
+    return Status::FailedPrecondition(
+        "MicroBatcher::Start: already started or stopped");
+  }
+  started_ = true;
+  window_start_ = AdmissionController::Clock::now();
+  dispatcher_ = std::thread([this] { DispatchLoop(); });
+  return Status::OK();
+}
+
+void MicroBatcher::Stop() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+  // No dispatcher will ever run again: answer anything still queued (only
+  // possible when Stop() came before Start()).
+  std::deque<Pending> orphans;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    orphans.swap(queue_);
+  }
+  for (Pending& p : orphans) {
+    p.promise.set_value(
+        Status::Unavailable("serving stopped before the request ran"));
+  }
+}
+
+bool MicroBatcher::running() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return started_ && !stop_;
+}
+
+Result<double> MicroBatcher::EstimateDirect(
+    const std::vector<double>& features) const {
+  if (features.size() != feature_dim_) {
+    return Status::InvalidArgument(
+        "Estimate: got " + std::to_string(features.size()) +
+        " features; domain expects " + std::to_string(feature_dim_));
+  }
+  std::shared_ptr<const ModelSnapshot> snap = store_->Current();
+  if (snap == nullptr) {
+    return Status::FailedPrecondition("no model snapshot published yet");
+  }
+  GetBatcherMetrics().requests->Increment();
+  nn::Matrix x(1, features.size());
+  x.SetRow(0, features);
+  std::vector<double> targets = snap->model().EstimateTargets(x);
+  return ce::TargetToCard(targets[0]);
+}
+
+Result<double> MicroBatcher::Estimate(std::vector<double> features,
+                                      int64_t deadline_us) {
+  if (config_.batch_max == 1) return EstimateDirect(features);
+  Result<std::future<Result<double>>> enqueued =
+      Enqueue(std::move(features), deadline_us, /*block_until_admitted=*/true);
+  if (!enqueued.ok()) return enqueued.status();
+  return enqueued.ValueOrDie().get();
+}
+
+std::future<Result<double>> MicroBatcher::EstimateAsync(
+    std::vector<double> features, int64_t deadline_us) {
+  Result<std::future<Result<double>>> enqueued = Enqueue(
+      std::move(features), deadline_us, /*block_until_admitted=*/false);
+  if (enqueued.ok()) return enqueued.MoveValueOrDie();
+  std::promise<Result<double>> failed;
+  failed.set_value(enqueued.status());
+  return failed.get_future();
+}
+
+Result<std::future<Result<double>>> MicroBatcher::Enqueue(
+    std::vector<double> features, int64_t deadline_us,
+    bool block_until_admitted) {
+  if (features.size() != feature_dim_) {
+    return Status::InvalidArgument(
+        "Estimate: got " + std::to_string(features.size()) +
+        " features; domain expects " + std::to_string(feature_dim_));
+  }
+  AdmissionController::Clock::time_point deadline =
+      admission_.DeadlineFor(deadline_us);
+  std::unique_lock<std::mutex> lk(mu_);
+  while (true) {
+    if (stop_) {
+      return Status::FailedPrecondition("MicroBatcher is stopped");
+    }
+    AdmissionController::Decision decision = admission_.Admit(queue_.size());
+    if (decision == AdmissionController::Decision::kAdmit) break;
+    if (decision == AdmissionController::Decision::kShed ||
+        !block_until_admitted) {
+      return admission_.Shed();
+    }
+    // kBlock: wait for the dispatcher to drain, bounded by the deadline.
+    if (deadline == AdmissionController::Clock::time_point::max()) {
+      not_full_.wait(lk);
+    } else if (not_full_.wait_until(lk, deadline) ==
+               std::cv_status::timeout) {
+      return admission_.Expire();
+    }
+  }
+  Pending pending;
+  pending.features = std::move(features);
+  pending.deadline = deadline;
+  pending.enqueued = AdmissionController::Clock::now();
+  std::future<Result<double>> future = pending.promise.get_future();
+  queue_.push_back(std::move(pending));
+  size_t depth = queue_.size();
+  admission_.RecordDepth(depth);
+  lk.unlock();
+  // The dispatcher only has something new to act on when the queue went
+  // non-empty or a full batch just completed; signaling every enqueue would
+  // pay a wakeup syscall per request at exactly the throughput-bound depths.
+  if (depth == 1 || depth % config_.batch_max == 0) not_empty_.notify_one();
+  return future;
+}
+
+void MicroBatcher::DispatchLoop() {
+  std::vector<Pending> batch;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      not_empty_.wait(lk, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) break;  // stop_ with a drained queue
+      // Coalesce: after the first request, give stragglers a short window
+      // to fill the batch (skipped once it is already full or stopping).
+      if (queue_.size() < config_.batch_max && config_.batch_timeout_us > 0 &&
+          !stop_) {
+        not_empty_.wait_for(
+            lk, std::chrono::microseconds(config_.batch_timeout_us),
+            [&] { return stop_ || queue_.size() >= config_.batch_max; });
+      }
+      size_t n = std::min<size_t>(queue_.size(), config_.batch_max);
+      batch.clear();
+      batch.reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      admission_.RecordDepth(queue_.size());
+    }
+    not_full_.notify_all();
+    ServeBatch(&batch);
+  }
+}
+
+void MicroBatcher::ServeBatch(std::vector<Pending>* batch) {
+  WARPER_SPAN("serve.batch");
+  BatcherMetrics& m = GetBatcherMetrics();
+  AdmissionController::Clock::time_point now =
+      AdmissionController::Clock::now();
+  std::vector<size_t> live;
+  live.reserve(batch->size());
+  for (size_t i = 0; i < batch->size(); ++i) {
+    if (AdmissionController::Expired((*batch)[i].deadline, now)) {
+      (*batch)[i].promise.set_value(admission_.Expire());
+    } else {
+      live.push_back(i);
+    }
+  }
+  if (!live.empty()) {
+    std::shared_ptr<const ModelSnapshot> snap = store_->Current();
+    if (snap == nullptr) {
+      for (size_t i : live) {
+        (*batch)[i].promise.set_value(
+            Status::FailedPrecondition("no model snapshot published yet"));
+      }
+      return;
+    }
+    nn::Matrix x(live.size(), feature_dim_);
+    for (size_t k = 0; k < live.size(); ++k) {
+      x.SetRow(k, (*batch)[live[k]].features);
+    }
+    std::vector<double> targets = snap->model().EstimateTargets(x);
+    AdmissionController::Clock::time_point done =
+        AdmissionController::Clock::now();
+    for (size_t k = 0; k < live.size(); ++k) {
+      Pending& p = (*batch)[live[k]];
+      m.latency_us->Observe(
+          std::chrono::duration<double, std::micro>(done - p.enqueued)
+              .count());
+      p.promise.set_value(ce::TargetToCard(targets[k]));
+    }
+    m.requests->Increment(live.size());
+    m.batch_size->Observe(static_cast<double>(live.size()));
+  }
+  m.batches->Increment();
+
+  // serve.qps: served requests over a sliding ~half-second window.
+  window_served_ += live.size();
+  double elapsed = std::chrono::duration<double>(
+                       AdmissionController::Clock::now() - window_start_)
+                       .count();
+  if (elapsed >= 0.5) {
+    m.qps->Set(static_cast<double>(window_served_) / elapsed);
+    window_served_ = 0;
+    window_start_ = AdmissionController::Clock::now();
+  }
+}
+
+}  // namespace warper::serve

@@ -1,0 +1,111 @@
+// The micro-batcher: concurrent Estimate() callers enqueue featurized
+// predicates into a bounded MPSC queue; a dispatcher thread coalesces up to
+// `batch_max` of them (waiting at most `batch_timeout_us` after the first)
+// into ONE EstimateTargets matrix pass over the current snapshot — turning
+// the SIMD GEMM into real serving throughput instead of per-query GEMV.
+//
+// Determinism: a batched pass computes each row with exactly the per-row
+// operations of a 1-row pass, so under ParallelConfig::deterministic = true
+// batched and unbatched estimates are bit-identical.
+#ifndef WARPER_SERVE_BATCHER_H_
+#define WARPER_SERVE_BATCHER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/config.h"
+#include "serve/admission.h"
+#include "serve/snapshot.h"
+#include "util/status.h"
+
+namespace warper::serve {
+
+class MicroBatcher {
+ public:
+  // `store` must outlive the batcher and have a snapshot published before
+  // requests are served. `feature_dim` is the domain's featurization width;
+  // requests of any other width are refused before they can poison a batch.
+  MicroBatcher(const core::ServeConfig& config, const SnapshotStore* store,
+               size_t feature_dim);
+  ~MicroBatcher();
+
+  MicroBatcher(const MicroBatcher&) = delete;
+  MicroBatcher& operator=(const MicroBatcher&) = delete;
+
+  // Starts the dispatcher thread. Requests enqueued beforehand (EstimateAsync)
+  // are served as soon as it runs. FailedPrecondition on a double Start or
+  // after Stop().
+  Status Start();
+  // Stops the dispatcher after it drains the queue; idempotent.
+  void Stop();
+  bool running() const;
+
+  // Blocking: estimated cardinality for one featurized predicate.
+  //
+  // With batch_max == 1 this is the lock-free fast path: the estimate is
+  // computed inline on the caller's thread against the current snapshot —
+  // no queue, no dispatcher, no lock shared with Publish(). With
+  // batch_max > 1 the request rides the queue (admission control and
+  // deadlines apply) and resolves when its batch completes.
+  Result<double> Estimate(std::vector<double> features,
+                          int64_t deadline_us = 0);
+
+  // Pipelining variant: enqueues and returns immediately; the future
+  // resolves when the request's batch completes (or it is shed / expires).
+  // Always takes the queue path so callers can keep many requests in
+  // flight; requires a running dispatcher to make progress.
+  std::future<Result<double>> EstimateAsync(std::vector<double> features,
+                                            int64_t deadline_us = 0);
+
+  // The unbatched reference path: one snapshot load + one 1-row matrix pass
+  // on the calling thread. Lock-free with respect to Publish(); safe from
+  // any thread at any time after the first snapshot is published.
+  Result<double> EstimateDirect(const std::vector<double>& features) const;
+
+ private:
+  struct Pending {
+    std::vector<double> features;
+    AdmissionController::Clock::time_point deadline;
+    AdmissionController::Clock::time_point enqueued;
+    std::promise<Result<double>> promise;
+  };
+
+  // Admission + enqueue; returns the future, or a terminal status when the
+  // request was shed / expired / refused. `block_until_admitted` is false
+  // for EstimateAsync (a pipelining caller must not be parked by kBlock —
+  // it is told Unavailable instead).
+  Result<std::future<Result<double>>> Enqueue(std::vector<double> features,
+                                              int64_t deadline_us,
+                                              bool block_until_admitted);
+
+  void DispatchLoop();
+  // Answers every request of `batch`: expired ones with DeadlineExceeded,
+  // the rest from one EstimateTargets pass.
+  void ServeBatch(std::vector<Pending>* batch);
+
+  core::ServeConfig config_;
+  const SnapshotStore* store_;
+  size_t feature_dim_;
+  AdmissionController admission_;
+
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<Pending> queue_;
+  std::thread dispatcher_;
+  bool started_ = false;
+  bool stop_ = false;
+
+  // qps gauge upkeep (dispatcher thread only).
+  uint64_t window_served_ = 0;
+  AdmissionController::Clock::time_point window_start_{};
+};
+
+}  // namespace warper::serve
+
+#endif  // WARPER_SERVE_BATCHER_H_

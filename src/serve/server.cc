@@ -1,0 +1,198 @@
+#include "serve/server.h"
+
+#include <utility>
+
+#include "ce/metrics.h"
+#include "util/metrics.h"
+#include "util/trace.h"
+
+namespace warper::serve {
+namespace {
+
+struct ServerMetrics {
+  util::Counter* publishes = util::Metrics().GetCounter("serve.publishes");
+  util::Counter* rollbacks = util::Metrics().GetCounter("serve.rollbacks");
+};
+
+ServerMetrics& GetServerMetrics() {
+  static ServerMetrics* metrics = new ServerMetrics();
+  return *metrics;
+}
+
+}  // namespace
+
+EstimationServer::EstimationServer(core::Warper* warper) : warper_(warper) {
+  WARPER_CHECK(warper != nullptr);
+}
+
+EstimationServer::~EstimationServer() { Stop(); }
+
+Status EstimationServer::SetEvalSet(std::vector<ce::LabeledExample> eval_set) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (started_) {
+    return Status::FailedPrecondition(
+        "SetEvalSet must be called before Start()");
+  }
+  const size_t dim = warper_->domain()->FeatureDim();
+  for (const ce::LabeledExample& ex : eval_set) {
+    if (ex.features.size() != dim) {
+      return Status::InvalidArgument(
+          "eval example feature dim does not match the domain");
+    }
+  }
+  eval_set_ = std::move(eval_set);
+  return Status::OK();
+}
+
+Status EstimationServer::Start() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (started_ || stop_) {
+    return Status::FailedPrecondition(
+        "EstimationServer::Start: already started or stopped");
+  }
+  // The gate baseline for version 1 and the proof the warper is usable:
+  // CaptureModuleState fails before a successful Initialize().
+  WARPER_RETURN_NOT_OK(PublishCurrent(
+      eval_set_.empty() ? 0.0 : ce::ModelGmq(*warper_->model(), eval_set_)));
+  batcher_ = std::make_unique<MicroBatcher>(warper_->config().serve, &store_,
+                                            warper_->domain()->FeatureDim());
+  WARPER_RETURN_NOT_OK(batcher_->Start());
+  started_ = true;
+  adapt_thread_ = std::thread([this] { AdaptLoop(); });
+  return Status::OK();
+}
+
+void EstimationServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  work_ready_.notify_all();
+  if (adapt_thread_.joinable()) adapt_thread_.join();
+  std::deque<PendingInvocation> orphans;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    orphans.swap(adapt_queue_);
+  }
+  for (PendingInvocation& p : orphans) {
+    p.promise.set_value(
+        Status::Unavailable("server stopped before the invocation ran"));
+  }
+  if (batcher_ != nullptr) batcher_->Stop();
+}
+
+bool EstimationServer::running() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return started_ && !stop_;
+}
+
+Result<double> EstimationServer::Estimate(std::vector<double> features,
+                                          int64_t deadline_us) {
+  if (batcher_ == nullptr) {
+    return Status::FailedPrecondition("EstimationServer is not running");
+  }
+  return batcher_->Estimate(std::move(features), deadline_us);
+}
+
+std::future<Result<double>> EstimationServer::EstimateAsync(
+    std::vector<double> features, int64_t deadline_us) {
+  if (batcher_ == nullptr) {
+    std::promise<Result<double>> failed;
+    failed.set_value(
+        Status::FailedPrecondition("EstimationServer is not running"));
+    return failed.get_future();
+  }
+  return batcher_->EstimateAsync(std::move(features), deadline_us);
+}
+
+std::future<Result<AdaptationOutcome>> EstimationServer::SubmitInvocation(
+    core::Warper::Invocation invocation) {
+  PendingInvocation pending;
+  pending.invocation = std::move(invocation);
+  std::future<Result<AdaptationOutcome>> future = pending.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!started_ || stop_) {
+      pending.promise.set_value(
+          Status::FailedPrecondition("EstimationServer is not running"));
+      return future;
+    }
+    adapt_queue_.push_back(std::move(pending));
+  }
+  work_ready_.notify_one();
+  return future;
+}
+
+void EstimationServer::AdaptLoop() {
+  while (true) {
+    PendingInvocation pending;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_ready_.wait(lk, [&] { return stop_ || !adapt_queue_.empty(); });
+      if (adapt_queue_.empty()) break;  // stop_ with nothing left to run
+      pending = std::move(adapt_queue_.front());
+      adapt_queue_.pop_front();
+    }
+    pending.promise.set_value(Adapt(pending.invocation));
+  }
+}
+
+Result<AdaptationOutcome> EstimationServer::Adapt(
+    const core::Warper::Invocation& invocation) {
+  WARPER_SPAN("serve.adapt");
+  std::shared_ptr<const ModelSnapshot> last_good = store_.Current();
+  Result<core::Warper::InvocationResult> invoked = warper_->Invoke(invocation);
+  if (!invoked.ok()) return invoked.status();
+
+  AdaptationOutcome outcome;
+  outcome.result = invoked.MoveValueOrDie();
+  outcome.version = store_.CurrentVersion();
+  if (!eval_set_.empty()) {
+    // Stable benchmark: compare against the score the serving version was
+    // published with, on the same examples.
+    outcome.gate_before = last_good->gmq();
+    outcome.gate_after = ce::ModelGmq(*warper_->model(), eval_set_);
+  } else {
+    // Fall back to the invocation's own recent labeled window; both stay
+    // zero when it had no labels, and the gate passes vacuously.
+    outcome.gate_before = outcome.result.gmq_before;
+    outcome.gate_after = outcome.result.gmq_after;
+  }
+
+  const double tolerance = warper_->config().serve.regression_tolerance;
+  const bool regressed = outcome.gate_before > 0.0 &&
+                         outcome.gate_after > tolerance * outcome.gate_before;
+  if (regressed) {
+    // §3.4 rollback: put M and E/G/D back to the last published version so
+    // the next episode does not refine on top of the regressed weights.
+    WARPER_RETURN_NOT_OK(warper_->model()->RestoreFrom(last_good->model()));
+    WARPER_RETURN_NOT_OK(warper_->RestoreModuleState(last_good->modules()));
+    GetServerMetrics().rollbacks->Increment();
+    outcome.rolled_back = true;
+    return outcome;
+  }
+  if (outcome.result.model_updated) {
+    WARPER_RETURN_NOT_OK(PublishCurrent(outcome.gate_after));
+    outcome.published = true;
+    outcome.version = store_.CurrentVersion();
+  }
+  return outcome;
+}
+
+Status EstimationServer::PublishCurrent(double gmq) {
+  std::shared_ptr<const ce::CardinalityEstimator> clone =
+      warper_->model()->Clone();
+  if (clone == nullptr) {
+    return Status::FailedPrecondition(
+        warper_->model()->Name() + " does not support Clone(); cannot serve");
+  }
+  Result<core::Warper::ModuleState> modules = warper_->CaptureModuleState();
+  WARPER_RETURN_NOT_OK(modules.status());
+  store_.Publish(std::make_shared<const ModelSnapshot>(
+      next_version_++, std::move(clone), modules.MoveValueOrDie(), gmq));
+  GetServerMetrics().publishes->Increment();
+  return Status::OK();
+}
+
+}  // namespace warper::serve

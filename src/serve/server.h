@@ -1,0 +1,116 @@
+// The estimation server: the concurrent front of the Warper controller.
+//
+// It composes the three serving pieces — SnapshotStore (versioned immutable
+// model bundles), MicroBatcher (coalesced inference) and AdmissionController
+// (bounded queue, deadlines) — and runs adaptation on a dedicated background
+// thread. Optimizer traffic calls Estimate()/EstimateAsync() and only ever
+// touches published snapshots; SubmitInvocation() hands new workload to the
+// adaptation thread, which runs Warper::Invoke, evaluates the adapted model
+// against a publish gate, and either publishes the next version or rolls M
+// and the learned modules back to the last good one (§3.4).
+#ifndef WARPER_SERVE_SERVER_H_
+#define WARPER_SERVE_SERVER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/warper.h"
+#include "serve/batcher.h"
+#include "serve/snapshot.h"
+#include "util/status.h"
+
+namespace warper::serve {
+
+// What one background adaptation pass did to the serving state.
+struct AdaptationOutcome {
+  core::Warper::InvocationResult result;
+  // Gate evidence: model quality before / after the pass, on the fixed eval
+  // set when one is installed, else on the invocation's recent labeled
+  // window (zeros when neither had labels — the gate passes vacuously).
+  double gate_before = 0.0;
+  double gate_after = 0.0;
+  bool published = false;
+  bool rolled_back = false;
+  // Serving version after the pass (unchanged unless published).
+  uint64_t version = 0;
+};
+
+class EstimationServer {
+ public:
+  // `warper` must outlive the server and be Initialize()d before Start().
+  // Serving knobs come from `warper->config().serve`.
+  explicit EstimationServer(core::Warper* warper);
+  ~EstimationServer();
+
+  EstimationServer(const EstimationServer&) = delete;
+  EstimationServer& operator=(const EstimationServer&) = delete;
+
+  // Optional fixed benchmark for the publish gate. With an eval set the
+  // gate compares ModelGmq on these examples before/after each adaptation;
+  // without one it falls back to the invocation's own recent-window GMQ.
+  // Must be called before Start().
+  Status SetEvalSet(std::vector<ce::LabeledExample> eval_set);
+
+  // Publishes version 1 (a clone of the current model + captured modules)
+  // and starts the adaptation thread and the batcher dispatcher.
+  // FailedPrecondition when the warper is uninitialized or its model does
+  // not support Clone().
+  Status Start();
+  // Stops adaptation and the batcher; pending invocations are answered
+  // with Unavailable. Idempotent.
+  void Stop();
+  bool running() const;
+
+  // Estimate against the current snapshot — see MicroBatcher for the
+  // batched/inline/async semantics. Valid only between Start() and Stop().
+  Result<double> Estimate(std::vector<double> features,
+                          int64_t deadline_us = 0);
+  std::future<Result<double>> EstimateAsync(std::vector<double> features,
+                                            int64_t deadline_us = 0);
+
+  // Hands an invocation to the background adaptation thread. The future
+  // resolves once the pass (including the publish-or-rollback decision)
+  // completes. FailedPrecondition when the server is not running.
+  std::future<Result<AdaptationOutcome>> SubmitInvocation(
+      core::Warper::Invocation invocation);
+
+  const SnapshotStore& store() const { return store_; }
+  uint64_t CurrentVersion() const { return store_.CurrentVersion(); }
+  MicroBatcher* batcher() { return batcher_.get(); }
+
+ private:
+  struct PendingInvocation {
+    core::Warper::Invocation invocation;
+    std::promise<Result<AdaptationOutcome>> promise;
+  };
+
+  void AdaptLoop();
+  // One pass: Invoke, gate, publish or roll back.
+  Result<AdaptationOutcome> Adapt(const core::Warper::Invocation& invocation);
+  // Clone M + capture modules at the current warper state and publish it as
+  // the next version with gate score `gmq`.
+  Status PublishCurrent(double gmq);
+
+  core::Warper* warper_;
+  std::vector<ce::LabeledExample> eval_set_;
+  SnapshotStore store_;
+  std::unique_ptr<MicroBatcher> batcher_;
+  uint64_t next_version_ = 1;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::deque<PendingInvocation> adapt_queue_;
+  std::thread adapt_thread_;
+  bool started_ = false;
+  bool stop_ = false;
+};
+
+}  // namespace warper::serve
+
+#endif  // WARPER_SERVE_SERVER_H_

@@ -1,0 +1,37 @@
+#include "serve/snapshot.h"
+
+#include "util/metrics.h"
+#include "util/trace.h"
+
+namespace warper::serve {
+
+void SnapshotStore::Publish(std::shared_ptr<const ModelSnapshot> snapshot) {
+  WARPER_SPAN("serve.swap");
+  static util::Counter* swaps = util::Metrics().GetCounter("serve.swaps");
+  static util::Gauge* version = util::Metrics().GetGauge("serve.version");
+  version->Set(static_cast<double>(snapshot->version()));
+  current_.store(std::move(snapshot), std::memory_order_release);
+  swaps->Increment();
+}
+
+uint64_t SnapshotStore::CurrentVersion() const {
+  std::shared_ptr<const ModelSnapshot> snap = Current();
+  return snap == nullptr ? 0 : snap->version();
+}
+
+}  // namespace warper::serve
+
+#if defined(__SANITIZE_THREAD__)
+// Suppress the known false positive inside libstdc++'s atomic<shared_ptr>:
+// _Sp_atomic::load() releases its internal lock bit with a relaxed
+// fetch_sub, so TSan never sees the reader->writer happens-before edge the
+// lock-word CAS order provides on hardware, and flags the guarded pointer
+// accesses in load()/swap() as a race. The suppression is scoped to the
+// _Sp_atomic frames — every access in our own code stays checked. tsan.supp
+// at the repo root carries the same pattern for runs where this hook is not
+// picked up (shared libtsan without dynamic symbol export); ctest injects
+// it via TSAN_OPTIONS on thread-sanitized builds.
+extern "C" const char* __tsan_default_suppressions() {
+  return "race:std::_Sp_atomic\n";
+}
+#endif

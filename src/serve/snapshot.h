@@ -1,0 +1,83 @@
+// Versioned immutable model snapshots with RCU-style publication (§3.4).
+//
+// The serving layer never lets optimizer traffic touch the model the
+// adaptation loop is mutating: every published version is a deep clone of M
+// plus the captured parameters of E/G/D, frozen at publish time. Readers
+// grab the current version with one atomic shared_ptr load and compute
+// against it for as long as they like; a concurrent Publish() swaps the
+// pointer and the old version dies when its last reader drops it. No reader
+// ever blocks on a swap, and no swap ever waits for readers.
+#ifndef WARPER_SERVE_SNAPSHOT_H_
+#define WARPER_SERVE_SNAPSHOT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "ce/estimator.h"
+#include "core/warper.h"
+
+namespace warper::serve {
+
+// One immutable published version of the serving bundle. Nothing in it
+// mutates after construction, so concurrent EstimateTargets() calls against
+// model() need no synchronization.
+class ModelSnapshot {
+ public:
+  // `model` must be a private clone — the snapshot freezes it; `gmq` is the
+  // eval score this version passed its publish gate with (the baseline the
+  // next gate compares against).
+  ModelSnapshot(uint64_t version,
+                std::shared_ptr<const ce::CardinalityEstimator> model,
+                core::Warper::ModuleState modules, double gmq)
+      : version_(version),
+        model_(std::move(model)),
+        modules_(std::move(modules)),
+        gmq_(gmq) {}
+
+  uint64_t version() const { return version_; }
+  const ce::CardinalityEstimator& model() const { return *model_; }
+  const core::Warper::ModuleState& modules() const { return modules_; }
+  double gmq() const { return gmq_; }
+
+ private:
+  uint64_t version_;
+  std::shared_ptr<const ce::CardinalityEstimator> model_;
+  core::Warper::ModuleState modules_;
+  double gmq_;
+};
+
+// The publication point. Publish() is rare (once per adaptation pass);
+// Current() is the read side of every estimate and must stay wait-free for
+// practical purposes — it is a single std::atomic<std::shared_ptr> load.
+class SnapshotStore {
+ public:
+  // Makes `snapshot` the version every subsequent Current() returns.
+  // In-flight readers keep the version they already loaded.
+  void Publish(std::shared_ptr<const ModelSnapshot> snapshot);
+
+  // The latest published version; nullptr before the first Publish().
+  //
+  // ThreadSanitizer note: libstdc++ implements atomic<shared_ptr> with a
+  // lock bit in the control-block word, and its load() drops that bit with
+  // a *relaxed* fetch_sub (bits/shared_ptr_atomic.h). The CAS total order
+  // on the lock word serializes every reader against the next Publish() on
+  // real hardware, but TSan sees no happens-before edge from the reader's
+  // internal pointer read to the writer's internal pointer swap and
+  // reports a race inside std::_Sp_atomic. tsan.supp (wired into ctest and
+  // compiled in via __tsan_default_suppressions in snapshot.cc) filters
+  // exactly that frame; everything outside _Sp_atomic stays checked.
+  std::shared_ptr<const ModelSnapshot> Current() const {
+    return current_.load(std::memory_order_acquire);
+  }
+
+  // Version number of the current snapshot; 0 before the first Publish().
+  uint64_t CurrentVersion() const;
+
+ private:
+  std::atomic<std::shared_ptr<const ModelSnapshot>> current_;
+};
+
+}  // namespace warper::serve
+
+#endif  // WARPER_SERVE_SNAPSHOT_H_

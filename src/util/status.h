@@ -22,6 +22,10 @@ enum class StatusCode {
   kOutOfRange,
   kFailedPrecondition,
   kInternal,
+  // Load-shedding: the serving layer refused the request (queue full).
+  kUnavailable,
+  // The request's deadline elapsed before it could be served.
+  kDeadlineExceeded,
 };
 
 // Human-readable name for a status code, e.g. "InvalidArgument".
@@ -49,6 +53,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -89,15 +89,94 @@ TEST(MlpSnapshotTest, RestoreUndoesTraining) {
   mlp.Step(sgd, 0.1);
   ASSERT_NE(mlp.GetParameters(), before);
 
-  snapshot.RestoreTo(&mlp);
+  ASSERT_TRUE(snapshot.RestoreTo(&mlp).ok());
   EXPECT_EQ(mlp.GetParameters(), before);
 }
 
-TEST(MlpSnapshotDeathTest, ShapeMismatch) {
+TEST(MlpSnapshotTest, ShapeMismatchIsAStatusNotACrash) {
+  // A mismatched rollback during serving must surface as an error the
+  // caller can handle, not abort the process.
   nn::Mlp a = MakeMlp(11);
   nn::Mlp b = MakeMlp(11, {4, 16, 2});
   MlpSnapshot snapshot(a);
-  EXPECT_DEATH(snapshot.RestoreTo(&b), "shape mismatch");
+  std::vector<double> untouched = b.GetParameters();
+  Status status = snapshot.RestoreTo(&b);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(b.GetParameters(), untouched);
+  EXPECT_EQ(snapshot.layer_sizes(), (std::vector<size_t>{4, 8, 2}));
+}
+
+TEST(WarperBundleTest, RoundTripsAllFourModels) {
+  nn::Mlp m = MakeMlp(20, {6, 8, 1});
+  nn::Mlp e = MakeMlp(21, {7, 4, 3});
+  nn::Mlp g = MakeMlp(22, {3, 4, 7});
+  nn::Mlp d = MakeMlp(23, {7, 4, 1});
+  std::string path = TempPath("bundle.warper");
+  ASSERT_TRUE(SaveWarperModels(&m, e, g, d, path).ok());
+
+  nn::Mlp m2 = MakeMlp(30, {6, 8, 1});
+  nn::Mlp e2 = MakeMlp(31, {7, 4, 3});
+  nn::Mlp g2 = MakeMlp(32, {3, 4, 7});
+  nn::Mlp d2 = MakeMlp(33, {7, 4, 1});
+  ASSERT_NE(m2.GetParameters(), m.GetParameters());
+  ASSERT_TRUE(LoadWarperModels(&m2, &e2, &g2, &d2, path).ok());
+  EXPECT_EQ(m2.GetParameters(), m.GetParameters());
+  EXPECT_EQ(e2.GetParameters(), e.GetParameters());
+  EXPECT_EQ(g2.GetParameters(), g.GetParameters());
+  EXPECT_EQ(d2.GetParameters(), d.GetParameters());
+  std::remove(path.c_str());
+}
+
+TEST(WarperBundleTest, NullModelSkipsTheMSection) {
+  // Models that re-train cheaply (GBT, kernel) are not serialized: the
+  // bundle then carries only E/G/D.
+  nn::Mlp e = MakeMlp(41, {7, 4, 3});
+  nn::Mlp g = MakeMlp(42, {3, 4, 7});
+  nn::Mlp d = MakeMlp(43, {7, 4, 1});
+  std::string path = TempPath("bundle_no_m.warper");
+  ASSERT_TRUE(SaveWarperModels(nullptr, e, g, d, path).ok());
+
+  nn::Mlp e2 = MakeMlp(51, {7, 4, 3});
+  nn::Mlp g2 = MakeMlp(52, {3, 4, 7});
+  nn::Mlp d2 = MakeMlp(53, {7, 4, 1});
+  ASSERT_TRUE(LoadWarperModels(nullptr, &e2, &g2, &d2, path).ok());
+  EXPECT_EQ(e2.GetParameters(), e.GetParameters());
+
+  // Asking for an M the file does not carry is an error, not a silent skip.
+  nn::Mlp m = MakeMlp(54, {6, 8, 1});
+  Status status = LoadWarperModels(&m, &e2, &g2, &d2, path);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  std::remove(path.c_str());
+}
+
+TEST(WarperBundleTest, LoadRejectsShapeMismatchAndGarbage) {
+  nn::Mlp e = MakeMlp(61, {7, 4, 3});
+  nn::Mlp g = MakeMlp(62, {3, 4, 7});
+  nn::Mlp d = MakeMlp(63, {7, 4, 1});
+  std::string path = TempPath("bundle_shape.warper");
+  ASSERT_TRUE(SaveWarperModels(nullptr, e, g, d, path).ok());
+
+  nn::Mlp wider = MakeMlp(64, {7, 16, 3});
+  nn::Mlp g2 = MakeMlp(65, {3, 4, 7});
+  nn::Mlp d2 = MakeMlp(66, {7, 4, 1});
+  Status status = LoadWarperModels(nullptr, &wider, &g2, &d2, path);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  std::remove(path.c_str());
+
+  std::string garbage = TempPath("bundle_garbage.warper");
+  {
+    std::ofstream out(garbage, std::ios::binary);
+    out << "not a bundle";
+  }
+  EXPECT_EQ(LoadWarperModels(nullptr, &g2, &g2, &d2, garbage).code(),
+            StatusCode::kInvalidArgument);
+  std::remove(garbage.c_str());
+  EXPECT_EQ(
+      LoadWarperModels(nullptr, &g2, &g2, &d2, TempPath("nope.warper")).code(),
+      StatusCode::kNotFound);
 }
 
 }  // namespace

@@ -1,0 +1,70 @@
+// Shared fixtures for the serving-layer tests: a deterministic stub
+// estimator (no training required) and snapshot builders around it.
+#ifndef WARPER_TESTS_SERVE_SERVE_TEST_UTIL_H_
+#define WARPER_TESTS_SERVE_SERVE_TEST_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ce/estimator.h"
+#include "ce/model_io.h"
+#include "core/warper.h"
+#include "nn/mlp.h"
+#include "serve/snapshot.h"
+#include "util/rng.h"
+
+namespace warper::serve {
+
+// A trained-by-construction estimator whose target is scale · Σ features —
+// exactly reproducible, so batched-vs-direct comparisons can demand
+// bit-identical results.
+class StubEstimator : public ce::CardinalityEstimator {
+ public:
+  explicit StubEstimator(double scale = 1.0) : scale_(scale) {}
+
+  std::string Name() const override { return "stub"; }
+  ce::UpdateMode update_mode() const override {
+    return ce::UpdateMode::kFineTune;
+  }
+  void Train(const nn::Matrix&, const std::vector<double>&) override {}
+  void Update(const nn::Matrix&, const std::vector<double>&) override {}
+  bool trained() const override { return true; }
+
+  std::vector<double> EstimateTargets(const nn::Matrix& x) const override {
+    std::vector<double> out(x.rows());
+    for (size_t r = 0; r < x.rows(); ++r) {
+      double sum = 0.0;
+      for (size_t c = 0; c < x.cols(); ++c) sum += x.At(r, c);
+      out[r] = scale_ * sum;
+    }
+    return out;
+  }
+
+  std::unique_ptr<ce::CardinalityEstimator> Clone() const override {
+    return std::make_unique<StubEstimator>(*this);
+  }
+
+ private:
+  double scale_;
+};
+
+// ModuleState filler for snapshots built without a Warper.
+inline core::Warper::ModuleState StubModuleState() {
+  util::Rng rng(7);
+  nn::MlpConfig config;
+  config.layer_sizes = {2, 2};
+  nn::Mlp mlp(config, &rng);
+  return core::Warper::ModuleState{ce::MlpSnapshot(mlp), ce::MlpSnapshot(mlp),
+                                   ce::MlpSnapshot(mlp)};
+}
+
+inline std::shared_ptr<const ModelSnapshot> MakeStubSnapshot(
+    uint64_t version, double scale = 1.0, double gmq = 1.0) {
+  return std::make_shared<const ModelSnapshot>(
+      version, std::make_shared<StubEstimator>(scale), StubModuleState(), gmq);
+}
+
+}  // namespace warper::serve
+
+#endif  // WARPER_TESTS_SERVE_SERVE_TEST_UTIL_H_

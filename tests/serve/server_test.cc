@@ -1,0 +1,216 @@
+// EstimationServer: snapshot lifecycle, publish gate and §3.4 rollback.
+#include "serve/server.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "ce/lm.h"
+#include "ce/metrics.h"
+#include "storage/annotator.h"
+#include "storage/datasets.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+
+namespace warper::serve {
+namespace {
+
+struct Env {
+  storage::Table table;
+  storage::Annotator annotator;
+  ce::SingleTableDomain domain;
+  util::Rng rng;
+
+  explicit Env(uint64_t seed, size_t rows = 20000)
+      : table(storage::MakePrsa(rows, seed)),
+        annotator(&table),
+        domain(&annotator),
+        rng(seed) {}
+
+  std::vector<ce::LabeledExample> Examples(workload::GenMethod method,
+                                           size_t n) {
+    std::vector<storage::RangePredicate> preds =
+        workload::GenerateWorkload(table, {method}, n, &rng);
+    std::vector<int64_t> counts = annotator.BatchCount(preds);
+    std::vector<ce::LabeledExample> out(n);
+    for (size_t i = 0; i < n; ++i) {
+      out[i] = {domain.FeaturizePredicate(preds[i]), counts[i]};
+    }
+    return out;
+  }
+};
+
+core::WarperConfig FastConfig() {
+  core::WarperConfig config;
+  config.hidden_units = 64;
+  config.hidden_layers = 2;
+  config.n_i = 60;
+  config.n_p = 200;
+  return config;
+}
+
+std::unique_ptr<ce::LmMlp> TrainModel(
+    Env& env, const std::vector<ce::LabeledExample>& train, uint64_t seed) {
+  auto model = std::make_unique<ce::LmMlp>(env.domain.FeatureDim(),
+                                           ce::LmMlpConfig{}, seed);
+  nn::Matrix x;
+  std::vector<double> y;
+  ce::ExamplesToMatrix(train, &x, &y);
+  model->Train(x, y);
+  return model;
+}
+
+// Eval examples labeled with the model's own current estimates: the served
+// model scores a (near-)perfect GMQ on them, and any weight movement can
+// only look like a regression. Restricted to estimates above the q-error
+// floor θ so changed predictions actually change the score.
+std::vector<ce::LabeledExample> SelfLabeledEvalSet(
+    const ce::CardinalityEstimator& model,
+    const std::vector<ce::LabeledExample>& pool) {
+  std::vector<ce::LabeledExample> eval;
+  for (const ce::LabeledExample& ex : pool) {
+    double est = model.EstimateCardinality(ex.features);
+    if (est > 10.0 * ce::kQErrorTheta) {
+      eval.push_back({ex.features, static_cast<int64_t>(std::llround(est))});
+    }
+  }
+  return eval;
+}
+
+TEST(EstimationServerTest, StartRequiresInitializedWarper) {
+  Env env(30);
+  std::vector<ce::LabeledExample> train =
+      env.Examples(workload::GenMethod::kW1, 400);
+  auto model = TrainModel(env, train, 30);
+  core::Warper warper(&env.domain, model.get(), FastConfig());
+  EstimationServer server(&warper);
+  EXPECT_FALSE(server.Start().ok());  // Initialize() never ran
+}
+
+TEST(EstimationServerTest, StartPublishesVersionOneAndServes) {
+  Env env(31);
+  std::vector<ce::LabeledExample> train =
+      env.Examples(workload::GenMethod::kW1, 400);
+  auto model = TrainModel(env, train, 31);
+  core::Warper warper(&env.domain, model.get(), FastConfig());
+  ASSERT_TRUE(warper.Initialize(train).ok());
+
+  EstimationServer server(&warper);
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_TRUE(server.running());
+  EXPECT_EQ(server.CurrentVersion(), 1u);
+  EXPECT_FALSE(server.Start().ok());  // double Start
+
+  // Served estimates come from the snapshot clone and match the live model
+  // exactly while no adaptation has run.
+  const std::vector<double>& probe = train[0].features;
+  Result<double> served = server.Estimate(probe);
+  ASSERT_TRUE(served.ok());
+  EXPECT_EQ(served.ValueOrDie(), model->EstimateCardinality(probe));
+  server.Stop();
+  EXPECT_FALSE(server.running());
+  EXPECT_FALSE(server.Estimate(probe).ok());
+}
+
+TEST(EstimationServerTest, AdaptationPublishesNewVersion) {
+  Env env(32);
+  std::vector<ce::LabeledExample> train =
+      env.Examples(workload::GenMethod::kW1, 600);
+  auto model = TrainModel(env, train, 32);
+  core::WarperConfig config = FastConfig();
+  // A gate this loose never rolls back: the pass must publish.
+  config.serve.regression_tolerance = 100.0;
+  core::Warper warper(&env.domain, model.get(), config);
+  ASSERT_TRUE(warper.Initialize(train).ok());
+
+  EstimationServer server(&warper);
+  ASSERT_TRUE(server.Start().ok());
+
+  core::Warper::Invocation invocation;
+  invocation.new_queries = env.Examples(workload::GenMethod::kW3, 60);
+  Result<AdaptationOutcome> outcome =
+      server.SubmitInvocation(std::move(invocation)).get();
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome.ValueOrDie().result.model_updated);
+  EXPECT_TRUE(outcome.ValueOrDie().published);
+  EXPECT_FALSE(outcome.ValueOrDie().rolled_back);
+  EXPECT_EQ(outcome.ValueOrDie().version, 2u);
+  EXPECT_EQ(server.CurrentVersion(), 2u);
+
+  // The new snapshot serves the adapted model's estimates.
+  const std::vector<double>& probe = train[0].features;
+  Result<double> served = server.Estimate(probe);
+  ASSERT_TRUE(served.ok());
+  EXPECT_EQ(served.ValueOrDie(), model->EstimateCardinality(probe));
+  server.Stop();
+}
+
+TEST(EstimationServerTest, RegressionRollsBackModelAndVersion) {
+  Env env(33);
+  std::vector<ce::LabeledExample> train =
+      env.Examples(workload::GenMethod::kW1, 600);
+  auto model = TrainModel(env, train, 33);
+  core::WarperConfig config = FastConfig();
+  // Strictest gate: any eval-set degradation at all is a regression.
+  config.serve.regression_tolerance = 1.0;
+  core::Warper warper(&env.domain, model.get(), config);
+  ASSERT_TRUE(warper.Initialize(train).ok());
+
+  EstimationServer server(&warper);
+  std::vector<ce::LabeledExample> eval = SelfLabeledEvalSet(*model, train);
+  ASSERT_GE(eval.size(), 10u);
+  ASSERT_TRUE(server.SetEvalSet(eval).ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  const std::vector<double>& probe = eval[0].features;
+  double before = model->EstimateCardinality(probe);
+
+  core::Warper::Invocation invocation;
+  invocation.new_queries = env.Examples(workload::GenMethod::kW3, 60);
+  Result<AdaptationOutcome> result =
+      server.SubmitInvocation(std::move(invocation)).get();
+  ASSERT_TRUE(result.ok());
+  AdaptationOutcome outcome = result.MoveValueOrDie();
+  EXPECT_TRUE(outcome.rolled_back);
+  EXPECT_FALSE(outcome.published);
+  EXPECT_GT(outcome.gate_after, outcome.gate_before);
+  // Version unchanged; the live model's weights are restored bit-exact.
+  EXPECT_EQ(server.CurrentVersion(), 1u);
+  EXPECT_EQ(model->EstimateCardinality(probe), before);
+  server.Stop();
+}
+
+TEST(EstimationServerTest, EvalSetValidation) {
+  Env env(34);
+  std::vector<ce::LabeledExample> train =
+      env.Examples(workload::GenMethod::kW1, 400);
+  auto model = TrainModel(env, train, 34);
+  core::Warper warper(&env.domain, model.get(), FastConfig());
+  ASSERT_TRUE(warper.Initialize(train).ok());
+  EstimationServer server(&warper);
+
+  EXPECT_FALSE(server.SetEvalSet({{{1.0, 2.0}, 10}}).ok());  // wrong width
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_FALSE(server.SetEvalSet(train).ok());  // too late
+  server.Stop();
+}
+
+TEST(EstimationServerTest, SubmitBeforeStartIsRefused) {
+  Env env(35);
+  std::vector<ce::LabeledExample> train =
+      env.Examples(workload::GenMethod::kW1, 400);
+  auto model = TrainModel(env, train, 35);
+  core::Warper warper(&env.domain, model.get(), FastConfig());
+  ASSERT_TRUE(warper.Initialize(train).ok());
+  EstimationServer server(&warper);
+
+  Result<AdaptationOutcome> refused =
+      server.SubmitInvocation(core::Warper::Invocation{}).get();
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace warper::serve

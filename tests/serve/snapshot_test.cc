@@ -1,0 +1,59 @@
+// SnapshotStore: RCU-style publication semantics.
+#include "serve/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include "serve_test_util.h"
+
+namespace warper::serve {
+namespace {
+
+TEST(SnapshotStoreTest, EmptyStoreHasVersionZero) {
+  SnapshotStore store;
+  EXPECT_EQ(store.Current(), nullptr);
+  EXPECT_EQ(store.CurrentVersion(), 0u);
+}
+
+TEST(SnapshotStoreTest, PublishMakesSnapshotCurrent) {
+  SnapshotStore store;
+  store.Publish(MakeStubSnapshot(1, /*scale=*/2.0, /*gmq=*/1.5));
+  std::shared_ptr<const ModelSnapshot> snap = store.Current();
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->version(), 1u);
+  EXPECT_DOUBLE_EQ(snap->gmq(), 1.5);
+  EXPECT_EQ(store.CurrentVersion(), 1u);
+
+  nn::Matrix x(1, 3);
+  x.SetRow(0, {1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(snap->model().EstimateTargets(x)[0], 12.0);
+}
+
+TEST(SnapshotStoreTest, InFlightReadersKeepTheirVersionAcrossPublish) {
+  SnapshotStore store;
+  store.Publish(MakeStubSnapshot(1, /*scale=*/1.0));
+  std::shared_ptr<const ModelSnapshot> held = store.Current();
+
+  store.Publish(MakeStubSnapshot(2, /*scale=*/10.0));
+  // The reader's pinned version is untouched; new reads see version 2.
+  EXPECT_EQ(held->version(), 1u);
+  nn::Matrix x(1, 1);
+  x.SetRow(0, {3.0});
+  EXPECT_DOUBLE_EQ(held->model().EstimateTargets(x)[0], 3.0);
+  EXPECT_EQ(store.CurrentVersion(), 2u);
+  EXPECT_DOUBLE_EQ(store.Current()->model().EstimateTargets(x)[0], 30.0);
+}
+
+TEST(SnapshotStoreTest, OldVersionDiesWithItsLastReader) {
+  SnapshotStore store;
+  store.Publish(MakeStubSnapshot(1));
+  std::weak_ptr<const ModelSnapshot> watch = store.Current();
+  {
+    std::shared_ptr<const ModelSnapshot> reader = store.Current();
+    store.Publish(MakeStubSnapshot(2));
+    EXPECT_FALSE(watch.expired());  // the reader still pins version 1
+  }
+  EXPECT_TRUE(watch.expired());  // last reader gone, version 1 reclaimed
+}
+
+}  // namespace
+}  // namespace warper::serve
