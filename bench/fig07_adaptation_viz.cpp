@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <utility>
 
 #include "ce/lm.h"
 #include "ce/query_domain.h"
@@ -118,8 +119,9 @@ int main() {
     }
 
     std::vector<std::vector<double>> new_rows, gen_rows, train_rows;
-    for (size_t i = 0; i < warper.pool().Size(); ++i) {
-      const core::PoolRecord& r = warper.pool().record(i);
+    const core::QueryPool& pool = std::as_const(warper).pool();
+    for (size_t i = 0; i < pool.Size(); ++i) {
+      const core::PoolRecord& r = pool.record(i);
       if (r.label == core::Source::kNew) new_rows.push_back(r.features);
       if (r.label == core::Source::kGen) gen_rows.push_back(r.features);
       if (r.label == core::Source::kTrain) train_rows.push_back(r.features);

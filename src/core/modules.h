@@ -43,8 +43,10 @@ class Encoder {
 
   // Computes and stores z for the given pool records. Embeddings are
   // label-free so that labeled and unlabeled records live in one space (the
-  // picker compares them via kNN).
-  void EmbedRecords(QueryPool* pool, const std::vector<size_t>& indices) const;
+  // picker compares them via kNN). Writes into the pool, so the caller must
+  // hold the pool's writer capability.
+  void EmbedRecords(QueryPool* pool, const std::vector<size_t>& indices) const
+      WARPER_REQUIRES(pool->writer_mu());
 
  private:
   size_t feature_dim_;
@@ -81,9 +83,10 @@ class Discriminator {
   const nn::Mlp& mlp() const { return mlp_; }
 
   // Runs D over stored embeddings and writes (l', s') back into the pool.
-  // s' is the softmax probability of the predicted class.
-  void ClassifyRecords(QueryPool* pool,
-                       const std::vector<size_t>& indices) const;
+  // s' is the softmax probability of the predicted class. Requires the
+  // pool's writer capability.
+  void ClassifyRecords(QueryPool* pool, const std::vector<size_t>& indices)
+      const WARPER_REQUIRES(pool->writer_mu());
 
   // Per-row probability of class `source` for a batch of embeddings.
   std::vector<double> ClassProbability(const nn::Matrix& z,

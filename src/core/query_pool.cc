@@ -8,6 +8,7 @@
 namespace warper::core {
 
 size_t QueryPool::Append(PoolRecord record) {
+  writer_mu_.AssertHeld();
   WARPER_CHECK(!record.features.empty());
   records_.push_back(std::move(record));
   return records_.size() - 1;
@@ -71,6 +72,7 @@ std::vector<size_t> QueryPool::StaleOrUnlabeledIndices() const {
 }
 
 void QueryPool::MarkSourceStale(Source source) {
+  writer_mu_.AssertHeld();
   for (auto& r : records_) {
     if (r.label == source && r.HasLabel()) r.stale = true;
   }
@@ -85,6 +87,7 @@ Result<PoolRecord> QueryPool::GetRecord(size_t i) const {
 }
 
 Status QueryPool::SetLabel(size_t index, double gt) {
+  writer_mu_.AssertHeld();
   if (index >= records_.size()) {
     return Status::OutOfRange("QueryPool: label index " +
                               std::to_string(index) + " >= size " +
@@ -113,6 +116,7 @@ std::vector<ce::LabeledExample> QueryPool::LabeledExamples(
 }
 
 void QueryPool::PruneUnlabeledGenerated() {
+  writer_mu_.AssertHeld();
   records_.erase(std::remove_if(records_.begin(), records_.end(),
                                 [](const PoolRecord& r) {
                                   return r.label == Source::kGen &&

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "ce/estimator.h"
+#include "util/mutex.h"
 #include "util/status.h"
 
 namespace warper::core {
@@ -32,39 +33,71 @@ struct PoolRecord {
   bool HasFreshLabel() const { return HasLabel() && !stale; }
 };
 
-// Threading contract (single-writer): QueryPool is not internally
-// synchronized. Exactly one thread may mutate it at a time — in a serving
-// deployment that is the background adaptation thread driving
-// Warper::Invoke (serve::EstimationServer enforces this by funneling every
-// invocation through its one adaptation thread). Concurrent const access is
-// safe only while no writer is active; the serving fast path never reads
-// the pool at all — Estimate() traffic runs against immutable
-// serve::ModelSnapshot clones — so estimates during Invoke() do not race.
-// Off-thread observers (benches, tests polling Warper::pool()) must either
-// quiesce the adaptation thread first or accept torn index views; they must
-// not hold a record reference across an Append (vector reallocation) or
-// PruneUnlabeledGenerated (index invalidation).
+// Threading contract (single-writer), now machine-checked: every mutating
+// method requires the pool's writer capability, writer_mu(). Exactly one
+// thread may mutate the pool at a time — in a serving deployment that is
+// the background adaptation thread driving Warper::Invoke (Invoke holds
+// writer_mu() for the whole invocation; serve::EstimationServer funnels
+// every invocation through its one adaptation thread). Under Clang
+// (-DWARPER_STATIC_ANALYSIS=ON) calling a mutator without holding
+// writer_mu() fails the build; at runtime the bulk mutators AssertHeld().
+// Concurrent const access is safe only while no writer is active; the
+// serving fast path never reads the pool at all — Estimate() traffic runs
+// against immutable serve::ModelSnapshot clones — so estimates during
+// Invoke() do not race. Off-thread observers (benches, tests polling
+// Warper::pool()) must either quiesce the adaptation thread first or accept
+// torn index views; they must not hold a record reference across an Append
+// (vector reallocation) or PruneUnlabeledGenerated (index invalidation).
 class QueryPool {
  public:
   QueryPool() = default;
+
+  // Copies and moves transfer the records but never the mutex: each pool
+  // owns its own writer capability, and moving a pool out from under an
+  // active writer is already a contract violation.
+  QueryPool(const QueryPool& other) : records_(other.records_) {}
+  QueryPool(QueryPool&& other) noexcept
+      : records_(std::move(other.records_)) {}
+  QueryPool& operator=(const QueryPool& other) {
+    records_ = other.records_;
+    return *this;
+  }
+  QueryPool& operator=(QueryPool&& other) noexcept {
+    records_ = std::move(other.records_);
+    return *this;
+  }
+
+  // The single-writer capability. Mutators require it; acquire it with
+  // util::MutexLock before any write:
+  //   util::MutexLock writer(&pool.writer_mu());
+  //   pool.AppendLabeled(...);
+  util::Mutex& writer_mu() const WARPER_RETURN_CAPABILITY(writer_mu_) {
+    return writer_mu_;
+  }
 
   size_t Size() const { return records_.size(); }
 
   // Unchecked access for the controller's hot loops, where `i` comes from an
   // index view this pool just produced. External callers should prefer
-  // GetRecord.
+  // GetRecord. The non-const overload hands out a mutable record, so it
+  // needs the writer capability (compile-time only: no per-call assertion
+  // in these hot loops).
   const PoolRecord& record(size_t i) const { return records_[i]; }
-  PoolRecord& record(size_t i) { return records_[i]; }
+  PoolRecord& record(size_t i) WARPER_REQUIRES(writer_mu_) {
+    return records_[i];
+  }
 
   // Bounds-checked record access: OutOfRange for a bad index.
   Result<PoolRecord> GetRecord(size_t i) const;
 
   // Appends a record; returns its index.
-  size_t Append(PoolRecord record);
+  size_t Append(PoolRecord record) WARPER_REQUIRES(writer_mu_);
 
   // Convenience appends.
-  size_t AppendLabeled(std::vector<double> features, double gt, Source label);
-  size_t AppendUnlabeled(std::vector<double> features, Source label);
+  size_t AppendLabeled(std::vector<double> features, double gt, Source label)
+      WARPER_REQUIRES(writer_mu_);
+  size_t AppendUnlabeled(std::vector<double> features, Source label)
+      WARPER_REQUIRES(writer_mu_);
 
   // Index views.
   std::vector<size_t> IndicesBySource(Source source) const;
@@ -77,10 +110,10 @@ class QueryPool {
   std::vector<size_t> StaleOrUnlabeledIndices() const;
 
   // Marks every record of `source` as stale (data drift invalidates labels).
-  void MarkSourceStale(Source source);
+  void MarkSourceStale(Source source) WARPER_REQUIRES(writer_mu_);
   // Installs a fresh label. OutOfRange for a bad index, InvalidArgument for
   // a negative cardinality.
-  Status SetLabel(size_t index, double gt);
+  Status SetLabel(size_t index, double gt) WARPER_REQUIRES(writer_mu_);
 
   // Labeled records as training examples for the CE model.
   std::vector<ce::LabeledExample> LabeledExamples(
@@ -89,9 +122,12 @@ class QueryPool {
   // Drops every generated (l = gen) record that never received a label;
   // keeps the pool from accumulating unlabeled synthetic queries across
   // invocations.
-  void PruneUnlabeledGenerated();
+  void PruneUnlabeledGenerated() WARPER_REQUIRES(writer_mu_);
 
  private:
+  // The writer capability. mutable so const pools still expose it (a reader
+  // that wants the strict no-torn-views guarantee may lock it too).
+  mutable util::Mutex writer_mu_;
   std::vector<PoolRecord> records_;
 };
 

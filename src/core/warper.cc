@@ -140,6 +140,8 @@ Status Warper::Initialize(const std::vector<ce::LabeledExample>& train_corpus) {
   span.Arg("corpus", static_cast<double>(train_corpus.size()));
   util::ScopedCpuTimer timer(&cpu_, &wall_);
 
+  // Writer capability for seeding the pool (the single-writer contract).
+  util::MutexLock pool_writer(&pool_.writer_mu());
   for (const auto& example : train_corpus) {
     pool_.AppendLabeled(example.features,
                         static_cast<double>(example.cardinality),
@@ -338,6 +340,17 @@ Result<Warper::InvocationResult> Warper::Invoke(
           " features; domain expects " + std::to_string(dim));
     }
   }
+  // The pool's single-writer capability, held for the whole invocation —
+  // the compile-time form of the QueryPool threading contract. Uncontended
+  // in a correct deployment (EstimationServer funnels every Invoke through
+  // its one adaptation thread); a second concurrent writer serializes here
+  // instead of corrupting the pool.
+  util::MutexLock pool_writer(&pool_.writer_mu());
+  // Read-only alias for lambdas below: a lambda body is analyzed as its own
+  // function, so it cannot see that Invoke holds the writer capability —
+  // const access does not need it.
+  const QueryPool& cpool = pool_;
+
   InvocationResult result;
   util::ScopedSpan invoke_span("warper.invoke");
   util::WallTimer invoke_wall;
@@ -542,8 +555,8 @@ Result<Warper::InvocationResult> Warper::Invoke(
       candidates.erase(
           std::remove_if(candidates.begin(), candidates.end(),
                          [&](size_t i) {
-                           return pool_.record(i).label == Source::kGen &&
-                                  !pool_.record(i).HasLabel();
+                           return cpool.record(i).label == Source::kGen &&
+                                  !cpool.record(i).HasLabel();
                          }),
           candidates.end());
       std::vector<size_t> stratified;
@@ -577,7 +590,7 @@ Result<Warper::InvocationResult> Warper::Invoke(
     unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
     unique.erase(std::remove_if(unique.begin(), unique.end(),
                                 [&](size_t i) {
-                                  return pool_.record(i).HasFreshLabel();
+                                  return cpool.record(i).HasFreshLabel();
                                 }),
                  unique.end());
     result.annotated = AnnotateRecords(unique, budget);

@@ -136,11 +136,15 @@ class Warper {
   // δ_js between recent new features and (a sample of) training features.
   double ComputeDeltaJs() const;
   // Annotates up to `budget` of the given records through the domain.
-  size_t AnnotateRecords(const std::vector<size_t>& indices, size_t budget);
+  // Writes labels into the pool, so the caller (Invoke) must hold the
+  // pool's writer capability.
+  size_t AnnotateRecords(const std::vector<size_t>& indices, size_t budget)
+      WARPER_REQUIRES(pool_.writer_mu());
   // Runs update(M, pool) with mode-appropriate example selection; the picked
   // multiset contributes with its multiplicities.
   void UpdateModel(const ModeFlags& mode, double delta_m,
-                   const std::vector<size_t>& picked_multiset);
+                   const std::vector<size_t>& picked_multiset)
+      WARPER_REQUIRES(pool_.writer_mu());
 
   const ce::QueryDomain* domain_;
   ce::CardinalityEstimator* model_;

@@ -7,6 +7,7 @@
 
 #include "nn/matrix.h"
 #include "util/metrics.h"
+#include "util/mutex.h"
 #include "util/trace.h"
 
 namespace warper::serve {
@@ -42,7 +43,7 @@ MicroBatcher::MicroBatcher(const core::ServeConfig& config,
 MicroBatcher::~MicroBatcher() { Stop(); }
 
 Status MicroBatcher::Start() {
-  std::lock_guard<std::mutex> lk(mu_);
+  util::MutexLock lk(&mu_);
   if (started_ || stop_) {
     return Status::FailedPrecondition(
         "MicroBatcher::Start: already started or stopped");
@@ -55,18 +56,18 @@ Status MicroBatcher::Start() {
 
 void MicroBatcher::Stop() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    util::MutexLock lk(&mu_);
     if (stop_) return;
     stop_ = true;
   }
-  not_empty_.notify_all();
-  not_full_.notify_all();
+  not_empty_.NotifyAll();
+  not_full_.NotifyAll();
   if (dispatcher_.joinable()) dispatcher_.join();
   // No dispatcher will ever run again: answer anything still queued (only
   // possible when Stop() came before Start()).
   std::deque<Pending> orphans;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    util::MutexLock lk(&mu_);
     orphans.swap(queue_);
   }
   for (Pending& p : orphans) {
@@ -76,7 +77,7 @@ void MicroBatcher::Stop() {
 }
 
 bool MicroBatcher::running() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  util::MutexLock lk(&mu_);
   return started_ && !stop_;
 }
 
@@ -127,38 +128,41 @@ Result<std::future<Result<double>>> MicroBatcher::Enqueue(
   }
   AdmissionController::Clock::time_point deadline =
       admission_.DeadlineFor(deadline_us);
-  std::unique_lock<std::mutex> lk(mu_);
-  while (true) {
-    if (stop_) {
-      return Status::FailedPrecondition("MicroBatcher is stopped");
+  std::future<Result<double>> future;
+  size_t depth = 0;
+  {
+    util::MutexLock lk(&mu_);
+    while (true) {
+      if (stop_) {
+        return Status::FailedPrecondition("MicroBatcher is stopped");
+      }
+      AdmissionController::Decision decision = admission_.Admit(queue_.size());
+      if (decision == AdmissionController::Decision::kAdmit) break;
+      if (decision == AdmissionController::Decision::kShed ||
+          !block_until_admitted) {
+        return admission_.Shed();
+      }
+      // kBlock: wait for the dispatcher to drain, bounded by the deadline.
+      if (deadline == AdmissionController::Clock::time_point::max()) {
+        not_full_.Wait(&mu_);
+      } else if (not_full_.WaitUntil(&mu_, deadline) ==
+                 std::cv_status::timeout) {
+        return admission_.Expire();
+      }
     }
-    AdmissionController::Decision decision = admission_.Admit(queue_.size());
-    if (decision == AdmissionController::Decision::kAdmit) break;
-    if (decision == AdmissionController::Decision::kShed ||
-        !block_until_admitted) {
-      return admission_.Shed();
-    }
-    // kBlock: wait for the dispatcher to drain, bounded by the deadline.
-    if (deadline == AdmissionController::Clock::time_point::max()) {
-      not_full_.wait(lk);
-    } else if (not_full_.wait_until(lk, deadline) ==
-               std::cv_status::timeout) {
-      return admission_.Expire();
-    }
+    Pending pending;
+    pending.features = std::move(features);
+    pending.deadline = deadline;
+    pending.enqueued = AdmissionController::Clock::now();
+    future = pending.promise.get_future();
+    queue_.push_back(std::move(pending));
+    depth = queue_.size();
+    admission_.RecordDepth(depth);
   }
-  Pending pending;
-  pending.features = std::move(features);
-  pending.deadline = deadline;
-  pending.enqueued = AdmissionController::Clock::now();
-  std::future<Result<double>> future = pending.promise.get_future();
-  queue_.push_back(std::move(pending));
-  size_t depth = queue_.size();
-  admission_.RecordDepth(depth);
-  lk.unlock();
   // The dispatcher only has something new to act on when the queue went
   // non-empty or a full batch just completed; signaling every enqueue would
   // pay a wakeup syscall per request at exactly the throughput-bound depths.
-  if (depth == 1 || depth % config_.batch_max == 0) not_empty_.notify_one();
+  if (depth == 1 || depth % config_.batch_max == 0) not_empty_.NotifyOne();
   return future;
 }
 
@@ -166,16 +170,20 @@ void MicroBatcher::DispatchLoop() {
   std::vector<Pending> batch;
   while (true) {
     {
-      std::unique_lock<std::mutex> lk(mu_);
-      not_empty_.wait(lk, [&] { return stop_ || !queue_.empty(); });
+      util::MutexLock lk(&mu_);
+      while (!stop_ && queue_.empty()) not_empty_.Wait(&mu_);
       if (queue_.empty()) break;  // stop_ with a drained queue
       // Coalesce: after the first request, give stragglers a short window
       // to fill the batch (skipped once it is already full or stopping).
       if (queue_.size() < config_.batch_max && config_.batch_timeout_us > 0 &&
           !stop_) {
-        not_empty_.wait_for(
-            lk, std::chrono::microseconds(config_.batch_timeout_us),
-            [&] { return stop_ || queue_.size() >= config_.batch_max; });
+        AdmissionController::Clock::time_point straggler_deadline =
+            AdmissionController::Clock::now() +
+            std::chrono::microseconds(config_.batch_timeout_us);
+        while (!stop_ && queue_.size() < config_.batch_max &&
+               not_empty_.WaitUntil(&mu_, straggler_deadline) !=
+                   std::cv_status::timeout) {
+        }
       }
       size_t n = std::min<size_t>(queue_.size(), config_.batch_max);
       batch.clear();
@@ -186,7 +194,7 @@ void MicroBatcher::DispatchLoop() {
       }
       admission_.RecordDepth(queue_.size());
     }
-    not_full_.notify_all();
+    not_full_.NotifyAll();
     ServeBatch(&batch);
   }
 }

@@ -10,17 +10,16 @@
 #ifndef WARPER_SERVE_BATCHER_H_
 #define WARPER_SERVE_BATCHER_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "core/config.h"
 #include "serve/admission.h"
 #include "serve/snapshot.h"
+#include "util/mutex.h"
 #include "util/status.h"
 
 namespace warper::serve {
@@ -93,13 +92,13 @@ class MicroBatcher {
   size_t feature_dim_;
   AdmissionController admission_;
 
-  mutable std::mutex mu_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<Pending> queue_;
+  mutable util::Mutex mu_;
+  util::CondVar not_empty_;
+  util::CondVar not_full_;
+  std::deque<Pending> queue_ WARPER_GUARDED_BY(mu_);
   std::thread dispatcher_;
-  bool started_ = false;
-  bool stop_ = false;
+  bool started_ WARPER_GUARDED_BY(mu_) = false;
+  bool stop_ WARPER_GUARDED_BY(mu_) = false;
 
   // qps gauge upkeep (dispatcher thread only).
   uint64_t window_served_ = 0;

@@ -4,6 +4,7 @@
 
 #include "ce/metrics.h"
 #include "util/metrics.h"
+#include "util/mutex.h"
 #include "util/trace.h"
 
 namespace warper::serve {
@@ -28,7 +29,7 @@ EstimationServer::EstimationServer(core::Warper* warper) : warper_(warper) {
 EstimationServer::~EstimationServer() { Stop(); }
 
 Status EstimationServer::SetEvalSet(std::vector<ce::LabeledExample> eval_set) {
-  std::lock_guard<std::mutex> lk(mu_);
+  util::MutexLock lk(&mu_);
   if (started_) {
     return Status::FailedPrecondition(
         "SetEvalSet must be called before Start()");
@@ -45,7 +46,7 @@ Status EstimationServer::SetEvalSet(std::vector<ce::LabeledExample> eval_set) {
 }
 
 Status EstimationServer::Start() {
-  std::lock_guard<std::mutex> lk(mu_);
+  util::MutexLock lk(&mu_);
   if (started_ || stop_) {
     return Status::FailedPrecondition(
         "EstimationServer::Start: already started or stopped");
@@ -64,15 +65,15 @@ Status EstimationServer::Start() {
 
 void EstimationServer::Stop() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    util::MutexLock lk(&mu_);
     if (stop_) return;
     stop_ = true;
   }
-  work_ready_.notify_all();
+  work_ready_.NotifyAll();
   if (adapt_thread_.joinable()) adapt_thread_.join();
   std::deque<PendingInvocation> orphans;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    util::MutexLock lk(&mu_);
     orphans.swap(adapt_queue_);
   }
   for (PendingInvocation& p : orphans) {
@@ -83,7 +84,7 @@ void EstimationServer::Stop() {
 }
 
 bool EstimationServer::running() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  util::MutexLock lk(&mu_);
   return started_ && !stop_;
 }
 
@@ -112,7 +113,7 @@ std::future<Result<AdaptationOutcome>> EstimationServer::SubmitInvocation(
   pending.invocation = std::move(invocation);
   std::future<Result<AdaptationOutcome>> future = pending.promise.get_future();
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    util::MutexLock lk(&mu_);
     if (!started_ || stop_) {
       pending.promise.set_value(
           Status::FailedPrecondition("EstimationServer is not running"));
@@ -120,7 +121,7 @@ std::future<Result<AdaptationOutcome>> EstimationServer::SubmitInvocation(
     }
     adapt_queue_.push_back(std::move(pending));
   }
-  work_ready_.notify_one();
+  work_ready_.NotifyOne();
   return future;
 }
 
@@ -128,8 +129,8 @@ void EstimationServer::AdaptLoop() {
   while (true) {
     PendingInvocation pending;
     {
-      std::unique_lock<std::mutex> lk(mu_);
-      work_ready_.wait(lk, [&] { return stop_ || !adapt_queue_.empty(); });
+      util::MutexLock lk(&mu_);
+      while (!stop_ && adapt_queue_.empty()) work_ready_.Wait(&mu_);
       if (adapt_queue_.empty()) break;  // stop_ with nothing left to run
       pending = std::move(adapt_queue_.front());
       adapt_queue_.pop_front();

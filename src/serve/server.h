@@ -11,18 +11,17 @@
 #ifndef WARPER_SERVE_SERVER_H_
 #define WARPER_SERVE_SERVER_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "core/warper.h"
 #include "serve/batcher.h"
 #include "serve/snapshot.h"
+#include "util/mutex.h"
 #include "util/status.h"
 
 namespace warper::serve {
@@ -98,17 +97,21 @@ class EstimationServer {
   Status PublishCurrent(double gmq);
 
   core::Warper* warper_;
+  // Written by SetEvalSet strictly before Start() (enforced with a Status);
+  // immutable while the adaptation thread runs, so Adapt reads it unlocked.
   std::vector<ce::LabeledExample> eval_set_;
   SnapshotStore store_;
   std::unique_ptr<MicroBatcher> batcher_;
+  // Touched by Start() (before the adaptation thread exists) and then only
+  // by the adaptation thread in PublishCurrent — never concurrently.
   uint64_t next_version_ = 1;
 
-  mutable std::mutex mu_;
-  std::condition_variable work_ready_;
-  std::deque<PendingInvocation> adapt_queue_;
+  mutable util::Mutex mu_;
+  util::CondVar work_ready_;
+  std::deque<PendingInvocation> adapt_queue_ WARPER_GUARDED_BY(mu_);
   std::thread adapt_thread_;
-  bool started_ = false;
-  bool stop_ = false;
+  bool started_ WARPER_GUARDED_BY(mu_) = false;
+  bool stop_ WARPER_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace warper::serve

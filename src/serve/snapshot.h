@@ -50,6 +50,12 @@ class ModelSnapshot {
 // The publication point. Publish() is rare (once per adaptation pass);
 // Current() is the read side of every estimate and must stay wait-free for
 // practical purposes — it is a single std::atomic<std::shared_ptr> load.
+//
+// Deliberately carries no util::Mutex / thread-safety annotations: there is
+// no lock here to annotate. The whole class is RCU-style publication over
+// one atomic shared_ptr, and the invariant that matters — snapshots are
+// immutable after Publish() — is enforced by ModelSnapshot's const-only
+// surface, not by a capability (see DESIGN.md §10).
 class SnapshotStore {
  public:
   // Makes `snapshot` the version every subsequent Current() returns.

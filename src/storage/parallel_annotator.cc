@@ -1,9 +1,9 @@
 #include "storage/parallel_annotator.h"
 
 #include <algorithm>
-#include <mutex>
 
 #include "util/metrics.h"
+#include "util/mutex.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 #include "util/trace.h"
@@ -98,12 +98,12 @@ std::vector<int64_t> ParallelAnnotator::BatchCount(
 
   // Chunk-local tallies merged under a lock: integer sums are exact in any
   // order, so the result is bit-identical to the serial scan.
-  std::mutex merge_mutex;
+  util::Mutex merge_mutex;
   util::ThreadPool::Global().ParallelFor(
       0, n, grain, [&](size_t begin, size_t end) {
         std::vector<int64_t> local(compiled.size(), 0);
         CountRange(*table_, compiled, begin, end, &local);
-        std::lock_guard<std::mutex> lock(merge_mutex);
+        util::MutexLock lock(&merge_mutex);
         for (size_t p = 0; p < counts.size(); ++p) counts[p] += local[p];
       });
   return counts;

@@ -12,12 +12,12 @@ std::atomic<LogLevel> g_level{LogLevel::kInfo};
 // Serializes sink installation and every delivery: the whole point of the
 // mutex is that two pool threads destroying LogMessage concurrently cannot
 // interleave partial lines in the default stderr sink.
-std::mutex& SinkMutex() {
-  static std::mutex* mutex = new std::mutex();
+Mutex& SinkMutex() {
+  static Mutex* mutex = new Mutex();
   return *mutex;
 }
 
-LogSink& SinkSlot() {
+LogSink& SinkSlot() WARPER_REQUIRES(SinkMutex()) {
   static LogSink* sink = new LogSink();
   return *sink;
 }
@@ -47,7 +47,7 @@ void SetLogLevel(LogLevel level) { g_level.store(level); }
 LogLevel GetLogLevel() { return g_level.load(); }
 
 LogSink SetLogSink(LogSink sink) {
-  std::lock_guard<std::mutex> lock(SinkMutex());
+  MutexLock lock(&SinkMutex());
   LogSink previous = std::move(SinkSlot());
   SinkSlot() = std::move(sink);
   return previous;
@@ -55,7 +55,7 @@ LogSink SetLogSink(LogSink sink) {
 
 CapturingLogSink::CapturingLogSink() {
   previous_ = SetLogSink([this](LogLevel, const std::string& line) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     lines_.push_back(line);
   });
 }
@@ -63,19 +63,19 @@ CapturingLogSink::CapturingLogSink() {
 CapturingLogSink::~CapturingLogSink() { SetLogSink(std::move(previous_)); }
 
 std::vector<std::string> CapturingLogSink::lines() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return lines_;
 }
 
 std::string CapturingLogSink::str() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   std::string out;
   for (const std::string& line : lines_) out += line;
   return out;
 }
 
 void CapturingLogSink::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   lines_.clear();
 }
 
@@ -89,7 +89,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   stream_ << "\n";
-  std::lock_guard<std::mutex> lock(SinkMutex());
+  MutexLock lock(&SinkMutex());
   const LogSink& sink = SinkSlot();
   if (sink) {
     sink(level_, stream_.str());

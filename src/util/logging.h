@@ -11,10 +11,11 @@
 #define WARPER_UTIL_LOGGING_H_
 
 #include <functional>
-#include <mutex>
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include "util/mutex.h"
 
 namespace warper::util {
 
@@ -49,8 +50,8 @@ class CapturingLogSink {
   void Clear();
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<std::string> lines_;
+  mutable Mutex mutex_;
+  std::vector<std::string> lines_ WARPER_GUARDED_BY(mutex_);
   LogSink previous_;
 };
 

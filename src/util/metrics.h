@@ -24,9 +24,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/mutex.h"
 
 namespace warper::util {
 
@@ -154,10 +155,16 @@ class MetricsRegistry {
   void Reset();
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable Mutex mutex_;
+  // The maps are guarded; the metric objects they own are not — handles are
+  // handed out and hammered lock-free by design (see the hot-path contract
+  // above), and each metric type is internally atomic.
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      WARPER_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      WARPER_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      WARPER_GUARDED_BY(mutex_);
 };
 
 // The global registry every subsystem publishes to.

@@ -1,0 +1,43 @@
+#include "util/mutex.h"
+
+namespace warper::util {
+
+// The wait family adopts the already-locked inner std::mutex into a
+// unique_lock for std::condition_variable, then releases the unique_lock
+// before returning so ownership stays with the caller's Mutex/MutexLock.
+// Owner tracking must be cleared across the blocked window (the mutex is
+// genuinely unlocked there) and restored before returning. The analysis
+// cannot follow the adopt/release dance, hence the explicit opt-outs —
+// the declarations in mutex.h still carry WARPER_REQUIRES(mu), which is
+// what callers are checked against.
+
+void CondVar::Wait(Mutex* mu) WARPER_NO_THREAD_SAFETY_ANALYSIS {
+  mu->holder_.store(std::thread::id(), std::memory_order_relaxed);
+  std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+  cv_.wait(lock);
+  lock.release();
+  mu->holder_.store(std::this_thread::get_id(), std::memory_order_relaxed);
+}
+
+std::cv_status CondVar::WaitFor(Mutex* mu, std::chrono::microseconds timeout)
+    WARPER_NO_THREAD_SAFETY_ANALYSIS {
+  mu->holder_.store(std::thread::id(), std::memory_order_relaxed);
+  std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+  std::cv_status status = cv_.wait_for(lock, timeout);
+  lock.release();
+  mu->holder_.store(std::this_thread::get_id(), std::memory_order_relaxed);
+  return status;
+}
+
+std::cv_status CondVar::WaitUntil(
+    Mutex* mu, std::chrono::steady_clock::time_point deadline)
+    WARPER_NO_THREAD_SAFETY_ANALYSIS {
+  mu->holder_.store(std::thread::id(), std::memory_order_relaxed);
+  std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+  std::cv_status status = cv_.wait_until(lock, deadline);
+  lock.release();
+  mu->holder_.store(std::this_thread::get_id(), std::memory_order_relaxed);
+  return status;
+}
+
+}  // namespace warper::util

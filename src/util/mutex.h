@@ -1,0 +1,176 @@
+// Annotated mutex / condition-variable wrappers: the compile-time face of
+// every locking contract in the tree.
+//
+// Every mutex in this codebase is a util::Mutex (the invariant linter,
+// tools/lint_invariants.py, rejects naked std::mutex outside util/), and
+// every field a mutex guards carries WARPER_GUARDED_BY(mu_). Under Clang
+// the macros below expand to the thread-safety capability attributes, so a
+// -DWARPER_STATIC_ANALYSIS=ON build proves on every compile that no guarded
+// field is touched without its lock and no annotated function is called
+// without the capabilities it requires — the interleavings TSan can only
+// sample become a build-time property. Under GCC (and any compiler without
+// the analysis) the macros are no-ops and the wrappers cost exactly a
+// std::mutex plus one relaxed atomic store per lock/unlock for owner
+// tracking.
+//
+// Owner tracking is always compiled in: Mutex records the locking thread's
+// id so AssertHeld() can turn a violated lock contract into an immediate
+// WARPER_CHECK abort at runtime even in builds where the static analysis
+// never ran. Bulk mutators of single-writer structures (core::QueryPool)
+// call it at their entry points.
+//
+// Annotation conventions (see DESIGN.md §10 for the full guide):
+//   - fields:        int depth_ WARPER_GUARDED_BY(mu_);
+//   - entry points:  void Push(T) WARPER_EXCLUDES(mu_);   // takes the lock
+//   - internals:     void PushLocked(T) WARPER_REQUIRES(mu_);
+//   - capability accessors: Mutex& mu() WARPER_RETURN_CAPABILITY(mu_);
+#ifndef WARPER_UTIL_MUTEX_H_
+#define WARPER_UTIL_MUTEX_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "util/status.h"
+
+// ---------------------------------------------------------------------------
+// Capability attribute macros. Clang-only; no-ops everywhere else.
+// ---------------------------------------------------------------------------
+#if defined(__clang__)
+#define WARPER_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define WARPER_THREAD_ANNOTATION(x)
+#endif
+
+// Declares a type to be a capability ("mutex" in diagnostics).
+#define WARPER_CAPABILITY(x) WARPER_THREAD_ANNOTATION(capability(x))
+// Declares an RAII type whose constructor acquires and destructor releases.
+#define WARPER_SCOPED_CAPABILITY WARPER_THREAD_ANNOTATION(scoped_lockable)
+// A field that may only be read/written while holding `x`.
+#define WARPER_GUARDED_BY(x) WARPER_THREAD_ANNOTATION(guarded_by(x))
+// A pointer field whose *pointee* is guarded by `x`.
+#define WARPER_PT_GUARDED_BY(x) WARPER_THREAD_ANNOTATION(pt_guarded_by(x))
+// The function acquires / releases the listed capabilities.
+#define WARPER_ACQUIRE(...) \
+  WARPER_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define WARPER_RELEASE(...) \
+  WARPER_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define WARPER_TRY_ACQUIRE(...) \
+  WARPER_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+// The caller must already hold / must NOT hold the listed capabilities.
+#define WARPER_REQUIRES(...) \
+  WARPER_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define WARPER_EXCLUDES(...) WARPER_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+// The function returns a reference to the capability `x` (so callers can
+// write REQUIRES(obj.mu()) against a private mutex member).
+#define WARPER_RETURN_CAPABILITY(x) WARPER_THREAD_ANNOTATION(lock_returned(x))
+// Asserts (at runtime) that the capability is held; tells the analysis so.
+#define WARPER_ASSERT_CAPABILITY(x) \
+  WARPER_THREAD_ANNOTATION(assert_capability(x))
+// Escape hatch for functions that manage locks in ways the analysis cannot
+// follow (CondVar wait internals). Use sparingly and leave a comment.
+#define WARPER_NO_THREAD_SAFETY_ANALYSIS \
+  WARPER_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace warper::util {
+
+class CondVar;
+
+// A std::mutex carrying the "mutex" capability plus always-on owner
+// tracking. Non-recursive. Prefer MutexLock over manual Lock()/Unlock().
+class WARPER_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() WARPER_ACQUIRE() {
+    mu_.lock();
+    holder_.store(std::this_thread::get_id(), std::memory_order_relaxed);
+  }
+
+  void Unlock() WARPER_RELEASE() {
+    holder_.store(std::thread::id(), std::memory_order_relaxed);
+    mu_.unlock();
+  }
+
+  bool TryLock() WARPER_TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+    holder_.store(std::this_thread::get_id(), std::memory_order_relaxed);
+    return true;
+  }
+
+  // True when the calling thread holds this mutex. Best-effort but exact
+  // for the asking thread: only the holder writes its own id, so a true
+  // answer cannot be stale and a false answer means "not you".
+  bool HeldByCurrentThread() const {
+    return holder_.load(std::memory_order_relaxed) ==
+           std::this_thread::get_id();
+  }
+
+  // Aborts (WARPER_CHECK) unless the calling thread holds the mutex — the
+  // runtime twin of WARPER_REQUIRES for builds without the static analysis.
+  void AssertHeld() const WARPER_ASSERT_CAPABILITY(this) {
+    WARPER_CHECK_MSG(HeldByCurrentThread(),
+                     "util::Mutex::AssertHeld: calling thread does not hold "
+                     "the mutex");
+  }
+
+ private:
+  friend class CondVar;
+
+  std::mutex mu_;
+  // id() (no thread) when unlocked; the holder's id while locked. Relaxed
+  // is enough: the mutex itself orders the store against other threads'
+  // loads, and HeldByCurrentThread only promises exactness to the holder.
+  std::atomic<std::thread::id> holder_{std::thread::id()};
+};
+
+// RAII lock for a whole scope. The scoped-capability annotation lets the
+// analysis treat construction as acquire and destruction as release.
+class WARPER_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) WARPER_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() WARPER_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* mu_;
+};
+
+// Condition variable bound to util::Mutex. There are deliberately no
+// predicate overloads: a predicate lambda would read guarded state from a
+// context the analysis cannot prove holds the lock, so callers write the
+// canonical loop instead, which analyzes cleanly:
+//
+//   MutexLock lock(&mu_);
+//   while (!ready_) cv_.Wait(&mu_);
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  // All waits require the caller to hold *mu; the mutex is released while
+  // blocked and re-held (with owner tracking restored) on return.
+  void Wait(Mutex* mu) WARPER_REQUIRES(mu);
+  std::cv_status WaitFor(Mutex* mu, std::chrono::microseconds timeout)
+      WARPER_REQUIRES(mu);
+  std::cv_status WaitUntil(Mutex* mu,
+                           std::chrono::steady_clock::time_point deadline)
+      WARPER_REQUIRES(mu);
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace warper::util
+
+#endif  // WARPER_UTIL_MUTEX_H_

@@ -31,8 +31,10 @@ enum class StatusCode {
 // Human-readable name for a status code, e.g. "InvalidArgument".
 const char* StatusCodeName(StatusCode code);
 
-// A success-or-error outcome. Cheap to copy on the OK path.
-class Status {
+// A success-or-error outcome. Cheap to copy on the OK path. [[nodiscard]]:
+// silently dropping a Status swallows the error path — callers must check,
+// propagate (WARPER_RETURN_NOT_OK), or explicitly void-cast with a comment.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
@@ -73,9 +75,10 @@ class Status {
   std::string message_;
 };
 
-// A value or an error. Mirrors arrow::Result<T>.
+// A value or an error. Mirrors arrow::Result<T>. [[nodiscard]] for the same
+// reason as Status: an unexamined Result is a swallowed error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
   Result(Status status)                          // NOLINT(google-explicit-constructor)

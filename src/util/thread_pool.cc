@@ -45,8 +45,8 @@ int HardwareThreads() {
 }
 
 // Guards the global pool instance against concurrent Configure calls.
-std::mutex g_global_mutex;
-std::unique_ptr<ThreadPool>& GlobalSlot() {
+Mutex g_global_mutex;
+std::unique_ptr<ThreadPool>& GlobalSlot() WARPER_REQUIRES(g_global_mutex) {
   static std::unique_ptr<ThreadPool> pool;
   return pool;
 }
@@ -88,10 +88,10 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (auto& t : workers_) t.join();
 }
 
@@ -100,8 +100,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::packaged_task<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      MutexLock lock(&mutex_);
+      while (!stop_ && tasks_.empty()) cv_.Wait(&mutex_);
       if (tasks_.empty()) return;  // stop_ set and queue drained
       task = std::move(tasks_.front());
       tasks_.pop();
@@ -120,11 +120,11 @@ std::future<void> ThreadPool::Submit(std::function<void()> fn) {
     return future;
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     tasks_.push(std::move(task));
     GetPoolMetrics().queue_depth->Set(static_cast<double>(tasks_.size()));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
   return future;
 }
 
@@ -175,7 +175,7 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
 }
 
 ThreadPool& ThreadPool::Global() {
-  std::lock_guard<std::mutex> lock(g_global_mutex);
+  MutexLock lock(&g_global_mutex);
   auto& slot = GlobalSlot();
   if (!slot) slot = std::make_unique<ThreadPool>();
   return *slot;
@@ -183,7 +183,7 @@ ThreadPool& ThreadPool::Global() {
 
 void ThreadPool::Configure(const ParallelConfig& config) {
   int want = config.ResolvedThreads();
-  std::lock_guard<std::mutex> lock(g_global_mutex);
+  MutexLock lock(&g_global_mutex);
   auto& slot = GlobalSlot();
   if (slot && slot->size() == want - 1) return;
   slot.reset();  // join old workers before spawning the new set

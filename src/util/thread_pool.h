@@ -14,16 +14,15 @@
 #ifndef WARPER_UTIL_THREAD_POOL_H_
 #define WARPER_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
 
 #include "util/cpu_features.h"
+#include "util/mutex.h"
 #include "util/status.h"
 
 namespace warper::util {
@@ -88,11 +87,13 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
+  // Immutable after the constructor returns; WorkerLoop and ParallelFor read
+  // it without the lock.
   std::vector<std::thread> workers_;
-  std::queue<std::packaged_task<void()>> tasks_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  Mutex mutex_;
+  std::queue<std::packaged_task<void()>> tasks_ WARPER_GUARDED_BY(mutex_);
+  CondVar cv_;
+  bool stop_ WARPER_GUARDED_BY(mutex_) = false;
 };
 
 // True on threads owned by any ThreadPool; used to keep nested ParallelFor

@@ -5,11 +5,11 @@
 #include <deque>
 #include <fstream>
 #include <memory>
-#include <mutex>
 #include <sstream>
 #include <vector>
 
 #include "util/logging.h"
+#include "util/mutex.h"
 
 namespace warper::util {
 
@@ -44,9 +44,9 @@ struct ThreadBuffer {
 };
 
 struct BufferRegistry {
-  std::mutex mutex;
-  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
-  int next_tid = 0;
+  Mutex mutex;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers WARPER_GUARDED_BY(mutex);
+  int next_tid WARPER_GUARDED_BY(mutex) = 0;
 };
 
 BufferRegistry& Registry() {
@@ -60,7 +60,7 @@ ThreadBuffer& LocalBuffer() {
   thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
     auto b = std::make_shared<ThreadBuffer>();
     BufferRegistry& r = Registry();
-    std::lock_guard<std::mutex> lock(r.mutex);
+    MutexLock lock(&r.mutex);
     b->tid = r.next_tid++;
     r.buffers.push_back(b);
     return b;
@@ -125,7 +125,7 @@ void StopTracing() {
 
 void ClearTrace() {
   BufferRegistry& r = Registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  MutexLock lock(&r.mutex);
   for (auto& b : r.buffers) {
     b->floor.store(b->committed.load(std::memory_order_acquire),
                    std::memory_order_relaxed);
@@ -134,7 +134,7 @@ void ClearTrace() {
 
 size_t TraceEventCount() {
   BufferRegistry& r = Registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  MutexLock lock(&r.mutex);
   size_t n = 0;
   for (const auto& b : r.buffers) {
     n += b->committed.load(std::memory_order_acquire) -
@@ -148,7 +148,7 @@ std::string TraceToJson() {
   os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
   bool first = true;
   BufferRegistry& r = Registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  MutexLock lock(&r.mutex);
   for (const auto& b : r.buffers) {
     size_t hi = b->committed.load(std::memory_order_acquire);
     for (size_t i = b->floor.load(std::memory_order_relaxed); i < hi; ++i) {

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "util/mutex.h"
 #include "util/rng.h"
 
 namespace warper::core {
@@ -23,6 +24,7 @@ QueryPool MakePool(size_t feature_dim, size_t train_n, size_t new_n,
                    uint64_t seed) {
   util::Rng rng(seed);
   QueryPool pool;
+  util::MutexLock writer(&pool.writer_mu());
   // Train records concentrated low, new records concentrated high — a
   // clearly detectable drift.
   for (size_t i = 0; i < train_n; ++i) {
@@ -40,7 +42,7 @@ QueryPool MakePool(size_t feature_dim, size_t train_n, size_t new_n,
 
 TEST(AutoEncoderTest, LossDecreases) {
   WarperModels models(6, SmallConfig(), 1000.0, 3);
-  QueryPool pool = MakePool(6, 64, 64, 3);
+  const QueryPool pool = MakePool(6, 64, 64, 3);
 
   GanTrainStats first = models.UpdateAutoEncoder(pool, 5);
   GanTrainStats later = models.UpdateAutoEncoder(pool, 200);
@@ -50,7 +52,7 @@ TEST(AutoEncoderTest, LossDecreases) {
 
 TEST(AutoEncoderTest, ReconstructionBecomesAccurate) {
   WarperModels models(4, SmallConfig(), 1000.0, 5);
-  QueryPool pool = MakePool(4, 128, 0, 5);
+  const QueryPool pool = MakePool(4, 128, 0, 5);
   models.UpdateAutoEncoder(pool, 600);
 
   // Reconstruct a pool record through E∘G.
@@ -66,7 +68,7 @@ TEST(AutoEncoderTest, ReconstructionBecomesAccurate) {
 
 TEST(MultiTaskTest, RunsAndReportsLoss) {
   WarperModels models(6, SmallConfig(), 1000.0, 7);
-  QueryPool pool = MakePool(6, 64, 64, 7);
+  const QueryPool pool = MakePool(6, 64, 64, 7);
   models.UpdateAutoEncoder(pool, 100);  // pre-train, as §3.5 prescribes
   GanTrainStats stats = models.UpdateMultiTask(pool, 60);
   EXPECT_GT(stats.iterations, 0);
@@ -77,7 +79,7 @@ TEST(MultiTaskTest, RunsAndReportsLoss) {
 TEST(MultiTaskTest, GeneratedQueriesResembleNewWorkload) {
   size_t feature_dim = 6;
   WarperModels models(feature_dim, SmallConfig(), 1000.0, 9);
-  QueryPool pool = MakePool(feature_dim, 96, 96, 9);
+  const QueryPool pool = MakePool(feature_dim, 96, 96, 9);
   models.UpdateAutoEncoder(pool, 300);
   models.UpdateMultiTask(pool, 150);
 
@@ -95,7 +97,7 @@ TEST(MultiTaskTest, GeneratedQueriesResembleNewWorkload) {
 
 TEST(GenerateQueriesTest, OutputsBoundedAndSized) {
   WarperModels models(5, SmallConfig(), 1000.0, 11);
-  QueryPool pool = MakePool(5, 32, 16, 11);
+  const QueryPool pool = MakePool(5, 32, 16, 11);
   std::vector<std::vector<double>> generated = models.GenerateQueries(pool, 10);
   ASSERT_EQ(generated.size(), 10u);
   for (const auto& q : generated) {
@@ -109,7 +111,7 @@ TEST(GenerateQueriesTest, OutputsBoundedAndSized) {
 
 TEST(GenerateQueriesTest, WorksWithoutNewRecords) {
   WarperModels models(5, SmallConfig(), 1000.0, 13);
-  QueryPool pool = MakePool(5, 32, 0, 13);
+  const QueryPool pool = MakePool(5, 32, 0, 13);
   // Seeds fall back to the whole pool.
   EXPECT_EQ(models.GenerateQueries(pool, 8).size(), 8u);
 }
@@ -119,7 +121,7 @@ TEST(MultiTaskTest, EarlyStopBoundsIterations) {
   config.loss_rel_tol = 1e9;  // any progress counts as stagnation
   config.loss_patience = 3;
   WarperModels models(4, config, 1000.0, 17);
-  QueryPool pool = MakePool(4, 32, 32, 17);
+  const QueryPool pool = MakePool(4, 32, 32, 17);
   GanTrainStats stats = models.UpdateMultiTask(pool, 500);
   EXPECT_LE(stats.iterations, 10);
 }

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "util/mutex.h"
+
 namespace warper::core {
 namespace {
 
@@ -38,6 +40,7 @@ TEST(EncoderTest, EmbedRecordsWritesZ) {
   util::Rng rng(5);
   Encoder encoder(2, SmallConfig(), 100.0, &rng);
   QueryPool pool;
+  util::MutexLock writer(&pool.writer_mu());
   pool.AppendLabeled({0.1, 0.9}, 10.0, Source::kTrain);
   pool.AppendUnlabeled({0.5, 0.5}, Source::kNew);
   encoder.EmbedRecords(&pool, {0, 1});
@@ -86,6 +89,7 @@ TEST(DiscriminatorTest, ClassifyWritesPredictionAndConfidence) {
   Discriminator discriminator(config, &rng);
 
   QueryPool pool;
+  util::MutexLock writer(&pool.writer_mu());
   pool.AppendLabeled({0.2, 0.8}, 5.0, Source::kTrain);
   pool.AppendUnlabeled({0.6, 0.1}, Source::kNew);
   encoder.EmbedRecords(&pool, {0, 1});
@@ -118,6 +122,7 @@ TEST(DiscriminatorDeathTest, RequiresEmbeddings) {
   util::Rng rng(17);
   Discriminator discriminator(SmallConfig(), &rng);
   QueryPool pool;
+  util::MutexLock writer(&pool.writer_mu());
   pool.AppendUnlabeled({0.1}, Source::kNew);
   EXPECT_DEATH(discriminator.ClassifyRecords(&pool, {0}),
                "no embedding");

@@ -7,6 +7,7 @@
 
 #include "ce/lm.h"
 #include "core/gan.h"
+#include "util/mutex.h"
 
 namespace warper::core {
 namespace {
@@ -43,6 +44,7 @@ TEST(PickerTest, PickGeneratedPrefersNewLookingQueries) {
   WarperModels models(4, config, 1000.0, 3);
 
   QueryPool pool;
+  util::MutexLock writer(&pool.writer_mu());
   // Two generated candidates with very different embeddings; train the
   // discriminator so one of them reads as "new".
   for (int i = 0; i < 40; ++i) {
@@ -73,6 +75,7 @@ TEST(PickerTest, PickGeneratedEmptyWhenNoCandidates) {
   util::Rng rng(5);
   WarperModels models(4, config, 1000.0, 5);
   QueryPool pool;
+  util::MutexLock writer(&pool.writer_mu());
   pool.AppendLabeled({0.5, 0.5, 0.5, 0.5}, 10.0, Source::kNew);
   Picker picker(config, 9);
   EXPECT_TRUE(picker.PickGenerated(pool, models.discriminator(), 10).empty());
@@ -81,6 +84,7 @@ TEST(PickerTest, PickGeneratedEmptyWhenNoCandidates) {
 TEST(PickerTest, PickStratifiedReturnsCandidatesOnly) {
   WarperConfig config = SmallConfig();
   QueryPool pool;
+  util::MutexLock writer(&pool.writer_mu());
   // Labeled records with a spread of errors vs the stub model (card 147).
   pool.AppendLabeled({0.1, 0.1}, 150.0, Source::kTrain);   // tiny error
   pool.AppendLabeled({0.5, 0.5}, 1500.0, Source::kTrain);  // 10× error
@@ -104,6 +108,7 @@ TEST(PickerTest, PickStratifiedReturnsCandidatesOnly) {
 TEST(PickerTest, PickStratifiedUniformWithoutLabels) {
   WarperConfig config = SmallConfig();
   QueryPool pool;
+  util::MutexLock writer(&pool.writer_mu());
   std::vector<size_t> candidates;
   for (int i = 0; i < 20; ++i) {
     candidates.push_back(pool.AppendUnlabeled({0.05 * i}, Source::kNew));
@@ -130,6 +135,7 @@ TEST(PickerTest, PickEntropyWeightsUncertainCandidates) {
   util::Rng rng(19);
   WarperModels models(4, config, 1000.0, 19);
   QueryPool pool;
+  util::MutexLock writer(&pool.writer_mu());
   std::vector<size_t> candidates;
   for (int i = 0; i < 8; ++i) {
     candidates.push_back(pool.AppendUnlabeled(

@@ -2,11 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include "util/mutex.h"
+
 namespace warper::core {
 namespace {
 
 TEST(QueryPoolTest, AppendVariants) {
   QueryPool pool;
+  util::MutexLock writer(&pool.writer_mu());
   size_t a = pool.AppendLabeled({0.1, 0.2}, 100.0, Source::kTrain);
   size_t b = pool.AppendUnlabeled({0.3, 0.4}, Source::kNew);
   EXPECT_EQ(pool.Size(), 2u);
@@ -17,6 +20,7 @@ TEST(QueryPoolTest, AppendVariants) {
 
 TEST(QueryPoolTest, IndexViews) {
   QueryPool pool;
+  util::MutexLock writer(&pool.writer_mu());
   pool.AppendLabeled({0.1}, 1.0, Source::kTrain);
   pool.AppendLabeled({0.2}, 2.0, Source::kNew);
   pool.AppendUnlabeled({0.3}, Source::kNew);
@@ -30,6 +34,7 @@ TEST(QueryPoolTest, IndexViews) {
 
 TEST(QueryPoolTest, StaleSeparatesFreshFromLabeled) {
   QueryPool pool;
+  util::MutexLock writer(&pool.writer_mu());
   pool.AppendLabeled({0.1}, 1.0, Source::kTrain);
   pool.AppendLabeled({0.2}, 2.0, Source::kNew);
   pool.MarkSourceStale(Source::kTrain);
@@ -43,6 +48,7 @@ TEST(QueryPoolTest, StaleSeparatesFreshFromLabeled) {
 
 TEST(QueryPoolTest, SetLabelClearsStale) {
   QueryPool pool;
+  util::MutexLock writer(&pool.writer_mu());
   pool.AppendLabeled({0.1}, 1.0, Source::kTrain);
   pool.MarkSourceStale(Source::kTrain);
   EXPECT_FALSE(pool.record(0).HasFreshLabel());
@@ -53,6 +59,7 @@ TEST(QueryPoolTest, SetLabelClearsStale) {
 
 TEST(QueryPoolTest, MarkStaleSkipsUnlabeled) {
   QueryPool pool;
+  util::MutexLock writer(&pool.writer_mu());
   pool.AppendUnlabeled({0.1}, Source::kNew);
   pool.MarkSourceStale(Source::kNew);
   EXPECT_FALSE(pool.record(0).stale);
@@ -60,6 +67,7 @@ TEST(QueryPoolTest, MarkStaleSkipsUnlabeled) {
 
 TEST(QueryPoolTest, LabeledExamplesConvert) {
   QueryPool pool;
+  util::MutexLock writer(&pool.writer_mu());
   pool.AppendLabeled({0.5, 0.6}, 42.0, Source::kNew);
   std::vector<ce::LabeledExample> examples =
       pool.LabeledExamples({0});
@@ -70,6 +78,7 @@ TEST(QueryPoolTest, LabeledExamplesConvert) {
 
 TEST(QueryPoolTest, PruneUnlabeledGenerated) {
   QueryPool pool;
+  util::MutexLock writer(&pool.writer_mu());
   pool.AppendUnlabeled({0.1}, Source::kGen);
   pool.AppendLabeled({0.2}, 5.0, Source::kGen);
   pool.AppendUnlabeled({0.3}, Source::kNew);
@@ -82,6 +91,7 @@ TEST(QueryPoolTest, PruneUnlabeledGenerated) {
 
 TEST(QueryPoolTest, SetLabelValidation) {
   QueryPool pool;
+  util::MutexLock writer(&pool.writer_mu());
   pool.AppendUnlabeled({0.1}, Source::kNew);
   EXPECT_EQ(pool.SetLabel(5, 1.0).code(), StatusCode::kOutOfRange);
   EXPECT_EQ(pool.SetLabel(0, -2.0).code(), StatusCode::kInvalidArgument);
@@ -91,7 +101,10 @@ TEST(QueryPoolTest, SetLabelValidation) {
 
 TEST(QueryPoolTest, GetRecordBoundsChecked) {
   QueryPool pool;
-  pool.AppendLabeled({0.1, 0.2}, 7.0, Source::kNew);
+  {
+    util::MutexLock writer(&pool.writer_mu());
+    pool.AppendLabeled({0.1, 0.2}, 7.0, Source::kNew);
+  }
   Result<PoolRecord> ok = pool.GetRecord(0);
   ASSERT_TRUE(ok.ok());
   EXPECT_DOUBLE_EQ(ok.ValueOrDie().gt, 7.0);
@@ -100,8 +113,36 @@ TEST(QueryPoolTest, GetRecordBoundsChecked) {
   EXPECT_EQ(bad.status().code(), StatusCode::kOutOfRange);
 }
 
+TEST(QueryPoolTest, CopyAndMoveTransferRecordsNotTheMutex) {
+  QueryPool pool;
+  {
+    util::MutexLock writer(&pool.writer_mu());
+    pool.AppendLabeled({0.1}, 3.0, Source::kTrain);
+  }
+  QueryPool copy = pool;
+  EXPECT_EQ(copy.Size(), 1u);
+  // The copy owns a fresh, unlocked capability even while the source's is
+  // held.
+  util::MutexLock source_writer(&pool.writer_mu());
+  EXPECT_FALSE(copy.writer_mu().HeldByCurrentThread());
+  QueryPool moved = std::move(copy);
+  EXPECT_EQ(moved.Size(), 1u);
+}
+
+// Deliberately violates the writer contract to prove the runtime assert
+// catches it; the annotation suppresses the (correct) static diagnosis.
+void AppendWithoutWriterLock(QueryPool* pool) WARPER_NO_THREAD_SAFETY_ANALYSIS {
+  pool->AppendLabeled({0.1}, 1.0, Source::kTrain);
+}
+
+TEST(QueryPoolDeathTest, MutatorWithoutWriterLockAborts) {
+  QueryPool pool;
+  EXPECT_DEATH(AppendWithoutWriterLock(&pool), "AssertHeld");
+}
+
 TEST(QueryPoolDeathTest, EmptyFeaturesRejected) {
   QueryPool pool;
+  util::MutexLock writer(&pool.writer_mu());
   EXPECT_DEATH(pool.AppendUnlabeled({}, Source::kNew), "WARPER_CHECK");
 }
 

@@ -1,6 +1,8 @@
 // Integration tests for the Warper controller (Alg. 1).
 #include "core/warper.h"
 
+#include <utility>
+
 #include <gtest/gtest.h>
 
 #include "ce/lm.h"
@@ -170,8 +172,9 @@ TEST(WarperTest, DataDriftC1MarksLabelsStaleAndReannotates) {
   // Some train-source records must have been re-annotated against the
   // post-drift table (fresh labels again).
   size_t fresh_train = 0;
-  for (size_t i : warper.pool().IndicesBySource(Source::kTrain)) {
-    fresh_train += warper.pool().record(i).HasFreshLabel() ? 1 : 0;
+  const QueryPool& pool = std::as_const(warper).pool();
+  for (size_t i : pool.IndicesBySource(Source::kTrain)) {
+    fresh_train += pool.record(i).HasFreshLabel() ? 1 : 0;
   }
   EXPECT_GT(fresh_train, 0u);
   EXPECT_LT(fresh_train, 500u);  // budget did not relabel everything
@@ -207,8 +210,9 @@ TEST(WarperTest, UnlabeledGeneratedArePrunedBetweenInvocations) {
   Warper::Invocation invocation;
   invocation.new_queries = env.Examples(workload::GenMethod::kW3, 60);
   ASSERT_TRUE(warper.Invoke(invocation).ok());
-  for (size_t i : warper.pool().IndicesBySource(Source::kGen)) {
-    EXPECT_TRUE(warper.pool().record(i).HasLabel());
+  const QueryPool& pool = std::as_const(warper).pool();
+  for (size_t i : pool.IndicesBySource(Source::kGen)) {
+    EXPECT_TRUE(pool.record(i).HasLabel());
   }
 }
 
@@ -255,7 +259,9 @@ TEST(WarperTest, InvocationTimingBreaksDownPhases) {
     EXPECT_GE(phase->wall_seconds, 0.0) << name;
     EXPECT_GE(phase->cpu_seconds, 0.0) << name;
     // Execution order is preserved in the phases vector.
-    if (previous != nullptr) EXPECT_LT(previous, phase) << name;
+    if (previous != nullptr) {
+      EXPECT_LT(previous, phase) << name;
+    }
     previous = phase;
   }
   // mark_stale belongs to c1 and must not appear here.

@@ -1,0 +1,24 @@
+// MUST NOT COMPILE under -Werror=thread-safety: CondVar::Wait requires the
+// caller to hold the mutex it releases while blocking.
+#include "util/mutex.h"
+
+namespace {
+
+class Waiter {
+ public:
+  void WaitForSignal() {
+    cv_.Wait(&mu_);  // requires mu_ held
+  }
+
+ private:
+  warper::util::Mutex mu_;
+  warper::util::CondVar cv_;
+};
+
+}  // namespace
+
+int main() {
+  Waiter w;
+  w.WaitForSignal();
+  return 0;
+}

@@ -1,0 +1,23 @@
+// MUST NOT COMPILE under -Werror=thread-safety: a manually acquired Mutex
+// leaves the function still held on one path (the analysis requires locks
+// held at function exit to be annotated, and this function is not).
+#include "util/mutex.h"
+
+namespace {
+
+warper::util::Mutex g_mu;
+int g_value WARPER_GUARDED_BY(g_mu) = 0;
+
+void Leaky(bool flag) {
+  g_mu.Lock();
+  g_value = 1;
+  if (flag) return;  // lock escapes this path
+  g_mu.Unlock();
+}
+
+}  // namespace
+
+int main() {
+  Leaky(false);
+  return 0;
+}

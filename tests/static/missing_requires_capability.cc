@@ -1,0 +1,24 @@
+// MUST NOT COMPILE under -Werror=thread-safety: calls a
+// WARPER_REQUIRES(mu_) internal entry point without holding the lock.
+#include "util/mutex.h"
+
+namespace {
+
+class Queue {
+ public:
+  void Push(int v) { PushLocked(v); }  // requires_capability violation
+
+ private:
+  void PushLocked(int v) WARPER_REQUIRES(mu_) { depth_ += v; }
+
+  warper::util::Mutex mu_;
+  int depth_ WARPER_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Queue q;
+  q.Push(1);
+  return 0;
+}

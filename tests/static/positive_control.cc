@@ -1,0 +1,48 @@
+// Positive control for the negative-compilation suite: exercises every
+// construct the reject_* snippets violate, with the contracts respected.
+// If this fails to compile, the harness (flags / include path) is broken
+// and the rejections prove nothing.
+#include "core/query_pool.h"
+#include "util/mutex.h"
+
+namespace {
+
+class Queue {
+ public:
+  void Push(int v) WARPER_EXCLUDES(mu_) {
+    warper::util::MutexLock lock(&mu_);
+    PushLocked(v);
+  }
+
+  int BlockingPop() WARPER_EXCLUDES(mu_) {
+    warper::util::MutexLock lock(&mu_);
+    while (depth_ == 0) not_empty_.Wait(&mu_);
+    return --depth_;
+  }
+
+ private:
+  void PushLocked(int v) WARPER_REQUIRES(mu_) {
+    depth_ += v;
+    not_empty_.NotifyOne();
+  }
+
+  warper::util::Mutex mu_;
+  warper::util::CondVar not_empty_;
+  int depth_ WARPER_GUARDED_BY(mu_) = 0;
+};
+
+void MutatePool(warper::core::QueryPool* pool) {
+  warper::util::MutexLock writer(&pool->writer_mu());
+  pool->AppendLabeled({0.5}, 1.0, warper::core::Source::kNew);
+}
+
+}  // namespace
+
+int main() {
+  Queue q;
+  q.Push(1);
+  q.BlockingPop();
+  warper::core::QueryPool pool;
+  MutatePool(&pool);
+  return 0;
+}

@@ -1,0 +1,22 @@
+// MUST NOT COMPILE under -Werror=thread-safety: writes a guarded field
+// without holding its mutex.
+#include "util/mutex.h"
+
+namespace {
+
+class Queue {
+ public:
+  void Push(int v) { depth_ += v; }  // no lock: guarded_by violation
+
+ private:
+  warper::util::Mutex mu_;
+  int depth_ WARPER_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Queue q;
+  q.Push(1);
+  return 0;
+}

@@ -1,0 +1,10 @@
+// MUST NOT COMPILE under -Werror=thread-safety: mutates a QueryPool without
+// its writer capability — the acceptance check that removing a lock
+// acquisition from a pool writer demonstrably fails the build.
+#include "core/query_pool.h"
+
+int main() {
+  warper::core::QueryPool pool;
+  pool.AppendLabeled({0.5}, 1.0, warper::core::Source::kNew);  // no writer_mu()
+  return 0;
+}

@@ -1,0 +1,148 @@
+// Tests for the annotated mutex wrappers: owner tracking, AssertHeld's
+// runtime contract, and the CondVar wait family's "release while blocked,
+// re-held on return" guarantee. The compile-time half of the contract is
+// covered by the negative-compilation suite in tests/static/.
+#include "util/mutex.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace warper::util {
+namespace {
+
+TEST(MutexTest, OwnerTrackingFollowsLockUnlock) {
+  Mutex mu;
+  EXPECT_FALSE(mu.HeldByCurrentThread());
+  mu.Lock();
+  EXPECT_TRUE(mu.HeldByCurrentThread());
+  mu.Unlock();
+  EXPECT_FALSE(mu.HeldByCurrentThread());
+}
+
+TEST(MutexTest, HeldByCurrentThreadIsPerThread) {
+  Mutex mu;
+  mu.Lock();
+  bool held_on_other = true;
+  std::thread other([&] { held_on_other = mu.HeldByCurrentThread(); });
+  other.join();
+  EXPECT_FALSE(held_on_other);  // "not you", even while locked
+  mu.Unlock();
+}
+
+TEST(MutexTest, TryLockReportsContention) {
+  Mutex mu;
+  ASSERT_TRUE(mu.TryLock());
+  EXPECT_TRUE(mu.HeldByCurrentThread());
+  bool acquired_on_other = true;
+  std::thread other([&] {
+    acquired_on_other = mu.TryLock();
+    if (acquired_on_other) mu.Unlock();
+  });
+  other.join();
+  EXPECT_FALSE(acquired_on_other);
+  mu.Unlock();
+}
+
+TEST(MutexTest, MutexLockReleasesAtScopeEnd) {
+  Mutex mu;
+  {
+    MutexLock lock(&mu);
+    EXPECT_TRUE(mu.HeldByCurrentThread());
+  }
+  EXPECT_FALSE(mu.HeldByCurrentThread());
+  EXPECT_TRUE(mu.TryLock());  // actually released, not just owner-cleared
+  mu.Unlock();
+}
+
+TEST(MutexTest, AssertHeldPassesForHolder) {
+  Mutex mu;
+  MutexLock lock(&mu);
+  mu.AssertHeld();  // must not abort
+}
+
+TEST(MutexDeathTest, AssertHeldAbortsWhenUnlocked) {
+  Mutex mu;
+  EXPECT_DEATH(mu.AssertHeld(), "AssertHeld");
+}
+
+TEST(MutexDeathTest, AssertHeldAbortsOnNonHolderThread) {
+  Mutex mu;
+  MutexLock lock(&mu);
+  EXPECT_DEATH(
+      {
+        std::thread other([&] { mu.AssertHeld(); });
+        other.join();
+      },
+      "AssertHeld");
+}
+
+TEST(CondVarTest, WaitReleasesWhileBlockedAndReacquires) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+  bool reacquired = false;
+
+  std::thread waiter([&] {
+    MutexLock lock(&mu);
+    while (!ready) cv.Wait(&mu);
+    // On return the mutex is re-held with owner tracking restored.
+    reacquired = mu.HeldByCurrentThread();
+  });
+
+  // The signaller can take the lock, so Wait really released it.
+  {
+    MutexLock lock(&mu);
+    ready = true;
+  }
+  cv.NotifyOne();
+  waiter.join();
+  EXPECT_TRUE(reacquired);
+}
+
+TEST(CondVarTest, WaitForTimesOutAndReacquires) {
+  Mutex mu;
+  CondVar cv;
+  MutexLock lock(&mu);
+  std::cv_status status = cv.WaitFor(&mu, std::chrono::microseconds(500));
+  EXPECT_EQ(status, std::cv_status::timeout);
+  EXPECT_TRUE(mu.HeldByCurrentThread());
+}
+
+TEST(CondVarTest, WaitUntilPastDeadlineTimesOutImmediately) {
+  Mutex mu;
+  CondVar cv;
+  MutexLock lock(&mu);
+  std::cv_status status =
+      cv.WaitUntil(&mu, std::chrono::steady_clock::now() -
+                            std::chrono::milliseconds(1));
+  EXPECT_EQ(status, std::cv_status::timeout);
+  EXPECT_TRUE(mu.HeldByCurrentThread());
+}
+
+TEST(CondVarTest, NotifyAllWakesEveryWaiter) {
+  Mutex mu;
+  CondVar cv;
+  bool go = false;
+  int woken = 0;
+  std::vector<std::thread> waiters;
+  for (int i = 0; i < 4; ++i) {
+    waiters.emplace_back([&] {
+      MutexLock lock(&mu);
+      while (!go) cv.Wait(&mu);
+      ++woken;
+    });
+  }
+  {
+    MutexLock lock(&mu);
+    go = true;
+  }
+  cv.NotifyAll();
+  for (auto& t : waiters) t.join();
+  EXPECT_EQ(woken, 4);
+}
+
+}  // namespace
+}  // namespace warper::util

@@ -7,12 +7,13 @@
 
 #include <algorithm>
 #include <atomic>
-#include <mutex>
 #include <numeric>
 #include <set>
 #include <stdexcept>
 #include <utility>
 #include <vector>
+
+#include "util/mutex.h"
 
 namespace warper::util {
 namespace {
@@ -77,10 +78,10 @@ TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
 
 TEST(ThreadPoolTest, ParallelForSmallRangeStaysSerial) {
   ThreadPool pool(4);
-  std::mutex mu;
+  Mutex mu;
   std::vector<std::pair<size_t, size_t>> chunks;
   pool.ParallelFor(0, 100, 64, [&](size_t lo, size_t hi) {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(&mu);
     chunks.push_back({lo, hi});
   });
   // 100 / 64 < 2 chunks: one inline call covering the whole range.
@@ -91,10 +92,10 @@ TEST(ThreadPoolTest, ParallelForSmallRangeStaysSerial) {
 TEST(ThreadPoolTest, ParallelForChunkingIsDeterministic) {
   ThreadPool pool(4);
   auto boundaries = [&] {
-    std::mutex mu;
+    Mutex mu;
     std::set<std::pair<size_t, size_t>> out;
     pool.ParallelFor(0, 10000, 16, [&](size_t lo, size_t hi) {
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(&mu);
       out.insert({lo, hi});
     });
     return out;
@@ -144,12 +145,12 @@ TEST(ThreadPoolTest, ParallelForBitIdenticalOrderedReduction) {
 
   ThreadPool pool(4);
   auto chunked_sum = [&] {
-    std::mutex mu;
+    Mutex mu;
     std::vector<std::pair<size_t, double>> partials;
     pool.ParallelFor(0, values.size(), 16, [&](size_t lo, size_t hi) {
       double s = 0.0;
       for (size_t i = lo; i < hi; ++i) s += values[i];
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(&mu);
       partials.push_back({lo, s});
     });
     std::sort(partials.begin(), partials.end());

@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""clang-tidy gate with a tracked suppression baseline.
+
+Runs clang-tidy (checks from .clang-tidy) over every translation unit in a
+compile_commands.json and fails iff a finding is NOT in
+tools/clang_tidy_baseline.txt. The baseline exists so the gate could be
+introduced over a non-empty codebase without a flag-day cleanup: every entry
+is tracked debt, visible in review, and the gate reports entries that no
+longer fire so the file only ever shrinks.
+
+Usage:
+  tools/check_clang_tidy.py -p build                 # gate (CI)
+  tools/check_clang_tidy.py -p build --update-baseline   # rewrite baseline
+
+Findings are normalized to "relative/path.cc:check-name" — no line numbers,
+so unrelated edits above a finding do not churn the baseline.
+"""
+
+import argparse
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+from multiprocessing.pool import ThreadPool
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BASELINE = os.path.join(REPO_ROOT, "tools", "clang_tidy_baseline.txt")
+
+# "path:line:col: warning: message [check-name]"
+FINDING_RE = re.compile(
+    r"^(?P<path>[^\s:][^:]*):\d+:\d+:\s+(?:warning|error):\s+.*\[(?P<check>[\w.,-]+)\]\s*$"
+)
+
+
+def load_compile_commands(build_dir):
+    path = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.exists(path):
+        sys.exit(f"error: {path} not found; configure with CMake first "
+                 "(CMAKE_EXPORT_COMPILE_COMMANDS is on by default)")
+    with open(path) as f:
+        entries = json.load(f)
+    files = []
+    for entry in entries:
+        src = os.path.normpath(os.path.join(entry["directory"], entry["file"]))
+        # First-party code only: skip generated files and anything outside
+        # the repo (e.g. _deps fetched by CMake).
+        rel = os.path.relpath(src, REPO_ROOT)
+        if rel.startswith(".."):
+            continue
+        if rel.split(os.sep)[0] in ("src", "tests", "bench", "examples"):
+            files.append(src)
+    return sorted(set(files))
+
+
+def run_tidy(tidy, build_dir, files, jobs):
+    findings = set()
+    failures = []
+
+    def one(src):
+        proc = subprocess.run(
+            [tidy, "-p", build_dir, "--quiet", src],
+            capture_output=True, text=True)
+        return src, proc
+
+    with ThreadPool(jobs) as pool:
+        for src, proc in pool.imap_unordered(one, files):
+            for line in proc.stdout.splitlines():
+                m = FINDING_RE.match(line)
+                if not m:
+                    continue
+                rel = os.path.relpath(
+                    os.path.normpath(m.group("path")), REPO_ROOT)
+                if rel.startswith(".."):
+                    continue  # finding in a system/third-party header
+                for check in m.group("check").split(","):
+                    findings.add(f"{rel}:{check}")
+            # clang-tidy exits non-zero on hard errors (bad flags, missing
+            # headers) even with no findings; surface those separately.
+            if proc.returncode != 0 and "error:" in (proc.stdout + proc.stderr):
+                failures.append((src, proc.stdout + proc.stderr))
+    return findings, failures
+
+
+def read_baseline():
+    if not os.path.exists(BASELINE):
+        return set()
+    with open(BASELINE) as f:
+        return {
+            line.strip() for line in f
+            if line.strip() and not line.lstrip().startswith("#")
+        }
+
+
+def write_baseline(findings):
+    with open(BASELINE, "w") as f:
+        f.write("# clang-tidy suppression baseline — tracked debt, one\n"
+                "# 'path:check-name' per line. Regenerate (only ever to\n"
+                "# shrink it) with: tools/check_clang_tidy.py -p build "
+                "--update-baseline\n")
+        for item in sorted(findings):
+            f.write(item + "\n")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("-p", "--build-dir", default="build",
+                        help="build dir containing compile_commands.json")
+    parser.add_argument("--clang-tidy", default=None,
+                        help="clang-tidy binary (default: autodetect)")
+    parser.add_argument("-j", "--jobs", type=int,
+                        default=os.cpu_count() or 2)
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline from current findings")
+    args = parser.parse_args()
+
+    tidy = args.clang_tidy or shutil.which("clang-tidy")
+    if not tidy:
+        for ver in range(25, 11, -1):
+            tidy = shutil.which(f"clang-tidy-{ver}")
+            if tidy:
+                break
+    if not tidy:
+        sys.exit("error: clang-tidy not found on PATH")
+
+    files = load_compile_commands(args.build_dir)
+    if not files:
+        sys.exit("error: no first-party translation units in "
+                 "compile_commands.json")
+    print(f"check_clang_tidy: {tidy}, {len(files)} translation units, "
+          f"{args.jobs} jobs")
+
+    findings, failures = run_tidy(tidy, args.build_dir, files, args.jobs)
+
+    if failures:
+        for src, output in failures[:5]:
+            print(f"\n--- clang-tidy failed on {src} ---\n{output}",
+                  file=sys.stderr)
+        sys.exit(f"error: clang-tidy failed on {len(failures)} files")
+
+    if args.update_baseline:
+        write_baseline(findings)
+        print(f"baseline rewritten: {len(findings)} entries")
+        return
+
+    baseline = read_baseline()
+    new = sorted(findings - baseline)
+    fixed = sorted(baseline - findings)
+
+    if fixed:
+        print(f"\n{len(fixed)} baseline entries no longer fire — remove them "
+              f"from {os.path.relpath(BASELINE, REPO_ROOT)}:")
+        for item in fixed:
+            print(f"  {item}")
+    if new:
+        print(f"\n{len(new)} new findings (not in baseline):",
+              file=sys.stderr)
+        for item in new:
+            print(f"  {item}", file=sys.stderr)
+        sys.exit(1)
+    print(f"clang-tidy gate: clean "
+          f"({len(findings)} findings, all baselined)"
+          if findings else "clang-tidy gate: clean (no findings)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,167 @@
+#!/usr/bin/env python3
+"""Repo-invariant linter: cheap greps for contracts the compiler can't see.
+
+Checks (each one line of rationale):
+  naked-mutex    std::mutex & friends outside src/util/ — every lock must be
+                 a util::Mutex so the thread-safety annotations and owner
+                 tracking apply tree-wide.
+  unseeded-rng   rand()/srand()/std::random_device outside src/util/rng.* —
+                 reproducibility is a paper-level requirement; all
+                 randomness flows through seeded util::Rng.
+  metric-names   serve.*/warper.* metric registrations must match
+                 tools/metric_names.txt in BOTH directions, so renames
+                 cannot silently orphan a dashboard.
+  todo-tags      TODO must carry an issue tag — TODO(#123) — or it is
+                 untracked debt.
+
+Exits non-zero listing violations. Run from anywhere; scans the repo the
+script lives in. CMake target `lint` and the CI static-analysis job both run
+this.
+"""
+
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+METRIC_NAMES = os.path.join(REPO_ROOT, "tools", "metric_names.txt")
+
+SCAN_DIRS = ("src", "tests", "bench", "examples")
+CXX_EXTENSIONS = (".h", ".cc", ".cpp")
+
+# std::mutex and every std synchronization wrapper that would bypass
+# util::Mutex. std::atomic and futures are fine (lock-free structures and
+# the thread pool's task plumbing are deliberate).
+NAKED_MUTEX_RE = re.compile(
+    r"std::(mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|"
+    r"shared_mutex|shared_timed_mutex|condition_variable|condition_variable_any|"
+    r"lock_guard|unique_lock|scoped_lock|shared_lock)\b")
+# Files allowed to touch the raw primitives: the wrapper itself.
+NAKED_MUTEX_ALLOWED = ("src/util/mutex.h", "src/util/mutex.cc")
+
+UNSEEDED_RNG_RE = re.compile(r"(?<![\w:])(?:std::)?s?rand\(|std::random_device")
+UNSEEDED_RNG_ALLOWED = ("src/util/rng.h", "src/util/rng.cc")
+
+METRIC_CALL_RE = re.compile(r'Get(?:Counter|Gauge|Histogram)\(\s*"([^"]+)"')
+# Registration calls split across a line break: Get...( at EOL, name next line.
+METRIC_CALL_OPEN_RE = re.compile(r"Get(?:Counter|Gauge|Histogram)\(\s*$")
+METRIC_NAME_ONLY_RE = re.compile(r'^\s*"([^"]+)"')
+ENFORCED_METRIC_PREFIXES = ("serve.", "warper.")
+
+TODO_RE = re.compile(r"\bTODO\b")
+TODO_TAGGED_RE = re.compile(r"\bTODO\(#\d+\)")
+
+BLOCK_COMMENT_RE = re.compile(r"/\*.*?\*/", re.DOTALL)
+LINE_COMMENT_RE = re.compile(r"//.*")
+STRING_RE = re.compile(r'"(?:[^"\\]|\\.)*"')
+
+
+def iter_sources():
+    for top in SCAN_DIRS:
+        for dirpath, _, filenames in os.walk(os.path.join(REPO_ROOT, top)):
+            for name in sorted(filenames):
+                if name.endswith(CXX_EXTENSIONS):
+                    path = os.path.join(dirpath, name)
+                    yield os.path.relpath(path, REPO_ROOT)
+
+
+def strip_comments(text):
+    """Code-only view with line structure preserved (for line numbers)."""
+    def blank_keep_newlines(m):
+        return re.sub(r"[^\n]", " ", m.group(0))
+    text = BLOCK_COMMENT_RE.sub(blank_keep_newlines, text)
+    return "\n".join(LINE_COMMENT_RE.sub("", line)
+                     for line in text.split("\n"))
+
+
+def check_pattern(rel, code_lines, regex, allowed, rule, message, violations,
+                  strip_strings=False):
+    if rel in allowed:
+        return
+    for lineno, line in enumerate(code_lines, 1):
+        haystack = STRING_RE.sub('""', line) if strip_strings else line
+        if regex.search(haystack):
+            violations.append(f"{rel}:{lineno}: [{rule}] {message}")
+
+
+def collect_metric_names(code_lines):
+    names = set()
+    pending_call = False
+    for line in code_lines:
+        if pending_call:
+            m = METRIC_NAME_ONLY_RE.match(line)
+            if m:
+                names.add(m.group(1))
+            pending_call = False
+        for m in METRIC_CALL_RE.finditer(line):
+            names.add(m.group(1))
+        if METRIC_CALL_OPEN_RE.search(line):
+            pending_call = True
+    return names
+
+
+def read_registry():
+    if not os.path.exists(METRIC_NAMES):
+        sys.exit(f"error: {METRIC_NAMES} missing")
+    names = set()
+    with open(METRIC_NAMES) as f:
+        for line in f:
+            line = line.strip()
+            if line and not line.startswith("#"):
+                names.add(line)
+    return names
+
+
+def main():
+    violations = []
+    used_metrics = {}  # name -> first "file:line" seen
+
+    for rel in iter_sources():
+        with open(os.path.join(REPO_ROOT, rel)) as f:
+            text = f.read()
+        code = strip_comments(text)
+        code_lines = code.split("\n")
+
+        check_pattern(rel, code_lines, NAKED_MUTEX_RE, NAKED_MUTEX_ALLOWED,
+                      "naked-mutex",
+                      "use util::Mutex/MutexLock/CondVar (util/mutex.h), not "
+                      "raw std primitives", violations, strip_strings=True)
+        check_pattern(rel, code_lines, UNSEEDED_RNG_RE, UNSEEDED_RNG_ALLOWED,
+                      "unseeded-rng",
+                      "use seeded util::Rng, not ambient randomness",
+                      violations, strip_strings=True)
+
+        if rel.startswith("src" + os.sep):
+            for name in collect_metric_names(code_lines):
+                used_metrics.setdefault(name, rel)
+
+        for lineno, line in enumerate(text.split("\n"), 1):
+            if TODO_RE.search(line) and not TODO_TAGGED_RE.search(line):
+                violations.append(
+                    f"{rel}:{lineno}: [todo-tags] TODO without an issue tag "
+                    "(write TODO(#NNN))")
+
+    registry = read_registry()
+    for name, where in sorted(used_metrics.items()):
+        if name.startswith(ENFORCED_METRIC_PREFIXES) and name not in registry:
+            violations.append(
+                f"{where}: [metric-names] metric '{name}' not in "
+                "tools/metric_names.txt")
+    for name in sorted(registry):
+        if name.startswith(ENFORCED_METRIC_PREFIXES) and \
+                name not in used_metrics:
+            violations.append(
+                f"tools/metric_names.txt: [metric-names] registry entry "
+                f"'{name}' is registered by no code under src/")
+
+    if violations:
+        print(f"lint_invariants: {len(violations)} violation(s)",
+              file=sys.stderr)
+        for v in violations:
+            print(f"  {v}", file=sys.stderr)
+        sys.exit(1)
+    print("lint_invariants: clean")
+
+
+if __name__ == "__main__":
+    main()
