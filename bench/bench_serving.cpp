@@ -64,6 +64,12 @@ std::vector<std::vector<double>> BenchFeatures(const storage::Table& table,
   return features;
 }
 
+serve::EstimateRequest Req(const std::vector<double>& features) {
+  serve::EstimateRequest request;
+  request.features = features;
+  return request;
+}
+
 core::ServeConfig ServeConfigFor(size_t batch_max) {
   core::ServeConfig config;
   config.batch_max = batch_max;
@@ -84,7 +90,7 @@ SeriesPoint RunSeries(const serve::SnapshotStore& store, size_t batch_max,
 
   // Warmup.
   for (size_t i = 0; i < 512; ++i) {
-    batcher.Estimate(features[i % features.size()]).ValueOrDie();
+    batcher.Estimate(Req(features[i % features.size()])).ValueOrDie();
   }
 
   SeriesPoint point;
@@ -95,15 +101,15 @@ SeriesPoint RunSeries(const serve::SnapshotStore& store, size_t batch_max,
   util::WallTimer timer;
   if (batch_max == 1) {
     for (size_t i = 0; i < requests; ++i) {
-      batcher.Estimate(features[i % features.size()]).ValueOrDie();
+      batcher.Estimate(Req(features[i % features.size()])).ValueOrDie();
     }
   } else {
     const size_t window = 4 * batch_max;
-    std::vector<std::future<Result<double>>> inflight;
+    std::vector<std::future<Result<serve::EstimateResponse>>> inflight;
     inflight.reserve(window);
     for (size_t i = 0; i < requests; ++i) {
       inflight.push_back(
-          batcher.EstimateAsync(features[i % features.size()]));
+          batcher.EstimateAsync(Req(features[i % features.size()])));
       if (inflight.size() == window) {
         for (auto& f : inflight) f.get().ValueOrDie();
         inflight.clear();
@@ -120,7 +126,7 @@ SeriesPoint RunSeries(const serve::SnapshotStore& store, size_t batch_max,
   latencies_us.reserve(latency_probes);
   for (size_t i = 0; i < latency_probes; ++i) {
     util::WallTimer one;
-    batcher.Estimate(features[i % features.size()]).ValueOrDie();
+    batcher.Estimate(Req(features[i % features.size()])).ValueOrDie();
     latencies_us.push_back(one.Seconds() * 1e6);
   }
   point.p50_us = Percentile(&latencies_us, 0.50);
@@ -159,7 +165,7 @@ SwapStats RunSwapStorm(serve::SnapshotStore* store,
   size_t i = 0;
   while (writer.joinable() && store->CurrentVersion() < swaps) {
     util::WallTimer one;
-    batcher.Estimate(features[i++ % features.size()]).ValueOrDie();
+    batcher.Estimate(Req(features[i++ % features.size()])).ValueOrDie();
     estimate_us.push_back(one.Seconds() * 1e6);
   }
   writer.join();

@@ -28,3 +28,4 @@ warper_bench(tab10_ablation)
 warper_bench(bench_parallel)
 warper_bench(bench_kernels)
 warper_bench(bench_serving)
+warper_bench(bench_fleet)

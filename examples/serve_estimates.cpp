@@ -111,7 +111,9 @@ int main() {
       while (!stop_traffic.load()) {
         size_t i = static_cast<size_t>(local.UniformInt(
             0, static_cast<int64_t>(request_features.size()) - 1));
-        if (server.Estimate(request_features[i]).ok()) served.fetch_add(1);
+        serve::EstimateRequest request;
+        request.features = request_features[i];
+        if (server.Estimate(request).ok()) served.fetch_add(1);
       }
     });
   }

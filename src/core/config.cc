@@ -32,6 +32,30 @@ Status ServeConfig::Validate() const {
   if (!(regression_tolerance > 0.0) || !std::isfinite(regression_tolerance)) {
     return BadKnob("serve.regression_tolerance must be positive and finite");
   }
+  if (adapt_threads == 0) return BadKnob("serve.adapt_threads must be > 0");
+  if (tenant_queue_depth == 0) {
+    return BadKnob("serve.tenant_queue_depth must be > 0");
+  }
+  if (tenant_shed_budget > tenant_queue_depth) {
+    return BadKnob(
+        "serve.tenant_shed_budget must be <= serve.tenant_queue_depth "
+        "(0 disables it)");
+  }
+  if (adapt_priority_drift_weight < 0.0 ||
+      !std::isfinite(adapt_priority_drift_weight)) {
+    return BadKnob("serve.adapt_priority_drift_weight must be >= 0 and finite");
+  }
+  if (adapt_priority_traffic_weight < 0.0 ||
+      !std::isfinite(adapt_priority_traffic_weight)) {
+    return BadKnob(
+        "serve.adapt_priority_traffic_weight must be >= 0 and finite");
+  }
+  if (!(adapt_priority_floor > 0.0) || !std::isfinite(adapt_priority_floor)) {
+    return BadKnob("serve.adapt_priority_floor must be positive and finite");
+  }
+  if (adapt_aging_rate < 0.0 || !std::isfinite(adapt_aging_rate)) {
+    return BadKnob("serve.adapt_aging_rate must be >= 0 and finite");
+  }
   return Status::OK();
 }
 

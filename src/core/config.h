@@ -44,6 +44,35 @@ struct ServeConfig {
   // otherwise M and the modules roll back to the last-good snapshot.
   double regression_tolerance = 1.10;
 
+  // --- Fleet knobs (serve::ServingFleet) ---
+  // Worker threads of the shared background-adaptation executor that
+  // multiplexes every tenant (replaces one adaptation thread per server).
+  size_t adapt_threads = 1;
+  // Per-tenant serving queue depth: the fleet gives each tenant's
+  // micro-batcher a queue of this capacity, so one saturated tenant cannot
+  // consume the whole fleet's queueing headroom.
+  size_t tenant_queue_depth = 256;
+  // Per-tenant shed budget: when > 0, the fleet refuses (Unavailable) a
+  // tenant's request while that tenant already has this many requests
+  // queued — regardless of the overflow policy — so a saturated tenant is
+  // shed instead of parking caller threads that siblings need. Requests
+  // with EstimateRequest::priority > 0 bypass the budget (they still obey
+  // the tenant's queue capacity). 0 disables the budget.
+  size_t tenant_shed_budget = 0;
+  // Shared-executor scheduling: a pending adaptation's base priority is
+  //   (floor + drift_weight · severity) · (1 + traffic_weight · traffic)
+  // — the ROADMAP's "drift severity × traffic" with a floor so tenants
+  // that never drifted still get service — and its effective priority adds
+  // aging_rate · seconds_waiting, which makes the schedule starvation-free:
+  // any bounded base priority is eventually overtaken by a waiting tenant.
+  double adapt_priority_drift_weight = 1.0;
+  double adapt_priority_traffic_weight = 1.0;
+  double adapt_priority_floor = 0.01;
+  double adapt_aging_rate = 0.1;
+
+  // Every knob above, checked once: serve entry points
+  // (EstimationServer::Start, ServingFleet::Start) call this instead of
+  // re-checking ad hoc, mirroring WarperConfig::Validate.
   Status Validate() const;
 };
 

@@ -35,6 +35,17 @@ double DriftDetector::DeltaM(double gmq_new) const {
   return gmq_new - gmq_train_;
 }
 
+double DriftDetector::Severity(const DriftSignals& signals) const {
+  double severity = 0.0;
+  if (signals.gmq_new_valid) {
+    severity = std::max(severity, DeltaM(signals.gmq_new));
+  }
+  severity = std::max(severity, signals.delta_js);
+  severity = std::max(severity, signals.data_changed_fraction);
+  severity = std::max(severity, signals.canary_shift);
+  return std::max(severity, 0.0);
+}
+
 ModeFlags DriftDetector::Detect(const DriftSignals& signals) {
   ModeFlags mode;
 

@@ -58,6 +58,13 @@ class DriftDetector {
   // One det_drft call. Empty flags (mode = ∅) means "no drift: keep M".
   ModeFlags Detect(const DriftSignals& signals);
 
+  // Scalar drift severity in [0, ∞): how hard this tenant is drifting,
+  // independent of whether det_drft fired. The max of the accuracy gap δ_m
+  // (when measurable), the workload distance δ_js and the data-telemetry
+  // magnitudes — all dimensionless, so the serving fleet can rank tenants
+  // with priority = severity × traffic without per-signal scaling.
+  double Severity(const DriftSignals& signals) const;
+
   // Early-stop feedback (§3.4): called after each adaptation with the GMQ
   // improvement it achieved; small gains raise π, and slow c4 progress
   // raises γ.

@@ -34,6 +34,8 @@ struct WarperMetrics {
       util::Metrics().GetCounter("warper.model_updates");
   util::Gauge* delta_m = util::Metrics().GetGauge("warper.delta_m");
   util::Gauge* delta_js = util::Metrics().GetGauge("warper.delta_js");
+  util::Gauge* drift_severity =
+      util::Metrics().GetGauge("warper.drift_severity");
   util::Gauge* pool_train = util::Metrics().GetGauge("warper.pool.train");
   util::Gauge* pool_new = util::Metrics().GetGauge("warper.pool.new");
   util::Gauge* pool_gen = util::Metrics().GetGauge("warper.pool.gen");
@@ -374,6 +376,7 @@ Result<Warper::InvocationResult> Warper::Invoke(
     if (result.model_updated) m.model_updates->Increment();
     if (result.delta_m_valid) m.delta_m->Set(result.delta_m);
     m.delta_js->Set(result.delta_js);
+    m.drift_severity->Set(result.drift_severity);
     m.pool_train->Set(
         static_cast<double>(pool_.IndicesBySource(Source::kTrain).size()));
     m.pool_new->Set(
@@ -421,6 +424,7 @@ Result<Warper::InvocationResult> Warper::Invoke(
     signals.canary_shift = invocation.canary_shift;
   }
   result.delta_js = signals.delta_js;
+  result.drift_severity = detector_.Severity(signals);
   if (signals.gmq_new_valid) {
     result.delta_m = detector_.DeltaM(signals.gmq_new);
     result.delta_m_valid = true;

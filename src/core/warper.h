@@ -78,6 +78,11 @@ class Warper {
     double delta_m = 0.0;
     bool delta_m_valid = false;
     double delta_js = 0.0;
+    // Scalar drift severity (DriftDetector::Severity) observed this
+    // invocation, computed whether or not det_drft fired. The serving
+    // fleet's shared adaptation executor ranks tenants with
+    // priority = severity × traffic; everything else may ignore it.
+    double drift_severity = 0.0;
     size_t generated = 0;
     size_t picked = 0;
     size_t annotated = 0;

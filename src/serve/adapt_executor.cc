@@ -1,0 +1,176 @@
+#include "serve/adapt_executor.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/metrics.h"
+#include "util/trace.h"
+
+namespace warper::serve {
+namespace {
+
+struct ExecutorMetrics {
+  util::Counter* runs = util::Metrics().GetCounter("serve.adapt.runs");
+  util::Gauge* queue_depth =
+      util::Metrics().GetGauge("serve.adapt.queue_depth");
+  util::Histogram* wait_us = util::Metrics().GetHistogram(
+      "serve.adapt.wait_us",
+      {100, 1000, 10000, 100000, 1000000, 10000000, 100000000});
+};
+
+ExecutorMetrics& GetExecutorMetrics() {
+  static ExecutorMetrics* metrics = new ExecutorMetrics();
+  return *metrics;
+}
+
+}  // namespace
+
+AdaptationExecutor::AdaptationExecutor(const core::ServeConfig& config)
+    : config_(config) {}
+
+AdaptationExecutor::~AdaptationExecutor() { Stop(); }
+
+Status AdaptationExecutor::Start() {
+  util::MutexLock lk(&mu_);
+  if (started_ || stop_) {
+    return Status::FailedPrecondition(
+        "AdaptationExecutor::Start: already started or stopped");
+  }
+  started_ = true;
+  workers_.reserve(config_.adapt_threads);
+  for (size_t i = 0; i < config_.adapt_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  return Status::OK();
+}
+
+void AdaptationExecutor::Stop() {
+  {
+    util::MutexLock lk(&mu_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  work_ready_.NotifyAll();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  std::deque<PendingPass> orphans;
+  {
+    util::MutexLock lk(&mu_);
+    orphans.swap(queue_);
+  }
+  for (PendingPass& p : orphans) {
+    p.promise.set_value(
+        Status::Unavailable("executor stopped before the pass ran"));
+  }
+  GetExecutorMetrics().queue_depth->Set(0.0);
+}
+
+bool AdaptationExecutor::running() const {
+  util::MutexLock lk(&mu_);
+  return started_ && !stop_;
+}
+
+size_t AdaptationExecutor::PendingCount() const {
+  util::MutexLock lk(&mu_);
+  return queue_.size();
+}
+
+std::future<Result<AdaptationOutcome>> AdaptationExecutor::Submit(
+    uint64_t tenant_id, Probe probe, Task task) {
+  PendingPass pending;
+  pending.tenant_id = tenant_id;
+  pending.probe = std::move(probe);
+  pending.task = std::move(task);
+  pending.submitted = Clock::now();
+  std::future<Result<AdaptationOutcome>> future = pending.promise.get_future();
+  {
+    util::MutexLock lk(&mu_);
+    if (!started_ || stop_) {
+      pending.promise.set_value(
+          Status::FailedPrecondition("AdaptationExecutor is not running"));
+      return future;
+    }
+    queue_.push_back(std::move(pending));
+    GetExecutorMetrics().queue_depth->Set(static_cast<double>(queue_.size()));
+  }
+  work_ready_.NotifyOne();
+  return future;
+}
+
+double AdaptationExecutor::BasePriority(const PrioritySignals& signals,
+                                        const core::ServeConfig& config) {
+  double severity = std::max(signals.drift_severity, 0.0);
+  double traffic = std::max(signals.traffic, 0.0);
+  return (config.adapt_priority_floor +
+          config.adapt_priority_drift_weight * severity) *
+         (1.0 + config.adapt_priority_traffic_weight * traffic);
+}
+
+double AdaptationExecutor::EffectivePriority(double base, double age_seconds,
+                                             const core::ServeConfig& config) {
+  return base + config.adapt_aging_rate * std::max(age_seconds, 0.0);
+}
+
+bool AdaptationExecutor::PickNext(Clock::time_point now, size_t* index) {
+  bool found = false;
+  double best_priority = -1.0;
+  for (size_t i = 0; i < queue_.size(); ++i) {
+    const PendingPass& p = queue_[i];
+    if (std::find(running_tenants_.begin(), running_tenants_.end(),
+                  p.tenant_id) != running_tenants_.end()) {
+      continue;  // this tenant already has a pass in flight
+    }
+    double base = BasePriority(p.probe ? p.probe() : PrioritySignals{},
+                               config_);
+    double age =
+        std::chrono::duration<double>(now - p.submitted).count();
+    double priority = EffectivePriority(base, age, config_);
+    // Strictly-greater keeps FIFO order among equal-priority passes (ages
+    // only grow toward the front of the deque).
+    if (priority > best_priority) {
+      best_priority = priority;
+      *index = i;
+      found = true;
+    }
+  }
+  return found;
+}
+
+void AdaptationExecutor::WorkerLoop() {
+  while (true) {
+    PendingPass pending;
+    {
+      util::MutexLock lk(&mu_);
+      size_t pick = 0;
+      while (!stop_ && !PickNext(Clock::now(), &pick)) {
+        work_ready_.Wait(&mu_);
+      }
+      if (stop_) return;  // Stop() answers whatever is left
+      pending = std::move(queue_[pick]);
+      queue_.erase(queue_.begin() + static_cast<ptrdiff_t>(pick));
+      running_tenants_.push_back(pending.tenant_id);
+      GetExecutorMetrics().queue_depth->Set(
+          static_cast<double>(queue_.size()));
+    }
+    ExecutorMetrics& m = GetExecutorMetrics();
+    m.wait_us->Observe(std::chrono::duration<double, std::micro>(
+                           Clock::now() - pending.submitted)
+                           .count());
+    {
+      WARPER_SPAN("serve.adapt.pass");
+      m.runs->Increment();
+      pending.promise.set_value(pending.task());
+    }
+    {
+      util::MutexLock lk(&mu_);
+      running_tenants_.erase(std::find(running_tenants_.begin(),
+                                       running_tenants_.end(),
+                                       pending.tenant_id));
+    }
+    // A queued pass of this tenant may have just become eligible.
+    work_ready_.NotifyOne();
+  }
+}
+
+}  // namespace warper::serve

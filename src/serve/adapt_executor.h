@@ -1,0 +1,146 @@
+// The shared background-adaptation executor: one prioritized work queue and
+// a small worker set multiplexing the adaptation passes of EVERY tenant in
+// a ServingFleet — replacing the one-adaptation-thread-per-server model,
+// which cannot scale to 32+ tenants.
+//
+// Scheduling: a pending pass's base priority follows the ROADMAP formula
+// "drift severity × traffic",
+//
+//   base      = (floor + drift_weight · severity) · (1 + traffic_weight · traffic)
+//   effective = base + aging_rate · seconds_waiting
+//
+// with the priority signals re-probed at every pick so a tenant whose drift
+// worsened while queued moves up without resubmission. The additive aging
+// term makes the schedule starvation-free: any bounded base priority is
+// eventually overtaken by a tenant that has waited long enough (ServeConfig
+// knobs adapt_priority_*, adapt_aging_rate).
+//
+// Per-tenant serialization: at most one pass per tenant runs at a time, no
+// matter how many workers the executor has — a second submission for the
+// same tenant stays queued until the first completes. EstimationServer's
+// publish path (next_version_, module capture) depends on this guarantee;
+// cross-tenant passes run concurrently.
+//
+// The executor is deliberately generic — it runs closures, not servers —
+// so the scheduler is testable without standing up 32 Warpers.
+#ifndef WARPER_SERVE_ADAPT_EXECUTOR_H_
+#define WARPER_SERVE_ADAPT_EXECUTOR_H_
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "core/config.h"
+#include "core/warper.h"
+#include "util/mutex.h"
+#include "util/status.h"
+
+namespace warper::serve {
+
+// What one background adaptation pass did to the serving state. Defined
+// here (not in server.h) because it is the currency both sides trade in:
+// EstimationServer::Adapt produces it, the executor's queue carries it.
+struct AdaptationOutcome {
+  core::Warper::InvocationResult result;
+  // Gate evidence: model quality before / after the pass, on the fixed eval
+  // set when one is installed, else on the invocation's recent labeled
+  // window (zeros when neither had labels — the gate passes vacuously).
+  double gate_before = 0.0;
+  double gate_after = 0.0;
+  bool published = false;
+  bool rolled_back = false;
+  // The serving version AFTER the pass. Only meaningful post-publish: it
+  // advances exactly when `published` is true. On rollback (and on a pass
+  // that neither published nor rolled back) it still reports the version
+  // that was ALREADY serving — i.e. it stays unchanged, it does not name
+  // the rejected model. Tested by AdaptationOutcomeVersionContract in
+  // tests/serve/fleet_test.cc.
+  uint64_t version = 0;
+};
+
+// What a tenant's pending adaptation is worth right now. Probed under the
+// executor's lock at every scheduling decision, so probe callbacks MUST be
+// wait-free (read atomics; never take a lock).
+struct PrioritySignals {
+  // Last observed drift severity (DriftDetector::Severity; ≥ 0).
+  double drift_severity = 0.0;
+  // Traffic since the tenant's last adaptation pass (request count; ≥ 0).
+  double traffic = 0.0;
+};
+
+class AdaptationExecutor {
+ public:
+  using Clock = std::chrono::steady_clock;
+  using Task = std::function<Result<AdaptationOutcome>()>;
+  using Probe = std::function<PrioritySignals()>;
+
+  // Scheduling weights and worker count come from `config`
+  // (adapt_threads, adapt_priority_*, adapt_aging_rate).
+  explicit AdaptationExecutor(const core::ServeConfig& config);
+  ~AdaptationExecutor();
+
+  AdaptationExecutor(const AdaptationExecutor&) = delete;
+  AdaptationExecutor& operator=(const AdaptationExecutor&) = delete;
+
+  // Spawns the worker threads. FailedPrecondition on double Start or after
+  // Stop().
+  Status Start();
+  // Joins the workers after they finish in-flight passes; still-queued
+  // submissions are answered Unavailable. Idempotent. Callers must stop the
+  // executor BEFORE stopping/destroying the servers its tasks touch.
+  void Stop();
+  bool running() const;
+
+  // Enqueues one adaptation pass for `tenant_id`. `probe` supplies the
+  // tenant's current priority signals (wait-free; called at every
+  // scheduling decision); `task` runs the pass on a worker thread. The
+  // future resolves with the task's outcome, or Unavailable when the
+  // executor stops first. FailedPrecondition when not running.
+  std::future<Result<AdaptationOutcome>> Submit(uint64_t tenant_id,
+                                                Probe probe, Task task);
+
+  // The scheduling formula, exposed for tests and for DESIGN.md to cite.
+  static double BasePriority(const PrioritySignals& signals,
+                             const core::ServeConfig& config);
+  static double EffectivePriority(double base, double age_seconds,
+                                  const core::ServeConfig& config);
+
+  // Pending (not yet running) submissions.
+  size_t PendingCount() const;
+
+ private:
+  struct PendingPass {
+    uint64_t tenant_id = 0;
+    Probe probe;
+    Task task;
+    std::promise<Result<AdaptationOutcome>> promise;
+    Clock::time_point submitted;
+  };
+
+  void WorkerLoop();
+  // Picks the highest-effective-priority pending pass whose tenant has no
+  // pass in flight; false when none is eligible. The queue is scanned
+  // linearly: it holds at most a handful of passes per tenant, and a scan
+  // re-probes every tenant's live signals — a heap keyed on stale
+  // priorities would starve exactly the tenants whose drift just worsened.
+  bool PickNext(Clock::time_point now, size_t* index) WARPER_REQUIRES(mu_);
+
+  core::ServeConfig config_;
+
+  mutable util::Mutex mu_;
+  util::CondVar work_ready_;
+  std::deque<PendingPass> queue_ WARPER_GUARDED_BY(mu_);
+  // Tenants with a pass currently running on some worker.
+  std::vector<uint64_t> running_tenants_ WARPER_GUARDED_BY(mu_);
+  std::vector<std::thread> workers_;
+  bool started_ WARPER_GUARDED_BY(mu_) = false;
+  bool stop_ WARPER_GUARDED_BY(mu_) = false;
+};
+
+}  // namespace warper::serve
+
+#endif  // WARPER_SERVE_ADAPT_EXECUTOR_H_

@@ -13,6 +13,11 @@
 namespace warper::serve {
 namespace {
 
+// Pool mode: batches one drain task serves before handing its worker back
+// (and resubmitting itself if the queue is still non-empty) — keeps a hot
+// tenant from pinning a shared worker while siblings wait for a slot.
+constexpr int kDrainRoundsPerTask = 4;
+
 struct BatcherMetrics {
   util::Counter* requests = util::Metrics().GetCounter("serve.requests");
   util::Counter* batches = util::Metrics().GetCounter("serve.batches");
@@ -54,17 +59,44 @@ Status MicroBatcher::Start() {
   return Status::OK();
 }
 
+Status MicroBatcher::StartOnPool(util::ThreadPool* pool) {
+  WARPER_CHECK(pool != nullptr);
+  bool schedule_drain = false;
+  {
+    util::MutexLock lk(&mu_);
+    if (started_ || stop_) {
+      return Status::FailedPrecondition(
+          "MicroBatcher::StartOnPool: already started or stopped");
+    }
+    started_ = true;
+    pool_ = pool;
+    window_start_ = AdmissionController::Clock::now();
+    // Anything enqueued before the start (EstimateAsync) needs a drain task.
+    if (!queue_.empty() && !drain_scheduled_) {
+      drain_scheduled_ = true;
+      schedule_drain = true;
+    }
+  }
+  // Submit outside mu_: a workerless pool (ThreadPool(1)) runs the task
+  // inline on this thread, and DrainOnPool re-acquires mu_.
+  if (schedule_drain) pool_->Submit([this] { DrainOnPool(); });
+  return Status::OK();
+}
+
 void MicroBatcher::Stop() {
   {
     util::MutexLock lk(&mu_);
     if (stop_) return;
     stop_ = true;
+    // Pool mode: wait out the in-flight drain task (it exits on stop_ and
+    // signals) so no task touches this object after Stop returns.
+    while (drain_scheduled_) drain_idle_.Wait(&mu_);
   }
   not_empty_.NotifyAll();
   not_full_.NotifyAll();
   if (dispatcher_.joinable()) dispatcher_.join();
-  // No dispatcher will ever run again: answer anything still queued (only
-  // possible when Stop() came before Start()).
+  // No dispatcher will ever run again: answer anything still queued (a
+  // Stop() before Start(), or pool mode's undrained tail).
   std::deque<Pending> orphans;
   {
     util::MutexLock lk(&mu_);
@@ -81,11 +113,16 @@ bool MicroBatcher::running() const {
   return started_ && !stop_;
 }
 
-Result<double> MicroBatcher::EstimateDirect(
-    const std::vector<double>& features) const {
-  if (features.size() != feature_dim_) {
+size_t MicroBatcher::ApproxQueueDepth() const {
+  util::MutexLock lk(&mu_);
+  return queue_.size();
+}
+
+Result<EstimateResponse> MicroBatcher::EstimateDirect(
+    const EstimateRequest& request) const {
+  if (request.features.size() != feature_dim_) {
     return Status::InvalidArgument(
-        "Estimate: got " + std::to_string(features.size()) +
+        "Estimate: got " + std::to_string(request.features.size()) +
         " features; domain expects " + std::to_string(feature_dim_));
   }
   std::shared_ptr<const ModelSnapshot> snap = store_->Current();
@@ -93,43 +130,86 @@ Result<double> MicroBatcher::EstimateDirect(
     return Status::FailedPrecondition("no model snapshot published yet");
   }
   GetBatcherMetrics().requests->Increment();
-  nn::Matrix x(1, features.size());
-  x.SetRow(0, features);
+  served_total_.fetch_add(1, std::memory_order_relaxed);
+  nn::Matrix x(1, request.features.size());
+  x.SetRow(0, request.features);
   std::vector<double> targets = snap->model().EstimateTargets(x);
-  return ce::TargetToCard(targets[0]);
+  EstimateResponse response;
+  response.estimate = ce::TargetToCard(targets[0]);
+  response.version = snap->version();
+  response.tenant_id = request.tenant_id;
+  return response;
 }
 
-Result<double> MicroBatcher::Estimate(std::vector<double> features,
-                                      int64_t deadline_us) {
-  if (config_.batch_max == 1) return EstimateDirect(features);
-  Result<std::future<Result<double>>> enqueued =
-      Enqueue(std::move(features), deadline_us, /*block_until_admitted=*/true);
+Result<EstimateResponse> MicroBatcher::Estimate(
+    const EstimateRequest& request) {
+  if (config_.batch_max == 1) return EstimateDirect(request);
+  Result<std::future<Result<EstimateResponse>>> enqueued =
+      Enqueue(request, /*block_until_admitted=*/true);
   if (!enqueued.ok()) return enqueued.status();
   return enqueued.ValueOrDie().get();
 }
 
-std::future<Result<double>> MicroBatcher::EstimateAsync(
-    std::vector<double> features, int64_t deadline_us) {
-  Result<std::future<Result<double>>> enqueued = Enqueue(
-      std::move(features), deadline_us, /*block_until_admitted=*/false);
+std::future<Result<EstimateResponse>> MicroBatcher::EstimateAsync(
+    EstimateRequest request) {
+  Result<std::future<Result<EstimateResponse>>> enqueued =
+      Enqueue(std::move(request), /*block_until_admitted=*/false);
   if (enqueued.ok()) return enqueued.MoveValueOrDie();
-  std::promise<Result<double>> failed;
+  std::promise<Result<EstimateResponse>> failed;
   failed.set_value(enqueued.status());
   return failed.get_future();
 }
 
-Result<std::future<Result<double>>> MicroBatcher::Enqueue(
-    std::vector<double> features, int64_t deadline_us,
-    bool block_until_admitted) {
-  if (features.size() != feature_dim_) {
+// --- Deprecated positional shims: thin wrappers over the struct API. ---
+
+Result<double> MicroBatcher::Estimate(std::vector<double> features,
+                                      int64_t deadline_us) {
+  EstimateRequest request;
+  request.features = std::move(features);
+  request.deadline_us = deadline_us;
+  Result<EstimateResponse> response = Estimate(request);
+  if (!response.ok()) return response.status();
+  return response.ValueOrDie().estimate;
+}
+
+std::future<Result<double>> MicroBatcher::EstimateAsync(
+    std::vector<double> features, int64_t deadline_us) {
+  EstimateRequest request;
+  request.features = std::move(features);
+  request.deadline_us = deadline_us;
+  std::future<Result<EstimateResponse>> inner =
+      EstimateAsync(std::move(request));
+  // Deferred adapter, not a thread: the request is already enqueued above;
+  // get() on the returned future blocks on the inner one.
+  return std::async(std::launch::deferred,
+                    [f = std::move(inner)]() mutable -> Result<double> {
+                      Result<EstimateResponse> r = f.get();
+                      if (!r.ok()) return r.status();
+                      return r.ValueOrDie().estimate;
+                    });
+}
+
+Result<double> MicroBatcher::EstimateDirect(
+    const std::vector<double>& features) const {
+  EstimateRequest request;
+  request.features = features;
+  Result<EstimateResponse> response = EstimateDirect(request);
+  if (!response.ok()) return response.status();
+  return response.ValueOrDie().estimate;
+}
+
+Result<std::future<Result<EstimateResponse>>> MicroBatcher::Enqueue(
+    EstimateRequest request, bool block_until_admitted) {
+  if (request.features.size() != feature_dim_) {
     return Status::InvalidArgument(
-        "Estimate: got " + std::to_string(features.size()) +
+        "Estimate: got " + std::to_string(request.features.size()) +
         " features; domain expects " + std::to_string(feature_dim_));
   }
   AdmissionController::Clock::time_point deadline =
-      admission_.DeadlineFor(deadline_us);
-  std::future<Result<double>> future;
+      admission_.DeadlineFor(request.deadline_us);
+  std::future<Result<EstimateResponse>> future;
   size_t depth = 0;
+  bool schedule_drain = false;
   {
     util::MutexLock lk(&mu_);
     while (true) {
@@ -151,19 +231,42 @@ Result<std::future<Result<double>>> MicroBatcher::Enqueue(
       }
     }
     Pending pending;
-    pending.features = std::move(features);
+    pending.request = std::move(request);
     pending.deadline = deadline;
     pending.enqueued = AdmissionController::Clock::now();
     future = pending.promise.get_future();
     queue_.push_back(std::move(pending));
     depth = queue_.size();
     admission_.RecordDepth(depth);
+    if (pool_ != nullptr && started_ && !drain_scheduled_) {
+      drain_scheduled_ = true;
+      schedule_drain = true;
+    }
   }
-  // The dispatcher only has something new to act on when the queue went
-  // non-empty or a full batch just completed; signaling every enqueue would
-  // pay a wakeup syscall per request at exactly the throughput-bound depths.
-  if (depth == 1 || depth % config_.batch_max == 0) not_empty_.NotifyOne();
+  if (schedule_drain) {
+    pool_->Submit([this] { DrainOnPool(); });
+  } else if (pool_ == nullptr &&
+             (depth == 1 || depth % config_.batch_max == 0)) {
+    // Thread mode. The dispatcher only has something new to act on when the
+    // queue went non-empty or a full batch just completed; signaling every
+    // enqueue would pay a wakeup syscall per request at exactly the
+    // throughput-bound depths.
+    not_empty_.NotifyOne();
+  }
   return future;
+}
+
+bool MicroBatcher::PopBatch(std::vector<Pending>* batch) {
+  size_t n = std::min<size_t>(queue_.size(), config_.batch_max);
+  if (n == 0) return false;
+  batch->clear();
+  batch->reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    batch->push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  admission_.RecordDepth(queue_.size());
+  return true;
 }
 
 void MicroBatcher::DispatchLoop() {
@@ -185,18 +288,42 @@ void MicroBatcher::DispatchLoop() {
                    std::cv_status::timeout) {
         }
       }
-      size_t n = std::min<size_t>(queue_.size(), config_.batch_max);
-      batch.clear();
-      batch.reserve(n);
-      for (size_t i = 0; i < n; ++i) {
-        batch.push_back(std::move(queue_.front()));
-        queue_.pop_front();
-      }
-      admission_.RecordDepth(queue_.size());
+      PopBatch(&batch);
     }
     not_full_.NotifyAll();
     ServeBatch(&batch);
   }
+}
+
+void MicroBatcher::DrainOnPool() {
+  // Single-drainer discipline: exactly one drain task exists per batcher
+  // (drain_scheduled_), and the task always re-acquires mu_ after its last
+  // ServeBatch — the unlock/lock pair is what orders this task's unlocked
+  // state (window_* counters) before the next task's.
+  std::vector<Pending> batch;
+  for (int round = 0; round < kDrainRoundsPerTask; ++round) {
+    {
+      util::MutexLock lk(&mu_);
+      if (stop_ || !PopBatch(&batch)) {
+        drain_scheduled_ = false;
+        drain_idle_.NotifyAll();
+        return;
+      }
+    }
+    not_full_.NotifyAll();
+    ServeBatch(&batch);
+  }
+  // Still work queued after our rounds: hand the worker back and requeue.
+  bool resubmit;
+  {
+    util::MutexLock lk(&mu_);
+    resubmit = !stop_ && !queue_.empty();
+    if (!resubmit) {
+      drain_scheduled_ = false;
+      drain_idle_.NotifyAll();
+    }
+  }
+  if (resubmit) pool_->Submit([this] { DrainOnPool(); });
 }
 
 void MicroBatcher::ServeBatch(std::vector<Pending>* batch) {
@@ -224,7 +351,7 @@ void MicroBatcher::ServeBatch(std::vector<Pending>* batch) {
     }
     nn::Matrix x(live.size(), feature_dim_);
     for (size_t k = 0; k < live.size(); ++k) {
-      x.SetRow(k, (*batch)[live[k]].features);
+      x.SetRow(k, (*batch)[live[k]].request.features);
     }
     std::vector<double> targets = snap->model().EstimateTargets(x);
     AdmissionController::Clock::time_point done =
@@ -234,9 +361,14 @@ void MicroBatcher::ServeBatch(std::vector<Pending>* batch) {
       m.latency_us->Observe(
           std::chrono::duration<double, std::micro>(done - p.enqueued)
               .count());
-      p.promise.set_value(ce::TargetToCard(targets[k]));
+      EstimateResponse response;
+      response.estimate = ce::TargetToCard(targets[k]);
+      response.version = snap->version();
+      response.tenant_id = p.request.tenant_id;
+      p.promise.set_value(response);
     }
     m.requests->Increment(live.size());
+    served_total_.fetch_add(live.size(), std::memory_order_relaxed);
     m.batch_size->Observe(static_cast<double>(live.size()));
   }
   m.batches->Increment();

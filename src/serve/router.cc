@@ -1,0 +1,61 @@
+#include "serve/router.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace warper::serve {
+
+Status ShardRouter::AddTenant(uint64_t tenant_id, size_t shard) {
+  if (frozen_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition(
+        "ShardRouter::AddTenant: router is frozen");
+  }
+  if (map_.count(tenant_id) != 0) {
+    return Status::InvalidArgument("tenant " + std::to_string(tenant_id) +
+                                   " is already registered");
+  }
+  map_.emplace(tenant_id, shard);
+  num_shards_ = std::max(num_shards_, shard + 1);
+  return Status::OK();
+}
+
+void ShardRouter::Freeze() { frozen_.store(true, std::memory_order_release); }
+
+Result<size_t> ShardRouter::ShardFor(uint64_t tenant_id) const {
+  if (!frozen_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition(
+        "ShardRouter: lookups require Freeze() first");
+  }
+  auto it = map_.find(tenant_id);
+  if (it == map_.end()) {
+    return Status::NotFound("tenant " + std::to_string(tenant_id) +
+                            " is not registered");
+  }
+  return it->second;
+}
+
+Result<size_t> ShardRouter::ShardForFeatures(
+    const std::vector<double>& features) const {
+  if (!frozen_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition(
+        "ShardRouter: lookups require Freeze() first");
+  }
+  if (num_shards_ == 0) {
+    return Status::FailedPrecondition("ShardRouter has no shards");
+  }
+  // FNV-1a over the raw predicate encoding: cheap, deterministic across
+  // runs, and spreads adjacent predicates (which differ in a few bytes)
+  // across shards.
+  uint64_t hash = 1469598103934665603ULL;
+  for (double value : features) {
+    unsigned char bytes[sizeof(double)];
+    std::memcpy(bytes, &value, sizeof(double));
+    for (unsigned char b : bytes) {
+      hash ^= b;
+      hash *= 1099511628211ULL;
+    }
+  }
+  return static_cast<size_t>(hash % num_shards_);
+}
+
+}  // namespace warper::serve

@@ -1,0 +1,69 @@
+// The fleet's tenant/predicate router: maps a request to the shard (one
+// per-tenant EstimationServer) that should serve it.
+//
+// Two routing modes:
+//   - by tenant: ShardFor(tenant_id) — exact lookup, NotFound for tenants
+//     never registered;
+//   - by predicate: ShardForFeatures(features) — FNV-1a over the encoded
+//     predicate bytes, for callers that partition one logical workload
+//     across shards instead of carrying an explicit tenant id.
+//
+// Concurrency contract: build-then-freeze. AddTenant is setup-phase only
+// (single-threaded, before the fleet starts); Freeze() publishes the table
+// with release semantics, after which lookups are wait-free reads of an
+// immutable map — the serving hot path never takes a lock here. Lookups
+// before Freeze() fail with FailedPrecondition rather than race.
+#ifndef WARPER_SERVE_ROUTER_H_
+#define WARPER_SERVE_ROUTER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace warper::serve {
+
+class ShardRouter {
+ public:
+  ShardRouter() = default;
+
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  // Registers `tenant_id` as served by shard `shard`. Setup phase only (not
+  // thread-safe); InvalidArgument on a duplicate tenant, FailedPrecondition
+  // after Freeze().
+  Status AddTenant(uint64_t tenant_id, size_t shard);
+
+  // Publishes the routing table. Lookups are valid (and wait-free) only
+  // after this. Idempotent.
+  void Freeze();
+  bool frozen() const { return frozen_.load(std::memory_order_acquire); }
+
+  // Shard serving `tenant_id`; NotFound for unregistered tenants,
+  // FailedPrecondition before Freeze().
+  Result<size_t> ShardFor(uint64_t tenant_id) const;
+
+  // Deterministic predicate-hash routing over all registered shards
+  // (FNV-1a over the feature bytes, modulo the shard count).
+  // FailedPrecondition before Freeze() or with zero shards.
+  Result<size_t> ShardForFeatures(const std::vector<double>& features) const;
+
+  size_t NumTenants() const { return map_.size(); }
+  // Shards = max registered shard index + 1 (the fleet registers tenant i on
+  // shard i, so this equals the tenant count there).
+  size_t NumShards() const { return num_shards_; }
+
+ private:
+  std::unordered_map<uint64_t, size_t> map_;
+  size_t num_shards_ = 0;
+  // Release/acquire pair: Freeze() is the publication point for map_ and
+  // num_shards_; readers that observe frozen_ == true see the final table.
+  std::atomic<bool> frozen_{false};
+};
+
+}  // namespace warper::serve
+
+#endif  // WARPER_SERVE_ROUTER_H_

@@ -13,6 +13,7 @@ namespace {
 struct ServerMetrics {
   util::Counter* publishes = util::Metrics().GetCounter("serve.publishes");
   util::Counter* rollbacks = util::Metrics().GetCounter("serve.rollbacks");
+  util::Gauge* fleet_epoch = util::Metrics().GetGauge("serve.fleet.epoch");
 };
 
 ServerMetrics& GetServerMetrics() {
@@ -22,8 +23,22 @@ ServerMetrics& GetServerMetrics() {
 
 }  // namespace
 
-EstimationServer::EstimationServer(core::Warper* warper) : warper_(warper) {
+EstimationServer::EstimationServer(core::Warper* warper)
+    : EstimationServer(warper, ServerOptions{}) {}
+
+EstimationServer::EstimationServer(core::Warper* warper,
+                                   const ServerOptions& options)
+    : warper_(warper),
+      options_(options),
+      config_(options.config != nullptr ? *options.config
+                                        : warper->config().serve) {
   WARPER_CHECK(warper != nullptr);
+  if (options_.tenant_metrics) {
+    tenant_rollbacks_ = util::Metrics().GetCounter(
+        TenantMetricName("serve.tenant.rollbacks", options_.tenant_id));
+    tenant_publishes_ = util::Metrics().GetCounter(
+        TenantMetricName("serve.tenant.publishes", options_.tenant_id));
+  }
 }
 
 EstimationServer::~EstimationServer() { Stop(); }
@@ -51,15 +66,30 @@ Status EstimationServer::Start() {
     return Status::FailedPrecondition(
         "EstimationServer::Start: already started or stopped");
   }
+  // Every serving knob checked once, up front (ServeConfig::Validate is the
+  // single source of truth — no ad-hoc re-checks downstream).
+  WARPER_RETURN_NOT_OK(config_.Validate());
   // The gate baseline for version 1 and the proof the warper is usable:
   // CaptureModuleState fails before a successful Initialize().
   WARPER_RETURN_NOT_OK(PublishCurrent(
       eval_set_.empty() ? 0.0 : ce::ModelGmq(*warper_->model(), eval_set_)));
-  batcher_ = std::make_unique<MicroBatcher>(warper_->config().serve, &store_,
+  batcher_ = std::make_unique<MicroBatcher>(config_, &store_,
                                             warper_->domain()->FeatureDim());
-  WARPER_RETURN_NOT_OK(batcher_->Start());
+  if (options_.dispatch_pool != nullptr) {
+    WARPER_RETURN_NOT_OK(batcher_->StartOnPool(options_.dispatch_pool));
+  } else {
+    WARPER_RETURN_NOT_OK(batcher_->Start());
+  }
+  if (options_.executor != nullptr) {
+    executor_ = options_.executor;
+  } else {
+    // Standalone: a private single-worker executor reproduces the old
+    // one-adaptation-thread-per-server behavior.
+    owned_executor_ = std::make_unique<AdaptationExecutor>(config_);
+    WARPER_RETURN_NOT_OK(owned_executor_->Start());
+    executor_ = owned_executor_.get();
+  }
   started_ = true;
-  adapt_thread_ = std::thread([this] { AdaptLoop(); });
   return Status::OK();
 }
 
@@ -69,17 +99,10 @@ void EstimationServer::Stop() {
     if (stop_) return;
     stop_ = true;
   }
-  work_ready_.NotifyAll();
-  if (adapt_thread_.joinable()) adapt_thread_.join();
-  std::deque<PendingInvocation> orphans;
-  {
-    util::MutexLock lk(&mu_);
-    orphans.swap(adapt_queue_);
-  }
-  for (PendingInvocation& p : orphans) {
-    p.promise.set_value(
-        Status::Unavailable("server stopped before the invocation ran"));
-  }
+  // Order matters: the private executor's workers call Adapt on this
+  // object, so they must be joined before anything is torn down. A shared
+  // executor is the fleet's to stop (before it stops this server).
+  if (owned_executor_ != nullptr) owned_executor_->Stop();
   if (batcher_ != nullptr) batcher_->Stop();
 }
 
@@ -88,55 +111,78 @@ bool EstimationServer::running() const {
   return started_ && !stop_;
 }
 
-Result<double> EstimationServer::Estimate(std::vector<double> features,
-                                          int64_t deadline_us) {
+Result<EstimateResponse> EstimationServer::Estimate(
+    const EstimateRequest& request) {
   if (batcher_ == nullptr) {
     return Status::FailedPrecondition("EstimationServer is not running");
   }
-  return batcher_->Estimate(std::move(features), deadline_us);
+  return batcher_->Estimate(request);
 }
 
-std::future<Result<double>> EstimationServer::EstimateAsync(
-    std::vector<double> features, int64_t deadline_us) {
+std::future<Result<EstimateResponse>> EstimationServer::EstimateAsync(
+    EstimateRequest request) {
   if (batcher_ == nullptr) {
-    std::promise<Result<double>> failed;
+    std::promise<Result<EstimateResponse>> failed;
     failed.set_value(
         Status::FailedPrecondition("EstimationServer is not running"));
     return failed.get_future();
   }
-  return batcher_->EstimateAsync(std::move(features), deadline_us);
+  return batcher_->EstimateAsync(std::move(request));
+}
+
+// --- Deprecated positional shims: thin wrappers over the struct API. ---
+
+Result<double> EstimationServer::Estimate(std::vector<double> features,
+                                          int64_t deadline_us) {
+  EstimateRequest request;
+  request.tenant_id = options_.tenant_id;
+  request.features = std::move(features);
+  request.deadline_us = deadline_us;
+  Result<EstimateResponse> response = Estimate(request);
+  if (!response.ok()) return response.status();
+  return response.ValueOrDie().estimate;
+}
+
+std::future<Result<double>> EstimationServer::EstimateAsync(
+    std::vector<double> features, int64_t deadline_us) {
+  EstimateRequest request;
+  request.tenant_id = options_.tenant_id;
+  request.features = std::move(features);
+  request.deadline_us = deadline_us;
+  std::future<Result<EstimateResponse>> inner =
+      EstimateAsync(std::move(request));
+  return std::async(std::launch::deferred,
+                    [f = std::move(inner)]() mutable -> Result<double> {
+                      Result<EstimateResponse> r = f.get();
+                      if (!r.ok()) return r.status();
+                      return r.ValueOrDie().estimate;
+                    });
 }
 
 std::future<Result<AdaptationOutcome>> EstimationServer::SubmitInvocation(
     core::Warper::Invocation invocation) {
-  PendingInvocation pending;
-  pending.invocation = std::move(invocation);
-  std::future<Result<AdaptationOutcome>> future = pending.promise.get_future();
   {
     util::MutexLock lk(&mu_);
     if (!started_ || stop_) {
-      pending.promise.set_value(
+      std::promise<Result<AdaptationOutcome>> failed;
+      failed.set_value(
           Status::FailedPrecondition("EstimationServer is not running"));
-      return future;
+      return failed.get_future();
     }
-    adapt_queue_.push_back(std::move(pending));
   }
-  work_ready_.NotifyOne();
-  return future;
+  return executor_->Submit(
+      options_.tenant_id,
+      [this] {
+        return PrioritySignals{drift_severity(), traffic_since_adapt()};
+      },
+      [this, inv = std::move(invocation)] { return Adapt(inv); });
 }
 
-void EstimationServer::AdaptLoop() {
-  while (true) {
-    PendingInvocation pending;
-    {
-      util::MutexLock lk(&mu_);
-      while (!stop_ && adapt_queue_.empty()) work_ready_.Wait(&mu_);
-      if (adapt_queue_.empty()) break;  // stop_ with nothing left to run
-      pending = std::move(adapt_queue_.front());
-      adapt_queue_.pop_front();
-    }
-    pending.promise.set_value(Adapt(pending.invocation));
-  }
+double EstimationServer::traffic_since_adapt() const {
+  if (batcher_ == nullptr) return 0.0;
+  uint64_t served = batcher_->served_total();
+  uint64_t at_last = served_at_last_adapt_.load(std::memory_order_relaxed);
+  return served > at_last ? static_cast<double>(served - at_last) : 0.0;
 }
 
 Result<AdaptationOutcome> EstimationServer::Adapt(
@@ -149,6 +195,12 @@ Result<AdaptationOutcome> EstimationServer::Adapt(
   AdaptationOutcome outcome;
   outcome.result = invoked.MoveValueOrDie();
   outcome.version = store_.CurrentVersion();
+  drift_severity_.store(outcome.result.drift_severity,
+                        std::memory_order_relaxed);
+  if (batcher_ != nullptr) {
+    served_at_last_adapt_.store(batcher_->served_total(),
+                                std::memory_order_relaxed);
+  }
   if (!eval_set_.empty()) {
     // Stable benchmark: compare against the score the serving version was
     // published with, on the same examples.
@@ -161,15 +213,18 @@ Result<AdaptationOutcome> EstimationServer::Adapt(
     outcome.gate_after = outcome.result.gmq_after;
   }
 
-  const double tolerance = warper_->config().serve.regression_tolerance;
+  const double tolerance = config_.regression_tolerance;
   const bool regressed = outcome.gate_before > 0.0 &&
                          outcome.gate_after > tolerance * outcome.gate_before;
   if (regressed) {
     // §3.4 rollback: put M and E/G/D back to the last published version so
     // the next episode does not refine on top of the regressed weights.
+    // outcome.version deliberately keeps the pre-pass serving version — the
+    // rejected model never had one (see AdaptationOutcome::version).
     WARPER_RETURN_NOT_OK(warper_->model()->RestoreFrom(last_good->model()));
     WARPER_RETURN_NOT_OK(warper_->RestoreModuleState(last_good->modules()));
     GetServerMetrics().rollbacks->Increment();
+    if (tenant_rollbacks_ != nullptr) tenant_rollbacks_->Increment();
     outcome.rolled_back = true;
     return outcome;
   }
@@ -193,6 +248,12 @@ Status EstimationServer::PublishCurrent(double gmq) {
   store_.Publish(std::make_shared<const ModelSnapshot>(
       next_version_++, std::move(clone), modules.MoveValueOrDie(), gmq));
   GetServerMetrics().publishes->Increment();
+  if (tenant_publishes_ != nullptr) tenant_publishes_->Increment();
+  if (options_.fleet_epoch != nullptr) {
+    uint64_t epoch =
+        options_.fleet_epoch->fetch_add(1, std::memory_order_acq_rel) + 1;
+    GetServerMetrics().fleet_epoch->Set(static_cast<double>(epoch));
+  }
   return Status::OK();
 }
 

@@ -42,6 +42,12 @@ struct Env {
   }
 };
 
+EstimateRequest Req(std::vector<double> features) {
+  EstimateRequest request;
+  request.features = std::move(features);
+  return request;
+}
+
 core::WarperConfig FastConfig() {
   core::WarperConfig config;
   config.hidden_units = 64;
@@ -106,12 +112,13 @@ TEST(EstimationServerTest, StartPublishesVersionOneAndServes) {
   // Served estimates come from the snapshot clone and match the live model
   // exactly while no adaptation has run.
   const std::vector<double>& probe = train[0].features;
-  Result<double> served = server.Estimate(probe);
+  Result<EstimateResponse> served = server.Estimate(Req(probe));
   ASSERT_TRUE(served.ok());
-  EXPECT_EQ(served.ValueOrDie(), model->EstimateCardinality(probe));
+  EXPECT_EQ(served.ValueOrDie().estimate, model->EstimateCardinality(probe));
+  EXPECT_EQ(served.ValueOrDie().version, 1u);
   server.Stop();
   EXPECT_FALSE(server.running());
-  EXPECT_FALSE(server.Estimate(probe).ok());
+  EXPECT_FALSE(server.Estimate(Req(probe)).ok());
 }
 
 TEST(EstimationServerTest, AdaptationPublishesNewVersion) {
@@ -139,11 +146,13 @@ TEST(EstimationServerTest, AdaptationPublishesNewVersion) {
   EXPECT_EQ(outcome.ValueOrDie().version, 2u);
   EXPECT_EQ(server.CurrentVersion(), 2u);
 
-  // The new snapshot serves the adapted model's estimates.
+  // The new snapshot serves the adapted model's estimates, and the response
+  // reports the version that served it.
   const std::vector<double>& probe = train[0].features;
-  Result<double> served = server.Estimate(probe);
+  Result<EstimateResponse> served = server.Estimate(Req(probe));
   ASSERT_TRUE(served.ok());
-  EXPECT_EQ(served.ValueOrDie(), model->EstimateCardinality(probe));
+  EXPECT_EQ(served.ValueOrDie().estimate, model->EstimateCardinality(probe));
+  EXPECT_EQ(served.ValueOrDie().version, 2u);
   server.Stop();
 }
 

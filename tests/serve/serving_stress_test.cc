@@ -25,6 +25,12 @@ constexpr size_t kDim = 4;
 // answer.
 std::vector<double> UnitFeatures() { return {0.25, 0.25, 0.25, 0.25}; }
 
+EstimateRequest UnitRequest() {
+  EstimateRequest request;
+  request.features = UnitFeatures();
+  return request;
+}
+
 bool IsSomeVersionsAnswer(double card, size_t max_version) {
   for (size_t k = 1; k <= max_version; ++k) {
     if (card == ce::TargetToCard(static_cast<double>(k))) return true;
@@ -51,8 +57,9 @@ TEST(ServingStressTest, ProducersVsHotSwapsDirectPath) {
     producers.emplace_back([&] {
       while (!go.load()) std::this_thread::yield();
       for (size_t i = 0; i < kRequestsPerProducer; ++i) {
-        Result<double> r = batcher.Estimate(UnitFeatures());
-        if (!r.ok() || !IsSomeVersionsAnswer(r.ValueOrDie(), kSwaps + 1)) {
+        Result<EstimateResponse> r = batcher.Estimate(UnitRequest());
+        if (!r.ok() ||
+            !IsSomeVersionsAnswer(r.ValueOrDie().estimate, kSwaps + 1)) {
           bad.fetch_add(1);
         }
       }
@@ -92,14 +99,14 @@ TEST(ServingStressTest, ProducersVsHotSwapsBatchedPath) {
   for (size_t p = 0; p < kProducers; ++p) {
     producers.emplace_back([&] {
       while (!go.load()) std::this_thread::yield();
-      std::vector<std::future<Result<double>>> inflight;
+      std::vector<std::future<Result<EstimateResponse>>> inflight;
       for (size_t i = 0; i < kRequestsPerProducer; ++i) {
-        inflight.push_back(batcher.EstimateAsync(UnitFeatures()));
+        inflight.push_back(batcher.EstimateAsync(UnitRequest()));
         if (inflight.size() >= kPipeline) {
           for (auto& f : inflight) {
-            Result<double> r = f.get();
-            if (!r.ok() ||
-                !IsSomeVersionsAnswer(r.ValueOrDie(), kSwaps + 1)) {
+            Result<EstimateResponse> r = f.get();
+            if (!r.ok() || !IsSomeVersionsAnswer(r.ValueOrDie().estimate,
+                                                 kSwaps + 1)) {
               bad.fetch_add(1);
             }
           }
@@ -107,8 +114,9 @@ TEST(ServingStressTest, ProducersVsHotSwapsBatchedPath) {
         }
       }
       for (auto& f : inflight) {
-        Result<double> r = f.get();
-        if (!r.ok() || !IsSomeVersionsAnswer(r.ValueOrDie(), kSwaps + 1)) {
+        Result<EstimateResponse> r = f.get();
+        if (!r.ok() ||
+            !IsSomeVersionsAnswer(r.ValueOrDie().estimate, kSwaps + 1)) {
           bad.fetch_add(1);
         }
       }

@@ -46,6 +46,11 @@ METRIC_CALL_RE = re.compile(r'Get(?:Counter|Gauge|Histogram)\(\s*"([^"]+)"')
 # Registration calls split across a line break: Get...( at EOL, name next line.
 METRIC_CALL_OPEN_RE = re.compile(r"Get(?:Counter|Gauge|Histogram)\(\s*$")
 METRIC_NAME_ONLY_RE = re.compile(r'^\s*"([^"]+)"')
+# Per-tenant metric instances are named dynamically —
+# TenantMetricName("serve.tenant.rollbacks", id) → "serve.tenant.rollbacks.7"
+# — so the FAMILY literal at the call site is what registers against the
+# registry (the registry lists families, not per-tenant instances).
+TENANT_METRIC_CALL_RE = re.compile(r'TenantMetricName\(\s*"([^"]+)"')
 ENFORCED_METRIC_PREFIXES = ("serve.", "warper.")
 
 TODO_RE = re.compile(r"\bTODO\b")
@@ -94,6 +99,8 @@ def collect_metric_names(code_lines):
                 names.add(m.group(1))
             pending_call = False
         for m in METRIC_CALL_RE.finditer(line):
+            names.add(m.group(1))
+        for m in TENANT_METRIC_CALL_RE.finditer(line):
             names.add(m.group(1))
         if METRIC_CALL_OPEN_RE.search(line):
             pending_call = True
