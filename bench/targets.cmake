@@ -25,6 +25,7 @@ warper_bench(tab07c_drifts)
 warper_bench(tab07d_join_ce)
 warper_bench(tab08_workload_pairs)
 warper_bench(tab10_ablation)
+warper_bench(bench_annotate)
 warper_bench(bench_parallel)
 warper_bench(bench_kernels)
 warper_bench(bench_serving)

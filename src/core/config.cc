@@ -4,6 +4,7 @@
 #include <string>
 
 #include "nn/matrix.h"
+#include "storage/annotate_kernels.h"
 #include "util/cpu_features.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
@@ -106,11 +107,14 @@ Status WarperConfig::Validate() const {
 void ApplyParallelConfig(const util::ParallelConfig& config) {
   util::ThreadPool::Configure(config);
   nn::SetMatrixParallelism(config);
+  storage::internal::SetAnnotateKernels(config);
   WARPER_LOG(Info) << "parallel config applied: threads="
                    << config.ResolvedThreads() << " deterministic="
                    << (config.deterministic ? "true" : "false")
                    << " simd=" << util::SimdModeName(config.simd)
-                   << " -> nn kernels: " << nn::ActiveKernelName();
+                   << " -> nn kernels: " << nn::ActiveKernelName()
+                   << ", annotate kernels: "
+                   << storage::internal::ActiveAnnotateKernelName();
 }
 
 }  // namespace warper::core

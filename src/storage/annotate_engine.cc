@@ -1,0 +1,167 @@
+#include "storage/annotate_engine.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/status.h"
+
+namespace warper::storage::internal {
+namespace {
+
+constexpr size_t kZ = Column::kZoneBlockRows;
+constexpr size_t kMaskWords = kZ / 64;
+
+// Zone-map verdict for one (predicate, block) pair. `active` receives the
+// indices (into pred.cols) of the columns that still need row evaluation —
+// columns whose zone range lies fully inside the bounds are redundant on
+// this block and are skipped.
+enum class BlockVerdict { kReject, kAllMatch, kPartial };
+
+BlockVerdict JudgeBlock(const CompiledBatch& batch,
+                        const CompiledBatch::Pred& pred, size_t block,
+                        std::vector<uint32_t>* active) {
+  active->clear();
+  for (uint32_t i = 0; i < pred.cols.size(); ++i) {
+    const Column::ZoneEntry& zone = batch.col(pred.cols[i]).zones[block];
+    if (zone.max < pred.low[i] || zone.min > pred.high[i]) {
+      return BlockVerdict::kReject;
+    }
+    if (!(pred.low[i] <= zone.min && zone.max <= pred.high[i])) {
+      active->push_back(i);
+    }
+  }
+  return active->empty() ? BlockVerdict::kAllMatch : BlockVerdict::kPartial;
+}
+
+int64_t PopcountWords(const uint64_t* mask, size_t words) {
+  int64_t total = 0;
+  for (size_t w = 0; w < words; ++w) total += std::popcount(mask[w]);
+  return total;
+}
+
+}  // namespace
+
+CompiledBatch::CompiledBatch(const Table& table,
+                             const std::vector<RangePredicate>& preds) {
+  rows_ = table.NumRows();
+  cols_.resize(table.NumColumns());
+  preds_.reserve(preds.size());
+  for (const RangePredicate& pred : preds) {
+    WARPER_CHECK(pred.NumColumns() == table.NumColumns());
+    Pred compiled;
+    for (size_t c = 0; c < pred.NumColumns(); ++c) {
+      if (!pred.Constrains(table, c)) continue;
+      compiled.cols.push_back(static_cast<uint32_t>(c));
+      compiled.low.push_back(pred.low[c]);
+      compiled.high.push_back(pred.high[c]);
+      Col& col = cols_[c];
+      if (col.values == nullptr) {
+        // Freshen once, on this (single) thread, so pool workers only read.
+        table.column(c).EnsureZoneMapFresh();
+        col.values = table.column(c).values().data();
+        col.zones = table.column(c).zone_entries();
+      }
+    }
+    preds_.push_back(std::move(compiled));
+  }
+}
+
+void FusedCount(const CompiledBatch& batch, const AnnotateKernelTable& kernels,
+                size_t row_begin, size_t row_end, int64_t* counts,
+                AnnotateStats* stats) {
+  uint64_t mask[kMaskWords];
+  std::vector<uint32_t> active;
+  for (size_t b0 = row_begin; b0 < row_end;) {
+    size_t block = b0 / kZ;
+    size_t b1 = std::min(row_end, (block + 1) * kZ);
+    size_t span = b1 - b0;
+    for (size_t p = 0; p < batch.num_preds(); ++p) {
+      const CompiledBatch::Pred& pred = batch.preds()[p];
+      if (pred.cols.empty()) {
+        counts[p] += static_cast<int64_t>(span);
+        continue;
+      }
+      switch (JudgeBlock(batch, pred, block, &active)) {
+        case BlockVerdict::kReject:
+          if (stats != nullptr) ++stats->blocks_pruned;
+          continue;
+        case BlockVerdict::kAllMatch:
+          counts[p] += static_cast<int64_t>(span);
+          if (stats != nullptr) ++stats->blocks_shortcircuited;
+          continue;
+        case BlockVerdict::kPartial:
+          break;
+      }
+      if (stats != nullptr) stats->rows_scanned += static_cast<int64_t>(span);
+      if (active.size() == 1) {
+        uint32_t i = active[0];
+        counts[p] += kernels.count_range(batch.col(pred.cols[i]).values + b0,
+                                         span, pred.low[i], pred.high[i]);
+        continue;
+      }
+      // Fused multi-column evaluation: the first active column seeds the
+      // block's match bitset, the rest AND into it.
+      uint32_t first = active[0];
+      kernels.mask_range(batch.col(pred.cols[first]).values + b0, span,
+                         pred.low[first], pred.high[first], mask);
+      for (size_t a = 1; a < active.size(); ++a) {
+        uint32_t i = active[a];
+        kernels.mask_range_and(batch.col(pred.cols[i]).values + b0, span,
+                               pred.low[i], pred.high[i], mask);
+      }
+      counts[p] += PopcountWords(mask, (span + 63) / 64);
+    }
+    b0 = b1;
+  }
+}
+
+void PredicateMask(const CompiledBatch& batch, size_t pred_idx,
+                   const AnnotateKernelTable& kernels, uint64_t* mask,
+                   AnnotateStats* stats) {
+  WARPER_CHECK(pred_idx < batch.num_preds());
+  const CompiledBatch::Pred& pred = batch.preds()[pred_idx];
+  size_t rows = batch.num_rows();
+  std::vector<uint32_t> active;
+
+  auto fill_span = [&](uint64_t* words, size_t span, uint64_t value) {
+    size_t full = span / 64;
+    for (size_t w = 0; w < full; ++w) words[w] = value;
+    if (span % 64 != 0) {
+      words[full] = value & ((uint64_t{1} << (span % 64)) - 1);
+    }
+  };
+
+  for (size_t b0 = 0; b0 < rows; b0 += kZ) {
+    size_t block = b0 / kZ;
+    size_t span = std::min(rows - b0, kZ);
+    // kZ is a multiple of 64, so every block starts on a word boundary.
+    uint64_t* words = mask + block * kMaskWords;
+    if (pred.cols.empty()) {
+      fill_span(words, span, ~uint64_t{0});
+      continue;
+    }
+    switch (JudgeBlock(batch, pred, block, &active)) {
+      case BlockVerdict::kReject:
+        fill_span(words, span, 0);
+        if (stats != nullptr) ++stats->blocks_pruned;
+        continue;
+      case BlockVerdict::kAllMatch:
+        fill_span(words, span, ~uint64_t{0});
+        if (stats != nullptr) ++stats->blocks_shortcircuited;
+        continue;
+      case BlockVerdict::kPartial:
+        break;
+    }
+    if (stats != nullptr) stats->rows_scanned += static_cast<int64_t>(span);
+    uint32_t first = active[0];
+    kernels.mask_range(batch.col(pred.cols[first]).values + b0, span,
+                       pred.low[first], pred.high[first], words);
+    for (size_t a = 1; a < active.size(); ++a) {
+      uint32_t i = active[a];
+      kernels.mask_range_and(batch.col(pred.cols[i]).values + b0, span,
+                             pred.low[i], pred.high[i], words);
+    }
+  }
+}
+
+}  // namespace warper::storage::internal

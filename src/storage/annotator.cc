@@ -3,8 +3,9 @@
 #include <memory>
 #include <optional>
 
+#include "storage/annotate_engine.h"
+#include "storage/annotate_kernels.h"
 #include "util/metrics.h"
-#include "util/status.h"
 #include "util/trace.h"
 
 namespace warper::storage {
@@ -12,14 +13,19 @@ namespace {
 
 // Annotation is the dominant adaptation cost (Table 6): count every call,
 // every predicate labeled and every row touched so cost attribution survives
-// into metric snapshots. (row, predicate) pairs actually evaluated can be
-// far below rows × predicates thanks to the early-exit scan, so rows_scanned
-// counts full table passes, not pair evaluations.
+// into metric snapshots. Under zone-map pruning rows_scanned counts rows
+// *actually* evaluated against a predicate (summed over predicates) — not
+// table passes: blocks the zone map rejects outright (blocks_pruned) or
+// credits wholesale (blocks_shortcircuited) contribute nothing to it.
 struct AnnotatorMetrics {
   util::Counter* calls = util::Metrics().GetCounter("annotator.calls");
   util::Counter* predicates = util::Metrics().GetCounter("annotator.predicates");
   util::Counter* rows_scanned =
       util::Metrics().GetCounter("annotator.rows_scanned");
+  util::Counter* blocks_pruned =
+      util::Metrics().GetCounter("annotator.blocks_pruned");
+  util::Counter* blocks_shortcircuited =
+      util::Metrics().GetCounter("annotator.blocks_shortcircuited");
 };
 
 AnnotatorMetrics& GetAnnotatorMetrics() {
@@ -27,56 +33,20 @@ AnnotatorMetrics& GetAnnotatorMetrics() {
   return *metrics;
 }
 
-// Per-predicate list of (column, low, high) for only the constrained
-// columns; skipping full-range columns makes the scan proportional to the
-// predicate's active width.
-struct CompiledPredicate {
-  std::vector<size_t> cols;
-  std::vector<double> low;
-  std::vector<double> high;
-};
-
-CompiledPredicate Compile(const Table& table, const RangePredicate& pred) {
-  WARPER_CHECK(pred.NumColumns() == table.NumColumns());
-  CompiledPredicate cp;
-  for (size_t c = 0; c < pred.NumColumns(); ++c) {
-    if (pred.Constrains(table, c)) {
-      cp.cols.push_back(c);
-      cp.low.push_back(pred.low[c]);
-      cp.high.push_back(pred.high[c]);
-    }
-  }
-  return cp;
+void MergeStats(const internal::AnnotateStats& stats) {
+  AnnotatorMetrics& metrics = GetAnnotatorMetrics();
+  metrics.rows_scanned->Increment(static_cast<uint64_t>(stats.rows_scanned));
+  metrics.blocks_pruned->Increment(static_cast<uint64_t>(stats.blocks_pruned));
+  metrics.blocks_shortcircuited->Increment(
+      static_cast<uint64_t>(stats.blocks_shortcircuited));
 }
 
 }  // namespace
 
 int64_t Annotator::Count(const RangePredicate& pred) const {
-  std::optional<util::ScopedCpuTimer> timer;
-  if (cpu_ != nullptr) timer.emplace(cpu_);
-  ++annotations_;
-  AnnotatorMetrics& metrics = GetAnnotatorMetrics();
-  metrics.calls->Increment();
-  metrics.predicates->Increment();
-  metrics.rows_scanned->Increment(table_->NumRows());
-
-  CompiledPredicate cp = Compile(*table_, pred);
-  size_t n = table_->NumRows();
-  if (cp.cols.empty()) return static_cast<int64_t>(n);
-
-  int64_t count = 0;
-  for (size_t r = 0; r < n; ++r) {
-    bool match = true;
-    for (size_t i = 0; i < cp.cols.size(); ++i) {
-      double v = table_->column(cp.cols[i]).Value(r);
-      if (v < cp.low[i] || v > cp.high[i]) {
-        match = false;
-        break;
-      }
-    }
-    count += match ? 1 : 0;
-  }
-  return count;
+  // A batch of one: single-predicate and batched annotation share the
+  // compiled-kernel path, so the two can never diverge.
+  return BatchCount({pred})[0];
 }
 
 std::vector<int64_t> Annotator::BatchCount(
@@ -90,30 +60,13 @@ std::vector<int64_t> Annotator::BatchCount(
   AnnotatorMetrics& metrics = GetAnnotatorMetrics();
   metrics.calls->Increment();
   metrics.predicates->Increment(preds.size());
-  metrics.rows_scanned->Increment(table_->NumRows());
 
-  std::vector<CompiledPredicate> compiled;
-  compiled.reserve(preds.size());
-  for (const auto& p : preds) compiled.push_back(Compile(*table_, p));
-
+  internal::CompiledBatch batch(*table_, preds);
   std::vector<int64_t> counts(preds.size(), 0);
-  size_t n = table_->NumRows();
-  // One pass over the rows, evaluating every predicate — the "single
-  // evaluation tree" batching from §2.
-  for (size_t r = 0; r < n; ++r) {
-    for (size_t p = 0; p < compiled.size(); ++p) {
-      const CompiledPredicate& cp = compiled[p];
-      bool match = true;
-      for (size_t i = 0; i < cp.cols.size(); ++i) {
-        double v = table_->column(cp.cols[i]).Value(r);
-        if (v < cp.low[i] || v > cp.high[i]) {
-          match = false;
-          break;
-        }
-      }
-      counts[p] += match ? 1 : 0;
-    }
-  }
+  internal::AnnotateStats stats;
+  internal::FusedCount(batch, internal::ActiveAnnotateKernels(), 0,
+                       table_->NumRows(), counts.data(), &stats);
+  MergeStats(stats);
   return counts;
 }
 

@@ -2,8 +2,12 @@
 // table. The paper notes that annotation "typically requires querying the
 // DBMS ... batching predicates into a single evaluation tree and executing
 // many predicates in one query still scans the underlying table at least
-// once" (§2); BatchCount implements exactly that single-scan batching, and
-// the optional CpuAccumulator feeds the cost tables (Table 6 / Table 11).
+// once" (§2); BatchCount implements that single-scan batching through the
+// fused per-block engine (storage/annotate_engine.h): SIMD range kernels,
+// zone-map pruning, and all predicates evaluated per cache-resident block.
+// Count is a batch of one on the same path, so single-predicate and batched
+// annotation can never diverge. The optional CpuAccumulator feeds the cost
+// tables (Table 6 / Table 11).
 #ifndef WARPER_STORAGE_ANNOTATOR_H_
 #define WARPER_STORAGE_ANNOTATOR_H_
 

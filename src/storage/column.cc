@@ -2,35 +2,86 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <unordered_set>
 
 #include "util/status.h"
 
 namespace warper::storage {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Widens `entry` to cover `v`. NaN poisons the block to [-inf, +inf]: NaN
+// matches every range predicate under the scan semantics, so a NaN block
+// must never be pruned.
+void WidenZone(Column::ZoneEntry* entry, double v) {
+  if (v != v) {
+    entry->min = -kInf;
+    entry->max = kInf;
+    return;
+  }
+  if (v < entry->min) entry->min = v;
+  if (v > entry->max) entry->max = v;
+}
+
+}  // namespace
 
 void Column::SetValue(size_t row, double v) {
   WARPER_CHECK(row < values_.size());
   values_[row] = v;
-  stats_valid_ = false;
+  minmax_valid_ = false;
+  distinct_valid_ = false;
+  // The stored bounds stay a superset of the block's values (the overwritten
+  // value may have been the extremum), so pruning decisions remain safe;
+  // `stale` queues the block for lazy re-tightening.
+  ZoneEntry& entry = zones_[row / kZoneBlockRows];
+  WidenZone(&entry, v);
+  entry.stale = true;
 }
 
 void Column::Append(double v) {
+  size_t row = values_.size();
   values_.push_back(v);
-  stats_valid_ = false;
+  if (minmax_valid_) {
+    // Running min/max: appends never invalidate, so a drifted append burst
+    // answers Min()/Max() without a rescan.
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  } else if (values_.size() == 1) {
+    min_ = max_ = v;
+    minmax_valid_ = true;
+  }
+  distinct_valid_ = false;
+  if (row / kZoneBlockRows == zones_.size()) {
+    ZoneEntry fresh{kInf, -kInf, false};
+    WidenZone(&fresh, v);
+    zones_.push_back(fresh);
+  } else {
+    // Extending the tail block keeps its entry exact (unless already stale).
+    WidenZone(&zones_.back(), v);
+  }
 }
 
 void Column::Truncate(size_t new_size) {
   WARPER_CHECK(new_size <= values_.size());
+  if (new_size == values_.size()) return;
   values_.resize(new_size);
-  stats_valid_ = false;
+  minmax_valid_ = false;
+  distinct_valid_ = false;
+  zones_.resize((new_size + kZoneBlockRows - 1) / kZoneBlockRows);
+  if (!zones_.empty() && new_size % kZoneBlockRows != 0) {
+    // The surviving partial block lost rows; its bounds are now only a
+    // superset.
+    zones_.back().stale = true;
+  }
 }
 
-void Column::RefreshStats() const {
-  if (stats_valid_) return;
-  stats_valid_ = true;
+void Column::RefreshMinMax() const {
+  if (minmax_valid_) return;
+  minmax_valid_ = true;
   if (values_.empty()) {
     min_ = max_ = 0.0;
-    distinct_ = 0;
     return;
   }
   min_ = max_ = values_[0];
@@ -38,23 +89,40 @@ void Column::RefreshStats() const {
     min_ = std::min(min_, v);
     max_ = std::max(max_, v);
   }
+}
+
+void Column::RefreshDistinct() const {
+  if (distinct_valid_) return;
+  distinct_valid_ = true;
   std::unordered_set<double> seen(values_.begin(), values_.end());
   distinct_ = seen.size();
 }
 
 double Column::Min() const {
-  RefreshStats();
+  RefreshMinMax();
   return min_;
 }
 
 double Column::Max() const {
-  RefreshStats();
+  RefreshMinMax();
   return max_;
 }
 
 size_t Column::DistinctCount() const {
-  RefreshStats();
+  RefreshDistinct();
   return distinct_;
+}
+
+void Column::EnsureZoneMapFresh() const {
+  for (size_t b = 0; b < zones_.size(); ++b) {
+    ZoneEntry& entry = zones_[b];
+    if (!entry.stale) continue;
+    size_t begin = b * kZoneBlockRows;
+    size_t end = std::min(values_.size(), begin + kZoneBlockRows);
+    ZoneEntry tight{kInf, -kInf, false};
+    for (size_t r = begin; r < end; ++r) WidenZone(&tight, values_[r]);
+    entry = tight;
+  }
 }
 
 }  // namespace warper::storage

@@ -2,6 +2,24 @@
 // columns hold dictionary codes (0..distinct-1), matching the paper's LM
 // setup where "for columns with categorical values, predicates are integer
 // dictionary identities" (§4.1).
+//
+// Besides the values the column maintains two derived structures:
+//   - Domain stats (Min/Max/DistinctCount). Min/max update incrementally on
+//     Append — a drifted append burst never forces a rescan — and fall back
+//     to a lazy rescan only after SetValue/Truncate. The distinct count is
+//     always lazy (it needs a full hash pass) and is tracked by its own
+//     dirty flag so Min()/Max() never pay for it.
+//   - A zone map: per-block min/max over fixed kZoneBlockRows-row blocks,
+//     used by the annotation engine to skip blocks a range predicate
+//     provably rejects (or fully matches). Entries are maintained
+//     incrementally: Append extends the tail block exactly; SetValue widens
+//     the touched block's bounds (a safe superset) and marks it stale;
+//     EnsureZoneMapFresh() re-tightens stale blocks lazily.
+//
+// Thread-safety follows the tree's lazy-cache convention: concurrent reads
+// are safe only after the caches are materialized (EnsureZoneMapFresh /
+// Min()/Max() called once from a single thread); mutations require exclusive
+// access.
 #ifndef WARPER_STORAGE_COLUMN_H_
 #define WARPER_STORAGE_COLUMN_H_
 
@@ -15,6 +33,23 @@ enum class ColumnType { kNumeric, kCategorical };
 
 class Column {
  public:
+  // Zone-map block size, in rows. 4096 doubles = 32 KiB per column block —
+  // one L1-sized unit of scan work, and 4096/64 = 64 whole mask words for
+  // the annotation engine's bitset kernels.
+  static constexpr size_t kZoneBlockRows = 4096;
+
+  // Per-block bounds. When `stale` is set the bounds are a superset of the
+  // block's actual value range (still safe for pruning decisions, just less
+  // selective); EnsureZoneMapFresh() tightens them. Blocks containing NaN
+  // carry [-inf, +inf] so they are never pruned or short-circuited — NaN
+  // matches every range predicate under the scan's !(v < lo) && !(v > hi)
+  // semantics.
+  struct ZoneEntry {
+    double min;
+    double max;
+    bool stale;
+  };
+
   Column(std::string name, ColumnType type)
       : name_(std::move(name)), type_(type) {}
 
@@ -29,22 +64,38 @@ class Column {
 
   const std::vector<double>& values() const { return values_; }
 
-  // Domain statistics, recomputed lazily after mutations.
+  // Domain statistics. Min/Max are O(1) after any Append-only mutation
+  // burst; DistinctCount recomputes lazily after any mutation.
   double Min() const;
   double Max() const;
   size_t DistinctCount() const;
 
+  // --- Zone map ---
+  size_t NumZoneBlocks() const { return zones_.size(); }
+  // Re-tightens stale entries. Must be called (from one thread) before
+  // zone entries are read concurrently, e.g. by pool workers.
+  void EnsureZoneMapFresh() const;
+  // Raw entries, indexed by block = row / kZoneBlockRows. Only meaningful
+  // after EnsureZoneMapFresh() unless conservative bounds are acceptable.
+  const ZoneEntry* zone_entries() const { return zones_.data(); }
+
  private:
-  void RefreshStats() const;
+  void RefreshMinMax() const;
+  void RefreshDistinct() const;
 
   std::string name_;
   ColumnType type_;
   std::vector<double> values_;
 
-  mutable bool stats_valid_ = false;
+  // min_/max_ stay valid across Appends (running update); distinct_ has its
+  // own flag so Min()/Max() never pay the hash-set pass.
+  mutable bool minmax_valid_ = false;
+  mutable bool distinct_valid_ = false;
   mutable double min_ = 0.0;
   mutable double max_ = 0.0;
   mutable size_t distinct_ = 0;
+
+  mutable std::vector<ZoneEntry> zones_;
 };
 
 }  // namespace warper::storage

@@ -1,8 +1,11 @@
 #include "storage/join_annotator.h"
 
+#include <bit>
 #include <optional>
 #include <unordered_map>
 
+#include "storage/annotate_engine.h"
+#include "storage/annotate_kernels.h"
 #include "util/metrics.h"
 #include "util/status.h"
 #include "util/trace.h"
@@ -23,6 +26,47 @@ struct JoinAnnotatorMetrics {
 JoinAnnotatorMetrics& GetJoinAnnotatorMetrics() {
   static JoinAnnotatorMetrics* metrics = new JoinAnnotatorMetrics();
   return *metrics;
+}
+
+// Match bitmap of `pred` over every row of `table`, via the fused engine
+// (SIMD compare kernels + zone-map pruning). ForEachMatch then walks only
+// the set bits, so the per-row hash work below touches exactly the
+// predicate-matching rows. Bit-identical to RangePredicate::Matches.
+std::vector<uint64_t> MatchBitmap(const Table& table,
+                                  const RangePredicate& pred) {
+  internal::CompiledBatch batch(table, {pred});
+  std::vector<uint64_t> mask((table.NumRows() + 63) / 64, 0);
+  if (!mask.empty()) {
+    internal::PredicateMask(batch, 0, internal::ActiveAnnotateKernels(),
+                            mask.data(), /*stats=*/nullptr);
+  }
+  return mask;
+}
+
+// Materializes every participating table's lazy caches (domain stats read
+// by Constrains, zone maps read by the engine) on the calling thread, so
+// per-query batch compilation inside pool workers is read-only.
+void WarmTableCaches(const StarSchema& s) {
+  auto warm = [](const Table& t) {
+    for (size_t c = 0; c < t.NumColumns(); ++c) {
+      t.column(c).Min();
+      t.column(c).EnsureZoneMapFresh();
+    }
+  };
+  warm(*s.center);
+  for (const StarSchema::Fact& fact : s.facts) warm(*fact.table);
+}
+
+template <typename Fn>
+void ForEachMatch(const std::vector<uint64_t>& mask, Fn&& fn) {
+  for (size_t w = 0; w < mask.size(); ++w) {
+    uint64_t bits = mask[w];
+    while (bits != 0) {
+      size_t r = w * 64 + static_cast<size_t>(std::countr_zero(bits));
+      bits &= bits - 1;
+      fn(r);
+    }
+  }
 }
 
 }  // namespace
@@ -62,18 +106,18 @@ int64_t JoinAnnotator::CountImpl(const JoinQuery& query) const {
   fact_counts.resize(active.size());
   for (size_t i = 0; i < active.size(); ++i) {
     const StarSchema::Fact& fact = s.facts[active[i]];
-    const RangePredicate& pred = query.fact_preds[active[i]];
-    for (size_t r = 0; r < fact.table->NumRows(); ++r) {
-      if (!pred.Matches(*fact.table, r)) continue;
-      int64_t key = static_cast<int64_t>(fact.table->column(fact.fk_col).Value(r));
-      ++fact_counts[i][key];
-    }
+    const double* keys = fact.table->column(fact.fk_col).values().data();
+    ForEachMatch(MatchBitmap(*fact.table, query.fact_preds[active[i]]),
+                 [&](size_t r) {
+                   ++fact_counts[i][static_cast<int64_t>(keys[r])];
+                 });
   }
 
   int64_t total = 0;
-  for (size_t r = 0; r < s.center->NumRows(); ++r) {
-    if (!query.center_pred.Matches(*s.center, r)) continue;
-    int64_t key = static_cast<int64_t>(s.center->column(s.center_pk_col).Value(r));
+  const double* center_keys =
+      s.center->column(s.center_pk_col).values().data();
+  ForEachMatch(MatchBitmap(*s.center, query.center_pred), [&](size_t r) {
+    int64_t key = static_cast<int64_t>(center_keys[r]);
     int64_t product = 1;
     for (const auto& counts : fact_counts) {
       auto it = counts.find(key);
@@ -84,7 +128,7 @@ int64_t JoinAnnotator::CountImpl(const JoinQuery& query) const {
       product *= it->second;
     }
     total += product;
-  }
+  });
   return total;
 }
 
@@ -108,6 +152,7 @@ std::vector<int64_t> JoinAnnotator::BatchCountParallel(
   util::ScopedSpan span("join_annotator.batch_count_parallel");
   span.Arg("queries", static_cast<double>(queries.size()));
   GetJoinAnnotatorMetrics().calls->Increment();
+  WarmTableCaches(*schema_);
 
   std::vector<int64_t> counts(queries.size(), 0);
   // Join counting is expensive per query, so fan out per query rather than

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "storage/annotate_engine.h"
+#include "storage/annotate_kernels.h"
 #include "util/metrics.h"
 #include "util/mutex.h"
 #include "util/status.h"
@@ -9,48 +11,6 @@
 #include "util/trace.h"
 
 namespace warper::storage {
-namespace {
-
-struct CompiledPredicate {
-  std::vector<size_t> cols;
-  std::vector<double> low;
-  std::vector<double> high;
-};
-
-CompiledPredicate Compile(const Table& table, const RangePredicate& pred) {
-  WARPER_CHECK(pred.NumColumns() == table.NumColumns());
-  CompiledPredicate cp;
-  for (size_t c = 0; c < pred.NumColumns(); ++c) {
-    if (pred.Constrains(table, c)) {
-      cp.cols.push_back(c);
-      cp.low.push_back(pred.low[c]);
-      cp.high.push_back(pred.high[c]);
-    }
-  }
-  return cp;
-}
-
-void CountRange(const Table& table,
-                const std::vector<CompiledPredicate>& compiled,
-                size_t row_begin, size_t row_end,
-                std::vector<int64_t>* counts) {
-  for (size_t r = row_begin; r < row_end; ++r) {
-    for (size_t p = 0; p < compiled.size(); ++p) {
-      const CompiledPredicate& cp = compiled[p];
-      bool match = true;
-      for (size_t i = 0; i < cp.cols.size(); ++i) {
-        double v = table.column(cp.cols[i]).Value(r);
-        if (v < cp.low[i] || v > cp.high[i]) {
-          match = false;
-          break;
-        }
-      }
-      (*counts)[p] += match ? 1 : 0;
-    }
-  }
-}
-
-}  // namespace
 
 ParallelAnnotator::ParallelAnnotator(const Table* table,
                                      util::ParallelConfig config)
@@ -69,43 +29,64 @@ std::vector<int64_t> ParallelAnnotator::BatchCount(
   span.Arg("predicates", static_cast<double>(preds.size()));
   span.Arg("rows", static_cast<double>(table_->NumRows()));
   // Shares the serial annotator's cost counters: the execution strategy
-  // changes, the work accounted does not.
+  // changes, the work accounted does not. rows_scanned counts rows actually
+  // evaluated under pruning, exactly as in the serial path.
   static util::Counter* calls = util::Metrics().GetCounter("annotator.calls");
   static util::Counter* predicates =
       util::Metrics().GetCounter("annotator.predicates");
   static util::Counter* rows_scanned =
       util::Metrics().GetCounter("annotator.rows_scanned");
+  static util::Counter* blocks_pruned =
+      util::Metrics().GetCounter("annotator.blocks_pruned");
+  static util::Counter* blocks_shortcircuited =
+      util::Metrics().GetCounter("annotator.blocks_shortcircuited");
   calls->Increment();
   predicates->Increment(preds.size());
-  rows_scanned->Increment(table_->NumRows());
-
-  std::vector<CompiledPredicate> compiled;
-  compiled.reserve(preds.size());
-  for (const auto& p : preds) compiled.push_back(Compile(*table_, p));
 
   size_t n = table_->NumRows();
   std::vector<int64_t> counts(preds.size(), 0);
   if (n == 0 || preds.empty()) return counts;
 
+  // Compiling freshens the referenced zone maps on this thread, so the
+  // fan-out below only reads the table.
+  internal::CompiledBatch batch(*table_, preds);
+  const internal::AnnotateKernelTable& kernels =
+      internal::ResolveAnnotateKernels(config_);
+
   // The row grain keeps each chunk worth the dispatch and bounds the chunk
-  // count at the configured thread cap.
+  // count at the configured thread cap; rounding it to whole zone blocks
+  // keeps the fused per-block pass from splitting a block across workers.
   size_t min_rows = std::max<size_t>(config_.grain, 1024 / std::max<size_t>(
                                                         1, preds.size()));
   size_t grain = std::max(min_rows,
                           (n + static_cast<size_t>(config_.ResolvedThreads()) -
                            1) /
                               static_cast<size_t>(config_.ResolvedThreads()));
+  if (grain > Column::kZoneBlockRows) {
+    grain = (grain + Column::kZoneBlockRows - 1) / Column::kZoneBlockRows *
+            Column::kZoneBlockRows;
+  }
 
   // Chunk-local tallies merged under a lock: integer sums are exact in any
   // order, so the result is bit-identical to the serial scan.
+  internal::AnnotateStats stats;
   util::Mutex merge_mutex;
   util::ThreadPool::Global().ParallelFor(
       0, n, grain, [&](size_t begin, size_t end) {
-        std::vector<int64_t> local(compiled.size(), 0);
-        CountRange(*table_, compiled, begin, end, &local);
+        std::vector<int64_t> local(batch.num_preds(), 0);
+        internal::AnnotateStats local_stats;
+        internal::FusedCount(batch, kernels, begin, end, local.data(),
+                             &local_stats);
         util::MutexLock lock(&merge_mutex);
         for (size_t p = 0; p < counts.size(); ++p) counts[p] += local[p];
+        stats.rows_scanned += local_stats.rows_scanned;
+        stats.blocks_pruned += local_stats.blocks_pruned;
+        stats.blocks_shortcircuited += local_stats.blocks_shortcircuited;
       });
+  rows_scanned->Increment(static_cast<uint64_t>(stats.rows_scanned));
+  blocks_pruned->Increment(static_cast<uint64_t>(stats.blocks_pruned));
+  blocks_shortcircuited->Increment(
+      static_cast<uint64_t>(stats.blocks_shortcircuited));
   return counts;
 }
 

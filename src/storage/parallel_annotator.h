@@ -3,11 +3,13 @@
 // The paper notes that "many calls [of Alg. 1] can be parallelized" and its
 // tech report sketches a multi-threaded variant; ground-truth annotation is
 // the dominant cost (Table 6), and it parallelizes trivially by row range:
-// each chunk scans a horizontal slice of the table against every predicate
-// and the per-predicate counts are summed. Counts are integers, so the sum
-// is exact in any order and results are bit-identical to
-// Annotator::BatchCount. Work is dispatched onto the shared
-// util::ThreadPool rather than ad-hoc threads.
+// each chunk runs the fused per-block engine (storage/annotate_engine.h —
+// SIMD kernels + zone-map pruning, every predicate per cache-resident
+// block) over a horizontal slice of the table and the per-predicate counts
+// are summed. Counts are integers, so the sum is exact in any order and
+// results are bit-identical to Annotator::BatchCount on every kernel path.
+// Work is dispatched onto the shared util::ThreadPool rather than ad-hoc
+// threads; ParallelConfig::simd picks the kernel set for this annotator.
 #ifndef WARPER_STORAGE_PARALLEL_ANNOTATOR_H_
 #define WARPER_STORAGE_PARALLEL_ANNOTATOR_H_
 
