@@ -17,6 +17,7 @@
 
 #include "eval/experiment.h"
 #include "storage/datasets.h"
+#include "util/errlog.h"
 #include "util/logging.h"
 #include "util/metrics.h"
 #include "util/report.h"
@@ -229,11 +230,31 @@ class JsonWriter {
   bool pending_key_ = false;
 };
 
+// p-quantile of a latency/duration sample (µs) through
+// util::Histogram::Quantile on 2%-geometric buckets — the same interpolation
+// the registry histograms use, replacing the sort-and-index percentile math
+// the serving benches each hand-rolled.
+inline double LatencyQuantile(const std::vector<double>& xs_us, double p) {
+  if (xs_us.empty()) return 0.0;
+  std::vector<double> bounds;
+  for (double b = 0.5; b < 2e9; b *= 1.02) bounds.push_back(b);
+  util::Histogram hist(std::move(bounds));
+  for (double x : xs_us) hist.Observe(x);
+  return hist.Quantile(p);
+}
+
 // Attaches the process-wide metric snapshot under a "metrics" key, indented
 // to the writer's current depth. Call while still inside the root object.
 inline void AttachMetricsSnapshot(JsonWriter* w) {
   w->Key("metrics").Raw(
       util::Metrics().Snapshot().ToJson(static_cast<int>(w->Depth()) * 2));
+}
+
+// Attaches every registered error log (per-template running stats) under an
+// "errlog" key — the same document WARPER_ERRLOG dumps at exit.
+inline void AttachErrLogSnapshot(JsonWriter* w) {
+  w->Key("errlog").Raw(
+      util::ErrLogsToJson(static_cast<int>(w->Depth()) * 2));
 }
 
 // Mirrors the document on stdout and persists it for the CI perf

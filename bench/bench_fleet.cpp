@@ -45,13 +45,6 @@ struct CurvePoint {
   double median_tenant_p99_us = 0.0;
 };
 
-double Percentile(std::vector<double>* xs, double p) {
-  if (xs->empty()) return 0.0;
-  std::sort(xs->begin(), xs->end());
-  size_t idx = static_cast<size_t>(p * static_cast<double>(xs->size() - 1));
-  return (*xs)[idx];
-}
-
 serve::EstimateRequest Req(uint64_t tenant_id,
                            const std::vector<double>& features) {
   serve::EstimateRequest request;
@@ -107,11 +100,11 @@ CurvePoint RunPoint(serve::ServingFleet* fleet, size_t tenants,
       fleet->Estimate(Req(t, features[i % features.size()])).ValueOrDie();
       latencies_us.push_back(one.Seconds() * 1e6);
     }
-    tenant_p99s[t] = Percentile(&latencies_us, 0.99);
+    tenant_p99s[t] = LatencyQuantile(latencies_us, 0.99);
   }
-  std::vector<double> sorted = tenant_p99s;
-  point.worst_tenant_p99_us = Percentile(&sorted, 1.0);
-  point.median_tenant_p99_us = Percentile(&sorted, 0.5);
+  point.worst_tenant_p99_us =
+      *std::max_element(tenant_p99s.begin(), tenant_p99s.end());
+  point.median_tenant_p99_us = LatencyQuantile(tenant_p99s, 0.5);
   return point;
 }
 
@@ -268,7 +261,7 @@ int main() {
   stop_traffic.store(true);
   prober.join();
   const uint64_t publishes = fleet.Epoch() - epoch_before;
-  const double under_swap_p99 = Percentile(&under_swap_us, 0.99);
+  const double under_swap_p99 = LatencyQuantile(under_swap_us, 0.99);
   fleet.Stop();
 
   JsonWriter w;

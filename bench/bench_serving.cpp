@@ -45,13 +45,6 @@ struct SwapStats {
   double max_estimate_us = 0.0;
 };
 
-double Percentile(std::vector<double>* xs, double p) {
-  if (xs->empty()) return 0.0;
-  std::sort(xs->begin(), xs->end());
-  size_t idx = static_cast<size_t>(p * static_cast<double>(xs->size() - 1));
-  return (*xs)[idx];
-}
-
 std::vector<std::vector<double>> BenchFeatures(const storage::Table& table,
                                                const ce::SingleTableDomain& domain,
                                                size_t n, util::Rng* rng) {
@@ -129,8 +122,8 @@ SeriesPoint RunSeries(const serve::SnapshotStore& store, size_t batch_max,
     batcher.Estimate(Req(features[i % features.size()])).ValueOrDie();
     latencies_us.push_back(one.Seconds() * 1e6);
   }
-  point.p50_us = Percentile(&latencies_us, 0.50);
-  point.p99_us = Percentile(&latencies_us, 0.99);
+  point.p50_us = LatencyQuantile(latencies_us, 0.50);
+  point.p99_us = LatencyQuantile(latencies_us, 0.99);
   batcher.Stop();
   return point;
 }
@@ -176,7 +169,7 @@ SwapStats RunSwapStorm(serve::SnapshotStore* store,
       estimate_us.empty()
           ? 0.0
           : *std::max_element(estimate_us.begin(), estimate_us.end());
-  stats.p99_estimate_us = Percentile(&estimate_us, 0.99);
+  stats.p99_estimate_us = LatencyQuantile(estimate_us, 0.99);
   return stats;
 }
 

@@ -1,0 +1,380 @@
+// Targeted vs global adaptation under a LOCALIZED workload drift: only the
+// "B" predicate templates (pollution-column ranges) change their constant
+// distribution post-drift while the "A" templates (calendar ranges) stay
+// healthy. Per-template error tracking (TrackerConfig.targeted) should
+// concentrate the pick/annotate budget n_p on the unhealthy templates and
+// match the global trigger's GMQ recovery at a fraction of the annotation
+// cost c_A. Emits BENCH_targeted.json.
+//
+// Three Figure-2-style drift schedules: a one-shot permanent shift, a
+// periodic on/off shift, and a linear ramp. Both arms of each schedule run
+// the SAME pregenerated arrival stream, the same seeds and the same
+// initial model clone — the only difference is config.tracker.targeted.
+//
+// `--check` turns the bench into a CI gate: targeted must reach a final
+// post-drift GMQ within 5% of global on every schedule while annotating at
+// least 25% fewer rows in total.
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "ce/lm.h"
+#include "ce/metrics.h"
+#include "core/template_tracker.h"
+#include "core/warper.h"
+#include "storage/annotator.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+
+namespace warper::bench {
+namespace {
+
+// A template = a fixed set of constrained columns; instances differ only in
+// their constants. The A templates stay distributionally stable for the
+// whole run; the B templates' range centers jump from the low region of
+// their columns to the high region when the schedule says "drifted".
+const std::vector<std::vector<size_t>> kTemplatesA = {{1, 2}, {2}};
+const std::vector<std::vector<size_t>> kTemplatesB = {{3, 4}, {3}};
+
+storage::RangePredicate TemplateInstance(const storage::Table& table,
+                                         const std::vector<size_t>& cols,
+                                         double center_lo, double center_hi,
+                                         double width_frac, util::Rng* rng) {
+  storage::RangePredicate pred = storage::RangePredicate::FullRange(table);
+  for (size_t c : cols) {
+    double lo = table.column(c).Min();
+    double hi = table.column(c).Max();
+    double span = hi - lo;
+    double center = lo + rng->Uniform(center_lo, center_hi) * span;
+    double width = width_frac * span;
+    pred.low[c] = std::max(lo, center - width / 2);
+    pred.high[c] = std::min(hi, center + width / 2);
+  }
+  return pred;
+}
+
+// intensity ∈ [0, 1]: 0 = pre-drift constants, 1 = fully shifted. The B
+// center window slides from [0.05, 0.40] up to [0.55, 0.90].
+storage::RangePredicate DrawQuery(const storage::Table& table, bool from_b,
+                                  double intensity, util::Rng* rng) {
+  if (!from_b) {
+    const auto& cols = kTemplatesA[static_cast<size_t>(
+        rng->UniformInt(0, static_cast<int64_t>(kTemplatesA.size()) - 1))];
+    return TemplateInstance(table, cols, 0.10, 0.80, 0.35, rng);
+  }
+  const auto& cols = kTemplatesB[static_cast<size_t>(
+      rng->UniformInt(0, static_cast<int64_t>(kTemplatesB.size()) - 1))];
+  double shift = 0.5 * intensity;
+  return TemplateInstance(table, cols, 0.05 + shift, 0.40 + shift, 0.25, rng);
+}
+
+struct StepArrivals {
+  std::vector<ce::LabeledExample> queries;  // cardinality = -1 ⇒ unlabeled
+};
+
+struct Schedule {
+  std::string name;
+  // Drift intensity for arrivals of step `s` (warmup steps are always 0).
+  std::function<double(size_t)> intensity;
+};
+
+struct ScheduleScale {
+  size_t warmup_steps = 3;
+  size_t drift_steps = 6;
+  size_t labeled_per_step = 16;    // half A, half B
+  size_t unlabeled_per_step = 96;  // half A, half B
+  size_t n_p = 40;
+  size_t test_per_group = 40;
+};
+
+// The full pregenerated input of one schedule, identical across both arms.
+struct ScheduleInputs {
+  std::vector<StepArrivals> steps;
+  std::vector<ce::LabeledExample> test_set;  // post-drift mixture
+};
+
+ScheduleInputs BuildInputs(const storage::Table& table,
+                           const storage::Annotator& annotator,
+                           const ce::SingleTableDomain& domain,
+                           const Schedule& schedule,
+                           const ScheduleScale& scale, uint64_t seed) {
+  util::Rng rng(seed);
+  ScheduleInputs inputs;
+  const size_t total_steps = scale.warmup_steps + scale.drift_steps;
+  for (size_t s = 0; s < total_steps; ++s) {
+    double intensity =
+        s < scale.warmup_steps ? 0.0 : schedule.intensity(s - scale.warmup_steps);
+    StepArrivals step;
+    std::vector<storage::RangePredicate> labeled_preds;
+    for (size_t i = 0; i < scale.labeled_per_step; ++i) {
+      labeled_preds.push_back(
+          DrawQuery(table, /*from_b=*/i % 2 == 0, intensity, &rng));
+    }
+    std::vector<int64_t> counts = annotator.BatchCount(labeled_preds);
+    for (size_t i = 0; i < labeled_preds.size(); ++i) {
+      step.queries.push_back(
+          {domain.FeaturizePredicate(labeled_preds[i]), counts[i]});
+    }
+    for (size_t i = 0; i < scale.unlabeled_per_step; ++i) {
+      storage::RangePredicate pred =
+          DrawQuery(table, /*from_b=*/i % 2 == 0, intensity, &rng);
+      step.queries.push_back({domain.FeaturizePredicate(pred), -1});
+    }
+    inputs.steps.push_back(std::move(step));
+  }
+  // Post-drift evaluation mixture: stable A plus fully-shifted B.
+  std::vector<storage::RangePredicate> test_preds;
+  for (size_t i = 0; i < scale.test_per_group; ++i) {
+    test_preds.push_back(DrawQuery(table, /*from_b=*/false, 0.0, &rng));
+    test_preds.push_back(DrawQuery(table, /*from_b=*/true, 1.0, &rng));
+  }
+  std::vector<int64_t> counts = annotator.BatchCount(test_preds);
+  for (size_t i = 0; i < test_preds.size(); ++i) {
+    inputs.test_set.push_back(
+        {domain.FeaturizePredicate(test_preds[i]), counts[i]});
+  }
+  return inputs;
+}
+
+struct ArmResult {
+  double gmq_initial = 0.0;
+  double gmq_final = 0.0;
+  std::vector<double> gmq_curve;
+  size_t annotated_total = 0;
+  size_t targeted_invocations = 0;
+  size_t targeted_skips = 0;
+  size_t unhealthy_templates_peak = 0;
+};
+
+core::WarperConfig ArmConfig(bool targeted, const std::string& export_name,
+                             const ScheduleScale& scale) {
+  core::WarperConfig config;
+  config.n_p = scale.n_p;
+  config.n_i = 60;
+  // Keep the arrival stream firmly in c3 territory: one step's arrivals
+  // already exceed γ (so c2 never fires) while the labeled trickle stays
+  // under it (labels inadequate ⇒ c3).
+  config.gamma = scale.labeled_per_step * 4;
+  config.tracker.targeted = targeted;
+  config.tracker.template_metrics = true;
+  config.tracker.export_name = export_name;
+  return config;
+}
+
+ArmResult RunArm(const ce::SingleTableDomain& domain,
+                 const ce::CardinalityEstimator& trained,
+                 const std::vector<ce::LabeledExample>& train_corpus,
+                 const ScheduleInputs& inputs, const ScheduleScale& scale,
+                 bool targeted, const std::string& export_name) {
+  std::unique_ptr<ce::CardinalityEstimator> model = trained.Clone();
+  WARPER_CHECK(model != nullptr);
+  core::Warper warper(&domain, model.get(),
+                      ArmConfig(targeted, export_name, scale));
+  WARPER_CHECK(warper.Initialize(train_corpus).ok());
+
+  ArmResult arm;
+  arm.gmq_initial = ce::ModelGmq(*model, inputs.test_set);
+  for (const StepArrivals& step : inputs.steps) {
+    core::Warper::Invocation invocation;
+    invocation.new_queries = step.queries;
+    invocation.annotation_budget = scale.n_p;
+    Result<core::Warper::InvocationResult> invoked =
+        warper.Invoke(invocation);
+    WARPER_CHECK_MSG(invoked.ok(), invoked.status().ToString());
+    const core::Warper::InvocationResult& result = invoked.ValueOrDie();
+    arm.annotated_total += result.annotated;
+    if (result.targeted) ++arm.targeted_invocations;
+    if (result.targeted_skip) ++arm.targeted_skips;
+    arm.unhealthy_templates_peak =
+        std::max(arm.unhealthy_templates_peak, result.unhealthy_templates);
+    arm.gmq_curve.push_back(ce::ModelGmq(*model, inputs.test_set));
+  }
+  arm.gmq_final = arm.gmq_curve.back();
+  return arm;
+}
+
+void EmitArm(JsonWriter* w, const char* key, const ArmResult& arm) {
+  w->Key(key).BeginObject();
+  w->Key("gmq_initial").Value(arm.gmq_initial, 3);
+  w->Key("gmq_final").Value(arm.gmq_final, 3);
+  w->Key("annotated_total").Value(static_cast<uint64_t>(arm.annotated_total));
+  w->Key("targeted_invocations")
+      .Value(static_cast<uint64_t>(arm.targeted_invocations));
+  w->Key("targeted_skips").Value(static_cast<uint64_t>(arm.targeted_skips));
+  w->Key("unhealthy_templates_peak")
+      .Value(static_cast<uint64_t>(arm.unhealthy_templates_peak));
+  w->Key("gmq_curve").BeginArray();
+  for (double g : arm.gmq_curve) w->Value(g, 3);
+  w->EndArray();
+  w->EndObject();
+}
+
+}  // namespace
+}  // namespace warper::bench
+
+int main(int argc, char** argv) {
+  using namespace warper;
+  using namespace warper::bench;
+  BenchInit();
+  bool check = false;
+  std::string out_path = "BENCH_targeted.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check") == 0) {
+      check = true;
+    } else {
+      out_path = argv[i];
+    }
+  }
+  const bool fast = FastMode();
+
+  ScheduleScale scale;
+  size_t table_rows = 20000;
+  size_t train_per_group = 300;
+  if (fast) {
+    table_rows = 8000;
+    train_per_group = 150;
+    scale.warmup_steps = 2;
+    scale.drift_steps = 4;
+    scale.labeled_per_step = 16;
+    scale.unlabeled_per_step = 64;
+    scale.n_p = 32;
+    scale.test_per_group = 30;
+  }
+
+  util::PrintBanner(std::cout,
+                    "Targeted vs global adaptation under localized drift");
+
+  storage::Table table = storage::MakePrsa(table_rows, /*seed=*/17);
+  storage::Annotator annotator(&table);
+  ce::SingleTableDomain domain(&annotator);
+
+  // Training corpus: pre-drift constants for BOTH template groups, so every
+  // template starts healthy.
+  std::vector<ce::LabeledExample> train_corpus;
+  {
+    util::Rng rng(23);
+    std::vector<storage::RangePredicate> preds;
+    for (size_t i = 0; i < 2 * train_per_group; ++i) {
+      preds.push_back(DrawQuery(table, /*from_b=*/i % 2 == 0, 0.0, &rng));
+    }
+    std::vector<int64_t> counts = annotator.BatchCount(preds);
+    for (size_t i = 0; i < preds.size(); ++i) {
+      train_corpus.push_back({domain.FeaturizePredicate(preds[i]), counts[i]});
+    }
+  }
+  ce::LmMlp trained(domain.FeatureDim(), ce::LmMlpConfig{}, /*seed=*/17);
+  {
+    nn::Matrix x;
+    std::vector<double> y;
+    ce::ExamplesToMatrix(train_corpus, &x, &y);
+    trained.Train(x, y);
+  }
+
+  std::vector<Schedule> schedules = {
+      {"oneshot", [](size_t) { return 1.0; }},
+      {"periodic", [](size_t s) { return s % 2 == 0 ? 1.0 : 0.0; }},
+      {"ramp",
+       [&scale](size_t s) {
+         return static_cast<double>(s + 1) /
+                static_cast<double>(scale.drift_steps);
+       }},
+  };
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("bench").Value("targeted");
+  w.Key("fast").Value(fast);
+  w.Key("dataset").Value("PRSA");
+  w.Key("n_p").Value(static_cast<uint64_t>(scale.n_p));
+  w.Key("warmup_steps").Value(static_cast<uint64_t>(scale.warmup_steps));
+  w.Key("drift_steps").Value(static_cast<uint64_t>(scale.drift_steps));
+
+  size_t annotated_global = 0;
+  size_t annotated_targeted = 0;
+  bool recovery_ok = true;
+  std::string recovery_detail;
+
+  w.Key("schedules").BeginArray();
+  for (size_t si = 0; si < schedules.size(); ++si) {
+    const Schedule& schedule = schedules[si];
+    ScheduleInputs inputs = BuildInputs(table, annotator, domain, schedule,
+                                        scale, /*seed=*/101 + si);
+    ArmResult global = RunArm(domain, trained, train_corpus, inputs, scale,
+                              /*targeted=*/false,
+                              "global-" + schedule.name);
+    ArmResult targeted = RunArm(domain, trained, train_corpus, inputs, scale,
+                                /*targeted=*/true,
+                                "targeted-" + schedule.name);
+    annotated_global += global.annotated_total;
+    annotated_targeted += targeted.annotated_total;
+    double gmq_ratio =
+        global.gmq_final > 0.0 ? targeted.gmq_final / global.gmq_final : 1.0;
+    if (gmq_ratio > 1.05) {
+      recovery_ok = false;
+      recovery_detail += schedule.name + " gmq ratio " +
+                         util::FormatDouble(gmq_ratio, 3) + "; ";
+    }
+
+    std::cout << schedule.name << ": global gmq "
+              << util::FormatDouble(global.gmq_initial, 2) << " -> "
+              << util::FormatDouble(global.gmq_final, 2) << " ("
+              << global.annotated_total << " annotated), targeted "
+              << util::FormatDouble(targeted.gmq_initial, 2) << " -> "
+              << util::FormatDouble(targeted.gmq_final, 2) << " ("
+              << targeted.annotated_total << " annotated, "
+              << targeted.targeted_invocations << " targeted passes, "
+              << targeted.targeted_skips << " skips)\n";
+
+    w.BeginObject();
+    w.Key("name").Value(schedule.name);
+    EmitArm(&w, "global", global);
+    EmitArm(&w, "targeted", targeted);
+    w.Key("gmq_ratio").Value(gmq_ratio, 3);
+    w.Key("annotated_ratio")
+        .Value(global.annotated_total > 0
+                   ? static_cast<double>(targeted.annotated_total) /
+                         static_cast<double>(global.annotated_total)
+                   : 1.0,
+               3);
+    w.EndObject();
+  }
+  w.EndArray();
+
+  double annotated_ratio =
+      annotated_global > 0 ? static_cast<double>(annotated_targeted) /
+                                 static_cast<double>(annotated_global)
+                           : 1.0;
+  w.Key("annotated_total_global")
+      .Value(static_cast<uint64_t>(annotated_global));
+  w.Key("annotated_total_targeted")
+      .Value(static_cast<uint64_t>(annotated_targeted));
+  w.Key("annotated_ratio").Value(annotated_ratio, 3);
+  w.Key("recovery_ok").Value(recovery_ok);
+  AttachErrLogSnapshot(&w);
+  AttachMetricsSnapshot(&w);
+  w.EndObject();
+  EmitJson(w, out_path);
+
+  std::cout << "total annotated: global " << annotated_global << ", targeted "
+            << annotated_targeted << " (ratio "
+            << util::FormatDouble(annotated_ratio, 3) << ")\n";
+
+  if (check) {
+    if (!recovery_ok) {
+      std::cerr << "CHECK FAILED: targeted final GMQ worse than 1.05x "
+                   "global: "
+                << recovery_detail << "\n";
+      return 1;
+    }
+    if (annotated_ratio > 0.75) {
+      std::cerr << "CHECK FAILED: targeted annotated "
+                << util::FormatDouble(annotated_ratio, 3)
+                << " of global rows (gate: <= 0.75)\n";
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -30,3 +30,4 @@ warper_bench(bench_parallel)
 warper_bench(bench_kernels)
 warper_bench(bench_serving)
 warper_bench(bench_fleet)
+warper_bench(bench_targeted)

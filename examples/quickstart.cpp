@@ -17,6 +17,9 @@
 // Set WARPER_TRACE=/tmp/quickstart_trace.json to capture every phase of
 // every invocation as a Chrome trace-event file (open in chrome://tracing
 // or https://ui.perfetto.dev; see README "Observability").
+//
+// Set WARPER_ERRLOG=/tmp/quickstart_errlog.json to dump the per-template
+// error log (every query template's running q-error stats) as JSON at exit.
 #include <iostream>
 
 #include "ce/lm.h"
@@ -97,6 +100,9 @@ int main() {
   core::WarperConfig config;
   config.n_p = 200;
   config.gamma = 150;
+  // Publish per-template error gauges (warper.template.<fp>.*) so the
+  // offender dump below has live health verdicts to report.
+  config.tracker.template_metrics = true;
   if (Status st = config.Validate(); !st.ok()) {
     std::cerr << "bad config: " << st.ToString() << "\n";
     return 1;
@@ -175,6 +181,13 @@ int main() {
               << util::FormatDouble(p.wall_seconds * 1000.0, 2) << " / "
               << util::FormatDouble(p.cpu_seconds * 1000.0, 2) << "\n";
   }
+
+  // Which query templates hurt the most across the whole drift walk? The
+  // tracker fingerprints each labeled query by its predicate structure
+  // (columns + operator kinds, constants excluded) and keeps running
+  // q-error stats per template.
+  std::cout << "\nworst query templates by error EWMA:\n"
+            << warper.tracker().OffendersTextDump(5);
 
   std::cout << "\nDone. Lower GMQ is better (1.0 = perfect estimates).\n";
   return 0;

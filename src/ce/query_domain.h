@@ -33,6 +33,13 @@ class QueryDomain {
   // Width of the canonical feature vector.
   virtual size_t FeatureDim() const = 0;
 
+  // Leading categorical features of the canonical layout (StarJoinDomain's
+  // join bits); everything after them is {low, high} bound pairs. The
+  // predicate-template fingerprinter (core::TemplateFingerprint) reads this
+  // to hash structure (which bits/columns are constrained, and how) without
+  // hashing constants.
+  virtual size_t LeadingCategoricalFeatures() const { return 0; }
+
   // Repairs an arbitrary real vector into the features of a valid query
   // (clamp into domain, fix inverted bounds, snap join bits). Idempotent on
   // already-valid features.
@@ -113,6 +120,7 @@ class StarJoinDomain : public QueryDomain {
 
   std::string Name() const override;
   size_t FeatureDim() const override;
+  size_t LeadingCategoricalFeatures() const override { return num_facts(); }
   std::vector<double> CanonicalizeFeatures(
       const std::vector<double>& features) const override;
   int64_t Annotate(const std::vector<double>& features) const override;

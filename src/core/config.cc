@@ -60,6 +60,26 @@ Status ServeConfig::Validate() const {
   return Status::OK();
 }
 
+Status TrackerConfig::Validate() const {
+  if (!(ewma_alpha > 0.0) || ewma_alpha > 1.0) {
+    return BadKnob("tracker.ewma_alpha must be in (0, 1]");
+  }
+  if (!(unhealthy_threshold > 0.0) || !std::isfinite(unhealthy_threshold)) {
+    return BadKnob("tracker.unhealthy_threshold must be positive and finite");
+  }
+  if (min_count == 0) return BadKnob("tracker.min_count must be > 0");
+  if (hash_bits == 0 || hash_bits > 64) {
+    return BadKnob("tracker.hash_bits must be in [1, 64]");
+  }
+  if (!(min_targeted_fraction > 0.0) || min_targeted_fraction > 1.0) {
+    return BadKnob("tracker.min_targeted_fraction must be in (0, 1]");
+  }
+  if (targeted && !enabled) {
+    return BadKnob("tracker.targeted requires tracker.enabled");
+  }
+  return Status::OK();
+}
+
 Status WarperConfig::Validate() const {
   if (hidden_units == 0) return BadKnob("hidden_units must be > 0");
   if (hidden_layers == 0) return BadKnob("hidden_layers must be > 0");
@@ -101,6 +121,7 @@ Status WarperConfig::Validate() const {
                                    parallel_status.message());
   }
   WARPER_RETURN_NOT_OK(serve.Validate());
+  WARPER_RETURN_NOT_OK(tracker.Validate());
   return Status::OK();
 }
 

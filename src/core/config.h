@@ -4,6 +4,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -73,6 +74,42 @@ struct ServeConfig {
   // Every knob above, checked once: serve entry points
   // (EstimationServer::Start, ServingFleet::Start) call this instead of
   // re-checking ad hoc, mirroring WarperConfig::Validate.
+  Status Validate() const;
+};
+
+// Knobs for the per-template error tracker (core::TemplateTracker): the
+// pg_track_optimizer-style running stats keyed by predicate-template
+// fingerprint, and the targeted-adaptation feedback loop they drive.
+struct TrackerConfig {
+  // Master switch; off costs nothing but also disables targeting.
+  bool enabled = true;
+  // EWMA factor of the per-template time-decayed error.
+  double ewma_alpha = 0.2;
+  // A template is unhealthy once its EWMA |ln q-error| exceeds this with at
+  // least `min_count` observations. ln 2 ≈ 0.693: the model is off by more
+  // than 2× on that template's recent queries.
+  double unhealthy_threshold = 0.6931471805599453;
+  size_t min_count = 8;
+  // Fingerprint width in bits (1..64). Narrow widths force distinct
+  // templates to share stats buckets — a memory/e resolution trade tested
+  // explicitly; 64 in production.
+  size_t hash_bits = 64;
+  // The feedback loop: per-template drift scores replace the single global
+  // trigger. Picks are filtered to unhealthy templates, n_p scales with the
+  // unhealthy traffic share, and an all-healthy tracker vetoes a purely
+  // workload-driven δ_m trigger (data-telemetry c1 triggers are never
+  // vetoed). Off by default — global Warper behavior is the baseline.
+  bool targeted = false;
+  // Floor on the targeted n_p scale factor, so a tiny unhealthy share
+  // still gets a usable pick budget.
+  double min_targeted_fraction = 0.05;
+  // Publish per-template metric instances (warper.template.<fp>.*). Off by
+  // default to keep the registry small; benches and the quickstart opt in.
+  bool template_metrics = false;
+  // Name under which the tracker's ErrorLog registers for the
+  // WARPER_ERRLOG export ("" = not exported).
+  std::string export_name = "warper";
+
   Status Validate() const;
 };
 
@@ -157,6 +194,10 @@ struct WarperConfig {
 
   // --- Serving (src/serve) — see ServeConfig above.
   ServeConfig serve;
+
+  // --- Per-template error tracking & targeted adaptation — see
+  // TrackerConfig above.
+  TrackerConfig tracker;
 
   uint64_t seed = 42;
 

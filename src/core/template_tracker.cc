@@ -1,0 +1,238 @@
+#include "core/template_tracker.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "ce/metrics.h"
+#include "util/logging.h"
+
+namespace warper::core {
+namespace {
+
+// Canonical featurizations emit exact 0.0 / 1.0 for unconstrained bounds
+// (storage::Featurize divides by the column span); anything inside the unit
+// interval by more than this is a real constraint.
+constexpr double kBoundTol = 1e-9;
+
+constexpr uint64_t kFnvOffset = 0xCBF29CE484222325ULL;
+constexpr uint64_t kFnvPrime = 0x100000001B3ULL;
+
+uint64_t FnvMix(uint64_t h, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFFULL;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+// Operator kind of one column, from its normalized bounds.
+enum class OpKind : uint64_t {
+  kUnconstrained = 0,
+  kEquality = 1,
+  kLowerOnly = 2,
+  kUpperOnly = 3,
+  kRange = 4,
+};
+
+OpKind ClassifyBounds(double low, double high) {
+  bool low_constrained = low > kBoundTol;
+  bool high_constrained = high < 1.0 - kBoundTol;
+  if (!low_constrained && !high_constrained) return OpKind::kUnconstrained;
+  if (std::abs(high - low) <= kBoundTol) return OpKind::kEquality;
+  if (low_constrained && high_constrained) return OpKind::kRange;
+  return low_constrained ? OpKind::kLowerOnly : OpKind::kUpperOnly;
+}
+
+uint64_t HashString(const std::string& s) {
+  uint64_t h = kFnvOffset;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace
+
+uint64_t TemplateFingerprint(const std::vector<double>& features,
+                             size_t leading_bits, uint64_t salt,
+                             size_t hash_bits) {
+  uint64_t h = FnvMix(kFnvOffset, salt);
+  h = FnvMix(h, static_cast<uint64_t>(features.size()));
+  // Join bits are structure outright: which fact tables participate.
+  for (size_t i = 0; i < leading_bits && i < features.size(); ++i) {
+    if (features[i] > 0.5) h = FnvMix(h, static_cast<uint64_t>(i) + 1);
+  }
+  // Bound pairs: hash (column, op kind) for constrained columns only. The
+  // bound VALUES — the constants — never enter the hash.
+  size_t rest = features.size() - std::min(features.size(), leading_bits);
+  size_t cols = rest / 2;
+  for (size_t c = 0; c < cols; ++c) {
+    double low = features[leading_bits + c];
+    double high = features[leading_bits + cols + c];
+    OpKind kind = ClassifyBounds(low, high);
+    if (kind == OpKind::kUnconstrained) continue;
+    h = FnvMix(h, (static_cast<uint64_t>(c) << 3) |
+                      static_cast<uint64_t>(kind));
+  }
+  if (hash_bits >= 64) return h;
+  // Fold the discarded high bits down so narrow widths still use the whole
+  // hash, then mask.
+  uint64_t mask = (1ULL << hash_bits) - 1;
+  return ((h >> hash_bits) ^ h) & mask;
+}
+
+std::string TemplateMetricName(const char* family, uint64_t fingerprint) {
+  static constexpr char kPrefix[] = "warper.template.";
+  std::string name(family);
+  WARPER_CHECK_MSG(name.rfind(kPrefix, 0) == 0,
+                   "TemplateMetricName family must start with "
+                   "'warper.template.'");
+  char hex[19];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(fingerprint));
+  size_t prefix_len = sizeof(kPrefix) - 1;
+  return name.substr(0, prefix_len) + hex + "." + name.substr(prefix_len);
+}
+
+TemplateTracker::TemplateTracker(const ce::QueryDomain* domain,
+                                 const TrackerConfig& config)
+    : domain_(domain), config_(config) {
+  WARPER_CHECK(domain != nullptr);
+  salt_ = HashString(domain->Name()) ^
+          (static_cast<uint64_t>(domain->FeatureDim()) << 17);
+  util::ErrorLogOptions options;
+  options.ewma_alpha = config_.ewma_alpha;
+  log_ = util::NewRegisteredErrorLog(
+      config_.enabled ? config_.export_name : std::string(), options);
+}
+
+uint64_t TemplateTracker::Fingerprint(
+    const std::vector<double>& features) const {
+  return TemplateFingerprint(features, domain_->LeadingCategoricalFeatures(),
+                             salt_, config_.hash_bits);
+}
+
+void TemplateTracker::Observe(const std::vector<double>& features,
+                              double estimated, double actual) {
+  if (!config_.enabled) return;
+  uint64_t fp = Fingerprint(features);
+  double err = std::log(ce::QError(estimated, actual));
+  double cost = std::max(1.0, actual);
+  log_->Record(fp, err, cost, tick());
+  if (config_.template_metrics) {
+    util::RunningErrorStats stats;
+    log_->Lookup(fp, &stats);
+    TemplateMetrics& m = MetricsFor(fp);
+    m.err_ewma->Set(stats.ewma_err);
+    m.obs->Increment();
+  }
+}
+
+TemplateTracker::TemplateMetrics& TemplateTracker::MetricsFor(
+    uint64_t fingerprint) {
+  util::MutexLock lock(&metrics_mu_);
+  TemplateMetrics& m = metric_handles_[fingerprint];
+  if (m.err_ewma == nullptr) {
+    m.err_ewma = util::Metrics().GetGauge(
+        TemplateMetricName("warper.template.err_ewma", fingerprint));
+    m.obs = util::Metrics().GetCounter(
+        TemplateMetricName("warper.template.obs", fingerprint));
+  }
+  return m;
+}
+
+void TemplateTracker::InvalidateHistory() { log_->Clear(); }
+
+double TemplateTracker::DriftScore(
+    const util::RunningErrorStats& stats) const {
+  if (stats.count < config_.min_count) return 0.0;
+  return stats.ewma_err / config_.unhealthy_threshold;
+}
+
+bool TemplateTracker::IsUnhealthy(uint64_t fingerprint) const {
+  util::RunningErrorStats stats;
+  if (!log_->Lookup(fingerprint, &stats)) return false;
+  return DriftScore(stats) > 1.0;
+}
+
+bool TemplateTracker::HasVerdict() const {
+  for (const util::ErrorLog::Entry& e : log_->Snapshot()) {
+    if (e.stats.count >= config_.min_count) return true;
+  }
+  return false;
+}
+
+bool TemplateTracker::AllHealthy() const {
+  bool judged = false;
+  for (const util::ErrorLog::Entry& e : log_->Snapshot()) {
+    if (e.stats.count < config_.min_count) continue;
+    judged = true;
+    if (DriftScore(e.stats) > 1.0) return false;
+  }
+  return judged;
+}
+
+double TemplateTracker::UnhealthyShare() const {
+  uint64_t total = 0;
+  uint64_t unhealthy = 0;
+  for (const util::ErrorLog::Entry& e : log_->Snapshot()) {
+    total += e.stats.count;
+    if (DriftScore(e.stats) > 1.0) unhealthy += e.stats.count;
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(unhealthy) /
+                          static_cast<double>(total);
+}
+
+size_t TemplateTracker::UnhealthyCount() const {
+  size_t n = 0;
+  for (const util::ErrorLog::Entry& e : log_->Snapshot()) {
+    if (DriftScore(e.stats) > 1.0) ++n;
+  }
+  return n;
+}
+
+std::unordered_set<uint64_t> TemplateTracker::UnhealthySet() const {
+  std::unordered_set<uint64_t> out;
+  for (const util::ErrorLog::Entry& e : log_->Snapshot()) {
+    if (DriftScore(e.stats) > 1.0) out.insert(e.key);
+  }
+  return out;
+}
+
+std::vector<TemplateTracker::Offender> TemplateTracker::TopOffenders(
+    size_t k) const {
+  std::vector<Offender> out;
+  for (const util::ErrorLog::Entry& e : log_->TopOffenders(k)) {
+    out.push_back({e.key, e.stats, DriftScore(e.stats)});
+  }
+  return out;
+}
+
+std::string TemplateTracker::OffendersTextDump(size_t k) const {
+  std::ostringstream os;
+  os << "top " << k << " offender template(s) of " << log_->NumKeys()
+     << " tracked (" << log_->Observations() << " labeled estimates):\n";
+  char line[160];
+  std::snprintf(line, sizeof(line), "  %-18s %6s %7s %7s %7s %7s %6s\n",
+                "template", "count", "mean", "ewma", "score", "cost-wt",
+                "seen");
+  os << line;
+  for (const Offender& o : TopOffenders(k)) {
+    std::snprintf(line, sizeof(line),
+                  "  %016llx %6llu %7.3f %7.3f %7.2f %7.3f %6llu%s\n",
+                  static_cast<unsigned long long>(o.fingerprint),
+                  static_cast<unsigned long long>(o.stats.count),
+                  o.stats.MeanErr(), o.stats.ewma_err, o.drift_score,
+                  o.stats.CostWeightedErr(),
+                  static_cast<unsigned long long>(o.stats.last_seen_tick),
+                  o.drift_score > 1.0 ? "  UNHEALTHY" : "");
+    os << line;
+  }
+  return os.str();
+}
+
+}  // namespace warper::core

@@ -1,0 +1,130 @@
+// Per-template error tracking: a predicate-structure fingerprinter plus a
+// util::ErrorLog of running |ln q-error| stats per template, and the health
+// verdicts that drive targeted adaptation (TrackerConfig.targeted).
+//
+// A template is what pg_track_optimizer keys its rstats by and what AQO's
+// hash.c computes: the query's *structure* — table/domain, the set of
+// constrained columns, and each column's operator kind — with the constants
+// excluded. Two predicates that differ only in their bound values share a
+// fingerprint, so a localized workload shift (new constants, same shapes —
+// or new shapes entirely) shows up as a handful of unhealthy fingerprints
+// instead of one global δ_m blur.
+//
+// Thread safety: Observe/TopOffenders/health reads go through the sharded
+// ErrorLog and atomics — safe from the adaptation thread and serving-path
+// feedback (EstimationServer::ReportObservation) concurrently.
+#ifndef WARPER_CORE_TEMPLATE_TRACKER_H_
+#define WARPER_CORE_TEMPLATE_TRACKER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "ce/query_domain.h"
+#include "core/config.h"
+#include "util/errlog.h"
+#include "util/metrics.h"
+#include "util/mutex.h"
+
+namespace warper::core {
+
+// Structural fingerprint of one canonical feature vector. The layout is
+// `leading_bits` categorical features (join bits) followed by {low, high}
+// pairs normalized to [0, 1]; a column is constrained iff low > 0 or
+// high < 1, with the operator kind read from which side is constrained
+// (equality when low == high). `salt` separates tables/domains; the result
+// is masked to the low `hash_bits` bits (64 = full width).
+uint64_t TemplateFingerprint(const std::vector<double>& features,
+                             size_t leading_bits, uint64_t salt,
+                             size_t hash_bits = 64);
+
+// Instance name of a per-template metric: the fingerprint in hex is
+// inserted after the "warper.template." prefix —
+// TemplateMetricName("warper.template.err_ewma", 0x2a) →
+// "warper.template.000000000000002a.err_ewma" — so the FAMILY literal at
+// the call site is what tools/metric_names.txt lists (the same contract as
+// serve::TenantMetricName).
+std::string TemplateMetricName(const char* family, uint64_t fingerprint);
+
+class TemplateTracker {
+ public:
+  // `domain` must outlive the tracker (it supplies the feature layout and
+  // the table salt). Invalid config values are the caller's to reject via
+  // TrackerConfig::Validate; the tracker itself only reads them.
+  TemplateTracker(const ce::QueryDomain* domain, const TrackerConfig& config);
+
+  TemplateTracker(const TemplateTracker&) = delete;
+  TemplateTracker& operator=(const TemplateTracker&) = delete;
+
+  uint64_t Fingerprint(const std::vector<double>& features) const;
+
+  // Records one labeled estimate: err = |ln QError(estimated, actual)|,
+  // cost = the true cardinality (bigger queries weigh more in the
+  // cost-weighted view). No-op when the tracker is disabled.
+  void Observe(const std::vector<double>& features, double estimated,
+               double actual);
+
+  // Advances the invocation tick (the "last seen" clock).
+  void Tick() { tick_.fetch_add(1, std::memory_order_relaxed); }
+  uint64_t tick() const { return tick_.load(std::memory_order_relaxed); }
+
+  // Drops the error history (a data drift invalidated it, c1).
+  void InvalidateHistory();
+
+  // --- Health verdicts (the targeted-adaptation signals). ---
+  // Drift score of one template: EWMA error relative to the unhealthy
+  // threshold (> 1 ⇒ unhealthy), 0 below min_count observations.
+  double DriftScore(const util::RunningErrorStats& stats) const;
+  bool IsUnhealthy(uint64_t fingerprint) const;
+  // True once at least one template has min_count observations — before
+  // that the tracker has no verdict and targeting must fall back to global.
+  bool HasVerdict() const;
+  // True when every judged template is healthy (false without a verdict).
+  bool AllHealthy() const;
+  // Fraction of all observations that landed in unhealthy templates — the
+  // scale factor targeted adaptation applies to n_p.
+  double UnhealthyShare() const;
+  size_t UnhealthyCount() const;
+  // Fingerprints of every unhealthy template.
+  std::unordered_set<uint64_t> UnhealthySet() const;
+
+  // The k worst templates by EWMA error, with their drift scores.
+  struct Offender {
+    uint64_t fingerprint = 0;
+    util::RunningErrorStats stats;
+    double drift_score = 0.0;
+  };
+  std::vector<Offender> TopOffenders(size_t k) const;
+  // Human-readable offender table (the quickstart / REPL view).
+  std::string OffendersTextDump(size_t k) const;
+
+  const util::ErrorLog& log() const { return *log_; }
+  const TrackerConfig& config() const { return config_; }
+  bool enabled() const { return config_.enabled; }
+
+ private:
+  const ce::QueryDomain* domain_;
+  TrackerConfig config_;
+  uint64_t salt_;
+  std::shared_ptr<util::ErrorLog> log_;
+  std::atomic<uint64_t> tick_{0};
+
+  // Per-template metric handles, resolved once per fingerprint (the
+  // registry mutex is paid only on a template's first observation).
+  struct TemplateMetrics {
+    util::Gauge* err_ewma = nullptr;
+    util::Counter* obs = nullptr;
+  };
+  TemplateMetrics& MetricsFor(uint64_t fingerprint);
+  mutable util::Mutex metrics_mu_;
+  std::unordered_map<uint64_t, TemplateMetrics> metric_handles_
+      WARPER_GUARDED_BY(metrics_mu_);
+};
+
+}  // namespace warper::core
+
+#endif  // WARPER_CORE_TEMPLATE_TRACKER_H_

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <string>
 #include <string_view>
+#include <unordered_set>
 
 #include "ce/metrics.h"
 #include "util/logging.h"
@@ -42,6 +43,15 @@ struct WarperMetrics {
   // Fraction of the invocation's annotation budget spent; stays 0 when the
   // budget is unlimited.
   util::Gauge* budget_used = util::Metrics().GetGauge("warper.budget_used");
+  // Per-template tracking & targeted adaptation (TrackerConfig).
+  util::Gauge* template_count =
+      util::Metrics().GetGauge("warper.template.count");
+  util::Gauge* template_unhealthy =
+      util::Metrics().GetGauge("warper.template.unhealthy");
+  util::Counter* targeted_invocations =
+      util::Metrics().GetCounter("warper.targeted.invocations");
+  util::Counter* targeted_skips =
+      util::Metrics().GetCounter("warper.targeted.skips");
 };
 
 WarperMetrics& GetWarperMetrics() {
@@ -102,6 +112,7 @@ Warper::Warper(const ce::QueryDomain* domain, ce::CardinalityEstimator* model,
       rng_(config.seed) {
   // Null wiring is a programmer error, not recoverable caller input.
   WARPER_CHECK(domain != nullptr && model != nullptr);
+  tracker_ = std::make_unique<TemplateTracker>(domain, config.tracker);
   // Config problems are caller input: remembered here, returned from
   // Initialize(). Module construction also waits for Initialize so that a
   // bad config never aborts inside the constructor.
@@ -388,6 +399,13 @@ Result<Warper::InvocationResult> Warper::Invoke(
       m.budget_used->Set(static_cast<double>(result.annotated) /
                          static_cast<double>(invocation.annotation_budget));
     }
+    if (tracker_->enabled()) {
+      m.template_count->Set(static_cast<double>(tracker_->log().NumKeys()));
+      m.template_unhealthy->Set(
+          static_cast<double>(tracker_->UnhealthyCount()));
+    }
+    if (result.targeted) m.targeted_invocations->Increment();
+    if (result.targeted_skip) m.targeted_skips->Increment();
     invoke_span.Arg("delta_m", result.delta_m_valid ? result.delta_m : -1.0);
     invoke_span.Arg("delta_js", result.delta_js);
     invoke_span.Arg("picked", static_cast<double>(result.picked));
@@ -395,6 +413,7 @@ Result<Warper::InvocationResult> Warper::Invoke(
   };
 
   // --- Alg. 1 line 1: inject new arrivals into the pool. ---
+  tracker_->Tick();
   {
     PhaseScope phase("warper.ingest", &result.timing, &cpu_, &wall_);
     for (const auto& q : invocation.new_queries) {
@@ -405,6 +424,26 @@ Result<Warper::InvocationResult> Warper::Invoke(
                                     Source::kNew)
               : pool_.AppendUnlabeled(q.features, Source::kNew);
       new_record_order_.push_back(idx);
+    }
+    // Every labeled arrival is a labeled estimate: record the pre-update
+    // model's error per predicate template (one batched inference pass).
+    if (tracker_->enabled()) {
+      std::vector<const ce::LabeledExample*> labeled;
+      for (const auto& q : invocation.new_queries) {
+        if (q.cardinality >= 0) labeled.push_back(&q);
+      }
+      if (!labeled.empty()) {
+        nn::Matrix x(labeled.size(), dim);
+        for (size_t i = 0; i < labeled.size(); ++i) {
+          x.SetRow(i, labeled[i]->features);
+        }
+        std::vector<double> targets = model_->EstimateTargets(x);
+        for (size_t i = 0; i < labeled.size(); ++i) {
+          tracker_->Observe(labeled[i]->features,
+                            ce::TargetToCard(targets[i]),
+                            static_cast<double>(labeled[i]->cardinality));
+        }
+      }
     }
   }
 
@@ -433,11 +472,26 @@ Result<Warper::InvocationResult> Warper::Invoke(
 
   {
     PhaseScope phase("warper.decide", &result.timing, &cpu_, &wall_);
-    result.mode = detector_.Detect(signals);
-    if (result.mode.Any()) {
+    ModeFlags detected = detector_.Detect(signals);
+    // Per-template health can veto the global trigger (TrackerConfig
+    // .targeted): when every judged template is healthy, a δ_m gap on the
+    // labeled window is noise, not drift, and the pass stays passive. Only
+    // labeled-evidence triggers (c2/c4) are vetoable — c1 rests on data
+    // telemetry and c3 on unlabeled arrivals the tracker has not seen, so
+    // its evidence cannot contradict them.
+    bool veto = config_.tracker.targeted && tracker_->enabled() &&
+                (detected.c2 || detected.c4 || !detected.Any()) &&
+                !detected.c1 && !detected.c3 && tracker_->HasVerdict() &&
+                tracker_->AllHealthy();
+    if (veto && (detected.Any() || episode_active_)) {
+      result.targeted_skip = true;
+      episode_active_ = false;
+      small_gain_streak_ = 0;
+    } else if (detected.Any()) {
       // A (possibly new) drift: start / refresh the adaptation episode.
       episode_active_ = true;
-      active_mode_ = result.mode;
+      active_mode_ = detected;
+      result.mode = detected;
     } else if (episode_active_) {
       // δ_m fell back under π but the last step still gained accuracy: keep
       // refining with the episode's mode until the early stop fires (§3.4).
@@ -475,6 +529,8 @@ Result<Warper::InvocationResult> Warper::Invoke(
     pool_.MarkSourceStale(Source::kTrain);
     pool_.MarkSourceStale(Source::kNew);
     pool_.MarkSourceStale(Source::kGen);
+    // The error history describes the pre-drift data; start over.
+    tracker_->InvalidateHistory();
   }
 
   // --- Alg. 1 lines 3–8: update the learned modules; generate if c2. ---
@@ -530,6 +586,35 @@ Result<Warper::InvocationResult> Warper::Invoke(
     models_->discriminator().ClassifyRecords(&pool_, to_embed);
   }
 
+  // --- Targeted adaptation (TrackerConfig.targeted): concentrate the pick
+  // budget n_p on the unhealthy templates. The effective budget scales with
+  // the unhealthy traffic share (floored by min_targeted_fraction), and
+  // candidates whose fingerprint is healthy are dropped before picking.
+  // When nothing matches (e.g. the generator produced only novel shapes)
+  // the pass falls back to global behavior — targeting must never make an
+  // invocation blind, only cheaper.
+  bool targeting = config_.tracker.targeted && tracker_->enabled() &&
+                   tracker_->HasVerdict();
+  std::unordered_set<uint64_t> unhealthy;
+  size_t targeted_np = config_.n_p;
+  if (targeting) {
+    unhealthy = tracker_->UnhealthySet();
+    if (unhealthy.empty()) {
+      targeting = false;
+    } else {
+      double share = std::min(1.0, std::max(config_.tracker.min_targeted_fraction,
+                                            tracker_->UnhealthyShare()));
+      targeted_np = std::max<size_t>(
+          1, static_cast<size_t>(
+                 std::ceil(static_cast<double>(config_.n_p) * share)));
+      result.unhealthy_templates = unhealthy.size();
+    }
+  }
+  auto is_unhealthy = [&](size_t i) {
+    return unhealthy.count(tracker_->Fingerprint(cpool.record(i).features)) >
+           0;
+  };
+
   // --- Alg. 1 line 9: pick and annotate. ---
   std::vector<size_t> picked;
   {
@@ -539,19 +624,35 @@ Result<Warper::InvocationResult> Warper::Invoke(
       for (size_t i : pool_.IndicesBySource(Source::kGen)) {
         if (!pool_.record(i).HasLabel()) gen_candidates.push_back(i);
       }
+      std::vector<size_t> gen_picked;
       switch (config_.picker_variant) {
         case PickerVariant::kWarper:
-          picked = picker_.PickGenerated(pool_, models_->discriminator(),
-                                         config_.n_p);
+          gen_picked = picker_.PickGenerated(pool_, models_->discriminator(),
+                                             config_.n_p);
           break;
         case PickerVariant::kRandom:
-          picked = picker_.PickRandom(gen_candidates, config_.n_p);
+          gen_picked = picker_.PickRandom(gen_candidates, config_.n_p);
           break;
         case PickerVariant::kEntropy:
-          picked = picker_.PickEntropy(pool_, gen_candidates,
-                                       models_->discriminator(), config_.n_p);
+          gen_picked = picker_.PickEntropy(pool_, gen_candidates,
+                                           models_->discriminator(),
+                                           config_.n_p);
           break;
       }
+      if (targeting) {
+        // The picker ranked by discriminator confidence / entropy; keep
+        // that order, drop healthy-template picks, cap at the scaled n_p.
+        std::vector<size_t> focused;
+        for (size_t i : gen_picked) {
+          if (is_unhealthy(i)) focused.push_back(i);
+        }
+        if (!focused.empty()) {
+          if (focused.size() > targeted_np) focused.resize(targeted_np);
+          gen_picked = std::move(focused);
+          result.targeted = true;
+        }
+      }
+      picked.insert(picked.end(), gen_picked.begin(), gen_picked.end());
     }
     if (result.mode.c1 || result.mode.c3) {
       std::vector<size_t> candidates = pool_.StaleOrUnlabeledIndices();
@@ -563,19 +664,31 @@ Result<Warper::InvocationResult> Warper::Invoke(
                                   !cpool.record(i).HasLabel();
                          }),
           candidates.end());
+      size_t np_for_pick = config_.n_p;
+      if (targeting) {
+        std::vector<size_t> focused;
+        for (size_t i : candidates) {
+          if (is_unhealthy(i)) focused.push_back(i);
+        }
+        if (!focused.empty()) {
+          candidates = std::move(focused);
+          np_for_pick = targeted_np;
+          result.targeted = true;
+        }
+      }
       std::vector<size_t> stratified;
       switch (config_.picker_variant) {
         case PickerVariant::kWarper:
           stratified =
-              picker_.PickStratified(pool_, candidates, *model_, config_.n_p);
+              picker_.PickStratified(pool_, candidates, *model_, np_for_pick);
           break;
         case PickerVariant::kRandom:
-          stratified = picker_.PickRandom(candidates, config_.n_p);
+          stratified = picker_.PickRandom(candidates, np_for_pick);
           break;
         case PickerVariant::kEntropy:
           stratified = picker_.PickEntropy(pool_, candidates,
                                            models_->discriminator(),
-                                           config_.n_p);
+                                           np_for_pick);
           break;
       }
       picked.insert(picked.end(), stratified.begin(), stratified.end());
@@ -587,6 +700,7 @@ Result<Warper::InvocationResult> Warper::Invoke(
   // label; the multiset (duplicates included) weights the model update.
   // No cpu/wall accumulators here: annotation cost belongs to the domain's
   // annotator (the Table 6 c_A column), not to the controller.
+  std::vector<size_t> annotated_indices;
   {
     PhaseScope phase("warper.annotate", &result.timing);
     std::vector<size_t> unique = picked;
@@ -598,6 +712,26 @@ Result<Warper::InvocationResult> Warper::Invoke(
                                 }),
                  unique.end());
     result.annotated = AnnotateRecords(unique, budget);
+    annotated_indices.assign(unique.begin(),
+                             unique.begin() + result.annotated);
+  }
+
+  // Feed the freshly annotated labels to the template tracker against the
+  // *pre-update* model: that is the estimate serving traffic would have
+  // seen, so the per-template error history stays honest about what the
+  // adaptation is correcting.
+  if (tracker_->enabled() && !annotated_indices.empty()) {
+    nn::Matrix x(annotated_indices.size(),
+                 static_cast<size_t>(domain_->FeatureDim()));
+    for (size_t i = 0; i < annotated_indices.size(); ++i) {
+      x.SetRow(i, cpool.record(annotated_indices[i]).features);
+    }
+    std::vector<double> targets = model_->EstimateTargets(x);
+    for (size_t i = 0; i < annotated_indices.size(); ++i) {
+      const PoolRecord& record = cpool.record(annotated_indices[i]);
+      tracker_->Observe(record.features, ce::TargetToCard(targets[i]),
+                        record.gt);
+    }
   }
 
   // --- Alg. 1 line 10: update M. ---

@@ -18,6 +18,7 @@
 #include "core/gan.h"
 #include "core/picker.h"
 #include "core/query_pool.h"
+#include "core/template_tracker.h"
 #include "util/status.h"
 #include "util/timer.h"
 
@@ -87,6 +88,14 @@ class Warper {
     size_t picked = 0;
     size_t annotated = 0;
     bool model_updated = false;
+    // Targeted adaptation (TrackerConfig.targeted): true when this
+    // invocation's picks were filtered to unhealthy templates.
+    bool targeted = false;
+    // True when per-template health vetoed a labeled-evidence global
+    // trigger (every judged template healthy ⇒ no adaptation machinery ran).
+    bool targeted_skip = false;
+    // Unhealthy templates at pick time (0 when targeting was off/idle).
+    size_t unhealthy_templates = 0;
     // Model GMQ on the recent labeled new-workload window, before / after.
     double gmq_before = 0.0;
     double gmq_after = 0.0;
@@ -122,6 +131,10 @@ class Warper {
 
   const QueryPool& pool() const { return pool_; }
   QueryPool& pool() { return pool_; }
+  // Per-template error stats over every labeled estimate this controller
+  // has seen (TrackerConfig). Concurrent reads are safe while Invoke runs.
+  TemplateTracker& tracker() { return *tracker_; }
+  const TemplateTracker& tracker() const { return *tracker_; }
   WarperModels& models() { return *models_; }
   DriftDetector& detector() { return detector_; }
   const WarperConfig& config() const { return config_; }
@@ -155,6 +168,7 @@ class Warper {
   ce::CardinalityEstimator* model_;
   WarperConfig config_;
   QueryPool pool_;
+  std::unique_ptr<TemplateTracker> tracker_;
   std::unique_ptr<WarperModels> models_;
   Picker picker_;
   DriftDetector detector_;

@@ -100,7 +100,10 @@ std::future<Result<AdaptationOutcome>> AdaptationExecutor::Submit(
 
 double AdaptationExecutor::BasePriority(const PrioritySignals& signals,
                                         const core::ServeConfig& config) {
-  double severity = std::max(signals.drift_severity, 0.0);
+  // Localized template failures count as drift even when the global δ_m
+  // signal is quiet (see PrioritySignals::offender_pressure).
+  double severity = std::max(
+      {signals.drift_severity, signals.offender_pressure, 0.0});
   double traffic = std::max(signals.traffic, 0.0);
   return (config.adapt_priority_floor +
           config.adapt_priority_drift_weight * severity) *

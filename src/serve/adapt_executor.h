@@ -6,6 +6,7 @@
 // Scheduling: a pending pass's base priority follows the ROADMAP formula
 // "drift severity × traffic",
 //
+//   severity  = max(drift_severity, offender_pressure)
 //   base      = (floor + drift_weight · severity) · (1 + traffic_weight · traffic)
 //   effective = base + aging_rate · seconds_waiting
 //
@@ -70,6 +71,13 @@ struct PrioritySignals {
   double drift_severity = 0.0;
   // Traffic since the tenant's last adaptation pass (request count; ≥ 0).
   double traffic = 0.0;
+  // Per-template offender pressure: the tenant's unhealthy traffic share
+  // (TemplateTracker::UnhealthyShare, ∈ [0, 1]). The drift term of
+  // BasePriority uses max(drift_severity, offender_pressure), so a tenant
+  // whose global δ_m looks calm still ranks up when a localized template
+  // is failing — and a tenant whose templates are all healthy is not
+  // boosted above its global severity.
+  double offender_pressure = 0.0;
 };
 
 class AdaptationExecutor {

@@ -191,6 +191,27 @@ std::future<Result<AdaptationOutcome>> ServingFleet::SubmitInvocation(
   return server->SubmitInvocation(std::move(invocation));
 }
 
+Status ServingFleet::ReportObservation(uint64_t tenant_id,
+                                       const std::vector<double>& features,
+                                       double actual) {
+  EstimationServer* server = tenant(tenant_id);
+  if (server == nullptr) {
+    return Status::NotFound("tenant " + std::to_string(tenant_id) +
+                            " is not registered");
+  }
+  return server->ReportObservation(features, actual);
+}
+
+Result<std::vector<core::TemplateTracker::Offender>>
+ServingFleet::TenantTopOffenders(uint64_t tenant_id, size_t k) {
+  EstimationServer* server = tenant(tenant_id);
+  if (server == nullptr) {
+    return Status::NotFound("tenant " + std::to_string(tenant_id) +
+                            " is not registered");
+  }
+  return server->TopOffenders(k);
+}
+
 EstimationServer* ServingFleet::tenant(uint64_t tenant_id) {
   // Registration order == shard index, but before Freeze() the router
   // cannot be queried — scan instead (tiny N, cold path).

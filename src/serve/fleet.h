@@ -92,6 +92,17 @@ class ServingFleet {
   std::future<Result<AdaptationOutcome>> SubmitInvocation(
       uint64_t tenant_id, core::Warper::Invocation invocation);
 
+  // Feeds one executed query's true cardinality back to the tenant's
+  // template tracker (EstimationServer::ReportObservation). NotFound for an
+  // unregistered tenant.
+  Status ReportObservation(uint64_t tenant_id,
+                           const std::vector<double>& features, double actual);
+  // The tenant's k worst templates by EWMA error — the per-tenant offender
+  // view the shared executor's priority probes key off. NotFound (empty
+  // result unavailable via Status) for an unregistered tenant.
+  Result<std::vector<core::TemplateTracker::Offender>> TenantTopOffenders(
+      uint64_t tenant_id, size_t k);
+
   // Fleet-wide snapshot epoch: total publishes across all tenants since
   // Start. One relaxed-atomic read; never blocks a publisher or reader.
   uint64_t Epoch() const { return epoch_.load(std::memory_order_acquire); }

@@ -38,6 +38,11 @@ EstimationServer::EstimationServer(core::Warper* warper,
         TenantMetricName("serve.tenant.rollbacks", options_.tenant_id));
     tenant_publishes_ = util::Metrics().GetCounter(
         TenantMetricName("serve.tenant.publishes", options_.tenant_id));
+    // The global warper.drift_severity gauge only remembers the LAST tenant
+    // that adapted; under a fleet each tenant needs its own so the executor
+    // priority probes and the offender views agree.
+    tenant_drift_severity_ = util::Metrics().GetGauge(
+        TenantMetricName("warper.drift_severity", options_.tenant_id));
   }
 }
 
@@ -173,7 +178,8 @@ std::future<Result<AdaptationOutcome>> EstimationServer::SubmitInvocation(
   return executor_->Submit(
       options_.tenant_id,
       [this] {
-        return PrioritySignals{drift_severity(), traffic_since_adapt()};
+        return PrioritySignals{drift_severity(), traffic_since_adapt(),
+                               offender_pressure()};
       },
       [this, inv = std::move(invocation)] { return Adapt(inv); });
 }
@@ -183,6 +189,32 @@ double EstimationServer::traffic_since_adapt() const {
   uint64_t served = batcher_->served_total();
   uint64_t at_last = served_at_last_adapt_.load(std::memory_order_relaxed);
   return served > at_last ? static_cast<double>(served - at_last) : 0.0;
+}
+
+Status EstimationServer::ReportObservation(const std::vector<double>& features,
+                                           double actual) {
+  {
+    util::MutexLock lk(&mu_);
+    if (!started_ || stop_) {
+      return Status::FailedPrecondition("EstimationServer is not running");
+    }
+  }
+  if (features.size() != warper_->domain()->FeatureDim()) {
+    return Status::InvalidArgument(
+        "ReportObservation: feature dim does not match the domain");
+  }
+  // The error is measured against the snapshot serving right now — the
+  // estimate the optimizer actually planned with — not against the warper's
+  // in-adaptation model.
+  std::shared_ptr<const ModelSnapshot> snapshot = store_.Current();
+  if (snapshot == nullptr) {
+    return Status::FailedPrecondition("no published snapshot");
+  }
+  double estimated = snapshot->model().EstimateCardinality(features);
+  warper_->tracker().Observe(features, estimated, actual);
+  offender_pressure_.store(warper_->tracker().UnhealthyShare(),
+                           std::memory_order_relaxed);
+  return Status::OK();
 }
 
 Result<AdaptationOutcome> EstimationServer::Adapt(
@@ -197,6 +229,11 @@ Result<AdaptationOutcome> EstimationServer::Adapt(
   outcome.version = store_.CurrentVersion();
   drift_severity_.store(outcome.result.drift_severity,
                         std::memory_order_relaxed);
+  if (tenant_drift_severity_ != nullptr) {
+    tenant_drift_severity_->Set(outcome.result.drift_severity);
+  }
+  offender_pressure_.store(warper_->tracker().UnhealthyShare(),
+                           std::memory_order_relaxed);
   if (batcher_ != nullptr) {
     served_at_last_adapt_.store(batcher_->served_total(),
                                 std::memory_order_relaxed);

@@ -129,6 +129,23 @@ class EstimationServer {
   }
   // Requests this tenant served since its last adaptation pass finished.
   double traffic_since_adapt() const;
+  // Unhealthy traffic share of this tenant's template tracker, refreshed on
+  // every adaptation pass and every ReportObservation (∈ [0, 1]).
+  double offender_pressure() const {
+    return offender_pressure_.load(std::memory_order_relaxed);
+  }
+
+  // --- Per-template error feedback (the serving-path labeled estimates). ---
+  // Feeds one executed query's true cardinality back to the tenant's
+  // template tracker: the error recorded is against the CURRENT serving
+  // snapshot's estimate, i.e. what the optimizer actually saw. Thread-safe;
+  // callable from any thread while the server runs. FailedPrecondition when
+  // the server is not running, InvalidArgument on a feature-dim mismatch.
+  Status ReportObservation(const std::vector<double>& features, double actual);
+  // The tenant's k worst templates (TemplateTracker::TopOffenders).
+  std::vector<core::TemplateTracker::Offender> TopOffenders(size_t k) const {
+    return warper_->tracker().TopOffenders(k);
+  }
 
  private:
   friend class ServingFleet;
@@ -157,10 +174,16 @@ class EstimationServer {
   uint64_t next_version_ = 1;
 
   std::atomic<double> drift_severity_{0.0};
+  std::atomic<double> offender_pressure_{0.0};
   std::atomic<uint64_t> served_at_last_adapt_{0};
   // Per-tenant metric handles (null unless options_.tenant_metrics).
   util::Counter* tenant_rollbacks_ = nullptr;
   util::Counter* tenant_publishes_ = nullptr;
+  // Per-tenant drift severity gauge (warper.drift_severity.<id>): keeps the
+  // executor's priority probe and the offender view telling one story —
+  // the global warper.drift_severity gauge only shows the LAST tenant that
+  // adapted.
+  util::Gauge* tenant_drift_severity_ = nullptr;
 
   mutable util::Mutex mu_;
   bool started_ WARPER_GUARDED_BY(mu_) = false;

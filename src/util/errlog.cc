@@ -1,0 +1,299 @@
+#include "util/errlog.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace warper::util {
+namespace {
+
+void AppendDouble(std::ostringstream* os, double v) {
+  std::ostringstream tmp;
+  tmp.precision(17);
+  tmp << v;
+  *os << tmp.str();
+}
+
+std::string HexKey(uint64_t key) {
+  char buf[19];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(key));
+  return buf;
+}
+
+}  // namespace
+
+double RunningErrorStats::RmsErr() const {
+  if (count == 0) return 0.0;
+  return std::sqrt(std::max(0.0, sum_sq_err / static_cast<double>(count)));
+}
+
+void RunningErrorStats::Observe(double err, double cost, uint64_t tick,
+                                double ewma_alpha) {
+  ewma_err = count == 0 ? err : ewma_alpha * err + (1.0 - ewma_alpha) * ewma_err;
+  ++count;
+  sum_err += err;
+  sum_sq_err += err * err;
+  sum_cost += cost;
+  sum_cost_err += cost * err;
+  last_seen_tick = std::max(last_seen_tick, tick);
+}
+
+void RunningErrorStats::Merge(const RunningErrorStats& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    *this = other;
+    return;
+  }
+  double total = static_cast<double>(count + other.count);
+  ewma_err = (ewma_err * static_cast<double>(count) +
+              other.ewma_err * static_cast<double>(other.count)) /
+             total;
+  count += other.count;
+  sum_err += other.sum_err;
+  sum_sq_err += other.sum_sq_err;
+  sum_cost += other.sum_cost;
+  sum_cost_err += other.sum_cost_err;
+  last_seen_tick = std::max(last_seen_tick, other.last_seen_tick);
+}
+
+ErrorLog::ErrorLog(const ErrorLogOptions& options) : options_(options) {
+  size_t n = std::max<size_t>(1, options.shards);
+  shards_.reserve(n);
+  for (size_t i = 0; i < n; ++i) shards_.push_back(std::make_unique<Shard>());
+}
+
+void ErrorLog::Record(uint64_t key, double err, double cost, uint64_t tick) {
+  Shard& shard = ShardFor(key);
+  {
+    MutexLock lock(&shard.mu);
+    shard.stats[key].Observe(err, cost, tick, options_.ewma_alpha);
+  }
+  observations_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool ErrorLog::Lookup(uint64_t key, RunningErrorStats* out) const {
+  Shard& shard = ShardFor(key);
+  MutexLock lock(&shard.mu);
+  auto it = shard.stats.find(key);
+  if (it == shard.stats.end()) return false;
+  *out = it->second;
+  return true;
+}
+
+std::vector<ErrorLog::Entry> ErrorLog::Snapshot() const {
+  std::vector<Entry> out;
+  for (const auto& shard : shards_) {
+    MutexLock lock(&shard->mu);
+    for (const auto& [key, stats] : shard->stats) out.push_back({key, stats});
+  }
+  return out;
+}
+
+std::vector<ErrorLog::Entry> ErrorLog::TopOffenders(size_t k) const {
+  std::vector<Entry> all = Snapshot();
+  std::sort(all.begin(), all.end(), [](const Entry& a, const Entry& b) {
+    if (a.stats.ewma_err != b.stats.ewma_err) {
+      return a.stats.ewma_err > b.stats.ewma_err;
+    }
+    return a.key < b.key;
+  });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+RunningErrorStats ErrorLog::Aggregate() const {
+  RunningErrorStats total;
+  for (const Entry& e : Snapshot()) total.Merge(e.stats);
+  return total;
+}
+
+size_t ErrorLog::NumKeys() const {
+  size_t n = 0;
+  for (const auto& shard : shards_) {
+    MutexLock lock(&shard->mu);
+    n += shard->stats.size();
+  }
+  return n;
+}
+
+void ErrorLog::Clear() {
+  for (const auto& shard : shards_) {
+    MutexLock lock(&shard->mu);
+    shard->stats.clear();
+  }
+  observations_.store(0, std::memory_order_relaxed);
+}
+
+// --- Registry ---
+
+namespace {
+
+struct ErrLogRegistry {
+  Mutex mu;
+  struct Entry {
+    std::string name;
+    std::weak_ptr<ErrorLog> log;
+    // Strong reference when WARPER_ERRLOG retention is on, so the at-exit
+    // dump sees logs whose owners main() already destroyed.
+    std::shared_ptr<ErrorLog> retained;
+  };
+  std::vector<Entry> entries WARPER_GUARDED_BY(mu);
+  bool retain WARPER_GUARDED_BY(mu) = false;
+};
+
+ErrLogRegistry& Registry() {
+  static ErrLogRegistry* registry = new ErrLogRegistry();
+  return *registry;
+}
+
+// WARPER_ERRLOG=<path>: retain registered logs from process start, export
+// the per-template stats at exit — same lifecycle as WARPER_TRACE.
+const char* g_env_errlog_path = nullptr;
+
+struct EnvErrLogInit {
+  EnvErrLogInit() {
+    const char* path = std::getenv("WARPER_ERRLOG");
+    if (path == nullptr || path[0] == '\0') return;
+    g_env_errlog_path = path;
+    {
+      ErrLogRegistry& r = Registry();
+      MutexLock lock(&r.mu);
+      r.retain = true;
+    }
+    std::atexit([] {
+      Status st = ExportErrLogs(g_env_errlog_path);
+      if (!st.ok()) {
+        WARPER_LOG(Error) << "WARPER_ERRLOG export failed: " << st.ToString();
+      } else {
+        WARPER_LOG(Info) << "wrote error log to " << g_env_errlog_path;
+      }
+    });
+  }
+};
+EnvErrLogInit g_env_errlog_init;
+
+// Live (name, log) pairs in registration order.
+std::vector<std::pair<std::string, std::shared_ptr<ErrorLog>>> LiveLogs() {
+  std::vector<std::pair<std::string, std::shared_ptr<ErrorLog>>> out;
+  ErrLogRegistry& r = Registry();
+  MutexLock lock(&r.mu);
+  for (const auto& e : r.entries) {
+    std::shared_ptr<ErrorLog> log = e.log.lock();
+    if (log != nullptr) out.emplace_back(e.name, std::move(log));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::shared_ptr<ErrorLog> NewRegisteredErrorLog(const std::string& name,
+                                                const ErrorLogOptions& options) {
+  auto log = std::make_shared<ErrorLog>(options);
+  if (name.empty()) return log;
+  ErrLogRegistry& r = Registry();
+  MutexLock lock(&r.mu);
+  // Drop dead entries so long-running test processes don't accumulate.
+  r.entries.erase(std::remove_if(r.entries.begin(), r.entries.end(),
+                                 [](const ErrLogRegistry::Entry& e) {
+                                   return e.retained == nullptr &&
+                                          e.log.expired();
+                                 }),
+                  r.entries.end());
+  std::string unique = name;
+  for (size_t suffix = 2;; ++suffix) {
+    bool taken = false;
+    for (const auto& e : r.entries) {
+      if (e.name == unique) {
+        taken = true;
+        break;
+      }
+    }
+    if (!taken) break;
+    unique = name + "#" + std::to_string(suffix);
+  }
+  r.entries.push_back(
+      {unique, log, r.retain ? log : std::shared_ptr<ErrorLog>()});
+  return log;
+}
+
+std::string ErrLogsToJson(int indent) {
+  std::string pad(static_cast<size_t>(indent), ' ');
+  std::string pad2 = pad + "  ";
+  std::string pad3 = pad2 + "  ";
+  std::string pad4 = pad3 + "  ";
+  std::ostringstream os;
+  os << "{\n" << pad2 << "\"logs\": [";
+  bool first_log = true;
+  for (const auto& [name, log] : LiveLogs()) {
+    os << (first_log ? "\n" : ",\n") << pad3 << "{\"name\": \"" << name
+       << "\", \"observations\": " << log->Observations()
+       << ", \"templates\": [";
+    bool first_t = true;
+    for (const ErrorLog::Entry& e :
+         log->TopOffenders(std::numeric_limits<size_t>::max())) {
+      os << (first_t ? "\n" : ",\n") << pad4 << "{\"fingerprint\": \""
+         << HexKey(e.key) << "\", \"count\": " << e.stats.count
+         << ", \"mean\": ";
+      AppendDouble(&os, e.stats.MeanErr());
+      os << ", \"rms\": ";
+      AppendDouble(&os, e.stats.RmsErr());
+      os << ", \"ewma\": ";
+      AppendDouble(&os, e.stats.ewma_err);
+      os << ", \"cost_weighted\": ";
+      AppendDouble(&os, e.stats.CostWeightedErr());
+      os << ", \"last_seen_tick\": " << e.stats.last_seen_tick << "}";
+      first_t = false;
+    }
+    os << (first_t ? "" : "\n" + pad3) << "]}";
+    first_log = false;
+  }
+  os << (first_log ? "" : "\n" + pad2) << "]\n" << pad << "}";
+  return os.str();
+}
+
+std::string ErrLogsTextDump(size_t top_k) {
+  std::ostringstream os;
+  for (const auto& [name, log] : LiveLogs()) {
+    os << name << ": " << log->NumKeys() << " template(s), "
+       << log->Observations() << " observation(s)\n";
+    char line[160];
+    std::snprintf(line, sizeof(line), "  %-18s %8s %8s %8s %8s %8s %6s\n",
+                  "template", "count", "mean", "rms", "ewma", "cost-wt",
+                  "seen");
+    os << line;
+    for (const ErrorLog::Entry& e : log->TopOffenders(top_k)) {
+      std::snprintf(line, sizeof(line),
+                    "  %-18s %8llu %8.3f %8.3f %8.3f %8.3f %6llu\n",
+                    HexKey(e.key).c_str(),
+                    static_cast<unsigned long long>(e.stats.count),
+                    e.stats.MeanErr(), e.stats.RmsErr(), e.stats.ewma_err,
+                    e.stats.CostWeightedErr(),
+                    static_cast<unsigned long long>(e.stats.last_seen_tick));
+      os << line;
+    }
+  }
+  return os.str();
+}
+
+Status ExportErrLogs(const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::InvalidArgument("ExportErrLogs: cannot open " + path);
+  }
+  out << ErrLogsToJson() << "\n";
+  out.close();
+  if (!out.good()) {
+    return Status::Internal("ExportErrLogs: write to " + path + " failed");
+  }
+  return Status::OK();
+}
+
+}  // namespace warper::util

@@ -1,0 +1,146 @@
+// Per-key running error statistics — the pg_track_optimizer-style substrate
+// behind core::TemplateTracker.
+//
+// An ErrorLog maps an opaque 64-bit key (a predicate-template fingerprint)
+// to RunningErrorStats: count, mean and RMS of the absolute log q-error, a
+// time-decayed EWMA, a cost-weighted average and the last-seen tick. The
+// store follows the metrics-registry hot-path shape: keys are sharded by
+// hash across independently locked maps, so concurrent writers (the
+// adaptation thread plus serving-path feedback) contend only when they hit
+// the same shard, and readers (TopOffenders, export) never stop the writers
+// for more than one shard at a time.
+//
+// Export: a log registered under a name (see NewRegisteredErrorLog) is
+// picked up by the WARPER_ERRLOG=<path> at-exit dump — the errlog twin of
+// WARPER_TRACE — and by the bench binaries' BENCH_*.json embedding.
+#ifndef WARPER_UTIL_ERRLOG_H_
+#define WARPER_UTIL_ERRLOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/mutex.h"
+#include "util/status.h"
+
+namespace warper::util {
+
+struct ErrorLogOptions {
+  // EWMA factor per observation: ewma ← alpha·err + (1−alpha)·ewma. Larger
+  // alpha forgets faster (tracks drift sooner, noisier).
+  double ewma_alpha = 0.2;
+  // Lock shards. More shards = less writer contention, slightly costlier
+  // snapshots.
+  size_t shards = 8;
+};
+
+// One key's cumulative error statistics. Sums (not derived means) are
+// stored so two stats can be merged exactly — see Merge().
+struct RunningErrorStats {
+  uint64_t count = 0;
+  double sum_err = 0.0;     // Σ |log q-error|
+  double sum_sq_err = 0.0;  // Σ err²
+  double ewma_err = 0.0;    // time-decayed (per-observation EWMA)
+  double sum_cost = 0.0;    // Σ cost (e.g. true cardinality)
+  double sum_cost_err = 0.0;  // Σ cost·err
+  uint64_t last_seen_tick = 0;
+
+  double MeanErr() const {
+    return count == 0 ? 0.0 : sum_err / static_cast<double>(count);
+  }
+  double RmsErr() const;
+  // Σ cost·err / Σ cost — queries that touch more rows weigh more, the
+  // pg_track_optimizer "wca" reading of error impact.
+  double CostWeightedErr() const {
+    return sum_cost <= 0.0 ? MeanErr() : sum_cost_err / sum_cost;
+  }
+
+  void Observe(double err, double cost, uint64_t tick, double ewma_alpha);
+  // Exact for the cumulative fields (count/sums); the EWMA — which has no
+  // exact order-independent merge — becomes the count-weighted average of
+  // the two inputs' EWMAs.
+  void Merge(const RunningErrorStats& other);
+};
+
+class ErrorLog {
+ public:
+  explicit ErrorLog(const ErrorLogOptions& options = ErrorLogOptions());
+
+  ErrorLog(const ErrorLog&) = delete;
+  ErrorLog& operator=(const ErrorLog&) = delete;
+
+  // Records one observation under `key`. Lock-cheap: one shard mutex, no
+  // allocation after the key's first observation.
+  void Record(uint64_t key, double err, double cost, uint64_t tick);
+
+  // Copies `key`'s stats; false when the key was never recorded.
+  bool Lookup(uint64_t key, RunningErrorStats* out) const;
+
+  struct Entry {
+    uint64_t key = 0;
+    RunningErrorStats stats;
+  };
+
+  // The k keys with the highest EWMA error, worst first (ties broken by
+  // key for determinism).
+  std::vector<Entry> TopOffenders(size_t k) const;
+  // Every key's stats, unordered.
+  std::vector<Entry> Snapshot() const;
+  // All keys merged into one (fleet-/tenant-level rollup).
+  RunningErrorStats Aggregate() const;
+
+  size_t NumKeys() const;
+  uint64_t Observations() const {
+    return observations_.load(std::memory_order_relaxed);
+  }
+  // Drops every key (e.g. a data drift invalidated the error history).
+  void Clear();
+
+  double ewma_alpha() const { return options_.ewma_alpha; }
+
+ private:
+  struct Shard {
+    mutable Mutex mu;
+    std::unordered_map<uint64_t, RunningErrorStats> stats
+        WARPER_GUARDED_BY(mu);
+  };
+
+  Shard& ShardFor(uint64_t key) const {
+    // splitmix-style scramble so sequential or masked keys still spread.
+    uint64_t h = key * 0x9E3779B97F4A7C15ULL;
+    return *shards_[(h >> 32) % shards_.size()];
+  }
+
+  ErrorLogOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> observations_{0};
+};
+
+// --- Named registry: the WARPER_ERRLOG export surface. ---
+//
+// Creates an ErrorLog registered under `name` (deduplicated with a "#n"
+// suffix if the name is taken by a live log). The registry holds weak
+// references — a log dies with its owner — except when WARPER_ERRLOG is
+// set, in which case logs are retained so the at-exit dump still sees work
+// done by objects that main() already destroyed. Pass an empty name to get
+// an unregistered, export-invisible log.
+std::shared_ptr<ErrorLog> NewRegisteredErrorLog(
+    const std::string& name, const ErrorLogOptions& options = ErrorLogOptions());
+
+// {"logs": [{"name", "observations", "templates": [...]}]}, templates worst
+// EWMA first. `indent` shifts the whole document (for embedding).
+std::string ErrLogsToJson(int indent = 0);
+
+// Human-readable per-log offender tables (worst `top_k` per log).
+std::string ErrLogsTextDump(size_t top_k = 10);
+
+// Writes ErrLogsToJson to `path` (the WARPER_ERRLOG at-exit hook calls
+// this; tests may too).
+Status ExportErrLogs(const std::string& path);
+
+}  // namespace warper::util
+
+#endif  // WARPER_UTIL_ERRLOG_H_

@@ -62,6 +62,37 @@ void Histogram::Observe(double sample) {
   sum_.Add(sample);
 }
 
+double Histogram::Quantile(double p) const {
+  p = std::min(1.0, std::max(0.0, p));
+  // One consistent pass over the buckets; total is re-derived from the
+  // same reads so a racing Observe cannot push the target past the sum.
+  std::vector<uint64_t> counts(bounds_.size() + 1);
+  uint64_t total = 0;
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return 0.0;
+  double target = p * static_cast<double>(total);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    if (counts[i] == 0) continue;
+    double before = static_cast<double>(cumulative);
+    cumulative += counts[i];
+    if (static_cast<double>(cumulative) < target) continue;
+    if (i == bounds_.size()) {
+      // Overflow bucket has no upper edge; the last finite bound is the
+      // best defensible answer.
+      return bounds_.empty() ? 0.0 : bounds_.back();
+    }
+    double lo = i == 0 ? std::min(0.0, bounds_[0]) : bounds_[i - 1];
+    double hi = bounds_[i];
+    double frac = (target - before) / static_cast<double>(counts[i]);
+    return lo + (hi - lo) * std::min(1.0, std::max(0.0, frac));
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
 uint64_t Histogram::BucketCount(size_t i) const {
   WARPER_CHECK(i <= bounds_.size());
   return buckets_[i].load(std::memory_order_relaxed);

@@ -104,6 +104,14 @@ class Histogram {
   void Observe(double sample);
 
   const std::vector<double>& bounds() const { return bounds_; }
+  // The p-quantile (p ∈ [0, 1]) interpolated from the fixed buckets:
+  // locates the bucket holding the ⌈p·count⌉-th sample and interpolates
+  // linearly between its bounds (the first bucket's lower edge is 0 for
+  // non-negative bounds — the latency/error case these histograms serve).
+  // Samples in the +inf overflow bucket report the last finite bound.
+  // Returns 0 on an empty histogram. Concurrent Observe calls may or may
+  // not be included, like every other reader.
+  double Quantile(double p) const;
   // Count in bucket `i` (i == bounds().size() is the overflow bucket).
   uint64_t BucketCount(size_t i) const;
   uint64_t TotalCount() const;

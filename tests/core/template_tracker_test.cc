@@ -1,0 +1,354 @@
+// Predicate-template fingerprinting, per-template health verdicts, and the
+// targeted-adaptation behavior they drive inside Warper::Invoke.
+#include "core/template_tracker.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ce/lm.h"
+#include "ce/metrics.h"
+#include "core/warper.h"
+#include "storage/annotator.h"
+#include "storage/datasets.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+
+namespace warper::core {
+namespace {
+
+// Canonical layout: `leading` join bits, then lows[cols], then highs[cols].
+// Unconstrained is exactly {0, 1} per column (what the real featurizers
+// emit for a full-range bound).
+std::vector<double> Features(size_t cols, size_t leading = 0) {
+  std::vector<double> f(leading + 2 * cols, 0.0);
+  for (size_t c = 0; c < cols; ++c) f[leading + cols + c] = 1.0;
+  return f;
+}
+
+void Constrain(std::vector<double>* f, size_t cols, size_t leading, size_t col,
+               double low, double high) {
+  (*f)[leading + col] = low;
+  (*f)[leading + cols + col] = high;
+}
+
+TEST(TemplateFingerprintTest, StableAcrossConstants) {
+  std::vector<double> a = Features(4), b = Features(4);
+  Constrain(&a, 4, 0, 1, 0.2, 0.6);
+  Constrain(&b, 4, 0, 1, 0.35, 0.91);  // same column, same op kind (range)
+  EXPECT_EQ(TemplateFingerprint(a, 0, 1), TemplateFingerprint(b, 0, 1));
+}
+
+TEST(TemplateFingerprintTest, DistinctAcrossColumnSets) {
+  std::vector<double> a = Features(4), b = Features(4), c = Features(4);
+  Constrain(&a, 4, 0, 0, 0.2, 0.6);
+  Constrain(&b, 4, 0, 2, 0.2, 0.6);          // different column
+  Constrain(&c, 4, 0, 0, 0.2, 0.6);
+  Constrain(&c, 4, 0, 2, 0.2, 0.6);          // superset of a's columns
+  EXPECT_NE(TemplateFingerprint(a, 0, 1), TemplateFingerprint(b, 0, 1));
+  EXPECT_NE(TemplateFingerprint(a, 0, 1), TemplateFingerprint(c, 0, 1));
+  EXPECT_NE(TemplateFingerprint(b, 0, 1), TemplateFingerprint(c, 0, 1));
+}
+
+TEST(TemplateFingerprintTest, DistinctAcrossOperatorKinds) {
+  std::vector<double> lower = Features(2), upper = Features(2),
+                      range = Features(2), eq = Features(2);
+  Constrain(&lower, 2, 0, 0, 0.3, 1.0);  // col >= x
+  Constrain(&upper, 2, 0, 0, 0.0, 0.7);  // col <= x
+  Constrain(&range, 2, 0, 0, 0.3, 0.7);  // x <= col <= y
+  Constrain(&eq, 2, 0, 0, 0.4, 0.4);     // col == x
+  std::set<uint64_t> fps = {
+      TemplateFingerprint(lower, 0, 1), TemplateFingerprint(upper, 0, 1),
+      TemplateFingerprint(range, 0, 1), TemplateFingerprint(eq, 0, 1)};
+  EXPECT_EQ(fps.size(), 4u);
+}
+
+TEST(TemplateFingerprintTest, SaltSeparatesDomains) {
+  std::vector<double> f = Features(3);
+  Constrain(&f, 3, 0, 1, 0.2, 0.8);
+  EXPECT_NE(TemplateFingerprint(f, 0, /*salt=*/1),
+            TemplateFingerprint(f, 0, /*salt=*/2));
+}
+
+TEST(TemplateFingerprintTest, JoinBitsAreStructureNotConstants) {
+  const size_t kLeading = 3, kCols = 2;
+  std::vector<double> a = Features(kCols, kLeading);
+  std::vector<double> b = Features(kCols, kLeading);
+  a[0] = 1.0;
+  b[1] = 1.0;  // different fact table participates
+  EXPECT_NE(TemplateFingerprint(a, kLeading, 1),
+            TemplateFingerprint(b, kLeading, 1));
+  // A join bit is read as on/off, not as a value.
+  std::vector<double> a2 = a;
+  a2[0] = 0.9;
+  EXPECT_EQ(TemplateFingerprint(a, kLeading, 1),
+            TemplateFingerprint(a2, kLeading, 1));
+}
+
+TEST(TemplateFingerprintTest, NarrowWidthsMaskAndCollide) {
+  // 33 distinct single-column templates into a 5-bit (32-bucket) space:
+  // every fingerprint fits the mask and the pigeonhole principle forces at
+  // least one collision — the memory/resolution trade TrackerConfig
+  // .hash_bits documents.
+  const size_t kCols = 33;
+  std::set<uint64_t> full, narrow;
+  for (size_t c = 0; c < kCols; ++c) {
+    std::vector<double> f = Features(kCols);
+    Constrain(&f, kCols, 0, c, 0.25, 0.75);
+    full.insert(TemplateFingerprint(f, 0, 1));
+    uint64_t fp = TemplateFingerprint(f, 0, 1, /*hash_bits=*/5);
+    EXPECT_LT(fp, 32u);
+    narrow.insert(fp);
+  }
+  EXPECT_EQ(full.size(), kCols);
+  EXPECT_LT(narrow.size(), kCols);
+}
+
+TEST(TemplateMetricNameTest, InsertsHexFingerprintAfterPrefix) {
+  EXPECT_EQ(TemplateMetricName("warper.template.err_ewma", 0x2A),
+            "warper.template.000000000000002a.err_ewma");
+  EXPECT_EQ(TemplateMetricName("warper.template.obs", 0),
+            "warper.template.0000000000000000.obs");
+}
+
+// ---------------------------------------------------------------------------
+// TemplateTracker health verdicts on a real single-table domain.
+
+struct Env {
+  storage::Table table;
+  storage::Annotator annotator;
+  ce::SingleTableDomain domain;
+  util::Rng rng;
+
+  explicit Env(uint64_t seed, size_t rows = 20000)
+      : table(storage::MakePrsa(rows, seed)),
+        annotator(&table),
+        domain(&annotator),
+        rng(seed) {}
+
+  std::vector<ce::LabeledExample> Examples(workload::GenMethod method,
+                                           size_t n, bool with_labels = true) {
+    std::vector<storage::RangePredicate> preds =
+        workload::GenerateWorkload(table, {method}, n, &rng);
+    std::vector<int64_t> counts(n, -1);
+    if (with_labels) counts = annotator.BatchCount(preds);
+    std::vector<ce::LabeledExample> out(n);
+    for (size_t i = 0; i < n; ++i) {
+      out[i] = {domain.FeaturizePredicate(preds[i]), counts[i]};
+    }
+    return out;
+  }
+};
+
+TrackerConfig VerdictConfig() {
+  TrackerConfig config;
+  config.min_count = 2;
+  config.export_name = "";  // keep unit-test trackers out of WARPER_ERRLOG
+  return config;
+}
+
+// Two structurally distinct feature vectors of the domain's width.
+std::vector<double> TemplateA(const Env& env) {
+  size_t cols = env.domain.FeatureDim() / 2;
+  std::vector<double> f = Features(cols);
+  Constrain(&f, cols, 0, 0, 0.2, 0.7);
+  return f;
+}
+std::vector<double> TemplateB(const Env& env) {
+  size_t cols = env.domain.FeatureDim() / 2;
+  std::vector<double> f = Features(cols);
+  Constrain(&f, cols, 0, 1, 0.1, 0.5);
+  return f;
+}
+
+TEST(TemplateTrackerTest, HealthVerdictsFollowObservedError) {
+  Env env(3, /*rows=*/2000);
+  TemplateTracker tracker(&env.domain, VerdictConfig());
+  EXPECT_FALSE(tracker.HasVerdict());
+  EXPECT_FALSE(tracker.AllHealthy());  // no verdict yet, not "healthy"
+
+  std::vector<double> a = TemplateA(env), b = TemplateB(env);
+  // Template A: accurate estimates. Template B: 100× off (|ln q| ≈ 4.6).
+  for (int i = 0; i < 3; ++i) {
+    tracker.Tick();
+    tracker.Observe(a, 100.0, 100.0);
+    tracker.Observe(b, 1000.0, 10.0);
+  }
+  uint64_t fpa = tracker.Fingerprint(a), fpb = tracker.Fingerprint(b);
+  ASSERT_NE(fpa, fpb);
+  EXPECT_TRUE(tracker.HasVerdict());
+  EXPECT_FALSE(tracker.AllHealthy());
+  EXPECT_FALSE(tracker.IsUnhealthy(fpa));
+  EXPECT_TRUE(tracker.IsUnhealthy(fpb));
+  EXPECT_EQ(tracker.UnhealthyCount(), 1u);
+  EXPECT_EQ(tracker.UnhealthySet().count(fpb), 1u);
+  // Half of all observations landed in the unhealthy template.
+  EXPECT_DOUBLE_EQ(tracker.UnhealthyShare(), 0.5);
+
+  std::vector<TemplateTracker::Offender> top = tracker.TopOffenders(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].fingerprint, fpb);
+  EXPECT_GT(top[0].drift_score, 1.0);
+  EXPECT_EQ(top[0].stats.last_seen_tick, 3u);
+  EXPECT_NE(tracker.OffendersTextDump(2).find("UNHEALTHY"),
+            std::string::npos);
+}
+
+TEST(TemplateTrackerTest, MinCountGatesEveryVerdict) {
+  Env env(4, /*rows=*/2000);
+  TrackerConfig config = VerdictConfig();
+  config.min_count = 8;
+  TemplateTracker tracker(&env.domain, config);
+  std::vector<double> b = TemplateB(env);
+  for (int i = 0; i < 7; ++i) tracker.Observe(b, 1000.0, 10.0);
+  // Seven huge errors, but below min_count: no verdict, nothing unhealthy.
+  EXPECT_FALSE(tracker.HasVerdict());
+  EXPECT_FALSE(tracker.IsUnhealthy(tracker.Fingerprint(b)));
+  EXPECT_DOUBLE_EQ(tracker.UnhealthyShare(), 0.0);
+  tracker.Observe(b, 1000.0, 10.0);  // the eighth flips it
+  EXPECT_TRUE(tracker.HasVerdict());
+  EXPECT_TRUE(tracker.IsUnhealthy(tracker.Fingerprint(b)));
+}
+
+TEST(TemplateTrackerTest, InvalidateHistoryDropsVerdicts) {
+  Env env(5, /*rows=*/2000);
+  TemplateTracker tracker(&env.domain, VerdictConfig());
+  std::vector<double> b = TemplateB(env);
+  for (int i = 0; i < 4; ++i) tracker.Observe(b, 1000.0, 10.0);
+  ASSERT_TRUE(tracker.HasVerdict());
+  tracker.InvalidateHistory();
+  EXPECT_FALSE(tracker.HasVerdict());
+  EXPECT_EQ(tracker.log().NumKeys(), 0u);
+  EXPECT_EQ(tracker.UnhealthyCount(), 0u);
+}
+
+TEST(TemplateTrackerTest, DisabledTrackerObservesNothing) {
+  Env env(6, /*rows=*/2000);
+  TrackerConfig config = VerdictConfig();
+  config.enabled = false;
+  TemplateTracker tracker(&env.domain, config);
+  tracker.Observe(TemplateB(env), 1000.0, 10.0);
+  EXPECT_FALSE(tracker.enabled());
+  EXPECT_EQ(tracker.log().Observations(), 0u);
+  EXPECT_FALSE(tracker.HasVerdict());
+}
+
+// ---------------------------------------------------------------------------
+// Targeted adaptation inside Warper::Invoke.
+
+WarperConfig FastConfig() {
+  WarperConfig config;
+  config.hidden_units = 64;
+  config.hidden_layers = 2;
+  config.n_i = 60;
+  config.n_p = 200;
+  config.tracker.targeted = true;
+  config.tracker.min_count = 1;
+  config.tracker.export_name = "";
+  return config;
+}
+
+std::unique_ptr<ce::LmMlp> TrainModel(
+    Env& env, const std::vector<ce::LabeledExample>& train, uint64_t seed) {
+  auto model = std::make_unique<ce::LmMlp>(env.domain.FeatureDim(),
+                                           ce::LmMlpConfig{}, seed);
+  nn::Matrix x;
+  std::vector<double> y;
+  ce::ExamplesToMatrix(train, &x, &y);
+  model->Train(x, y);
+  return model;
+}
+
+// Labels uniformly off by a factor of e^1.5: the GLOBAL δ_m gap crosses π
+// and would fire an adaptation, but no single template's EWMA |ln q| (≈ 1.5)
+// crosses the raised unhealthy threshold — the tracker reads the gap as
+// evenly-spread noise, not a localized drift, and vetoes the pass.
+TEST(WarperTargetedTest, AllHealthyTrackerVetoesWorkloadTrigger) {
+  Env env(40);
+  std::vector<ce::LabeledExample> train =
+      env.Examples(workload::GenMethod::kW1, 600);
+  auto model = TrainModel(env, train, 40);
+  WarperConfig config = FastConfig();
+  // Healthy up to EWMA 2.0; the per-query error below is ≈ 1.5.
+  config.tracker.unhealthy_threshold = 2.0;
+  Warper warper(&env.domain, model.get(), config);
+  ASSERT_TRUE(warper.Initialize(train).ok());
+
+  // Drifted-shape arrivals restricted to estimates far above the q-error
+  // floor θ, so every label moves both δ_m and the per-template EWMA.
+  Warper::Invocation invocation;
+  for (const ce::LabeledExample& q :
+       env.Examples(workload::GenMethod::kW3, 240)) {
+    double est = model->EstimateCardinality(q.features);
+    if (est <= 100.0) continue;
+    ce::LabeledExample labeled = q;
+    labeled.cardinality = std::llround(est * 4.4816890703380645);  // e^1.5
+    invocation.new_queries.push_back(std::move(labeled));
+    if (invocation.new_queries.size() == 60) break;
+  }
+  ASSERT_GE(invocation.new_queries.size(), 20u);
+  Warper::InvocationResult result = warper.Invoke(invocation).ValueOrDie();
+  // The global accuracy gap alone would have triggered adaptation.
+  ASSERT_TRUE(result.delta_m_valid);
+  ASSERT_GT(result.delta_m, 0.2);
+  EXPECT_TRUE(result.targeted_skip);
+  EXPECT_FALSE(result.mode.Any());
+  EXPECT_EQ(result.generated, 0u);
+  EXPECT_EQ(result.annotated, 0u);
+  EXPECT_TRUE(warper.tracker().AllHealthy());
+}
+
+// The same drift with truthful labels: the model is wrong on the new
+// templates, the tracker marks them unhealthy, and the pass runs targeted —
+// never vetoed, budget still bounded by n_p.
+TEST(WarperTargetedTest, UnhealthyTemplatesEngageTargetedAdaptation) {
+  Env env(41);
+  std::vector<ce::LabeledExample> train =
+      env.Examples(workload::GenMethod::kW1, 600);
+  auto model = TrainModel(env, train, 41);
+  WarperConfig config = FastConfig();
+  Warper warper(&env.domain, model.get(), config);
+  ASSERT_TRUE(warper.Initialize(train).ok());
+
+  Warper::Invocation invocation;
+  invocation.new_queries = env.Examples(workload::GenMethod::kW3, 60);
+  invocation.annotation_budget = config.n_p;
+  Warper::InvocationResult result = warper.Invoke(invocation).ValueOrDie();
+  EXPECT_FALSE(result.targeted_skip);
+  EXPECT_TRUE(result.mode.Any());
+  // Ingest observed the labeled arrivals against the pre-update model, so
+  // the verdict exists within the same invocation.
+  EXPECT_GT(warper.tracker().log().Observations(), 0u);
+  EXPECT_GT(result.unhealthy_templates, 0u);
+  EXPECT_LE(result.annotated, config.n_p);
+}
+
+// targeted = false is the seed's exact global behavior: no skips, no
+// targeting flags, whatever the tracker thinks.
+TEST(WarperTargetedTest, GlobalModeNeverSkipsOrTargets) {
+  Env env(42);
+  std::vector<ce::LabeledExample> train =
+      env.Examples(workload::GenMethod::kW1, 600);
+  auto model = TrainModel(env, train, 42);
+  WarperConfig config = FastConfig();
+  config.tracker.targeted = false;
+  Warper warper(&env.domain, model.get(), config);
+  ASSERT_TRUE(warper.Initialize(train).ok());
+
+  Warper::Invocation invocation;
+  invocation.new_queries = env.Examples(workload::GenMethod::kW3, 60);
+  for (ce::LabeledExample& q : invocation.new_queries) {
+    double est = model->EstimateCardinality(q.features);
+    q.cardinality = std::max<int64_t>(1, std::llround(est));
+  }
+  Warper::InvocationResult result = warper.Invoke(invocation).ValueOrDie();
+  EXPECT_FALSE(result.targeted_skip);
+  EXPECT_FALSE(result.targeted);
+}
+
+}  // namespace
+}  // namespace warper::core

@@ -162,6 +162,17 @@ TEST(AdaptationExecutorTest, PriorityFormula) {
   negative.drift_severity = -1.0;
   negative.traffic = -1.0;
   EXPECT_DOUBLE_EQ(AdaptationExecutor::BasePriority(negative, config), 0.5);
+
+  // Localized template failure: offender_pressure substitutes for a quiet
+  // global severity (the drift term is max of the two)...
+  PrioritySignals localized;
+  localized.drift_severity = 0.0;
+  localized.offender_pressure = 1.5;
+  localized.traffic = 2.0;
+  EXPECT_DOUBLE_EQ(AdaptationExecutor::BasePriority(localized, config), 24.5);
+  // ...but never boosts a tenant whose severity already dominates.
+  signals.offender_pressure = 0.25;
+  EXPECT_DOUBLE_EQ(AdaptationExecutor::BasePriority(signals, config), 24.5);
 }
 
 TEST(AdaptationExecutorTest, DriftSeverityOrdersTheQueue) {
@@ -385,6 +396,37 @@ EstimateRequest TenantRequest(uint64_t tenant_id,
   request.tenant_id = tenant_id;
   request.features = std::move(features);
   return request;
+}
+
+TEST(ServingFleetTest, ReportObservationFeedsTenantOffenderViews) {
+  StubFleetEnv env(58);
+  std::vector<ce::LabeledExample> train =
+      env.Examples(workload::GenMethod::kW1, 40);
+  core::ServeConfig config;
+  config.batch_max = 1;
+  ServingFleet fleet(config);
+  ASSERT_TRUE(fleet.AddTenant(7, env.MakeTenant(train)).ok());
+  ASSERT_TRUE(fleet.Start().ok());
+
+  const std::vector<double>& probe = train[0].features;
+  // Unknown tenants are NotFound on both feedback surfaces.
+  EXPECT_EQ(fleet.ReportObservation(8, probe, 100.0).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(fleet.TenantTopOffenders(8, 3).status().code(),
+            StatusCode::kNotFound);
+
+  EXPECT_TRUE(fleet.TenantTopOffenders(7, 3).ValueOrDie().empty());
+  // Feedback far off the stub's estimate, past the default min_count: the
+  // one reported template becomes this tenant's top offender.
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(fleet.ReportObservation(7, probe, 1e9).ok());
+  }
+  std::vector<core::TemplateTracker::Offender> top =
+      fleet.TenantTopOffenders(7, 3).ValueOrDie();
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].stats.count, 8u);
+  EXPECT_GT(top[0].drift_score, 1.0);
+  fleet.Stop();
 }
 
 TEST(ServingFleetTest, RoutesByTenantAndReportsVersions) {

@@ -11,6 +11,7 @@
 #include "ce/metrics.h"
 #include "storage/annotator.h"
 #include "storage/datasets.h"
+#include "util/metrics.h"
 #include "util/rng.h"
 #include "workload/generator.h"
 
@@ -203,6 +204,87 @@ TEST(EstimationServerTest, EvalSetValidation) {
   EXPECT_FALSE(server.SetEvalSet({{{1.0, 2.0}, 10}}).ok());  // wrong width
   ASSERT_TRUE(server.Start().ok());
   EXPECT_FALSE(server.SetEvalSet(train).ok());  // too late
+  server.Stop();
+}
+
+TEST(EstimationServerTest, ReportObservationValidation) {
+  Env env(36);
+  std::vector<ce::LabeledExample> train =
+      env.Examples(workload::GenMethod::kW1, 400);
+  auto model = TrainModel(env, train, 36);
+  core::Warper warper(&env.domain, model.get(), FastConfig());
+  ASSERT_TRUE(warper.Initialize(train).ok());
+  EstimationServer server(&warper);
+
+  const std::vector<double>& probe = train[0].features;
+  // Not running yet.
+  EXPECT_EQ(server.ReportObservation(probe, 100.0).code(),
+            StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(server.Start().ok());
+  // Wrong feature width.
+  EXPECT_EQ(server.ReportObservation({1.0, 2.0}, 100.0).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(server.ReportObservation(probe, 100.0).ok());
+  server.Stop();
+  EXPECT_FALSE(server.ReportObservation(probe, 100.0).ok());
+}
+
+TEST(EstimationServerTest, ReportObservationDrivesOffenderPressure) {
+  Env env(37);
+  std::vector<ce::LabeledExample> train =
+      env.Examples(workload::GenMethod::kW1, 400);
+  auto model = TrainModel(env, train, 37);
+  core::WarperConfig config = FastConfig();
+  config.tracker.min_count = 2;
+  core::Warper warper(&env.domain, model.get(), config);
+  ASSERT_TRUE(warper.Initialize(train).ok());
+
+  EstimationServer server(&warper);
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_DOUBLE_EQ(server.offender_pressure(), 0.0);
+  EXPECT_TRUE(server.TopOffenders(3).empty());
+
+  // Serving-path feedback far off the served estimate: the only observed
+  // template goes unhealthy, so its traffic share — the offender pressure
+  // the executor probe reads — is 1.
+  const std::vector<double>& probe = train[0].features;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(server.ReportObservation(probe, 1e9).ok());
+  }
+  EXPECT_DOUBLE_EQ(server.offender_pressure(), 1.0);
+  std::vector<core::TemplateTracker::Offender> top = server.TopOffenders(3);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].stats.count, 3u);
+  EXPECT_GT(top[0].drift_score, 1.0);
+  server.Stop();
+}
+
+TEST(EstimationServerTest, TenantMetricsPublishDriftSeverityGauge) {
+  Env env(38);
+  std::vector<ce::LabeledExample> train =
+      env.Examples(workload::GenMethod::kW1, 600);
+  auto model = TrainModel(env, train, 38);
+  core::WarperConfig config = FastConfig();
+  config.serve.regression_tolerance = 100.0;  // never roll back
+  core::Warper warper(&env.domain, model.get(), config);
+  ASSERT_TRUE(warper.Initialize(train).ok());
+
+  ServerOptions options;
+  options.tenant_id = 77;
+  options.tenant_metrics = true;
+  EstimationServer server(&warper, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  core::Warper::Invocation invocation;
+  invocation.new_queries = env.Examples(workload::GenMethod::kW3, 60);
+  ASSERT_TRUE(server.SubmitInvocation(std::move(invocation)).get().ok());
+
+  // The per-tenant instance carries this tenant's severity (the global
+  // warper.drift_severity gauge only shows the last writer fleet-wide).
+  util::MetricsSnapshot snap = util::Metrics().Snapshot();
+  auto it = snap.gauges.find("warper.drift_severity.77");
+  ASSERT_NE(it, snap.gauges.end());
+  EXPECT_DOUBLE_EQ(it->second, server.drift_severity());
   server.Stop();
 }
 

@@ -1,0 +1,233 @@
+// util::ErrorLog: running-stat math, the sharded store, offender views and
+// the named-registry export surface behind WARPER_ERRLOG.
+#include "util/errlog.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace warper::util {
+namespace {
+
+TEST(RunningErrorStatsTest, EmptyStatsAreAllZero) {
+  RunningErrorStats s;
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.MeanErr(), 0.0);
+  EXPECT_DOUBLE_EQ(s.RmsErr(), 0.0);
+  EXPECT_DOUBLE_EQ(s.CostWeightedErr(), 0.0);
+}
+
+TEST(RunningErrorStatsTest, ObserveMatchesHandComputedMoments) {
+  RunningErrorStats s;
+  const double alpha = 0.5;
+  s.Observe(1.0, 10.0, /*tick=*/1, alpha);
+  s.Observe(3.0, 30.0, /*tick=*/2, alpha);
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_DOUBLE_EQ(s.MeanErr(), 2.0);
+  EXPECT_DOUBLE_EQ(s.RmsErr(), std::sqrt((1.0 + 9.0) / 2.0));
+  // The first observation seeds the EWMA; the second blends against it.
+  EXPECT_DOUBLE_EQ(s.ewma_err, 0.5 * 3.0 + 0.5 * 1.0);
+  // Σ cost·err / Σ cost = (10·1 + 30·3) / 40.
+  EXPECT_DOUBLE_EQ(s.CostWeightedErr(), 100.0 / 40.0);
+  EXPECT_EQ(s.last_seen_tick, 2u);
+}
+
+TEST(RunningErrorStatsTest, LastSeenTickNeverRegresses) {
+  RunningErrorStats s;
+  s.Observe(1.0, 1.0, /*tick=*/9, 0.2);
+  s.Observe(1.0, 1.0, /*tick=*/4, 0.2);  // out-of-order delivery
+  EXPECT_EQ(s.last_seen_tick, 9u);
+}
+
+TEST(RunningErrorStatsTest, ZeroCostFallsBackToMeanErr) {
+  RunningErrorStats s;
+  s.Observe(2.0, 0.0, 1, 0.2);
+  s.Observe(4.0, 0.0, 2, 0.2);
+  EXPECT_DOUBLE_EQ(s.CostWeightedErr(), 3.0);
+}
+
+TEST(RunningErrorStatsTest, MergeIsExactOnCumulativeFields) {
+  const double alpha = 0.3;
+  RunningErrorStats a, b, all;
+  const std::vector<double> errs_a = {1.0, 2.0, 5.0};
+  const std::vector<double> errs_b = {0.5, 7.0};
+  uint64_t tick = 0;
+  for (double e : errs_a) {
+    a.Observe(e, 2.0 * e, ++tick, alpha);
+    all.Observe(e, 2.0 * e, tick, alpha);
+  }
+  for (double e : errs_b) {
+    b.Observe(e, 2.0 * e, ++tick, alpha);
+    all.Observe(e, 2.0 * e, tick, alpha);
+  }
+  RunningErrorStats merged = a;
+  merged.Merge(b);
+  // Sums are stored (not derived means) precisely so the merge is exact.
+  EXPECT_EQ(merged.count, all.count);
+  EXPECT_DOUBLE_EQ(merged.sum_err, all.sum_err);
+  EXPECT_DOUBLE_EQ(merged.sum_sq_err, all.sum_sq_err);
+  EXPECT_DOUBLE_EQ(merged.sum_cost, all.sum_cost);
+  EXPECT_DOUBLE_EQ(merged.sum_cost_err, all.sum_cost_err);
+  EXPECT_EQ(merged.last_seen_tick, all.last_seen_tick);
+  // The EWMA has no exact order-independent merge; the contract is the
+  // count-weighted average of the inputs.
+  EXPECT_DOUBLE_EQ(merged.ewma_err, (a.ewma_err * 3.0 + b.ewma_err * 2.0) / 5.0);
+}
+
+TEST(RunningErrorStatsTest, MergeWithEmptyIsIdentityBothWays) {
+  RunningErrorStats s;
+  s.Observe(2.0, 4.0, 3, 0.2);
+  RunningErrorStats copy = s;
+  copy.Merge(RunningErrorStats{});
+  EXPECT_EQ(copy.count, s.count);
+  EXPECT_DOUBLE_EQ(copy.ewma_err, s.ewma_err);
+
+  RunningErrorStats empty;
+  empty.Merge(s);
+  EXPECT_EQ(empty.count, s.count);
+  EXPECT_DOUBLE_EQ(empty.sum_err, s.sum_err);
+  EXPECT_DOUBLE_EQ(empty.ewma_err, s.ewma_err);
+}
+
+TEST(ErrorLogTest, RecordLookupRoundTrip) {
+  ErrorLog log;
+  RunningErrorStats stats;
+  EXPECT_FALSE(log.Lookup(42, &stats));
+  log.Record(42, 1.5, 10.0, 7);
+  ASSERT_TRUE(log.Lookup(42, &stats));
+  EXPECT_EQ(stats.count, 1u);
+  EXPECT_DOUBLE_EQ(stats.ewma_err, 1.5);
+  EXPECT_EQ(stats.last_seen_tick, 7u);
+  EXPECT_EQ(log.NumKeys(), 1u);
+  EXPECT_EQ(log.Observations(), 1u);
+}
+
+TEST(ErrorLogTest, TopOffendersWorstEwmaFirstTiesByKey) {
+  ErrorLog log;
+  log.Record(3, 1.0, 1.0, 1);
+  log.Record(1, 5.0, 1.0, 1);
+  log.Record(9, 2.0, 1.0, 1);
+  // Equal EWMA to key 9's: the tie breaks toward the smaller key.
+  log.Record(7, 2.0, 1.0, 1);
+  std::vector<ErrorLog::Entry> top = log.TopOffenders(3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].key, 1u);
+  EXPECT_EQ(top[1].key, 7u);
+  EXPECT_EQ(top[2].key, 9u);
+  // k larger than the population returns everything.
+  EXPECT_EQ(log.TopOffenders(100).size(), 4u);
+}
+
+TEST(ErrorLogTest, AggregateMergesEveryKey) {
+  ErrorLog log;
+  log.Record(1, 1.0, 2.0, 1);
+  log.Record(2, 3.0, 4.0, 2);
+  log.Record(1, 5.0, 6.0, 3);
+  RunningErrorStats total = log.Aggregate();
+  EXPECT_EQ(total.count, 3u);
+  EXPECT_DOUBLE_EQ(total.sum_err, 9.0);
+  EXPECT_DOUBLE_EQ(total.sum_cost, 12.0);
+  EXPECT_EQ(total.last_seen_tick, 3u);
+}
+
+TEST(ErrorLogTest, ClearDropsEverything) {
+  ErrorLog log;
+  log.Record(1, 1.0, 1.0, 1);
+  log.Record(2, 1.0, 1.0, 1);
+  log.Clear();
+  EXPECT_EQ(log.NumKeys(), 0u);
+  EXPECT_EQ(log.Observations(), 0u);
+  RunningErrorStats stats;
+  EXPECT_FALSE(log.Lookup(1, &stats));
+  // Still usable after the wipe.
+  log.Record(1, 2.0, 1.0, 5);
+  ASSERT_TRUE(log.Lookup(1, &stats));
+  EXPECT_EQ(stats.count, 1u);
+}
+
+// Concurrent writers across overlapping keys: counts and sums must be exact
+// (shard mutexes, no lost updates). The TSan job's main target in this file.
+TEST(ErrorLogTest, ConcurrentWritersAreExact) {
+  ErrorLog log;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 4000;
+  constexpr uint64_t kKeys = 16;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&log, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        log.Record(static_cast<uint64_t>(i) % kKeys, 1.0, 2.0,
+                   static_cast<uint64_t>(t));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(log.Observations(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(log.NumKeys(), kKeys);
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    RunningErrorStats stats;
+    ASSERT_TRUE(log.Lookup(k, &stats));
+    EXPECT_EQ(stats.count,
+              static_cast<uint64_t>(kThreads) * kPerThread / kKeys);
+    EXPECT_DOUBLE_EQ(stats.sum_err, static_cast<double>(stats.count));
+  }
+}
+
+TEST(ErrLogRegistryTest, RegisteredLogsAppearInJsonWithDedupedNames) {
+  std::shared_ptr<ErrorLog> a = NewRegisteredErrorLog("test.errlog.dup");
+  std::shared_ptr<ErrorLog> b = NewRegisteredErrorLog("test.errlog.dup");
+  a->Record(0xABCDEF, 1.0, 1.0, 1);
+  std::string json = ErrLogsToJson();
+  EXPECT_NE(json.find("\"test.errlog.dup\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.errlog.dup#2\""), std::string::npos);
+  EXPECT_NE(json.find("0000000000abcdef"), std::string::npos);
+}
+
+TEST(ErrLogRegistryTest, EmptyNameMeansUnregistered) {
+  std::shared_ptr<ErrorLog> anon = NewRegisteredErrorLog("");
+  anon->Record(0x5151515151, 9.0, 1.0, 1);
+  EXPECT_EQ(ErrLogsToJson().find("5151515151"), std::string::npos);
+}
+
+TEST(ErrLogRegistryTest, DeadLogsDropOutOfExports) {
+  // Retention only applies under WARPER_ERRLOG, which the test binary does
+  // not set; a log must vanish from the export with its owner.
+  { NewRegisteredErrorLog("test.errlog.ephemeral")->Record(1, 1.0, 1.0, 1); }
+  EXPECT_EQ(ErrLogsToJson().find("test.errlog.ephemeral"), std::string::npos);
+  EXPECT_EQ(ErrLogsTextDump().find("test.errlog.ephemeral"),
+            std::string::npos);
+}
+
+TEST(ErrLogRegistryTest, TextDumpShowsOffenderRows) {
+  std::shared_ptr<ErrorLog> log = NewRegisteredErrorLog("test.errlog.dump");
+  log->Record(0x2A, 1.0, 1.0, 3);
+  std::string dump = ErrLogsTextDump();
+  EXPECT_NE(dump.find("test.errlog.dump"), std::string::npos);
+  EXPECT_NE(dump.find("000000000000002a"), std::string::npos);
+}
+
+TEST(ErrLogRegistryTest, ExportWritesJsonDocument) {
+  std::shared_ptr<ErrorLog> log = NewRegisteredErrorLog("test.errlog.export");
+  log->Record(7, 2.0, 3.0, 1);
+  std::string path = testing::TempDir() + "errlog_export_test.json";
+  ASSERT_TRUE(ExportErrLogs(path).ok());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::string doc((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  EXPECT_NE(doc.find("\"logs\""), std::string::npos);
+  EXPECT_NE(doc.find("test.errlog.export"), std::string::npos);
+  std::remove(path.c_str());
+
+  EXPECT_FALSE(ExportErrLogs("/nonexistent-dir/errlog.json").ok());
+}
+
+}  // namespace
+}  // namespace warper::util

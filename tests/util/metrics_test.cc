@@ -81,6 +81,39 @@ TEST(HistogramTest, BucketsByUpperBound) {
   EXPECT_DOUBLE_EQ(h.Sum(), 0.0);
 }
 
+TEST(HistogramTest, QuantileOfEmptyHistogramIsZero) {
+  Histogram h({1.0, 10.0});
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, QuantileInterpolatesWithinBucket) {
+  Histogram h({10.0, 20.0});
+  for (int i = 0; i < 5; ++i) h.Observe(5.0);  // all in (0, 10]
+  // target = 2.5 of 5 observations, half-way through [0, 10].
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 10.0);
+}
+
+TEST(HistogramTest, QuantileSpansBuckets) {
+  Histogram h({10.0, 20.0, 30.0});
+  for (int i = 0; i < 2; ++i) h.Observe(5.0);   // bucket (0, 10]
+  for (int i = 0; i < 2; ++i) h.Observe(25.0);  // bucket (20, 30]
+  // Median target = 2, satisfied exactly at the top of the first bucket.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 10.0);
+  // target = 3 lands half-way through the (20, 30] bucket's two samples.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.75), 25.0);
+}
+
+TEST(HistogramTest, QuantileClampsPAndOverflowReturnsLastBound) {
+  Histogram h({10.0, 20.0});
+  h.Observe(5.0);
+  h.Observe(99.0);  // overflow bucket
+  EXPECT_DOUBLE_EQ(h.Quantile(-1.0), h.Quantile(0.0));
+  // The overflow bucket has no upper edge: the last finite bound caps it.
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 20.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(2.0), 20.0);
+}
+
 TEST(HistogramTest, ConcurrentObservesAreExact) {
   Histogram h({10.0});
   constexpr int kThreads = 4;

@@ -51,6 +51,11 @@ METRIC_NAME_ONLY_RE = re.compile(r'^\s*"([^"]+)"')
 # — so the FAMILY literal at the call site is what registers against the
 # registry (the registry lists families, not per-tenant instances).
 TENANT_METRIC_CALL_RE = re.compile(r'TenantMetricName\(\s*"([^"]+)"')
+# Per-template metric instances follow the same contract with the
+# fingerprint inserted after the prefix —
+# TemplateMetricName("warper.template.err_ewma", fp) →
+# "warper.template.<16-hex-fp>.err_ewma" — the family literal is enforced.
+TEMPLATE_METRIC_CALL_RE = re.compile(r'TemplateMetricName\(\s*"([^"]+)"')
 ENFORCED_METRIC_PREFIXES = ("serve.", "warper.")
 
 TODO_RE = re.compile(r"\bTODO\b")
@@ -101,6 +106,8 @@ def collect_metric_names(code_lines):
         for m in METRIC_CALL_RE.finditer(line):
             names.add(m.group(1))
         for m in TENANT_METRIC_CALL_RE.finditer(line):
+            names.add(m.group(1))
+        for m in TEMPLATE_METRIC_CALL_RE.finditer(line):
             names.add(m.group(1))
         if METRIC_CALL_OPEN_RE.search(line):
             pending_call = True
