@@ -11,6 +11,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -89,6 +90,28 @@ inline workload::GeneratorOptions GenOptsFor(const std::string& name) {
     opts.max_constrained_cols = 6;
   }
   return opts;
+}
+
+// Runs one drift scenario in the standard single-table LM-mlp setup every
+// §4.1 row uses: dataset × workload spec × DriftSpec. The fig06/tab07c/grid
+// benches all funnel through here instead of each re-assembling the spec.
+inline eval::DriftExperimentResult RunTableDrift(
+    const std::string& dataset, const BenchScale& scale,
+    const std::string& workload_spec, const drift::DriftSpec& drift_spec,
+    const std::vector<eval::Method>& methods, uint64_t seed,
+    size_t annotation_budget = std::numeric_limits<size_t>::max(),
+    bool compute_beta = true) {
+  eval::SingleTableDriftSpec spec;
+  spec.table_factory = DatasetFactory(dataset, scale.table_rows);
+  spec.workload = workload::WorkloadSpec::Parse(workload_spec).ValueOrDie();
+  spec.model_factory = eval::LmMlpFactory();
+  spec.methods = methods;
+  spec.config = DefaultConfig(scale, seed);
+  spec.config.gen_opts = GenOptsFor(dataset);
+  spec.config.drift = drift_spec;
+  spec.config.annotation_budget_per_step = annotation_budget;
+  spec.config.compute_beta = compute_beta;
+  return eval::RunSingleTableDrift(spec);
 }
 
 // One paper-style result row: dataset, workload, δ_m, δ_js, Δ.5/.8/1.

@@ -1,0 +1,121 @@
+// DriftLab grid: GMQ-vs-time adaptation surfaces over an intensity × cadence
+// grid for each drift-scenario family (data, workload, correlated,
+// oscillating). Every cell is one RunSingleTableDrift with Warper only —
+// the surface shows how adaptation quality degrades as drifts get harder
+// (intensity ↑) and faster (cadence ↓ relative to the adaptation period).
+// The oscillating family additionally tracks π-escalation misfires: flips
+// faster than the adaptation cadence make early-stop raise π repeatedly.
+//
+// Emits BENCH_driftgrid.json; tools/check_driftgrid.py gates CI against the
+// committed baseline (tools/driftgrid_baseline.json).
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "drift/spec.h"
+#include "util/metrics.h"
+
+int main(int argc, char** argv) {
+  using namespace warper;
+  bench::BenchInit();
+  std::string out_path = "BENCH_driftgrid.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") != 0) out_path = argv[i];
+  }
+  const bool fast = bench::FastMode();
+  bench::BenchScale scale = bench::GetScale();
+  scale.repeats = 1;  // the grid trades repeats for coverage
+  // Cadence 4 must fit inside the run so ramps complete and oscillations
+  // flip at least once.
+  if (scale.steps < 4) scale.steps = 4;
+
+  util::PrintBanner(std::cout,
+                    "DriftLab grid: GMQ vs time over intensity x cadence");
+
+  const std::vector<double> intensities = {0.25, 0.5, 1.0};
+  const std::vector<size_t> cadences = {1, 2, 4};
+
+  // One row per family: the spec-grammar suffix, the workload pairing and
+  // the annotation budget divisor (0 = unlimited). Data-drifting families
+  // run label-starved (the c1 regime); workload families carry labels so
+  // the surface isolates the drift shape, not the labeling budget.
+  struct Family {
+    const char* name;
+    const char* suffix;    // appended after "family@I/C"
+    const char* workload;
+    size_t budget_divisor;
+  };
+  const std::vector<Family> families = {
+      {"data", "", "w1-5", 2},
+      {"workload", "+labels", "w12/345", 0},
+      {"corr", "+labels", "w12/345", 2},
+      {"osc", "+labels", "w12/345", 0},
+  };
+
+  util::Counter* escalations =
+      util::Metrics().GetCounter("warper.pi_escalations");
+
+  bench::JsonWriter w;
+  w.BeginObject();
+  w.Key("bench").Value("driftgrid");
+  w.Key("fast").Value(fast);
+  w.Key("dataset").Value("PRSA");
+  w.Key("steps").Value(static_cast<uint64_t>(scale.steps));
+  w.Key("queries_per_step").Value(static_cast<uint64_t>(scale.queries_per_step));
+  w.Key("families").BeginArray();
+
+  for (const Family& family : families) {
+    w.BeginObject();
+    w.Key("family").Value(family.name);
+    w.Key("workload").Value(family.workload);
+    w.Key("cells").BeginArray();
+    for (double intensity : intensities) {
+      for (size_t cadence : cadences) {
+        std::string drift_text = std::string(family.name) + "@" +
+                                 util::FormatDouble(intensity, 2) + "/" +
+                                 std::to_string(cadence) + family.suffix;
+        drift::DriftSpec drift_spec =
+            drift::DriftSpec::Parse(drift_text).ValueOrDie();
+        size_t budget = family.budget_divisor == 0
+                            ? std::numeric_limits<size_t>::max()
+                            : scale.queries_per_step / family.budget_divisor;
+
+        uint64_t escalations_before = escalations->Value();
+        eval::DriftExperimentResult result = bench::RunTableDrift(
+            "PRSA", scale, family.workload, drift_spec,
+            {eval::Method::kWarper}, /*seed=*/91, budget,
+            /*compute_beta=*/false);
+        uint64_t cell_escalations = escalations->Value() - escalations_before;
+        const eval::MethodResult& warper = result.methods[0];
+
+        std::cout << drift_text << ": gmq "
+                  << util::FormatDouble(warper.median.gmq.front(), 2) << " -> "
+                  << util::FormatDouble(warper.median.gmq.back(), 2) << " ("
+                  << cell_escalations << " pi escalations)\n";
+
+        w.BeginObject();
+        w.Key("drift").Value(drift_spec.ToString());
+        w.Key("intensity").Value(intensity, 2);
+        w.Key("cadence").Value(static_cast<uint64_t>(cadence));
+        w.Key("alpha").Value(result.alpha, 3);
+        w.Key("delta_js").Value(result.delta_js, 3);
+        w.Key("gmq_final").Value(warper.median.gmq.back(), 3);
+        w.Key("annotated").Value(warper.annotations, 1);
+        w.Key("pi_escalations").Value(cell_escalations);
+        w.Key("gmq_curve").BeginArray();
+        for (double g : warper.median.gmq) w.Value(g, 3);
+        w.EndArray();
+        w.EndObject();
+      }
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+  bench::AttachErrLogSnapshot(&w);
+  bench::AttachMetricsSnapshot(&w);
+  w.EndObject();
+  bench::EmitJson(w, out_path);
+  return 0;
+}

@@ -6,10 +6,12 @@
 // match the global trigger's GMQ recovery at a fraction of the annotation
 // cost c_A. Emits BENCH_targeted.json.
 //
-// Three Figure-2-style drift schedules: a one-shot permanent shift, a
-// periodic on/off shift, and a linear ramp. Both arms of each schedule run
-// the SAME pregenerated arrival stream, the same seeds and the same
-// initial model clone — the only difference is config.tracker.targeted.
+// Three Figure-2-style drift schedules, expressed as drift::DriftSpec
+// profiles: a one-shot permanent shift ("workload"), a periodic on/off
+// shift ("osc") and a linear ramp ("workload@1.0/<steps>"). Both arms of
+// each schedule run the SAME pregenerated arrival stream, the same seeds
+// and the same initial model clone — the only difference is
+// config.tracker.targeted.
 //
 // `--check` turns the bench into a CI gate: targeted must reach a final
 // post-drift GMQ within 5% of global on every schedule while annotating at
@@ -24,6 +26,7 @@
 #include "ce/lm.h"
 #include "ce/metrics.h"
 #include "core/template_tracker.h"
+#include "drift/schedule.h"
 #include "core/warper.h"
 #include "storage/annotator.h"
 #include "util/rng.h"
@@ -75,10 +78,11 @@ struct StepArrivals {
   std::vector<ce::LabeledExample> queries;  // cardinality = -1 ⇒ unlabeled
 };
 
-struct Schedule {
+// A named drift profile; the per-step intensity of the B templates comes
+// from DriftSchedule::WorkloadWeightAt (warmup steps are always 0).
+struct NamedDrift {
   std::string name;
-  // Drift intensity for arrivals of step `s` (warmup steps are always 0).
-  std::function<double(size_t)> intensity;
+  drift::DriftSpec spec;
 };
 
 struct ScheduleScale {
@@ -99,14 +103,15 @@ struct ScheduleInputs {
 ScheduleInputs BuildInputs(const storage::Table& table,
                            const storage::Annotator& annotator,
                            const ce::SingleTableDomain& domain,
-                           const Schedule& schedule,
+                           const drift::DriftSchedule& schedule,
                            const ScheduleScale& scale, uint64_t seed) {
   util::Rng rng(seed);
   ScheduleInputs inputs;
   const size_t total_steps = scale.warmup_steps + scale.drift_steps;
   for (size_t s = 0; s < total_steps; ++s) {
-    double intensity =
-        s < scale.warmup_steps ? 0.0 : schedule.intensity(s - scale.warmup_steps);
+    double intensity = s < scale.warmup_steps
+                           ? 0.0
+                           : schedule.WorkloadWeightAt(s - scale.warmup_steps);
     StepArrivals step;
     std::vector<storage::RangePredicate> labeled_preds;
     for (size_t i = 0; i < scale.labeled_per_step; ++i) {
@@ -273,14 +278,15 @@ int main(int argc, char** argv) {
     trained.Train(x, y);
   }
 
-  std::vector<Schedule> schedules = {
-      {"oneshot", [](size_t) { return 1.0; }},
-      {"periodic", [](size_t s) { return s % 2 == 0 ? 1.0 : 0.0; }},
-      {"ramp",
-       [&scale](size_t s) {
-         return static_cast<double>(s + 1) /
-                static_cast<double>(scale.drift_steps);
-       }},
+  // oneshot = immediate permanent flip; periodic = oscillation at every
+  // step (the π-escalation stressor); ramp = linear onset over the whole
+  // drift window. All three are plain DriftSpec strings.
+  std::vector<NamedDrift> schedules = {
+      {"oneshot", drift::DriftSpec::Parse("workload").ValueOrDie()},
+      {"periodic", drift::DriftSpec::Parse("osc").ValueOrDie()},
+      {"ramp", drift::DriftSpec::Parse(
+                   "workload@1.0/" + std::to_string(scale.drift_steps))
+                   .ValueOrDie()},
   };
 
   JsonWriter w;
@@ -299,9 +305,12 @@ int main(int argc, char** argv) {
 
   w.Key("schedules").BeginArray();
   for (size_t si = 0; si < schedules.size(); ++si) {
-    const Schedule& schedule = schedules[si];
-    ScheduleInputs inputs = BuildInputs(table, annotator, domain, schedule,
-                                        scale, /*seed=*/101 + si);
+    const NamedDrift& schedule = schedules[si];
+    drift::DriftSchedule drift_schedule(schedule.spec, workload::WorkloadSpec{},
+                                        scale.drift_steps);
+    ScheduleInputs inputs = BuildInputs(table, annotator, domain,
+                                        drift_schedule, scale,
+                                        /*seed=*/101 + si);
     ArmResult global = RunArm(domain, trained, train_corpus, inputs, scale,
                               /*targeted=*/false,
                               "global-" + schedule.name);
@@ -330,6 +339,7 @@ int main(int argc, char** argv) {
 
     w.BeginObject();
     w.Key("name").Value(schedule.name);
+    w.Key("drift").Value(schedule.spec.ToString());
     EmitArm(&w, "global", global);
     EmitArm(&w, "targeted", targeted);
     w.Key("gmq_ratio").Value(gmq_ratio, 3);

@@ -18,16 +18,11 @@ int main() {
                             "D.8", "D1"});
   std::vector<std::string> datasets = {"PRSA", "Poker", "Higgs"};
   for (const std::string& dataset : datasets) {
-    eval::SingleTableDriftSpec spec;
-    spec.table_factory = bench::DatasetFactory(dataset, scale.table_rows);
-    spec.workload = workload::WorkloadSpec::Parse("w12/345").ValueOrDie();
-    spec.model_factory = eval::LmMlpFactory();
-    spec.methods = {eval::Method::kFt, eval::Method::kMix, eval::Method::kAug,
-                    eval::Method::kHem, eval::Method::kWarper};
-    spec.config = bench::DefaultConfig(scale, /*seed=*/61);
-    spec.config.gen_opts = bench::GenOptsFor(dataset);
-
-    eval::DriftExperimentResult result = eval::RunSingleTableDrift(spec);
+    eval::DriftExperimentResult result = bench::RunTableDrift(
+        dataset, scale, "w12/345", drift::DriftSpec::C2(),
+        {eval::Method::kFt, eval::Method::kMix, eval::Method::kAug,
+         eval::Method::kHem, eval::Method::kWarper},
+        /*seed=*/61);
     bench::PrintCurves(std::cout, dataset + " c2 w12/345 LM-mlp", result);
     for (const eval::MethodResult& m : result.methods) {
       if (m.name == "Warper") {

@@ -16,45 +16,30 @@ int main() {
   util::TablePrinter table({"Dataset", "Case", "Wkld", "dm", "djs", "D.5",
                             "D.8", "D1"});
 
+  // Each case is one preset-drift run: (workload, preset, seed, budget).
+  struct Case {
+    const char* label;
+    const char* workload;
+    drift::DriftSpec drift;
+    uint64_t seed;
+    size_t budget_divisor;
+  };
+  const std::vector<Case> cases = {
+      {"c1", "w1-5", drift::DriftSpec::C1(), 73, 2},
+      {"c3", "w12/345", drift::DriftSpec::C3(), 74, 3},
+  };
+
   for (const std::string dataset : {"PRSA", "Poker", "Higgs"}) {
-    // --- c1: data drift, workload unchanged. ---
-    {
-      eval::SingleTableDriftSpec spec;
-      spec.table_factory = bench::DatasetFactory(dataset, scale.table_rows);
-      spec.workload = workload::WorkloadSpec::Parse("w1-5").ValueOrDie();
-      spec.model_factory = eval::LmMlpFactory();
-      spec.methods = {eval::Method::kFt, eval::Method::kWarper};
-      spec.config = bench::DefaultConfig(scale, /*seed=*/73);
-      spec.config.gen_opts = bench::GenOptsFor(dataset);
-      spec.config.drift = eval::DriftKind::kDataC1;
-      spec.config.annotation_budget_per_step = scale.queries_per_step / 2;
-
-      eval::DriftExperimentResult result = eval::RunSingleTableDrift(spec);
+    for (const Case& c : cases) {
+      eval::DriftExperimentResult result = bench::RunTableDrift(
+          dataset, scale, c.workload, c.drift,
+          {eval::Method::kFt, eval::Method::kWarper}, c.seed,
+          scale.queries_per_step / c.budget_divisor);
       std::vector<std::string> row =
-          bench::DeltaRow(dataset, "w1-5", "LM-mlp", result,
+          bench::DeltaRow(dataset, c.workload, "LM-mlp", result,
                           result.methods[1]);
-      row[2] = "c1";  // replace the model column with the drift case
-      table.AddRow({row[0], "c1", "w1-5", row[3], row[4], row[5], row[6],
-                    row[7]});
-    }
-    // --- c3: workload drift, labels lag. ---
-    {
-      eval::SingleTableDriftSpec spec;
-      spec.table_factory = bench::DatasetFactory(dataset, scale.table_rows);
-      spec.workload = workload::WorkloadSpec::Parse("w12/345").ValueOrDie();
-      spec.model_factory = eval::LmMlpFactory();
-      spec.methods = {eval::Method::kFt, eval::Method::kWarper};
-      spec.config = bench::DefaultConfig(scale, /*seed=*/74);
-      spec.config.gen_opts = bench::GenOptsFor(dataset);
-      spec.config.drift = eval::DriftKind::kWorkloadC3;
-      spec.config.annotation_budget_per_step = scale.queries_per_step / 3;
-
-      eval::DriftExperimentResult result = eval::RunSingleTableDrift(spec);
-      std::vector<std::string> row =
-          bench::DeltaRow(dataset, "w12/345", "LM-mlp", result,
-                          result.methods[1]);
-      table.AddRow({row[0], "c3", "w12/345", row[3], row[4], row[5], row[6],
-                    row[7]});
+      table.AddRow({row[0], c.label, c.workload, row[3], row[4], row[5],
+                    row[6], row[7]});
     }
   }
   table.Print(std::cout);

@@ -5,7 +5,7 @@ function(warper_bench name)
   add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cpp)
   target_link_libraries(${name} PRIVATE
     warper_eval warper_qo warper_baselines warper_serve warper_core warper_ce
-    warper_workload warper_storage warper_ml warper_nn warper_util)
+    warper_drift warper_workload warper_storage warper_ml warper_nn warper_util)
   target_include_directories(${name} PRIVATE ${CMAKE_SOURCE_DIR}/bench)
   set_target_properties(${name} PROPERTIES
     RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
@@ -31,3 +31,4 @@ warper_bench(bench_kernels)
 warper_bench(bench_serving)
 warper_bench(bench_fleet)
 warper_bench(bench_targeted)
+warper_bench(bench_driftgrid)

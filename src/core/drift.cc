@@ -5,6 +5,7 @@
 
 #include "ml/pca.h"
 #include "nn/matrix.h"
+#include "util/metrics.h"
 #include "util/stats.h"
 #include "util/status.h"
 
@@ -101,6 +102,10 @@ void DriftDetector::ReportAdaptationGain(double gain, const ModeFlags& mode) {
   if (gain < config_.early_stop_gain) {
     // Early stop: require a larger drift before adapting again.
     pi_ = std::min(pi_ * config_.pi_growth, config_.pi_max);
+    ++pi_escalations_;
+    static util::Counter* escalations =
+        util::Metrics().GetCounter("warper.pi_escalations");
+    escalations->Increment();
     // Slow improvement under c4 indicates an underestimated γ (§3.4).
     if (mode.c4 && !mode.c2) {
       gamma_ = static_cast<size_t>(static_cast<double>(gamma_) *

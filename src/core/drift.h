@@ -73,12 +73,18 @@ class DriftDetector {
   double pi() const { return pi_; }
   size_t gamma() const { return gamma_; }
   double training_error() const { return gmq_train_; }
+  // How often the early stop raised π over this detector's lifetime. Under
+  // an oscillating drift faster than the adaptation cadence, each misfired
+  // adaptation (flip reverses before the gain lands) escalates π — this is
+  // the misfire count the drift-grid bench tracks.
+  size_t pi_escalations() const { return pi_escalations_; }
 
  private:
   WarperConfig config_;
   double gmq_train_ = 1.0;
   double pi_;
   size_t gamma_;
+  size_t pi_escalations_ = 0;
 };
 
 // δ_js: the symmetric discrete Jensen–Shannon workload distance (§3.1).

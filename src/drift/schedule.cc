@@ -1,0 +1,140 @@
+#include "drift/schedule.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "storage/data_drift.h"
+#include "util/metrics.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace warper::drift {
+namespace {
+
+struct DriftGauges {
+  util::Gauge* step = util::Metrics().GetGauge("drift.step");
+  util::Gauge* intensity = util::Metrics().GetGauge("drift.intensity");
+};
+
+DriftGauges& GetDriftGauges() {
+  static DriftGauges* gauges = new DriftGauges();
+  return *gauges;
+}
+
+}  // namespace
+
+DriftSchedule::DriftSchedule(const DriftSpec& spec,
+                             const workload::WorkloadSpec& workload,
+                             size_t steps)
+    : spec_(spec), workload_(workload), steps_(steps) {
+  WARPER_CHECK_MSG(spec.Validate().ok(), spec.Validate().ToString());
+}
+
+double DriftSchedule::WorkloadWeightAt(size_t s) const {
+  if (!spec_.DriftsWorkload() || spec_.intensity <= 0.0) return 0.0;
+  if (spec_.family == DriftFamily::kOscillating) {
+    // Drifted phase first: the run opens at peak drift, flips back to the
+    // training mixture after `cadence` steps, and keeps alternating.
+    return (s / spec_.cadence) % 2 == 0 ? spec_.intensity : 0.0;
+  }
+  double progress = static_cast<double>(s + 1) /
+                    static_cast<double>(spec_.cadence);
+  return spec_.intensity * std::min(1.0, progress);
+}
+
+workload::WeightedMix DriftSchedule::ArrivalMixAt(size_t s) const {
+  return workload_.MixtureAt(WorkloadWeightAt(s));
+}
+
+workload::WeightedMix DriftSchedule::EvalMix() const {
+  return workload_.MixtureAt(spec_.DriftsWorkload() ? spec_.intensity : 0.0);
+}
+
+bool DriftSchedule::HasDataEventAt(size_t s) const {
+  return spec_.DriftsData() && spec_.intensity > 0.0 && s < spec_.cadence;
+}
+
+bool DriftSchedule::HasMidRunDataEvents() const {
+  for (size_t s = 1; s < steps_; ++s) {
+    if (HasDataEventAt(s)) return true;
+  }
+  return false;
+}
+
+DriftEvent DriftSchedule::ApplyDataEventAt(storage::Table* table,
+                                           size_t s) const {
+  DriftEvent event;
+  event.step = s;
+  if (!HasDataEventAt(s)) return event;
+  event.event_intensity =
+      spec_.intensity / static_cast<double>(spec_.cadence);
+
+  // Event RNG derived from (seed, step) alone: byte-identical mutations no
+  // matter how many threads run or in what order callers replay steps.
+  util::Rng rng(spec_.seed ^ (0x9E3779B97F4A7C15ULL * (s + 1)));
+
+  if (spec_.append_fraction > 0.0) {
+    size_t before = table->NumRows();
+    storage::AppendShiftedRows(table,
+                               spec_.append_fraction * event.event_intensity,
+                               spec_.append_shift, &rng);
+    event.rows_appended = table->NumRows() - before;
+  }
+  if (spec_.update_fraction > 0.0) {
+    size_t before = table->NumRows();
+    storage::UpdateRandomRows(table,
+                              spec_.update_fraction * event.event_intensity,
+                              &rng);
+    event.rows_updated = static_cast<size_t>(
+        spec_.update_fraction * event.event_intensity *
+        static_cast<double>(before));
+  }
+  if (spec_.sort_truncate) {
+    // Per-event keep factor compounds to 1 − intensity/2 over all events;
+    // one event at intensity 1 keeps exactly the paper's half:
+    // floor(0.5·rows) == rows/2 == SortTruncateHalf.
+    double total_keep = 1.0 - spec_.intensity / 2.0;
+    double event_keep = std::pow(
+        total_keep, 1.0 / static_cast<double>(spec_.cadence));
+    size_t rows = table->NumRows();
+    size_t keep = static_cast<size_t>(event_keep *
+                                      static_cast<double>(rows));
+    if (keep < rows) {
+      table->SortByColumn(PickDriftSortColumn(*table));
+      table->Truncate(keep);
+      event.sorted = true;
+      event.rows_truncated = rows - keep;
+    }
+  }
+  return event;
+}
+
+void DriftSchedule::PublishStepTelemetry(size_t s) const {
+  DriftGauges& gauges = GetDriftGauges();
+  gauges.step->Set(static_cast<double>(s));
+  double intensity = WorkloadWeightAt(s);
+  if (spec_.DriftsData()) {
+    // Cumulative applied data intensity after step s's event.
+    double applied = spec_.intensity *
+                     std::min(1.0, static_cast<double>(s + 1) /
+                                       static_cast<double>(spec_.cadence));
+    intensity = std::max(intensity, applied);
+  }
+  gauges.intensity->Set(intensity);
+}
+
+size_t PickDriftSortColumn(const storage::Table& table) {
+  size_t sort_col = 0;
+  size_t best_distinct = 0;
+  for (size_t c = 0; c < table.NumColumns(); ++c) {
+    size_t distinct = table.column(c).DistinctCount();
+    if (table.column(c).type() == storage::ColumnType::kNumeric &&
+        distinct > best_distinct) {
+      best_distinct = distinct;
+      sort_col = c;
+    }
+  }
+  return sort_col;
+}
+
+}  // namespace warper::drift

@@ -1,0 +1,89 @@
+// DriftSchedule: turns a DriftSpec into a deterministic, seeded sequence of
+// table mutations and arrival-mixture weights over the steps of an
+// adaptation run. The experiment harness (eval::RunSingleTableDrift) and the
+// drift-grid bench both replay schedules; the c1/c2/c3 presets reproduce the
+// paper's fixed drifts bit-for-bit.
+#ifndef WARPER_DRIFT_SCHEDULE_H_
+#define WARPER_DRIFT_SCHEDULE_H_
+
+#include <cstdint>
+#include <cstddef>
+
+#include "drift/spec.h"
+#include "storage/table.h"
+#include "workload/spec.h"
+
+namespace warper::drift {
+
+// Telemetry of one applied table-mutation event.
+struct DriftEvent {
+  size_t step = 0;
+  // This event's share of the spec's total intensity (settling families
+  // spread the intensity uniformly over the first `cadence` steps).
+  double event_intensity = 0.0;
+  size_t rows_appended = 0;
+  size_t rows_updated = 0;
+  size_t rows_truncated = 0;
+  bool sorted = false;
+};
+
+class DriftSchedule {
+ public:
+  // `steps` is the number of adaptation steps after the 0% point
+  // (eval::ExperimentConfig::steps). `workload` provides the train/drifted
+  // mixtures the workload-drift weight interpolates between.
+  DriftSchedule(const DriftSpec& spec, const workload::WorkloadSpec& workload,
+                size_t steps);
+
+  const DriftSpec& spec() const { return spec_; }
+  size_t steps() const { return steps_; }
+  bool arrivals_labeled() const { return spec_.arrivals_labeled; }
+
+  // Drifted-side workload weight of the arrivals of step s, in
+  // [0, intensity]. Settling families ramp w = intensity·min(1, (s+1)/cadence);
+  // kOscillating flips between intensity and 0 every `cadence` steps
+  // (drifted phase first); kData/kNone stay at 0.
+  double WorkloadWeightAt(size_t s) const;
+
+  // The arrival mixture of step s: WorkloadSpec::MixtureAt(WorkloadWeightAt).
+  workload::WeightedMix ArrivalMixAt(size_t s) const;
+
+  // The steady-state / peak-drift mixture, used for the post-drift test set
+  // and the β reference model (weight = intensity for workload-drifting
+  // families, 0 otherwise).
+  workload::WeightedMix EvalMix() const;
+
+  // True when step s mutates the table: data-drifting families place one
+  // event at each of steps 0..cadence-1, each applying 1/cadence of the
+  // intensity (so cadence 1 is the paper's single overnight mutation).
+  bool HasDataEventAt(size_t s) const;
+  // Any mutation at step ≥ 1? The harness must then refresh its test-set
+  // ground truth every step.
+  bool HasMidRunDataEvents() const;
+
+  // Applies step s's mutation: append → update → sort+truncate, fractions
+  // scaled to the event's intensity share. The event RNG is derived from
+  // (spec.seed, s) alone, so the resulting table bytes are identical across
+  // runs, call orders and thread counts. No-op (all-zero event) when the
+  // step carries no event.
+  DriftEvent ApplyDataEventAt(storage::Table* table, size_t s) const;
+
+  // Publishes the drift.step / drift.intensity gauges for step s (the
+  // current workload weight, or the cumulative applied data intensity for
+  // data-only families).
+  void PublishStepTelemetry(size_t s) const;
+
+ private:
+  DriftSpec spec_;
+  workload::WorkloadSpec workload_;
+  size_t steps_;
+};
+
+// The c1 sort key: the numeric column with the most distinct values, so the
+// truncation visibly moves the data distribution (§4.1.2 sorts "by one
+// column"; a near-constant key would barely drift the data).
+size_t PickDriftSortColumn(const storage::Table& table);
+
+}  // namespace warper::drift
+
+#endif  // WARPER_DRIFT_SCHEDULE_H_

@@ -1,0 +1,191 @@
+#include "drift/spec.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "util/report.h"
+
+namespace warper::drift {
+namespace {
+
+// Parses a non-negative decimal; false on trailing garbage or no digits.
+bool ParseDouble(const std::string& text, double* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtod(text.c_str(), &end);
+  return end == text.c_str() + text.size() && *out >= 0.0;
+}
+
+bool ParseUint(const std::string& text, uint64_t* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtoull(text.c_str(), &end, 10);
+  return end == text.c_str() + text.size();
+}
+
+// The blended data-mutation composition the "data"/"corr" grammar families
+// use (the c1 preset keeps the paper's pure sort+truncate instead).
+void ApplyBlendedComposition(DriftSpec* spec) {
+  spec->append_fraction = 0.5;
+  spec->update_fraction = 0.25;
+  spec->sort_truncate = true;
+}
+
+}  // namespace
+
+const char* DriftFamilyName(DriftFamily family) {
+  switch (family) {
+    case DriftFamily::kNone:
+      return "none";
+    case DriftFamily::kData:
+      return "data";
+    case DriftFamily::kWorkload:
+      return "workload";
+    case DriftFamily::kCorrelated:
+      return "corr";
+    case DriftFamily::kOscillating:
+      return "osc";
+  }
+  return "?";
+}
+
+DriftSpec DriftSpec::C1() {
+  DriftSpec spec;
+  spec.family = DriftFamily::kData;
+  spec.intensity = 1.0;
+  spec.cadence = 1;
+  spec.arrivals_labeled = false;
+  spec.append_fraction = 0.0;
+  spec.update_fraction = 0.0;
+  spec.sort_truncate = true;
+  return spec;
+}
+
+DriftSpec DriftSpec::C2() {
+  DriftSpec spec;
+  spec.family = DriftFamily::kWorkload;
+  spec.intensity = 1.0;
+  spec.cadence = 1;
+  spec.arrivals_labeled = true;
+  return spec;
+}
+
+DriftSpec DriftSpec::C3() {
+  DriftSpec spec = C2();
+  spec.arrivals_labeled = false;
+  return spec;
+}
+
+Result<DriftSpec> DriftSpec::Parse(const std::string& text) {
+  if (text == "c1") return C1();
+  if (text == "c2") return C2();
+  if (text == "c3") return C3();
+
+  // Split off the ~seed, +labels, /cadence and @intensity suffixes, in
+  // reverse grammar order so the family name is what remains.
+  std::string body = text;
+  DriftSpec spec;
+
+  size_t tilde = body.find('~');
+  if (tilde != std::string::npos) {
+    if (!ParseUint(body.substr(tilde + 1), &spec.seed)) {
+      return Status::InvalidArgument("bad drift seed in '" + text + "'");
+    }
+    body = body.substr(0, tilde);
+  }
+  size_t plus = body.find('+');
+  if (plus != std::string::npos) {
+    if (body.substr(plus + 1) != "labels") {
+      return Status::InvalidArgument("bad drift flag in '" + text +
+                                     "' (expect +labels)");
+    }
+    spec.arrivals_labeled = true;
+    body = body.substr(0, plus);
+  }
+  size_t slash = body.find('/');
+  if (slash != std::string::npos) {
+    uint64_t cadence = 0;
+    if (!ParseUint(body.substr(slash + 1), &cadence) || cadence == 0) {
+      return Status::InvalidArgument("bad drift cadence in '" + text +
+                                     "' (expect a positive integer)");
+    }
+    spec.cadence = static_cast<size_t>(cadence);
+    body = body.substr(0, slash);
+  }
+  size_t at = body.find('@');
+  if (at != std::string::npos) {
+    if (!ParseDouble(body.substr(at + 1), &spec.intensity) ||
+        spec.intensity > 1.0) {
+      return Status::InvalidArgument("bad drift intensity in '" + text +
+                                     "' (expect a decimal in [0, 1])");
+    }
+    body = body.substr(0, at);
+  }
+
+  if (body == "none") {
+    spec.family = DriftFamily::kNone;
+  } else if (body == "data") {
+    spec.family = DriftFamily::kData;
+    ApplyBlendedComposition(&spec);
+  } else if (body == "workload") {
+    spec.family = DriftFamily::kWorkload;
+  } else if (body == "corr") {
+    spec.family = DriftFamily::kCorrelated;
+    ApplyBlendedComposition(&spec);
+  } else if (body == "osc") {
+    spec.family = DriftFamily::kOscillating;
+  } else {
+    return Status::InvalidArgument(
+        "bad drift family '" + body +
+        "' (expect c1|c2|c3|none|data|workload|corr|osc)");
+  }
+  Status status = spec.Validate();
+  if (!status.ok()) return status;
+  return spec;
+}
+
+std::string DriftSpec::ToString() const {
+  // Presets render by name so their strings survive a Parse round trip with
+  // the composition intact.
+  auto equals = [](const DriftSpec& a, const DriftSpec& b) {
+    return a.family == b.family && a.intensity == b.intensity &&
+           a.cadence == b.cadence && a.seed == b.seed &&
+           a.arrivals_labeled == b.arrivals_labeled &&
+           a.append_fraction == b.append_fraction &&
+           a.append_shift == b.append_shift &&
+           a.update_fraction == b.update_fraction &&
+           a.sort_truncate == b.sort_truncate;
+  };
+  if (equals(*this, C1())) return "c1";
+  if (equals(*this, C2())) return "c2";
+  if (equals(*this, C3())) return "c3";
+
+  std::string s = DriftFamilyName(family);
+  s += "@" + util::FormatDouble(intensity, 2);
+  s += "/" + std::to_string(cadence);
+  if (arrivals_labeled) s += "+labels";
+  if (seed != kDefaultSeed) s += "~" + std::to_string(seed);
+  return s;
+}
+
+Status DriftSpec::Validate() const {
+  if (!(intensity >= 0.0 && intensity <= 1.0)) {
+    return Status::InvalidArgument("drift intensity must be in [0, 1]");
+  }
+  if (cadence == 0) {
+    return Status::InvalidArgument("drift cadence must be >= 1");
+  }
+  if (append_fraction < 0.0 || update_fraction < 0.0 ||
+      update_fraction > 1.0) {
+    return Status::InvalidArgument(
+        "drift data-composition fractions out of range");
+  }
+  if (DriftsData() && !sort_truncate && append_fraction == 0.0 &&
+      update_fraction == 0.0 && intensity > 0.0) {
+    return Status::InvalidArgument(
+        "data-drifting spec with an empty mutation composition");
+  }
+  return Status::OK();
+}
+
+}  // namespace warper::drift

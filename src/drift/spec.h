@@ -1,0 +1,94 @@
+// DriftLab scenario specifications (ROADMAP item 4, NeurBench-style).
+//
+// The paper evaluates on three fixed drift schedules (c1 data drift, c2/c3
+// workload drifts). A DriftSpec turns those anecdotes into a knob: a scenario
+// family plus a drift distance `intensity` ∈ [0, 1] and an arrival `cadence`,
+// smoothly interpolating the paper's all-or-nothing flips. Two families the
+// paper never tested are first-class: *correlated* data+workload drift
+// arriving in the same steps, and *adversarial oscillating* workload drift
+// flipping faster than the adaptation cadence (the stress test for the
+// early-stop π escalation, §3.4).
+#ifndef WARPER_DRIFT_SPEC_H_
+#define WARPER_DRIFT_SPEC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace warper::drift {
+
+// What drifts. The settling families (kData, kWorkload, kCorrelated) arrive
+// over `cadence` steps and then hold; kOscillating never settles — `cadence`
+// is the half-period of its on/off flip.
+enum class DriftFamily {
+  kNone,
+  kData,         // table mutations, workload unchanged (generalizes c1)
+  kWorkload,     // arrival-mixture shift train → drifted (generalizes c2/c3)
+  kCorrelated,   // data + workload drift landing in the same steps
+  kOscillating,  // workload flips drifted ↔ train every `cadence` steps
+};
+
+// "data", "workload", ... for reports and the spec grammar.
+const char* DriftFamilyName(DriftFamily family);
+
+struct DriftSpec {
+  DriftFamily family = DriftFamily::kWorkload;
+  // Drift distance in [0, 1]: 0 = no drift, 1 = the paper's full drifts
+  // (c1's sort+truncate-half; c2/c3's complete mixture flip).
+  double intensity = 1.0;
+  // Settling families: steps the drift takes to fully arrive (1 = overnight
+  // onset, like the paper). kOscillating: half-period of the flip, so
+  // cadence 1 inverts the workload every step. Must be ≥ 1.
+  size_t cadence = 1;
+  // Seeds the schedule's own mutation RNG, independent of experiment seeds:
+  // the same spec replays a byte-identical table-state sequence anywhere.
+  uint64_t seed = kDefaultSeed;
+  // Whether arriving queries carry labels (the c2-vs-c3 axis).
+  bool arrivals_labeled = false;
+
+  // --- Data-drift composition at intensity 1, per-event order
+  // append → update → sort+truncate (fractions of the then-current rows).
+  double append_fraction = 0.0;  // rows appended via AppendShiftedRows
+  double append_shift = 0.25;    // value shift of appended rows (× range)
+  double update_fraction = 0.0;  // rows re-drawn via UpdateRandomRows
+  // Sort by the highest-distinct numeric column, truncate intensity/2 of
+  // the rows (at intensity 1 exactly the paper's "sort + truncate half").
+  bool sort_truncate = true;
+
+  static constexpr uint64_t kDefaultSeed = 0xD21F7ABULL;
+
+  // The paper's schedules as presets, bit-compatible with the retired
+  // eval::DriftKind enum (same RNG stream through the experiment harness).
+  static DriftSpec C1();  // data drift, workload unchanged, labels lag
+  static DriftSpec C2();  // workload flip, arrivals labeled
+  static DriftSpec C3();  // workload flip, arrivals unlabeled
+
+  // Grammar:  preset | family[@intensity][/cadence][+labels][~seed]
+  //   preset := c1 | c2 | c3
+  //   family := none | data | workload | corr | osc
+  // e.g. "workload@0.75/2", "data@0.5", "osc/1+labels", "corr@0.5/3~17".
+  // The data-composition knobs are programmatic only: "data" and "corr"
+  // parse to a blended composition (append 0.5 / update 0.25 /
+  // sort+truncate), the c1 preset to the paper's pure sort+truncate.
+  static Result<DriftSpec> Parse(const std::string& text);
+
+  // Canonical form; Parse(ToString()) reconstructs any spec Parse produced
+  // (presets render as "c1"/"c2"/"c3").
+  std::string ToString() const;
+
+  Status Validate() const;
+
+  bool DriftsData() const {
+    return family == DriftFamily::kData || family == DriftFamily::kCorrelated;
+  }
+  bool DriftsWorkload() const {
+    return family == DriftFamily::kWorkload ||
+           family == DriftFamily::kCorrelated ||
+           family == DriftFamily::kOscillating;
+  }
+};
+
+}  // namespace warper::drift
+
+#endif  // WARPER_DRIFT_SPEC_H_

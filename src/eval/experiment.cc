@@ -12,6 +12,7 @@
 #include "ce/metrics.h"
 #include "ce/mscn.h"
 #include "core/drift.h"
+#include "drift/schedule.h"
 #include "storage/annotator.h"
 #include "storage/data_drift.h"
 #include "storage/parallel_annotator.h"
@@ -122,8 +123,14 @@ struct PreparedRepeat {
   std::vector<std::vector<ce::LabeledExample>> arrival_batches;
   std::vector<ce::LabeledExample> test_set;        // fresh post-drift labels
   std::vector<ce::LabeledExample> reference_corpus;  // for the β model
-  double data_changed_fraction = 0.0;
-  double canary_shift = 0.0;
+  // Per-step adapter inputs (annotation budget + data-drift telemetry of any
+  // mutation event landing at that step), aligned with arrival_batches.
+  std::vector<baselines::StepInfo> step_infos;
+  // When mid-run data events re-mutate the table, step_test_sets[s] carries
+  // the test set re-annotated against the table state after step s (same
+  // predicates and features; only the ground-truth counts refresh). Empty
+  // for single-onset schedules — evaluation then sticks to test_set.
+  std::vector<std::vector<ce::LabeledExample>> step_test_sets;
 };
 
 struct RepeatOutcome {
@@ -140,9 +147,11 @@ struct RepeatOutcome {
 RepeatOutcome RunRepeat(const PreparedRepeat& prepared,
                         const ModelFactory& model_factory,
                         const std::vector<Method>& methods,
-                        const ExperimentConfig& config, uint64_t seed) {
+                        const ExperimentConfig& config,
+                        const drift::DriftSchedule& schedule, uint64_t seed) {
   WARPER_CHECK(!prepared.train_corpus.empty());
   WARPER_CHECK(!prepared.test_set.empty());
+  WARPER_CHECK(prepared.step_infos.size() == prepared.arrival_batches.size());
   size_t feature_dim = prepared.train_corpus[0].features.size();
 
   RepeatOutcome outcome;
@@ -162,7 +171,7 @@ RepeatOutcome RunRepeat(const PreparedRepeat& prepared,
   }
 
   // β: a model trained exclusively on the new workload and data.
-  {
+  if (config.compute_beta) {
     std::unique_ptr<ce::CardinalityEstimator> reference =
         model_factory(feature_dim, seed ^ 0xBEEFULL);
     nn::Matrix x;
@@ -197,22 +206,20 @@ RepeatOutcome RunRepeat(const PreparedRepeat& prepared,
 
     double annotations = 0.0, synthesized = 0.0, adapt_seconds = 0.0;
     for (size_t step = 0; step < prepared.arrival_batches.size(); ++step) {
-      baselines::StepInfo info;
-      info.annotation_budget = config.annotation_budget_per_step;
-      if (step == 0) {
-        info.data_changed_fraction = prepared.data_changed_fraction;
-        info.canary_shift = prepared.canary_shift;
-      }
+      schedule.PublishStepTelemetry(step);
       util::WallTimer timer;
       baselines::StepStats stats =
-          adapter->Step(prepared.arrival_batches[step], info);
+          adapter->Step(prepared.arrival_batches[step], prepared.step_infos[step]);
       adapt_seconds += timer.Seconds();
       annotations += static_cast<double>(stats.annotated);
       synthesized += static_cast<double>(stats.synthesized);
 
+      const std::vector<ce::LabeledExample>& eval_set =
+          prepared.step_test_sets.empty() ? prepared.test_set
+                                          : prepared.step_test_sets[step];
       curve.queries.push_back(static_cast<double>((step + 1) *
                                                   config.queries_per_step));
-      curve.gmq.push_back(ce::ModelGmq(*model, prepared.test_set));
+      curve.gmq.push_back(ce::ModelGmq(*model, eval_set));
     }
 
     if (m == 0) outcome.alpha = curve.gmq[0];
@@ -318,8 +325,18 @@ DriftExperimentResult RunSingleTableDrift(const SingleTableDriftSpec& spec) {
     storage::Annotator annotator(&table);
     ce::SingleTableDomain domain(&annotator);
 
+    // Each repeat replays its own mutation stream (repeat 0 keeps the spec's
+    // seed verbatim, so a single-repeat run is the spec's canonical replay).
+    drift::DriftSpec drift_spec = config.drift;
+    drift_spec.seed ^= 0x5851F42D4C957F2DULL * static_cast<uint64_t>(repeat);
+    drift::DriftSchedule schedule(drift_spec, spec.workload, config.steps);
+
     PreparedRepeat prepared;
     prepared.domain = &domain;
+    prepared.step_infos.assign(config.steps, baselines::StepInfo{});
+    for (auto& info : prepared.step_infos) {
+      info.annotation_budget = config.annotation_budget_per_step;
+    }
 
     auto featurize = [&](const std::vector<storage::RangePredicate>& preds) {
       std::vector<std::vector<double>> features;
@@ -338,70 +355,79 @@ DriftExperimentResult RunSingleTableDrift(const SingleTableDriftSpec& spec) {
       prepared.train_corpus = ToExamples(featurize(preds), counts, true);
     }
 
-    // Apply the drift.
-    std::vector<workload::GenMethod> arrival_mix = spec.workload.drifted;
-    if (config.drift == DriftKind::kDataC1) {
-      arrival_mix = spec.workload.train;  // workload unchanged under c1
-      std::vector<storage::RangePredicate> canaries =
-          storage::MakeCanaryPredicates(table, 16, &rng);
+    // Data-drift machinery: canaries are drawn once, before any mutation;
+    // every event then brackets itself with a canary re-count and a change-
+    // counter snapshot so the adapter's StepInfo telemetry sees each shock.
+    std::vector<storage::RangePredicate> canaries;
+    auto apply_event = [&](size_t s, baselines::StepInfo* info) {
       std::vector<int64_t> baseline = annotator.BatchCount(canaries);
       uint64_t snapshot = table.ChangeCounter();
-
-      // Sort key: the numeric column with the most distinct values, so the
-      // truncation visibly moves the data distribution (§4.1.2 sorts "by one
-      // column"; a near-constant key would barely drift the data).
-      size_t sort_col = 0;
-      size_t best_distinct = 0;
-      for (size_t c = 0; c < table.NumColumns(); ++c) {
-        size_t distinct = table.column(c).DistinctCount();
-        if (table.column(c).type() == storage::ColumnType::kNumeric &&
-            distinct > best_distinct) {
-          best_distinct = distinct;
-          sort_col = c;
-        }
-      }
-      storage::SortTruncateHalf(&table, sort_col);
-      prepared.data_changed_fraction = table.ChangedFractionSince(snapshot);
+      schedule.ApplyDataEventAt(&table, s);
+      info->data_changed_fraction = table.ChangedFractionSince(snapshot);
       // Canary re-counting is pure telemetry; run it on the shared pool
       // (bit-identical to the serial pass).
-      prepared.canary_shift = storage::CanaryShift(
+      info->canary_shift = storage::CanaryShift(
           storage::ParallelAnnotator(&table), canaries, baseline);
+    };
+
+    // The onset event lands "overnight", before the post-drift test set is
+    // drawn (the c1 preset: one sort+truncate-half, same RNG stream as the
+    // retired DriftKind path).
+    if (schedule.HasDataEventAt(0)) {
+      canaries = storage::MakeCanaryPredicates(table, 16, &rng);
+      apply_event(0, &prepared.step_infos[0]);
     }
 
     // Post-drift test set and reference corpus (fresh labels).
+    workload::WeightedMix eval_mix = schedule.EvalMix();
+    std::vector<storage::RangePredicate> test_preds = workload::GenerateWorkload(
+        table, eval_mix, config.test_size, &rng, config.gen_opts);
+    prepared.test_set = ToExamples(featurize(test_preds),
+                                   annotator.BatchCount(test_preds), true);
     {
       std::vector<storage::RangePredicate> preds = workload::GenerateWorkload(
-          table, arrival_mix, config.test_size, &rng, config.gen_opts);
-      prepared.test_set =
-          ToExamples(featurize(preds), annotator.BatchCount(preds), true);
-    }
-    {
-      std::vector<storage::RangePredicate> preds = workload::GenerateWorkload(
-          table, arrival_mix, config.train_size, &rng, config.gen_opts);
+          table, eval_mix, config.train_size, &rng, config.gen_opts);
+      std::vector<int64_t> counts(preds.size(), -1);
+      if (config.compute_beta) counts = annotator.BatchCount(preds);
       prepared.reference_corpus =
-          ToExamples(featurize(preds), annotator.BatchCount(preds), true);
+          ToExamples(featurize(preds), counts, config.compute_beta);
     }
 
-    // Arrival batches. Labels are carried only in the c2 scenario; in c1 /
-    // c3 the adapters must spend annotation budget themselves.
-    bool arrivals_labeled = config.drift == DriftKind::kWorkloadC2;
+    // Arrival batches, mixed per step by the schedule. Unlabeled arrivals
+    // (c1/c3 and every `+labels`-less spec) make the adapters spend their
+    // own annotation budget. Mid-run data events mutate the table right
+    // before the step's arrivals and refresh the test set's ground truth
+    // (features stay fixed — only the counts go stale).
+    bool track_test = schedule.HasMidRunDataEvents();
+    std::vector<ce::LabeledExample> current_test = prepared.test_set;
     for (size_t step = 0; step < config.steps; ++step) {
+      if (step > 0 && schedule.HasDataEventAt(step)) {
+        apply_event(step, &prepared.step_infos[step]);
+        std::vector<int64_t> counts = annotator.BatchCount(test_preds);
+        for (size_t i = 0; i < current_test.size(); ++i) {
+          current_test[i].cardinality = counts[i];
+        }
+      }
       std::vector<storage::RangePredicate> preds = workload::GenerateWorkload(
-          table, arrival_mix, config.queries_per_step, &rng, config.gen_opts);
+          table, schedule.ArrivalMixAt(step), config.queries_per_step, &rng,
+          config.gen_opts);
       std::vector<int64_t> counts(preds.size(), -1);
-      if (arrivals_labeled) counts = annotator.BatchCount(preds);
+      if (schedule.arrivals_labeled()) counts = annotator.BatchCount(preds);
       prepared.arrival_batches.push_back(
-          ToExamples(featurize(preds), counts, arrivals_labeled));
+          ToExamples(featurize(preds), counts, schedule.arrivals_labeled()));
+      if (track_test) prepared.step_test_sets.push_back(current_test);
     }
 
     outcomes.push_back(RunRepeat(prepared, spec.model_factory, spec.methods,
-                                 config, seed));
+                                 config, schedule, seed));
   }
   return Aggregate(outcomes, spec.methods, config);
 }
 
 DriftExperimentResult RunStarJoinDrift(const StarJoinDriftSpec& spec) {
   const ExperimentConfig& config = spec.config;
+  WARPER_CHECK_MSG(!config.drift.DriftsData(),
+                   "star-join harness supports workload drift only");
   std::vector<RepeatOutcome> outcomes;
 
   for (int repeat = 0; repeat < config.repeats; ++repeat) {
@@ -413,13 +439,48 @@ DriftExperimentResult RunStarJoinDrift(const StarJoinDriftSpec& spec) {
     storage::JoinAnnotator annotator(&schema);
     ce::StarJoinDomain domain(&annotator);
 
+    workload::WorkloadSpec wspec;
+    wspec.train = {spec.train_method};
+    wspec.drifted = {spec.drifted_method};
+    drift::DriftSchedule schedule(config.drift, wspec, config.steps);
+
     PreparedRepeat prepared;
     prepared.domain = &domain;
+    prepared.step_infos.assign(config.steps, baselines::StepInfo{});
+    for (auto& info : prepared.step_infos) {
+      info.annotation_budget = config.annotation_budget_per_step;
+    }
 
-    auto make_examples = [&](workload::GenMethod method, size_t n,
+    // A degenerate (single-method) mixture replays the legacy RNG stream;
+    // partial weights draw each query's method from the mixture.
+    auto gen_queries = [&](const workload::WeightedMix& mix, size_t n) {
+      std::vector<workload::GenMethod> methods;
+      std::vector<double> weights;
+      for (size_t i = 0; i < mix.methods.size(); ++i) {
+        if (mix.weights[i] > 0.0) {
+          methods.push_back(mix.methods[i]);
+          weights.push_back(mix.weights[i]);
+        }
+      }
+      WARPER_CHECK_MSG(!methods.empty(), "empty join-workload mixture");
+      if (methods.size() == 1) {
+        return workload::GenerateJoinWorkload(schema, methods[0], n, &rng,
+                                              config.gen_opts);
+      }
+      std::vector<storage::JoinQuery> queries;
+      queries.reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        workload::GenMethod m = methods[rng.Categorical(weights)];
+        std::vector<storage::JoinQuery> one =
+            workload::GenerateJoinWorkload(schema, m, 1, &rng, config.gen_opts);
+        queries.push_back(std::move(one[0]));
+      }
+      return queries;
+    };
+
+    auto make_examples = [&](const workload::WeightedMix& mix, size_t n,
                              bool with_labels) {
-      std::vector<storage::JoinQuery> queries = workload::GenerateJoinWorkload(
-          schema, method, n, &rng, config.gen_opts);
+      std::vector<storage::JoinQuery> queries = gen_queries(mix, n);
       std::vector<ce::LabeledExample> out(queries.size());
       std::vector<int64_t> counts;
       if (with_labels) counts = annotator.BatchCount(queries);
@@ -431,15 +492,15 @@ DriftExperimentResult RunStarJoinDrift(const StarJoinDriftSpec& spec) {
     };
 
     prepared.train_corpus =
-        make_examples(spec.train_method, config.train_size, true);
-    prepared.test_set = make_examples(spec.drifted_method, config.test_size,
-                                      true);
+        make_examples(wspec.MixtureAt(0.0), config.train_size, true);
+    workload::WeightedMix eval_mix = schedule.EvalMix();
+    prepared.test_set = make_examples(eval_mix, config.test_size, true);
     prepared.reference_corpus =
-        make_examples(spec.drifted_method, config.train_size, true);
-    bool arrivals_labeled = config.drift == DriftKind::kWorkloadC2;
+        make_examples(eval_mix, config.train_size, config.compute_beta);
     for (size_t step = 0; step < config.steps; ++step) {
-      prepared.arrival_batches.push_back(make_examples(
-          spec.drifted_method, config.queries_per_step, arrivals_labeled));
+      prepared.arrival_batches.push_back(
+          make_examples(schedule.ArrivalMixAt(step), config.queries_per_step,
+                        schedule.arrivals_labeled()));
     }
 
     // MSCN configured for the star layout.
@@ -455,7 +516,7 @@ DriftExperimentResult RunStarJoinDrift(const StarJoinDriftSpec& spec) {
     };
 
     outcomes.push_back(
-        RunRepeat(prepared, factory, spec.methods, config, seed));
+        RunRepeat(prepared, factory, spec.methods, config, schedule, seed));
   }
   return Aggregate(outcomes, spec.methods, config);
 }

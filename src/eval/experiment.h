@@ -1,8 +1,9 @@
 // The drift-experiment harness behind every table and figure of §4.1/§4.3:
-// build a dataset, train a CE model on the pre-drift workload, apply a
-// drift (workload c2/c3 or data c1), stream newly arriving queries to each
-// adaptation method, and record GMQ-vs-queries adaptation curves on a
-// held-out post-drift test set.
+// build a dataset, train a CE model on the pre-drift workload, replay a
+// drift::DriftSchedule (the paper's c1/c2/c3 are presets; intensity, cadence
+// and the correlated/oscillating families generalize them), stream newly
+// arriving queries to each adaptation method, and record GMQ-vs-queries
+// adaptation curves on a held-out post-drift test set.
 #ifndef WARPER_EVAL_EXPERIMENT_H_
 #define WARPER_EVAL_EXPERIMENT_H_
 
@@ -16,6 +17,7 @@
 #include "ce/estimator.h"
 #include "ce/query_domain.h"
 #include "core/config.h"
+#include "drift/spec.h"
 #include "eval/speedup.h"
 #include "storage/datasets.h"
 #include "storage/table.h"
@@ -47,12 +49,6 @@ ModelFactory LmPlyFactory();
 ModelFactory LmRbfFactory();
 ModelFactory MscnSingleTableFactory();
 
-enum class DriftKind {
-  kWorkloadC2,  // drifted workload, arrivals carry labels, too few of them
-  kWorkloadC3,  // drifted workload, arrivals unlabeled, annotation budgeted
-  kDataC1,      // data drift (sort + truncate half), workload unchanged
-};
-
 struct ExperimentConfig {
   size_t train_size = 1200;
   size_t test_size = 200;
@@ -60,10 +56,16 @@ struct ExperimentConfig {
   // per step (the paper's "0, 20%, ..., 100% of the test period").
   size_t steps = 5;
   size_t queries_per_step = 72;
-  DriftKind drift = DriftKind::kWorkloadC2;
+  // What drifts, how hard and how fast. DriftSpec::C1()/C2()/C3() reproduce
+  // the retired DriftKind enum's scenarios bit-for-bit.
+  drift::DriftSpec drift = drift::DriftSpec::C2();
   size_t annotation_budget_per_step = std::numeric_limits<size_t>::max();
   int repeats = 3;
   uint64_t seed = 1;
+  // Train the β reference model (converged GMQ)? Skipping it saves a full
+  // model training per repeat without perturbing any RNG stream — grid
+  // benches that only need curves turn it off.
+  bool compute_beta = true;
   core::WarperConfig warper;
   workload::GeneratorOptions gen_opts;
 };

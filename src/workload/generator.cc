@@ -154,4 +154,45 @@ std::vector<RangePredicate> GenerateWorkload(const Table& table,
   return preds;
 }
 
+bool WeightedMix::IsUniform() const {
+  double reference = 0.0;
+  for (double w : weights) {
+    if (w <= 0.0) continue;
+    if (reference == 0.0) {
+      reference = w;
+    } else if (std::abs(w - reference) > 1e-12 * reference) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<RangePredicate> GenerateWorkload(const Table& table,
+                                             const WeightedMix& mix, size_t n,
+                                             Rng* rng,
+                                             const GeneratorOptions& opts) {
+  WARPER_CHECK(mix.methods.size() == mix.weights.size());
+  // Keep only positively weighted methods.
+  std::vector<GenMethod> methods;
+  std::vector<double> weights;
+  for (size_t i = 0; i < mix.methods.size(); ++i) {
+    if (mix.weights[i] > 0.0) {
+      methods.push_back(mix.methods[i]);
+      weights.push_back(mix.weights[i]);
+    }
+  }
+  WARPER_CHECK_MSG(!methods.empty(), "weighted mixture has no positive weight");
+  if (mix.IsUniform()) {
+    // Same RNG stream as the paper's uniform path (bit-compat anchor).
+    return GenerateWorkload(table, methods, n, rng, opts);
+  }
+  std::vector<RangePredicate> preds;
+  preds.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    GenMethod m = methods[rng->Categorical(weights)];
+    preds.push_back(GeneratePredicate(table, m, rng, opts));
+  }
+  return preds;
+}
+
 }  // namespace warper::workload

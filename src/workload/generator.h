@@ -41,6 +41,24 @@ std::vector<storage::RangePredicate> GenerateWorkload(
     const storage::Table& table, const std::vector<GenMethod>& mix, size_t n,
     util::Rng* rng, const GeneratorOptions& opts = {});
 
+// A generation mixture with per-method weights (need not be normalized;
+// non-positive weights drop their method). The drift lab interpolates
+// between the train and drifted sides of a WorkloadSpec with these.
+struct WeightedMix {
+  std::vector<GenMethod> methods;
+  std::vector<double> weights;  // aligned with `methods`
+
+  // All (kept) weights equal — the mixture degenerates to uniform.
+  bool IsUniform() const;
+};
+
+// `n` predicates drawn proportionally to `mix.weights`. A uniform mixture
+// delegates to the uniform overload above, consuming the RNG identically —
+// weight-1.0 drift specs stay bit-compatible with the paper's presets.
+std::vector<storage::RangePredicate> GenerateWorkload(
+    const storage::Table& table, const WeightedMix& mix, size_t n,
+    util::Rng* rng, const GeneratorOptions& opts = {});
+
 }  // namespace warper::workload
 
 #endif  // WARPER_WORKLOAD_GENERATOR_H_

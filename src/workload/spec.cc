@@ -1,5 +1,11 @@
 #include "workload/spec.h"
 
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "util/report.h"
+
 namespace warper::workload {
 namespace {
 
@@ -26,13 +32,35 @@ Result<WorkloadSpec> WorkloadSpec::Parse(const std::string& spec) {
   }
   std::string body = spec.substr(1);
 
+  // Optional "@<weight>" suffix: the drifted side's mixture weight.
+  double drift_weight = 1.0;
+  size_t at = body.find('@');
+  if (at != std::string::npos) {
+    std::string weight_text = body.substr(at + 1);
+    body = body.substr(0, at);
+    if (weight_text.empty()) {
+      return Status::InvalidArgument("empty drift weight in: " + spec);
+    }
+    char* end = nullptr;
+    drift_weight = std::strtod(weight_text.c_str(), &end);
+    if (end != weight_text.c_str() + weight_text.size() ||
+        !(drift_weight >= 0.0 && drift_weight <= 1.0)) {
+      return Status::InvalidArgument("drift weight must be in [0, 1]: " +
+                                     spec);
+    }
+  }
+  auto with_weight = [drift_weight](WorkloadSpec out) {
+    out.drift_weight = drift_weight;
+    return out;
+  };
+
   if (body == "1-5") {
     WorkloadSpec out;
     for (int i = 0; i < 5; ++i) {
       out.train.push_back(static_cast<GenMethod>(i));
     }
     out.drifted = out.train;
-    return out;
+    return with_weight(out);
   }
 
   size_t slash = body.find('/');
@@ -43,7 +71,7 @@ Result<WorkloadSpec> WorkloadSpec::Parse(const std::string& spec) {
     WorkloadSpec out;
     out.train = methods.ValueOrDie();
     out.drifted = out.train;
-    return out;
+    return with_weight(out);
   }
 
   // Paper shorthand: "w12/345" — the right side omits the 'w'. An optional
@@ -60,7 +88,7 @@ Result<WorkloadSpec> WorkloadSpec::Parse(const std::string& spec) {
   WorkloadSpec out;
   out.train = train.MoveValueOrDie();
   out.drifted = drifted.MoveValueOrDie();
-  return out;
+  return with_weight(out);
 }
 
 std::string WorkloadSpec::ToString() const {
@@ -68,7 +96,44 @@ std::string WorkloadSpec::ToString() const {
   for (GenMethod m : train) s += static_cast<char>('1' + static_cast<int>(m));
   s += "/";
   for (GenMethod m : drifted) s += static_cast<char>('1' + static_cast<int>(m));
+  if (drift_weight != 1.0) s += "@" + util::FormatDouble(drift_weight, 2);
   return s;
+}
+
+WeightedMix WorkloadSpec::MixtureAt(double w) const {
+  w = std::min(1.0, std::max(0.0, w));
+  WeightedMix mix;
+  // The degenerate endpoints keep the exact method order of the side they
+  // collapse to — GenerateWorkload then replays the paper's uniform RNG
+  // stream over that same vector.
+  if (w >= 1.0 || train == drifted) {
+    mix.methods = drifted;
+    mix.weights.assign(drifted.size(), 1.0);
+    return mix;
+  }
+  if (w <= 0.0) {
+    mix.methods = train;
+    mix.weights.assign(train.size(), 1.0);
+    return mix;
+  }
+  // Per-method accumulation in w1..w5 enum order: methods appearing on both
+  // sides sum their shares.
+  double weight_by_method[5] = {0, 0, 0, 0, 0};
+  for (GenMethod m : train) {
+    weight_by_method[static_cast<int>(m)] +=
+        (1.0 - w) / static_cast<double>(train.size());
+  }
+  for (GenMethod m : drifted) {
+    weight_by_method[static_cast<int>(m)] +=
+        w / static_cast<double>(drifted.size());
+  }
+  for (int i = 0; i < 5; ++i) {
+    if (weight_by_method[i] > 0.0) {
+      mix.methods.push_back(static_cast<GenMethod>(i));
+      mix.weights.push_back(weight_by_method[i]);
+    }
+  }
+  return mix;
 }
 
 }  // namespace warper::workload

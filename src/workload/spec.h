@@ -1,7 +1,9 @@
 // Workload-drift specifications in the paper's notation: "w12/345" trains on
 // a uniform mixture of {w1, w2} and drifts to {w3, w4, w5}; "w1/2" is a
 // single-method pair; "w1-5" is the all-methods mixture used when only the
-// data drifts (c1).
+// data drifts (c1). A "@0.7" suffix gives partial workload drift a notation:
+// the arrival stream mixes 70% of the drifted mixture with 30% of the
+// training mixture instead of the paper's all-or-nothing flip.
 #ifndef WARPER_WORKLOAD_SPEC_H_
 #define WARPER_WORKLOAD_SPEC_H_
 
@@ -16,13 +18,27 @@ namespace warper::workload {
 struct WorkloadSpec {
   std::vector<GenMethod> train;
   std::vector<GenMethod> drifted;
+  // Mixture weight of the drifted side in the post-drift arrival stream.
+  // 1.0 (default) is the paper's complete flip; w ∈ (0, 1) is partial
+  // workload drift ("w12/345@0.7").
+  double drift_weight = 1.0;
 
   // Parses "w12/345", "w1/2", "w125/34", or "w1-5" (same mixture on both
-  // sides). Returns InvalidArgument on malformed input.
+  // sides), each optionally suffixed with "@<weight>", weight ∈ [0, 1].
+  // Returns InvalidArgument on malformed input.
   static Result<WorkloadSpec> Parse(const std::string& spec);
 
-  // Formats back to the paper's notation.
+  // Formats back to the paper's notation ("@0.70" appended when the drift
+  // weight is partial). Round-trips through Parse.
   std::string ToString() const;
+
+  // The arrival mixture at drifted-side weight `w`: per-method weight
+  // (1−w)/|train| on the train methods plus w/|drifted| on the drifted
+  // ones. Degenerates to the uniform train (w = 0) or drifted (w = 1)
+  // mixture, preserving the paper presets' RNG stream.
+  WeightedMix MixtureAt(double w) const;
+  // MixtureAt(drift_weight).
+  WeightedMix ArrivalMix() const { return MixtureAt(drift_weight); }
 };
 
 }  // namespace warper::workload

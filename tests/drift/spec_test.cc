@@ -1,0 +1,117 @@
+#include "drift/spec.h"
+
+#include <gtest/gtest.h>
+
+namespace warper::drift {
+namespace {
+
+TEST(DriftSpecTest, PresetsMatchPaperScenarios) {
+  DriftSpec c1 = DriftSpec::C1();
+  EXPECT_EQ(c1.family, DriftFamily::kData);
+  EXPECT_DOUBLE_EQ(c1.intensity, 1.0);
+  EXPECT_EQ(c1.cadence, 1u);
+  EXPECT_FALSE(c1.arrivals_labeled);
+  EXPECT_TRUE(c1.sort_truncate);
+  EXPECT_DOUBLE_EQ(c1.append_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(c1.update_fraction, 0.0);
+  EXPECT_TRUE(c1.DriftsData());
+  EXPECT_FALSE(c1.DriftsWorkload());
+
+  DriftSpec c2 = DriftSpec::C2();
+  EXPECT_EQ(c2.family, DriftFamily::kWorkload);
+  EXPECT_TRUE(c2.arrivals_labeled);
+  EXPECT_FALSE(c2.DriftsData());
+  EXPECT_TRUE(c2.DriftsWorkload());
+
+  DriftSpec c3 = DriftSpec::C3();
+  EXPECT_EQ(c3.family, DriftFamily::kWorkload);
+  EXPECT_FALSE(c3.arrivals_labeled);
+}
+
+TEST(DriftSpecTest, ParsesPresetNames) {
+  EXPECT_EQ(DriftSpec::Parse("c1").ValueOrDie().ToString(), "c1");
+  EXPECT_EQ(DriftSpec::Parse("c2").ValueOrDie().ToString(), "c2");
+  EXPECT_EQ(DriftSpec::Parse("c3").ValueOrDie().ToString(), "c3");
+}
+
+TEST(DriftSpecTest, ParsesGrammar) {
+  DriftSpec spec = DriftSpec::Parse("workload@0.75/2").ValueOrDie();
+  EXPECT_EQ(spec.family, DriftFamily::kWorkload);
+  EXPECT_DOUBLE_EQ(spec.intensity, 0.75);
+  EXPECT_EQ(spec.cadence, 2u);
+  EXPECT_FALSE(spec.arrivals_labeled);
+
+  spec = DriftSpec::Parse("osc/3+labels").ValueOrDie();
+  EXPECT_EQ(spec.family, DriftFamily::kOscillating);
+  EXPECT_DOUBLE_EQ(spec.intensity, 1.0);
+  EXPECT_EQ(spec.cadence, 3u);
+  EXPECT_TRUE(spec.arrivals_labeled);
+
+  spec = DriftSpec::Parse("corr@0.5/3~17").ValueOrDie();
+  EXPECT_EQ(spec.family, DriftFamily::kCorrelated);
+  EXPECT_DOUBLE_EQ(spec.intensity, 0.5);
+  EXPECT_EQ(spec.cadence, 3u);
+  EXPECT_EQ(spec.seed, 17u);
+  EXPECT_TRUE(spec.DriftsData());
+  EXPECT_TRUE(spec.DriftsWorkload());
+  // The grammar's data families use the blended mutation composition.
+  EXPECT_GT(spec.append_fraction, 0.0);
+  EXPECT_GT(spec.update_fraction, 0.0);
+
+  spec = DriftSpec::Parse("none").ValueOrDie();
+  EXPECT_EQ(spec.family, DriftFamily::kNone);
+  EXPECT_FALSE(spec.DriftsData());
+  EXPECT_FALSE(spec.DriftsWorkload());
+}
+
+TEST(DriftSpecTest, ToStringRoundTrips) {
+  for (const char* s :
+       {"c1", "c2", "c3", "workload@0.75/2", "data@0.50/4", "osc@1.00/3",
+        "corr@0.25/2+labels", "workload@0.40/1~99"}) {
+    DriftSpec spec = DriftSpec::Parse(s).ValueOrDie();
+    DriftSpec again = DriftSpec::Parse(spec.ToString()).ValueOrDie();
+    EXPECT_EQ(again.ToString(), spec.ToString()) << s;
+    EXPECT_EQ(again.family, spec.family) << s;
+    EXPECT_DOUBLE_EQ(again.intensity, spec.intensity) << s;
+    EXPECT_EQ(again.cadence, spec.cadence) << s;
+    EXPECT_EQ(again.seed, spec.seed) << s;
+    EXPECT_EQ(again.arrivals_labeled, spec.arrivals_labeled) << s;
+  }
+}
+
+TEST(DriftSpecTest, RejectsMalformedInput) {
+  EXPECT_FALSE(DriftSpec::Parse("").ok());
+  EXPECT_FALSE(DriftSpec::Parse("c9").ok());
+  EXPECT_FALSE(DriftSpec::Parse("shift").ok());
+  EXPECT_FALSE(DriftSpec::Parse("workload@1.5").ok());
+  EXPECT_FALSE(DriftSpec::Parse("workload@-0.5").ok());
+  EXPECT_FALSE(DriftSpec::Parse("workload@").ok());
+  EXPECT_FALSE(DriftSpec::Parse("workload/0").ok());
+  EXPECT_FALSE(DriftSpec::Parse("workload/x").ok());
+  EXPECT_FALSE(DriftSpec::Parse("osc+nolabels").ok());
+  EXPECT_FALSE(DriftSpec::Parse("data~").ok());
+}
+
+TEST(DriftSpecTest, ValidateRejectsOutOfRangeFields) {
+  DriftSpec spec = DriftSpec::C2();
+  spec.intensity = 1.5;
+  EXPECT_FALSE(spec.Validate().ok());
+  spec = DriftSpec::C2();
+  spec.cadence = 0;
+  EXPECT_FALSE(spec.Validate().ok());
+  // A data-drifting spec whose mutation composition is empty does nothing.
+  spec = DriftSpec::C1();
+  spec.sort_truncate = false;
+  EXPECT_FALSE(spec.Validate().ok());
+}
+
+TEST(DriftSpecTest, FamilyNamesComplete) {
+  EXPECT_STREQ(DriftFamilyName(DriftFamily::kNone), "none");
+  EXPECT_STREQ(DriftFamilyName(DriftFamily::kData), "data");
+  EXPECT_STREQ(DriftFamilyName(DriftFamily::kWorkload), "workload");
+  EXPECT_STREQ(DriftFamilyName(DriftFamily::kCorrelated), "corr");
+  EXPECT_STREQ(DriftFamilyName(DriftFamily::kOscillating), "osc");
+}
+
+}  // namespace
+}  // namespace warper::drift

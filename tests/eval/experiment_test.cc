@@ -60,7 +60,7 @@ TEST(ExperimentTest, DataDriftC1RunsWithBudget) {
   spec.model_factory = LmMlpFactory();
   spec.methods = {Method::kFt, Method::kWarper};
   spec.config = TinyConfig();
-  spec.config.drift = DriftKind::kDataC1;
+  spec.config.drift = drift::DriftSpec::C1();
   spec.config.annotation_budget_per_step = 30;
 
   DriftExperimentResult result = RunSingleTableDrift(spec);
@@ -79,7 +79,7 @@ TEST(ExperimentTest, LabelStarvedC3RunsWithBudget) {
   spec.model_factory = LmMlpFactory();
   spec.methods = {Method::kFt, Method::kWarper};
   spec.config = TinyConfig();
-  spec.config.drift = DriftKind::kWorkloadC3;
+  spec.config.drift = drift::DriftSpec::C3();
   spec.config.annotation_budget_per_step = 20;
 
   DriftExperimentResult result = RunSingleTableDrift(spec);

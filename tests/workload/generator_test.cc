@@ -139,5 +139,63 @@ TEST(GeneratorTest, MixtureUsesAllMethods) {
   EXPECT_EQ(preds.size(), 300u);
 }
 
+TEST(GeneratorTest, UniformWeightedMixReplaysUniformStream) {
+  // A uniform WeightedMix must delegate to the plain overload, consuming the
+  // exact same RNG stream — the bit-compat anchor the c1/c2/c3 drift presets
+  // rely on.
+  Table t = storage::MakePrsa(1000, 9);
+  util::Rng a(21), b(21);
+  std::vector<GenMethod> methods = {GenMethod::kW1, GenMethod::kW3,
+                                    GenMethod::kW5};
+  WeightedMix mix;
+  mix.methods = methods;
+  mix.weights = {0.25, 0.25, 0.25};
+  EXPECT_TRUE(mix.IsUniform());
+  std::vector<RangePredicate> uniform = GenerateWorkload(t, methods, 40, &a);
+  std::vector<RangePredicate> weighted = GenerateWorkload(t, mix, 40, &b);
+  EXPECT_EQ(uniform, weighted);
+  // And the RNG cursors advanced identically.
+  EXPECT_EQ(a.UniformInt(0, 1 << 30), b.UniformInt(0, 1 << 30));
+}
+
+TEST(GeneratorTest, WeightedMixSkewsTowardHeavyMethods) {
+  // w2 predicates concentrate near the domain low end; a 9:1 mixture of w2
+  // vs w1 must land much lower on average than 1:9.
+  Table t = storage::MakePrsa(2000, 11);
+  auto mean_low = [&](double w2_weight) {
+    util::Rng rng(33);
+    WeightedMix mix;
+    mix.methods = {GenMethod::kW1, GenMethod::kW2};
+    mix.weights = {1.0 - w2_weight, w2_weight};
+    std::vector<RangePredicate> preds = GenerateWorkload(t, mix, 400, &rng);
+    double sum = 0.0;
+    size_t n = 0;
+    for (const RangePredicate& p : preds) {
+      for (size_t c = 0; c < p.NumColumns(); ++c) {
+        if (!p.Constrains(t, c)) continue;
+        double span = t.column(c).Max() - t.column(c).Min();
+        if (span <= 0.0) continue;
+        sum += (p.low[c] - t.column(c).Min()) / span;
+        ++n;
+      }
+    }
+    return n == 0 ? 0.0 : sum / n;
+  };
+  EXPECT_LT(mean_low(0.9), mean_low(0.1));
+}
+
+TEST(GeneratorTest, WeightedMixDropsZeroWeightMethods) {
+  Table t = storage::MakePrsa(800, 13);
+  util::Rng a(41), b(41);
+  WeightedMix mix;
+  mix.methods = {GenMethod::kW1, GenMethod::kW4};
+  mix.weights = {1.0, 0.0};
+  // Zero-weight w4 is filtered out entirely: same stream as pure w1.
+  std::vector<RangePredicate> filtered = GenerateWorkload(t, mix, 25, &a);
+  std::vector<RangePredicate> pure =
+      GenerateWorkload(t, {GenMethod::kW1}, 25, &b);
+  EXPECT_EQ(filtered, pure);
+}
+
 }  // namespace
 }  // namespace warper::workload

@@ -55,5 +55,64 @@ TEST(SpecTest, RejectsMalformedInput) {
   EXPECT_FALSE(WorkloadSpec::Parse("wx/2").ok());
 }
 
+TEST(SpecTest, ParsesDriftWeightSuffix) {
+  WorkloadSpec spec = WorkloadSpec::Parse("w12/345@0.7").ValueOrDie();
+  EXPECT_EQ(spec.train,
+            (std::vector<GenMethod>{GenMethod::kW1, GenMethod::kW2}));
+  EXPECT_EQ(spec.drifted.size(), 3u);
+  EXPECT_DOUBLE_EQ(spec.drift_weight, 0.7);
+  // No suffix ⇒ the paper's complete flip.
+  EXPECT_DOUBLE_EQ(WorkloadSpec::Parse("w12/345").ValueOrDie().drift_weight,
+                   1.0);
+}
+
+TEST(SpecTest, DriftWeightRoundTripsThroughToString) {
+  for (const char* s : {"w12/345@0.70", "w1/2@0.25", "w125/34@0.10"}) {
+    WorkloadSpec spec = WorkloadSpec::Parse(s).ValueOrDie();
+    EXPECT_EQ(spec.ToString(), s);
+    WorkloadSpec again = WorkloadSpec::Parse(spec.ToString()).ValueOrDie();
+    EXPECT_DOUBLE_EQ(again.drift_weight, spec.drift_weight);
+    EXPECT_EQ(again.train, spec.train);
+    EXPECT_EQ(again.drifted, spec.drifted);
+  }
+  // Weight 1 renders without the suffix (canonical paper notation).
+  EXPECT_EQ(WorkloadSpec::Parse("w12/345@1.0").ValueOrDie().ToString(),
+            "w12/345");
+}
+
+TEST(SpecTest, RejectsMalformedDriftWeight) {
+  EXPECT_FALSE(WorkloadSpec::Parse("w12/345@").ok());
+  EXPECT_FALSE(WorkloadSpec::Parse("w12/345@x").ok());
+  EXPECT_FALSE(WorkloadSpec::Parse("w12/345@1.5").ok());
+  EXPECT_FALSE(WorkloadSpec::Parse("w12/345@-0.2").ok());
+  EXPECT_FALSE(WorkloadSpec::Parse("w12/345@0.5z").ok());
+}
+
+TEST(SpecTest, MixtureAtBlendsPerMethodShares) {
+  WorkloadSpec spec = WorkloadSpec::Parse("w12/345").ValueOrDie();
+  WeightedMix mix = spec.MixtureAt(0.6);
+  // All five methods present: 0.4/2 each on w1,w2 and 0.6/3 each on w3-w5.
+  ASSERT_EQ(mix.methods.size(), 5u);
+  EXPECT_DOUBLE_EQ(mix.weights[0], 0.2);
+  EXPECT_DOUBLE_EQ(mix.weights[1], 0.2);
+  EXPECT_DOUBLE_EQ(mix.weights[2], 0.2);
+  EXPECT_DOUBLE_EQ(mix.weights[3], 0.2);
+  EXPECT_DOUBLE_EQ(mix.weights[4], 0.2);
+  EXPECT_TRUE(mix.IsUniform());
+  // Asymmetric sides are not uniform.
+  WeightedMix skew = WorkloadSpec::Parse("w1/345").ValueOrDie().MixtureAt(0.3);
+  EXPECT_FALSE(skew.IsUniform());
+}
+
+TEST(SpecTest, MixtureAtDegeneratesToSideVectors) {
+  WorkloadSpec spec = WorkloadSpec::Parse("w12/345").ValueOrDie();
+  WeightedMix at0 = spec.MixtureAt(0.0);
+  EXPECT_EQ(at0.methods, spec.train);
+  EXPECT_TRUE(at0.IsUniform());
+  WeightedMix at1 = spec.MixtureAt(1.0);
+  EXPECT_EQ(at1.methods, spec.drifted);
+  EXPECT_TRUE(at1.IsUniform());
+}
+
 }  // namespace
 }  // namespace warper::workload

@@ -1,0 +1,187 @@
+#!/usr/bin/env python3
+"""DriftLab grid gate: structural + regression checks on BENCH_driftgrid.json.
+
+Structural (always enforced):
+  - at least 3 drift families, each with a full intensity x cadence grid of
+    at least 3 x 3 cells;
+  - every cell carries a gmq_curve spanning all steps, a parseable drift
+    spec string, and a finite gmq_final.
+
+Regression (against tools/driftgrid_baseline.json, keyed by fast/full mode):
+  - each cell's gmq_final must stay within a tolerance band of the committed
+    baseline (15% relative, with a 0.30 absolute floor so near-1.0 GMQs do
+    not gate on noise). A drifted cell quietly regressing here means the
+    adaptation loop stopped keeping up with that scenario shape.
+  - if the baseline has no section for the current mode, only the structural
+    checks run (with a warning) — full-mode runs are too slow for CI, so the
+    committed baseline typically covers fast mode only.
+
+Usage:
+  tools/check_driftgrid.py --check BENCH_driftgrid.json            # gate (CI)
+  tools/check_driftgrid.py --update-baseline BENCH_driftgrid.json  # refresh
+"""
+
+import argparse
+import json
+import math
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BASELINE = os.path.join(REPO_ROOT, "tools", "driftgrid_baseline.json")
+
+MIN_FAMILIES = 3
+MIN_INTENSITIES = 3
+MIN_CADENCES = 3
+REL_TOLERANCE = 0.15
+ABS_FLOOR = 0.30
+
+
+def structural_errors(report):
+    errors = []
+    families = report.get("families", [])
+    if len(families) < MIN_FAMILIES:
+        errors.append(f"only {len(families)} families, need >= {MIN_FAMILIES}")
+    steps = report.get("steps", 0)
+    for family in families:
+        name = family.get("family", "<unnamed>")
+        cells = family.get("cells", [])
+        intensities = {c.get("intensity") for c in cells}
+        cadences = {c.get("cadence") for c in cells}
+        if len(intensities) < MIN_INTENSITIES or len(cadences) < MIN_CADENCES:
+            errors.append(
+                f"family '{name}': grid is {len(intensities)} intensities x "
+                f"{len(cadences)} cadences, need >= "
+                f"{MIN_INTENSITIES} x {MIN_CADENCES}")
+        if len(cells) != len(intensities) * len(cadences):
+            errors.append(
+                f"family '{name}': {len(cells)} cells does not fill the "
+                f"{len(intensities)} x {len(cadences)} grid")
+        for cell in cells:
+            drift = cell.get("drift", "")
+            if not drift:
+                errors.append(f"family '{name}': cell missing drift spec")
+                continue
+            # The curve carries the pre-adaptation (α) point plus one per
+            # adaptation step.
+            curve = cell.get("gmq_curve", [])
+            if len(curve) != steps + 1:
+                errors.append(
+                    f"family '{name}' cell '{drift}': gmq_curve has "
+                    f"{len(curve)} points, run has {steps} steps (expect "
+                    f"{steps + 1})")
+            final = cell.get("gmq_final")
+            if not isinstance(final, (int, float)) or not math.isfinite(final):
+                errors.append(
+                    f"family '{name}' cell '{drift}': gmq_final is not a "
+                    "finite number")
+    return errors
+
+
+def cell_index(report):
+    """(family, drift-spec) -> gmq_final, the regression-gated quantity."""
+    index = {}
+    for family in report.get("families", []):
+        for cell in family.get("cells", []):
+            index[(family.get("family"), cell.get("drift"))] = \
+                cell.get("gmq_final")
+    return index
+
+
+def regression_errors(report, baseline_mode):
+    errors = []
+    current = cell_index(report)
+    expected = {tuple(k.split("|", 1)): v for k, v in baseline_mode.items()}
+    for key, base in sorted(expected.items()):
+        got = current.get(key)
+        if got is None:
+            errors.append(f"cell {key[0]}|{key[1]} present in baseline but "
+                          "missing from the report")
+            continue
+        allowed = max(abs(base) * REL_TOLERANCE, ABS_FLOOR)
+        if got > base + allowed:
+            errors.append(
+                f"cell {key[0]}|{key[1]}: gmq_final {got:.3f} regressed past "
+                f"baseline {base:.3f} + tolerance {allowed:.3f}")
+    for key in sorted(set(current) - set(expected)):
+        errors.append(f"cell {key[0]}|{key[1]} is new — refresh the baseline "
+                      "with --update-baseline")
+    return errors
+
+
+def mode_key(report):
+    return "fast" if report.get("fast") else "full"
+
+
+def read_baseline():
+    if not os.path.exists(BASELINE):
+        return {}
+    with open(BASELINE) as f:
+        return json.load(f)
+
+
+def write_baseline(report):
+    baseline = read_baseline()
+    baseline[mode_key(report)] = {
+        f"{family}|{drift}": round(gmq, 3)
+        for (family, drift), gmq in sorted(cell_index(report).items())
+    }
+    with open(BASELINE, "w") as f:
+        json.dump(baseline, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", help="BENCH_driftgrid.json to check")
+    parser.add_argument("--check", action="store_true",
+                        help="gate against the committed baseline")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite this mode's baseline section from the "
+                             "report")
+    args = parser.parse_args()
+
+    with open(args.report) as f:
+        report = json.load(f)
+    if report.get("bench") != "driftgrid":
+        sys.exit(f"error: {args.report} is not a driftgrid report")
+
+    errors = structural_errors(report)
+    if errors:
+        print(f"check_driftgrid: {len(errors)} structural error(s)",
+              file=sys.stderr)
+        for e in errors:
+            print(f"  {e}", file=sys.stderr)
+        sys.exit(1)
+
+    if args.update_baseline:
+        write_baseline(report)
+        print(f"baseline section '{mode_key(report)}' rewritten: "
+              f"{len(cell_index(report))} cells -> "
+              f"{os.path.relpath(BASELINE, REPO_ROOT)}")
+        return
+
+    if args.check:
+        baseline = read_baseline()
+        mode = mode_key(report)
+        if mode not in baseline:
+            print(f"check_driftgrid: warning: no '{mode}' section in "
+                  f"{os.path.relpath(BASELINE, REPO_ROOT)}; structural "
+                  "checks only")
+        else:
+            errors = regression_errors(report, baseline[mode])
+            if errors:
+                print(f"check_driftgrid: {len(errors)} regression(s)",
+                      file=sys.stderr)
+                for e in errors:
+                    print(f"  {e}", file=sys.stderr)
+                sys.exit(1)
+
+    families = report.get("families", [])
+    cells = sum(len(f.get("cells", [])) for f in families)
+    print(f"check_driftgrid: clean ({len(families)} families, {cells} cells, "
+          f"mode {mode_key(report)})")
+
+
+if __name__ == "__main__":
+    main()

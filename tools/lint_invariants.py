@@ -8,7 +8,7 @@ Checks (each one line of rationale):
   unseeded-rng   rand()/srand()/std::random_device outside src/util/rng.* —
                  reproducibility is a paper-level requirement; all
                  randomness flows through seeded util::Rng.
-  metric-names   serve.*/warper.* metric registrations must match
+  metric-names   serve.*/warper.*/drift.* metric registrations must match
                  tools/metric_names.txt in BOTH directions, so renames
                  cannot silently orphan a dashboard.
   todo-tags      TODO must carry an issue tag — TODO(#123) — or it is
@@ -56,7 +56,7 @@ TENANT_METRIC_CALL_RE = re.compile(r'TenantMetricName\(\s*"([^"]+)"')
 # TemplateMetricName("warper.template.err_ewma", fp) →
 # "warper.template.<16-hex-fp>.err_ewma" — the family literal is enforced.
 TEMPLATE_METRIC_CALL_RE = re.compile(r'TemplateMetricName\(\s*"([^"]+)"')
-ENFORCED_METRIC_PREFIXES = ("serve.", "warper.")
+ENFORCED_METRIC_PREFIXES = ("serve.", "warper.", "drift.")
 
 TODO_RE = re.compile(r"\bTODO\b")
 TODO_TAGGED_RE = re.compile(r"\bTODO\(#\d+\)")
