@@ -266,11 +266,54 @@ inline double LatencyQuantile(const std::vector<double>& xs_us, double p) {
   return hist.Quantile(p);
 }
 
+// Attaches the repo's acknowledged static debt — the per-rule entry counts
+// of the committed warper-analyzer baseline — under a "static_debt" key, so
+// every BENCH_*.json records the debt trajectory alongside the perf
+// trajectory. Benches run from the repo root (ci.yml invokes them as
+// ./build/bench/...), so the relative path resolves; anywhere else the
+// counts read as zero with "baseline_read" false rather than failing the
+// bench.
+inline void AttachStaticDebt(JsonWriter* w) {
+  static constexpr const char* kRules[] = {
+      "determinism-purity", "hot-path-purity", "rcu-snapshot-lifetime",
+      "result-flow"};
+  std::string text;
+  bool read_ok = false;
+  {
+    std::ifstream in("tools/warper_analyzer_baseline.json");
+    if (in) {
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      text = ss.str();
+      read_ok = true;
+    }
+  }
+  w->Key("static_debt").BeginObject();
+  w->Key("baseline_read").Value(read_ok);
+  int total = 0;
+  for (const char* rule : kRules) {
+    std::string needle = "\"rule\": \"";
+    needle += rule;
+    needle += '"';
+    int count = 0;
+    for (size_t pos = text.find(needle); pos != std::string::npos;
+         pos = text.find(needle, pos + needle.size())) {
+      ++count;
+    }
+    total += count;
+    w->Key(rule).Value(count);
+  }
+  w->Key("total").Value(total);
+  w->EndObject();
+}
+
 // Attaches the process-wide metric snapshot under a "metrics" key, indented
-// to the writer's current depth. Call while still inside the root object.
+// to the writer's current depth, plus the static-debt counts above. Call
+// while still inside the root object.
 inline void AttachMetricsSnapshot(JsonWriter* w) {
   w->Key("metrics").Raw(
       util::Metrics().Snapshot().ToJson(static_cast<int>(w->Depth()) * 2));
+  AttachStaticDebt(w);
 }
 
 // Attaches every registered error log (per-template running stats) under an

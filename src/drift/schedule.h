@@ -11,6 +11,7 @@
 
 #include "drift/spec.h"
 #include "storage/table.h"
+#include "util/annotations.h"
 #include "workload/spec.h"
 
 namespace warper::drift {
@@ -43,15 +44,15 @@ class DriftSchedule {
   // [0, intensity]. Settling families ramp w = intensity·min(1, (s+1)/cadence);
   // kOscillating flips between intensity and 0 every `cadence` steps
   // (drifted phase first); kData/kNone stay at 0.
-  double WorkloadWeightAt(size_t s) const;
+  WARPER_DETERMINISTIC double WorkloadWeightAt(size_t s) const;
 
   // The arrival mixture of step s: WorkloadSpec::MixtureAt(WorkloadWeightAt).
-  workload::WeightedMix ArrivalMixAt(size_t s) const;
+  WARPER_DETERMINISTIC workload::WeightedMix ArrivalMixAt(size_t s) const;
 
   // The steady-state / peak-drift mixture, used for the post-drift test set
   // and the β reference model (weight = intensity for workload-drifting
   // families, 0 otherwise).
-  workload::WeightedMix EvalMix() const;
+  WARPER_DETERMINISTIC workload::WeightedMix EvalMix() const;
 
   // True when step s mutates the table: data-drifting families place one
   // event at each of steps 0..cadence-1, each applying 1/cadence of the
@@ -66,7 +67,8 @@ class DriftSchedule {
   // (spec.seed, s) alone, so the resulting table bytes are identical across
   // runs, call orders and thread counts. No-op (all-zero event) when the
   // step carries no event.
-  DriftEvent ApplyDataEventAt(storage::Table* table, size_t s) const;
+  WARPER_DETERMINISTIC DriftEvent ApplyDataEventAt(storage::Table* table,
+                                                   size_t s) const;
 
   // Publishes the drift.step / drift.intensity gauges for step s (the
   // current workload weight, or the cumulative applied data intensity for

@@ -21,6 +21,7 @@
 #include "eval/speedup.h"
 #include "storage/datasets.h"
 #include "storage/table.h"
+#include "util/annotations.h"
 #include "workload/spec.h"
 
 namespace warper::eval {
@@ -103,7 +104,8 @@ struct SingleTableDriftSpec {
   ExperimentConfig config;
 };
 
-DriftExperimentResult RunSingleTableDrift(const SingleTableDriftSpec& spec);
+WARPER_DETERMINISTIC DriftExperimentResult RunSingleTableDrift(
+    const SingleTableDriftSpec& spec);
 
 // --- Star-join experiments (join MSCN, Table 7d) ---
 
@@ -115,7 +117,8 @@ struct StarJoinDriftSpec {
   ExperimentConfig config;
 };
 
-DriftExperimentResult RunStarJoinDrift(const StarJoinDriftSpec& spec);
+WARPER_DETERMINISTIC DriftExperimentResult RunStarJoinDrift(
+    const StarJoinDriftSpec& spec);
 
 // Builds an adapter for `method` (Warper variants get `warper_config` with
 // the matching ablation switches).

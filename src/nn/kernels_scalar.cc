@@ -10,6 +10,7 @@
 #include <cmath>
 
 #include "nn/kernels.h"
+#include "util/annotations.h"
 
 namespace warper::nn::internal {
 namespace {
@@ -18,7 +19,7 @@ namespace {
 // output row of the slice streams over it.
 constexpr size_t kKBlock = 256;
 
-void MatMulRangeScalar(const double* a, size_t a_cols, const double* b,
+WARPER_DETERMINISTIC void MatMulRangeScalar(const double* a, size_t a_cols, const double* b,
                        size_t b_cols, double* out, size_t r0, size_t r1) {
   for (size_t kb = 0; kb < a_cols; kb += kKBlock) {
     size_t kend = std::min(a_cols, kb + kKBlock);
@@ -34,7 +35,7 @@ void MatMulRangeScalar(const double* a, size_t a_cols, const double* b,
   }
 }
 
-void TransposeMatMulRangeScalar(const double* a, size_t a_rows, size_t a_cols,
+WARPER_DETERMINISTIC void TransposeMatMulRangeScalar(const double* a, size_t a_rows, size_t a_cols,
                                 const double* b, size_t b_cols, double* out,
                                 size_t i0, size_t i1) {
   for (size_t kb = 0; kb < a_rows; kb += kKBlock) {
@@ -52,7 +53,7 @@ void TransposeMatMulRangeScalar(const double* a, size_t a_rows, size_t a_cols,
   }
 }
 
-void MatMulTransposeRangeScalar(const double* a, size_t a_cols,
+WARPER_DETERMINISTIC void MatMulTransposeRangeScalar(const double* a, size_t a_cols,
                                 const double* b, size_t b_rows, double* out,
                                 size_t r0, size_t r1) {
   for (size_t i = r0; i < r1; ++i) {
@@ -66,7 +67,7 @@ void MatMulTransposeRangeScalar(const double* a, size_t a_cols,
   }
 }
 
-void BiasActRangeScalar(double* out, size_t cols, const double* bias,
+WARPER_DETERMINISTIC void BiasActRangeScalar(double* out, size_t cols, const double* bias,
                         Activation act, size_t r0, size_t r1) {
   for (size_t r = r0; r < r1; ++r) {
     double* row = &out[r * cols];
@@ -93,7 +94,7 @@ void BiasActRangeScalar(double* out, size_t cols, const double* bias,
   }
 }
 
-void ActGradScalar(Activation act, const double* post, double* grad,
+WARPER_DETERMINISTIC void ActGradScalar(Activation act, const double* post, double* grad,
                    size_t n) {
   switch (act) {
     case Activation::kIdentity:
@@ -115,25 +116,25 @@ void ActGradScalar(Activation act, const double* post, double* grad,
   }
 }
 
-void AddRowBroadcastScalar(double* data, size_t rows, size_t cols,
+WARPER_DETERMINISTIC void AddRowBroadcastScalar(double* data, size_t rows, size_t cols,
                            const double* bias) {
   for (size_t r = 0; r < rows; ++r) {
     for (size_t c = 0; c < cols; ++c) data[r * cols + c] += bias[c];
   }
 }
 
-void ColumnSumsScalar(const double* data, size_t rows, size_t cols,
+WARPER_DETERMINISTIC void ColumnSumsScalar(const double* data, size_t rows, size_t cols,
                       double* sums) {
   for (size_t r = 0; r < rows; ++r) {
     for (size_t c = 0; c < cols; ++c) sums[c] += data[r * cols + c];
   }
 }
 
-void ScaleScalar(double* data, size_t n, double s) {
+WARPER_DETERMINISTIC void ScaleScalar(double* data, size_t n, double s) {
   for (size_t i = 0; i < n; ++i) data[i] *= s;
 }
 
-double SquaredNormScalar(const double* data, size_t n) {
+WARPER_DETERMINISTIC double SquaredNormScalar(const double* data, size_t n) {
   double acc = 0.0;
   for (size_t i = 0; i < n; ++i) acc += data[i] * data[i];
   return acc;

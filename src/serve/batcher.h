@@ -32,6 +32,7 @@
 #include "serve/admission.h"
 #include "serve/request.h"
 #include "serve/snapshot.h"
+#include "util/annotations.h"
 #include "util/mutex.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -80,7 +81,8 @@ class MicroBatcher {
   // The unbatched reference path: one snapshot load + one 1-row matrix pass
   // on the calling thread. Lock-free with respect to Publish(); safe from
   // any thread at any time after the first snapshot is published.
-  Result<EstimateResponse> EstimateDirect(const EstimateRequest& request) const;
+  WARPER_HOT_PATH Result<EstimateResponse> EstimateDirect(
+      const EstimateRequest& request) const;
 
   // --- Deprecated positional shims (pre-fleet API). ---
   [[deprecated("use Estimate(const EstimateRequest&)")]]
@@ -115,7 +117,7 @@ class MicroBatcher {
   // request was shed / expired / refused. `block_until_admitted` is false
   // for EstimateAsync (a pipelining caller must not be parked by kBlock —
   // it is told Unavailable instead).
-  Result<std::future<Result<EstimateResponse>>> Enqueue(
+  WARPER_BLOCKING Result<std::future<Result<EstimateResponse>>> Enqueue(
       EstimateRequest request, bool block_until_admitted);
 
   void DispatchLoop();

@@ -21,6 +21,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/annotations.h"
 #include "util/status.h"
 
 namespace warper::serve {
@@ -44,12 +45,13 @@ class ShardRouter {
 
   // Shard serving `tenant_id`; NotFound for unregistered tenants,
   // FailedPrecondition before Freeze().
-  Result<size_t> ShardFor(uint64_t tenant_id) const;
+  WARPER_HOT_PATH Result<size_t> ShardFor(uint64_t tenant_id) const;
 
   // Deterministic predicate-hash routing over all registered shards
   // (FNV-1a over the feature bytes, modulo the shard count).
   // FailedPrecondition before Freeze() or with zero shards.
-  Result<size_t> ShardForFeatures(const std::vector<double>& features) const;
+  WARPER_HOT_PATH Result<size_t> ShardForFeatures(
+      const std::vector<double>& features) const;
 
   size_t NumTenants() const { return map_.size(); }
   // Shards = max registered shard index + 1 (the fleet registers tenant i on

@@ -16,6 +16,7 @@
 
 #include "ce/estimator.h"
 #include "core/warper.h"
+#include "util/annotations.h"
 
 namespace warper::serve {
 
@@ -73,12 +74,12 @@ class SnapshotStore {
   // reports a race inside std::_Sp_atomic. tsan.supp (wired into ctest and
   // compiled in via __tsan_default_suppressions in snapshot.cc) filters
   // exactly that frame; everything outside _Sp_atomic stays checked.
-  std::shared_ptr<const ModelSnapshot> Current() const {
+  WARPER_HOT_PATH std::shared_ptr<const ModelSnapshot> Current() const {
     return current_.load(std::memory_order_acquire);
   }
 
   // Version number of the current snapshot; 0 before the first Publish().
-  uint64_t CurrentVersion() const;
+  WARPER_HOT_PATH uint64_t CurrentVersion() const;
 
  private:
   std::atomic<std::shared_ptr<const ModelSnapshot>> current_;

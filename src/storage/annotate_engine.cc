@@ -11,26 +11,28 @@ namespace {
 constexpr size_t kZ = Column::kZoneBlockRows;
 constexpr size_t kMaskWords = kZ / 64;
 
-// Zone-map verdict for one (predicate, block) pair. `active` receives the
-// indices (into pred.cols) of the columns that still need row evaluation —
-// columns whose zone range lies fully inside the bounds are redundant on
-// this block and are skipped.
+// Zone-map verdict for one (predicate, block) pair. `active` (capacity
+// kMaxConstrainedCols, on the caller's stack — the evaluation loops are
+// WARPER_HOT_PATH and must not touch the heap) receives the indices (into
+// pred.cols) of the columns that still need row evaluation; columns whose
+// zone range lies fully inside the bounds are redundant on this block and
+// are skipped. `*num_active` is the count written.
 enum class BlockVerdict { kReject, kAllMatch, kPartial };
 
 BlockVerdict JudgeBlock(const CompiledBatch& batch,
                         const CompiledBatch::Pred& pred, size_t block,
-                        std::vector<uint32_t>* active) {
-  active->clear();
+                        uint32_t* active, size_t* num_active) {
+  *num_active = 0;
   for (uint32_t i = 0; i < pred.cols.size(); ++i) {
     const Column::ZoneEntry& zone = batch.col(pred.cols[i]).zones[block];
     if (zone.max < pred.low[i] || zone.min > pred.high[i]) {
       return BlockVerdict::kReject;
     }
     if (!(pred.low[i] <= zone.min && zone.max <= pred.high[i])) {
-      active->push_back(i);
+      active[(*num_active)++] = i;
     }
   }
-  return active->empty() ? BlockVerdict::kAllMatch : BlockVerdict::kPartial;
+  return *num_active == 0 ? BlockVerdict::kAllMatch : BlockVerdict::kPartial;
 }
 
 int64_t PopcountWords(const uint64_t* mask, size_t words) {
@@ -48,6 +50,12 @@ CompiledBatch::CompiledBatch(const Table& table,
   preds_.reserve(preds.size());
   for (const RangePredicate& pred : preds) {
     WARPER_CHECK(pred.NumColumns() == table.NumColumns());
+    // The evaluation loops carry the per-block active set in a fixed stack
+    // array (no heap on the hot path); cap the width here, on the cold
+    // compile path, where violating inputs can still be rejected loudly.
+    WARPER_CHECK_MSG(pred.NumColumns() <= kMaxConstrainedCols,
+                     "CompiledBatch: predicate constrains more columns than "
+                     "kMaxConstrainedCols");
     Pred compiled;
     for (size_t c = 0; c < pred.NumColumns(); ++c) {
       if (!pred.Constrains(table, c)) continue;
@@ -70,7 +78,8 @@ void FusedCount(const CompiledBatch& batch, const AnnotateKernelTable& kernels,
                 size_t row_begin, size_t row_end, int64_t* counts,
                 AnnotateStats* stats) {
   uint64_t mask[kMaskWords];
-  std::vector<uint32_t> active;
+  uint32_t active[kMaxConstrainedCols];
+  size_t num_active = 0;
   for (size_t b0 = row_begin; b0 < row_end;) {
     size_t block = b0 / kZ;
     size_t b1 = std::min(row_end, (block + 1) * kZ);
@@ -81,7 +90,7 @@ void FusedCount(const CompiledBatch& batch, const AnnotateKernelTable& kernels,
         counts[p] += static_cast<int64_t>(span);
         continue;
       }
-      switch (JudgeBlock(batch, pred, block, &active)) {
+      switch (JudgeBlock(batch, pred, block, active, &num_active)) {
         case BlockVerdict::kReject:
           if (stats != nullptr) ++stats->blocks_pruned;
           continue;
@@ -93,7 +102,7 @@ void FusedCount(const CompiledBatch& batch, const AnnotateKernelTable& kernels,
           break;
       }
       if (stats != nullptr) stats->rows_scanned += static_cast<int64_t>(span);
-      if (active.size() == 1) {
+      if (num_active == 1) {
         uint32_t i = active[0];
         counts[p] += kernels.count_range(batch.col(pred.cols[i]).values + b0,
                                          span, pred.low[i], pred.high[i]);
@@ -104,7 +113,7 @@ void FusedCount(const CompiledBatch& batch, const AnnotateKernelTable& kernels,
       uint32_t first = active[0];
       kernels.mask_range(batch.col(pred.cols[first]).values + b0, span,
                          pred.low[first], pred.high[first], mask);
-      for (size_t a = 1; a < active.size(); ++a) {
+      for (size_t a = 1; a < num_active; ++a) {
         uint32_t i = active[a];
         kernels.mask_range_and(batch.col(pred.cols[i]).values + b0, span,
                                pred.low[i], pred.high[i], mask);
@@ -121,7 +130,8 @@ void PredicateMask(const CompiledBatch& batch, size_t pred_idx,
   WARPER_CHECK(pred_idx < batch.num_preds());
   const CompiledBatch::Pred& pred = batch.preds()[pred_idx];
   size_t rows = batch.num_rows();
-  std::vector<uint32_t> active;
+  uint32_t active[kMaxConstrainedCols];
+  size_t num_active = 0;
 
   auto fill_span = [&](uint64_t* words, size_t span, uint64_t value) {
     size_t full = span / 64;
@@ -140,7 +150,7 @@ void PredicateMask(const CompiledBatch& batch, size_t pred_idx,
       fill_span(words, span, ~uint64_t{0});
       continue;
     }
-    switch (JudgeBlock(batch, pred, block, &active)) {
+    switch (JudgeBlock(batch, pred, block, active, &num_active)) {
       case BlockVerdict::kReject:
         fill_span(words, span, 0);
         if (stats != nullptr) ++stats->blocks_pruned;
@@ -156,7 +166,7 @@ void PredicateMask(const CompiledBatch& batch, size_t pred_idx,
     uint32_t first = active[0];
     kernels.mask_range(batch.col(pred.cols[first]).values + b0, span,
                        pred.low[first], pred.high[first], words);
-    for (size_t a = 1; a < active.size(); ++a) {
+    for (size_t a = 1; a < num_active; ++a) {
       uint32_t i = active[a];
       kernels.mask_range_and(batch.col(pred.cols[i]).values + b0, span,
                              pred.low[i], pred.high[i], words);

@@ -32,8 +32,15 @@
 #include "storage/column.h"
 #include "storage/predicate.h"
 #include "storage/table.h"
+#include "util/annotations.h"
 
 namespace warper::storage::internal {
+
+// Widest predicate a CompiledBatch accepts (checked at compile time of the
+// batch, i.e. the cold path). The per-block active-column scratch in the
+// evaluation loops is a fixed stack array of this size so the hot path
+// never allocates; every dataset in the tree is far below it.
+inline constexpr size_t kMaxConstrainedCols = 64;
 
 // Work accounting for one engine pass, merged into the annotator.* metrics
 // by the caller. rows_scanned counts rows actually evaluated against a
@@ -83,17 +90,18 @@ class CompiledBatch {
 // counts[0..num_preds). Any contiguous partition of [0, rows) sums to the
 // full-table counts exactly, so parallel callers merge chunk-local tallies.
 // `stats` may be null.
-void FusedCount(const CompiledBatch& batch, const AnnotateKernelTable& kernels,
-                size_t row_begin, size_t row_end, int64_t* counts,
-                AnnotateStats* stats);
+WARPER_HOT_PATH void FusedCount(const CompiledBatch& batch,
+                                const AnnotateKernelTable& kernels,
+                                size_t row_begin, size_t row_end,
+                                int64_t* counts, AnnotateStats* stats);
 
 // Match bitmap of predicate `pred` over the whole table: bit r of
 // mask[r / 64] ← row r matches. mask holds (num_rows + 63) / 64 words;
 // trailing bits are zeroed. Zone-pruned like FusedCount (rejected blocks
 // write zero words, all-match blocks write all-ones without touching rows).
-void PredicateMask(const CompiledBatch& batch, size_t pred,
-                   const AnnotateKernelTable& kernels, uint64_t* mask,
-                   AnnotateStats* stats);
+WARPER_HOT_PATH void PredicateMask(const CompiledBatch& batch, size_t pred,
+                                   const AnnotateKernelTable& kernels,
+                                   uint64_t* mask, AnnotateStats* stats);
 
 }  // namespace warper::storage::internal
 

@@ -7,6 +7,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "util/annotations.h"
 #include "util/cpu_features.h"
 #include "util/logging.h"
 
@@ -19,13 +20,13 @@ inline bool MatchScalar(double v, double lo, double hi) {
   return !(v < lo) && !(v > hi);
 }
 
-int64_t ScalarCountRange(const double* v, size_t n, double lo, double hi) {
+WARPER_DETERMINISTIC int64_t ScalarCountRange(const double* v, size_t n, double lo, double hi) {
   int64_t count = 0;
   for (size_t i = 0; i < n; ++i) count += MatchScalar(v[i], lo, hi) ? 1 : 0;
   return count;
 }
 
-void ScalarMaskRange(const double* v, size_t n, double lo, double hi,
+WARPER_DETERMINISTIC void ScalarMaskRange(const double* v, size_t n, double lo, double hi,
                      uint64_t* mask) {
   size_t words = (n + 63) / 64;
   for (size_t w = 0; w < words; ++w) {
@@ -39,7 +40,7 @@ void ScalarMaskRange(const double* v, size_t n, double lo, double hi,
   }
 }
 
-void ScalarMaskRangeAnd(const double* v, size_t n, double lo, double hi,
+WARPER_DETERMINISTIC void ScalarMaskRangeAnd(const double* v, size_t n, double lo, double hi,
                         uint64_t* mask) {
   size_t words = (n + 63) / 64;
   for (size_t w = 0; w < words; ++w) {

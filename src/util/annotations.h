@@ -1,0 +1,48 @@
+#ifndef WARPER_UTIL_ANNOTATIONS_H_
+#define WARPER_UTIL_ANNOTATIONS_H_
+
+// Semantic contract annotations, checked by tools/warper_analyzer (see
+// DESIGN.md §16). They generate no code: under Clang they lower to
+// [[clang::annotate]] attributes the clang frontend reads from the AST;
+// under other compilers they vanish (the analyzer's textual frontend
+// recognizes the macro tokens themselves).
+//
+//   WARPER_DETERMINISTIC  The function (and everything it calls) must be a
+//                         pure function of its inputs + seeds: no wall
+//                         clocks, no ambient randomness, no thread ids, no
+//                         pointer-value-as-data. Replays must be exact.
+//   WARPER_HOT_PATH       The function (and everything it calls) runs on
+//                         the serving fast path: no locks, no heap
+//                         allocation, no WARPER_BLOCKING callee.
+//   WARPER_BLOCKING       The function may block (locks, condition waits,
+//                         queue handoffs). Reaching one from a
+//                         WARPER_HOT_PATH function is a finding; an RCU
+//                         snapshot borrow must not live across a call to
+//                         one.
+//
+// Place them at the start of the declaration:
+//   WARPER_HOT_PATH std::shared_ptr<const ModelSnapshot> Current() const;
+//
+// WARPER_ANALYZER_SUPPRESS("rule", "reason #NNN") is a statement placed
+// inside a function body. It suppresses that rule for the function AND for
+// everything only reachable through it (a barrier), so a deliberately
+// amortized slow path (e.g. a function-static handle cache) does not leak
+// findings into every caller. The reason must cite an issue number; the
+// analyzer reports an unbaselinable `bad-suppression` finding otherwise.
+
+#if defined(__clang__)
+#define WARPER_DETERMINISTIC [[clang::annotate("warper::deterministic")]]
+#define WARPER_HOT_PATH [[clang::annotate("warper::hot_path")]]
+#define WARPER_BLOCKING [[clang::annotate("warper::blocking")]]
+#else
+#define WARPER_DETERMINISTIC
+#define WARPER_HOT_PATH
+#define WARPER_BLOCKING
+#endif
+
+// The sizeof of the concatenated literals forces both arguments to be
+// string literals at compile time; the statement itself compiles away.
+#define WARPER_ANALYZER_SUPPRESS(rule, reason) \
+  static_assert(sizeof(rule "" reason "") > 0, "suppression args")
+
+#endif  // WARPER_UTIL_ANNOTATIONS_H_

@@ -33,6 +33,7 @@
 #include <mutex>
 #include <thread>
 
+#include "util/annotations.h"
 #include "util/status.h"
 
 // ---------------------------------------------------------------------------
@@ -86,7 +87,10 @@ class WARPER_CAPABILITY("mutex") Mutex {
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void Lock() WARPER_ACQUIRE() {
+  WARPER_BLOCKING void Lock() WARPER_ACQUIRE() {
+    WARPER_ANALYZER_SUPPRESS("determinism-purity",
+                             "owner-tracking thread id is lock-debugging "
+                             "telemetry, never computed output #10");
     mu_.lock();
     holder_.store(std::this_thread::get_id(), std::memory_order_relaxed);
   }
@@ -106,6 +110,9 @@ class WARPER_CAPABILITY("mutex") Mutex {
   // for the asking thread: only the holder writes its own id, so a true
   // answer cannot be stale and a false answer means "not you".
   bool HeldByCurrentThread() const {
+    WARPER_ANALYZER_SUPPRESS("determinism-purity",
+                             "owner-tracking thread id is lock-debugging "
+                             "telemetry, never computed output #10");
     return holder_.load(std::memory_order_relaxed) ==
            std::this_thread::get_id();
   }
@@ -132,7 +139,9 @@ class WARPER_CAPABILITY("mutex") Mutex {
 // analysis treat construction as acquire and destruction as release.
 class WARPER_SCOPED_CAPABILITY MutexLock {
  public:
-  explicit MutexLock(Mutex* mu) WARPER_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  WARPER_BLOCKING explicit MutexLock(Mutex* mu) WARPER_ACQUIRE(mu) : mu_(mu) {
+    mu_->Lock();
+  }
   ~MutexLock() WARPER_RELEASE() { mu_->Unlock(); }
 
   MutexLock(const MutexLock&) = delete;
@@ -157,11 +166,12 @@ class CondVar {
 
   // All waits require the caller to hold *mu; the mutex is released while
   // blocked and re-held (with owner tracking restored) on return.
-  void Wait(Mutex* mu) WARPER_REQUIRES(mu);
-  std::cv_status WaitFor(Mutex* mu, std::chrono::microseconds timeout)
+  WARPER_BLOCKING void Wait(Mutex* mu) WARPER_REQUIRES(mu);
+  WARPER_BLOCKING std::cv_status WaitFor(Mutex* mu,
+                                         std::chrono::microseconds timeout)
       WARPER_REQUIRES(mu);
-  std::cv_status WaitUntil(Mutex* mu,
-                           std::chrono::steady_clock::time_point deadline)
+  WARPER_BLOCKING std::cv_status WaitUntil(
+      Mutex* mu, std::chrono::steady_clock::time_point deadline)
       WARPER_REQUIRES(mu);
 
   void NotifyOne() { cv_.notify_one(); }

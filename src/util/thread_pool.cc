@@ -26,6 +26,9 @@ struct PoolMetrics {
 };
 
 PoolMetrics& GetPoolMetrics() {
+  WARPER_ANALYZER_SUPPRESS("hot-path-purity",
+                           "function-static handle cache: the allocation and "
+                           "registry locks run once, on the first call #10");
   static PoolMetrics* metrics = new PoolMetrics();
   return *metrics;
 }

@@ -21,6 +21,7 @@
 #include <thread>
 #include <vector>
 
+#include "util/annotations.h"
 #include "util/cpu_features.h"
 #include "util/mutex.h"
 #include "util/status.h"
@@ -65,7 +66,7 @@ class ThreadPool {
   int size() const { return static_cast<int>(workers_.size()); }
 
   // Enqueues a task; the future rethrows any exception the task raised.
-  std::future<void> Submit(std::function<void()> fn);
+  WARPER_BLOCKING std::future<void> Submit(std::function<void()> fn);
 
   // Runs fn(chunk_begin, chunk_end) over a fixed partition of [begin, end)
   // with at least `grain` items per chunk, blocking until every chunk

@@ -5,6 +5,9 @@
 namespace warper::util {
 
 double ThreadCpuTimer::Now() {
+  WARPER_ANALYZER_SUPPRESS("determinism-purity",
+                           "thread-CPU clock feeds the Table 6/11 cost "
+                           "accounting only, never computed bytes #10");
 #if defined(CLOCK_THREAD_CPUTIME_ID)
   timespec ts;
   if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {

@@ -13,6 +13,7 @@
 
 #include "storage/predicate.h"
 #include "storage/table.h"
+#include "util/annotations.h"
 #include "util/rng.h"
 
 namespace warper::workload {
@@ -37,7 +38,7 @@ storage::RangePredicate GeneratePredicate(const storage::Table& table,
                                           const GeneratorOptions& opts = {});
 
 // `n` predicates drawn from a uniform mixture over `mix`.
-std::vector<storage::RangePredicate> GenerateWorkload(
+WARPER_DETERMINISTIC std::vector<storage::RangePredicate> GenerateWorkload(
     const storage::Table& table, const std::vector<GenMethod>& mix, size_t n,
     util::Rng* rng, const GeneratorOptions& opts = {});
 
@@ -55,7 +56,7 @@ struct WeightedMix {
 // `n` predicates drawn proportionally to `mix.weights`. A uniform mixture
 // delegates to the uniform overload above, consuming the RNG identically —
 // weight-1.0 drift specs stay bit-compatible with the paper's presets.
-std::vector<storage::RangePredicate> GenerateWorkload(
+WARPER_DETERMINISTIC std::vector<storage::RangePredicate> GenerateWorkload(
     const storage::Table& table, const WeightedMix& mix, size_t n,
     util::Rng* rng, const GeneratorOptions& opts = {});
 

@@ -1,0 +1,58 @@
+// Positive control for tools/warper_analyzer: every contract is exercised
+// and respected, so the analyzer must report ZERO findings. A failing
+// must-flag fixture proves a rule fires; this file proves it fires because
+// of the violation, not because annotated code flags unconditionally.
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace fixture {
+
+// determinism-purity: seeded arithmetic only.
+WARPER_DETERMINISTIC int SeededSum(const std::vector<int>& values) {
+  int sum = 0;
+  for (int v : values) sum += v;
+  return sum;
+}
+
+// hot-path-purity: reads and arithmetic, no locks, no heap.
+WARPER_HOT_PATH double Dot(const double* a, const double* b, size_t n) {
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+// rcu-snapshot-lifetime: the shared_ptr itself is held across use — the
+// RCU contract, not a raw borrow.
+struct Model {
+  double score() const { return 1.0; }
+};
+struct ModelSnapshot {
+  const Model& model() const { return model_; }
+  Model model_;
+};
+struct SnapshotStore {
+  std::shared_ptr<const ModelSnapshot> Current() const;
+};
+
+double ScoreCurrent(const SnapshotStore& store) {
+  auto snap = store.Current();
+  return snap->model().score();
+}
+
+// result-flow: every ValueOrDie is dominated by an ok() check.
+template <typename T>
+struct Result {
+  bool ok() const;
+  T& ValueOrDie();
+  int status() const;
+};
+Result<int> Make();
+
+int GuardedUse() {
+  Result<int> r = Make();
+  if (!r.ok()) return -1;
+  return r.ValueOrDie();
+}
+
+}  // namespace fixture

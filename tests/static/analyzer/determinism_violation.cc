@@ -1,0 +1,28 @@
+// Must-flag fixture for the determinism-purity rule (tools/warper_analyzer).
+//
+// SeededDraw is WARPER_DETERMINISTIC but reaches std::random_device two
+// calls away — the finding must attribute the sink to AmbientEntropy with
+// the full SeededDraw -> Helper -> AmbientEntropy chain, proving the rule
+// runs over the call graph and not just annotated bodies. SeededNow reads a
+// wall clock directly. The analyzer's textual frontend parses this file
+// standalone (never compiled), so the annotation macros appear bare.
+#include <chrono>
+#include <random>
+
+namespace fixture {
+
+unsigned AmbientEntropy() {
+  std::random_device rd;
+  return rd();
+}
+
+unsigned Helper() { return AmbientEntropy() + 1; }
+
+WARPER_DETERMINISTIC unsigned SeededDraw() { return Helper(); }
+
+WARPER_DETERMINISTIC double SeededNow() {
+  return static_cast<double>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+}
+
+}  // namespace fixture

@@ -1,0 +1,37 @@
+// Must-flag fixture for the hot-path-purity rule (tools/warper_analyzer).
+//
+// Lookup is WARPER_HOT_PATH and (a) calls the WARPER_BLOCKING RebuildCache
+// — annotated on its declaration only, proving decl annotations merge into
+// the call graph — and (b) reaches a growth-prone push_back through Grow.
+// Refuse must stay clean: its only allocation sits inside a
+// `return Status::...` statement, the error-exit exemption.
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+struct Status {
+  static Status InvalidArgument(const std::string& message);
+  static Status Ok();
+};
+
+WARPER_BLOCKING void RebuildCache();
+
+int Grow(std::vector<int>* values) {
+  values->push_back(1);
+  return static_cast<int>(values->size());
+}
+
+WARPER_HOT_PATH int Lookup(std::vector<int>* values) {
+  RebuildCache();
+  return Grow(values);
+}
+
+WARPER_HOT_PATH Status Refuse(int width) {
+  if (width < 0) {
+    return Status::InvalidArgument("bad width " + std::to_string(width));
+  }
+  return Status::Ok();
+}
+
+}  // namespace fixture

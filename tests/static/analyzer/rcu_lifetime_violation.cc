@@ -1,0 +1,54 @@
+// Must-flag fixture for the rcu-snapshot-lifetime rule
+// (tools/warper_analyzer).
+//
+// CacheModel stores a pointer into an RCU snapshot in a member field — the
+// snapshot can be retired by the next Publish() while the field still
+// dangles into it. UseAfterBlock borrows a reference out of a snapshot and
+// keeps using it across a WARPER_BLOCKING call. HoldsSharedPtr is the
+// contrast case: keeping the shared_ptr itself alive is exactly the RCU
+// contract and must not flag.
+#include <memory>
+
+namespace fixture {
+
+struct Model {
+  double score() const { return 1.0; }
+};
+
+struct ModelSnapshot {
+  const Model& model() const { return model_; }
+  Model model_;
+};
+
+struct SnapshotStore {
+  std::shared_ptr<const ModelSnapshot> Current() const;
+};
+
+WARPER_BLOCKING void Pause();
+
+class Holder {
+ public:
+  void CacheModel() {
+    auto snap = store_.Current();
+    model_ = &snap->model();
+  }
+
+  double HoldsSharedPtr() {
+    auto snap = store_.Current();
+    Pause();
+    return snap->model().score();
+  }
+
+ private:
+  SnapshotStore store_;
+  const Model* model_ = nullptr;
+};
+
+double UseAfterBlock(const SnapshotStore& store) {
+  auto snap = store.Current();
+  const Model& borrowed = snap->model();
+  Pause();
+  return borrowed.score();
+}
+
+}  // namespace fixture

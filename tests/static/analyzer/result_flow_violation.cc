@@ -1,0 +1,60 @@
+// Must-flag fixture for the result-flow rule (tools/warper_analyzer).
+//
+// Unchecked calls ValueOrDie with no dominating ok() check; Temporary
+// calls it on an unnamed Result temporary (never checkable). The rest are
+// the repo's guarded idioms and must stay clean: if-not-ok-return,
+// if-ok-then, WARPER_RETURN_NOT_OK, WARPER_CHECK, and a reassignment that
+// correctly re-checks.
+namespace fixture {
+
+template <typename T>
+struct Result {
+  bool ok() const;
+  T& ValueOrDie();
+  int status() const;
+};
+
+Result<int> Make();
+
+int Unchecked() {
+  Result<int> r = Make();
+  return r.ValueOrDie();
+}
+
+int Temporary() { return Make().ValueOrDie(); }
+
+int CheckedNegative() {
+  Result<int> r = Make();
+  if (!r.ok()) return -1;
+  return r.ValueOrDie();
+}
+
+int CheckedPositive() {
+  Result<int> r = Make();
+  if (r.ok()) {
+    return r.ValueOrDie();
+  }
+  return -1;
+}
+
+int CheckedMacro() {
+  Result<int> r = Make();
+  WARPER_CHECK(r.ok());
+  return r.ValueOrDie();
+}
+
+int CheckedReturnNotOk() {
+  Result<int> r = Make();
+  WARPER_RETURN_NOT_OK(r.status());
+  return r.ValueOrDie();
+}
+
+int ReassignedAndRechecked() {
+  Result<int> r = Make();
+  if (!r.ok()) return -1;
+  r = Make();
+  if (!r.ok()) return -2;
+  return r.ValueOrDie();
+}
+
+}  // namespace fixture

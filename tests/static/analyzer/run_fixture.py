@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Runs tools/warper_analyzer over one fixture TU and compares the finding
+keys against the fixture's golden expectation.
+
+Usage: run_fixture.py <fixture.cc> <expected.json>
+
+Pinned to the textual frontend so the fixtures gate identically on every
+machine (the clang frontend is exercised by CI's whole-repo run instead).
+Exit 0 on an exact key match AND the matching analyzer exit code (1 iff
+findings were expected); 1 otherwise.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = os.path.abspath(
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "..", ".."))
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    fixture = os.path.abspath(sys.argv[1])
+    with open(sys.argv[2], encoding="utf-8") as f:
+        want = sorted(json.load(f)["expected_keys"])
+
+    fd, report_path = tempfile.mkstemp(suffix=".json", prefix="warper_an_")
+    os.close(fd)
+    try:
+        proc = subprocess.run(
+            [sys.executable, os.path.join(REPO_ROOT, "tools",
+                                          "warper_analyzer"),
+             "--sources", fixture, "--frontend", "textual",
+             "--no-baseline", "--report", report_path],
+            capture_output=True, text=True, cwd=REPO_ROOT)
+        with open(report_path, encoding="utf-8") as f:
+            report = json.load(f)
+    finally:
+        os.unlink(report_path)
+
+    got = sorted({f["key"] for f in report["findings"]})
+    ok = True
+    for key in [k for k in want if k not in got]:
+        print(f"MISSING expected finding: {key}")
+        ok = False
+    for key in [k for k in got if k not in want]:
+        print(f"UNEXPECTED finding: {key}")
+        ok = False
+    expected_rc = 1 if want else 0
+    if proc.returncode != expected_rc:
+        print(f"analyzer exit code {proc.returncode}, expected {expected_rc}")
+        print(proc.stdout)
+        print(proc.stderr, file=sys.stderr)
+        ok = False
+    if ok:
+        name = os.path.basename(fixture)
+        print(f"OK {name}: {len(got)} finding(s) match golden")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,72 @@
+// Suppression fixture for tools/warper_analyzer: one deliberate violation
+// of each rule, each silenced by a WARPER_ANALYZER_SUPPRESS with a tagged
+// (#NNN) reason — the analyzer must report ZERO findings. Deleting any one
+// suppression resurfaces its violation and fails the golden comparison,
+// which is how CI proves every rule is live end-to-end.
+#include <memory>
+#include <random>
+#include <vector>
+
+namespace fixture {
+
+// determinism-purity, suppressed at the sink function: the suppression is
+// a barrier, so the annotated root below stays clean too.
+unsigned SuppressedEntropy() {
+  WARPER_ANALYZER_SUPPRESS("determinism-purity",
+                           "fixture: deliberate ambient entropy #10");
+  std::random_device rd;
+  return rd();
+}
+
+WARPER_DETERMINISTIC unsigned Root() { return SuppressedEntropy(); }
+
+// hot-path-purity, suppressed at the root itself.
+WARPER_HOT_PATH int HotSuppressed(std::vector<int>* values) {
+  WARPER_ANALYZER_SUPPRESS("hot-path-purity",
+                           "fixture: amortized growth #10");
+  values->push_back(1);
+  return static_cast<int>(values->size());
+}
+
+// rcu-snapshot-lifetime.
+struct Model {
+  double score() const { return 1.0; }
+};
+struct ModelSnapshot {
+  const Model& model() const { return model_; }
+  Model model_;
+};
+struct SnapshotStore {
+  std::shared_ptr<const ModelSnapshot> Current() const;
+};
+
+class Holder {
+ public:
+  void CacheModelSuppressed() {
+    WARPER_ANALYZER_SUPPRESS("rcu-snapshot-lifetime",
+                             "fixture: store_ is never republished #10");
+    auto snap = store_.Current();
+    model_ = &snap->model();
+  }
+
+ private:
+  SnapshotStore store_;
+  const Model* model_ = nullptr;
+};
+
+// result-flow.
+template <typename T>
+struct Result {
+  bool ok() const;
+  T& ValueOrDie();
+};
+Result<int> Make();
+
+int ResultSuppressed() {
+  WARPER_ANALYZER_SUPPRESS("result-flow",
+                           "fixture: Make() is infallible here #10");
+  Result<int> r = Make();
+  return r.ValueOrDie();
+}
+
+}  // namespace fixture

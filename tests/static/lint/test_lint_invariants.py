@@ -1,0 +1,182 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/lint_invariants.py.
+
+Each test builds a throwaway fixture tree (src/..., tools/metric_names.txt),
+runs collect_violations() over it, and asserts on the exact rule tags that
+fire. Every rule gets a must-flag case and a must-not-flag case, including
+the TenantMetricName / TemplateMetricName dynamic-name contracts and the
+drift. metric prefix.
+"""
+
+import os
+import sys
+import tempfile
+import unittest
+
+REPO_ROOT = os.path.abspath(
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "..", ".."))
+sys.path.insert(0, os.path.join(REPO_ROOT, "tools"))
+
+import lint_invariants  # noqa: E402
+
+
+class FixtureTree:
+    """Minimal repo skeleton: write files, then collect violations."""
+
+    def __init__(self, tmpdir):
+        self.root = tmpdir
+        self.write("tools/metric_names.txt", "")
+
+    def write(self, rel, text):
+        path = os.path.join(self.root, rel)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(text)
+
+    def violations(self):
+        return lint_invariants.collect_violations(self.root)
+
+    def rules(self):
+        out = []
+        for v in self.violations():
+            tag = v.split("[", 1)[1].split("]", 1)[0]
+            out.append(tag)
+        return out
+
+
+class LintInvariantsTest(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.tree = FixtureTree(self._tmp.name)
+
+    def tearDown(self):
+        self._tmp.cleanup()
+
+    # ---- naked-mutex ----
+
+    def test_naked_mutex_flags_std_primitives(self):
+        self.tree.write("src/serve/cache.cc",
+                        "#include <mutex>\nstd::mutex m;\n")
+        self.assertEqual(self.tree.rules(), ["naked-mutex"])
+
+    def test_naked_mutex_flags_lock_wrappers(self):
+        self.tree.write("src/serve/cache.cc",
+                        "void F() { std::lock_guard<std::mutex> g(m); }\n")
+        self.assertIn("naked-mutex", self.tree.rules())
+
+    def test_naked_mutex_allows_wrapper_files_and_util_mutex(self):
+        self.tree.write("src/util/mutex.h", "std::mutex raw_;\n")
+        self.tree.write("src/serve/cache.cc", "util::Mutex mu_;\n")
+        self.assertEqual(self.tree.rules(), [])
+
+    def test_naked_mutex_ignores_comments_and_strings(self):
+        self.tree.write("src/a.cc",
+                        "// std::mutex in a comment\n"
+                        "const char* s = \"std::mutex\";\n")
+        self.assertEqual(self.tree.rules(), [])
+
+    # ---- unseeded-rng ----
+
+    def test_unseeded_rng_flags_random_device_and_rand(self):
+        self.tree.write("src/a.cc",
+                        "std::random_device rd;\nint x = rand();\n")
+        self.assertEqual(self.tree.rules(),
+                         ["unseeded-rng", "unseeded-rng"])
+
+    def test_unseeded_rng_allows_rng_wrapper_and_seeded_use(self):
+        self.tree.write("src/util/rng.cc", "std::random_device entropy;\n")
+        self.tree.write("src/a.cc", "util::Rng rng(seed);\n")
+        self.assertEqual(self.tree.rules(), [])
+
+    def test_unseeded_rng_does_not_flag_identifier_suffixes(self):
+        # strtorand(... ) style identifiers must not match rand(.
+        self.tree.write("src/a.cc", "int y = my_rand(3);\n")
+        self.assertEqual(self.tree.rules(), [])
+
+    # ---- metric-names (both directions, all enforced prefixes) ----
+
+    def test_metric_registered_but_not_in_registry(self):
+        self.tree.write("src/a.cc",
+                        'm.GetCounter("serve.requests_total");\n')
+        self.assertEqual(self.tree.rules(), ["metric-names"])
+
+    def test_registry_entry_with_no_registration(self):
+        self.tree.write("tools/metric_names.txt", "drift.events_applied\n")
+        self.tree.write("src/a.cc", "int x = 0;\n")
+        self.assertEqual(self.tree.rules(), ["metric-names"])
+
+    def test_metric_names_match_in_both_directions(self):
+        self.tree.write("tools/metric_names.txt",
+                        "serve.requests_total\nwarper.adapt_steps\n")
+        self.tree.write("src/a.cc",
+                        'm.GetCounter("serve.requests_total");\n'
+                        'm.GetGauge("warper.adapt_steps");\n')
+        self.assertEqual(self.tree.rules(), [])
+
+    def test_metric_name_split_across_lines(self):
+        self.tree.write("src/a.cc",
+                        "m.GetHistogram(\n"
+                        '    "drift.window_err");\n')
+        self.tree.write("tools/metric_names.txt", "drift.window_err\n")
+        self.assertEqual(self.tree.rules(), [])
+
+    def test_tenant_metric_family_enforced(self):
+        # The family literal inside TenantMetricName() registers the family.
+        self.tree.write("src/a.cc",
+                        'auto n = TenantMetricName("serve.tenant.rollbacks",'
+                        " id);\n")
+        self.assertEqual(self.tree.rules(), ["metric-names"])
+        self.tree.write("tools/metric_names.txt", "serve.tenant.rollbacks\n")
+        self.assertEqual(self.tree.rules(), [])
+
+    def test_template_metric_family_enforced(self):
+        # Same contract for the PR-9 TemplateMetricName() fingerprint names.
+        self.tree.write("src/a.cc",
+                        'auto n = TemplateMetricName("warper.template.err",'
+                        " fp);\n")
+        self.assertEqual(self.tree.rules(), ["metric-names"])
+        self.tree.write("tools/metric_names.txt", "warper.template.err\n")
+        self.assertEqual(self.tree.rules(), [])
+
+    def test_unenforced_prefix_is_ignored(self):
+        self.tree.write("src/a.cc", 'm.GetCounter("testonly.thing");\n')
+        self.assertEqual(self.tree.rules(), [])
+
+    def test_metrics_outside_src_not_collected(self):
+        self.tree.write("bench/b.cc", 'm.GetCounter("serve.bench_only");\n')
+        self.assertEqual(self.tree.rules(), [])
+
+    # ---- todo-tags ----
+
+    def test_untagged_todo_flags(self):
+        self.tree.write("src/a.cc", "// TODO: fix this\n")
+        self.assertEqual(self.tree.rules(), ["todo-tags"])
+
+    def test_tagged_todo_passes(self):
+        self.tree.write("src/a.cc", "// TODO(#42): fix this\n")
+        self.assertEqual(self.tree.rules(), [])
+
+    # ---- scan scope ----
+
+    def test_scan_covers_all_top_dirs(self):
+        for top in ("src", "tests", "bench", "examples"):
+            self.tree.write(f"{top}/f.cc", "std::mutex m;\n")
+        self.assertEqual(self.tree.rules(), ["naked-mutex"] * 4)
+
+    def test_non_cxx_files_ignored(self):
+        self.tree.write("src/notes.md", "std::mutex m; TODO everywhere\n")
+        self.assertEqual(self.tree.rules(), [])
+
+    def test_violation_lines_carry_file_and_line(self):
+        self.tree.write("src/a.cc", "int x;\nstd::mutex m;\n")
+        (v,) = self.tree.violations()
+        self.assertTrue(v.startswith("src/a.cc:2: [naked-mutex]"), v)
+
+    # ---- the real repo stays clean ----
+
+    def test_repo_is_clean(self):
+        self.assertEqual(lint_invariants.collect_violations(REPO_ROOT), [])
+
+
+if __name__ == "__main__":
+    unittest.main()

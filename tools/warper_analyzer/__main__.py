@@ -1,0 +1,290 @@
+"""warper-analyzer: semantic contract checker for the Warper repo.
+
+Checks four cross-function contracts that plain clang-tidy cannot express
+(see DESIGN.md §16): determinism purity, hot-path purity, RCU snapshot
+lifetime, and Result ok()-domination. Two interchangeable frontends lower
+C++ to a shared IR: `clang` (clang.cindex over the CMake compile database)
+and `textual` (self-contained tokenizer, no dependencies). `auto` prefers
+clang and falls back.
+
+Typical invocations (from the repo root):
+  python3 tools/warper_analyzer -p build                 # gate against baseline
+  python3 tools/warper_analyzer -p build --report -      # dump findings JSON
+  python3 tools/warper_analyzer -p build --update-baseline --reason "... #NNN"
+  python3 tools/warper_analyzer --sources a.cc b.cc --no-baseline
+
+Exit codes: 0 clean/baselined, 1 new findings or gate violation, 2 usage.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import baseline as baseline_mod
+from model import Finding, META_RULE_BAD_SUPPRESSION, RULES
+
+DEFAULT_PREFIXES = ("src/",)
+
+
+def files_from_compile_db(build_dir, prefixes, repo_root):
+    db_path = os.path.join(build_dir, "compile_commands.json")
+    try:
+        with open(db_path, "r", encoding="utf-8") as f:
+            entries = json.load(f)
+    except FileNotFoundError:
+        sys.exit(f"warper-analyzer: no compile database at {db_path} "
+                 f"(configure with cmake first)")
+    files = []
+    seen = set()
+    for e in entries:
+        path = e["file"]
+        if not os.path.isabs(path):
+            path = os.path.normpath(os.path.join(e.get("directory", ""), path))
+        rel = os.path.relpath(path, repo_root)
+        if not any(rel.startswith(p) for p in prefixes):
+            continue
+        if rel not in seen and os.path.exists(path):
+            seen.add(rel)
+            files.append(path)
+    # The textual frontend does no preprocessing, so headers (where the
+    # annotations usually live) are scanned as their own inputs.
+    for prefix in prefixes:
+        root = os.path.join(repo_root, prefix)
+        for dirpath, _, names in os.walk(root):
+            for name in sorted(names):
+                if not name.endswith((".h", ".hpp")):
+                    continue
+                path = os.path.join(dirpath, name)
+                rel = os.path.relpath(path, repo_root)
+                if rel not in seen:
+                    seen.add(rel)
+                    files.append(path)
+    files.sort()
+    return files
+
+
+def suppression_meta_findings(program):
+    """Misuse of WARPER_ANALYZER_SUPPRESS is itself a finding, and one that
+    can be neither suppressed nor baselined: a suppression without a #NNN
+    rationale (or naming an unknown rule) is unaccountable debt."""
+    findings = []
+    for fn in sorted(program.functions.values(), key=lambda f: f.qual_name):
+        for rule, reason in sorted(fn.suppressions.items()):
+            if rule not in RULES:
+                findings.append(Finding(
+                    META_RULE_BAD_SUPPRESSION, fn.file, fn.line, fn.short(),
+                    f"WARPER_ANALYZER_SUPPRESS names unknown rule '{rule}' "
+                    f"(known: {', '.join(RULES)})",
+                    detail="unknown-rule:" + rule))
+            elif not baseline_mod.REASON_TAG_RE.search(reason):
+                findings.append(Finding(
+                    META_RULE_BAD_SUPPRESSION, fn.file, fn.line, fn.short(),
+                    f"WARPER_ANALYZER_SUPPRESS for '{rule}' has no #NNN "
+                    f"issue tag in its reason: \"{reason}\"",
+                    detail="untagged:" + rule))
+    return findings
+
+
+def suppression_inventory(program):
+    out = []
+    for fn in sorted(program.functions.values(), key=lambda f: f.qual_name):
+        for rule, reason in sorted(fn.suppressions.items()):
+            out.append({"function": fn.short(), "file": fn.file,
+                        "rule": rule, "reason": reason})
+    return out
+
+
+def build_report(program, findings, suppressed):
+    summary = {}
+    for f in findings:
+        summary[f.rule] = summary.get(f.rule, 0) + 1
+    return {
+        "version": 1,
+        "frontend": program.frontend,
+        "files_scanned": len(program.files),
+        "functions": len(program.functions),
+        "findings": [f.to_json() for f in findings],
+        "suppressed": suppressed,
+        "summary": summary,
+    }
+
+
+def pick_frontend(choice, args, repo_root):
+    """Returns (program, note). Honors --frontend; 'auto' prefers clang."""
+    if choice in ("clang", "auto"):
+        try:
+            import clang_frontend
+            program = clang_frontend.load(args.build_dir, args.sources,
+                                          tuple(args.include_prefix),
+                                          repo_root)
+            return program, ""
+        except clang_frontend.ClangUnavailable as exc:
+            if choice == "clang":
+                sys.exit(f"warper-analyzer: clang frontend unavailable: "
+                         f"{exc}")
+            note = f"clang frontend unavailable ({exc}); using textual"
+        except ImportError as exc:
+            if choice == "clang":
+                sys.exit(f"warper-analyzer: clang frontend unavailable: "
+                         f"{exc}")
+            note = f"clang frontend unavailable ({exc}); using textual"
+    else:
+        note = ""
+    import textual_frontend
+    if args.sources:
+        paths = [os.path.abspath(p) for p in args.sources]
+    else:
+        paths = files_from_compile_db(args.build_dir,
+                                      tuple(args.include_prefix), repo_root)
+    program = textual_frontend.load_sources(paths, repo_root)
+    return program, note
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(
+        prog="warper_analyzer",
+        description="Semantic contract checker (determinism, hot-path "
+                    "purity, RCU lifetime, Result flow).")
+    ap.add_argument("-p", "--build-dir", default="build",
+                    help="CMake build dir with compile_commands.json "
+                         "(default: build)")
+    ap.add_argument("--sources", nargs="+", default=None,
+                    help="analyze these files instead of the compile db "
+                         "(fixture mode)")
+    ap.add_argument("--frontend", choices=("auto", "clang", "textual"),
+                    default="auto")
+    ap.add_argument("--include-prefix", action="append",
+                    default=None,
+                    help="repo-relative path prefixes to analyze "
+                         "(default: src/)")
+    ap.add_argument("--rules", default=",".join(RULES),
+                    help="comma-separated rule subset")
+    ap.add_argument("--report", default=None, metavar="PATH",
+                    help="write findings JSON to PATH ('-' for stdout)")
+    ap.add_argument("--baseline", default=None, metavar="PATH",
+                    help="baseline path (default: "
+                         "tools/warper_analyzer_baseline.json)")
+    ap.add_argument("--no-baseline", action="store_true",
+                    help="report every finding, ignore the baseline")
+    ap.add_argument("--update-baseline", action="store_true",
+                    help="rewrite the baseline to the current findings")
+    ap.add_argument("--reason", default="",
+                    help="rationale (must contain #NNN) attached to entries "
+                         "added by --update-baseline")
+    ap.add_argument("--list-functions", action="store_true",
+                    help="debug: dump extracted functions and exit")
+    args = ap.parse_args(argv)
+
+    if args.include_prefix is None:
+        args.include_prefix = list(DEFAULT_PREFIXES)
+    repo_root = os.path.abspath(
+        os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", ".."))
+    rules = tuple(r for r in args.rules.split(",") if r)
+    unknown = [r for r in rules if r not in RULES]
+    if unknown:
+        sys.exit(f"warper-analyzer: unknown rule(s): {', '.join(unknown)}")
+
+    program, note = pick_frontend(args.frontend, args, repo_root)
+    if note:
+        print(f"warper-analyzer: note: {note}", file=sys.stderr)
+
+    if args.list_functions:
+        for fn in sorted(program.functions.values(),
+                         key=lambda f: (f.file, f.line)):
+            tags = ",".join(sorted(fn.annotations)) or "-"
+            kind = "def " if fn.is_definition else "decl"
+            print(f"{fn.file}:{fn.line}: {kind} {fn.qual_name} "
+                  f"[{tags}] calls={len(fn.calls)}")
+        print(f"{len(program.functions)} functions in "
+              f"{len(program.files)} files ({program.frontend} frontend)")
+        return 0
+
+    from callgraph import CallGraph
+    import rules as rules_mod
+    graph = CallGraph(program)
+    findings = rules_mod.run_all(graph, rules)
+    meta = suppression_meta_findings(program)
+    findings = sorted(findings + meta,
+                      key=lambda f: (f.file, f.rule, f.function, f.detail))
+    suppressed = suppression_inventory(program)
+
+    report = build_report(program, findings, suppressed)
+    if args.report == "-":
+        json.dump(report, sys.stdout, indent=2)
+        sys.stdout.write("\n")
+    elif args.report:
+        with open(args.report, "w", encoding="utf-8") as f:
+            json.dump(report, f, indent=2)
+            f.write("\n")
+
+    if args.no_baseline:
+        for f in findings:
+            print(f"{f.file}:{f.line}: [{f.rule}] {f.message}")
+            if f.trace:
+                print(f"    call path: {' -> '.join(f.trace)}")
+        print(f"warper-analyzer: {len(findings)} finding(s), "
+              f"{report['files_scanned']} file(s), "
+              f"{report['functions']} function(s) "
+              f"({program.frontend} frontend)")
+        return 1 if findings else 0
+
+    baseline_path = args.baseline or os.path.join(
+        repo_root, "tools", "warper_analyzer_baseline.json")
+
+    # Meta-findings bypass the baseline entirely.
+    gated = [f for f in findings if f.rule != META_RULE_BAD_SUPPRESSION]
+    if args.update_baseline:
+        if gated and not baseline_mod.REASON_TAG_RE.search(args.reason):
+            prior = baseline_mod.load(baseline_path)
+            if any(f.key() not in prior for f in gated):
+                sys.exit("warper-analyzer: --update-baseline with new "
+                         "findings requires --reason containing a #NNN "
+                         "issue tag")
+        prior = baseline_mod.load(baseline_path)
+        reasons = {k: e["reason"] for k, e in prior.items()}
+        reasons[""] = args.reason
+        baseline_mod.save(baseline_path, gated, reasons)
+        print(f"warper-analyzer: baseline updated with {len(gated)} "
+              f"entry(ies) at {os.path.relpath(baseline_path, repo_root)}")
+        if meta:
+            for f in meta:
+                print(f"{f.file}:{f.line}: [{f.rule}] {f.message}")
+            print(f"warper-analyzer: {len(meta)} suppression problem(s) "
+                  f"cannot be baselined — fix them")
+            return 1
+        return 0
+
+    bl = baseline_mod.load(baseline_path)
+    new, accepted, stale, bad_entries = baseline_mod.gate(gated, bl)
+    ok = True
+    for f in meta:
+        print(f"{f.file}:{f.line}: [{f.rule}] {f.message}")
+        ok = False
+    for f in new:
+        print(f"{f.file}:{f.line}: [NEW {f.rule}] {f.message}")
+        if f.trace:
+            print(f"    call path: {' -> '.join(f.trace)}")
+        ok = False
+    for e in bad_entries:
+        print(f"baseline entry '{e['key']}' has no #NNN tag in its "
+              f"reason: \"{e.get('reason', '')}\"")
+        ok = False
+    for k in stale:
+        print(f"note: baselined finding no longer fires: {k}")
+    print(f"warper-analyzer: {len(new)} new, {len(accepted)} baselined, "
+          f"{len(stale)} stale, {len(meta)} suppression problem(s); "
+          f"{report['files_scanned']} file(s), {report['functions']} "
+          f"function(s) ({program.frontend} frontend)")
+    if not ok:
+        print("warper-analyzer: FAILED — fix the findings, add a "
+              "WARPER_ANALYZER_SUPPRESS with a '#NNN' reason at the "
+              "function, or baseline with --update-baseline --reason "
+              "'<why> #NNN'.")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

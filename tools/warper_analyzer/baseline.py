@@ -1,0 +1,73 @@
+"""Rationale-tagged finding baseline (same UX as tools/check_clang_tidy.py).
+
+The baseline is a JSON list of entries, each carrying the finding's stable
+line-free key, its rule, and a human rationale that MUST reference an issue
+number (`#NNN`). New findings fail the gate; baselined findings pass; stale
+entries (baselined but no longer firing) are reported so the baseline can be
+pruned with --update-baseline.
+"""
+
+import json
+import re
+
+REASON_TAG_RE = re.compile(r"#\d+")
+
+
+def load(path):
+    """path -> {key: entry dict}. Missing file -> empty baseline."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except FileNotFoundError:
+        return {}
+    entries = doc.get("entries", doc if isinstance(doc, list) else [])
+    out = {}
+    for e in entries:
+        out[e["key"]] = e
+    return out
+
+
+def save(path, findings, reasons):
+    """Writes a fresh baseline from `findings`. `reasons` maps key -> reason;
+    keys without one get the fallback reason (which must carry a #NNN tag —
+    the caller validates)."""
+    entries = []
+    seen = set()
+    for f in sorted(findings, key=lambda x: x.key()):
+        if f.key() in seen:
+            continue
+        seen.add(f.key())
+        entries.append({
+            "key": f.key(),
+            "rule": f.rule,
+            "reason": reasons.get(f.key(), reasons.get("", "")),
+        })
+    doc = {
+        "comment": "warper-analyzer accepted-findings baseline. Every entry "
+                   "needs a #NNN rationale. Regenerate with: python3 "
+                   "tools/warper_analyzer -p build --update-baseline "
+                   "--reason '<why> #NNN'",
+        "entries": entries,
+    }
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(doc, f, indent=2, sort_keys=False)
+        f.write("\n")
+
+
+def gate(findings, baseline):
+    """Splits findings against the baseline.
+
+    Returns (new, accepted, stale_keys, bad_entries) where bad_entries are
+    baseline entries whose reason lacks a #NNN tag — those fail the gate
+    even for otherwise-accepted findings (a baseline without rationale is
+    debt without an owner).
+    """
+    fired = {}
+    for f in findings:
+        fired.setdefault(f.key(), f)
+    new = [f for k, f in sorted(fired.items()) if k not in baseline]
+    accepted = [f for k, f in sorted(fired.items()) if k in baseline]
+    stale = sorted(k for k in baseline if k not in fired)
+    bad = [e for e in baseline.values()
+           if not REASON_TAG_RE.search(e.get("reason", ""))]
+    return new, accepted, stale, bad

@@ -1,0 +1,73 @@
+"""Name-indexed call graph with conservative resolution.
+
+Resolution is textual (no types): a call site links to every known function
+whose name matches, narrowed by explicit qualifiers, then same-class, then
+same-namespace. Virtual dispatch and function pointers therefore resolve to
+every override/candidate — a deliberate over-approximation: for reachability
+rules (determinism, hot-path purity) a missed edge hides a real violation,
+while a spurious edge at worst costs a rationale-tagged baseline entry.
+"""
+
+from collections import deque
+
+
+class CallGraph:
+    def __init__(self, program):
+        self.program = program
+        self.by_name = {}
+        for fn in program.functions.values():
+            self.by_name.setdefault(fn.name, []).append(fn)
+
+    def resolve(self, caller, call):
+        cands = self.by_name.get(call.name, [])
+        if not cands:
+            return []
+        if call.qualifier:
+            want = call.qualifier.split("::") + [call.name]
+            suffixed = [c for c in cands
+                        if c.qual_name.split("::")[-len(want):] == want]
+            if suffixed:
+                return suffixed
+        if call.is_member and caller.cls:
+            same_class = [c for c in cands if c.cls == caller.cls]
+            if same_class:
+                return same_class
+        same_ns = [c for c in cands if c.namespace == caller.namespace]
+        if same_ns and len(same_ns) < len(cands):
+            return same_ns
+        return cands
+
+    def reachable(self, root, rule):
+        """BFS over resolved call edges from `root`.
+
+        Returns {FunctionInfo: parent_or_None}. A function carrying a
+        WARPER_ANALYZER_SUPPRESS for `rule` is a barrier: neither its own
+        sinks nor anything only reachable through it is reported (the
+        suppression covers the subtree — e.g. a handle-cache function whose
+        one-time registry initialization is amortized).
+        """
+        if rule in root.suppressions:
+            return {}
+        parents = {root: None}
+        queue = deque([root])
+        while queue:
+            fn = queue.popleft()
+            for call in fn.calls:
+                for callee in self.resolve(fn, call):
+                    if callee in parents:
+                        continue
+                    if rule in callee.suppressions:
+                        continue  # barrier
+                    parents[callee] = fn
+                    if callee.is_definition:
+                        queue.append(callee)
+        return parents
+
+    @staticmethod
+    def trace(parents, fn):
+        chain = []
+        node = fn
+        while node is not None:
+            chain.append(node.short())
+            node = parents.get(node)
+        return list(reversed(chain))

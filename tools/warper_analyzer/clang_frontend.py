@@ -1,0 +1,200 @@
+"""clang.cindex frontend: real AST lowering to the shared IR.
+
+Used when the `clang` Python bindings and a loadable libclang are present
+(CI installs python3-clang + libclang; developer machines may not have
+them — `--frontend auto` falls back to the textual frontend).
+
+Function discovery, qualified names, and annotation attributes come from
+the AST; body token streams are the *pre-expansion* source tokens of the
+function's compound statement, converted to the lexer's Token shape so the
+local rules and call extraction are shared verbatim with the textual
+frontend (one rule engine, two frontends — findings stay comparable).
+"""
+
+import os
+
+from lexer import Token
+from model import ANNOTATE_ATTR_PREFIX, ANNOTATION_MACROS, FunctionInfo, \
+    Program
+from textual_frontend import _extract_suppressions, extract_calls
+
+
+class ClangUnavailable(Exception):
+    """Raised when clang.cindex cannot be imported or libclang won't load."""
+
+
+def _import_cindex():
+    try:
+        from clang import cindex
+    except ImportError as exc:
+        raise ClangUnavailable(f"python clang bindings missing ({exc})")
+    try:
+        index = cindex.Index.create()
+    except Exception as exc:  # cindex.LibclangError has no stable base
+        raise ClangUnavailable(f"libclang failed to load ({exc})")
+    return cindex, index
+
+
+_FN_KINDS = None  # resolved lazily once cindex imports
+
+
+def load(build_dir, sources, prefixes, repo_root):
+    cindex, index = _import_cindex()
+    global _FN_KINDS
+    K = cindex.CursorKind
+    _FN_KINDS = {K.FUNCTION_DECL, K.CXX_METHOD, K.CONSTRUCTOR,
+                 K.DESTRUCTOR, K.FUNCTION_TEMPLATE}
+
+    program = Program()
+    program.frontend = "clang"
+    if sources:
+        jobs = [(os.path.abspath(p), ["-std=c++17", "-I" + repo_root])
+                for p in sources]
+    else:
+        db_path = os.path.join(build_dir, "compile_commands.json")
+        if not os.path.exists(db_path):
+            raise ClangUnavailable(f"no compile database at {db_path}")
+        db = cindex.CompilationDatabase.fromDirectory(build_dir)
+        jobs = []
+        seen = set()
+        for cmd in db.getAllCompileCommands():
+            path = cmd.filename
+            if not os.path.isabs(path):
+                path = os.path.normpath(os.path.join(cmd.directory, path))
+            rel = os.path.relpath(path, repo_root)
+            if not any(rel.startswith(p) for p in prefixes):
+                continue
+            if path in seen:
+                continue
+            seen.add(path)
+            # Drop the compiler argv[0] and the -o/-c plumbing; keep flags.
+            args = []
+            it = iter(list(cmd.arguments)[1:])
+            for a in it:
+                if a == "-o":
+                    next(it, None)
+                    continue
+                if a == "-c" or a == path:
+                    continue
+                args.append(a)
+            jobs.append((path, args))
+
+    opts = 0  # keep function bodies; local rules need them
+    for path, args in sorted(jobs):
+        rel = os.path.relpath(path, repo_root).replace(os.sep, "/")
+        try:
+            tu = index.parse(path, args=args, options=opts)
+        except Exception as exc:
+            raise ClangUnavailable(f"parse failed for {rel}: {exc}")
+        program.files.append(rel)
+        _walk(cindex, tu.cursor, program, prefixes, repo_root, bool(sources))
+    return program
+
+
+def _walk(cindex, cursor, program, prefixes, repo_root, explicit_sources):
+    K = cindex.CursorKind
+    for child in cursor.get_children():
+        loc = child.location
+        if loc.file is None:
+            if child.kind in (K.NAMESPACE, K.LINKAGE_SPEC):
+                _walk(cindex, child, program, prefixes, repo_root,
+                      explicit_sources)
+            continue
+        rel = os.path.relpath(loc.file.name, repo_root).replace(os.sep, "/")
+        in_scope = explicit_sources or \
+            any(rel.startswith(p) for p in prefixes)
+        if child.kind in _FN_KINDS:
+            if in_scope:
+                fn = _lower_function(cindex, child, rel)
+                if fn is not None:
+                    program.add(fn)
+        elif child.kind in (K.NAMESPACE, K.CLASS_DECL, K.STRUCT_DECL,
+                            K.CLASS_TEMPLATE, K.UNION_DECL,
+                            K.LINKAGE_SPEC, K.UNEXPOSED_DECL):
+            _walk(cindex, child, program, prefixes, repo_root,
+                  explicit_sources)
+
+
+def _semantic_scopes(cindex, cursor):
+    """(namespace, outer_classes, cls) from the semantic parent chain."""
+    K = cindex.CursorKind
+    namespaces = []
+    classes = []
+    node = cursor.semantic_parent
+    while node is not None and node.kind != K.TRANSLATION_UNIT:
+        if node.kind == K.NAMESPACE:
+            if node.spelling:  # anonymous namespaces add nothing
+                namespaces.insert(0, node.spelling)
+        elif node.kind in (K.CLASS_DECL, K.STRUCT_DECL, K.CLASS_TEMPLATE,
+                           K.UNION_DECL):
+            classes.insert(0, node.spelling)
+        node = node.semantic_parent
+    cls = classes[-1] if classes else ""
+    return "::".join(namespaces), classes[:-1] if classes else [], cls
+
+
+def _lower_function(cindex, cursor, rel):
+    K = cindex.CursorKind
+    name = cursor.spelling
+    if not name or name.startswith("operator"):
+        return None  # matches the textual frontend's documented limitation
+    namespace, outer, cls = _semantic_scopes(cindex, cursor)
+    qual_parts = ([namespace] if namespace else []) + outer + \
+        ([cls] if cls else []) + [name]
+    fn = FunctionInfo("::".join(qual_parts), name, cls, namespace, rel,
+                      cursor.location.line)
+    for child in cursor.get_children():
+        if child.kind == K.ANNOTATE_ATTR and \
+                child.spelling.startswith(ANNOTATE_ATTR_PREFIX):
+            fn.annotations.add(child.spelling[len(ANNOTATE_ATTR_PREFIX):])
+    try:
+        fn.params = [a.spelling for a in cursor.get_arguments() if a.spelling]
+    except Exception:
+        pass
+    body_cursor = None
+    for child in cursor.get_children():
+        if child.kind == K.COMPOUND_STMT:
+            body_cursor = child
+    if body_cursor is not None and cursor.is_definition():
+        fn.is_definition = True
+        fn.end_line = body_cursor.extent.end.line
+        fn.body = _body_tokens(cindex, body_cursor)
+        fn.calls = extract_calls(fn.body)
+        _extract_suppressions(fn)
+        # The annotation macros appear in the pre-expansion token stream of
+        # the *declaration*, before the body — scan the declarator tokens
+        # too so a textual-style annotated definition is seen identically.
+        for tok in cursor.get_tokens():
+            if tok.spelling in ANNOTATION_MACROS:
+                fn.annotations.add(ANNOTATION_MACROS[tok.spelling])
+            if tok.spelling == "{":
+                break
+    return fn
+
+
+def _body_tokens(cindex, body_cursor):
+    TK = cindex.TokenKind
+    out = []
+    toks = list(body_cursor.get_tokens())
+    # Drop the enclosing braces (the textual frontend's bodies exclude them).
+    if toks and toks[0].spelling == "{":
+        toks = toks[1:]
+    if toks and toks[-1].spelling == "}":
+        toks = toks[:-1]
+    for tok in toks:
+        if tok.kind == TK.COMMENT:
+            continue
+        sp = tok.spelling
+        line = tok.location.line
+        if tok.kind in (TK.IDENTIFIER, TK.KEYWORD):
+            out.append(Token("id", sp, line))
+        elif tok.kind == TK.LITERAL:
+            if sp.startswith(('"', 'L"', 'u"', 'U"', 'R"', 'u8"')):
+                out.append(Token("str", sp, line))
+            elif sp.startswith(("'", "L'", "u'", "U'")):
+                out.append(Token("chr", sp, line))
+            else:
+                out.append(Token("num", sp, line))
+        else:
+            out.append(Token("punct", sp, line))
+    return out

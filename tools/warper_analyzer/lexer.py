@@ -1,0 +1,135 @@
+"""Tolerant C++ lexer for the textual frontend.
+
+Produces a flat token stream with line numbers, with comments and
+preprocessor directives stripped and string/char literals kept as single
+tokens. This is NOT a conforming C++ lexer — it is the minimum the
+warper-analyzer's textual frontend needs to recognize function definitions,
+call expressions and the curated sink patterns in this repository's code
+style (see textual_frontend.py for the parsing contract).
+"""
+
+from collections import namedtuple
+
+# kind: "id" (identifier/keyword), "num", "str", "chr", "punct"
+Token = namedtuple("Token", ["kind", "text", "line"])
+
+_ID_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_ID_CONT = _ID_START | set("0123456789")
+_DIGITS = set("0123456789")
+
+# Multi-char punctuators the frontend cares about as single tokens. "::" and
+# "->" drive name qualification and member-call detection; the rest are
+# joined so they cannot be half-matched ("<=" must not read as "<" "=").
+_PUNCT2 = {"::", "->", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+           "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--",
+           "##"}
+_PUNCT3 = {"<<=", ">>=", "...", "->*"}
+
+
+def lex(text):
+    """Tokenizes `text`. Returns a list of Token."""
+    tokens = []
+    i = 0
+    n = len(text)
+    line = 1
+    while i < n:
+        c = text[i]
+        if c == "\n":
+            line += 1
+            i += 1
+            continue
+        if c in " \t\r\f\v":
+            i += 1
+            continue
+        # Comments.
+        if c == "/" and i + 1 < n:
+            if text[i + 1] == "/":
+                while i < n and text[i] != "\n":
+                    i += 1
+                continue
+            if text[i + 1] == "*":
+                i += 2
+                while i + 1 < n and not (text[i] == "*" and text[i + 1] == "/"):
+                    if text[i] == "\n":
+                        line += 1
+                    i += 1
+                i = min(n, i + 2)
+                continue
+        # Preprocessor directive: strip to end of line, honoring backslash
+        # continuations. Only when '#' starts the (whitespace-trimmed) line;
+        # token-paste '#' inside macros never reaches here because the whole
+        # directive line is consumed.
+        if c == "#" and _at_line_start(text, i):
+            while i < n:
+                if text[i] == "\n":
+                    if i > 0 and text[i - 1] == "\\":
+                        line += 1
+                        i += 1
+                        continue
+                    break
+                i += 1
+            continue
+        # Raw string literal R"tag(...)tag".
+        if c == "R" and i + 1 < n and text[i + 1] == '"':
+            j = text.find("(", i + 2)
+            if j != -1:
+                tag = text[i + 2:j]
+                end = text.find(")" + tag + '"', j + 1)
+                if end != -1:
+                    body = text[i:end + len(tag) + 2]
+                    tokens.append(Token("str", body, line))
+                    line += body.count("\n")
+                    i = end + len(tag) + 2
+                    continue
+        # String / char literals.
+        if c == '"' or c == "'":
+            j = i + 1
+            while j < n:
+                if text[j] == "\\":
+                    j += 2
+                    continue
+                if text[j] == c:
+                    break
+                if text[j] == "\n":  # unterminated; bail at EOL
+                    break
+                j += 1
+            tokens.append(Token("str" if c == '"' else "chr",
+                                text[i:j + 1], line))
+            i = j + 1
+            continue
+        # Identifier / keyword.
+        if c in _ID_START:
+            j = i + 1
+            while j < n and text[j] in _ID_CONT:
+                j += 1
+            tokens.append(Token("id", text[i:j], line))
+            i = j
+            continue
+        # Number (loose: digits, hex, floats, exponents, separators).
+        if c in _DIGITS or (c == "." and i + 1 < n and text[i + 1] in _DIGITS):
+            j = i + 1
+            while j < n and (text[j] in _ID_CONT or text[j] in ".'" or
+                             (text[j] in "+-" and text[j - 1] in "eEpP")):
+                j += 1
+            tokens.append(Token("num", text[i:j], line))
+            i = j
+            continue
+        # Punctuators, longest-match.
+        if text[i:i + 3] in _PUNCT3:
+            tokens.append(Token("punct", text[i:i + 3], line))
+            i += 3
+            continue
+        if text[i:i + 2] in _PUNCT2:
+            tokens.append(Token("punct", text[i:i + 2], line))
+            i += 2
+            continue
+        tokens.append(Token("punct", c, line))
+        i += 1
+    return tokens
+
+
+def _at_line_start(text, i):
+    j = i - 1
+    while j >= 0 and text[j] in " \t":
+        j -= 1
+    return j < 0 or text[j] == "\n"

@@ -1,0 +1,145 @@
+"""Shared IR between the frontends and the rule engine.
+
+Both frontends (textual and clang.cindex) lower a translation unit to the
+same three things per function: its annotations, its outgoing call sites,
+and its body token stream (for the local rules). The rule engine never
+looks at frontend-specific state, so findings are comparable — and
+baseline-stable — across frontends.
+"""
+
+# Annotation macro names (src/util/annotations.h) → canonical tags. The
+# clang frontend sees them as [[clang::annotate("warper::<tag>")]]; the
+# textual frontend sees the macro token itself.
+ANNOTATION_MACROS = {
+    "WARPER_DETERMINISTIC": "deterministic",
+    "WARPER_HOT_PATH": "hot_path",
+    "WARPER_BLOCKING": "blocking",
+}
+ANNOTATE_ATTR_PREFIX = "warper::"
+
+RULES = (
+    "determinism-purity",
+    "hot-path-purity",
+    "rcu-snapshot-lifetime",
+    "result-flow",
+)
+# Misuse of the suppression macro itself (untagged rationale, unknown rule).
+# Deliberately NOT part of RULES: it cannot be suppressed or baselined.
+META_RULE_BAD_SUPPRESSION = "bad-suppression"
+
+
+class CallSite:
+    """One call expression inside a function body."""
+
+    __slots__ = ("name", "qualifier", "is_member", "line", "token_index")
+
+    def __init__(self, name, qualifier="", is_member=False, line=0,
+                 token_index=-1):
+        self.name = name            # last component, e.g. "ShardFor"
+        self.qualifier = qualifier  # textual qualifier, e.g. "router_." or "ns::"
+        self.is_member = is_member
+        self.line = line
+        self.token_index = token_index  # index into FunctionInfo.body
+
+
+class FunctionInfo:
+    """One function definition (or annotated declaration)."""
+
+    __slots__ = ("qual_name", "name", "cls", "namespace", "file", "line",
+                 "end_line", "annotations", "calls", "body", "params",
+                 "is_definition", "suppressions")
+
+    def __init__(self, qual_name, name, cls, namespace, file, line):
+        self.qual_name = qual_name  # e.g. warper::serve::ShardRouter::ShardFor
+        self.name = name
+        self.cls = cls              # enclosing class name ("" for free fns)
+        self.namespace = namespace  # e.g. warper::serve
+        self.file = file            # repo-relative path
+        self.line = line
+        self.end_line = line
+        self.annotations = set()    # subset of {"deterministic", ...}
+        self.calls = []             # [CallSite]
+        self.body = []              # [Token] — body only, braces excluded
+        self.params = []            # parameter names, best effort
+        self.is_definition = False
+        self.suppressions = {}      # rule -> reason string
+
+    def short(self):
+        """Class-qualified name without namespaces — the stable identity
+        used in finding keys (namespace moves should not churn baselines)."""
+        return (self.cls + "::" + self.name) if self.cls else self.name
+
+    def __repr__(self):
+        return f"<fn {self.qual_name} {self.file}:{self.line}>"
+
+
+class Finding:
+    """One rule violation."""
+
+    def __init__(self, rule, file, line, function, message, trace=None,
+                 detail=""):
+        self.rule = rule
+        self.file = file            # repo-relative file of the violation
+        self.line = line
+        self.function = function    # short() of the containing function
+        self.message = message
+        self.trace = trace or []    # call chain, root first, short() names
+        self.detail = detail        # sink kind, e.g. "alloc" / "clock"
+        self.suppressed_by = None   # reason string when suppressed
+
+    def key(self):
+        """Line-free stable identity for the baseline (mirrors the
+        clang-tidy gate: edits above a finding must not churn it)."""
+        parts = [self.file, self.rule, self.function]
+        if self.detail:
+            parts.append(self.detail)
+        return ":".join(parts)
+
+    def to_json(self):
+        doc = {
+            "rule": self.rule,
+            "file": self.file,
+            "line": self.line,
+            "function": self.function,
+            "message": self.message,
+            "key": self.key(),
+        }
+        if self.trace:
+            doc["trace"] = self.trace
+        if self.detail:
+            doc["detail"] = self.detail
+        if self.suppressed_by is not None:
+            doc["suppressed_by"] = self.suppressed_by
+        return doc
+
+
+class Program:
+    """The whole-run analysis input: every function the frontend saw."""
+
+    def __init__(self):
+        self.functions = {}   # qual_name -> FunctionInfo (defs win over decls)
+        self.files = []       # repo-relative paths scanned
+        self.frontend = ""    # "textual" or "clang"
+
+    def add(self, fn):
+        existing = self.functions.get(fn.qual_name)
+        if existing is None:
+            self.functions[fn.qual_name] = fn
+            return fn
+        # Merge: annotations union (a header decl may carry the annotation
+        # the .cc definition omits); the definition's body/calls win.
+        existing.annotations |= fn.annotations
+        for rule, reason in fn.suppressions.items():
+            existing.suppressions.setdefault(rule, reason)
+        if fn.is_definition and not existing.is_definition:
+            existing.body = fn.body
+            existing.calls = fn.calls
+            existing.params = fn.params
+            existing.file = fn.file
+            existing.line = fn.line
+            existing.end_line = fn.end_line
+            existing.is_definition = True
+        return existing
+
+    def definitions(self):
+        return [f for f in self.functions.values() if f.is_definition]

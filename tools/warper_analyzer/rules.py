@@ -1,0 +1,518 @@
+"""The four semantic contract rules.
+
+Reachability rules (over the call graph):
+  determinism-purity     nothing reachable from a WARPER_DETERMINISTIC
+                         function may read wall clocks, ambient randomness,
+                         thread ids, or addresses-as-values.
+  hot-path-purity        nothing reachable from a WARPER_HOT_PATH function
+                         may acquire a lock, allocate, or call a
+                         WARPER_BLOCKING function. Allocations inside a
+                         `return Status::...` statement are exempt (error
+                         exits are not hot-path work).
+
+Local rules (over one function's body tokens):
+  rcu-snapshot-lifetime  a raw pointer/reference borrowed from an RCU
+                         ModelSnapshot read must not be stored to a member
+                         field or used after a WARPER_BLOCKING call.
+  result-flow            Result<T>::ValueOrDie()/MoveValueOrDie() must be
+                         dominated by an ok() check of the same variable
+                         (if/while guard, WARPER_RETURN_NOT_OK, WARPER_CHECK,
+                         gtest ASSERT/EXPECT, or a same-statement ok()).
+
+All rules are heuristic by design (see DESIGN.md §16 for the contract);
+tests/static/analyzer/ fixtures pin exactly what must and must not flag.
+"""
+
+from model import Finding
+
+# --- shared token helpers --------------------------------------------------
+
+
+def _tx(body, i):
+    return body[i].text if 0 <= i < len(body) else ""
+
+
+def _statement_start(body, i):
+    while i > 0 and body[i - 1].text not in (";", "{", "}"):
+        i -= 1
+    return i
+
+
+def _in_error_return(body, i):
+    """True when token i sits inside a `return Status::...` statement —
+    allocations building an error message on the exit path are exempt from
+    hot-path purity."""
+    s = _statement_start(body, i)
+    saw_return = False
+    for j in range(s, i):
+        t = body[j].text
+        if t == "return":
+            saw_return = True
+        elif saw_return and t == "Status" and _tx(body, j + 1) == "::":
+            return True
+    return False
+
+
+# --- sink scanning ---------------------------------------------------------
+
+_CLOCKS = {"system_clock", "steady_clock", "high_resolution_clock",
+           "utc_clock", "file_clock"}
+_TIME_FNS = {"clock_gettime", "gettimeofday", "localtime", "gmtime",
+             "mktime", "ftime"}
+_GROWTH_MEMBERS = {"push_back", "emplace_back", "resize", "reserve",
+                   "insert", "emplace", "append", "assign", "push_front",
+                   "emplace_front"}
+_STD_LOCKS = {"lock_guard", "unique_lock", "scoped_lock", "shared_lock"}
+
+
+def determinism_sinks(fn):
+    """[(kind, detail, line)] of nondeterminism sources in fn's body."""
+    body = fn.body
+    sinks = []
+    for i, t in enumerate(body):
+        if t.kind != "id":
+            continue
+        prev = _tx(body, i - 1)
+        nxt = _tx(body, i + 1)
+        if t.text == "random_device":
+            sinks.append(("rng", "std::random_device", t.line))
+        elif t.text == "now" and prev == "::" and \
+                _tx(body, i - 2) in _CLOCKS:
+            sinks.append(("clock", _tx(body, i - 2) + "::now()", t.line))
+        elif t.text in _TIME_FNS and nxt == "(":
+            sinks.append(("clock", t.text + "()", t.line))
+        elif t.text in ("time", "clock") and nxt == "(" and \
+                prev not in (".", "->"):
+            sinks.append(("clock", ("std::" if prev == "::" else "") +
+                          t.text + "()", t.line))
+        elif t.text in ("rand", "srand") and nxt == "(" and \
+                prev not in (".", "->", "::") or \
+                (t.text in ("rand", "srand") and nxt == "(" and
+                 prev == "::" and _tx(body, i - 2) == "std"):
+            sinks.append(("rng", t.text + "()", t.line))
+        elif t.text == "get_id" and prev == "::" and \
+                _tx(body, i - 2) == "this_thread":
+            sinks.append(("thread-id", "std::this_thread::get_id()", t.line))
+        elif t.text == "reinterpret_cast" and nxt == "<" and \
+                _tx(body, i + 2) in ("uintptr_t", "intptr_t", "size_t") or \
+                (t.text == "reinterpret_cast" and nxt == "<" and
+                 _tx(body, i + 2) == "std" and
+                 _tx(body, i + 4) in ("uintptr_t", "intptr_t", "size_t")):
+            sinks.append(("address-as-value",
+                          "reinterpret_cast of pointer to integer", t.line))
+    return sinks
+
+
+def hot_path_sinks(fn):
+    """[(kind, detail, line)] of allocations / lock acquisitions."""
+    body = fn.body
+    sinks = []
+    for i, t in enumerate(body):
+        if t.kind != "id":
+            continue
+        prev = _tx(body, i - 1)
+        nxt = _tx(body, i + 1)
+        kind = detail = None
+        if t.text == "new" and prev not in (".", "->"):
+            kind, detail = "alloc", "operator new"
+        elif t.text in _GROWTH_MEMBERS and prev in (".", "->") and nxt == "(":
+            kind, detail = "alloc", "." + t.text + "() (growth-prone)"
+        elif t.text in ("make_unique", "make_shared"):
+            kind, detail = "alloc", "std::" + t.text
+        elif t.text == "to_string" and prev == "::":
+            kind, detail = "alloc", "std::to_string"
+        elif t.text == "string" and prev == "::" and \
+                _tx(body, i - 2) == "std":
+            kind, detail = "alloc", "std::string construction"
+        elif t.text in ("ostringstream", "stringstream"):
+            kind, detail = "alloc", "std::" + t.text
+        elif t.text == "MutexLock" and prev != "~":
+            kind, detail = "lock", "util::MutexLock acquisition"
+        elif t.text in _STD_LOCKS:
+            kind, detail = "lock", "std::" + t.text
+        elif t.text in ("Lock", "lock") and prev in (".", "->") and \
+                nxt == "(":
+            kind, detail = "lock", "explicit ." + t.text + "()"
+        if kind is None:
+            continue
+        if kind == "alloc" and _in_error_return(body, i):
+            continue  # error-exit message construction is not hot-path work
+        sinks.append((kind, detail, t.line))
+    return sinks
+
+
+# --- reachability rules ----------------------------------------------------
+
+
+def _reach_rule(graph, rule, root_tag, sink_fn, blocking_check):
+    findings = []
+    seen = set()
+    roots = [f for f in graph.program.functions.values()
+             if root_tag in f.annotations]
+    for root in roots:
+        parents = graph.reachable(root, rule)
+        for fn in parents:
+            if not fn.is_definition:
+                continue
+            for kind, detail, line in sink_fn(fn):
+                key = (fn.qual_name, kind, detail)
+                if key in seen:
+                    continue
+                seen.add(key)
+                trace = graph.trace(parents, fn)
+                msg = (f"{root_tag.replace('_', '-')} root "
+                       f"'{root.short()}' reaches {detail} in "
+                       f"'{fn.short()}'")
+                findings.append(Finding(rule, fn.file, line, fn.short(),
+                                        msg, trace=trace, detail=kind))
+            if blocking_check:
+                for call in fn.calls:
+                    for callee in graph.resolve(fn, call):
+                        if "blocking" not in callee.annotations:
+                            continue
+                        if rule in callee.suppressions:
+                            continue
+                        key = (fn.qual_name, "blocking", callee.qual_name)
+                        if key in seen:
+                            continue
+                        seen.add(key)
+                        trace = graph.trace(parents, fn) + [callee.short()]
+                        msg = (f"hot-path root '{root.short()}' reaches "
+                               f"WARPER_BLOCKING function "
+                               f"'{callee.short()}' via '{fn.short()}'")
+                        findings.append(Finding(
+                            rule, fn.file, call.line, fn.short(), msg,
+                            trace=trace,
+                            detail="blocking:" + callee.short()))
+    return findings
+
+
+def check_determinism(graph):
+    return _reach_rule(graph, "determinism-purity", "deterministic",
+                       determinism_sinks, blocking_check=False)
+
+
+def check_hot_path(graph):
+    return _reach_rule(graph, "hot-path-purity", "hot_path",
+                       hot_path_sinks, blocking_check=True)
+
+
+# --- rcu-snapshot-lifetime -------------------------------------------------
+
+_SNAPSHOT_TYPES = ("ModelSnapshot",)
+
+
+def check_rcu_lifetime(graph):
+    findings = []
+    for fn in graph.program.definitions():
+        if "rcu-snapshot-lifetime" in fn.suppressions:
+            continue
+        findings.extend(_rcu_one(graph, fn))
+    return findings
+
+
+def _rcu_one(graph, fn):
+    body = fn.body
+    n = len(body)
+    findings = []
+
+    # 1. Snapshot locals: declarations whose initializer calls .Current()
+    #    or ->Current(), or whose declared type names ModelSnapshot.
+    snaps = set()
+    borrows = {}  # name -> decl line
+    locals_seen = set(fn.params)
+    i = 0
+    while i < n:
+        s = i
+        while i < n and body[i].text != ";":
+            if body[i].text == "{":
+                # Walk into nested blocks statement-by-statement.
+                i += 1
+                s = i
+                continue
+            if body[i].text == "}":
+                i += 1
+                s = i
+                continue
+            i += 1
+        stmt = body[s:i]
+        i += 1
+        eq = next((k for k, t in enumerate(stmt) if t.text == "="), None)
+        if eq is None or eq == 0:
+            continue
+        name_tok = stmt[eq - 1]
+        if name_tok.kind != "id":
+            continue
+        decl_toks = [t.text for t in stmt[:eq - 1]]
+        init_toks = [t.text for t in stmt[eq + 1:]]
+        is_decl = bool(decl_toks) and all(
+            t not in ("(", ")") for t in decl_toks) and (
+            decl_toks[-1] in ("&", "*", ">", "auto", "const") or
+            stmt[eq - 2].kind == "id" if eq >= 2 else False)
+        if is_decl:
+            locals_seen.add(name_tok.text)
+        snap_init = ("Current" in init_toks or
+                     any(t in _SNAPSHOT_TYPES for t in decl_toks) or
+                     any(t in _SNAPSHOT_TYPES for t in init_toks))
+        if is_decl and snap_init and not _derefs_any(init_toks, snaps):
+            snaps.add(name_tok.text)
+            continue
+        # Raw borrow: pointer/ref declaration initialized by dereferencing a
+        # snapshot local.
+        if is_decl and ("&" in decl_toks or "*" in decl_toks) and \
+                _derefs_any(init_toks, snaps):
+            borrows[name_tok.text] = name_tok.line
+
+    if not snaps and not borrows:
+        return findings
+
+    # 2. Field stores of a borrow / snapshot-deref.
+    i = 0
+    while i < n:
+        t = body[i]
+        if t.kind == "id" and t.text.endswith("_") and \
+                t.text not in locals_seen and _tx(body, i + 1) == "=" and \
+                _tx(body, i - 1) not in (".", "->", "::"):
+            stmt_end = i + 1
+            while stmt_end < n and body[stmt_end].text != ";":
+                stmt_end += 1
+            rhs = [x.text for x in body[i + 2:stmt_end]]
+            escaping = (_derefs_any(rhs, snaps) or
+                        any(b in rhs for b in borrows) or
+                        any(s in rhs and "get" in rhs for s in snaps))
+            if escaping:
+                findings.append(Finding(
+                    "rcu-snapshot-lifetime", fn.file, t.line, fn.short(),
+                    f"raw borrow from an RCU snapshot escapes into field "
+                    f"'{t.text}' — the snapshot may be retired while the "
+                    f"field still points into it",
+                    detail="field-store:" + t.text))
+        i += 1
+
+    # 3. Borrow used after a WARPER_BLOCKING call.
+    if borrows:
+        blocking_at = None
+        blocking_name = ""
+        for call in sorted(fn.calls, key=lambda c: c.token_index):
+            for callee in graph.resolve(fn, call):
+                if "blocking" in callee.annotations:
+                    blocking_at = call.token_index
+                    blocking_name = callee.short()
+                    break
+            if blocking_at is not None:
+                break
+        if blocking_at is not None:
+            for j in range(blocking_at + 1, n):
+                t = body[j]
+                if t.kind == "id" and t.text in borrows:
+                    findings.append(Finding(
+                        "rcu-snapshot-lifetime", fn.file, t.line,
+                        fn.short(),
+                        f"raw borrow '{t.text}' from an RCU snapshot is "
+                        f"used after blocking call '{blocking_name}' — "
+                        f"hold the shared_ptr, not the raw reference, "
+                        f"across blocking points",
+                        detail="use-across-blocking:" + t.text))
+                    break
+    return findings
+
+
+def _derefs_any(toks, names):
+    for k, t in enumerate(toks):
+        if t in names:
+            nxt = toks[k + 1] if k + 1 < len(toks) else ""
+            prv = toks[k - 1] if k > 0 else ""
+            if nxt in ("->", ".") or prv == "*" or \
+                    (nxt == "." and toks[k + 2:k + 3] == ["get"]):
+                return True
+    return False
+
+
+# --- result-flow -----------------------------------------------------------
+
+_GUARD_MACROS = {"WARPER_CHECK", "WARPER_CHECK_MSG", "CHECK", "ASSERT_TRUE",
+                 "EXPECT_TRUE", "ASSERT_OK", "QCHECK"}
+_DIVERGE = {"return", "throw", "continue", "break", "abort", "exit"}
+
+
+def check_result_flow(graph):
+    findings = []
+    for fn in graph.program.definitions():
+        if "result-flow" in fn.suppressions:
+            continue
+        findings.extend(_result_flow_one(fn))
+    return findings
+
+
+def _result_flow_one(fn):
+    body = fn.body
+    n = len(body)
+    findings = []
+    validated = []      # [(name, depth)]
+    stmt_scoped = []    # [(name, expires_at_index)] for braceless then-blocks
+    depth = 0
+    i = 0
+    while i < n:
+        t = body[i]
+        stmt_scoped = [(nm, e) for nm, e in stmt_scoped if e > i]
+        if t.text == "{":
+            depth += 1
+            i += 1
+            continue
+        if t.text == "}":
+            depth -= 1
+            validated = [(nm, d) for nm, d in validated if d <= depth]
+            i += 1
+            continue
+        if t.kind == "id" and t.text == "WARPER_RETURN_NOT_OK":
+            # WARPER_RETURN_NOT_OK(x.status()) validates x from here on.
+            end = _match_paren(body, i + 1)
+            seg = [x.text for x in body[i + 2:end]]
+            if len(seg) >= 3 and seg[1] == "." and seg[2] == "status":
+                validated.append((seg[0], depth))
+            i = end + 1
+            continue
+        if t.kind == "id" and t.text in _GUARD_MACROS:
+            end = _match_paren(body, i + 1)
+            for nm in _ok_checked(body, i + 2, end, negated=False):
+                validated.append((nm, depth))
+            i = end + 1
+            continue
+        if t.kind == "id" and t.text in ("if", "while") and \
+                _tx(body, i + 1) == "(":
+            cond_end = _match_paren(body, i + 1)
+            pos = _ok_checked(body, i + 2, cond_end, negated=False)
+            neg = _ok_checked(body, i + 2, cond_end, negated=True)
+            after = cond_end + 1
+            if _tx(body, after) == "{":
+                then_end = _match_brace(body, after)
+                diverges = _block_diverges(body, after + 1, then_end)
+                for nm in pos:
+                    validated.append((nm, depth + 1))
+            else:
+                then_end = after
+                while then_end < n and body[then_end].text != ";":
+                    then_end += 1
+                diverges = _tx(body, after) in _DIVERGE
+                for nm in pos:
+                    stmt_scoped.append((nm, then_end + 1))
+            if t.text == "if":
+                for nm in neg:
+                    if diverges:
+                        validated.append((nm, depth))
+                    elif _tx(body, then_end + 1) == "else":
+                        validated.append((nm, depth + 1))
+            i = after
+            continue
+        if t.kind == "id" and _tx(body, i + 1) == "." and \
+                _tx(body, i + 2) in ("ValueOrDie", "MoveValueOrDie"):
+            name = t.text
+            ok = (any(nm == name for nm, _ in validated) or
+                  any(nm == name for nm, _ in stmt_scoped) or
+                  _same_stmt_guard(body, i, name))
+            if not ok:
+                findings.append(Finding(
+                    "result-flow", fn.file, t.line, fn.short(),
+                    f"'{name}.{_tx(body, i + 2)}()' is not dominated by an "
+                    f"ok() check of '{name}' — a failed Result aborts the "
+                    f"process here",
+                    detail="unchecked:" + name))
+            i += 3
+            continue
+        if t.text == ")" and _tx(body, i + 1) == "." and \
+                _tx(body, i + 2) in ("ValueOrDie", "MoveValueOrDie"):
+            # Direct call on an unnamed temporary: never checkable.
+            findings.append(Finding(
+                "result-flow", fn.file, t.line, fn.short(),
+                f"{_tx(body, i + 2)}() on an unnamed temporary Result — "
+                f"bind it and check ok() first",
+                detail="temporary"))
+            i += 3
+            continue
+        if t.kind == "id" and _tx(body, i + 1) == "=" and \
+                _tx(body, i - 1) not in (".", "->", "::"):
+            # Reassignment invalidates a prior ok() check.
+            validated = [(nm, d) for nm, d in validated if nm != t.text]
+        i += 1
+    return findings
+
+
+def _block_diverges(body, start, end):
+    """True when [start, end) contains a diverging statement at the block's
+    own level (a return nested in a further `if` is conditional — not
+    counted)."""
+    depth = 0
+    for k in range(start, end):
+        t = body[k].text
+        if t == "{":
+            depth += 1
+        elif t == "}":
+            depth -= 1
+        elif depth == 0 and t in _DIVERGE:
+            return True
+    return False
+
+
+def _match_paren(body, i):
+    """i at '('; index of the matching ')'."""
+    depth = 0
+    n = len(body)
+    while i < n:
+        if body[i].text == "(":
+            depth += 1
+        elif body[i].text == ")":
+            depth -= 1
+            if depth == 0:
+                return i
+        i += 1
+    return n - 1
+
+
+def _match_brace(body, i):
+    depth = 0
+    n = len(body)
+    while i < n:
+        if body[i].text == "{":
+            depth += 1
+        elif body[i].text == "}":
+            depth -= 1
+            if depth == 0:
+                return i
+        i += 1
+    return n - 1
+
+
+def _ok_checked(body, start, end, negated):
+    """Names X with pattern [!] X . ok ( ) inside [start, end)."""
+    names = []
+    for k in range(start, end):
+        if body[k].kind == "id" and _tx(body, k + 1) == "." and \
+                _tx(body, k + 2) == "ok" and _tx(body, k + 3) == "(":
+            is_neg = _tx(body, k - 1) == "!"
+            if is_neg == negated:
+                names.append(body[k].text)
+    return names
+
+
+def _same_stmt_guard(body, i, name):
+    """An ok() check of `name` earlier in the same statement (ternary or
+    short-circuit guard)."""
+    s = _statement_start(body, i)
+    for k in range(s, i):
+        if body[k].kind == "id" and body[k].text == name and \
+                _tx(body, k + 1) == "." and _tx(body, k + 2) == "ok":
+            return True
+    return False
+
+
+def run_all(graph, rules):
+    findings = []
+    if "determinism-purity" in rules:
+        findings.extend(check_determinism(graph))
+    if "hot-path-purity" in rules:
+        findings.extend(check_hot_path(graph))
+    if "rcu-snapshot-lifetime" in rules:
+        findings.extend(check_rcu_lifetime(graph))
+    if "result-flow" in rules:
+        findings.extend(check_result_flow(graph))
+    return findings

@@ -1,0 +1,590 @@
+"""Self-contained C++ frontend: function extraction without libclang.
+
+Lowers a source file to the shared IR (model.Program) by scanning the token
+stream for namespace/class scopes and function definitions. It is tuned to
+this repository's (Google-style) C++ and is deliberately tolerant: anything
+it cannot parse as a function is skipped, never fatal. The clang frontend
+(clang_frontend.py) produces the same IR with real semantic information
+when libclang is available; fixtures in tests/static/analyzer/ pin the
+behaviors the two must share.
+
+Known, accepted limitations (documented in DESIGN.md §16):
+  - operator overloads are not extracted (their bodies are skipped);
+  - calls through function pointers / virtual dispatch resolve by name to
+    every function with that name (conservative over-approximation);
+  - lambdas are analyzed as part of their enclosing function.
+"""
+
+import os
+
+from lexer import lex
+from model import ANNOTATION_MACROS, CallSite, FunctionInfo
+
+KEYWORDS = {
+    "if", "else", "for", "while", "do", "switch", "case", "default",
+    "return", "sizeof", "alignof", "decltype", "static_cast",
+    "dynamic_cast", "reinterpret_cast", "const_cast", "new", "delete",
+    "throw", "catch", "noexcept", "alignas", "co_await", "co_return",
+    "co_yield", "requires", "static_assert", "goto", "typeid", "assert",
+}
+
+# Tokens allowed between a statement start and a function name for the
+# statement to still look like a declaration (return type & specifiers).
+_PREFIX_DISQUALIFIERS = {"=", "return", "throw", ".", ",", "(", ")",
+                         "?", "+", "-", "/", "|", "!", "{", "}"}
+
+_TRAILING_SIMPLE = {"const", "noexcept", "override", "final", "mutable",
+                    "&", "&&", "volatile", "try"}
+
+
+def parse_file(path, rel, program):
+    """Parses one file into `program`. Returns the number of functions."""
+    with open(path, errors="replace") as f:
+        text = f.read()
+    toks = lex(text)
+    count = _parse_tokens(toks, rel, program)
+    return count
+
+
+def _parse_tokens(toks, rel, program):
+    n = len(toks)
+    i = 0
+    stmt_start = 0
+    # Scope stack entries: ("namespace"|"class"|"block", name)
+    stack = []
+    found = 0
+
+    def scope_namespaces():
+        return [name for kind, name in stack if kind == "namespace" and name]
+
+    def scope_classes():
+        return [name for kind, name in stack if kind == "class"]
+
+    while i < n:
+        t = toks[i]
+        if t.kind == "id":
+            if t.text == "template":
+                i = _skip_angles(toks, i + 1)
+                continue
+            if t.text == "namespace" and _in_decl_scope(stack):
+                j = i + 1
+                names = []
+                while j < n and toks[j].kind == "id":
+                    names.append(toks[j].text)
+                    j += 1
+                    if j < n and toks[j].text == "::":
+                        j += 1
+                    else:
+                        break
+                if j < n and toks[j].text == "{":
+                    # "namespace a::b {" opens one stack entry per component
+                    # would complicate popping; use a single composite entry.
+                    stack.append(("namespace", "::".join(names)))
+                    i = j + 1
+                    stmt_start = i
+                    continue
+                i = _skip_past(toks, j, ";")
+                stmt_start = i
+                continue
+            if t.text in ("class", "struct", "union") and _in_decl_scope(stack):
+                handled, i, stmt_start = _handle_class(toks, i, stack)
+                if handled:
+                    continue
+                # fall through: "struct X y;" style usage — treat as tokens.
+                i += 1
+                continue
+            if t.text == "enum" and _in_decl_scope(stack):
+                j = i + 1
+                while j < n and toks[j].text not in ("{", ";"):
+                    j += 1
+                if j < n and toks[j].text == "{":
+                    j = _skip_braces(toks, j)
+                i = j
+                stmt_start = i
+                continue
+            if t.text in ("using", "typedef", "friend", "static_assert"):
+                i = _skip_past(toks, i, ";")
+                stmt_start = i
+                continue
+            if t.text in ("public", "private", "protected") and \
+                    i + 1 < n and toks[i + 1].text == ":":
+                i += 2
+                stmt_start = i
+                continue
+            i += 1
+            continue
+        if t.text == "{":
+            stack.append(("block", ""))
+            i += 1
+            stmt_start = i
+            continue
+        if t.text == "}":
+            if stack:
+                stack.pop()
+            i += 1
+            stmt_start = i
+            continue
+        if t.text == ";":
+            i += 1
+            stmt_start = i
+            continue
+        if t.text == "(" and _in_decl_scope(stack):
+            fn, next_i = _try_parse_function(
+                toks, i, stmt_start, scope_namespaces(), scope_classes(), rel)
+            if fn is not None:
+                program.add(fn)
+                found += 1
+                i = next_i
+                stmt_start = i
+                continue
+        i += 1
+    return found
+
+
+def _in_decl_scope(stack):
+    """True at namespace/class scope (where declarations live)."""
+    return not stack or stack[-1][0] in ("namespace", "class")
+
+
+def _handle_class(toks, i, stack):
+    """Parses `class X ... {` / `class X;`. Returns (handled, i, stmt_start)."""
+    n = len(toks)
+    j = i + 1
+    # Skip [[attributes]] and alignas(...) between keyword and name.
+    while j < n:
+        if toks[j].text == "[" and j + 1 < n and toks[j + 1].text == "[":
+            j = _skip_brackets(toks, j)
+        elif toks[j].text == "alignas" and j + 1 < n and \
+                toks[j + 1].text == "(":
+            j = _skip_parens(toks, j + 1)
+        else:
+            break
+    if j >= n or toks[j].kind != "id":
+        return False, i, i
+    # The name is the LAST identifier in a run: in "class
+    # WARPER_SCOPED_CAPABILITY MutexLock" or "class WARPER_CAPABILITY("mutex")
+    # Mutex" the attribute-like macros come first (bare or with arguments)
+    # and the real name is the identifier adjacent to the base clause or
+    # body.
+    name = toks[j].text
+    j += 1
+    while j < n:
+        if toks[j].kind == "id":
+            name = toks[j].text
+            j += 1
+        elif toks[j].text == "(" and j + 1 < n and \
+                _skip_parens(toks, j) < n and \
+                toks[_skip_parens(toks, j)].kind == "id":
+            j = _skip_parens(toks, j)
+        else:
+            break
+    # Scan to the body '{' or a ';' (forward declaration), balancing angle
+    # brackets in base-class template args.
+    depth_angle = 0
+    while j < n:
+        tx = toks[j].text
+        if tx == "<":
+            depth_angle += 1
+        elif tx == ">":
+            depth_angle = max(0, depth_angle - 1)
+        elif tx == ">>":
+            depth_angle = max(0, depth_angle - 2)
+        elif tx == "(":
+            j = _skip_parens(toks, j)
+            continue
+        elif tx == "{" and depth_angle == 0:
+            stack.append(("class", name))
+            return True, j + 1, j + 1
+        elif tx in (";", "=") and depth_angle == 0:
+            # fwd decl, or "struct X y = {...};" variable — skip statement.
+            k = _skip_past(toks, j, ";") if tx == "=" else j + 1
+            return True, k, k
+        j += 1
+    return True, n, n
+
+
+def _try_parse_function(toks, open_paren, stmt_start, namespaces, classes,
+                        rel):
+    """Attempts to parse a function declaration/definition whose parameter
+    list opens at `open_paren`. Returns (FunctionInfo|None, next_index)."""
+    n = len(toks)
+    j = open_paren - 1
+    if j < stmt_start or toks[j].kind != "id" or toks[j].text in KEYWORDS:
+        return None, open_paren
+    name = toks[j].text
+    # Qualifier chain: A::B::name
+    chain = [name]
+    k = j
+    while k - 2 >= stmt_start and toks[k - 1].text == "::" and \
+            toks[k - 2].kind == "id":
+        chain.insert(0, toks[k - 2].text)
+        k -= 2
+    # Destructor.
+    if k - 1 >= stmt_start and toks[k - 1].text == "~":
+        chain[0] = "~" + chain[0] if len(chain) == 1 else chain[0]
+        name = "~" + name if len(chain) == 1 else name
+        k -= 1
+    prefix = toks[stmt_start:k]
+    for p in prefix:
+        if p.text in _PREFIX_DISQUALIFIERS or p.text in ("if", "while",
+                                                         "for", "switch"):
+            return None, open_paren
+    enclosing_class = classes[-1] if classes else ""
+    if not prefix:
+        # Only constructors/destructors legally have no return type.
+        is_ctor_like = (
+            name.startswith("~") or
+            (enclosing_class and name == enclosing_class) or
+            (len(chain) >= 2 and chain[-2] == chain[-1]))
+        if not is_ctor_like:
+            return None, open_paren
+    annotations = {ANNOTATION_MACROS[p.text] for p in prefix
+                   if p.text in ANNOTATION_MACROS}
+
+    close = _skip_parens(toks, open_paren) - 1  # index of ')'
+    if close >= n - 1 or toks[close].text != ")":
+        return None, open_paren
+    params = _param_names(toks[open_paren + 1:close])
+
+    # Trailing specifiers, then '{' (definition), ';' (declaration) or
+    # '= default/delete/0 ;'.
+    j = close + 1
+    while j < n:
+        tx = toks[j].text
+        if tx in _TRAILING_SIMPLE:
+            j += 1
+            if tx == "noexcept" and j < n and toks[j].text == "(":
+                j = _skip_parens(toks, j)
+            continue
+        if toks[j].kind == "id" and tx in ANNOTATION_MACROS:
+            annotations.add(ANNOTATION_MACROS[tx])
+            j += 1
+            continue
+        if toks[j].kind == "id" and j + 1 < n and toks[j + 1].text == "(":
+            # Trailing macro with args: WARPER_REQUIRES(mu_), etc.
+            j = _skip_parens(toks, j + 1)
+            continue
+        if toks[j].kind == "id" and tx.isupper():
+            j += 1  # bare trailing macro
+            continue
+        if tx == "[" and j + 1 < n and toks[j + 1].text == "[":
+            j = _skip_brackets(toks, j)
+            continue
+        if tx == "->":
+            j += 1
+            while j < n and toks[j].text not in ("{", ";", "="):
+                if toks[j].text == "(":
+                    j = _skip_parens(toks, j)
+                    continue
+                j += 1
+            continue
+        if tx == "=":
+            if j + 2 < n and toks[j + 1].text in ("default", "delete", "0") \
+                    and toks[j + 2].text == ";":
+                j += 3
+                return _make_fn(toks, name, chain, namespaces, classes, rel,
+                                annotations, params, body=None,
+                                line=toks[open_paren].line), j
+            return None, open_paren
+        if tx == ":":
+            # Constructor initializer list: entries of id-chain + (…) or {…}.
+            j += 1
+            while j < n:
+                while j < n and (toks[j].kind == "id" or
+                                 toks[j].text in ("::", "<", ">", ",") and
+                                 False):
+                    j += 1
+                # consume one entry: qualified name possibly with <...>
+                while j < n and (toks[j].kind == "id" or
+                                 toks[j].text == "::"):
+                    j += 1
+                if j < n and toks[j].text == "<":
+                    j = _skip_angles(toks, j)
+                if j >= n:
+                    return None, open_paren
+                if toks[j].text == "(":
+                    j = _skip_parens(toks, j)
+                elif toks[j].text == "{":
+                    j = _skip_braces(toks, j)
+                else:
+                    return None, open_paren
+                if j < n and toks[j].text == "...":
+                    j += 1
+                if j < n and toks[j].text == ",":
+                    j += 1
+                    continue
+                break
+            if j < n and toks[j].text == "{":
+                body_end = _skip_braces(toks, j)
+                return _make_fn(toks, name, chain, namespaces, classes, rel,
+                                annotations, params,
+                                body=toks[j + 1:body_end - 1],
+                                line=toks[open_paren].line,
+                                end_line=toks[body_end - 1].line), body_end
+            return None, open_paren
+        if tx == "{":
+            body_end = _skip_braces(toks, j)
+            return _make_fn(toks, name, chain, namespaces, classes, rel,
+                            annotations, params,
+                            body=toks[j + 1:body_end - 1],
+                            line=toks[open_paren].line,
+                            end_line=toks[body_end - 1].line), body_end
+        if tx == ";":
+            return _make_fn(toks, name, chain, namespaces, classes, rel,
+                            annotations, params, body=None,
+                            line=toks[open_paren].line), j + 1
+        return None, open_paren
+    return None, open_paren
+
+
+def _make_fn(toks, name, chain, namespaces, classes, rel, annotations,
+             params, body, line, end_line=None):
+    del toks
+    namespace = "::".join(namespaces)
+    # Class identity: an explicit qualifier (out-of-class definition) wins
+    # over the lexical scope; e.g. "ShardRouter::ShardFor" at namespace
+    # scope has cls ShardRouter.
+    if len(chain) >= 2:
+        cls = chain[-2]
+        outer = classes + chain[:-2]
+    else:
+        cls = classes[-1] if classes else ""
+        outer = classes[:-1] if classes else []
+    qual_parts = ([namespace] if namespace else []) + outer + \
+        ([cls] if cls else []) + [name]
+    fn = FunctionInfo("::".join(qual_parts), name, cls, namespace, rel, line)
+    fn.annotations = annotations
+    fn.params = params
+    if body is not None:
+        fn.is_definition = True
+        fn.body = list(body)
+        fn.end_line = end_line if end_line is not None else line
+        fn.calls = extract_calls(fn.body)
+        _extract_suppressions(fn)
+    return fn
+
+
+def _param_names(param_toks):
+    """Best-effort parameter names: last identifier of each top-level
+    comma-separated segment (before any '=' default)."""
+    names = []
+    depth = 0
+    seg = []
+    in_default = False  # inside a "= <expr>" default value
+    for t in param_toks:
+        if t.text in ("(", "<", "[", "{"):
+            depth += 1
+        elif t.text in (")", ">", "]", "}"):
+            depth -= 1
+        elif t.text == "," and depth == 0:
+            if not in_default and seg:
+                names.append(seg[-1])
+            seg = []
+            in_default = False
+            continue
+        elif t.text == "=" and depth == 0:
+            if seg:
+                names.append(seg[-1])
+            seg = []
+            in_default = True
+            continue
+        if not in_default and t.kind == "id" and depth == 0 and \
+                t.text not in KEYWORDS:
+            seg.append(t.text)
+    if seg and not in_default:
+        names.append(seg[-1])
+    return names
+
+
+def extract_calls(body):
+    """Call sites in a body token stream: f(...), obj.f(...), ns::f(...),
+    f<T>(...), and constructor calls 'Type var(...)' / 'Type var{...}' /
+    'Type(...)'."""
+    calls = []
+    n = len(body)
+    for i, t in enumerate(body):
+        if t.text not in ("(", "{"):
+            continue
+        j = i - 1
+        if j < 0:
+            continue
+        # f<T>( — walk back over the template argument list.
+        if body[j].text == ">" and t.text == "(":
+            j = _rskip_angles(body, j)
+            if j is None:
+                continue
+        if body[j].kind != "id" or body[j].text in KEYWORDS:
+            continue
+        name_idx = j
+        name = body[j].text
+        chain = [name]
+        k = j
+        while k - 2 >= 0 and body[k - 1].text == "::" and \
+                body[k - 2].kind == "id":
+            chain.insert(0, body[k - 2].text)
+            k -= 2
+        prev = body[k - 1].text if k - 1 >= 0 else ""
+        is_member = prev in (".", "->")
+        if t.text == "(":
+            calls.append(CallSite(name, "::".join(chain[:-1]), is_member,
+                                  body[name_idx].line, i))
+        # Constructor via declaration: "Type var(...)" / "Type var{...}".
+        # `name` is then the VARIABLE; the callee is the type ending at k-1.
+        if body[k - 1].kind == "id" if k - 1 >= 0 else False:
+            tj = k - 1
+            tname = body[tj].text
+            if tname not in KEYWORDS and not tname.isupper():
+                tchain = [tname]
+                tk = tj
+                while tk - 2 >= 0 and body[tk - 1].text == "::" and \
+                        body[tk - 2].kind == "id":
+                    tchain.insert(0, body[tk - 2].text)
+                    tk -= 2
+                calls.append(CallSite(tname, "::".join(tchain[:-1]), False,
+                                      body[tj].line, i))
+    return calls
+
+
+def _extract_suppressions(fn):
+    """WARPER_ANALYZER_SUPPRESS("rule", "reason #NNN") statements inside the
+    body attach to the enclosing function."""
+    body = fn.body
+    n = len(body)
+
+    def string_run(j):
+        """Concatenates adjacent string literals starting at j (the usual
+        way long reasons are wrapped). Returns (text, next_index)."""
+        parts = []
+        while j < n and body[j].kind == "str":
+            parts.append(body[j].text.strip('"'))
+            j += 1
+        return "".join(parts), j
+
+    for i, t in enumerate(body):
+        if t.kind == "id" and t.text == "WARPER_ANALYZER_SUPPRESS":
+            if i + 2 < n and body[i + 1].text == "(" and \
+                    body[i + 2].kind == "str":
+                rule, j = string_run(i + 2)
+                reason = ""
+                if j < n and body[j].text == ",":
+                    reason, _ = string_run(j + 1)
+                fn.suppressions[rule] = reason
+
+
+# --- token-walking helpers -------------------------------------------------
+
+def _skip_parens(toks, i):
+    """i at '('; returns index just past the matching ')'."""
+    depth = 0
+    n = len(toks)
+    while i < n:
+        if toks[i].text == "(":
+            depth += 1
+        elif toks[i].text == ")":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        i += 1
+    return n
+
+
+def _skip_braces(toks, i):
+    depth = 0
+    n = len(toks)
+    while i < n:
+        if toks[i].text == "{":
+            depth += 1
+        elif toks[i].text == "}":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        i += 1
+    return n
+
+
+def _skip_brackets(toks, i):
+    depth = 0
+    n = len(toks)
+    while i < n:
+        if toks[i].text == "[":
+            depth += 1
+        elif toks[i].text == "]":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        i += 1
+    return n
+
+
+def _skip_angles(toks, i):
+    """i at (or just before) '<'; returns index past the matching '>'.
+    Treats '>>' as two closers. If no '<' at i, returns i unchanged + 1
+    heuristically to make progress."""
+    n = len(toks)
+    if i >= n or toks[i].text != "<":
+        return i + 1 if i < n else n
+    depth = 0
+    while i < n:
+        tx = toks[i].text
+        if tx == "<":
+            depth += 1
+        elif tx == ">":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        elif tx == ">>":
+            depth -= 2
+            if depth <= 0:
+                return i + 1
+        elif tx == "(":
+            i = _skip_parens(toks, i)
+            continue
+        elif tx in (";", "{"):
+            return i  # malformed; bail
+        i += 1
+    return n
+
+
+def _rskip_angles(body, j):
+    """j at '>' closing a template argument list; walks back to the token
+    before the matching '<'. Returns its index, or None if it does not look
+    like template args (cap at 64 tokens to avoid a<b comparisons)."""
+    depth = 0
+    steps = 0
+    while j >= 0 and steps < 64:
+        tx = body[j].text
+        if tx == ">":
+            depth += 1
+        elif tx == ">>":
+            depth += 2
+        elif tx == "<":
+            depth -= 1
+            if depth == 0:
+                return j - 1 if j >= 1 else None
+        elif tx in (";", "{", "}", ")"):
+            return None
+        j -= 1
+        steps += 1
+    return None
+
+
+def _skip_past(toks, i, stop):
+    n = len(toks)
+    while i < n and toks[i].text != stop:
+        if toks[i].text == "{":
+            i = _skip_braces(toks, i)
+            continue
+        i += 1
+    return min(i + 1, n)
+
+
+def load_sources(paths, repo_root):
+    """Parses every path into a fresh Program."""
+    from model import Program
+    program = Program()
+    program.frontend = "textual"
+    for path in paths:
+        rel = os.path.relpath(os.path.abspath(path), repo_root)
+        parse_file(path, rel.replace(os.sep, "/"), program)
+        program.files.append(rel.replace(os.sep, "/"))
+    return program
